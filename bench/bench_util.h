@@ -1,0 +1,37 @@
+// Shared helpers for the experiment-reproduction binaries: tiny flag
+// parsing and paper-vs-measured table helpers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace doxlab::bench {
+
+/// Parses "--name=value" integer flags; returns `fallback` if absent.
+inline int flag_int(int argc, char** argv, const char* name, int fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoi(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+/// Presence flag ("--full").
+inline bool flag_set(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+inline void banner(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace doxlab::bench

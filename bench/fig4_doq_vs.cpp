@@ -1,0 +1,79 @@
+// Reproduces **Fig. 4** of the paper: per vantage point and per page (sorted
+// by average DNS queries per load), the relative PLT difference of DoUDP and
+// DoH against the DoQ baseline, plus the fraction of resolvers for which
+// DoQ beats DoH (the figure's background shading).
+//
+// Usage: fig4_doq_vs [--resolvers=N] [--loads=N] [--full] [--csv]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "measure/csv.h"
+#include "measure/report.h"
+#include "measure/web_study.h"
+#include "stats/stats.h"
+
+using namespace doxlab;
+using namespace doxlab::measure;
+
+int main(int argc, char** argv) {
+  const bool full = bench::flag_set(argc, argv, "--full");
+  TestbedConfig config;
+  config.population.verified_only = true;
+  config.population.verified_dox = full ? 313 : 60;
+  Testbed testbed(config);
+
+  WebStudyConfig web_config;
+  web_config.max_resolvers =
+      bench::flag_int(argc, argv, "--resolvers", full ? 0 : 12);
+  web_config.loads_per_combo = bench::flag_int(argc, argv, "--loads", 4);
+  // Fig. 4 needs only DoUDP, DoH and the DoQ baseline.
+  web_config.protocols = {dox::DnsProtocol::kDoUdp, dox::DnsProtocol::kDoH,
+                          dox::DnsProtocol::kDoQ};
+  WebStudy study(testbed, web_config);
+  auto records = study.run();
+
+  std::vector<std::string> vp_names;
+  for (auto& vp : testbed.vantage_points()) vp_names.push_back(vp->name);
+
+  bench::banner("Fig. 4 — PLT vs the DoQ baseline per VP x page (measured)");
+  auto cells = fig4_cells(records, vp_names);
+  std::printf("%s", render_fig4(cells, vp_names).c_str());
+
+  // Aggregate amortization curve: median deltas per page across VPs.
+  bench::banner("Amortization summary (median across vantage points)");
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>>
+      per_page;
+  std::map<std::string, int> queries;
+  for (const auto& cell : cells) {
+    auto& entry = per_page[cell.page];
+    entry.first.insert(entry.first.end(), cell.doudp_rel.begin(),
+                       cell.doudp_rel.end());
+    entry.second.insert(entry.second.end(), cell.doh_rel.begin(),
+                        cell.doh_rel.end());
+    queries[cell.page] = cell.dns_queries;
+  }
+  std::vector<std::pair<std::string, int>> ordered(queries.begin(),
+                                                   queries.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::printf("%-16s %5s  %16s  %14s\n", "page", "#DNS", "DoUDP vs DoQ med",
+              "DoH vs DoQ med");
+  for (const auto& [page, count] : ordered) {
+    const auto& [doudp, doh] = per_page[page];
+    std::printf("%-16s %5d  %15.1f%%  %13.1f%%\n", page.c_str(), count,
+                100 * stats::median(doudp).value_or(0),
+                100 * stats::median(doh).value_or(0));
+  }
+  std::printf(
+      "\nPaper reference: DoQ beats DoH in nearly every cell, by up to ~10%%\n"
+      "median on the simple pages (wikipedia, instagram), shrinking as the\n"
+      "number of DNS queries grows; DoQ trails DoUDP by up to ~10%% on the\n"
+      "simple pages but only ~2%% on the complex ones (microsoft, youtube);\n"
+      "EU shows the smallest differences.\n");
+
+  if (bench::flag_set(argc, argv, "--csv")) {
+    write_file("fig4_web.csv", web_csv(records));
+    std::printf("\nraw records -> fig4_web.csv\n");
+  }
+  return 0;
+}

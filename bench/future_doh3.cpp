@@ -1,0 +1,138 @@
+// Quantifies the paper's **Future Work** section (§4): DNS over HTTP/3.
+//
+// The paper: "The recently standardized HTTP/3 also uses QUIC as its
+// transport protocol ... DoH3 is expected to gain momentum" and "we expect
+// resolvers to introduce support for 0-RTT in the future, which can shift
+// the total response times of DoQ even closer to DoUDP."
+//
+// This bench builds a population where every resolver additionally serves
+// DoH3 on UDP 443 and compares warmed single-query timings and sizes across
+// DoUDP / DoH (HTTP/2 over TCP+TLS) / DoH3 / DoQ, with and without 0-RTT.
+//
+// Usage: future_doh3 [--resolvers=N]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "measure/report.h"
+#include "measure/single_query.h"
+#include "measure/web_study.h"
+#include "stats/stats.h"
+#include "stats/table.h"
+
+using namespace doxlab;
+using namespace doxlab::measure;
+
+namespace {
+
+struct ProtocolSummary {
+  double handshake_ms = 0;
+  double resolve_ms = 0;
+  double total_ms = 0;
+  double total_bytes = 0;
+};
+
+std::map<dox::DnsProtocol, ProtocolSummary> summarize(
+    const std::vector<SingleQueryRecord>& records) {
+  std::map<dox::DnsProtocol, std::vector<double>> hs, resolve, total, bytes;
+  for (const auto& r : records) {
+    if (!r.success) continue;
+    hs[r.protocol].push_back(to_ms(r.handshake_time));
+    resolve[r.protocol].push_back(to_ms(r.resolve_time));
+    // total_time, not handshake+resolve: with 0-RTT the phases overlap.
+    total[r.protocol].push_back(to_ms(r.total_time));
+    bytes[r.protocol].push_back(static_cast<double>(r.bytes.total()));
+  }
+  std::map<dox::DnsProtocol, ProtocolSummary> out;
+  for (auto& [protocol, values] : total) {
+    out[protocol] = ProtocolSummary{
+        stats::median(hs[protocol]).value_or(0),
+        stats::median(resolve[protocol]).value_or(0),
+        stats::median(values).value_or(0),
+        stats::median(bytes[protocol]).value_or(0),
+    };
+  }
+  return out;
+}
+
+void print_summary(const char* title,
+                   const std::map<dox::DnsProtocol, ProtocolSummary>& rows) {
+  std::printf("%s\n", title);
+  stats::TextTable table({"Protocol", "Handshake ms", "Resolve ms",
+                          "Total ms", "Total bytes"});
+  for (const auto& [protocol, s] : rows) {
+    table.add_row({std::string(dox::protocol_name(protocol)),
+                   stats::cell(s.handshake_ms, 1), stats::cell(s.resolve_ms, 1),
+                   stats::cell(s.total_ms, 1), stats::cell(s.total_bytes, 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TestbedConfig config;
+  config.population.verified_only = true;
+  config.population.verified_dox =
+      bench::flag_int(argc, argv, "--resolvers", 30);
+  config.population.force_supports_doh3 = true;
+
+  SingleQueryConfig sq;
+  sq.protocols = {dox::DnsProtocol::kDoUdp, dox::DnsProtocol::kDoH,
+                  dox::DnsProtocol::kDoH3, dox::DnsProtocol::kDoQ};
+
+  bench::banner("Future work — DoH3 vs DoH vs DoQ (2022 deployment: no 0-RTT)");
+  {
+    Testbed testbed(config);
+    SingleQueryStudy study(testbed, sq);
+    auto summary = summarize(study.run());
+    print_summary("Warmed single-query medians:", summary);
+    const double doh = summary[dox::DnsProtocol::kDoH].total_ms;
+    const double doh3 = summary[dox::DnsProtocol::kDoH3].total_ms;
+    std::printf("DoH3 closes %.0f%% of the DoH-DoQ total-time gap\n",
+                100.0 * (doh - doh3) /
+                    std::max(1.0, doh - summary[dox::DnsProtocol::kDoQ]
+                                            .total_ms));
+  }
+
+  bench::banner("Future work — the same, with resolver 0-RTT support");
+  {
+    TestbedConfig zero = config;
+    zero.population.force_supports_0rtt = true;
+    Testbed testbed(zero);
+    SingleQueryStudy study(testbed, sq);
+    auto summary = summarize(study.run());
+    print_summary("Warmed single-query medians (0-RTT):", summary);
+    const double udp = summary[dox::DnsProtocol::kDoUdp].total_ms;
+    const double doq = summary[dox::DnsProtocol::kDoQ].total_ms;
+    std::printf(
+        "With 0-RTT, DoQ totals sit %.0f%% above DoUDP (paper's projection:\n"
+        "\"can shift the total response times of DoQ even closer to "
+        "DoUDP\").\n",
+        100.0 * (doq - udp) / udp);
+  }
+
+  bench::banner("Future work — web performance with DoH3");
+  {
+    Testbed testbed(config);
+    WebStudyConfig web;
+    web.max_resolvers = 8;
+    web.pages = {"wikipedia.org", "google.com", "youtube.com"};
+    web.protocols = {dox::DnsProtocol::kDoUdp, dox::DnsProtocol::kDoH,
+                     dox::DnsProtocol::kDoH3, dox::DnsProtocol::kDoQ};
+    WebStudy study(testbed, web);
+    auto records = study.run();
+    auto report = fig3_relative(records);
+    std::printf("Median PLT degradation vs DoUDP:\n");
+    for (dox::DnsProtocol protocol :
+         {dox::DnsProtocol::kDoH, dox::DnsProtocol::kDoH3,
+          dox::DnsProtocol::kDoQ}) {
+      std::printf("  %-5s %+6.1f%%\n",
+                  std::string(dox::protocol_name(protocol)).c_str(),
+                  100 * stats::median(report.plt_rel[protocol]).value_or(0));
+    }
+    std::printf(
+        "DoH3 page loads track DoQ, not DoH: the HTTP layer costs bytes but\n"
+        "no round trips once the transport is QUIC.\n");
+  }
+  return 0;
+}

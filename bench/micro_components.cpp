@@ -1,0 +1,140 @@
+// Microbenchmarks of the library's hot components (google-benchmark):
+// wire codecs (DNS, QUIC, HPACK, TLS records), the event loop, and a full
+// in-simulation DoQ query round trip. These quantify the cost of the
+// simulation substrate itself, not the paper's results.
+#include <benchmark/benchmark.h>
+
+#include "dns/message.h"
+#include "h2/hpack.h"
+#include "measure/testbed.h"
+#include "quic/wire.h"
+#include "sim/simulator.h"
+#include "tls/wire.h"
+
+namespace {
+
+using namespace doxlab;
+
+void BM_DnsEncodeQuery(benchmark::State& state) {
+  const auto name = dns::DnsName::parse("www.google.com");
+  for (auto _ : state) {
+    auto wire = dns::make_query(0x1234, name, dns::RRType::kA).encode();
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_DnsEncodeQuery);
+
+void BM_DnsDecodeResponse(benchmark::State& state) {
+  auto query = dns::make_query(1, dns::DnsName::parse("google.com"),
+                               dns::RRType::kA);
+  auto response = dns::make_response(query);
+  response.answers.push_back(
+      dns::make_a(dns::DnsName::parse("google.com"), 300, 0x8080404));
+  const auto wire = response.encode();
+  for (auto _ : state) {
+    auto decoded = dns::Message::decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DnsDecodeResponse);
+
+void BM_DnsNameCompression(benchmark::State& state) {
+  std::vector<dns::DnsName> names;
+  for (int i = 0; i < 8; ++i) {
+    names.push_back(
+        dns::DnsName::parse("host" + std::to_string(i) + ".cdn.example.com"));
+  }
+  for (auto _ : state) {
+    ByteWriter w;
+    dns::NameCompressor nc;
+    for (const auto& name : names) nc.write(w, name);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_DnsNameCompression);
+
+void BM_QuicDatagramRoundTrip(benchmark::State& state) {
+  quic::QuicPacket packet;
+  packet.type = quic::PacketType::kInitial;
+  packet.frames.push_back(
+      quic::Frame::crypto(0, std::vector<std::uint8_t>(300, 0xAB)));
+  std::vector<quic::QuicPacket> packets = {packet};
+  for (auto _ : state) {
+    auto wire = quic::encode_datagram(packets, true);
+    auto decoded = quic::decode_datagram(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_QuicDatagramRoundTrip);
+
+void BM_HpackRequestBlock(benchmark::State& state) {
+  const std::vector<h2::Header> headers = {
+      {":method", "POST"},
+      {":scheme", "https"},
+      {":authority", "resolver-9.9.9.9"},
+      {":path", "/dns-query"},
+      {"content-type", "application/dns-message"},
+      {"content-length", "51"},
+  };
+  for (auto _ : state) {
+    h2::HpackEncoder encoder;  // fresh table = first-request cost
+    auto block = encoder.encode(headers);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_HpackRequestBlock);
+
+void BM_TlsClientHello(benchmark::State& state) {
+  tls::TlsWire wire;
+  tls::ClientHello ch;
+  ch.sni = "resolver.example";
+  ch.alpn = {"doq"};
+  ch.psk = tls::SessionTicket{};
+  for (auto _ : state) {
+    auto record = wire.client_hello_record(ch);
+    benchmark::DoNotOptimize(record);
+  }
+}
+BENCHMARK(BM_TlsClientHello);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(i, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_FullDoqQuery(benchmark::State& state) {
+  // One warmed DoQ query per iteration, full stack, in simulated time.
+  measure::TestbedConfig config;
+  config.population.verified_only = true;
+  config.population.verified_dox = 6;
+  measure::Testbed testbed(config);
+  auto& sim = testbed.simulator();
+  auto& vp = *testbed.vantage_points()[0];
+  const dns::Question question{dns::DnsName::parse("google.com"),
+                               dns::RRType::kA, dns::RRClass::kIN};
+  dox::TransportOptions options;
+  options.resolver = testbed.resolver_endpoint(testbed.population().verified[0],
+                                               dox::DnsProtocol::kDoQ);
+  for (auto _ : state) {
+    auto transport = dox::make_transport(dox::DnsProtocol::kDoQ,
+                                         vp.deps(sim), options);
+    bool done = false;
+    transport->resolve(question, [&](dox::QueryResult) { done = true; });
+    testbed.run_until_flag(done);
+    transport->reset_sessions();
+    sim.run_until(sim.now() + 100 * kMillisecond);
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_FullDoqQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

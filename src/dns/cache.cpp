@@ -1,0 +1,62 @@
+#include "dns/cache.h"
+
+#include <algorithm>
+
+namespace doxlab::dns {
+
+namespace {
+/// Negative entries (no records) are cached for 60 simulated seconds.
+constexpr std::uint32_t kNegativeTtlSeconds = 60;
+}  // namespace
+
+void Cache::insert(const DnsName& name, RRType type,
+                   std::vector<ResourceRecord> records, SimTime now) {
+  CacheEntry entry;
+  entry.inserted_at = now;
+  if (records.empty()) {
+    entry.original_ttl = kNegativeTtlSeconds;
+  } else {
+    std::uint32_t min_ttl = UINT32_MAX;
+    for (const auto& rr : records) min_ttl = std::min(min_ttl, rr.ttl);
+    entry.original_ttl = min_ttl;
+  }
+  entry.records = std::move(records);
+  entries_[Key{name, type}] = std::move(entry);
+}
+
+bool Cache::expired(const CacheEntry& entry, SimTime now) const {
+  const SimTime age = now - entry.inserted_at;
+  return age >= static_cast<SimTime>(entry.original_ttl) * kSecond;
+}
+
+std::optional<std::vector<ResourceRecord>> Cache::lookup(const DnsName& name,
+                                                         RRType type,
+                                                         SimTime now) const {
+  auto it = entries_.find(Key{name, type});
+  if (it == entries_.end() || expired(it->second, now)) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  const SimTime age_s = (now - it->second.inserted_at) / kSecond;
+  std::vector<ResourceRecord> out = it->second.records;
+  for (auto& rr : out) {
+    rr.ttl = rr.ttl > age_s ? rr.ttl - static_cast<std::uint32_t>(age_s) : 0;
+  }
+  return out;
+}
+
+std::size_t Cache::evict_expired(SimTime now) {
+  std::size_t evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (expired(it->second, now)) {
+      it = entries_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace doxlab::dns

@@ -1,0 +1,54 @@
+// TTL-bounded DNS record cache, used by resolvers (and by the local proxy
+// when its cache is *enabled* — the study disables it, and tests cover both).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/message.h"
+#include "util/types.h"
+
+namespace doxlab::dns {
+
+/// A cached answer: the records plus their insertion time.
+struct CacheEntry {
+  std::vector<ResourceRecord> records;
+  SimTime inserted_at = 0;
+  std::uint32_t original_ttl = 0;
+};
+
+/// Cache keyed by (qname, qtype). TTLs decay against simulated time.
+class Cache {
+ public:
+  /// Inserts (replacing) the answer set for a key. `ttl` is taken from the
+  /// minimum record TTL; an empty record set is cached as a negative entry.
+  void insert(const DnsName& name, RRType type,
+              std::vector<ResourceRecord> records, SimTime now);
+
+  /// Returns the records (with TTLs decremented by elapsed time) if the
+  /// entry exists and has not expired at `now`.
+  std::optional<std::vector<ResourceRecord>> lookup(const DnsName& name,
+                                                    RRType type,
+                                                    SimTime now) const;
+
+  /// Drops expired entries; returns how many were evicted.
+  std::size_t evict_expired(SimTime now);
+
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  using Key = std::pair<DnsName, RRType>;
+  bool expired(const CacheEntry& entry, SimTime now) const;
+
+  std::map<Key, CacheEntry> entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace doxlab::dns

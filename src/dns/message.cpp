@@ -1,0 +1,349 @@
+#include "dns/message.h"
+
+#include <algorithm>
+
+namespace doxlab::dns {
+
+std::string_view rrtype_name(RRType t) {
+  switch (t) {
+    case RRType::kA: return "A";
+    case RRType::kNS: return "NS";
+    case RRType::kCNAME: return "CNAME";
+    case RRType::kSOA: return "SOA";
+    case RRType::kPTR: return "PTR";
+    case RRType::kMX: return "MX";
+    case RRType::kTXT: return "TXT";
+    case RRType::kAAAA: return "AAAA";
+    case RRType::kSVCB: return "SVCB";
+    case RRType::kHTTPS: return "HTTPS";
+    case RRType::kOPT: return "OPT";
+  }
+  return "?";
+}
+
+std::string_view rcode_name(RCode r) {
+  switch (r) {
+    case RCode::kNoError: return "NOERROR";
+    case RCode::kFormErr: return "FORMERR";
+    case RCode::kServFail: return "SERVFAIL";
+    case RCode::kNXDomain: return "NXDOMAIN";
+    case RCode::kNotImp: return "NOTIMP";
+    case RCode::kRefused: return "REFUSED";
+  }
+  return "?";
+}
+
+ResourceRecord make_a(DnsName name, std::uint32_t ttl, std::uint32_t ipv4) {
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = RRType::kA;
+  rr.ttl = ttl;
+  ByteWriter w;
+  w.u32(ipv4);
+  rr.rdata = w.take();
+  return rr;
+}
+
+ResourceRecord make_aaaa(DnsName name, std::uint32_t ttl,
+                         std::array<std::uint8_t, 16> ipv6) {
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = RRType::kAAAA;
+  rr.ttl = ttl;
+  rr.rdata.assign(ipv6.begin(), ipv6.end());
+  return rr;
+}
+
+ResourceRecord make_cname(DnsName name, std::uint32_t ttl, DnsName target) {
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = RRType::kCNAME;
+  rr.ttl = ttl;
+  ByteWriter w;
+  NameCompressor nc;  // Fresh compressor: rdata stored uncompressed.
+  nc.write(w, target);
+  rr.rdata = w.take();
+  return rr;
+}
+
+ResourceRecord make_txt(DnsName name, std::uint32_t ttl, std::string text) {
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = RRType::kTXT;
+  rr.ttl = ttl;
+  ByteWriter w;
+  std::string_view rest = text;
+  do {
+    const std::size_t chunk = std::min<std::size_t>(rest.size(), 255);
+    w.u8(static_cast<std::uint8_t>(chunk));
+    w.bytes(rest.substr(0, chunk));
+    rest.remove_prefix(chunk);
+  } while (!rest.empty());
+  rr.rdata = w.take();
+  return rr;
+}
+
+ResourceRecord make_opt(std::uint16_t udp_payload_size,
+                        std::span<const EdnsOption> options) {
+  ResourceRecord rr;
+  rr.name = DnsName::root();
+  rr.type = RRType::kOPT;
+  rr.klass_or_udpsize = udp_payload_size;
+  rr.ttl = 0;  // extended rcode 0, version 0, flags 0
+  ByteWriter w;
+  for (const EdnsOption& opt : options) {
+    w.u16(opt.code);
+    w.u16(static_cast<std::uint16_t>(opt.value.size()));
+    w.bytes(opt.value);
+  }
+  rr.rdata = w.take();
+  return rr;
+}
+
+std::optional<std::uint32_t> rdata_as_a(const ResourceRecord& rr) {
+  if (rr.type != RRType::kA || rr.rdata.size() != 4) return std::nullopt;
+  ByteReader r(rr.rdata);
+  return r.u32();
+}
+
+std::optional<DnsName> rdata_as_name(const ResourceRecord& rr) {
+  if (rr.type != RRType::kCNAME && rr.type != RRType::kNS &&
+      rr.type != RRType::kPTR) {
+    return std::nullopt;
+  }
+  ByteReader r(rr.rdata);
+  return read_name(r);
+}
+
+std::optional<std::vector<EdnsOption>> rdata_as_options(
+    const ResourceRecord& rr) {
+  if (rr.type != RRType::kOPT) return std::nullopt;
+  std::vector<EdnsOption> out;
+  ByteReader r(rr.rdata);
+  while (!r.at_end()) {
+    auto code = r.u16();
+    auto len = r.u16();
+    if (!code || !len) return std::nullopt;
+    auto value = r.bytes(*len);
+    if (!value) return std::nullopt;
+    out.push_back(EdnsOption{*code, {value->begin(), value->end()}});
+  }
+  return out;
+}
+
+namespace {
+
+void write_record(ByteWriter& w, NameCompressor& nc,
+                  const ResourceRecord& rr) {
+  nc.write(w, rr.name);
+  w.u16(static_cast<std::uint16_t>(rr.type));
+  w.u16(rr.klass_or_udpsize);
+  w.u32(rr.ttl);
+  // RDATA with embedded names could be compressed against the message, but
+  // storing and emitting it uncompressed is always legal and keeps records
+  // self-contained.
+  w.u16(static_cast<std::uint16_t>(rr.rdata.size()));
+  w.bytes(rr.rdata);
+}
+
+std::optional<ResourceRecord> read_record(ByteReader& r) {
+  ResourceRecord rr;
+  auto name = read_name(r);
+  if (!name) return std::nullopt;
+  rr.name = std::move(*name);
+  auto type = r.u16();
+  auto klass = r.u16();
+  auto ttl = r.u32();
+  auto rdlen = r.u16();
+  if (!type || !klass || !ttl || !rdlen) return std::nullopt;
+  rr.type = static_cast<RRType>(*type);
+  rr.klass_or_udpsize = *klass;
+  rr.ttl = *ttl;
+
+  // Name-bearing RDATA may be compressed against the message; decode and
+  // re-encode it uncompressed so the record stands alone.
+  if (rr.type == RRType::kCNAME || rr.type == RRType::kNS ||
+      rr.type == RRType::kPTR) {
+    const std::size_t end = r.position() + *rdlen;
+    auto target = read_name(r);
+    if (!target || r.position() > end) return std::nullopt;
+    if (!r.seek(end)) return std::nullopt;
+    ByteWriter w;
+    NameCompressor nc;
+    nc.write(w, *target);
+    rr.rdata = w.take();
+    return rr;
+  }
+
+  auto rdata = r.bytes(*rdlen);
+  if (!rdata) return std::nullopt;
+  rr.rdata.assign(rdata->begin(), rdata->end());
+  return rr;
+}
+
+}  // namespace
+
+const ResourceRecord* Message::opt() const {
+  for (const ResourceRecord& rr : additionals) {
+    if (rr.type == RRType::kOPT) return &rr;
+  }
+  return nullptr;
+}
+
+std::vector<std::uint8_t> Message::encode() const {
+  ByteWriter w(512);
+  NameCompressor nc;
+
+  w.u16(id);
+  std::uint16_t flags = 0;
+  if (qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(opcode) << 11;
+  if (aa) flags |= 0x0400;
+  if (tc) flags |= 0x0200;
+  if (rd) flags |= 0x0100;
+  if (ra) flags |= 0x0080;
+  if (ad) flags |= 0x0020;
+  if (cd) flags |= 0x0010;
+  flags |= static_cast<std::uint16_t>(rcode) & 0x0F;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size()));
+
+  for (const Question& q : questions) {
+    nc.write(w, q.name);
+    w.u16(static_cast<std::uint16_t>(q.type));
+    w.u16(static_cast<std::uint16_t>(q.klass));
+  }
+  for (const ResourceRecord& rr : answers) write_record(w, nc, rr);
+  for (const ResourceRecord& rr : authorities) write_record(w, nc, rr);
+  for (const ResourceRecord& rr : additionals) write_record(w, nc, rr);
+  return w.take();
+}
+
+std::optional<Message> Message::decode(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  Message m;
+  auto id = r.u16();
+  auto flags = r.u16();
+  auto qd = r.u16();
+  auto an = r.u16();
+  auto ns = r.u16();
+  auto ar = r.u16();
+  if (!id || !flags || !qd || !an || !ns || !ar) return std::nullopt;
+
+  m.id = *id;
+  m.qr = (*flags & 0x8000) != 0;
+  m.opcode = static_cast<Opcode>((*flags >> 11) & 0x0F);
+  m.aa = (*flags & 0x0400) != 0;
+  m.tc = (*flags & 0x0200) != 0;
+  m.rd = (*flags & 0x0100) != 0;
+  m.ra = (*flags & 0x0080) != 0;
+  m.ad = (*flags & 0x0020) != 0;
+  m.cd = (*flags & 0x0010) != 0;
+  m.rcode = static_cast<RCode>(*flags & 0x0F);
+
+  for (int i = 0; i < *qd; ++i) {
+    Question q;
+    auto name = read_name(r);
+    auto type = r.u16();
+    auto klass = r.u16();
+    if (!name || !type || !klass) return std::nullopt;
+    q.name = std::move(*name);
+    q.type = static_cast<RRType>(*type);
+    q.klass = static_cast<RRClass>(*klass);
+    m.questions.push_back(std::move(q));
+  }
+  for (int i = 0; i < *an; ++i) {
+    auto rr = read_record(r);
+    if (!rr) return std::nullopt;
+    m.answers.push_back(std::move(*rr));
+  }
+  for (int i = 0; i < *ns; ++i) {
+    auto rr = read_record(r);
+    if (!rr) return std::nullopt;
+    m.authorities.push_back(std::move(*rr));
+  }
+  for (int i = 0; i < *ar; ++i) {
+    auto rr = read_record(r);
+    if (!rr) return std::nullopt;
+    m.additionals.push_back(std::move(*rr));
+  }
+  return m;
+}
+
+Message make_query(std::uint16_t id, const DnsName& name, RRType type,
+                   std::uint16_t udp_payload_size, bool with_cookie) {
+  Message m;
+  m.id = id;
+  m.rd = true;
+  m.questions.push_back(Question{name, type, RRClass::kIN});
+  if (with_cookie) {
+    // 8-byte client cookie (RFC 7873). Contents are irrelevant to sizing.
+    EdnsOption cookie{kEdnsCookieOption,
+                      {0xde, 0xad, 0xbe, 0xef, 0x13, 0x37, 0x42, 0x77}};
+    m.additionals.push_back(
+        make_opt(udp_payload_size, std::span(&cookie, 1)));
+  } else {
+    m.additionals.push_back(make_opt(udp_payload_size));
+  }
+  return m;
+}
+
+void pad_to_block(Message& message, std::size_t block_size) {
+  if (block_size == 0) return;
+  // Ensure an OPT record exists.
+  if (message.opt() == nullptr) {
+    message.additionals.push_back(make_opt(1232));
+  }
+  const std::size_t unpadded = message.encode().size();
+  // The option itself costs 4 bytes of header; zero-length padding is legal.
+  const std::size_t with_empty = unpadded + 4;
+  std::size_t target = ((with_empty + block_size - 1) / block_size) *
+                       block_size;
+  if (unpadded % block_size == 0) return;  // already aligned
+  const std::size_t pad_len = target - with_empty;
+  for (ResourceRecord& rr : message.additionals) {
+    if (rr.type != RRType::kOPT) continue;
+    ByteWriter w;
+    w.bytes(rr.rdata);
+    w.u16(kEdnsPaddingOption);
+    w.u16(static_cast<std::uint16_t>(pad_len));
+    w.pad(pad_len);
+    rr.rdata = w.take();
+    return;
+  }
+}
+
+std::uint16_t advertised_udp_size(const Message& query) {
+  const ResourceRecord* opt = query.opt();
+  if (opt == nullptr) return 512;
+  return std::max<std::uint16_t>(opt->klass_or_udpsize, 512);
+}
+
+bool truncate_for_udp(Message& response, std::size_t limit) {
+  if (response.encode().size() <= limit) return false;
+  response.tc = true;
+  response.answers.clear();
+  response.authorities.clear();
+  return true;
+}
+
+Message make_response(const Message& query, RCode rcode) {
+  Message m;
+  m.id = query.id;
+  m.qr = true;
+  m.rd = query.rd;
+  m.ra = true;
+  m.rcode = rcode;
+  m.questions = query.questions;
+  if (query.opt() != nullptr) {
+    // Respond with a plain OPT advertising our UDP size (no options echoes
+    // what large public resolvers do for unsolicited cookies).
+    m.additionals.push_back(make_opt(1232));
+  }
+  return m;
+}
+
+}  // namespace doxlab::dns

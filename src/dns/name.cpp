@@ -1,0 +1,126 @@
+#include "dns/name.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace doxlab::dns {
+
+DnsName DnsName::parse(std::string_view text) {
+  DnsName name;
+  if (text.empty() || text == ".") return name;
+  if (text.back() == '.') text.remove_suffix(1);
+
+  std::size_t total = 1;  // terminating zero octet
+  for (const std::string& raw : split(text, '.')) {
+    if (raw.empty()) throw std::invalid_argument("empty DNS label");
+    if (raw.size() > 63) throw std::invalid_argument("DNS label > 63 octets");
+    total += 1 + raw.size();
+    name.labels_.push_back(to_lower(raw));
+  }
+  if (total > 255) throw std::invalid_argument("DNS name > 255 octets");
+  return name;
+}
+
+DnsName DnsName::from_labels(std::vector<std::string> labels) {
+  DnsName name;
+  std::size_t total = 1;
+  for (std::string& label : labels) {
+    if (label.empty()) throw std::invalid_argument("empty DNS label");
+    if (label.size() > 63) throw std::invalid_argument("DNS label > 63");
+    total += 1 + label.size();
+    label = to_lower(label);
+  }
+  if (total > 255) throw std::invalid_argument("DNS name > 255 octets");
+  name.labels_ = std::move(labels);
+  return name;
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  return join(labels_, ".");
+}
+
+std::size_t DnsName::wire_length() const {
+  std::size_t len = 1;
+  for (const auto& label : labels_) len += 1 + label.size();
+  return len;
+}
+
+bool DnsName::is_subdomain_of(const DnsName& other) const {
+  if (other.labels_.size() > labels_.size()) return false;
+  auto it = labels_.end() - static_cast<std::ptrdiff_t>(other.labels_.size());
+  return std::equal(it, labels_.end(), other.labels_.begin());
+}
+
+DnsName DnsName::parent() const {
+  DnsName p;
+  p.labels_.assign(labels_.begin() + 1, labels_.end());
+  return p;
+}
+
+void NameCompressor::write(ByteWriter& writer, const DnsName& name) {
+  const auto& labels = name.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    // Presentation form of the suffix starting at label i.
+    std::string suffix;
+    for (std::size_t j = i; j < labels.size(); ++j) {
+      if (j > i) suffix.push_back('.');
+      suffix.append(labels[j]);
+    }
+    auto it = offsets_.find(suffix);
+    if (it != offsets_.end()) {
+      writer.u16(static_cast<std::uint16_t>(0xC000 | it->second));
+      return;
+    }
+    // Pointers can only address the first 16KiB - and the top two bits are
+    // the pointer tag - so only record offsets that fit in 14 bits.
+    if (writer.size() < 0x3FFF) {
+      offsets_.emplace(std::move(suffix),
+                       static_cast<std::uint16_t>(writer.size()));
+    }
+    writer.u8(static_cast<std::uint8_t>(labels[i].size()));
+    writer.bytes(labels[i]);
+  }
+  writer.u8(0);
+}
+
+std::optional<DnsName> read_name(ByteReader& reader) {
+  DnsName name;
+  std::vector<std::string> labels;
+  std::size_t total = 1;
+  int pointer_hops = 0;
+  std::optional<std::size_t> resume_at;  // position after the first pointer
+
+  while (true) {
+    auto len = reader.u8();
+    if (!len) return std::nullopt;
+    if ((*len & 0xC0) == 0xC0) {
+      // Compression pointer: 14-bit absolute offset.
+      auto low = reader.u8();
+      if (!low) return std::nullopt;
+      const std::size_t target =
+          (static_cast<std::size_t>(*len & 0x3F) << 8) | *low;
+      if (!resume_at) resume_at = reader.position();
+      // Require strictly backward pointers; combined with the hop limit this
+      // rules out loops.
+      if (target >= reader.position() - 2) return std::nullopt;
+      if (++pointer_hops > 32) return std::nullopt;
+      if (!reader.seek(target)) return std::nullopt;
+      continue;
+    }
+    if ((*len & 0xC0) != 0) return std::nullopt;  // reserved tags 01/10
+    if (*len == 0) break;
+    auto label = reader.string(*len);
+    if (!label) return std::nullopt;
+    total += 1 + label->size();
+    if (total > 255) return std::nullopt;
+    labels.push_back(to_lower(*label));
+  }
+
+  if (resume_at) reader.seek(*resume_at);
+  if (labels.empty()) return DnsName::root();
+  return DnsName::from_labels(std::move(labels));
+}
+
+}  // namespace doxlab::dns

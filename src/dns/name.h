@@ -1,0 +1,76 @@
+// DNS domain names: parsing, canonicalization, and RFC 1035 §4.1.4 wire
+// encoding with message compression.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace doxlab::dns {
+
+/// A fully-qualified domain name, stored as lower-cased labels.
+class DnsName {
+ public:
+  DnsName() = default;
+
+  /// Parses dotted presentation form ("google.com", trailing dot optional).
+  /// Throws std::invalid_argument on empty labels, labels > 63 octets, or
+  /// total length > 255 octets.
+  static DnsName parse(std::string_view text);
+
+  /// The root name (".").
+  static DnsName root() { return DnsName(); }
+
+  /// Builds from raw labels (already split; used by the wire decoder, where
+  /// labels may legally contain '.' characters). Labels are lower-cased.
+  /// Throws std::invalid_argument on invalid label or total length.
+  static DnsName from_labels(std::vector<std::string> labels);
+
+  const std::vector<std::string>& labels() const { return labels_; }
+  bool is_root() const { return labels_.empty(); }
+
+  /// Presentation form without trailing dot ("google.com"); "." for root.
+  std::string to_string() const;
+
+  /// Wire length without compression: 1 byte per label length + label bytes
+  /// + terminating zero octet.
+  std::size_t wire_length() const;
+
+  /// True if `this` equals `other` or is a subdomain of it.
+  bool is_subdomain_of(const DnsName& other) const;
+
+  /// Strips the leftmost label ("www.google.com" -> "google.com").
+  /// Precondition: !is_root().
+  DnsName parent() const;
+
+  bool operator==(const DnsName&) const = default;
+  auto operator<=>(const DnsName&) const = default;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+/// Tracks name offsets within one message so later names can point at
+/// earlier ones (RFC 1035 §4.1.4 compression pointers).
+class NameCompressor {
+ public:
+  /// Writes `name` at the writer's current position, compressing against
+  /// previously written names.
+  void write(ByteWriter& writer, const DnsName& name);
+
+ private:
+  // Maps a name suffix (presentation form) to its absolute message offset.
+  std::map<std::string, std::uint16_t> offsets_;
+};
+
+/// Reads a possibly-compressed name. The reader must be positioned within
+/// the full message buffer (pointer targets are absolute offsets). Returns
+/// nullopt on truncation, pointer loops, or forward pointers.
+std::optional<DnsName> read_name(ByteReader& reader);
+
+}  // namespace doxlab::dns

@@ -1,0 +1,46 @@
+// DNS enumerations (RFC 1035 and friends).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace doxlab::dns {
+
+/// Resource record types (the subset the study exercises).
+enum class RRType : std::uint16_t {
+  kA = 1,
+  kNS = 2,
+  kCNAME = 5,
+  kSOA = 6,
+  kPTR = 12,
+  kMX = 15,
+  kTXT = 16,
+  kAAAA = 28,
+  kSVCB = 64,
+  kHTTPS = 65,
+  kOPT = 41,
+};
+
+enum class RRClass : std::uint16_t {
+  kIN = 1,
+  kANY = 255,
+};
+
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kStatus = 2,
+};
+
+enum class RCode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNXDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+std::string_view rrtype_name(RRType t);
+std::string_view rcode_name(RCode r);
+
+}  // namespace doxlab::dns

@@ -1,0 +1,191 @@
+// DoTCP: DNS over plain TCP with RFC 1035 2-byte length framing.
+//
+// Default behaviour matches what the paper measured: since no resolver
+// supports edns-tcp-keepalive or TFO, every query pays a fresh 3-way
+// handshake and teardown (2 round trips per query in total). The
+// RFC 9210-recommended persistent-connection mode and TFO are available as
+// options for the ablation benches.
+#include "dox/transport_base.h"
+
+namespace doxlab::dox {
+
+namespace {
+
+class TcpTransport final : public TransportBase {
+ public:
+  TcpTransport(const TransportDeps& deps, const TransportOptions& options)
+      : TransportBase(DnsProtocol::kDoTcp, deps, options) {}
+
+  ~TcpTransport() override { reset_sessions(); }
+
+  void resolve(const dns::Question& question, ResultHandler handler) override {
+    auto pending = make_pending(question, std::move(handler));
+    // Reuse the persistent connection when configured for RFC 9210 reuse OR
+    // when the server advertised edns-tcp-keepalive on it.
+    const bool reusable =
+        persistent_ && (!options_.tcp_fresh_connection_per_query ||
+                        persistent_->keepalive);
+    if (reusable && persistent_->connected) {
+      send_query(persistent_, pending);
+      return;
+    }
+    if (!options_.tcp_fresh_connection_per_query && persistent_) {
+      // Connection still handshaking: queue on it.
+      persistent_->queued.push_back(pending);
+      persistent_->in_flight.push_back(pending);
+      return;
+    }
+    open_connection(pending);
+  }
+
+  void reset_sessions() override {
+    if (persistent_) {
+      persistent_->conn->close();
+      persistent_.reset();
+    }
+    // Fresh-mode connections normally close themselves after the response,
+    // but an in-flight one must not survive a session reset.
+    if (auto state = last_.lock()) {
+      state->conn->close();
+    }
+  }
+
+  WireStats wire_stats() const override {
+    WireStats stats = stats_;
+    if (auto state = last_.lock()) {
+      // Connection still alive: report live totals.
+      stats.total_c2r = state->conn->bytes_sent();
+      stats.total_r2c = state->conn->bytes_received();
+    }
+    return stats;
+  }
+
+ private:
+  struct ConnState {
+    std::shared_ptr<tcp::TcpConnection> conn;
+    StreamMessageReader reader;
+    std::vector<PendingPtr> in_flight;
+    std::vector<PendingPtr> queued;
+    SimTime connect_started = 0;
+    bool connected = false;
+    bool keepalive = false;  // server sent edns-tcp-keepalive
+  };
+  using StatePtr = std::shared_ptr<ConnState>;
+
+  void open_connection(const PendingPtr& first) {
+    auto state = std::make_shared<ConnState>();
+    state->connect_started = sim().now();
+    tcp::TcpOptions tcp_options;
+    tcp_options.enable_tfo = options_.tcp_use_tfo;
+    state->conn = deps_.tcp->connect(options_.resolver, tcp_options);
+    first->result.new_session = true;
+    state->in_flight.push_back(first);
+    state->queued.push_back(first);
+    stats_ = WireStats{};  // fresh connection, fresh accounting
+    last_ = state;
+
+    state->conn->on_connected([this, state, guard = alive_guard()] {
+      if (guard.expired()) return;
+      state->connected = true;
+      stats_.handshake_c2r = state->conn->bytes_sent();
+      stats_.handshake_r2c = state->conn->bytes_received();
+      const SimTime hs = sim().now() - state->connect_started;
+      for (auto& p : state->in_flight) {
+        if (p->result.new_session) p->result.handshake_time = hs;
+      }
+      flush_queued(state);
+    });
+    state->conn->on_data([this, state, guard = alive_guard()](
+                             std::span<const std::uint8_t> data) {
+      if (guard.expired()) return;
+      on_stream_data(state, data);
+    });
+    state->conn->on_closed([this, state, guard = alive_guard()](bool error) {
+      if (guard.expired()) return;
+      stats_.total_c2r = state->conn->bytes_sent();
+      stats_.total_r2c = state->conn->bytes_received();
+      last_.reset();
+      if (error) {
+        for (auto& p : state->in_flight) {
+          finish_error(p, "TCP connection failed");
+        }
+      }
+      state->in_flight.clear();
+      if (persistent_ == state) persistent_.reset();
+    });
+
+    if (!options_.tcp_fresh_connection_per_query) persistent_ = state;
+    // With TFO the query rides the SYN: the SYN is deferred one event-loop
+    // turn, so sending now puts the data in the fast-open payload.
+    if (options_.tcp_use_tfo) flush_queued(state);
+  }
+
+  void flush_queued(const StatePtr& state) {
+    for (auto& pending : state->queued) {
+      if (pending->done) continue;
+      dns::Message query = build_query(pending, /*encrypted=*/false);
+      state->conn->send(length_prefixed(query.encode()));
+      if (pending->query_sent_at < 0) pending->query_sent_at = sim().now();
+    }
+    state->queued.clear();
+  }
+
+  void send_query(const StatePtr& state, const PendingPtr& pending) {
+    state->in_flight.push_back(pending);
+    dns::Message query = build_query(pending, /*encrypted=*/false);
+    state->conn->send(length_prefixed(query.encode()));
+    pending->query_sent_at = sim().now();
+  }
+
+  void on_stream_data(const StatePtr& state,
+                      std::span<const std::uint8_t> data) {
+    for (auto& payload : state->reader.feed(data)) {
+      auto message = dns::Message::decode(payload);
+      if (!message) continue;
+      if (server_advertises_keepalive(*message)) {
+        // RFC 7828: the server invites connection reuse — follow RFC 9210
+        // and keep this connection for subsequent queries.
+        state->keepalive = true;
+        persistent_ = state;
+      }
+      for (auto it = state->in_flight.begin(); it != state->in_flight.end();
+           ++it) {
+        if (matches(*message, **it)) {
+          auto pending = *it;
+          state->in_flight.erase(it);
+          finish_success(pending, std::move(*message));
+          break;
+        }
+      }
+    }
+    if (options_.tcp_fresh_connection_per_query && !state->keepalive &&
+        state->in_flight.empty()) {
+      // Single-shot mode: tear the connection down after the response.
+      state->conn->close();
+    }
+  }
+
+  static bool server_advertises_keepalive(const dns::Message& response) {
+    const dns::ResourceRecord* opt = response.opt();
+    if (opt == nullptr) return false;
+    auto options = dns::rdata_as_options(*opt);
+    if (!options) return false;
+    for (const auto& option : *options) {
+      if (option.code == dns::kEdnsTcpKeepaliveOption) return true;
+    }
+    return false;
+  }
+
+  StatePtr persistent_;
+  std::weak_ptr<ConnState> last_;
+  WireStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<DnsTransport> make_tcp_transport(
+    const TransportDeps& deps, const TransportOptions& options) {
+  return std::make_unique<TcpTransport>(deps, options);
+}
+
+}  // namespace doxlab::dox

@@ -1,0 +1,86 @@
+#include "dox/transport.h"
+
+#include <stdexcept>
+
+#include "dox/transport_base.h"
+
+namespace doxlab::dox {
+
+// Defined in the per-protocol translation units.
+std::unique_ptr<DnsTransport> make_udp_transport(const TransportDeps&,
+                                                 const TransportOptions&);
+std::unique_ptr<DnsTransport> make_tcp_transport(const TransportDeps&,
+                                                 const TransportOptions&);
+std::unique_ptr<DnsTransport> make_dot_transport(const TransportDeps&,
+                                                 const TransportOptions&);
+std::unique_ptr<DnsTransport> make_doh_transport(const TransportDeps&,
+                                                 const TransportOptions&);
+std::unique_ptr<DnsTransport> make_doq_transport(const TransportDeps&,
+                                                 const TransportOptions&);
+std::unique_ptr<DnsTransport> make_doh3_transport(const TransportDeps&,
+                                                  const TransportOptions&);
+
+std::unique_ptr<DnsTransport> make_transport(DnsProtocol protocol,
+                                             const TransportDeps& deps,
+                                             const TransportOptions& options) {
+  if (deps.sim == nullptr) {
+    throw std::invalid_argument("TransportDeps.sim is required");
+  }
+  switch (protocol) {
+    case DnsProtocol::kDoUdp:
+      if (deps.udp == nullptr) {
+        throw std::invalid_argument("DoUDP requires a UDP stack");
+      }
+      return make_udp_transport(deps, options);
+    case DnsProtocol::kDoTcp:
+      if (deps.tcp == nullptr) {
+        throw std::invalid_argument("DoTCP requires a TCP stack");
+      }
+      return make_tcp_transport(deps, options);
+    case DnsProtocol::kDoT:
+      if (deps.tcp == nullptr) {
+        throw std::invalid_argument("DoT requires a TCP stack");
+      }
+      return make_dot_transport(deps, options);
+    case DnsProtocol::kDoH:
+      if (deps.tcp == nullptr) {
+        throw std::invalid_argument("DoH requires a TCP stack");
+      }
+      return make_doh_transport(deps, options);
+    case DnsProtocol::kDoQ:
+      if (deps.udp == nullptr) {
+        throw std::invalid_argument("DoQ requires a UDP stack");
+      }
+      return make_doq_transport(deps, options);
+    case DnsProtocol::kDoH3:
+      if (deps.udp == nullptr) {
+        throw std::invalid_argument("DoH3 requires a UDP stack");
+      }
+      return make_doh3_transport(deps, options);
+  }
+  throw std::invalid_argument("unknown protocol");
+}
+
+std::vector<std::uint8_t> length_prefixed(const std::vector<std::uint8_t>& m) {
+  std::vector<std::uint8_t> out;
+  out.reserve(m.size() + 2);
+  out.push_back(static_cast<std::uint8_t>(m.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(m.size() & 0xFF));
+  out.insert(out.end(), m.begin(), m.end());
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> StreamMessageReader::feed(
+    std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  std::vector<std::vector<std::uint8_t>> out;
+  while (buffer_.size() >= 2) {
+    const std::size_t len = (std::size_t(buffer_[0]) << 8) | buffer_[1];
+    if (buffer_.size() < 2 + len) break;
+    out.emplace_back(buffer_.begin() + 2, buffer_.begin() + 2 + len);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 2 + len);
+  }
+  return out;
+}
+
+}  // namespace doxlab::dox

@@ -1,0 +1,139 @@
+// Shared machinery for the five transport implementations (internal header).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "dox/transport.h"
+#include "util/logging.h"
+
+namespace doxlab::dox {
+
+/// Common bookkeeping: pending-query lifecycle, ids, timeouts.
+class TransportBase : public DnsTransport {
+ public:
+  DnsProtocol protocol() const override { return protocol_; }
+
+ protected:
+  TransportBase(DnsProtocol protocol, TransportDeps deps,
+                TransportOptions options)
+      : protocol_(protocol), deps_(deps), options_(std::move(options)) {}
+
+  struct PendingQuery {
+    dns::Question question;
+    ResultHandler handler;
+    QueryResult result;
+    std::uint16_t dns_id = 0;
+    SimTime submitted_at = 0;
+    SimTime query_sent_at = -1;
+    sim::Timer timeout;
+    bool done = false;
+  };
+  using PendingPtr = std::shared_ptr<PendingQuery>;
+
+  sim::Simulator& sim() { return *deps_.sim; }
+
+  /// Creates a pending entry with a fresh DNS id and an armed timeout.
+  PendingPtr make_pending(const dns::Question& question,
+                          ResultHandler handler) {
+    auto pending = std::make_shared<PendingQuery>();
+    pending->question = question;
+    pending->handler = std::move(handler);
+    pending->dns_id = next_id_++;
+    pending->submitted_at = sim().now();
+    std::weak_ptr<PendingQuery> weak = pending;
+    pending->timeout = sim().schedule(
+        options_.query_timeout, [this, weak, guard = alive_guard()] {
+          if (guard.expired()) return;
+          if (auto p = weak.lock()) {
+            finish_error(p, "query timed out");
+          }
+        });
+    return pending;
+  }
+
+  /// Completes a query successfully with `response`.
+  void finish_success(const PendingPtr& pending, dns::Message response) {
+    if (pending->done) return;
+    pending->done = true;
+    pending->timeout.cancel();
+    pending->result.success = true;
+    pending->result.response = std::move(response);
+    if (pending->query_sent_at >= 0) {
+      pending->result.resolve_time = sim().now() - pending->query_sent_at;
+    }
+    pending->result.total_time = sim().now() - pending->submitted_at;
+    // Move the handler out: it often captures the caller's object graph,
+    // and the pending entry may linger in per-connection lists.
+    auto handler = std::move(pending->handler);
+    pending->handler = nullptr;
+    if (handler) handler(std::move(pending->result));
+  }
+
+  /// Completes a query with an error.
+  void finish_error(const PendingPtr& pending, std::string error) {
+    if (pending->done) return;
+    pending->done = true;
+    pending->timeout.cancel();
+    pending->result.success = false;
+    pending->result.error = std::move(error);
+    pending->result.total_time = sim().now() - pending->submitted_at;
+    auto handler = std::move(pending->handler);
+    pending->handler = nullptr;
+    if (handler) handler(std::move(pending->result));
+  }
+
+  /// Builds the wire query for a pending entry, applying the configured
+  /// EDNS0 UDP size and (on encrypted transports) RFC 8467 padding.
+  dns::Message build_query(const PendingPtr& pending,
+                           bool encrypted_channel) const {
+    dns::Message query =
+        dns::make_query(pending->dns_id, pending->question.name,
+                        pending->question.type, options_.udp_payload_size);
+    if (encrypted_channel && options_.pad_encrypted) {
+      dns::pad_to_block(query, 128);
+    }
+    return query;
+  }
+
+  /// True if `message` is a well-formed response to `pending`.
+  static bool matches(const dns::Message& message,
+                      const PendingQuery& pending) {
+    return message.qr && message.id == pending.dns_id &&
+           message.question() != nullptr &&
+           *message.question() == pending.question;
+  }
+
+  /// Destruction guard: connection/session callbacks outlive the transport
+  /// (they sit inside TCP/QUIC objects that tear down asynchronously), so
+  /// every callback capturing `this` must also capture
+  /// `guard = alive_guard()` and bail out when it has expired.
+  std::weak_ptr<const bool> alive_guard() const { return alive_; }
+
+  DnsProtocol protocol_;
+  TransportDeps deps_;
+  TransportOptions options_;
+  std::uint16_t next_id_ = 0x1000;
+
+ private:
+  std::shared_ptr<const bool> alive_ = std::make_shared<bool>(true);
+};
+
+/// Adds a 2-byte length prefix (DNS over stream transports, RFC 1035 §4.2.2).
+std::vector<std::uint8_t> length_prefixed(const std::vector<std::uint8_t>& m);
+
+/// Incremental parser for length-prefixed DNS messages on a byte stream.
+class StreamMessageReader {
+ public:
+  /// Appends stream bytes; returns every complete DNS message payload.
+  std::vector<std::vector<std::uint8_t>> feed(
+      std::span<const std::uint8_t> data);
+
+  void reset() { buffer_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace doxlab::dox

@@ -1,0 +1,33 @@
+#include "dox/types.h"
+
+namespace doxlab::dox {
+
+std::string_view protocol_name(DnsProtocol p) {
+  switch (p) {
+    case DnsProtocol::kDoUdp: return "DoUDP";
+    case DnsProtocol::kDoTcp: return "DoTCP";
+    case DnsProtocol::kDoT: return "DoT";
+    case DnsProtocol::kDoH: return "DoH";
+    case DnsProtocol::kDoQ: return "DoQ";
+    case DnsProtocol::kDoH3: return "DoH3";
+  }
+  return "?";
+}
+
+std::uint16_t default_port(DnsProtocol p) {
+  switch (p) {
+    case DnsProtocol::kDoUdp: return 53;
+    case DnsProtocol::kDoTcp: return 53;
+    case DnsProtocol::kDoT: return 853;
+    case DnsProtocol::kDoH: return 443;
+    case DnsProtocol::kDoQ: return 853;
+    case DnsProtocol::kDoH3: return 443;  // UDP
+  }
+  return 53;
+}
+
+std::string server_key(const net::Endpoint& resolver, DnsProtocol protocol) {
+  return resolver.to_string() + "/" + std::string(protocol_name(protocol));
+}
+
+}  // namespace doxlab::dox

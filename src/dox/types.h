@@ -1,0 +1,116 @@
+// Shared types for the DNS-over-X transport clients — the measurement-facing
+// surface of the library. A `DnsTransport` issues DNS queries over one of
+// the five protocols the paper compares (DoUDP, DoTCP, DoT, DoH, DoQ) and
+// reports per-query timing plus per-phase wire bytes, the two quantities the
+// paper's Table 1 and Fig. 2 are built from.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dns/message.h"
+#include "net/address.h"
+#include "quic/types.h"
+#include "tls/ticket.h"
+#include "util/types.h"
+
+namespace doxlab::dox {
+
+/// The five transports of the study, plus DNS over HTTP/3 — the paper's
+/// future-work protocol (standardised HTTP/3 over QUIC; Cloudflare and
+/// Google were early adopters).
+enum class DnsProtocol { kDoUdp, kDoTcp, kDoT, kDoH, kDoQ, kDoH3 };
+
+/// The paper's five measured protocols (DoH3 is evaluated separately by the
+/// future-work bench).
+inline constexpr DnsProtocol kAllProtocols[] = {
+    DnsProtocol::kDoUdp, DnsProtocol::kDoTcp, DnsProtocol::kDoT,
+    DnsProtocol::kDoH, DnsProtocol::kDoQ};
+
+/// All implemented transports including DoH3.
+inline constexpr DnsProtocol kExtendedProtocols[] = {
+    DnsProtocol::kDoUdp, DnsProtocol::kDoTcp, DnsProtocol::kDoT,
+    DnsProtocol::kDoH, DnsProtocol::kDoQ, DnsProtocol::kDoH3};
+
+std::string_view protocol_name(DnsProtocol p);
+
+/// Well-known server ports.
+std::uint16_t default_port(DnsProtocol p);
+
+/// Cumulative wire bytes (IP payload: transport headers + payload) for the
+/// current connection, split at the handshake boundary — the split Table 1
+/// of the paper reports.
+struct WireStats {
+  std::uint64_t handshake_c2r = 0;
+  std::uint64_t handshake_r2c = 0;
+  std::uint64_t total_c2r = 0;
+  std::uint64_t total_r2c = 0;
+
+  std::uint64_t query_c2r() const { return total_c2r - handshake_c2r; }
+  std::uint64_t response_r2c() const { return total_r2c - handshake_r2c; }
+  std::uint64_t total() const { return total_c2r + total_r2c; }
+};
+
+/// Outcome of one resolve() call.
+struct QueryResult {
+  bool success = false;
+  std::string error;
+  dns::Message response;
+
+  /// First transport-handshake packet -> encrypted session established.
+  /// Zero when the query reused an existing session (and for DoUDP, which
+  /// is connectionless).
+  SimTime handshake_time = 0;
+  /// First packet of the DNS query -> valid DNS response.
+  SimTime resolve_time = 0;
+  /// resolve() call -> response (handshake + resolve + internal gaps).
+  SimTime total_time = 0;
+  /// True if this query triggered a fresh connection/session.
+  bool new_session = false;
+
+  // Protocol facts (as observed for this query's session).
+  std::optional<tls::TlsVersion> tls_version;
+  bool session_resumed = false;
+  bool used_0rtt = false;
+  std::optional<quic::QuicVersion> quic_version;
+  std::string alpn;
+  int udp_retransmissions = 0;
+  /// DoUDP: the response was truncated and the query was retried over TCP
+  /// (RFC 1035 §4.2.2 fallback).
+  bool tc_fallback = false;
+};
+
+/// What the DoQ client remembers about a resolver between sessions, beyond
+/// the TLS ticket: the negotiated version (avoids Version Negotiation), the
+/// negotiated ALPN (needed to frame queries before the handshake finishes,
+/// e.g. for 0-RTT) and the address-validation token from NEW_TOKEN. The
+/// paper's methodology stores exactly these from the cache-warming query.
+struct DoqServerInfo {
+  std::optional<quic::QuicVersion> version;
+  std::optional<std::string> alpn;
+  std::optional<quic::AddressToken> token;
+};
+
+/// Per-resolver DoQ knowledge cache, keyed like the ticket store.
+class DoqSessionCache {
+ public:
+  DoqServerInfo& entry(const std::string& server_key) {
+    return entries_[server_key];
+  }
+  const DoqServerInfo* find(const std::string& server_key) const {
+    auto it = entries_.find(server_key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::map<std::string, DoqServerInfo> entries_;
+};
+
+/// Canonical ticket/info store key for a resolver endpoint + protocol.
+std::string server_key(const net::Endpoint& resolver, DnsProtocol protocol);
+
+}  // namespace doxlab::dox

@@ -1,0 +1,177 @@
+#include "h2/connection.h"
+
+#include "util/bytes.h"
+#include "util/logging.h"
+
+namespace doxlab::h2 {
+
+H2Connection::H2Connection(bool is_client, Callbacks callbacks)
+    : is_client_(is_client), cb_(std::move(callbacks)) {}
+
+void H2Connection::fail(const std::string& reason) {
+  if (failed_) return;
+  failed_ = true;
+  if (cb_.on_error) cb_.on_error(reason);
+}
+
+void H2Connection::send_frame(H2FrameType type, std::uint8_t flags,
+                              std::uint32_t stream_id,
+                              std::span<const std::uint8_t> payload) {
+  ByteWriter w(kFrameHeaderBytes + payload.size());
+  w.u8(static_cast<std::uint8_t>((payload.size() >> 16) & 0xFF));
+  w.u16(static_cast<std::uint16_t>(payload.size() & 0xFFFF));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(flags);
+  w.u32(stream_id & 0x7FFFFFFF);
+  w.bytes(payload);
+  if (cb_.send_transport) cb_.send_transport(w.take());
+}
+
+void H2Connection::send_settings(bool ack) {
+  if (ack) {
+    send_frame(H2FrameType::kSettings, /*flags=*/0x1, 0, {});
+    return;
+  }
+  // Three settings (MAX_CONCURRENT_STREAMS, INITIAL_WINDOW_SIZE,
+  // MAX_FRAME_SIZE), 6 bytes each.
+  ByteWriter w;
+  w.u16(0x3);
+  w.u32(100);
+  w.u16(0x4);
+  w.u32(1 << 20);
+  w.u16(0x5);
+  w.u32(1 << 14);
+  auto payload = w.take();
+  send_frame(H2FrameType::kSettings, 0, 0, payload);
+}
+
+void H2Connection::start() {
+  if (started_ || !is_client_) return;
+  started_ = true;
+  if (cb_.send_transport) {
+    cb_.send_transport(std::vector<std::uint8_t>(kClientPreface.begin(),
+                                                 kClientPreface.end()));
+  }
+  send_settings(/*ack=*/false);
+  // A WINDOW_UPDATE for the connection is what real clients (incl.
+  // Chromium's stack) emit right after SETTINGS.
+  ByteWriter w;
+  w.u32(15 * (1 << 20));
+  auto payload = w.take();
+  send_frame(H2FrameType::kWindowUpdate, 0, 0, payload);
+}
+
+std::uint32_t H2Connection::send_request(const std::vector<Header>& headers,
+                                         std::vector<std::uint8_t> body) {
+  const std::uint32_t id = next_stream_id_;
+  next_stream_id_ += 2;
+  ++streams_opened_;
+  auto block = encoder_.encode(headers);
+  const bool end_on_headers = body.empty();
+  send_frame(H2FrameType::kHeaders,
+             static_cast<std::uint8_t>(0x4 | (end_on_headers ? 0x1 : 0x0)),
+             id, block);
+  if (!body.empty()) {
+    send_frame(H2FrameType::kData, /*END_STREAM=*/0x1, id, body);
+  }
+  return id;
+}
+
+void H2Connection::send_response(std::uint32_t stream_id,
+                                 const std::vector<Header>& headers,
+                                 std::vector<std::uint8_t> body) {
+  auto block = encoder_.encode(headers);
+  const bool end_on_headers = body.empty();
+  send_frame(H2FrameType::kHeaders,
+             static_cast<std::uint8_t>(0x4 | (end_on_headers ? 0x1 : 0x0)),
+             stream_id, block);
+  if (!body.empty()) {
+    send_frame(H2FrameType::kData, 0x1, stream_id, body);
+  }
+}
+
+void H2Connection::send_goaway() {
+  ByteWriter w;
+  w.u32(next_stream_id_);
+  w.u32(0);  // NO_ERROR
+  auto payload = w.take();
+  send_frame(H2FrameType::kGoaway, 0, 0, payload);
+}
+
+void H2Connection::on_transport_data(std::span<const std::uint8_t> data) {
+  if (failed_) return;
+  recv_buffer_.insert(recv_buffer_.end(), data.begin(), data.end());
+
+  // Server: strip the client preface first.
+  if (!is_client_ && !preface_done_) {
+    if (recv_buffer_.size() < kClientPreface.size()) return;
+    if (!std::equal(kClientPreface.begin(), kClientPreface.end(),
+                    recv_buffer_.begin())) {
+      DOXLAB_DEBUG("preface head: " << to_hex(std::span(
+          recv_buffer_.data(),
+          std::min<std::size_t>(recv_buffer_.size(), 32))));
+      fail("bad connection preface");
+      return;
+    }
+    recv_buffer_.erase(recv_buffer_.begin(),
+                       recv_buffer_.begin() + kClientPreface.size());
+    preface_done_ = true;
+    send_settings(/*ack=*/false);
+  }
+
+  while (recv_buffer_.size() >= kFrameHeaderBytes) {
+    ByteReader r(recv_buffer_);
+    auto len_hi = r.u8();
+    auto len_lo = r.u16();
+    auto type = r.u8();
+    auto flags = r.u8();
+    auto stream_id = r.u32();
+    if (!len_hi || !len_lo || !type || !flags || !stream_id) return;
+    const std::size_t length = (std::size_t(*len_hi) << 16) | *len_lo;
+    if (recv_buffer_.size() < kFrameHeaderBytes + length) return;
+    std::vector<std::uint8_t> payload(
+        recv_buffer_.begin() + kFrameHeaderBytes,
+        recv_buffer_.begin() + kFrameHeaderBytes + length);
+    recv_buffer_.erase(recv_buffer_.begin(),
+                       recv_buffer_.begin() + kFrameHeaderBytes + length);
+    process_frame(static_cast<H2FrameType>(*type), *flags,
+                  *stream_id & 0x7FFFFFFF, payload);
+    if (failed_) return;
+  }
+}
+
+void H2Connection::process_frame(H2FrameType type, std::uint8_t flags,
+                                 std::uint32_t stream_id,
+                                 std::span<const std::uint8_t> payload) {
+  switch (type) {
+    case H2FrameType::kSettings:
+      if (flags & 0x1) return;  // their ACK of our settings
+      settings_received_ = true;
+      send_settings(/*ack=*/true);
+      return;
+    case H2FrameType::kHeaders: {
+      auto headers = decoder_.decode(payload);
+      if (!headers) {
+        fail("HPACK decode error");
+        return;
+      }
+      if (cb_.on_headers) {
+        cb_.on_headers(stream_id, *headers, (flags & 0x1) != 0);
+      }
+      return;
+    }
+    case H2FrameType::kData:
+      if (cb_.on_data) cb_.on_data(stream_id, payload, (flags & 0x1) != 0);
+      return;
+    case H2FrameType::kWindowUpdate:
+    case H2FrameType::kPing:
+    case H2FrameType::kRstStream:
+      return;  // byte cost only in the model
+    case H2FrameType::kGoaway:
+      if (cb_.on_goaway) cb_.on_goaway();
+      return;
+  }
+  // Unknown frame types are ignored per RFC 9113 §4.1.
+}
+
+}  // namespace doxlab::h2

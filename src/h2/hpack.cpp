@@ -1,0 +1,161 @@
+#include "h2/hpack.h"
+
+namespace doxlab::h2 {
+
+namespace {
+// Encoding markers (one byte each):
+//   0x80 | i : indexed — static table entry i (1-based, i < 0x40) or
+//              dynamic entry (i - 0x40).
+//   0x40     : literal value with indexed name (next byte: name index as
+//              above), adds to dynamic table.
+//   0x00     : literal name + value, adds to dynamic table.
+constexpr std::uint8_t kIndexed = 0x80;
+constexpr std::uint8_t kLiteralWithName = 0x40;
+constexpr std::uint8_t kLiteral = 0x00;
+constexpr std::uint8_t kDynamicBase = 0x40;
+constexpr std::size_t kMaxDynamicEntries = 0x80 - kDynamicBase;
+}  // namespace
+
+std::span<const Header> static_table() {
+  static const std::vector<Header> kTable = {
+      {":method", "GET"},
+      {":method", "POST"},
+      {":path", "/"},
+      {":scheme", "https"},
+      {":status", "200"},
+      {":status", "404"},
+      {":status", "500"},
+      {":authority", ""},
+      {"accept", "*/*"},
+      {"accept", "application/dns-message"},
+      {"content-type", "application/dns-message"},
+      {"content-length", ""},
+      {"user-agent", ""},
+      {"cache-control", "no-cache"},
+  };
+  return kTable;
+}
+
+std::vector<std::uint8_t> HpackEncoder::encode(
+    std::span<const Header> headers) {
+  ByteWriter w;
+  const auto table = static_table();
+  for (const Header& h : headers) {
+    // Full static match?
+    std::optional<std::uint8_t> static_index;
+    std::optional<std::uint8_t> static_name_index;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      if (table[i].name == h.name) {
+        if (!static_name_index) {
+          static_name_index = static_cast<std::uint8_t>(i + 1);
+        }
+        if (table[i].value == h.value) {
+          static_index = static_cast<std::uint8_t>(i + 1);
+          break;
+        }
+      }
+    }
+    if (static_index) {
+      w.u8(kIndexed | *static_index);
+      continue;
+    }
+    // Full dynamic match?
+    auto dyn = dynamic_.find({h.name, h.value});
+    if (dyn != dynamic_.end()) {
+      w.u8(kIndexed |
+           static_cast<std::uint8_t>(kDynamicBase + dyn->second));
+      continue;
+    }
+    // Name known (static or dynamic)?
+    std::optional<std::uint8_t> name_ref = static_name_index;
+    if (!name_ref) {
+      auto dn = dynamic_names_.find(h.name);
+      if (dn != dynamic_names_.end()) {
+        name_ref = static_cast<std::uint8_t>(kDynamicBase + dn->second);
+      }
+    }
+    if (name_ref) {
+      w.u8(kLiteralWithName);
+      w.u8(*name_ref);
+      w.u16(static_cast<std::uint16_t>(h.value.size()));
+      w.bytes(h.value);
+    } else {
+      w.u8(kLiteral);
+      w.u16(static_cast<std::uint16_t>(h.name.size()));
+      w.bytes(h.name);
+      w.u16(static_cast<std::uint16_t>(h.value.size()));
+      w.bytes(h.value);
+    }
+    // Both literal forms add to the dynamic table (bounded).
+    if (next_index_ < kMaxDynamicEntries) {
+      dynamic_[{h.name, h.value}] = next_index_;
+      dynamic_names_.try_emplace(h.name, next_index_);
+      ++next_index_;
+    }
+  }
+  return w.take();
+}
+
+std::optional<std::vector<Header>> HpackDecoder::decode(
+    std::span<const std::uint8_t> block) {
+  std::vector<Header> out;
+  const auto table = static_table();
+  ByteReader r(block);
+
+  auto resolve_name = [&](std::uint8_t index) -> std::optional<std::string> {
+    if (index >= kDynamicBase) {
+      const std::size_t dyn = index - kDynamicBase;
+      if (dyn >= dynamic_names_.size()) return std::nullopt;
+      return dynamic_names_[dyn];
+    }
+    if (index == 0 || index > table.size()) return std::nullopt;
+    return table[index - 1].name;
+  };
+
+  while (!r.at_end()) {
+    auto first = r.u8();
+    if (!first) return std::nullopt;
+    if (*first & kIndexed) {
+      const std::uint8_t index = *first & 0x7F;
+      if (index >= kDynamicBase) {
+        const std::size_t dyn = index - kDynamicBase;
+        if (dyn >= dynamic_.size()) return std::nullopt;
+        out.push_back(dynamic_[dyn]);
+      } else {
+        if (index == 0 || index > table.size()) return std::nullopt;
+        out.push_back(table[index - 1]);
+      }
+      continue;
+    }
+    Header h;
+    if (*first == kLiteralWithName) {
+      auto name_index = r.u8();
+      if (!name_index) return std::nullopt;
+      auto name = resolve_name(*name_index);
+      if (!name) return std::nullopt;
+      h.name = std::move(*name);
+    } else if (*first == kLiteral) {
+      auto name_len = r.u16();
+      if (!name_len) return std::nullopt;
+      auto name = r.string(*name_len);
+      if (!name) return std::nullopt;
+      h.name = std::move(*name);
+    } else {
+      return std::nullopt;
+    }
+    auto value_len = r.u16();
+    if (!value_len) return std::nullopt;
+    auto value = r.string(*value_len);
+    if (!value) return std::nullopt;
+    h.value = std::move(*value);
+
+    if (dynamic_.size() < kMaxDynamicEntries) {
+      dynamic_.push_back(h);
+      dynamic_names_.push_back(h.name);
+    }
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+}  // namespace doxlab::h2

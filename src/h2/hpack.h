@@ -1,0 +1,58 @@
+// Header compression for the HTTP/2 model (HPACK-shaped).
+//
+// Follows HPACK's structure — a static table of common header fields, a
+// dynamic table built up per connection, indexed references for repeats and
+// literals for first occurrences — with a simplified binary encoding
+// (1-byte index references, 16-bit literal lengths, no Huffman coding).
+// The property that matters for the paper is preserved: the *first* DoH
+// request on a connection pays for full header literals (part of DoH's
+// 579-byte query cost in Table 1), while subsequent requests compress to a
+// few bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace doxlab::h2 {
+
+struct Header {
+  std::string name;
+  std::string value;
+  bool operator==(const Header&) const = default;
+};
+
+/// Entries 1..N of the static table (subset of RFC 7541 Appendix A that the
+/// DoH exchange uses).
+std::span<const Header> static_table();
+
+/// Stateful encoder. Encoder and decoder must process header blocks in the
+/// same order to keep their dynamic tables synchronized (true of HPACK).
+class HpackEncoder {
+ public:
+  std::vector<std::uint8_t> encode(std::span<const Header> headers);
+
+ private:
+  std::map<std::pair<std::string, std::string>, std::uint8_t> dynamic_;
+  std::map<std::string, std::uint8_t> dynamic_names_;
+  std::uint8_t next_index_ = 0;
+};
+
+/// Stateful decoder mirroring HpackEncoder.
+class HpackDecoder {
+ public:
+  /// nullopt on malformed input.
+  std::optional<std::vector<Header>> decode(
+      std::span<const std::uint8_t> block);
+
+ private:
+  std::vector<Header> dynamic_;
+  std::vector<std::string> dynamic_names_;
+};
+
+}  // namespace doxlab::h2

@@ -1,0 +1,53 @@
+#include "measure/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "quic/wire.h"
+
+namespace doxlab::measure {
+
+std::string single_query_csv(const std::vector<SingleQueryRecord>& records) {
+  std::ostringstream out;
+  out << "vp,resolver,protocol,rep,success,handshake_ms,resolve_ms,total_ms,"
+         "hs_c2r,hs_r2c,query_bytes,response_bytes,tls_version,quic_version,"
+         "alpn,resumed,zero_rtt,udp_retx\n";
+  for (const auto& r : records) {
+    out << r.vp << ',' << r.resolver << ',' << protocol_name(r.protocol)
+        << ',' << r.rep << ',' << (r.success ? 1 : 0) << ','
+        << to_ms(r.handshake_time) << ',' << to_ms(r.resolve_time) << ','
+        << to_ms(r.total_time) << ',' << r.bytes.handshake_c2r << ','
+        << r.bytes.handshake_r2c << ',' << r.bytes.query_c2r() << ','
+        << r.bytes.response_r2c() << ',';
+    if (r.tls_version) {
+      out << (*r.tls_version == tls::TlsVersion::kTls13 ? "1.3" : "1.2");
+    }
+    out << ',';
+    if (r.quic_version) out << quic::version_name(*r.quic_version);
+    out << ',' << r.alpn << ',' << (r.session_resumed ? 1 : 0) << ','
+        << (r.used_0rtt ? 1 : 0) << ',' << r.udp_retransmissions << '\n';
+  }
+  return out.str();
+}
+
+std::string web_csv(const std::vector<WebRecord>& records) {
+  std::ostringstream out;
+  out << "vp,resolver,protocol,page,rep,load,success,fcp_ms,plt_ms,"
+         "dns_queries,dns_retx\n";
+  for (const auto& r : records) {
+    out << r.vp << ',' << r.resolver << ',' << protocol_name(r.protocol)
+        << ',' << r.page << ',' << r.rep << ',' << r.load << ','
+        << (r.success ? 1 : 0) << ',' << to_ms(r.fcp) << ',' << to_ms(r.plt)
+        << ',' << r.dns_queries << ',' << r.dns_retransmissions << '\n';
+  }
+  return out.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace doxlab::measure

@@ -1,0 +1,22 @@
+// CSV export of raw study records (the paper publishes its raw data; so do
+// we — benches write these next to their textual reports when asked).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measure/single_query.h"
+#include "measure/web_study.h"
+
+namespace doxlab::measure {
+
+/// Serializes single-query records; returns CSV text (header + rows).
+std::string single_query_csv(const std::vector<SingleQueryRecord>& records);
+
+/// Serializes web records.
+std::string web_csv(const std::vector<WebRecord>& records);
+
+/// Writes text to a file; returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace doxlab::measure

@@ -1,0 +1,441 @@
+#include "measure/report.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "quic/wire.h"
+#include "stats/table.h"
+#include "util/strings.h"
+
+namespace doxlab::measure {
+
+namespace {
+
+double med(std::vector<double> v) {
+  return stats::median(std::move(v)).value_or(0.0);
+}
+
+/// Key for grouping web records into combos.
+struct ComboKey {
+  int vp;
+  int resolver;
+  std::string page;
+  auto operator<=>(const ComboKey&) const = default;
+};
+
+/// (combo, protocol) -> per-load metric samples.
+using ComboMetrics =
+    std::map<ComboKey, std::map<dox::DnsProtocol, std::vector<double>>>;
+
+ComboMetrics group_web(const std::vector<WebRecord>& records,
+                       bool use_fcp) {
+  ComboMetrics grouped;
+  for (const WebRecord& r : records) {
+    if (!r.success) continue;
+    grouped[ComboKey{r.vp, r.resolver, r.page}][r.protocol].push_back(
+        to_ms(use_fcp ? r.fcp : r.plt));
+  }
+  return grouped;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Table 1
+
+std::vector<Table1Row> table1_sizes(
+    const std::vector<SingleQueryRecord>& records) {
+  std::map<dox::DnsProtocol, std::vector<dox::WireStats>> per_protocol;
+  for (const auto& r : records) {
+    if (r.success) per_protocol[r.protocol].push_back(r.bytes);
+  }
+  std::vector<Table1Row> rows;
+  for (dox::DnsProtocol protocol : dox::kExtendedProtocols) {
+    auto it = per_protocol.find(protocol);
+    if (it == per_protocol.end()) continue;
+    std::vector<double> total, hs_c2r, hs_r2c, query, response;
+    for (const auto& b : it->second) {
+      total.push_back(static_cast<double>(b.total()));
+      hs_c2r.push_back(static_cast<double>(b.handshake_c2r));
+      hs_r2c.push_back(static_cast<double>(b.handshake_r2c));
+      query.push_back(static_cast<double>(b.query_c2r()));
+      response.push_back(static_cast<double>(b.response_r2c()));
+    }
+    Table1Row row;
+    row.protocol = protocol;
+    row.samples = it->second.size();
+    row.total_bytes = med(total);
+    row.handshake_c2r = med(hs_c2r);
+    row.handshake_r2c = med(hs_r2c);
+    row.query_bytes = med(query);
+    row.response_bytes = med(response);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string render_table1(const std::vector<Table1Row>& rows,
+                          const std::vector<WebRecord>* web_records) {
+  // Column order matches the paper's Table 1; DoH3 appears when measured.
+  std::vector<dox::DnsProtocol> order = {
+      dox::DnsProtocol::kDoUdp, dox::DnsProtocol::kDoTcp,
+      dox::DnsProtocol::kDoQ, dox::DnsProtocol::kDoH, dox::DnsProtocol::kDoT};
+  for (const auto& row : rows) {
+    if (row.protocol == dox::DnsProtocol::kDoH3) {
+      order.push_back(dox::DnsProtocol::kDoH3);
+      break;
+    }
+  }
+  std::vector<std::string> header = {"Metric"};
+  for (dox::DnsProtocol p : order) {
+    header.emplace_back(dox::protocol_name(p));
+  }
+  stats::TextTable table(std::move(header));
+  auto find = [&](dox::DnsProtocol p) -> const Table1Row* {
+    for (const auto& row : rows) {
+      if (row.protocol == p) return &row;
+    }
+    return nullptr;
+  };
+  auto metric_row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells = {name};
+    for (dox::DnsProtocol p : order) {
+      const Table1Row* row = find(p);
+      cells.push_back(row ? stats::cell(getter(*row), 0) : "-");
+    }
+    table.add_row(std::move(cells));
+  };
+  metric_row("Total bytes", [](const Table1Row& r) { return r.total_bytes; });
+  metric_row("Handshake C->R",
+             [](const Table1Row& r) { return r.handshake_c2r; });
+  metric_row("Handshake R->C",
+             [](const Table1Row& r) { return r.handshake_r2c; });
+  metric_row("DNS Query", [](const Table1Row& r) { return r.query_bytes; });
+  metric_row("DNS Response",
+             [](const Table1Row& r) { return r.response_bytes; });
+  {
+    std::vector<std::string> cells = {"SQ samples"};
+    for (dox::DnsProtocol p : order) {
+      const Table1Row* row = find(p);
+      cells.push_back(row ? std::to_string(row->samples) : "-");
+    }
+    table.add_row(std::move(cells));
+  }
+  if (web_records != nullptr) {
+    std::map<dox::DnsProtocol, std::size_t> web_samples;
+    for (const auto& r : *web_records) {
+      if (r.success) ++web_samples[r.protocol];
+    }
+    std::vector<std::string> cells = {"Web samples"};
+    for (dox::DnsProtocol p : order) {
+      cells.push_back(std::to_string(web_samples[p]));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table.render();
+}
+
+// ------------------------------------------------------------------ Fig. 2
+
+Fig2Report fig2_handshake_resolve(
+    const std::vector<SingleQueryRecord>& records,
+    const std::vector<std::string>& vp_names) {
+  Fig2Report report;
+  // index -1 = Total.
+  auto build_row = [&](int vp, const std::string& name) {
+    Fig2Report::Row row;
+    row.name = name;
+    for (dox::DnsProtocol protocol : dox::kExtendedProtocols) {
+      std::vector<double> hs, resolve;
+      for (const auto& r : records) {
+        if (!r.success || r.protocol != protocol) continue;
+        if (vp >= 0 && r.vp != vp) continue;
+        if (protocol != dox::DnsProtocol::kDoUdp) {
+          hs.push_back(to_ms(r.handshake_time));
+        }
+        resolve.push_back(to_ms(r.resolve_time));
+      }
+      if (!hs.empty()) row.handshake_ms[protocol] = med(hs);
+      if (!resolve.empty()) row.resolve_ms[protocol] = med(resolve);
+    }
+    report.rows.push_back(std::move(row));
+  };
+  build_row(-1, "Total");
+  for (std::size_t vp = 0; vp < vp_names.size(); ++vp) {
+    build_row(static_cast<int>(vp), vp_names[vp]);
+  }
+  return report;
+}
+
+std::string render_fig2(const Fig2Report& report) {
+  std::ostringstream out;
+  std::vector<dox::DnsProtocol> order = {
+      dox::DnsProtocol::kDoUdp, dox::DnsProtocol::kDoTcp,
+      dox::DnsProtocol::kDoQ, dox::DnsProtocol::kDoH, dox::DnsProtocol::kDoT};
+  for (const auto& row : report.rows) {
+    if (row.resolve_ms.contains(dox::DnsProtocol::kDoH3)) {
+      order.push_back(dox::DnsProtocol::kDoH3);
+      break;
+    }
+  }
+  for (const char* metric : {"handshake", "resolve"}) {
+    const bool handshake = std::string(metric) == "handshake";
+    out << "Median " << (handshake ? "handshake" : "resolve")
+        << " time (ms) per protocol and vantage point\n";
+    std::vector<std::string> header = {"Vantage point"};
+    for (dox::DnsProtocol p : order) {
+      header.emplace_back(dox::protocol_name(p));
+    }
+    stats::TextTable table(std::move(header));
+    for (const auto& row : report.rows) {
+      std::vector<std::string> cells = {row.name};
+      for (dox::DnsProtocol p : order) {
+        const auto& source = handshake ? row.handshake_ms : row.resolve_ms;
+        auto it = source.find(p);
+        cells.push_back(it == source.end() ? "-" : stats::cell(it->second, 1));
+      }
+      table.add_row(std::move(cells));
+    }
+    out << table.render() << "\n";
+  }
+  return out.str();
+}
+
+// ------------------------------------------------------ §3 protocol mix
+
+ProtocolMix protocol_mix(const std::vector<SingleQueryRecord>& records) {
+  ProtocolMix mix;
+  std::map<std::string, int> quic_versions, alpns, tls_versions;
+  int quic_total = 0, alpn_total = 0, tls_total = 0;
+  int resumed = 0, resumable = 0, zero_rtt = 0;
+  for (const auto& r : records) {
+    if (!r.success) continue;
+    if (r.quic_version) {
+      ++quic_versions[std::string(quic::version_name(*r.quic_version))];
+      ++quic_total;
+    }
+    if (r.protocol == dox::DnsProtocol::kDoQ && !r.alpn.empty()) {
+      ++alpns[r.alpn];
+      ++alpn_total;
+    }
+    if (r.tls_version) {
+      ++tls_versions[*r.tls_version == tls::TlsVersion::kTls13 ? "TLS 1.3"
+                                                               : "TLS 1.2"];
+      ++tls_total;
+      ++resumable;
+      if (r.session_resumed) ++resumed;
+      if (r.used_0rtt) ++zero_rtt;
+    }
+  }
+  auto to_pct = [](const std::map<std::string, int>& counts, int total,
+                   std::map<std::string, double>& out) {
+    for (const auto& [name, count] : counts) {
+      out[name] = total ? 100.0 * count / total : 0.0;
+    }
+  };
+  to_pct(quic_versions, quic_total, mix.quic_version_pct);
+  to_pct(alpns, alpn_total, mix.doq_alpn_pct);
+  to_pct(tls_versions, tls_total, mix.tls_version_pct);
+  mix.resumption_pct = resumable ? 100.0 * resumed / resumable : 0;
+  mix.zero_rtt_pct = resumable ? 100.0 * zero_rtt / resumable : 0;
+  return mix;
+}
+
+std::string render_mix(const ProtocolMix& mix) {
+  std::ostringstream out;
+  auto section = [&](const char* title,
+                     const std::map<std::string, double>& values) {
+    out << title << ":\n";
+    for (const auto& [name, pct] : values) {
+      out << "  " << pad_right(name, 12) << stats::cell(pct, 1) << "%\n";
+    }
+  };
+  section("QUIC versions (DoQ measurements)", mix.quic_version_pct);
+  section("DoQ ALPN identifiers", mix.doq_alpn_pct);
+  section("TLS versions (encrypted measurements)", mix.tls_version_pct);
+  out << "Session resumption used: " << stats::cell(mix.resumption_pct, 1)
+      << "% of TLS measurements\n";
+  out << "0-RTT used:              " << stats::cell(mix.zero_rtt_pct, 1)
+      << "% of TLS measurements\n";
+  return out.str();
+}
+
+// ------------------------------------------------------------------ Fig. 3
+
+Fig3Report fig3_relative(const std::vector<WebRecord>& records) {
+  Fig3Report report;
+  for (const bool use_fcp : {true, false}) {
+    auto grouped = group_web(records, use_fcp);
+    for (const auto& [combo, by_protocol] : grouped) {
+      auto base_it = by_protocol.find(dox::DnsProtocol::kDoUdp);
+      if (base_it == by_protocol.end()) continue;
+      const double baseline = med(base_it->second);
+      if (baseline <= 0) continue;
+      for (const auto& [protocol, samples] : by_protocol) {
+        if (protocol == dox::DnsProtocol::kDoUdp) continue;
+        auto rel = stats::relative_difference(baseline, med(samples));
+        if (!rel) continue;
+        (use_fcp ? report.fcp_rel : report.plt_rel)[protocol].push_back(*rel);
+      }
+    }
+  }
+  return report;
+}
+
+std::string render_fig3(const Fig3Report& report) {
+  std::ostringstream out;
+  const double quantiles[] = {0.10, 0.25, 0.40, 0.50, 0.60,
+                              0.75, 0.80, 0.90, 0.95};
+  for (const bool use_fcp : {true, false}) {
+    out << "CDF of relative " << (use_fcp ? "FCP" : "PLT")
+        << " difference vs DoUDP (per [VP x resolver x page])\n";
+    stats::TextTable table({"Quantile", "DoTCP", "DoQ", "DoH", "DoT"});
+    const auto& source = use_fcp ? report.fcp_rel : report.plt_rel;
+    for (double q : quantiles) {
+      std::vector<std::string> cells = {"p" +
+                                        std::to_string(int(q * 100 + 0.5))};
+      for (dox::DnsProtocol p :
+           {dox::DnsProtocol::kDoTcp, dox::DnsProtocol::kDoQ,
+            dox::DnsProtocol::kDoH, dox::DnsProtocol::kDoT}) {
+        auto it = source.find(p);
+        if (it == source.end() || it->second.empty()) {
+          cells.push_back("-");
+          continue;
+        }
+        stats::Cdf cdf(it->second);
+        cells.push_back(stats::percent_cell(cdf.quantile(q).value_or(0)));
+      }
+      table.add_row(std::move(cells));
+    }
+    out << table.render();
+    // The paper's headline fractions.
+    const auto& plt_or_fcp = source;
+    auto frac_above = [&](dox::DnsProtocol p, double threshold) {
+      auto it = plt_or_fcp.find(p);
+      if (it == plt_or_fcp.end() || it->second.empty()) return 0.0;
+      stats::Cdf cdf(it->second);
+      return 1.0 - cdf.fraction_below(threshold);
+    };
+    if (use_fcp) {
+      out << "Fraction of loads delaying FCP by >10%: DoQ "
+          << stats::cell(100 * frac_above(dox::DnsProtocol::kDoQ, 0.10), 1)
+          << "%, DoH "
+          << stats::cell(100 * frac_above(dox::DnsProtocol::kDoH, 0.10), 1)
+          << "%, DoT "
+          << stats::cell(100 * frac_above(dox::DnsProtocol::kDoT, 0.10), 1)
+          << "%\n\n";
+    } else {
+      out << "Fraction of loads degrading PLT by >15%: DoQ "
+          << stats::cell(100 * frac_above(dox::DnsProtocol::kDoQ, 0.15), 1)
+          << "%, DoH "
+          << stats::cell(100 * frac_above(dox::DnsProtocol::kDoH, 0.15), 1)
+          << "%, DoT "
+          << stats::cell(100 * frac_above(dox::DnsProtocol::kDoT, 0.15), 1)
+          << "%\n\n";
+    }
+  }
+  return out.str();
+}
+
+// ------------------------------------------------------------------ Fig. 4
+
+std::map<dox::DnsProtocol, double> per_protocol_plt_medians(
+    const std::vector<WebRecord>& records, int vp, int resolver,
+    const std::string& page) {
+  std::map<dox::DnsProtocol, std::vector<double>> samples;
+  for (const auto& r : records) {
+    if (!r.success || r.vp != vp || r.resolver != resolver ||
+        r.page != page) {
+      continue;
+    }
+    samples[r.protocol].push_back(to_ms(r.plt));
+  }
+  std::map<dox::DnsProtocol, double> medians;
+  for (auto& [protocol, values] : samples) {
+    medians[protocol] = med(values);
+  }
+  return medians;
+}
+
+std::vector<Fig4Cell> fig4_cells(const std::vector<WebRecord>& records,
+                                 const std::vector<std::string>& vp_names) {
+  // Collect combos present in the data.
+  std::map<std::pair<int, std::string>, std::set<int>> resolvers_by_cell;
+  std::map<std::string, int> page_queries;
+  for (const auto& r : records) {
+    resolvers_by_cell[{r.vp, r.page}].insert(r.resolver);
+    page_queries[r.page] = r.dns_queries;
+  }
+
+  std::vector<Fig4Cell> cells;
+  for (const auto& [key, resolvers] : resolvers_by_cell) {
+    Fig4Cell cell;
+    cell.vp = key.first;
+    cell.page = key.second;
+    cell.dns_queries = page_queries[key.second];
+    int doh_slower = 0, doh_total = 0;
+    for (int resolver : resolvers) {
+      auto medians =
+          per_protocol_plt_medians(records, cell.vp, resolver, cell.page);
+      auto doq = medians.find(dox::DnsProtocol::kDoQ);
+      if (doq == medians.end() || doq->second <= 0) continue;
+      if (auto it = medians.find(dox::DnsProtocol::kDoUdp);
+          it != medians.end()) {
+        cell.doudp_rel.push_back(*stats::relative_difference(doq->second,
+                                                             it->second));
+      }
+      if (auto it = medians.find(dox::DnsProtocol::kDoH);
+          it != medians.end()) {
+        const double rel =
+            *stats::relative_difference(doq->second, it->second);
+        cell.doh_rel.push_back(rel);
+        ++doh_total;
+        if (rel > 0) ++doh_slower;  // DoH slower => DoQ faster
+      }
+    }
+    cell.frac_doq_faster_than_doh =
+        doh_total ? static_cast<double>(doh_slower) / doh_total : 0;
+    cells.push_back(std::move(cell));
+  }
+  // Sort by (page query count, vp) like the paper's grid.
+  std::sort(cells.begin(), cells.end(), [](const Fig4Cell& a,
+                                           const Fig4Cell& b) {
+    if (a.dns_queries != b.dns_queries) return a.dns_queries < b.dns_queries;
+    if (a.page != b.page) return a.page < b.page;
+    return a.vp < b.vp;
+  });
+  (void)vp_names;
+  return cells;
+}
+
+std::string render_fig4(const std::vector<Fig4Cell>& cells,
+                        const std::vector<std::string>& vp_names) {
+  std::ostringstream out;
+  out << "PLT relative to DoQ baseline, per vantage point and page\n"
+      << "(positive median = protocol slower than DoQ; 'DoQ<DoH' = fraction "
+         "of resolvers where DoQ beats DoH)\n";
+  stats::TextTable table({"VP", "Page", "#DNS", "DoUDP med", "DoH med",
+                          "DoQ<DoH"});
+  for (const auto& cell : cells) {
+    std::vector<std::string> row;
+    row.push_back(cell.vp < static_cast<int>(vp_names.size())
+                      ? vp_names[cell.vp]
+                      : std::to_string(cell.vp));
+    row.push_back(cell.page);
+    row.push_back(std::to_string(cell.dns_queries));
+    row.push_back(cell.doudp_rel.empty()
+                      ? "-"
+                      : stats::percent_cell(
+                            stats::median(cell.doudp_rel).value_or(0)));
+    row.push_back(cell.doh_rel.empty()
+                      ? "-"
+                      : stats::percent_cell(
+                            stats::median(cell.doh_rel).value_or(0)));
+    row.push_back(stats::cell(100 * cell.frac_doq_faster_than_doh, 0) + "%");
+    table.add_row(std::move(row));
+  }
+  out << table.render();
+  return out.str();
+}
+
+}  // namespace doxlab::measure

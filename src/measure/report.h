@@ -1,0 +1,100 @@
+// Aggregations that regenerate the paper's tables and figures from raw
+// study records, plus text renderers used by the bench binaries.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "measure/single_query.h"
+#include "measure/web_study.h"
+#include "stats/stats.h"
+
+namespace doxlab::measure {
+
+// ------------------------------------------------------------- Table 1
+
+struct Table1Row {
+  dox::DnsProtocol protocol = dox::DnsProtocol::kDoUdp;
+  double total_bytes = 0;
+  double handshake_c2r = 0;
+  double handshake_r2c = 0;
+  double query_bytes = 0;
+  double response_bytes = 0;
+  std::size_t samples = 0;  // successful single-query samples
+};
+
+/// Median per-phase wire bytes per protocol (successful measurements only).
+std::vector<Table1Row> table1_sizes(
+    const std::vector<SingleQueryRecord>& records);
+
+std::string render_table1(const std::vector<Table1Row>& rows,
+                          const std::vector<WebRecord>* web_records);
+
+// ------------------------------------------------------------- Fig. 2
+
+struct Fig2Report {
+  struct Row {
+    std::string name;  // "Total" or the vantage point name
+    std::map<dox::DnsProtocol, double> handshake_ms;  // medians
+    std::map<dox::DnsProtocol, double> resolve_ms;
+  };
+  std::vector<Row> rows;
+};
+
+Fig2Report fig2_handshake_resolve(
+    const std::vector<SingleQueryRecord>& records,
+    const std::vector<std::string>& vp_names);
+
+std::string render_fig2(const Fig2Report& report);
+
+// ------------------------------------------------- §3 protocol mix
+
+struct ProtocolMix {
+  std::map<std::string, double> quic_version_pct;
+  std::map<std::string, double> doq_alpn_pct;
+  std::map<std::string, double> tls_version_pct;
+  double resumption_pct = 0;
+  double zero_rtt_pct = 0;
+};
+
+ProtocolMix protocol_mix(const std::vector<SingleQueryRecord>& records);
+std::string render_mix(const ProtocolMix& mix);
+
+// ------------------------------------------------------------- Fig. 3
+
+struct Fig3Report {
+  /// Relative FCP/PLT difference vs the DoUDP baseline, one sample per
+  /// [vantage point x resolver x page] (median over the four loads).
+  std::map<dox::DnsProtocol, std::vector<double>> fcp_rel;
+  std::map<dox::DnsProtocol, std::vector<double>> plt_rel;
+};
+
+Fig3Report fig3_relative(const std::vector<WebRecord>& records);
+std::string render_fig3(const Fig3Report& report);
+
+// ------------------------------------------------------------- Fig. 4
+
+struct Fig4Cell {
+  int vp = 0;
+  std::string page;
+  int dns_queries = 0;
+  /// Relative PLT difference vs the DoQ baseline, one sample per resolver.
+  std::vector<double> doudp_rel;
+  std::vector<double> doh_rel;
+  /// Fraction of resolvers where DoQ loads faster than DoH (the background
+  /// shading in the paper's figure).
+  double frac_doq_faster_than_doh = 0;
+};
+
+std::vector<Fig4Cell> fig4_cells(const std::vector<WebRecord>& records,
+                                 const std::vector<std::string>& vp_names);
+std::string render_fig4(const std::vector<Fig4Cell>& cells,
+                        const std::vector<std::string>& vp_names);
+
+/// Helper shared by reports: median over the loads of one combo.
+std::map<dox::DnsProtocol, double> per_protocol_plt_medians(
+    const std::vector<WebRecord>& records, int vp, int resolver,
+    const std::string& page);
+
+}  // namespace doxlab::measure

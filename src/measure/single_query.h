@@ -1,0 +1,71 @@
+// The single-query study (paper §3.1): per [vantage point x resolver x
+// protocol x repetition], a cache-warming query followed by the measured
+// query on a fresh session that reuses the warmed TLS ticket, QUIC version
+// and address-validation token — the paper's dnsperf methodology.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dox/types.h"
+#include "measure/testbed.h"
+
+namespace doxlab::measure {
+
+struct SingleQueryConfig {
+  /// Measurements per [vp x resolver x protocol]. The paper ran 84
+  /// (every 2 h for a week); the default keeps bench runtime sane.
+  int repetitions = 2;
+  std::vector<dox::DnsProtocol> protocols{std::begin(dox::kAllProtocols),
+                                          std::end(dox::kAllProtocols)};
+  std::string qname = "google.com";
+  /// Cap resolvers per run (0 = all verified). Subsampling keeps the
+  /// continent mix because verified resolvers interleave continents.
+  int max_resolvers = 0;
+  /// Methodology switches (the ablation bench flips these).
+  bool use_session_resumption = true;
+  bool attempt_0rtt = true;
+  bool use_address_token = true;
+  bool tcp_use_tfo = false;
+  /// RFC 8467 padding on encrypted transports.
+  bool pad_encrypted = false;
+  /// RFC 9210-style connection reuse for DoTCP (off: the observed
+  /// fresh-connection-per-query behaviour).
+  bool tcp_reuse_connections = false;
+};
+
+struct SingleQueryRecord {
+  int vp = 0;
+  int resolver = 0;
+  dox::DnsProtocol protocol = dox::DnsProtocol::kDoUdp;
+  int rep = 0;
+  bool success = false;
+  SimTime handshake_time = 0;
+  SimTime resolve_time = 0;
+  SimTime total_time = 0;
+  dox::WireStats bytes;
+  std::optional<tls::TlsVersion> tls_version;
+  std::optional<quic::QuicVersion> quic_version;
+  std::string alpn;
+  bool session_resumed = false;
+  bool used_0rtt = false;
+  int udp_retransmissions = 0;
+};
+
+class SingleQueryStudy {
+ public:
+  SingleQueryStudy(Testbed& testbed, SingleQueryConfig config)
+      : testbed_(testbed), config_(std::move(config)) {}
+
+  /// Runs the full schedule; returns one record per *successful-warming*
+  /// measurement (failed measurements appear with success=false, matching
+  /// the paper's per-protocol sample-count variation).
+  std::vector<SingleQueryRecord> run();
+
+ private:
+  Testbed& testbed_;
+  SingleQueryConfig config_;
+};
+
+}  // namespace doxlab::measure

@@ -1,0 +1,90 @@
+// The measurement testbed: simulator + network + resolver population +
+// six vantage points (one per continent, like the paper's EC2 fleet).
+//
+// Studies are written imperatively against the testbed using
+// `run_until_flag` ("await"-style): measurements execute one after another
+// in simulated time, which is free — determinism and simplicity beat
+// simulated concurrency here.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dox/transport.h"
+#include "net/network.h"
+#include "net/udp.h"
+#include "scan/population.h"
+#include "sim/simulator.h"
+#include "tcp/tcp.h"
+#include "tls/ticket.h"
+#include "web/browser.h"
+
+namespace doxlab::measure {
+
+/// One measurement machine (EC2 instance in the paper).
+struct VantagePoint {
+  std::string name;
+  net::Continent continent = net::Continent::kEurope;
+  net::Host* host = nullptr;
+  std::unique_ptr<net::UdpStack> udp;
+  std::unique_ptr<tcp::TcpStack> tcp;
+  tls::TicketStore tickets;
+  dox::DoqSessionCache doq_cache;
+
+  /// Transport dependencies backed by this vantage point's stacks/stores.
+  dox::TransportDeps deps(sim::Simulator& sim) {
+    dox::TransportDeps d;
+    d.sim = &sim;
+    d.udp = udp.get();
+    d.tcp = tcp.get();
+    d.tickets = &tickets;
+    d.doq_cache = &doq_cache;
+    return d;
+  }
+};
+
+struct TestbedConfig {
+  std::uint64_t seed = 42;
+  scan::PopulationConfig population = {.verified_only = true};
+  double loss_rate = 0.002;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *network_; }
+  scan::Population& population() { return population_; }
+  std::vector<std::unique_ptr<VantagePoint>>& vantage_points() {
+    return vantage_points_;
+  }
+  Rng& rng() { return rng_; }
+  const TestbedConfig& config() const { return config_; }
+
+  /// Resolver endpoint for a protocol.
+  net::Endpoint resolver_endpoint(std::size_t resolver_index,
+                                  dox::DnsProtocol protocol) const;
+
+  /// Deterministic per-(vantage point, origin) web-server RTT: most origins
+  /// are CDN-served nearby; remote continents see inflated values.
+  web::Browser::OriginRttFn origin_rtt_fn(const VantagePoint& vp);
+
+  /// Runs the simulator until `flag` becomes true or `max_wait` elapses.
+  /// Returns the final flag value.
+  bool run_until_flag(const bool& flag, SimTime max_wait = 5 * kMinute);
+
+ private:
+  TestbedConfig config_;
+  sim::Simulator sim_;
+  Rng rng_;
+  std::unique_ptr<net::Network> network_;
+  scan::Population population_;
+  std::vector<std::unique_ptr<VantagePoint>> vantage_points_;
+};
+
+}  // namespace doxlab::measure

@@ -1,0 +1,47 @@
+#include "net/address.h"
+
+#include <charconv>
+
+#include "util/strings.h"
+
+namespace doxlab::net {
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  int parts = 0;
+  std::size_t start = 0;
+  while (parts < 4) {
+    std::size_t dot = text.find('.', start);
+    std::string_view part = (dot == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, dot - start);
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), octet);
+    if (ec != std::errc() || ptr != part.data() + part.size() || octet > 255) {
+      return std::nullopt;
+    }
+    value = (value << 8) | octet;
+    ++parts;
+    if (dot == std::string_view::npos) {
+      return parts == 4 ? std::optional<IpAddress>(IpAddress(value))
+                        : std::nullopt;
+    }
+    start = dot + 1;
+  }
+  return std::nullopt;  // four octets consumed but input continues
+}
+
+std::string IpAddress::to_string() const {
+  return std::to_string((value_ >> 24) & 0xFF) + "." +
+         std::to_string((value_ >> 16) & 0xFF) + "." +
+         std::to_string((value_ >> 8) & 0xFF) + "." +
+         std::to_string(value_ & 0xFF);
+}
+
+std::string Endpoint::to_string() const {
+  return address.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace doxlab::net

@@ -1,0 +1,73 @@
+// IPv4 addresses and transport endpoints.
+//
+// The study targets the IPv4 address space (the paper's ZMap scan is
+// IPv4-only), so a 32-bit value is sufficient. Addresses are strong types,
+// not bare integers, per the interface guidelines.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace doxlab::net {
+
+/// An IPv4 address.
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t value) : value_(value) {}
+
+  /// Builds from dotted-quad components.
+  static constexpr IpAddress from_octets(std::uint8_t a, std::uint8_t b,
+                                         std::uint8_t c, std::uint8_t d) {
+    return IpAddress((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+                     (std::uint32_t(c) << 8) | std::uint32_t(d));
+  }
+
+  /// Parses "a.b.c.d"; nullopt on malformed input.
+  static std::optional<IpAddress> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  auto operator<=>(const IpAddress&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Loopback (127.0.0.1), used by the local DNS proxy.
+inline constexpr IpAddress kLoopback = IpAddress::from_octets(127, 0, 0, 1);
+
+/// A transport endpoint: address + port.
+struct Endpoint {
+  IpAddress address;
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+  auto operator<=>(const Endpoint&) const = default;
+};
+
+/// IANA protocol numbers used by the packet fabric.
+inline constexpr int kProtoTcp = 6;
+inline constexpr int kProtoUdp = 17;
+
+}  // namespace doxlab::net
+
+template <>
+struct std::hash<doxlab::net::IpAddress> {
+  std::size_t operator()(const doxlab::net::IpAddress& a) const noexcept {
+    return std::hash<std::uint32_t>()(a.value());
+  }
+};
+
+template <>
+struct std::hash<doxlab::net::Endpoint> {
+  std::size_t operator()(const doxlab::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>()(
+        (std::uint64_t(e.address.value()) << 16) | e.port);
+  }
+};

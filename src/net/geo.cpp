@@ -1,0 +1,117 @@
+#include "net/geo.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace doxlab::net {
+
+std::string_view continent_code(Continent c) {
+  switch (c) {
+    case Continent::kEurope: return "EU";
+    case Continent::kAsia: return "AS";
+    case Continent::kNorthAmerica: return "NA";
+    case Continent::kAfrica: return "AF";
+    case Continent::kOceania: return "OC";
+    case Continent::kSouthAmerica: return "SA";
+  }
+  return "??";
+}
+
+Continent continent_from_code(std::string_view code) {
+  if (code == "EU") return Continent::kEurope;
+  if (code == "AS") return Continent::kAsia;
+  if (code == "NA") return Continent::kNorthAmerica;
+  if (code == "AF") return Continent::kAfrica;
+  if (code == "OC") return Continent::kOceania;
+  if (code == "SA") return Continent::kSouthAmerica;
+  throw std::invalid_argument("unknown continent code: " + std::string(code));
+}
+
+const std::vector<Continent>& all_continents() {
+  static const std::vector<Continent> kAll = {
+      Continent::kEurope,       Continent::kAsia,
+      Continent::kNorthAmerica, Continent::kAfrica,
+      Continent::kOceania,      Continent::kSouthAmerica,
+  };
+  return kAll;
+}
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2 * kEarthRadiusKm * std::asin(std::sqrt(s));
+}
+
+const std::vector<City>& cities_in(Continent c) {
+  // Hosting hubs per continent. The paper finds resolvers concentrated in
+  // EU datacenter regions (ORACLE, DIGITALOCEAN, OVH ASes), so EU lists the
+  // major cloud cities.
+  static const std::vector<City> kEu = {
+      {"Frankfurt", Continent::kEurope, {50.11, 8.68}},
+      {"Amsterdam", Continent::kEurope, {52.37, 4.90}},
+      {"London", Continent::kEurope, {51.51, -0.13}},
+      {"Paris", Continent::kEurope, {48.86, 2.35}},
+      {"Warsaw", Continent::kEurope, {52.23, 21.01}},
+      {"Zurich", Continent::kEurope, {47.38, 8.54}},
+      {"Stockholm", Continent::kEurope, {59.33, 18.07}},
+      {"Madrid", Continent::kEurope, {40.42, -3.70}},
+  };
+  static const std::vector<City> kAs = {
+      {"Singapore", Continent::kAsia, {1.35, 103.82}},
+      {"Tokyo", Continent::kAsia, {35.68, 139.69}},
+      {"Seoul", Continent::kAsia, {37.57, 126.98}},
+      {"Mumbai", Continent::kAsia, {19.08, 72.88}},
+      {"Hong Kong", Continent::kAsia, {22.32, 114.17}},
+      {"Istanbul", Continent::kAsia, {41.01, 28.98}},
+      {"Dubai", Continent::kAsia, {25.20, 55.27}},
+  };
+  static const std::vector<City> kNa = {
+      {"Ashburn", Continent::kNorthAmerica, {39.04, -77.49}},
+      {"San Jose", Continent::kNorthAmerica, {37.34, -121.89}},
+      {"Dallas", Continent::kNorthAmerica, {32.78, -96.80}},
+      {"Toronto", Continent::kNorthAmerica, {43.65, -79.38}},
+      {"Chicago", Continent::kNorthAmerica, {41.88, -87.63}},
+  };
+  static const std::vector<City> kAf = {
+      {"Johannesburg", Continent::kAfrica, {-26.20, 28.05}},
+      {"Lagos", Continent::kAfrica, {6.52, 3.38}},
+  };
+  static const std::vector<City> kOc = {
+      {"Sydney", Continent::kOceania, {-33.87, 151.21}},
+      {"Auckland", Continent::kOceania, {-36.85, 174.76}},
+  };
+  static const std::vector<City> kSa = {
+      {"Sao Paulo", Continent::kSouthAmerica, {-23.55, -46.63}},
+      {"Santiago", Continent::kSouthAmerica, {-33.45, -70.67}},
+  };
+  switch (c) {
+    case Continent::kEurope: return kEu;
+    case Continent::kAsia: return kAs;
+    case Continent::kNorthAmerica: return kNa;
+    case Continent::kAfrica: return kAf;
+    case Continent::kOceania: return kOc;
+    case Continent::kSouthAmerica: return kSa;
+  }
+  return kEu;
+}
+
+const std::vector<City>& vantage_point_cities() {
+  static const std::vector<City> kVps = {
+      {"eu-central (Frankfurt)", Continent::kEurope, {50.11, 8.68}},
+      {"ap-southeast (Singapore)", Continent::kAsia, {1.35, 103.82}},
+      {"us-east (N. Virginia)", Continent::kNorthAmerica, {38.95, -77.45}},
+      {"af-south (Cape Town)", Continent::kAfrica, {-33.92, 18.42}},
+      {"ap-sydney (Sydney)", Continent::kOceania, {-33.87, 151.21}},
+      {"sa-east (Sao Paulo)", Continent::kSouthAmerica, {-23.55, -46.63}},
+  };
+  return kVps;
+}
+
+}  // namespace doxlab::net

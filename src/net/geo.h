@@ -1,0 +1,54 @@
+// Geographic model: coordinates, continents, and great-circle distances.
+//
+// The paper's latency structure is geographic (Fig. 1/Fig. 2: vantage points
+// and resolvers per continent; resolve times ordered by distance). We place
+// every simulated host at a lat/lon and derive propagation delay from the
+// great-circle distance.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace doxlab::net {
+
+/// Continents, ordered as the paper reports them (by resolver count).
+enum class Continent { kEurope, kAsia, kNorthAmerica, kAfrica, kOceania,
+                       kSouthAmerica };
+
+/// Two-letter code as used in the paper's figures (EU, AS, NA, AF, OC, SA).
+std::string_view continent_code(Continent c);
+
+/// Parses a two-letter code; throws std::invalid_argument on unknown input.
+Continent continent_from_code(std::string_view code);
+
+/// All continents in the paper's display order.
+const std::vector<Continent>& all_continents();
+
+/// A point on the globe (degrees).
+struct GeoPoint {
+  double lat_deg = 0;
+  double lon_deg = 0;
+};
+
+/// Great-circle (haversine) distance in kilometres.
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// A named city with coordinates — the building block for placing vantage
+/// points and resolver populations.
+struct City {
+  std::string name;
+  Continent continent;
+  GeoPoint location;
+};
+
+/// Cities used to seed resolver placement, grouped per continent. These are
+/// major population / hosting hubs; resolvers scatter around them.
+const std::vector<City>& cities_in(Continent c);
+
+/// The six EC2-like vantage point locations used by the paper (one per
+/// continent): Frankfurt (EU), Singapore (AS), N. Virginia (NA),
+/// Cape Town (AF), Sydney (OC), Sao Paulo (SA).
+const std::vector<City>& vantage_point_cities();
+
+}  // namespace doxlab::net

@@ -1,0 +1,21 @@
+#include "net/latency.h"
+
+#include <algorithm>
+
+namespace doxlab::net {
+
+SimTime LatencyModel::base_one_way(const GeoPoint& a, const GeoPoint& b,
+                                   SimTime access_a, SimTime access_b) const {
+  const double km = haversine_km(a, b) * config_.route_inflation;
+  const double prop_ms = km / config_.fiber_km_per_ms;
+  const SimTime prop = std::max(config_.min_propagation, from_ms(prop_ms));
+  return prop + access_a + access_b;
+}
+
+SimTime LatencyModel::jitter(Rng& rng) const {
+  const double ms = rng.lognormal(config_.jitter_mu_ms, config_.jitter_sigma);
+  // Cap pathological draws; even a congested path rarely adds >250 ms.
+  return from_ms(std::min(ms, 250.0));
+}
+
+}  // namespace doxlab::net

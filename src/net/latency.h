@@ -1,0 +1,50 @@
+// Propagation-delay model.
+//
+// One-way delay between two hosts =
+//     great-circle distance / fiber propagation speed * route inflation
+//   + per-host access delay (last-mile / in-DC)
+//   + per-packet jitter (log-normal, heavy right tail).
+//
+// This reproduces the structure the paper relies on: handshake times scale
+// with RTT multiplied by the protocol's round-trip count, and resolve times
+// order by vantage-point-to-resolver distance (Fig. 2b).
+#pragma once
+
+#include "net/geo.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace doxlab::net {
+
+struct LatencyConfig {
+  /// Speed of light in fiber, km per millisecond (~2/3 c).
+  double fiber_km_per_ms = 204.19;
+  /// Real routes are longer than great circles.
+  double route_inflation = 1.6;
+  /// Floor for one-way propagation (same-DC traffic is never truly zero).
+  SimTime min_propagation = 200;  // 0.2 ms
+  /// Log-normal jitter: exp(N(mu, sigma)) milliseconds per packet.
+  double jitter_mu_ms = -1.2;     // median ~0.3 ms
+  double jitter_sigma = 0.9;
+};
+
+/// Computes one-way delays; stateless apart from configuration.
+class LatencyModel {
+ public:
+  LatencyModel() = default;
+  explicit LatencyModel(LatencyConfig config) : config_(config) {}
+
+  /// Deterministic propagation + access component (no jitter).
+  SimTime base_one_way(const GeoPoint& a, const GeoPoint& b,
+                       SimTime access_a, SimTime access_b) const;
+
+  /// Per-packet jitter draw.
+  SimTime jitter(Rng& rng) const;
+
+  const LatencyConfig& config() const { return config_; }
+
+ private:
+  LatencyConfig config_{};
+};
+
+}  // namespace doxlab::net

@@ -1,0 +1,113 @@
+#include "net/network.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace doxlab::net {
+
+void Host::set_protocol_handler(int protocol, PacketHandler handler) {
+  handlers_[protocol] = std::move(handler);
+}
+
+void Host::deliver(Packet packet) {
+  auto it = handlers_.find(packet.protocol);
+  if (it == handlers_.end() || !it->second) {
+    DOXLAB_DEBUG("host " << name_ << " has no handler for protocol "
+                         << packet.protocol);
+    return;
+  }
+  it->second(std::move(packet));
+}
+
+Network::Network(sim::Simulator& simulator, Rng rng, LatencyModel latency)
+    : simulator_(simulator), rng_(std::move(rng)), latency_(latency) {}
+
+Host& Network::add_host(std::string name, IpAddress address,
+                        GeoPoint location, Continent continent,
+                        SimTime access_delay) {
+  auto [it, inserted] = hosts_.try_emplace(
+      address, std::unique_ptr<Host>(new Host(*this, std::move(name), address,
+                                              location, continent,
+                                              access_delay)));
+  if (!inserted) {
+    throw std::invalid_argument("duplicate host address " +
+                                address.to_string());
+  }
+  return *it->second;
+}
+
+Host* Network::find_host(IpAddress address) {
+  auto it = hosts_.find(address);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+const Host* Network::find_host(IpAddress address) const {
+  auto it = hosts_.find(address);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t Network::pair_key(IpAddress a, IpAddress b) {
+  std::uint32_t lo = std::min(a.value(), b.value());
+  std::uint32_t hi = std::max(a.value(), b.value());
+  return (std::uint64_t(hi) << 32) | lo;
+}
+
+void Network::set_path_override(IpAddress a, IpAddress b, SimTime one_way) {
+  path_overrides_[pair_key(a, b)] = one_way;
+}
+
+void Network::set_loss_override(IpAddress a, IpAddress b, double loss) {
+  loss_overrides_[pair_key(a, b)] = loss;
+}
+
+SimTime Network::base_one_way(const Host& a, const Host& b) const {
+  if (a.address() == b.address()) return 50;  // loopback: 50 us
+  auto it = path_overrides_.find(pair_key(a.address(), b.address()));
+  if (it != path_overrides_.end()) return it->second;
+  return latency_.base_one_way(a.location(), b.location(), a.access_delay(),
+                               b.access_delay());
+}
+
+void Network::send(Packet packet) {
+  ++counters_.packets_sent;
+  counters_.ip_payload_bytes += packet.ip_payload_bytes();
+  if (tap_) tap_(packet);
+
+  Host* src = find_host(packet.src.address);
+  Host* dst = find_host(packet.dst.address);
+  if (src == nullptr || dst == nullptr) {
+    ++counters_.packets_unroutable;
+    return;
+  }
+
+  const bool loopback = packet.src.address == packet.dst.address;
+  double loss = loopback ? 0.0 : loss_rate_;
+  if (!loopback) {
+    auto lit = loss_overrides_.find(
+        pair_key(packet.src.address, packet.dst.address));
+    if (lit != loss_overrides_.end()) loss = lit->second;
+  }
+  if (rng_.chance(loss)) {
+    ++counters_.packets_lost;
+    return;
+  }
+
+  SimTime delay = base_one_way(*src, *dst);
+  if (!loopback) delay += latency_.jitter(rng_);
+
+  const IpAddress dst_addr = packet.dst.address;
+  simulator_.schedule(delay, [this, dst_addr,
+                              p = std::move(packet)]() mutable {
+    Host* target = find_host(dst_addr);
+    if (target == nullptr || !target->up()) {
+      ++counters_.packets_unroutable;
+      return;
+    }
+    ++counters_.packets_delivered;
+    target->deliver(std::move(p));
+  });
+}
+
+}  // namespace doxlab::net

@@ -1,0 +1,160 @@
+// The packet fabric: hosts, packets, and the delay/jitter/loss model that
+// connects them.
+//
+// `Network` is the only way packets move between hosts. Every send consults
+// the latency model (geography-derived) or an explicit per-pair override
+// (used by unit tests to pin RTTs), applies random loss, and schedules
+// delivery on the simulator. Delivery dispatches to the destination host's
+// per-protocol handler (UDP and TCP stacks register themselves).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.h"
+#include "net/geo.h"
+#include "net/latency.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace doxlab::net {
+
+class Network;
+
+/// A packet in flight. `header_bytes` is the transport header including
+/// options (8 for UDP, 20+options for TCP); `payload` is the transport
+/// payload. IP payload size — the unit Table 1 of the paper reports — is
+/// `header_bytes + payload.size()`.
+struct Packet {
+  Endpoint src;
+  Endpoint dst;
+  int protocol = kProtoUdp;
+  std::size_t header_bytes = 8;
+  std::vector<std::uint8_t> payload;
+  /// Structured sidecar for protocols whose control metadata we do not
+  /// serialize byte-exactly (TCP segment flags/seq live here).
+  std::shared_ptr<const void> meta;
+
+  std::size_t ip_payload_bytes() const {
+    return header_bytes + payload.size();
+  }
+};
+
+/// A simulated machine: address, location, and protocol demultiplexers.
+class Host {
+ public:
+  using PacketHandler = std::function<void(Packet)>;
+
+  const std::string& name() const { return name_; }
+  IpAddress address() const { return address_; }
+  const GeoPoint& location() const { return location_; }
+  Continent continent() const { return continent_; }
+  SimTime access_delay() const { return access_delay_; }
+
+  /// Registers the handler for an IP protocol number (kProtoUdp/kProtoTcp).
+  /// Replaces any previous handler.
+  void set_protocol_handler(int protocol, PacketHandler handler);
+
+  /// Marks the host unreachable; packets to it are dropped silently (used by
+  /// the scanner simulation for dark address space and resolver outages).
+  void set_up(bool up) { up_ = up; }
+  bool up() const { return up_; }
+
+  Network& network() const { return *network_; }
+
+ private:
+  friend class Network;
+  Host(Network& network, std::string name, IpAddress address,
+       GeoPoint location, Continent continent, SimTime access_delay)
+      : network_(&network),
+        name_(std::move(name)),
+        address_(address),
+        location_(location),
+        continent_(continent),
+        access_delay_(access_delay) {}
+
+  void deliver(Packet packet);
+
+  Network* network_;
+  std::string name_;
+  IpAddress address_;
+  GeoPoint location_;
+  Continent continent_;
+  SimTime access_delay_;
+  bool up_ = true;
+  std::unordered_map<int, PacketHandler> handlers_;
+};
+
+/// Aggregate traffic counters, exposed for tests and the scan module.
+struct NetworkCounters {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t packets_unroutable = 0;
+  std::uint64_t ip_payload_bytes = 0;
+};
+
+/// The fabric. Owns all hosts.
+class Network {
+ public:
+  Network(sim::Simulator& simulator, Rng rng, LatencyModel latency = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Creates and registers a host. Throws std::invalid_argument on a
+  /// duplicate address.
+  Host& add_host(std::string name, IpAddress address, GeoPoint location,
+                 Continent continent, SimTime access_delay = from_ms(1.0));
+
+  /// Looks up a host; nullptr if the address is unassigned.
+  Host* find_host(IpAddress address);
+  const Host* find_host(IpAddress address) const;
+
+  /// Sends a packet. Routability is evaluated at delivery time.
+  void send(Packet packet);
+
+  /// Pins the one-way delay for a host pair in both directions (tests).
+  void set_path_override(IpAddress a, IpAddress b, SimTime one_way);
+
+  /// Per-pair loss override in [0,1] (both directions).
+  void set_loss_override(IpAddress a, IpAddress b, double loss);
+
+  /// Network-wide random loss rate (default 0.2%).
+  void set_loss_rate(double rate) { loss_rate_ = rate; }
+  double loss_rate() const { return loss_rate_; }
+
+  /// Observer invoked for every packet accepted into the fabric (before the
+  /// loss draw). Used by tests and by the scanner's traffic accounting.
+  using Tap = std::function<void(const Packet&)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  /// One-way delay the next packet between two hosts would experience,
+  /// excluding jitter. Exposed so studies can reason about distances.
+  SimTime base_one_way(const Host& a, const Host& b) const;
+
+  sim::Simulator& simulator() { return simulator_; }
+  Rng& rng() { return rng_; }
+  const NetworkCounters& counters() const { return counters_; }
+  const LatencyModel& latency_model() const { return latency_; }
+
+ private:
+  static std::uint64_t pair_key(IpAddress a, IpAddress b);
+
+  sim::Simulator& simulator_;
+  Rng rng_;
+  LatencyModel latency_;
+  double loss_rate_ = 0.002;
+  std::unordered_map<IpAddress, std::unique_ptr<Host>> hosts_;
+  std::unordered_map<std::uint64_t, SimTime> path_overrides_;
+  std::unordered_map<std::uint64_t, double> loss_overrides_;
+  Tap tap_;
+  NetworkCounters counters_;
+};
+
+}  // namespace doxlab::net

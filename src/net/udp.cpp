@@ -1,0 +1,67 @@
+#include "net/udp.h"
+
+#include <stdexcept>
+
+namespace doxlab::net {
+
+UdpSocket::~UdpSocket() {
+  if (stack_) stack_->unbind(port_);
+}
+
+Endpoint UdpSocket::local_endpoint() const {
+  return Endpoint{stack_->host().address(), port_};
+}
+
+void UdpSocket::send_to(const Endpoint& to,
+                        std::vector<std::uint8_t> payload) {
+  Packet packet;
+  packet.src = local_endpoint();
+  packet.dst = to;
+  packet.protocol = kProtoUdp;
+  packet.header_bytes = kUdpHeaderBytes;
+  packet.payload = std::move(payload);
+  bytes_sent_ += packet.ip_payload_bytes();
+  stack_->host().network().send(std::move(packet));
+}
+
+void UdpSocket::receive(const Endpoint& from,
+                        std::vector<std::uint8_t> payload) {
+  bytes_received_ += kUdpHeaderBytes + payload.size();
+  if (handler_) handler_(from, std::move(payload));
+}
+
+UdpStack::UdpStack(Host& host) : host_(&host) {
+  host_->set_protocol_handler(
+      kProtoUdp, [this](Packet packet) { on_packet(std::move(packet)); });
+}
+
+std::unique_ptr<UdpSocket> UdpStack::bind(std::uint16_t port) {
+  if (sockets_.contains(port)) {
+    throw std::invalid_argument("UDP port already bound: " +
+                                std::to_string(port));
+  }
+  auto socket = std::unique_ptr<UdpSocket>(new UdpSocket(*this, port));
+  sockets_[port] = socket.get();
+  return socket;
+}
+
+std::unique_ptr<UdpSocket> UdpStack::bind_ephemeral() {
+  // Scan the ephemeral range for a free port, wrapping once.
+  for (int attempts = 0; attempts < 16384; ++attempts) {
+    std::uint16_t candidate = next_ephemeral_;
+    next_ephemeral_ =
+        (next_ephemeral_ >= 65535) ? 49152 : std::uint16_t(next_ephemeral_ + 1);
+    if (!sockets_.contains(candidate)) return bind(candidate);
+  }
+  throw std::runtime_error("ephemeral UDP port space exhausted");
+}
+
+void UdpStack::unbind(std::uint16_t port) { sockets_.erase(port); }
+
+void UdpStack::on_packet(Packet packet) {
+  auto it = sockets_.find(packet.dst.port);
+  if (it == sockets_.end()) return;  // No listener: silently dropped.
+  it->second->receive(packet.src, std::move(packet.payload));
+}
+
+}  // namespace doxlab::net

@@ -1,0 +1,89 @@
+// UDP: sockets and the per-host port demultiplexer.
+//
+// `UdpStack` registers itself as the host's UDP protocol handler and routes
+// datagrams to bound `UdpSocket`s. Sockets are RAII: destruction unbinds.
+// Every datagram carries the 8-byte UDP header in its IP-payload accounting,
+// matching how the paper reports sizes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+
+namespace doxlab::net {
+
+class UdpStack;
+
+/// The size of a UDP header; every datagram's IP payload includes it.
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+
+/// A bound UDP socket.
+class UdpSocket {
+ public:
+  using DatagramHandler =
+      std::function<void(const Endpoint& from, std::vector<std::uint8_t>)>;
+
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Sends a datagram to `to`. The socket's bound port is the source port.
+  void send_to(const Endpoint& to, std::vector<std::uint8_t> payload);
+
+  /// Sets the receive callback (may be replaced at any time).
+  void on_datagram(DatagramHandler handler) { handler_ = std::move(handler); }
+
+  std::uint16_t port() const { return port_; }
+  Endpoint local_endpoint() const;
+
+  /// Bytes sent/received including UDP headers (IP payload accounting).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  friend class UdpStack;
+  UdpSocket(UdpStack& stack, std::uint16_t port)
+      : stack_(&stack), port_(port) {}
+
+  void receive(const Endpoint& from, std::vector<std::uint8_t> payload);
+
+  UdpStack* stack_;
+  std::uint16_t port_;
+  DatagramHandler handler_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+/// Per-host UDP port table. Construct at most one per host.
+class UdpStack {
+ public:
+  explicit UdpStack(Host& host);
+  UdpStack(const UdpStack&) = delete;
+  UdpStack& operator=(const UdpStack&) = delete;
+
+  /// Binds a specific port. Throws std::invalid_argument if taken.
+  std::unique_ptr<UdpSocket> bind(std::uint16_t port);
+
+  /// Binds an ephemeral port (49152+).
+  std::unique_ptr<UdpSocket> bind_ephemeral();
+
+  Host& host() { return *host_; }
+
+  /// Number of currently bound sockets (leak diagnostics in tests).
+  std::size_t bound_count() const { return sockets_.size(); }
+
+ private:
+  friend class UdpSocket;
+  void unbind(std::uint16_t port);
+  void on_packet(Packet packet);
+
+  Host* host_;
+  std::uint16_t next_ephemeral_ = 49152;
+  std::unordered_map<std::uint16_t, UdpSocket*> sockets_;
+};
+
+}  // namespace doxlab::net

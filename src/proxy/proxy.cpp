@@ -1,0 +1,69 @@
+#include "proxy/proxy.h"
+
+#include "util/logging.h"
+
+namespace doxlab::proxy {
+
+DnsProxy::DnsProxy(sim::Simulator& sim, net::UdpStack& stub_udp,
+                   const dox::TransportDeps& upstream_deps,
+                   ProxyConfig config)
+    : sim_(sim), config_(std::move(config)) {
+  dox::TransportOptions options = config_.transport_options;
+  options.resolver = config_.upstream;
+  transport_ = dox::make_transport(config_.upstream_protocol, upstream_deps,
+                                   options);
+  listener_ = stub_udp.bind(config_.listen_port);
+  listener_->on_datagram([this](const net::Endpoint& from,
+                                std::vector<std::uint8_t> payload) {
+    on_stub_query(from, std::move(payload));
+  });
+}
+
+void DnsProxy::reset_sessions() { transport_->reset_sessions(); }
+
+void DnsProxy::on_stub_query(const net::Endpoint& from,
+                             std::vector<std::uint8_t> payload) {
+  auto query = dns::Message::decode(payload);
+  if (!query || query->qr || query->questions.empty()) return;
+  const dns::Question question = query->questions.front();
+  const std::uint16_t stub_id = query->id;
+
+  if (config_.cache_enabled) {
+    if (auto cached = cache_.lookup(question.name, question.type,
+                                    sim_.now())) {
+      ++cache_hits_;
+      dns::Message response = dns::make_response(*query);
+      response.answers = std::move(*cached);
+      listener_->send_to(from, response.encode());
+      return;
+    }
+  }
+
+  ++forwarded_;
+  transport_->resolve(
+      question, [this, from, stub_id, question](dox::QueryResult result) {
+        if (!result.success) {
+          DOXLAB_DEBUG("proxy upstream failure: " << result.error);
+          // Real dnsproxy would eventually SERVFAIL; the stub's own
+          // timeout/retry handles it either way. Send SERVFAIL for
+          // determinism.
+          dns::Message servfail;
+          servfail.id = stub_id;
+          servfail.qr = true;
+          servfail.ra = true;
+          servfail.rcode = dns::RCode::kServFail;
+          servfail.questions = {question};
+          listener_->send_to(from, servfail.encode());
+          return;
+        }
+        if (config_.cache_enabled) {
+          cache_.insert(question.name, question.type, result.response.answers,
+                        sim_.now());
+        }
+        dns::Message response = result.response;
+        response.id = stub_id;  // restore the stub's transaction id
+        listener_->send_to(from, response.encode());
+      });
+}
+
+}  // namespace doxlab::proxy

@@ -1,0 +1,59 @@
+// QUIC protocol constants and small value types.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/types.h"
+
+namespace doxlab::quic {
+
+/// Wire versions observed in the paper's measurements (§3): QUIC v1 plus
+/// the draft versions -29, -32 and -34 (all feature-equivalent).
+enum class QuicVersion : std::uint32_t {
+  kV1 = 0x00000001,
+  kDraft29 = 0xFF00001D,
+  kDraft32 = 0xFF000020,
+  kDraft34 = 0xFF000022,
+};
+
+std::string_view version_name(QuicVersion v);
+
+/// Minimum size of UDP datagrams carrying ack-eliciting INITIAL packets
+/// (RFC 9000 §14.1) — the source of DoQ's handshake size overhead that
+/// Table 1 of the paper quantifies.
+inline constexpr std::size_t kMinInitialDatagram = 1200;
+
+/// Anti-amplification factor (RFC 9000 §8.1): unvalidated servers may send
+/// at most this multiple of the bytes received from the client.
+inline constexpr std::size_t kAmplificationFactor = 3;
+
+/// Address-validation token carried in NEW_TOKEN frames and presented in a
+/// later INITIAL (RFC 9000 §8.1.3). The secret stands in for the server's
+/// token key; validation checks secret, client address and freshness.
+struct AddressToken {
+  std::uint64_t server_secret = 0;
+  std::uint32_t client_ip = 0;
+  SimTime issued_at = 0;
+  SimTime lifetime = 7 * kDay;
+  /// True for tokens minted by a Retry packet (single-use, immediate).
+  bool from_retry = false;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<AddressToken> decode(
+      std::span<const std::uint8_t> data);
+
+  bool valid_for(std::uint64_t secret, std::uint32_t ip, SimTime now) const {
+    return server_secret == secret && client_ip == ip && now >= issued_at &&
+           (now - issued_at) < lifetime;
+  }
+};
+
+/// Packet-number spaces (RFC 9000 §12.3).
+enum class PnSpace : std::uint8_t { kInitial = 0, kHandshake = 1, kAppData = 2 };
+inline constexpr int kNumPnSpaces = 3;
+
+}  // namespace doxlab::quic

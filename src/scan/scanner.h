@@ -1,0 +1,80 @@
+// ZMap-style resolver discovery (the paper's §2 methodology):
+//
+//   1. Probe candidate IPv4 addresses on UDP 784/853/8853 with a QUIC
+//      INITIAL carrying an unsupported version. Hosts that answer with a
+//      Version Negotiation packet run QUIC on that port — no connection
+//      state is created on the target.
+//   2. Verify DoQ by completing a handshake offering the DoQ ALPN set.
+//   3. Probe the other four protocols DNSPerf-style (an A query each).
+//   4. Intersect: resolvers supporting all five are the "verified DoX" set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dox/transport.h"
+#include "net/network.h"
+#include "net/udp.h"
+#include "scan/population.h"
+
+namespace doxlab::scan {
+
+struct ScanConfig {
+  /// Ports probed for QUIC (the proposed DoQ ports).
+  std::vector<std::uint16_t> ports = {784, 853, 8853};
+  /// How long to wait for a VN answer per probe wave.
+  SimTime probe_timeout = 2 * kSecond;
+  /// Extra dark (unassigned) addresses probed per live target, to exercise
+  /// the no-answer path like a real internet-wide scan.
+  int dark_addresses_per_target = 2;
+};
+
+struct ScanReport {
+  std::uint64_t addresses_probed = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t vn_responses = 0;
+
+  /// Addresses answering the QUIC version probe on any port.
+  std::vector<net::IpAddress> quic_hosts;
+  /// Hosts completing a DoQ-ALPN handshake.
+  std::vector<net::IpAddress> doq_resolvers;
+  /// Per-protocol support counts among DoQ resolvers.
+  int doudp = 0;
+  int dotcp = 0;
+  int dot = 0;
+  int doh = 0;
+  /// Resolvers supporting all five protocols.
+  std::vector<net::IpAddress> verified_dox;
+};
+
+class Ipv4Scanner {
+ public:
+  /// `scan_host` is the single scanning vantage point (the paper used one
+  /// machine at TUM).
+  Ipv4Scanner(net::Network& network, net::Host& scan_host, ScanConfig config);
+
+  /// Runs the full pipeline against `candidates` (synthetic "address
+  /// space"). Blocks the simulator until complete.
+  ScanReport run(const std::vector<net::IpAddress>& candidates);
+
+ private:
+  /// Phase 1: VN probing. Returns address -> first answering port.
+  std::map<net::IpAddress, std::uint16_t> probe_versions(
+      const std::vector<net::IpAddress>& candidates, ScanReport& report);
+  /// Phase 2: DoQ ALPN verification.
+  std::vector<net::IpAddress> verify_doq(
+      const std::map<net::IpAddress, std::uint16_t>& quic_hosts);
+  /// Phase 3/4: per-protocol support probing and intersection.
+  void probe_support(const std::vector<net::IpAddress>& doq_hosts,
+                     ScanReport& report);
+
+  net::Network& network_;
+  net::Host& host_;
+  net::UdpStack udp_;
+  tcp::TcpStack tcp_;
+  ScanConfig config_;
+};
+
+}  // namespace doxlab::scan

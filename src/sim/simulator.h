@@ -1,0 +1,100 @@
+// Discrete-event simulator core.
+//
+// A single-threaded event loop over simulated time. Events scheduled for the
+// same instant fire in scheduling order (a monotonically increasing sequence
+// number breaks ties), which keeps runs deterministic.
+//
+// Protocol state machines interact with the simulator through two verbs:
+//   schedule(delay, fn)  — run fn after a relative delay
+//   at(time, fn)         — run fn at an absolute time
+// Both return a `Timer` handle that can cancel the event (needed for
+// retransmission timers that are disarmed by an ACK).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/types.h"
+
+namespace doxlab::sim {
+
+class Simulator;
+
+/// Cancellation handle for a scheduled event. Copyable; all copies refer to
+/// the same underlying event. Cancelling an already-fired event is a no-op.
+class Timer {
+ public:
+  Timer() = default;
+
+  /// Prevents the event from firing. Safe to call multiple times.
+  void cancel();
+
+  /// True if the event has neither fired nor been cancelled.
+  bool armed() const;
+
+ private:
+  friend class Simulator;
+  struct State {
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit Timer(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// The event loop. One instance drives one experiment.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now. Negative delays clamp to zero.
+  Timer schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute time (clamped to be >= now()).
+  Timer at(SimTime time, std::function<void()> fn);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Runs events with time <= `deadline`; leaves later events queued and
+  /// advances the clock to `deadline`.
+  void run_until(SimTime deadline);
+
+  /// Runs at most one event. Returns false if the queue was empty.
+  bool step();
+
+  /// Number of events executed since construction.
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::shared_ptr<Timer::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace doxlab::sim

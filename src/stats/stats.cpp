@@ -1,0 +1,81 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace doxlab::stats {
+
+namespace {
+double interpolate_sorted(const std::vector<double>& sorted, double p) {
+  // Linear interpolation between closest ranks (type-7 quantile).
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) return sorted[lo];
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+std::optional<double> percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return std::nullopt;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(samples.begin(), samples.end());
+  return interpolate_sorted(samples, p);
+}
+
+std::optional<double> median(std::vector<double> samples) {
+  return percentile(std::move(samples), 50.0);
+}
+
+Summary Summary::of(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p25 = interpolate_sorted(samples, 25);
+  s.median = interpolate_sorted(samples, 50);
+  s.p75 = interpolate_sorted(samples, 75);
+  s.p90 = interpolate_sorted(samples, 90);
+  s.p99 = interpolate_sorted(samples, 99);
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  return s;
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fraction_below(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+std::optional<double> Cdf::quantile(double q) const {
+  if (sorted_.empty()) return std::nullopt;
+  return interpolate_sorted(sorted_, std::clamp(q, 0.0, 1.0) * 100.0);
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points < 2) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(q, *quantile(q));
+  }
+  return out;
+}
+
+std::optional<double> relative_difference(double baseline, double value) {
+  if (baseline == 0.0) return std::nullopt;
+  return (value - baseline) / baseline;
+}
+
+}  // namespace doxlab::stats

@@ -1,0 +1,61 @@
+// Summary statistics and empirical CDFs used by every experiment report:
+// the paper presents medians (Table 1, Fig. 2) and CDFs of relative
+// differences (Fig. 3, Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace doxlab::stats {
+
+/// Interpolated percentile of a sample set. `p` in [0, 100]. Returns
+/// nullopt for empty input. The input need not be sorted.
+std::optional<double> percentile(std::vector<double> samples, double p);
+
+/// Median shorthand.
+std::optional<double> median(std::vector<double> samples);
+
+/// Five-number-plus summary.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+  double mean = 0;
+
+  static Summary of(std::vector<double> samples);
+};
+
+/// Empirical CDF over a fixed sample set.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x, in [0, 1].
+  double fraction_below(double x) const;
+
+  /// Value at quantile q in [0, 1] (interpolated).
+  std::optional<double> quantile(double q) const;
+
+  /// Evaluates the CDF at evenly spaced quantiles (for plotting/printing):
+  /// returns `points` (quantile, value) pairs.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 21) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Relative difference (b - a) / a, the quantity plotted in Figs. 3 and 4
+/// ("relative difference to DoUDP/DoQ baseline"). Returns nullopt when the
+/// baseline is zero.
+std::optional<double> relative_difference(double baseline, double value);
+
+}  // namespace doxlab::stats

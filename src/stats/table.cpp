@@ -1,0 +1,54 @@
+#include "stats/table.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace doxlab::stats {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += "  ";
+      out += (c == 0) ? pad_right(row[c], widths[c])
+                      : pad_left(row[c], widths[c]);
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string cell(double v, int decimals) { return fmt_double(v, decimals); }
+
+std::string percent_cell(double fraction, int decimals) {
+  const double pct = fraction * 100.0;
+  std::string s = fmt_double(pct, decimals);
+  if (pct >= 0) s.insert(s.begin(), '+');
+  return s + "%";
+}
+
+}  // namespace doxlab::stats

@@ -1,0 +1,31 @@
+// Plain-text table rendering for the experiment reports (benches print the
+// same rows the paper's tables/figures contain).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace doxlab::stats {
+
+/// A simple aligned-column text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment; first column left-aligned, the rest
+  /// right-aligned.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimals (helper for table cells).
+std::string cell(double v, int decimals = 1);
+/// Formats a percentage ("+12.3%" / "-4.0%").
+std::string percent_cell(double fraction, int decimals = 1);
+
+}  // namespace doxlab::stats

@@ -1,0 +1,16 @@
+#include "tls/ticket.h"
+
+namespace doxlab::tls {
+
+std::optional<SessionTicket> TicketStore::get(const std::string& server_key,
+                                              SimTime now) {
+  auto it = tickets_.find(server_key);
+  if (it == tickets_.end()) return std::nullopt;
+  if (!it->second.valid_at(now)) {
+    tickets_.erase(it);
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace doxlab::tls

@@ -1,0 +1,348 @@
+#include "tls/wire.h"
+
+#include <algorithm>
+
+namespace doxlab::tls {
+
+namespace {
+
+void write_u24(ByteWriter& w, std::size_t v) {
+  w.u8(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  w.u16(static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+std::optional<std::size_t> read_u24(ByteReader& r) {
+  auto hi = r.u8();
+  auto lo = r.u16();
+  if (!hi || !lo) return std::nullopt;
+  return (static_cast<std::size_t>(*hi) << 16) | *lo;
+}
+
+void write_string(ByteWriter& w, const std::string& s) {
+  w.u16(static_cast<std::uint16_t>(s.size()));
+  w.bytes(s);
+}
+
+std::optional<std::string> read_string(ByteReader& r) {
+  auto len = r.u16();
+  if (!len) return std::nullopt;
+  return r.string(*len);
+}
+
+void write_ticket(ByteWriter& w, const SessionTicket& t) {
+  w.u64(t.server_secret);
+  w.u64(t.ticket_id);
+  w.u64(static_cast<std::uint64_t>(t.issued_at));
+  w.u64(static_cast<std::uint64_t>(t.lifetime));
+  w.u8(t.allow_early_data ? 1 : 0);
+  w.u16(static_cast<std::uint16_t>(t.version));
+  write_string(w, t.alpn);
+}
+
+std::optional<SessionTicket> read_ticket(ByteReader& r) {
+  SessionTicket t;
+  auto secret = r.u64();
+  auto id = r.u64();
+  auto issued = r.u64();
+  auto lifetime = r.u64();
+  auto early = r.u8();
+  auto version = r.u16();
+  if (!secret || !id || !issued || !lifetime || !early || !version) {
+    return std::nullopt;
+  }
+  auto alpn = read_string(r);
+  if (!alpn) return std::nullopt;
+  t.server_secret = *secret;
+  t.ticket_id = *id;
+  t.issued_at = static_cast<SimTime>(*issued);
+  t.lifetime = static_cast<SimTime>(*lifetime);
+  t.allow_early_data = *early != 0;
+  t.version = static_cast<TlsVersion>(*version);
+  t.alpn = std::move(*alpn);
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> TlsWire::handshake_message(
+    HandshakeType type, const std::vector<std::uint8_t>& semantic,
+    std::size_t declared_body) const {
+  // The declared body must at least hold the semantic fields.
+  const std::size_t body = std::max(declared_body, semantic.size());
+  ByteWriter w(4 + body);
+  w.u8(static_cast<std::uint8_t>(type));
+  write_u24(w, body);
+  w.bytes(semantic);
+  w.pad(body - semantic.size());
+  return w.take();
+}
+
+std::vector<std::uint8_t> TlsWire::handshake_record(
+    HandshakeType type, const std::vector<std::uint8_t>& semantic,
+    std::size_t declared_body, bool encrypted) const {
+  auto message = handshake_message(type, semantic, declared_body);
+  ByteWriter w(kRecordHeaderBytes + message.size() + kAeadTagBytes);
+  w.u8(static_cast<std::uint8_t>(RecordType::kHandshake));
+  w.u16(0x0303);  // legacy record version
+  const std::size_t record_len =
+      message.size() + (encrypted ? kAeadTagBytes : 0);
+  w.u16(static_cast<std::uint16_t>(record_len));
+  w.bytes(message);
+  if (encrypted) w.pad(kAeadTagBytes);
+  return w.take();
+}
+
+std::vector<std::uint8_t> TlsWire::client_hello_record(
+    const ClientHello& ch) const {
+  ByteWriter s;
+  s.u16(static_cast<std::uint16_t>(ch.max_version));
+  write_string(s, ch.sni);
+  s.u8(static_cast<std::uint8_t>(ch.alpn.size()));
+  for (const auto& proto : ch.alpn) write_string(s, proto);
+  s.u8(ch.psk.has_value() ? 1 : 0);
+  if (ch.psk) write_ticket(s, *ch.psk);
+  s.u8(ch.early_data ? 1 : 0);
+
+  std::size_t declared = sizes_.client_hello_base + ch.sni.size();
+  for (const auto& proto : ch.alpn) declared += proto.size() + 2;
+  if (ch.psk) declared += sizes_.psk_extension;
+  if (ch.early_data) declared += sizes_.early_data_extension;
+  return handshake_record(HandshakeType::kClientHello, s.data(), declared,
+                          /*encrypted=*/false);
+}
+
+std::vector<std::uint8_t> TlsWire::server_hello_record(
+    const ServerHello& sh) const {
+  ByteWriter s;
+  s.u16(static_cast<std::uint16_t>(sh.version));
+  s.u8(sh.psk_accepted ? 1 : 0);
+  return handshake_record(HandshakeType::kServerHello, s.data(),
+                          sizes_.server_hello, /*encrypted=*/false);
+}
+
+std::vector<std::uint8_t> TlsWire::encrypted_extensions_record(
+    const EncryptedExtensions& ee) const {
+  ByteWriter s;
+  write_string(s, ee.alpn);
+  s.u8(ee.early_data_accepted ? 1 : 0);
+  return handshake_record(HandshakeType::kEncryptedExtensions, s.data(),
+                          sizes_.encrypted_extensions + ee.alpn.size(),
+                          /*encrypted=*/true);
+}
+
+std::vector<std::uint8_t> TlsWire::certificate_record(
+    std::size_t chain_size) const {
+  return handshake_record(HandshakeType::kCertificate, {}, chain_size,
+                          /*encrypted=*/true);
+}
+
+std::vector<std::uint8_t> TlsWire::certificate_verify_record() const {
+  return handshake_record(HandshakeType::kCertificateVerify, {},
+                          sizes_.certificate_verify, /*encrypted=*/true);
+}
+
+std::vector<std::uint8_t> TlsWire::finished_record() const {
+  return handshake_record(HandshakeType::kFinished, {}, sizes_.finished,
+                          /*encrypted=*/true);
+}
+
+std::vector<std::uint8_t> TlsWire::new_session_ticket_record(
+    const SessionTicket& ticket) const {
+  ByteWriter s;
+  write_ticket(s, ticket);
+  return handshake_record(HandshakeType::kNewSessionTicket, s.data(),
+                          sizes_.new_session_ticket, /*encrypted=*/true);
+}
+
+std::vector<std::uint8_t> TlsWire::server_hello_done_record() const {
+  return handshake_record(HandshakeType::kServerHelloDone, {}, 4,
+                          /*encrypted=*/false);
+}
+
+std::vector<std::uint8_t> TlsWire::server_key_exchange_record() const {
+  return handshake_record(HandshakeType::kServerKeyExchange, {},
+                          sizes_.server_key_exchange, /*encrypted=*/false);
+}
+
+std::vector<std::uint8_t> TlsWire::client_key_exchange_record() const {
+  return handshake_record(HandshakeType::kClientKeyExchange, {},
+                          sizes_.client_key_exchange, /*encrypted=*/false);
+}
+
+std::vector<std::uint8_t> TlsWire::change_cipher_spec_record() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RecordType::kChangeCipherSpec));
+  w.u16(0x0303);
+  w.u16(1);
+  w.u8(1);
+  return w.take();
+}
+
+std::vector<std::uint8_t> TlsWire::application_data_record(
+    std::span<const std::uint8_t> payload) const {
+  ByteWriter w(kRecordHeaderBytes + payload.size() + kAeadTagBytes);
+  w.u8(static_cast<std::uint8_t>(RecordType::kApplicationData));
+  w.u16(0x0303);
+  w.u16(static_cast<std::uint16_t>(payload.size() + kAeadTagBytes));
+  w.bytes(payload);
+  w.pad(kAeadTagBytes);
+  return w.take();
+}
+
+std::vector<std::uint8_t> TlsWire::alert_record() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RecordType::kAlert));
+  w.u16(0x0303);
+  w.u16(2 + kAeadTagBytes);
+  w.u8(1);  // warning
+  w.u8(0);  // close_notify
+  w.pad(kAeadTagBytes);
+  return w.take();
+}
+
+namespace {
+/// Strips record framing: 5-byte header plus, for encrypted records, the
+/// trailing AEAD tag. Used to derive raw messages for QUIC CRYPTO frames.
+std::vector<std::uint8_t> strip_record(std::vector<std::uint8_t> record,
+                                       bool encrypted) {
+  std::vector<std::uint8_t> out(record.begin() + kRecordHeaderBytes,
+                                record.end());
+  if (encrypted) out.resize(out.size() - kAeadTagBytes);
+  return out;
+}
+}  // namespace
+
+std::vector<std::uint8_t> TlsWire::client_hello_message(
+    const ClientHello& ch) const {
+  return strip_record(client_hello_record(ch), false);
+}
+
+std::vector<std::uint8_t> TlsWire::server_hello_message(
+    const ServerHello& sh) const {
+  return strip_record(server_hello_record(sh), false);
+}
+
+std::vector<std::uint8_t> TlsWire::encrypted_extensions_message(
+    const EncryptedExtensions& ee) const {
+  return strip_record(encrypted_extensions_record(ee), true);
+}
+
+std::vector<std::uint8_t> TlsWire::certificate_message(
+    std::size_t chain_size) const {
+  return strip_record(certificate_record(chain_size), true);
+}
+
+std::vector<std::uint8_t> TlsWire::certificate_verify_message() const {
+  return strip_record(certificate_verify_record(), true);
+}
+
+std::vector<std::uint8_t> TlsWire::finished_message() const {
+  return strip_record(finished_record(), true);
+}
+
+std::vector<std::uint8_t> TlsWire::new_session_ticket_message(
+    const SessionTicket& ticket) const {
+  return strip_record(new_session_ticket_record(ticket), true);
+}
+
+std::optional<TlsWire::Record> TlsWire::next_record(
+    std::vector<std::uint8_t>& buffer) {
+  if (buffer.size() < kRecordHeaderBytes) return std::nullopt;
+  ByteReader r(buffer);
+  auto type = r.u8();
+  r.u16();  // legacy version
+  auto len = r.u16();
+  if (!type || !len) return std::nullopt;
+  if (buffer.size() < kRecordHeaderBytes + *len) return std::nullopt;
+  Record record;
+  record.type = static_cast<RecordType>(*type);
+  record.body.assign(buffer.begin() + kRecordHeaderBytes,
+                     buffer.begin() + kRecordHeaderBytes + *len);
+  buffer.erase(buffer.begin(),
+               buffer.begin() + kRecordHeaderBytes + *len);
+  return record;
+}
+
+std::optional<HandshakeMessage> TlsWire::parse_handshake(
+    std::span<const std::uint8_t> body, bool encrypted) const {
+  if (encrypted) {
+    if (body.size() < kAeadTagBytes) return std::nullopt;
+    body = body.subspan(0, body.size() - kAeadTagBytes);
+  }
+  ByteReader r(body);
+  auto type = r.u8();
+  auto len = read_u24(r);
+  if (!type || !len) return std::nullopt;
+  HandshakeMessage msg;
+  msg.type = static_cast<HandshakeType>(*type);
+  msg.body_size = *len;
+
+  switch (msg.type) {
+    case HandshakeType::kClientHello: {
+      ClientHello ch;
+      auto version = r.u16();
+      auto sni = read_string(r);
+      auto alpn_count = r.u8();
+      if (!version || !sni || !alpn_count) return std::nullopt;
+      ch.max_version = static_cast<TlsVersion>(*version);
+      ch.sni = std::move(*sni);
+      for (int i = 0; i < *alpn_count; ++i) {
+        auto proto = read_string(r);
+        if (!proto) return std::nullopt;
+        ch.alpn.push_back(std::move(*proto));
+      }
+      auto has_psk = r.u8();
+      if (!has_psk) return std::nullopt;
+      if (*has_psk) {
+        auto ticket = read_ticket(r);
+        if (!ticket) return std::nullopt;
+        ch.psk = std::move(*ticket);
+      }
+      auto early = r.u8();
+      if (!early) return std::nullopt;
+      ch.early_data = *early != 0;
+      msg.client_hello = std::move(ch);
+      break;
+    }
+    case HandshakeType::kServerHello: {
+      ServerHello sh;
+      auto version = r.u16();
+      auto psk = r.u8();
+      if (!version || !psk) return std::nullopt;
+      sh.version = static_cast<TlsVersion>(*version);
+      sh.psk_accepted = *psk != 0;
+      msg.server_hello = sh;
+      break;
+    }
+    case HandshakeType::kEncryptedExtensions: {
+      EncryptedExtensions ee;
+      auto alpn = read_string(r);
+      auto early = r.u8();
+      if (!alpn || !early) return std::nullopt;
+      ee.alpn = std::move(*alpn);
+      ee.early_data_accepted = *early != 0;
+      msg.encrypted_extensions = std::move(ee);
+      break;
+    }
+    case HandshakeType::kNewSessionTicket: {
+      auto ticket = read_ticket(r);
+      if (!ticket) return std::nullopt;
+      msg.new_session_ticket = NewSessionTicketMsg{std::move(*ticket)};
+      break;
+    }
+    case HandshakeType::kCertificate:
+      msg.certificate_size = *len;
+      break;
+    default:
+      break;  // size-only messages (Finished, CV, SHD, KEX)
+  }
+  return msg;
+}
+
+std::span<const std::uint8_t> TlsWire::app_payload(
+    std::span<const std::uint8_t> body) {
+  if (body.size() < kAeadTagBytes) return {};
+  return body.subspan(0, body.size() - kAeadTagBytes);
+}
+
+}  // namespace doxlab::tls

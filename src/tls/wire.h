@@ -1,0 +1,178 @@
+// TLS record and handshake-message wire model.
+//
+// We model TLS at message granularity: each handshake message is encoded
+// with its real type byte, a 24-bit length, its *semantic* fields (versions,
+// ALPN, SNI, PSK ticket, flags), and padding up to a calibrated size that
+// matches what real stacks emit (key shares, extension lists, signatures and
+// certificates are represented by their byte cost, not their cryptography).
+// Records add the 5-byte header and, once encryption is active, a 16-byte
+// AEAD tag — so the per-direction byte counts the paper's Table 1 reports
+// fall out of actually encoding these messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tls/ticket.h"
+#include "util/bytes.h"
+
+namespace doxlab::tls {
+
+/// Record content types (RFC 8446 §5.1).
+enum class RecordType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+/// Handshake message types (RFC 8446 §4).
+enum class HandshakeType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+  kNewSessionTicket = 4,
+  kEncryptedExtensions = 8,
+  kCertificate = 11,
+  kServerKeyExchange = 12,   // TLS 1.2
+  kCertificateVerify = 15,
+  kServerHelloDone = 14,     // TLS 1.2
+  kClientKeyExchange = 16,   // TLS 1.2
+  kFinished = 20,
+};
+
+/// Calibrated on-the-wire handshake message body sizes (bytes, excluding the
+/// 4-byte message header). Chosen to land the per-direction handshake byte
+/// counts near the medians measured in the paper (Table 1).
+struct WireSizes {
+  std::size_t client_hello_base = 140;      // versions, random, ciphers, key share
+  std::size_t psk_extension = 170;          // ticket + binder
+  std::size_t early_data_extension = 8;
+  std::size_t server_hello = 76;
+  std::size_t encrypted_extensions = 10;
+  std::size_t certificate_verify = 264;
+  std::size_t finished = 36;
+  std::size_t new_session_ticket = 208;
+  std::size_t server_key_exchange = 300;    // TLS 1.2
+  std::size_t client_key_exchange = 70;     // TLS 1.2
+  std::size_t record_header = 5;
+  std::size_t aead_tag = 16;
+};
+
+inline constexpr std::size_t kRecordHeaderBytes = 5;
+inline constexpr std::size_t kAeadTagBytes = 16;
+
+/// Semantic content of a ClientHello.
+struct ClientHello {
+  TlsVersion max_version = TlsVersion::kTls13;
+  std::string sni;
+  std::vector<std::string> alpn;
+  std::optional<SessionTicket> psk;  // offered resumption ticket
+  bool early_data = false;
+};
+
+/// Semantic content of a ServerHello.
+struct ServerHello {
+  TlsVersion version = TlsVersion::kTls13;
+  bool psk_accepted = false;
+};
+
+/// Semantic content of EncryptedExtensions.
+struct EncryptedExtensions {
+  std::string alpn;
+  bool early_data_accepted = false;
+};
+
+/// Semantic content of NewSessionTicket.
+struct NewSessionTicketMsg {
+  SessionTicket ticket;
+};
+
+/// A parsed handshake message: type + semantic payload (variant-free —
+/// exactly one of the optionals is set, matching `type`).
+struct HandshakeMessage {
+  HandshakeType type = HandshakeType::kClientHello;
+  std::size_t body_size = 0;  // declared size incl. padding
+  std::optional<ClientHello> client_hello;
+  std::optional<ServerHello> server_hello;
+  std::optional<EncryptedExtensions> encrypted_extensions;
+  std::optional<NewSessionTicketMsg> new_session_ticket;
+  std::size_t certificate_size = 0;  // kCertificate only
+};
+
+/// Encodes handshake messages (semantic fields + padding to the calibrated
+/// size) and wraps them in records.
+class TlsWire {
+ public:
+  explicit TlsWire(WireSizes sizes = {}) : sizes_(sizes) {}
+
+  // --- raw handshake message encoders (no record framing; QUIC carries
+  //     these directly inside CRYPTO frames) ---
+  std::vector<std::uint8_t> client_hello_message(const ClientHello& ch) const;
+  std::vector<std::uint8_t> server_hello_message(const ServerHello& sh) const;
+  std::vector<std::uint8_t> encrypted_extensions_message(
+      const EncryptedExtensions& ee) const;
+  std::vector<std::uint8_t> certificate_message(std::size_t chain_size) const;
+  std::vector<std::uint8_t> certificate_verify_message() const;
+  std::vector<std::uint8_t> finished_message() const;
+  std::vector<std::uint8_t> new_session_ticket_message(
+      const SessionTicket& ticket) const;
+
+  // --- handshake message encoders (return full record bytes) ---
+  std::vector<std::uint8_t> client_hello_record(const ClientHello& ch) const;
+  std::vector<std::uint8_t> server_hello_record(const ServerHello& sh) const;
+  std::vector<std::uint8_t> encrypted_extensions_record(
+      const EncryptedExtensions& ee) const;
+  std::vector<std::uint8_t> certificate_record(std::size_t chain_size) const;
+  std::vector<std::uint8_t> certificate_verify_record() const;
+  std::vector<std::uint8_t> finished_record() const;
+  std::vector<std::uint8_t> new_session_ticket_record(
+      const SessionTicket& ticket) const;
+  std::vector<std::uint8_t> server_hello_done_record() const;
+  std::vector<std::uint8_t> server_key_exchange_record() const;
+  std::vector<std::uint8_t> client_key_exchange_record() const;
+  std::vector<std::uint8_t> change_cipher_spec_record() const;
+
+  /// Application data record (encrypted: header + payload + tag).
+  std::vector<std::uint8_t> application_data_record(
+      std::span<const std::uint8_t> payload) const;
+
+  /// close_notify alert.
+  std::vector<std::uint8_t> alert_record() const;
+
+  const WireSizes& sizes() const { return sizes_; }
+
+  // --- decoding ---
+  /// A record pulled off the byte stream.
+  struct Record {
+    RecordType type;
+    std::vector<std::uint8_t> body;  // excludes header, includes any tag
+  };
+
+  /// Extracts the next complete record from `buffer`, erasing consumed
+  /// bytes; nullopt if a full record is not yet buffered.
+  static std::optional<Record> next_record(std::vector<std::uint8_t>& buffer);
+
+  /// Parses a handshake record body into a message. The body may contain a
+  /// trailing AEAD tag (encrypted records); `encrypted` strips it.
+  std::optional<HandshakeMessage> parse_handshake(
+      std::span<const std::uint8_t> body, bool encrypted) const;
+
+  /// Strips the AEAD tag from an application-data record body.
+  static std::span<const std::uint8_t> app_payload(
+      std::span<const std::uint8_t> body);
+
+ private:
+  std::vector<std::uint8_t> handshake_message(
+      HandshakeType type, const std::vector<std::uint8_t>& semantic,
+      std::size_t declared_body) const;
+  std::vector<std::uint8_t> handshake_record(
+      HandshakeType type, const std::vector<std::uint8_t>& semantic,
+      std::size_t declared_body, bool encrypted) const;
+
+  WireSizes sizes_;
+};
+
+}  // namespace doxlab::tls

@@ -1,0 +1,126 @@
+#include "util/bytes.h"
+
+namespace doxlab {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  // RFC 9000 §16: the two most significant bits of the first byte encode the
+  // length (00=1, 01=2, 10=4, 11=8 bytes).
+  if (v < (1ull << 6)) {
+    u8(static_cast<std::uint8_t>(v));
+  } else if (v < (1ull << 14)) {
+    u16(static_cast<std::uint16_t>(v | 0x4000));
+  } else if (v < (1ull << 30)) {
+    u32(static_cast<std::uint32_t>(v | 0x80000000u));
+  } else {
+    u64(v | 0xC000000000000000ull);
+  }
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::bytes(std::string_view data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::pad(std::size_t n, std::uint8_t fill) {
+  buf_.insert(buf_.end(), n, fill);
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+  buf_.at(offset + 1) = static_cast<std::uint8_t>(v);
+}
+
+std::optional<std::uint8_t> ByteReader::u8() {
+  if (remaining() < 1) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> ByteReader::u16() {
+  if (remaining() < 2) return std::nullopt;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::u32() {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::u64() {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::varint() {
+  auto first = u8();
+  if (!first) return std::nullopt;
+  const int len = 1 << (*first >> 6);
+  std::uint64_t v = *first & 0x3F;
+  for (int i = 1; i < len; ++i) {
+    auto b = u8();
+    if (!b) return std::nullopt;
+    v = (v << 8) | *b;
+  }
+  return v;
+}
+
+std::optional<std::span<const std::uint8_t>> ByteReader::bytes(std::size_t n) {
+  if (remaining() < n) return std::nullopt;
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::optional<std::string> ByteReader::string(std::size_t n) {
+  auto b = bytes(n);
+  if (!b) return std::nullopt;
+  return std::string(reinterpret_cast<const char*>(b->data()), b->size());
+}
+
+bool ByteReader::seek(std::size_t offset) {
+  if (offset > data_.size()) return false;
+  pos_ = offset;
+  return true;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace doxlab

@@ -1,0 +1,85 @@
+// Byte-buffer reader/writer used by every wire-format codec in doxlab.
+//
+// The codecs (DNS, QUIC varints, HTTP/2 frames, TLS records) all operate on
+// network byte order (big-endian). `ByteWriter` grows an owned buffer;
+// `ByteReader` is a non-owning cursor over caller-provided bytes and reports
+// truncation instead of reading past the end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace doxlab {
+
+/// Growable big-endian byte sink.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+
+  /// QUIC RFC 9000 §16 variable-length integer (1/2/4/8 bytes).
+  void varint(std::uint64_t v);
+
+  void bytes(std::span<const std::uint8_t> data);
+  void bytes(std::string_view data);
+
+  /// Appends `n` copies of `fill` (used for QUIC INITIAL padding).
+  void pad(std::size_t n, std::uint8_t fill = 0);
+
+  /// Overwrites two bytes at `offset` (for back-patched length fields).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  std::size_t size() const { return buf_.size(); }
+  std::span<const std::uint8_t> view() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Non-owning big-endian cursor. All reads return std::nullopt on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+
+  /// QUIC RFC 9000 §16 variable-length integer.
+  std::optional<std::uint64_t> varint();
+
+  /// Reads exactly `n` bytes; nullopt if fewer remain.
+  std::optional<std::span<const std::uint8_t>> bytes(std::size_t n);
+
+  /// Reads `n` bytes into a std::string.
+  std::optional<std::string> string(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+  /// Moves the cursor to an absolute offset (for DNS compression pointers).
+  /// Returns false if the offset is out of range.
+  bool seek(std::size_t offset);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Hex dump (lowercase, no separators) — used in tests and diagnostics.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+}  // namespace doxlab

@@ -1,0 +1,30 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace doxlab {
+
+namespace {
+LogLevel g_level = LogLevel::kError;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace doxlab

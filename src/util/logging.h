@@ -1,0 +1,39 @@
+// Minimal leveled logging used for debugging protocol state machines.
+//
+// Logging is off (kError) by default so that studies with hundreds of
+// thousands of simulated queries stay quiet and fast; tests flip the level
+// when diagnosing a failure.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace doxlab {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold (process-wide; not thread safe by design — the
+/// simulator is single-threaded).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace doxlab
+
+#define DOXLAB_LOG(level, expr)                                     \
+  do {                                                              \
+    if (static_cast<int>(level) <=                                  \
+        static_cast<int>(::doxlab::log_level())) {                  \
+      std::ostringstream oss_;                                      \
+      oss_ << expr;                                                 \
+      ::doxlab::detail::log_line(level, oss_.str());                \
+    }                                                               \
+  } while (0)
+
+#define DOXLAB_DEBUG(expr) DOXLAB_LOG(::doxlab::LogLevel::kDebug, expr)
+#define DOXLAB_INFO(expr) DOXLAB_LOG(::doxlab::LogLevel::kInfo, expr)
+#define DOXLAB_WARN(expr) DOXLAB_LOG(::doxlab::LogLevel::kWarn, expr)
+#define DOXLAB_ERROR(expr) DOXLAB_LOG(::doxlab::LogLevel::kError, expr)

@@ -1,0 +1,60 @@
+// Deterministic random number generation for the simulation.
+//
+// Every source of randomness in doxlab (latency jitter, packet loss, feature
+// assignment across the resolver population, workload schedules) draws from
+// an `Rng` that is ultimately seeded from the study seed, which makes every
+// experiment reproducible bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace doxlab {
+
+/// Seedable RNG with the distribution helpers the simulation needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derives an independent child generator; used to give each subsystem its
+  /// own stream so adding draws in one place does not perturb another.
+  Rng fork();
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool chance(double p);
+
+  /// Normal distribution (mean, stddev).
+  double normal(double mean, double stddev);
+
+  /// Log-normal distribution parameterized by the *underlying* normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential distribution with the given mean.
+  double exponential(double mean);
+
+  /// Picks an index in [0, weights.size()) proportionally to `weights`.
+  /// Precondition: weights is non-empty and sums to a positive value.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Shuffles a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace doxlab

@@ -1,0 +1,31 @@
+// Small string helpers shared by the DNS codec and report formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace doxlab {
+
+/// ASCII lower-casing (DNS names are case-insensitive; we canonicalize).
+std::string to_lower(std::string_view s);
+
+/// Splits on a single character; empty segments are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Formats a double with `digits` decimal places.
+std::string fmt_double(double v, int digits);
+
+/// Right-pads or truncates to exactly `width` characters.
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// Left-pads to at least `width` characters.
+std::string pad_left(std::string_view s, std::size_t width);
+
+}  // namespace doxlab

@@ -1,0 +1,39 @@
+// Fundamental scalar types shared across doxlab.
+//
+// All simulated time is kept in integer microseconds (`SimTime`). Integer
+// time keeps the discrete-event simulation exactly reproducible across
+// platforms: no floating point accumulation order can change an event order.
+#pragma once
+
+#include <cstdint>
+
+namespace doxlab {
+
+/// Absolute simulated time or a duration, in microseconds.
+using SimTime = std::int64_t;
+
+/// One microsecond (the base unit).
+inline constexpr SimTime kMicrosecond = 1;
+/// One millisecond in `SimTime` units.
+inline constexpr SimTime kMillisecond = 1000;
+/// One second in `SimTime` units.
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+/// One minute in `SimTime` units.
+inline constexpr SimTime kMinute = 60 * kSecond;
+/// One hour in `SimTime` units.
+inline constexpr SimTime kHour = 60 * kMinute;
+/// One day in `SimTime` units.
+inline constexpr SimTime kDay = 24 * kHour;
+
+/// Sentinel for "no deadline" / "never".
+inline constexpr SimTime kSimTimeNever = INT64_MAX;
+
+/// Converts a `SimTime` duration to fractional milliseconds (for reporting).
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+/// Converts fractional milliseconds to `SimTime` (rounds toward zero).
+constexpr SimTime from_ms(double ms) {
+  return static_cast<SimTime>(ms * 1000.0);
+}
+
+}  // namespace doxlab

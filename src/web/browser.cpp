@@ -1,0 +1,236 @@
+#include "web/browser.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace doxlab::web {
+
+namespace {
+/// Segments delivered in the first slow-start round (IW10).
+constexpr double kInitialWindowBytes = 10 * 1460.0;
+}  // namespace
+
+struct Browser::NavState {
+  const WebPage* page = nullptr;
+  std::function<void(PageLoadMetrics)> done;
+  SimTime started_at = 0;
+  /// Per-group completion time; nullopt while outstanding.
+  std::vector<std::optional<SimTime>> group_done;
+  bool html_done = false;
+  SimTime html_done_at = 0;
+  bool depth2_started = false;
+  bool finished = false;
+  int dns_retransmissions = 0;
+  /// Fresh stub transport per navigation = cold browser DNS cache.
+  std::unique_ptr<dox::DnsTransport> stub;
+  sim::Timer timeout;
+};
+
+Browser::Browser(sim::Simulator& sim, net::UdpStack& udp, BrowserConfig config,
+                 OriginRttFn origin_rtt, Rng rng)
+    : sim_(sim),
+      udp_(udp),
+      config_(std::move(config)),
+      origin_rtt_(std::move(origin_rtt)),
+      rng_(std::move(rng)) {}
+
+Browser::~Browser() = default;
+
+SimTime Browser::transfer_time(std::size_t bytes, SimTime rtt,
+                               double bandwidth_mbps) {
+  if (bytes == 0) return 0;
+  // Slow-start rounds needed to open the window over the payload, plus the
+  // serialization time at full bandwidth.
+  const double rounds =
+      std::ceil(std::log2(static_cast<double>(bytes) / kInitialWindowBytes +
+                          1.0));
+  const double bandwidth_bytes_per_us = bandwidth_mbps * 1e6 / 8.0 / 1e6;
+  const SimTime serialization =
+      static_cast<SimTime>(static_cast<double>(bytes) /
+                           bandwidth_bytes_per_us);
+  return static_cast<SimTime>(rounds) * rtt + serialization;
+}
+
+SimTime Browser::fetch_time(const ResourceGroup& group, SimTime rtt) {
+  // Requests multiplex on one H2 connection: batches of ~8 concurrent
+  // requests each cost a round trip, plus the transfer itself.
+  const int request_rounds = 1 + (group.resources - 1) / 8;
+  SimTime t = request_rounds * rtt +
+              transfer_time(group.total_bytes, rtt, config_.bandwidth_mbps);
+  // Per-fetch jitter (server variance, scheduling): +-10%-ish lognormal.
+  t = static_cast<SimTime>(static_cast<double>(t) *
+                           rng_.lognormal(0.0, 0.08));
+  return t;
+}
+
+void Browser::navigate(const WebPage& page,
+                       std::function<void(PageLoadMetrics)> done) {
+  auto nav = std::make_shared<NavState>();
+  nav->page = &page;
+  nav->done = std::move(done);
+  nav->started_at = sim_.now();
+  nav->group_done.resize(page.groups.size());
+
+  dox::TransportDeps deps;
+  deps.sim = &sim_;
+  deps.udp = &udp_;
+  dox::TransportOptions options;
+  options.resolver = config_.stub_resolver;
+  options.udp_retry_timeout = config_.dns_retry_timeout;
+  options.udp_max_attempts = config_.dns_max_attempts;
+  options.query_timeout = config_.load_timeout;
+  nav->stub = dox::make_transport(dox::DnsProtocol::kDoUdp, deps, options);
+
+  active_ = nav;
+  nav->timeout = sim_.schedule(config_.load_timeout, [this, nav] {
+    fail_navigation(nav, "page load timed out");
+  });
+
+  // The navigation starts with the document origin (group 0).
+  start_group(nav, 0);
+}
+
+void Browser::resolve_domain(const std::shared_ptr<NavState>& nav,
+                             const dns::DnsName& domain,
+                             std::function<void(bool)> done) {
+  nav->stub->resolve(
+      dns::Question{domain, dns::RRType::kA, dns::RRClass::kIN},
+      [nav, done = std::move(done)](dox::QueryResult result) {
+        if (nav->finished) return;
+        nav->dns_retransmissions += result.udp_retransmissions;
+        done(result.success &&
+             result.response.rcode == dns::RCode::kNoError);
+      });
+}
+
+void Browser::start_group(const std::shared_ptr<NavState>& nav,
+                          std::size_t index) {
+  const ResourceGroup& group = nav->page->groups[index];
+  resolve_domain(nav, group.domain, [this, nav, index](bool ok) {
+    if (nav->finished) return;
+    if (!ok) {
+      fail_navigation(nav, "DNS resolution failed for group " +
+                               std::to_string(index));
+      return;
+    }
+    const ResourceGroup& group = nav->page->groups[index];
+    const SimTime rtt = origin_rtt_(group.domain);
+    // H2 connection setup: TCP + TLS 1.3 = 2 RTT (identical across DNS
+    // protocols, so it cancels in the relative comparison).
+    const SimTime connect = 2 * rtt;
+    if (index == 0) {
+      // Main document: request + server think + HTML transfer; the document
+      // origin's other resources follow once the HTML is parsed.
+      const SimTime fetch =
+          rtt + config_.server_think +
+          transfer_time(nav->page->html_bytes, rtt, config_.bandwidth_mbps);
+      sim_.schedule(connect + fetch, [this, nav] { html_finished(nav); });
+      return;
+    }
+    sim_.schedule(connect + fetch_time(group, rtt), [this, nav, index] {
+      group_finished(nav, index);
+    });
+  });
+}
+
+void Browser::html_finished(const std::shared_ptr<NavState>& nav) {
+  if (nav->finished) return;
+  nav->html_done = true;
+  nav->html_done_at = sim_.now();
+
+  // HTML parsed: all depth-1 origins are discovered; their DNS queries go
+  // out in parallel (this is where the DoT in-flight bug triggers).
+  for (std::size_t i = 0; i < nav->page->groups.size(); ++i) {
+    if (nav->page->groups[i].depth == 1) start_group(nav, i);
+  }
+
+  // The document origin's own subresources reuse the established
+  // connection: no DNS query, no connection setup.
+  const ResourceGroup& document = nav->page->groups[0];
+  const SimTime rtt = origin_rtt_(document.domain);
+  sim_.schedule(fetch_time(document, rtt),
+                [this, nav] { group_finished(nav, 0); });
+}
+
+void Browser::group_finished(const std::shared_ptr<NavState>& nav,
+                             std::size_t index) {
+  if (nav->finished) return;
+  nav->group_done[index] = sim_.now();
+
+  // Depth-2 origins start once every depth<=1 group has finished (script
+  // execution model).
+  if (!nav->depth2_started) {
+    bool shallow_done = true;
+    for (std::size_t i = 0; i < nav->page->groups.size(); ++i) {
+      if (nav->page->groups[i].depth <= 1 && !nav->group_done[i]) {
+        shallow_done = false;
+        break;
+      }
+    }
+    if (shallow_done) {
+      nav->depth2_started = true;
+      bool any = false;
+      for (std::size_t i = 0; i < nav->page->groups.size(); ++i) {
+        if (nav->page->groups[i].depth == 2) {
+          start_group(nav, i);
+          any = true;
+        }
+      }
+      (void)any;
+    }
+  }
+
+  maybe_finish(nav);
+}
+
+void Browser::maybe_finish(const std::shared_ptr<NavState>& nav) {
+  for (const auto& done : nav->group_done) {
+    if (!done) return;
+  }
+  nav->finished = true;
+  nav->timeout.cancel();
+
+  PageLoadMetrics metrics;
+  metrics.success = true;
+  metrics.dns_queries = nav->page->dns_queries();
+  metrics.dns_retransmissions = nav->dns_retransmissions;
+
+  // FCP: html + critical depth<=1 groups + render delay.
+  SimTime critical_done = nav->html_done_at;
+  for (std::size_t i = 0; i < nav->page->groups.size(); ++i) {
+    const ResourceGroup& group = nav->page->groups[i];
+    if (group.render_critical && group.depth <= 1) {
+      critical_done = std::max(critical_done, *nav->group_done[i]);
+    }
+  }
+  metrics.fcp = critical_done - nav->started_at + config_.render_delay;
+
+  SimTime last = 0;
+  for (const auto& done : nav->group_done) last = std::max(last, *done);
+  metrics.plt = last - nav->started_at + config_.onload_delay;
+  // onLoad never fires before first paint.
+  metrics.plt = std::max(metrics.plt, metrics.fcp);
+
+  auto cb = std::move(nav->done);
+  if (active_ == nav) active_.reset();
+  if (cb) cb(std::move(metrics));
+}
+
+void Browser::fail_navigation(const std::shared_ptr<NavState>& nav,
+                              const std::string& error) {
+  if (nav->finished) return;
+  nav->finished = true;
+  nav->timeout.cancel();
+  PageLoadMetrics metrics;
+  metrics.success = false;
+  metrics.error = error;
+  metrics.dns_queries = nav->page->dns_queries();
+  metrics.dns_retransmissions = nav->dns_retransmissions;
+  auto cb = std::move(nav->done);
+  if (active_ == nav) active_.reset();
+  if (cb) cb(std::move(metrics));
+}
+
+}  // namespace doxlab::web

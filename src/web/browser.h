@@ -1,0 +1,102 @@
+// Browser page-load model (the Selenium+Chromium stand-in).
+//
+// The model keeps everything that does *not* depend on the DNS protocol
+// deterministic and identical across protocols — web-server RTTs, H2
+// connection setup (fixed 2 RTT), slow-start-shaped transfer times — and
+// routes every DNS lookup through the local stub resolver (the DnsProxy),
+// with Chromium's 5-second application-layer retry. The page's dependency
+// structure (document -> HTML-discovered origins -> script-discovered
+// origins) decides how many DNS round trips sit on the critical path, which
+// is exactly the mechanism behind Fig. 3 and Fig. 4 of the paper.
+//
+// Metrics follow the paper's definitions:
+//   FCP — first contentful paint: render-critical resources of the document
+//         and depth-1 origins are done and a render delay has elapsed.
+//   PLT — LoadEventStart-NavigationStart: all resources done plus onload.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "dox/transport.h"
+#include "net/udp.h"
+#include "util/rng.h"
+#include "web/page.h"
+
+namespace doxlab::web {
+
+struct BrowserConfig {
+  /// The local stub resolver (the DnsProxy's listener).
+  net::Endpoint stub_resolver;
+  /// Downstream bandwidth for resource transfers.
+  double bandwidth_mbps = 16.0;  // effective per-page goodput (calibration)
+  /// Layout/paint time after the critical resources arrive.
+  SimTime render_delay = 30 * kMillisecond;
+  /// onLoad dispatch after the last resource.
+  SimTime onload_delay = 15 * kMillisecond;
+  /// Server-side HTML generation time.
+  SimTime server_think = 25 * kMillisecond;
+  /// Chromium's application-layer DNS retry (resolv.conf style): 5 s.
+  SimTime dns_retry_timeout = 5 * kSecond;
+  int dns_max_attempts = 3;
+  /// Whole-navigation timeout.
+  SimTime load_timeout = 120 * kSecond;
+};
+
+struct PageLoadMetrics {
+  bool success = false;
+  std::string error;
+  SimTime fcp = 0;
+  SimTime plt = 0;
+  int dns_queries = 0;
+  int dns_retransmissions = 0;
+};
+
+class Browser {
+ public:
+  /// Round-trip time from this client to the web origin `domain`
+  /// (deterministic per vantage point + origin; the testbed provides it).
+  using OriginRttFn = std::function<SimTime(const dns::DnsName&)>;
+
+  /// `udp` is the client machine's UDP stack (used for stub queries).
+  Browser(sim::Simulator& sim, net::UdpStack& udp, BrowserConfig config,
+          OriginRttFn origin_rtt, Rng rng);
+  ~Browser();
+
+  Browser(const Browser&) = delete;
+  Browser& operator=(const Browser&) = delete;
+
+  /// Performs one cold-start navigation. The callback fires exactly once.
+  /// Only one navigation may be active at a time per Browser.
+  void navigate(const WebPage& page,
+                std::function<void(PageLoadMetrics)> done);
+
+  /// Transfer-time model, exposed for tests: slow-start rounds + bandwidth.
+  static SimTime transfer_time(std::size_t bytes, SimTime rtt,
+                               double bandwidth_mbps);
+
+ private:
+  struct NavState;
+
+  void resolve_domain(const std::shared_ptr<NavState>& nav,
+                      const dns::DnsName& domain,
+                      std::function<void(bool)> done);
+  void start_group(const std::shared_ptr<NavState>& nav, std::size_t index);
+  void html_finished(const std::shared_ptr<NavState>& nav);
+  void group_finished(const std::shared_ptr<NavState>& nav,
+                      std::size_t index);
+  void maybe_finish(const std::shared_ptr<NavState>& nav);
+  void fail_navigation(const std::shared_ptr<NavState>& nav,
+                       const std::string& error);
+  SimTime fetch_time(const ResourceGroup& group, SimTime rtt);
+
+  sim::Simulator& sim_;
+  net::UdpStack& udp_;
+  BrowserConfig config_;
+  OriginRttFn origin_rtt_;
+  Rng rng_;
+  std::shared_ptr<NavState> active_;
+};
+
+}  // namespace doxlab::web

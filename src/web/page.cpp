@@ -1,0 +1,168 @@
+#include "web/page.h"
+
+#include <stdexcept>
+
+namespace doxlab::web {
+
+namespace {
+
+/// Scale factor calibrating absolute page weight so that the *relative*
+/// impact of the DNS protocol on FCP/PLT lands in the range the paper
+/// reports (single-digit to low-double-digit percentages). The dependency
+/// structure, not the absolute size, carries the comparison.
+constexpr std::size_t kByteScale = 3;
+
+ResourceGroup group(const char* domain, int depth, int resources,
+                    std::size_t kilobytes, bool critical) {
+  return ResourceGroup{dns::DnsName::parse(domain), depth, resources,
+                       kilobytes * 1024 * kByteScale, critical};
+}
+
+std::vector<WebPage> build_pages() {
+  std::vector<WebPage> pages;
+
+  // wikipedia.org — landing page is a lightweight search portal; a single
+  // origin serves everything (1 DNS query). The paper calls this and
+  // instagram out as the pages where DNS protocol cost shows most.
+  pages.push_back(WebPage{
+      "wikipedia.org",
+      140 * 1024,
+      {
+          group("www.wikipedia.org", 0, 14, 700, true),
+      }});
+
+  // instagram.com — login form; one first-party origin.
+  pages.push_back(WebPage{
+      "instagram.com",
+      100 * 1024,
+      {
+          group("www.instagram.com", 0, 16, 750, true),
+      }});
+
+  // linkedin.com — login/landing with a CDN origin.
+  pages.push_back(WebPage{
+      "linkedin.com",
+      180 * 1024,
+      {
+          group("www.linkedin.com", 0, 8, 400, true),
+          group("static.licdn.com", 1, 14, 650, true),
+      }});
+
+  // google.com — search page plus consolidated static origins.
+  pages.push_back(WebPage{
+      "google.com",
+      240 * 1024,
+      {
+          group("www.google.com", 0, 6, 200, true),
+          group("www.gstatic.com", 1, 10, 350, true),
+          group("apis.google.com", 2, 2, 60, false),
+      }});
+
+  // twitter.com — app shell + two CDNs + analytics.
+  pages.push_back(WebPage{
+      "twitter.com",
+      220 * 1024,
+      {
+          group("twitter.com", 0, 4, 150, true),
+          group("abs.twimg.com", 1, 14, 600, true),
+          group("pbs.twimg.com", 1, 10, 500, false),
+          group("api.twitter.com", 2, 3, 80, false),
+      }});
+
+  // facebook.com — login page with split static/graph origins.
+  pages.push_back(WebPage{
+      "facebook.com",
+      280 * 1024,
+      {
+          group("www.facebook.com", 0, 6, 250, true),
+          group("static.xx.fbcdn.net", 1, 16, 700, true),
+          group("scontent.xx.fbcdn.net", 1, 8, 450, false),
+          group("connect.facebook.net", 2, 2, 90, false),
+          group("graph.facebook.com", 2, 2, 40, false),
+      }});
+
+  // apple.com — marketing page, image heavy, several first-party hosts.
+  pages.push_back(WebPage{
+      "apple.com",
+      320 * 1024,
+      {
+          group("www.apple.com", 0, 10, 400, true),
+          group("images.apple.com", 1, 20, 1200, true),
+          group("store.storeimages.cdn-apple.com", 1, 8, 500, false),
+          group("metrics.apple.com", 2, 2, 30, false),
+          group("security.apple.com", 2, 1, 20, false),
+          group("experiments.apple.com", 2, 1, 25, false),
+      }});
+
+  // amazon.com — storefront with media CDNs, ads and telemetry.
+  pages.push_back(WebPage{
+      "amazon.com",
+      360 * 1024,
+      {
+          group("www.amazon.com", 0, 8, 350, true),
+          group("images-na.ssl-images-amazon.com", 1, 24, 1400, true),
+          group("m.media-amazon.com", 1, 16, 900, false),
+          group("completion.amazon.com", 1, 2, 40, false),
+          group("fls-na.amazon.com", 2, 2, 30, false),
+          group("unagi.amazon.com", 2, 2, 35, false),
+          group("aax-us-east.amazon-adsystem.com", 2, 3, 120, false),
+          group("c.amazon-adsystem.com", 2, 2, 60, false),
+      }});
+
+  // microsoft.com — corporate portal: many first- and third-party origins.
+  pages.push_back(WebPage{
+      "microsoft.com",
+      300 * 1024,
+      {
+          group("www.microsoft.com", 0, 8, 300, true),
+          group("img-prod-cms-rt-microsoft-com.akamaized.net", 1, 18, 1100,
+                true),
+          group("statics-marketingsites-wcus-ms-com.akamaized.net", 1, 10,
+                450, true),
+          group("c.s-microsoft.com", 1, 6, 250, false),
+          group("js.monitor.azure.com", 1, 2, 80, false),
+          group("web.vortex.data.microsoft.com", 2, 2, 30, false),
+          group("c1.microsoft.com", 2, 2, 40, false),
+          group("mem.gfx.ms", 2, 2, 60, false),
+          group("wcpstatic.microsoft.com", 2, 3, 110, false),
+          group("privacy.microsoft.com", 2, 1, 25, false),
+      }});
+
+  // youtube.com — the most query-heavy page of the set: player, thumbnails,
+  // fonts, ads and telemetry all on separate domains.
+  pages.push_back(WebPage{
+      "youtube.com",
+      340 * 1024,
+      {
+          group("www.youtube.com", 0, 10, 500, true),
+          group("i.ytimg.com", 1, 24, 1300, true),
+          group("yt3.ggpht.com", 1, 12, 550, false),
+          group("fonts.googleapis.com", 1, 2, 30, true),
+          group("fonts.gstatic.com", 1, 4, 120, true),
+          group("www.gstatic.com", 1, 6, 250, false),
+          group("googleads.g.doubleclick.net", 2, 3, 130, false),
+          group("static.doubleclick.net", 2, 2, 90, false),
+          group("jnn-pa.googleapis.com", 2, 2, 40, false),
+          group("play.google.com", 2, 2, 70, false),
+          group("accounts.google.com", 2, 1, 30, false),
+          group("www.google.com", 2, 2, 50, false),
+      }});
+
+  return pages;
+}
+
+}  // namespace
+
+const std::vector<WebPage>& tranco_top10() {
+  static const std::vector<WebPage> kPages = build_pages();
+  return kPages;
+}
+
+const WebPage& page_by_name(const std::string& name) {
+  for (const WebPage& page : tranco_top10()) {
+    if (page.name == name) return page;
+  }
+  throw std::invalid_argument("unknown page: " + name);
+}
+
+}  // namespace doxlab::web

@@ -1,0 +1,52 @@
+// Webpage models for the Tranco top-10 workload.
+//
+// Fig. 4 of the paper sorts pages by the *average number of DNS queries per
+// load* — the load-bearing page property for the DNS-protocol comparison:
+// simple pages (wikipedia, instagram: 1 query) feel the per-connection
+// handshake cost most; complex pages (microsoft, youtube: ~10+) amortize it.
+// Each model page is a dependency tree of resource groups, one group per
+// unique domain, with depth describing when the domain is discovered
+// (0 = navigation target, 1 = in the HTML, 2 = via scripts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+
+namespace doxlab::web {
+
+/// Resources fetched from one domain (one DNS query + one H2 connection).
+struct ResourceGroup {
+  dns::DnsName domain;
+  /// 0 = main document origin, 1 = discovered in HTML, 2 = discovered by
+  /// depth-1 scripts.
+  int depth = 1;
+  /// Number of resources on this origin (affects request rounds).
+  int resources = 1;
+  /// Total bytes transferred from this origin.
+  std::size_t total_bytes = 100 * 1024;
+  /// Whether these resources gate First Contentful Paint.
+  bool render_critical = false;
+};
+
+/// One modelled page.
+struct WebPage {
+  std::string name;                    // presentation, e.g. "wikipedia.org"
+  std::size_t html_bytes = 60 * 1024;  // the main document
+  std::vector<ResourceGroup> groups;   // group 0 is the document origin
+
+  /// The Fig. 4 x-axis value: DNS queries needed per cold load.
+  int dns_queries() const { return static_cast<int>(groups.size()); }
+};
+
+/// The ten modelled pages, sorted ascending by dns_queries() — the same
+/// ordering Fig. 4 uses (wikipedia/instagram simplest, microsoft/youtube
+/// most complex).
+const std::vector<WebPage>& tranco_top10();
+
+/// Looks a page up by name; throws std::invalid_argument if unknown.
+const WebPage& page_by_name(const std::string& name);
+
+}  // namespace doxlab::web

@@ -1,0 +1,334 @@
+// Unit tests for the DNS wire codec: names, compression, messages, EDNS0,
+// cache — including the byte-size anchors the paper's Table 1 relies on.
+#include <gtest/gtest.h>
+
+#include "dns/cache.h"
+#include "dns/message.h"
+#include "dns/name.h"
+#include "dns/types.h"
+
+namespace doxlab::dns {
+namespace {
+
+TEST(DnsName, ParseBasics) {
+  DnsName n = DnsName::parse("WWW.Google.COM");
+  EXPECT_EQ(n.to_string(), "www.google.com");
+  ASSERT_EQ(n.labels().size(), 3u);
+  EXPECT_EQ(n.labels()[0], "www");
+}
+
+TEST(DnsName, TrailingDotAndRoot) {
+  EXPECT_EQ(DnsName::parse("google.com.").to_string(), "google.com");
+  EXPECT_TRUE(DnsName::parse(".").is_root());
+  EXPECT_TRUE(DnsName::parse("").is_root());
+  EXPECT_EQ(DnsName::root().to_string(), ".");
+}
+
+TEST(DnsName, RejectsInvalid) {
+  EXPECT_THROW(DnsName::parse("a..b"), std::invalid_argument);
+  EXPECT_THROW(DnsName::parse(std::string(64, 'a') + ".com"),
+               std::invalid_argument);
+  std::string too_long;
+  for (int i = 0; i < 50; ++i) too_long += "abcdef.";
+  too_long += "com";
+  EXPECT_THROW(DnsName::parse(too_long), std::invalid_argument);
+}
+
+TEST(DnsName, WireLength) {
+  // google.com = 1+6 + 1+3 + 1 = 12
+  EXPECT_EQ(DnsName::parse("google.com").wire_length(), 12u);
+  EXPECT_EQ(DnsName::root().wire_length(), 1u);
+}
+
+TEST(DnsName, SubdomainAndParent) {
+  DnsName www = DnsName::parse("www.google.com");
+  DnsName google = DnsName::parse("google.com");
+  EXPECT_TRUE(www.is_subdomain_of(google));
+  EXPECT_TRUE(google.is_subdomain_of(google));
+  EXPECT_FALSE(google.is_subdomain_of(www));
+  EXPECT_EQ(www.parent(), google);
+}
+
+TEST(DnsName, CompressionSharesSuffixes) {
+  ByteWriter w;
+  NameCompressor nc;
+  nc.write(w, DnsName::parse("google.com"));
+  const std::size_t first = w.size();
+  EXPECT_EQ(first, 12u);
+  nc.write(w, DnsName::parse("google.com"));
+  EXPECT_EQ(w.size(), first + 2);  // pure pointer
+  nc.write(w, DnsName::parse("www.google.com"));
+  EXPECT_EQ(w.size(), first + 2 + 4 + 2);  // "www" label + pointer
+}
+
+TEST(DnsName, CompressedRoundTrip) {
+  ByteWriter w;
+  NameCompressor nc;
+  nc.write(w, DnsName::parse("mail.google.com"));
+  nc.write(w, DnsName::parse("chat.google.com"));
+  ByteReader r(w.view());
+  EXPECT_EQ(read_name(r)->to_string(), "mail.google.com");
+  EXPECT_EQ(read_name(r)->to_string(), "chat.google.com");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(DnsName, DecodeRejectsPointerLoops) {
+  // A name that points at itself: offset 0 contains a pointer to 0.
+  std::vector<std::uint8_t> evil = {0xC0, 0x00};
+  ByteReader r(evil);
+  EXPECT_FALSE(read_name(r).has_value());
+}
+
+TEST(DnsName, DecodeRejectsForwardPointer) {
+  std::vector<std::uint8_t> evil = {0xC0, 0x04, 0x00, 0x00, 0x00};
+  ByteReader r(evil);
+  EXPECT_FALSE(read_name(r).has_value());
+}
+
+TEST(DnsName, DecodeRejectsTruncation) {
+  std::vector<std::uint8_t> truncated = {0x06, 'g', 'o', 'o'};
+  ByteReader r(truncated);
+  EXPECT_FALSE(read_name(r).has_value());
+}
+
+TEST(Message, QueryEncodesToPaperAnchorSize) {
+  // dnsperf-style query: A google.com, EDNS0 + 8-byte COOKIE.
+  // Header 12 + question 16 + OPT 23 = 51 bytes; +8 UDP header = the 59-byte
+  // DoUDP query IP payload in Table 1 of the paper.
+  Message q = make_query(0x1234, DnsName::parse("google.com"), RRType::kA);
+  EXPECT_EQ(q.encode().size(), 51u);
+}
+
+TEST(Message, CachedResponseEncodesToPaperAnchorSize) {
+  // Response: header 12 + question 16 + compressed A answer 16 + OPT 11 =
+  // 55 bytes; +8 UDP header = the 63-byte DoUDP response in Table 1.
+  Message q = make_query(0x1234, DnsName::parse("google.com"), RRType::kA);
+  Message r = make_response(q);
+  r.answers.push_back(
+      make_a(DnsName::parse("google.com"), 300, 0x8EFA'B00Eu));
+  EXPECT_EQ(r.encode().size(), 55u);
+}
+
+TEST(Message, RoundTripPreservesEverything) {
+  Message m = make_query(7, DnsName::parse("example.org"), RRType::kAAAA);
+  m.answers.push_back(make_a(DnsName::parse("example.org"), 60, 0x01020304));
+  m.answers.push_back(
+      make_cname(DnsName::parse("alias.example.org"), 120,
+                 DnsName::parse("example.org")));
+  m.authorities.push_back(
+      make_txt(DnsName::parse("example.org"), 30, "hello world"));
+  m.qr = true;
+  m.ra = true;
+  m.rcode = RCode::kNoError;
+
+  auto wire = m.encode();
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Message, DecodeRejectsTruncatedHeader) {
+  std::vector<std::uint8_t> short_msg = {0x00, 0x01, 0x00};
+  EXPECT_FALSE(Message::decode(short_msg).has_value());
+}
+
+TEST(Message, DecodeRejectsTruncatedRecord) {
+  Message m = make_query(7, DnsName::parse("example.org"), RRType::kA);
+  auto wire = m.encode();
+  wire.resize(wire.size() - 5);
+  EXPECT_FALSE(Message::decode(wire).has_value());
+}
+
+TEST(Message, FlagsRoundTrip) {
+  Message m;
+  m.id = 0xFFFF;
+  m.qr = true;
+  m.aa = true;
+  m.tc = true;
+  m.rd = false;
+  m.ra = true;
+  m.ad = true;
+  m.cd = true;
+  m.rcode = RCode::kNXDomain;
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Message, TypedRdataAccessors) {
+  auto a = make_a(DnsName::parse("x.com"), 1, 0x7F000001);
+  EXPECT_EQ(rdata_as_a(a), 0x7F000001u);
+  EXPECT_FALSE(rdata_as_name(a).has_value());
+
+  auto cname = make_cname(DnsName::parse("x.com"), 1, DnsName::parse("y.com"));
+  EXPECT_EQ(rdata_as_name(cname)->to_string(), "y.com");
+  EXPECT_FALSE(rdata_as_a(cname).has_value());
+}
+
+TEST(Message, OptCarriesUdpSizeAndOptions) {
+  Message q = make_query(1, DnsName::parse("a.com"), RRType::kA,
+                         /*udp_payload_size=*/4096, /*with_cookie=*/true);
+  const ResourceRecord* opt = q.opt();
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(opt->klass_or_udpsize, 4096);
+  auto options = rdata_as_options(*opt);
+  ASSERT_TRUE(options.has_value());
+  ASSERT_EQ(options->size(), 1u);
+  EXPECT_EQ(options->front().code, kEdnsCookieOption);
+  EXPECT_EQ(options->front().value.size(), 8u);
+}
+
+TEST(Message, ResponseEchoesIdAndQuestion) {
+  Message q = make_query(42, DnsName::parse("google.com"), RRType::kA);
+  Message r = make_response(q, RCode::kNXDomain);
+  EXPECT_EQ(r.id, 42);
+  EXPECT_TRUE(r.qr);
+  EXPECT_TRUE(r.ra);
+  EXPECT_EQ(r.rcode, RCode::kNXDomain);
+  ASSERT_EQ(r.questions.size(), 1u);
+  EXPECT_EQ(r.questions[0].name.to_string(), "google.com");
+}
+
+TEST(Message, CnameRdataDecompressesAgainstMessage) {
+  // Hand-build a message where CNAME RDATA uses a compression pointer into
+  // the question name, and check the decoder resolves it.
+  Message m = make_query(9, DnsName::parse("target.net"), RRType::kCNAME);
+  m.qr = true;
+  m.answers.push_back(make_cname(DnsName::parse("alias.net"), 60,
+                                 DnsName::parse("target.net")));
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(rdata_as_name(decoded->answers[0])->to_string(), "target.net");
+}
+
+class PaddingBlocks : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaddingBlocks, PadsToBlockMultiple) {
+  const std::size_t block = GetParam();
+  Message q = make_query(1, DnsName::parse("google.com"), RRType::kA);
+  pad_to_block(q, block);
+  EXPECT_EQ(q.encode().size() % block, 0u);
+  // The padding option must be parseable.
+  auto options = rdata_as_options(*q.opt());
+  ASSERT_TRUE(options.has_value());
+  bool has_padding = false;
+  for (const auto& option : *options) {
+    if (option.code == kEdnsPaddingOption) has_padding = true;
+  }
+  EXPECT_TRUE(has_padding);
+  // And the padded message still decodes.
+  EXPECT_TRUE(Message::decode(q.encode()).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Rfc8467, PaddingBlocks,
+                         ::testing::Values(std::size_t(128), std::size_t(256),
+                                           std::size_t(468)));
+
+TEST(Padding, AlreadyAlignedIsNoop) {
+  Message q = make_query(1, DnsName::parse("google.com"), RRType::kA);
+  pad_to_block(q, 128);
+  const auto once = q.encode();
+  pad_to_block(q, 128);
+  EXPECT_EQ(q.encode().size(), once.size());
+}
+
+TEST(Padding, AddsOptWhenMissing) {
+  Message m;
+  m.id = 1;
+  m.questions.push_back(Question{DnsName::parse("a.com"), RRType::kA,
+                                 RRClass::kIN});
+  pad_to_block(m, 128);
+  EXPECT_NE(m.opt(), nullptr);
+  EXPECT_EQ(m.encode().size() % 128, 0u);
+}
+
+TEST(Truncation, AdvertisedSizeDefaultsTo512) {
+  Message no_opt;
+  no_opt.questions.push_back(Question{DnsName::parse("a.com"), RRType::kA,
+                                      RRClass::kIN});
+  EXPECT_EQ(advertised_udp_size(no_opt), 512);
+  Message with_opt = make_query(1, DnsName::parse("a.com"), RRType::kA,
+                                /*udp_payload_size=*/4096);
+  EXPECT_EQ(advertised_udp_size(with_opt), 4096);
+}
+
+TEST(Truncation, SetsTcAndDropsAnswers) {
+  Message q = make_query(1, DnsName::parse("big.example"), RRType::kTXT);
+  Message r = make_response(q);
+  r.answers.push_back(
+      make_txt(DnsName::parse("big.example"), 300, std::string(2000, 'x')));
+  EXPECT_TRUE(truncate_for_udp(r, 1232));
+  EXPECT_TRUE(r.tc);
+  EXPECT_TRUE(r.answers.empty());
+  EXPECT_LE(r.encode().size(), 1232u);
+}
+
+TEST(Truncation, SmallResponseUntouched) {
+  Message q = make_query(1, DnsName::parse("a.com"), RRType::kA);
+  Message r = make_response(q);
+  r.answers.push_back(make_a(DnsName::parse("a.com"), 300, 1));
+  EXPECT_FALSE(truncate_for_udp(r, 1232));
+  EXPECT_FALSE(r.tc);
+  EXPECT_EQ(r.answers.size(), 1u);
+}
+
+TEST(Cache, HitWithinTtl) {
+  Cache cache;
+  DnsName name = DnsName::parse("google.com");
+  cache.insert(name, RRType::kA, {make_a(name, 300, 1)}, /*now=*/0);
+  auto hit = cache.lookup(name, RRType::kA, 100 * kSecond);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0].ttl, 200u);  // decayed
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Cache, ExpiryAtTtlBoundary) {
+  Cache cache;
+  DnsName name = DnsName::parse("google.com");
+  cache.insert(name, RRType::kA, {make_a(name, 300, 1)}, 0);
+  EXPECT_TRUE(cache.lookup(name, RRType::kA, 299 * kSecond).has_value());
+  EXPECT_FALSE(cache.lookup(name, RRType::kA, 300 * kSecond).has_value());
+}
+
+TEST(Cache, TypeAndNameAreKeyed) {
+  Cache cache;
+  DnsName name = DnsName::parse("google.com");
+  cache.insert(name, RRType::kA, {make_a(name, 300, 1)}, 0);
+  EXPECT_FALSE(cache.lookup(name, RRType::kAAAA, 0).has_value());
+  EXPECT_FALSE(
+      cache.lookup(DnsName::parse("g00gle.com"), RRType::kA, 0).has_value());
+}
+
+TEST(Cache, NegativeEntriesExpireAfter60s) {
+  Cache cache;
+  DnsName name = DnsName::parse("nxdomain.example");
+  cache.insert(name, RRType::kA, {}, 0);
+  auto hit = cache.lookup(name, RRType::kA, 59 * kSecond);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->empty());
+  EXPECT_FALSE(cache.lookup(name, RRType::kA, 61 * kSecond).has_value());
+}
+
+TEST(Cache, EvictExpired) {
+  Cache cache;
+  cache.insert(DnsName::parse("a.com"), RRType::kA,
+               {make_a(DnsName::parse("a.com"), 10, 1)}, 0);
+  cache.insert(DnsName::parse("b.com"), RRType::kA,
+               {make_a(DnsName::parse("b.com"), 1000, 1)}, 0);
+  EXPECT_EQ(cache.evict_expired(500 * kSecond), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, InsertReplaces) {
+  Cache cache;
+  DnsName name = DnsName::parse("a.com");
+  cache.insert(name, RRType::kA, {make_a(name, 10, 1)}, 0);
+  cache.insert(name, RRType::kA, {make_a(name, 999, 2)}, 0);
+  auto hit = cache.lookup(name, RRType::kA, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(rdata_as_a((*hit)[0]), 2u);
+}
+
+}  // namespace
+}  // namespace doxlab::dns

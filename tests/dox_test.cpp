@@ -1,0 +1,587 @@
+// End-to-end tests of the five DNS transports against a full DoxResolver:
+// correctness, handshake round-trip counts, session resumption, 0-RTT,
+// connection reuse semantics (incl. the dnsproxy DoT bug), and the
+// byte-count shapes behind the paper's Table 1.
+#include <gtest/gtest.h>
+
+#include "dox/transport.h"
+#include "h2/connection.h"
+#include "net/network.h"
+#include "resolver/resolver.h"
+#include "sim/simulator.h"
+
+namespace doxlab::dox {
+namespace {
+
+using net::Continent;
+using net::Endpoint;
+using net::IpAddress;
+
+class DoxFixture : public ::testing::Test {
+ protected:
+  DoxFixture()
+      : network_(sim_, Rng(5)),
+        client_host_(network_.add_host("vantage",
+                                       IpAddress::from_octets(10, 1, 0, 1),
+                                       {50.11, 8.68}, Continent::kEurope)),
+        udp_(client_host_),
+        tcp_(client_host_) {
+    network_.set_loss_rate(0.0);
+  }
+
+  resolver::ResolverProfile default_profile() {
+    resolver::ResolverProfile profile;
+    profile.name = "resolver-1";
+    profile.address = IpAddress::from_octets(10, 2, 0, 1);
+    profile.location = {52.37, 4.90};
+    profile.continent = Continent::kEurope;
+    profile.secret = 0xFEEDF00D;
+    profile.certificate_chain_size = 3000;
+    profile.drop_probability = 0.0;
+    return profile;
+  }
+
+  void start_resolver(resolver::ResolverProfile profile) {
+    resolver_ = std::make_unique<resolver::DoxResolver>(network_, profile,
+                                                        Rng(99));
+    network_.set_path_override(client_host_.address(), profile.address,
+                               from_ms(10));
+  }
+
+  TransportDeps deps() {
+    TransportDeps d;
+    d.sim = &sim_;
+    d.udp = &udp_;
+    d.tcp = &tcp_;
+    d.tickets = &tickets_;
+    d.doq_cache = &doq_cache_;
+    return d;
+  }
+
+  TransportOptions options_for(DnsProtocol protocol) {
+    TransportOptions opts;
+    opts.resolver = Endpoint{resolver_->profile().address,
+                             default_port(protocol)};
+    return opts;
+  }
+
+  /// Issues one query and runs the simulation until it completes.
+  QueryResult query(DnsTransport& transport, const std::string& name) {
+    std::optional<QueryResult> result;
+    transport.resolve(
+        dns::Question{dns::DnsName::parse(name), dns::RRType::kA,
+                      dns::RRClass::kIN},
+        [&](QueryResult r) { result = std::move(r); });
+    sim_.run_until(sim_.now() + 30 * kSecond);
+    EXPECT_TRUE(result.has_value()) << "query did not complete";
+    return result.value_or(QueryResult{});
+  }
+
+  /// The paper's measurement procedure: a cache-warming query on a fresh
+  /// transport, then the measured query on another fresh transport sharing
+  /// ticket/token stores.
+  QueryResult warmed_query(DnsProtocol protocol,
+                           const std::string& name = "google.com",
+                           TransportOptions opts_override = {},
+                           WireStats* stats_out = nullptr) {
+    TransportOptions opts = options_for(protocol);
+    opts.attempt_0rtt = opts_override.attempt_0rtt;
+    opts.use_session_resumption = opts_override.use_session_resumption;
+    opts.use_address_token = opts_override.use_address_token;
+    opts.dot_buggy_reuse = opts_override.dot_buggy_reuse;
+    {
+      auto warm = make_transport(protocol, deps(), opts);
+      QueryResult r = query(*warm, name);
+      EXPECT_TRUE(r.success);
+      sim_.run_until(sim_.now() + 300 * kMillisecond);  // drain NST/token
+      warm->reset_sessions();
+      sim_.run_until(sim_.now() + kSecond);
+    }
+    auto measured = make_transport(protocol, deps(), opts);
+    QueryResult r = query(*measured, name);
+    sim_.run_until(sim_.now() + 300 * kMillisecond);
+    measured->reset_sessions();
+    sim_.run_until(sim_.now() + kSecond);
+    if (stats_out) *stats_out = measured->wire_stats();
+    return r;
+  }
+
+  sim::Simulator sim_;
+  net::Network network_;
+  net::Host& client_host_;
+  net::UdpStack udp_;
+  tcp::TcpStack tcp_;
+  tls::TicketStore tickets_;
+  DoqSessionCache doq_cache_;
+  std::unique_ptr<resolver::DoxResolver> resolver_;
+};
+
+// ------------------------------------------------------------ basic success
+
+class AllProtocols : public DoxFixture,
+                     public ::testing::WithParamInterface<DnsProtocol> {};
+
+TEST_P(AllProtocols, ResolvesARecord) {
+  start_resolver(default_profile());
+  auto transport = make_transport(GetParam(), deps(), options_for(GetParam()));
+  QueryResult result = query(*transport, "google.com");
+  ASSERT_TRUE(result.success) << result.error;
+  ASSERT_EQ(result.response.answers.size(), 1u);
+  auto ip = dns::rdata_as_a(result.response.answers[0]);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(*ip, resolver::authoritative_ipv4(dns::DnsName::parse(
+                     "google.com")));
+}
+
+TEST_P(AllProtocols, SecondQueryHitsResolverCache) {
+  start_resolver(default_profile());
+  auto transport = make_transport(GetParam(), deps(), options_for(GetParam()));
+  QueryResult first = query(*transport, "example.org");
+  QueryResult second = query(*transport, "example.org");
+  ASSERT_TRUE(first.success);
+  ASSERT_TRUE(second.success);
+  // Cache hit answers much faster than the simulated recursion (~80 ms).
+  EXPECT_GT(first.resolve_time, from_ms(40));
+  EXPECT_LT(second.resolve_time, from_ms(40));
+}
+
+TEST_P(AllProtocols, UnsupportedNameTypeYieldsEmptyAnswer) {
+  start_resolver(default_profile());
+  auto transport = make_transport(GetParam(), deps(), options_for(GetParam()));
+  std::optional<QueryResult> result;
+  transport->resolve(
+      dns::Question{dns::DnsName::parse("example.org"), dns::RRType::kTXT,
+                    dns::RRClass::kIN},
+      [&](QueryResult r) { result = std::move(r); });
+  sim_.run_until(sim_.now() + 30 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->success);
+  EXPECT_TRUE(result->response.answers.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AllProtocols,
+                         ::testing::ValuesIn(kAllProtocols),
+                         [](const auto& info) {
+                           return std::string(protocol_name(info.param));
+                         });
+
+// --------------------------------------------------------- handshake timing
+
+TEST_F(DoxFixture, HandshakeRoundTripsMatchPaperExpectations) {
+  start_resolver(default_profile());
+  // Warmed queries (session resumption, cached token/version): DoQ and
+  // DoTCP take 1 RTT (20 ms), DoT/DoH take 2 RTT (40 ms), DoUDP none.
+  QueryResult udp = warmed_query(DnsProtocol::kDoUdp);
+  QueryResult tcp = warmed_query(DnsProtocol::kDoTcp);
+  QueryResult dot = warmed_query(DnsProtocol::kDoT);
+  QueryResult doh = warmed_query(DnsProtocol::kDoH);
+  QueryResult doq = warmed_query(DnsProtocol::kDoQ);
+
+  EXPECT_EQ(udp.handshake_time, 0);
+  EXPECT_NEAR(to_ms(tcp.handshake_time), 20.0, 8.0);
+  EXPECT_NEAR(to_ms(doq.handshake_time), 20.0, 8.0);
+  EXPECT_NEAR(to_ms(dot.handshake_time), 40.0, 10.0);
+  EXPECT_NEAR(to_ms(doh.handshake_time), 40.0, 10.0);
+
+  EXPECT_TRUE(dot.session_resumed);
+  EXPECT_TRUE(doh.session_resumed);
+  EXPECT_TRUE(doq.session_resumed);
+  EXPECT_FALSE(doq.used_0rtt);  // resolver does not support it
+}
+
+TEST_F(DoxFixture, ResolveTimesSimilarAcrossProtocolsOnWarmCache) {
+  start_resolver(default_profile());
+  for (DnsProtocol protocol : kAllProtocols) {
+    QueryResult r = warmed_query(protocol);
+    ASSERT_TRUE(r.success) << protocol_name(protocol);
+    // Cached resolve: ~1 RTT + processing.
+    EXPECT_NEAR(to_ms(r.resolve_time), 20.0, 10.0)
+        << protocol_name(protocol);
+  }
+}
+
+TEST_F(DoxFixture, DoqZeroRttWhenResolverSupportsIt) {
+  auto profile = default_profile();
+  profile.supports_0rtt = true;
+  start_resolver(profile);
+  QueryResult r = warmed_query(DnsProtocol::kDoQ);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.used_0rtt);
+  // Query + response complete in ~1 RTT total: 0-RTT makes DoQ match DoUDP.
+  EXPECT_NEAR(to_ms(r.total_time), 20.0, 10.0);
+}
+
+TEST_F(DoxFixture, DotZeroRttWhenResolverSupportsIt) {
+  auto profile = default_profile();
+  profile.supports_0rtt = true;
+  start_resolver(profile);
+  QueryResult r = warmed_query(DnsProtocol::kDoT);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.used_0rtt);
+  // TCP handshake (1 RTT) + 0-RTT query/response (1 RTT) = ~2 RTT total,
+  // one less than resumed DoT's 3.
+  EXPECT_NEAR(to_ms(r.total_time), 40.0, 12.0);
+}
+
+TEST_F(DoxFixture, ResumptionDisabledForcesFullHandshake) {
+  start_resolver(default_profile());
+  TransportOptions override;
+  override.use_session_resumption = false;
+  override.attempt_0rtt = false;
+  QueryResult r = warmed_query(DnsProtocol::kDoT, "google.com", override);
+  ASSERT_TRUE(r.success);
+  EXPECT_FALSE(r.session_resumed);
+}
+
+TEST_F(DoxFixture, Tls12ResolverNegotiatesDownAndAddsRoundTrip) {
+  auto profile = default_profile();
+  profile.max_tls = tls::TlsVersion::kTls12;
+  start_resolver(profile);
+  QueryResult r = warmed_query(DnsProtocol::kDoT);
+  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.tls_version.has_value());
+  EXPECT_EQ(*r.tls_version, tls::TlsVersion::kTls12);
+  EXPECT_FALSE(r.session_resumed);
+  // TCP (1 RTT) + TLS 1.2 (2 RTT) = ~60 ms.
+  EXPECT_NEAR(to_ms(r.handshake_time), 60.0, 12.0);
+}
+
+// ------------------------------------------------------------ DoQ specifics
+
+TEST_F(DoxFixture, DoqLearnsVersionAlpnAndToken) {
+  auto profile = default_profile();
+  profile.quic_version = quic::QuicVersion::kDraft34;
+  profile.doq_alpn = "doq-i03";
+  start_resolver(profile);
+
+  auto transport = make_transport(DnsProtocol::kDoQ, deps(),
+                                  options_for(DnsProtocol::kDoQ));
+  QueryResult first = query(*transport, "google.com");
+  ASSERT_TRUE(first.success);
+  EXPECT_EQ(first.quic_version, quic::QuicVersion::kDraft34);
+  EXPECT_EQ(first.alpn, "doq-i03");
+  // First contact guesses v1 and pays Version Negotiation.
+  const auto* info = doq_cache_.find(
+      server_key(options_for(DnsProtocol::kDoQ).resolver, DnsProtocol::kDoQ));
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->version, quic::QuicVersion::kDraft34);
+  EXPECT_EQ(info->alpn, "doq-i03");
+  EXPECT_TRUE(info->token.has_value());
+
+  // Measured query: no VN round trip this time.
+  transport->reset_sessions();
+  sim_.run_until(sim_.now() + kSecond);
+  auto measured = make_transport(DnsProtocol::kDoQ, deps(),
+                                 options_for(DnsProtocol::kDoQ));
+  QueryResult second = query(*measured, "google.com");
+  ASSERT_TRUE(second.success);
+  EXPECT_NEAR(to_ms(second.handshake_time), 20.0, 8.0);
+}
+
+TEST_F(DoxFixture, DoqDraftAlpnWithoutPrefixStillWorks) {
+  auto profile = default_profile();
+  profile.doq_alpn = "doq-i02";  // bare-message framing
+  start_resolver(profile);
+  QueryResult r = warmed_query(DnsProtocol::kDoQ);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.alpn, "doq-i02");
+}
+
+TEST_F(DoxFixture, DoqMultipleQueriesShareOneConnection) {
+  start_resolver(default_profile());
+  auto transport = make_transport(DnsProtocol::kDoQ, deps(),
+                                  options_for(DnsProtocol::kDoQ));
+  QueryResult a = query(*transport, "a.example");
+  QueryResult b = query(*transport, "b.example");
+  ASSERT_TRUE(a.success);
+  ASSERT_TRUE(b.success);
+  EXPECT_TRUE(a.new_session);
+  EXPECT_FALSE(b.new_session);
+  EXPECT_EQ(b.handshake_time, 0);
+}
+
+// ----------------------------------------------------------- DoT connection
+// ----------------------------------------------------------- reuse semantics
+
+TEST_F(DoxFixture, DotCorrectReusePipelinesConcurrentQueries) {
+  start_resolver(default_profile());
+  TransportOptions opts = options_for(DnsProtocol::kDoT);
+  opts.dot_buggy_reuse = false;
+  auto transport = make_transport(DnsProtocol::kDoT, deps(), opts);
+
+  std::vector<QueryResult> results;
+  transport->resolve(dns::Question{dns::DnsName::parse("a.example"),
+                                   dns::RRType::kA, dns::RRClass::kIN},
+                     [&](QueryResult r) { results.push_back(std::move(r)); });
+  transport->resolve(dns::Question{dns::DnsName::parse("b.example"),
+                                   dns::RRType::kA, dns::RRClass::kIN},
+                     [&](QueryResult r) { results.push_back(std::move(r)); });
+  sim_.run_until(sim_.now() + 30 * kSecond);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].success);
+  EXPECT_TRUE(results[1].success);
+  // One connection total: exactly one query paid the handshake.
+  EXPECT_EQ((results[0].new_session ? 1 : 0) +
+                (results[1].new_session ? 1 : 0),
+            1);
+}
+
+TEST_F(DoxFixture, DotBuggyReuseOpensSecondConnectionWhileInFlight) {
+  start_resolver(default_profile());
+  TransportOptions opts = options_for(DnsProtocol::kDoT);
+  opts.dot_buggy_reuse = true;
+  auto transport = make_transport(DnsProtocol::kDoT, deps(), opts);
+
+  std::vector<QueryResult> results;
+  transport->resolve(dns::Question{dns::DnsName::parse("a.example"),
+                                   dns::RRType::kA, dns::RRClass::kIN},
+                     [&](QueryResult r) { results.push_back(std::move(r)); });
+  transport->resolve(dns::Question{dns::DnsName::parse("b.example"),
+                                   dns::RRType::kA, dns::RRClass::kIN},
+                     [&](QueryResult r) { results.push_back(std::move(r)); });
+  sim_.run_until(sim_.now() + 30 * kSecond);
+  ASSERT_EQ(results.size(), 2u);
+  // Both queries paid a fresh handshake — the dnsproxy bug.
+  EXPECT_TRUE(results[0].new_session);
+  EXPECT_TRUE(results[1].new_session);
+  EXPECT_GT(results[1].handshake_time, 0);
+}
+
+// ------------------------------------------------------------------- DoUDP
+
+TEST_F(DoxFixture, DoUdpRetransmitsAfterFiveSeconds) {
+  auto profile = default_profile();
+  start_resolver(profile);
+  // Make the forward path lossy enough that the first datagram dies.
+  network_.set_loss_override(client_host_.address(),
+                             resolver_->profile().address, 1.0);
+  auto transport = make_transport(DnsProtocol::kDoUdp, deps(),
+                                  options_for(DnsProtocol::kDoUdp));
+  std::optional<QueryResult> result;
+  transport->resolve(dns::Question{dns::DnsName::parse("google.com"),
+                                   dns::RRType::kA, dns::RRClass::kIN},
+                     [&](QueryResult r) { result = std::move(r); });
+  sim_.run_until(sim_.now() + 4 * kSecond);
+  // Restore the path before the 5 s retry fires.
+  network_.set_loss_override(client_host_.address(),
+                             resolver_->profile().address, 0.0);
+  sim_.run_until(sim_.now() + 30 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->success);
+  EXPECT_GE(result->udp_retransmissions, 1);
+  // The 5-second application-layer timeout dominates the resolve time —
+  // the paper's DoUDP outlier mechanism.
+  EXPECT_GT(result->resolve_time, 5 * kSecond);
+}
+
+TEST_F(DoxFixture, DoUdpFailsAfterAllRetries) {
+  start_resolver(default_profile());
+  network_.set_loss_override(client_host_.address(),
+                             resolver_->profile().address, 1.0);
+  TransportOptions opts = options_for(DnsProtocol::kDoUdp);
+  opts.query_timeout = 20 * kSecond;
+  auto transport = make_transport(DnsProtocol::kDoUdp, deps(), opts);
+  std::optional<QueryResult> result;
+  transport->resolve(dns::Question{dns::DnsName::parse("google.com"),
+                                   dns::RRType::kA, dns::RRClass::kIN},
+                     [&](QueryResult r) { result = std::move(r); });
+  sim_.run_until(sim_.now() + 60 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->success);
+}
+
+// ----------------------------------------------- RFC extensions / options
+
+TEST_F(DoxFixture, WwwNamesReturnCnameChain) {
+  start_resolver(default_profile());
+  auto transport = make_transport(DnsProtocol::kDoUdp, deps(),
+                                  options_for(DnsProtocol::kDoUdp));
+  QueryResult r = query(*transport, "www.example.net");
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.response.answers.size(), 2u);
+  EXPECT_EQ(r.response.answers[0].type, dns::RRType::kCNAME);
+  EXPECT_EQ(dns::rdata_as_name(r.response.answers[0])->to_string(),
+            "example.net");
+  EXPECT_EQ(r.response.answers[1].type, dns::RRType::kA);
+  EXPECT_EQ(dns::rdata_as_a(r.response.answers[1]),
+            resolver::authoritative_ipv4(dns::DnsName::parse("example.net")));
+}
+
+TEST_F(DoxFixture, InvalidTldYieldsNxdomain) {
+  start_resolver(default_profile());
+  auto transport = make_transport(DnsProtocol::kDoQ, deps(),
+                                  options_for(DnsProtocol::kDoQ));
+  QueryResult r = query(*transport, "nothing.invalid");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.response.rcode, dns::RCode::kNXDomain);
+  EXPECT_TRUE(r.response.answers.empty());
+  // Negative entries are cached too: the second query is fast.
+  QueryResult again = query(*transport, "nothing.invalid");
+  ASSERT_TRUE(again.success);
+  EXPECT_EQ(again.response.rcode, dns::RCode::kNXDomain);
+  EXPECT_LT(again.resolve_time, from_ms(40));
+}
+
+TEST_F(DoxFixture, TruncatedUdpResponseFallsBackToTcp) {
+  start_resolver(default_profile());
+  // txt2000.example yields a ~2 KB TXT answer: over the 1232-byte UDP limit.
+  auto transport = make_transport(DnsProtocol::kDoUdp, deps(),
+                                  options_for(DnsProtocol::kDoUdp));
+  std::optional<QueryResult> result;
+  transport->resolve(dns::Question{dns::DnsName::parse("txt2000.example"),
+                                   dns::RRType::kTXT, dns::RRClass::kIN},
+                     [&](QueryResult r) { result = std::move(r); });
+  sim_.run_until(sim_.now() + 30 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->success) << result->error;
+  EXPECT_TRUE(result->tc_fallback);
+  ASSERT_EQ(result->response.answers.size(), 1u);
+  EXPECT_GT(result->response.answers[0].rdata.size(), 1999u);
+  // The fallback costs the TCP handshake + exchange on top of the UDP RTT.
+  EXPECT_GT(result->resolve_time, from_ms(50));
+}
+
+TEST_F(DoxFixture, TruncationFallbackDisabledReturnsTcResponse) {
+  start_resolver(default_profile());
+  TransportOptions opts = options_for(DnsProtocol::kDoUdp);
+  opts.tcp_fallback_on_truncation = false;
+  auto transport = make_transport(DnsProtocol::kDoUdp, deps(), opts);
+  std::optional<QueryResult> result;
+  transport->resolve(dns::Question{dns::DnsName::parse("txt2000.example"),
+                                   dns::RRType::kTXT, dns::RRClass::kIN},
+                     [&](QueryResult r) { result = std::move(r); });
+  sim_.run_until(sim_.now() + 30 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->success);
+  EXPECT_TRUE(result->response.tc);
+  EXPECT_TRUE(result->response.answers.empty());
+  EXPECT_FALSE(result->tc_fallback);
+}
+
+TEST_F(DoxFixture, SmallTxtStaysOnUdp) {
+  start_resolver(default_profile());
+  auto transport = make_transport(DnsProtocol::kDoUdp, deps(),
+                                  options_for(DnsProtocol::kDoUdp));
+  std::optional<QueryResult> result;
+  transport->resolve(dns::Question{dns::DnsName::parse("txt100.example"),
+                                   dns::RRType::kTXT, dns::RRClass::kIN},
+                     [&](QueryResult r) { result = std::move(r); });
+  sim_.run_until(sim_.now() + 30 * kSecond);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->success);
+  EXPECT_FALSE(result->tc_fallback);
+  ASSERT_EQ(result->response.answers.size(), 1u);
+}
+
+TEST_F(DoxFixture, KeepaliveAdvertisementEnablesDoTcpReuse) {
+  auto profile = default_profile();
+  profile.supports_keepalive = true;
+  start_resolver(profile);
+  auto transport = make_transport(DnsProtocol::kDoTcp, deps(),
+                                  options_for(DnsProtocol::kDoTcp));
+  QueryResult first = query(*transport, "a.example");
+  QueryResult second = query(*transport, "b.example");
+  ASSERT_TRUE(first.success);
+  ASSERT_TRUE(second.success);
+  // RFC 7828 honoured: the second query reuses the connection.
+  EXPECT_TRUE(first.new_session);
+  EXPECT_FALSE(second.new_session);
+  EXPECT_EQ(second.handshake_time, 0);
+}
+
+TEST_F(DoxFixture, NoKeepaliveMeansFreshConnectionPerQuery) {
+  start_resolver(default_profile());
+  auto transport = make_transport(DnsProtocol::kDoTcp, deps(),
+                                  options_for(DnsProtocol::kDoTcp));
+  QueryResult first = query(*transport, "a.example");
+  QueryResult second = query(*transport, "b.example");
+  ASSERT_TRUE(first.success);
+  ASSERT_TRUE(second.success);
+  EXPECT_TRUE(first.new_session);
+  EXPECT_TRUE(second.new_session);  // the paper's observed behaviour
+}
+
+TEST_F(DoxFixture, PaddedQueriesGrowToBlockSizes) {
+  start_resolver(default_profile());
+  WireStats plain, padded;
+  warmed_query(DnsProtocol::kDoT, "google.com", {}, &plain);
+  TransportOptions override;
+  override.pad_encrypted = true;
+  {
+    TransportOptions opts = options_for(DnsProtocol::kDoT);
+    opts.pad_encrypted = true;
+    auto warm = make_transport(DnsProtocol::kDoT, deps(), opts);
+    QueryResult r = query(*warm, "google.com");
+    ASSERT_TRUE(r.success);
+    sim_.run_until(sim_.now() + 300 * kMillisecond);
+    warm->reset_sessions();
+    sim_.run_until(sim_.now() + kSecond);
+    auto measured = make_transport(DnsProtocol::kDoT, deps(), opts);
+    QueryResult m = query(*measured, "google.com");
+    ASSERT_TRUE(m.success);
+    sim_.run_until(sim_.now() + 300 * kMillisecond);
+    measured->reset_sessions();
+    sim_.run_until(sim_.now() + kSecond);
+    padded = measured->wire_stats();
+  }
+  // RFC 8467 padding inflates both directions (128-byte query blocks,
+  // 468-byte response blocks).
+  EXPECT_GT(padded.query_c2r(), plain.query_c2r() + 50);
+  EXPECT_GT(padded.response_r2c(), plain.response_r2c() + 100);
+}
+
+// ----------------------------------------------------- Table 1 byte shapes
+
+TEST_F(DoxFixture, WireBytesReproduceTableOneShape) {
+  start_resolver(default_profile());
+  WireStats udp, tcp, dot, doh, doq;
+  warmed_query(DnsProtocol::kDoUdp, "google.com", {}, &udp);
+  warmed_query(DnsProtocol::kDoTcp, "google.com", {}, &tcp);
+  warmed_query(DnsProtocol::kDoT, "google.com", {}, &dot);
+  warmed_query(DnsProtocol::kDoH, "google.com", {}, &doh);
+  warmed_query(DnsProtocol::kDoQ, "google.com", {}, &doq);
+
+  // Paper Table 1 anchors (medians, bytes): DoUDP query 59 / response 63.
+  EXPECT_EQ(udp.query_c2r(), 59u);
+  EXPECT_EQ(udp.response_r2c(), 63u);
+
+  // DoTCP handshake: SYN+ACK = 72 C->R, SYN-ACK = 40 R->C.
+  EXPECT_EQ(tcp.handshake_c2r, 72u);
+  EXPECT_EQ(tcp.handshake_r2c, 40u);
+
+  // Ordering relations that define the paper's size story:
+  //  * DoQ handshake is by far the largest (>= 2x DoH) due to padding.
+  EXPECT_GE(doq.handshake_c2r + doq.handshake_r2c,
+            2 * (doh.handshake_c2r + doh.handshake_r2c));
+  //  * Encrypted handshakes dwarf DoTCP's.
+  EXPECT_GT(dot.handshake_c2r + dot.handshake_r2c, 400u);
+  //  * DoH queries/responses are the largest due to H2 overhead.
+  EXPECT_GT(doh.query_c2r(), dot.query_c2r());
+  EXPECT_GT(doh.response_r2c(), dot.response_r2c());
+  //  * Totals order as in Table 1: UDP < TCP < DoT < DoH < DoQ.
+  EXPECT_LT(udp.total(), tcp.total());
+  EXPECT_LT(tcp.total(), dot.total());
+  EXPECT_LT(dot.total(), doh.total());
+  EXPECT_LT(doh.total(), doq.total());
+}
+
+TEST_F(DoxFixture, ResumedTlsHandshakeOmitsCertificateBytes) {
+  start_resolver(default_profile());
+  WireStats cold, warm;
+  {
+    TransportOptions opts = options_for(DnsProtocol::kDoT);
+    auto transport = make_transport(DnsProtocol::kDoT, deps(), opts);
+    QueryResult r = query(*transport, "google.com");
+    ASSERT_TRUE(r.success);
+    transport->reset_sessions();
+    sim_.run_until(sim_.now() + kSecond);
+    cold = transport->wire_stats();
+  }
+  warmed_query(DnsProtocol::kDoT, "google.com", {}, &warm);
+  // Cold handshake carries the ~3000-byte chain; resumed does not.
+  EXPECT_GT(cold.handshake_r2c, 3000u);
+  EXPECT_LT(warm.handshake_r2c, 600u);
+}
+
+}  // namespace
+}  // namespace doxlab::dox

@@ -1,0 +1,192 @@
+// Unit tests for the HTTP/2 model: HPACK compression behaviour, framing,
+// preface/SETTINGS, request/response exchange.
+#include <gtest/gtest.h>
+
+#include "h2/connection.h"
+#include "h2/hpack.h"
+
+namespace doxlab::h2 {
+namespace {
+
+TEST(Hpack, StaticTableFullMatchIsOneByte) {
+  HpackEncoder enc;
+  auto block = enc.encode(std::vector<Header>{{":method", "POST"}});
+  EXPECT_EQ(block.size(), 1u);
+}
+
+TEST(Hpack, RepeatedLiteralCompresses) {
+  HpackEncoder enc;
+  std::vector<Header> headers = {{":authority", "resolver-1.2.3.4"}};
+  auto first = enc.encode(headers);
+  auto second = enc.encode(headers);
+  EXPECT_GT(first.size(), second.size());
+  EXPECT_EQ(second.size(), 1u);  // dynamic-table hit
+}
+
+TEST(Hpack, EncoderDecoderStayInSync) {
+  HpackEncoder enc;
+  HpackDecoder dec;
+  std::vector<Header> req = {
+      {":method", "POST"},
+      {":scheme", "https"},
+      {":authority", "resolver-9.9.9.9"},
+      {":path", "/dns-query"},
+      {"content-type", "application/dns-message"},
+      {"content-length", "51"},
+      {"user-agent", "doxlab-dnsperf/1.0"},
+  };
+  for (int round = 0; round < 3; ++round) {
+    auto block = enc.encode(req);
+    auto decoded = dec.decode(block);
+    ASSERT_TRUE(decoded.has_value()) << "round " << round;
+    EXPECT_EQ(*decoded, req) << "round " << round;
+  }
+}
+
+TEST(Hpack, DecodeRejectsGarbage) {
+  HpackDecoder dec;
+  std::vector<std::uint8_t> garbage = {0x40, 0xFF};  // dangling name index
+  EXPECT_FALSE(dec.decode(garbage).has_value());
+}
+
+TEST(Hpack, ValueChangeReusesNameIndex) {
+  HpackEncoder enc;
+  auto a = enc.encode(std::vector<Header>{{"content-length", "51"}});
+  auto b = enc.encode(std::vector<Header>{{"content-length", "55"}});
+  // Second encoding uses an indexed name + literal value: smaller than a
+  // full literal but bigger than a full match.
+  EXPECT_LT(b.size(), a.size() + 2);
+  EXPECT_GT(b.size(), 1u);
+}
+
+/// Wires a client and server H2Connection back to back.
+struct H2Pair {
+  H2Pair() {
+    H2Connection::Callbacks ccb;
+    ccb.send_transport = [this](std::vector<std::uint8_t> b) {
+      to_server.insert(to_server.end(), b.begin(), b.end());
+    };
+    ccb.on_headers = [this](std::uint32_t id, const std::vector<Header>& h,
+                            bool end) {
+      client_headers[id] = h;
+      if (end) client_end[id] = true;
+    };
+    ccb.on_data = [this](std::uint32_t id, std::span<const std::uint8_t> d,
+                         bool end) {
+      client_data[id].insert(client_data[id].end(), d.begin(), d.end());
+      if (end) client_end[id] = true;
+    };
+    client = std::make_unique<H2Connection>(true, std::move(ccb));
+
+    H2Connection::Callbacks scb;
+    scb.send_transport = [this](std::vector<std::uint8_t> b) {
+      to_client.insert(to_client.end(), b.begin(), b.end());
+    };
+    scb.on_headers = [this](std::uint32_t id, const std::vector<Header>& h,
+                            bool end) {
+      server_headers[id] = h;
+      if (end) server_end[id] = true;
+    };
+    scb.on_data = [this](std::uint32_t id, std::span<const std::uint8_t> d,
+                         bool end) {
+      server_data[id].insert(server_data[id].end(), d.begin(), d.end());
+      if (end) server_end[id] = true;
+    };
+    server = std::make_unique<H2Connection>(false, std::move(scb));
+  }
+
+  void pump() {
+    while (!to_server.empty() || !to_client.empty()) {
+      auto a = std::move(to_server);
+      to_server.clear();
+      if (!a.empty()) server->on_transport_data(a);
+      auto b = std::move(to_client);
+      to_client.clear();
+      if (!b.empty()) client->on_transport_data(b);
+    }
+  }
+
+  std::unique_ptr<H2Connection> client;
+  std::unique_ptr<H2Connection> server;
+  std::vector<std::uint8_t> to_server;
+  std::vector<std::uint8_t> to_client;
+  std::map<std::uint32_t, std::vector<Header>> client_headers, server_headers;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> client_data, server_data;
+  std::map<std::uint32_t, bool> client_end, server_end;
+};
+
+TEST(H2Connection, RequestResponseRoundTrip) {
+  H2Pair pair;
+  pair.client->start();
+  std::uint32_t id = pair.client->send_request(
+      {{":method", "POST"}, {":path", "/dns-query"}}, {1, 2, 3});
+  pair.pump();
+  EXPECT_EQ(id, 1u);
+  ASSERT_TRUE(pair.server_end[id]);
+  EXPECT_EQ(pair.server_data[id], (std::vector<std::uint8_t>{1, 2, 3}));
+  ASSERT_EQ(pair.server_headers[id].size(), 2u);
+
+  pair.server->send_response(id, {{":status", "200"}}, {4, 5});
+  pair.pump();
+  ASSERT_TRUE(pair.client_end[id]);
+  EXPECT_EQ(pair.client_data[id], (std::vector<std::uint8_t>{4, 5}));
+  EXPECT_EQ(pair.client_headers[id][0].value, "200");
+}
+
+TEST(H2Connection, SettingsExchangedBothWays) {
+  H2Pair pair;
+  pair.client->start();
+  pair.pump();
+  EXPECT_TRUE(pair.client->settings_received());
+  EXPECT_TRUE(pair.server->settings_received());
+}
+
+TEST(H2Connection, StreamIdsAreOddAndIncreasing) {
+  H2Pair pair;
+  pair.client->start();
+  EXPECT_EQ(pair.client->send_request({{":method", "GET"}}, {}), 1u);
+  EXPECT_EQ(pair.client->send_request({{":method", "GET"}}, {}), 3u);
+  EXPECT_EQ(pair.client->send_request({{":method", "GET"}}, {}), 5u);
+}
+
+TEST(H2Connection, BadPrefaceFailsServer) {
+  bool failed = false;
+  H2Connection::Callbacks scb;
+  scb.send_transport = [](std::vector<std::uint8_t>) {};
+  scb.on_error = [&](const std::string&) { failed = true; };
+  H2Connection server(false, std::move(scb));
+  std::vector<std::uint8_t> junk(32, 'x');
+  server.on_transport_data(junk);
+  EXPECT_TRUE(failed);
+}
+
+TEST(H2Connection, MultiplexedStreamsKeepBodiesSeparate) {
+  H2Pair pair;
+  pair.client->start();
+  std::uint32_t a = pair.client->send_request({{":method", "POST"}}, {0xA});
+  std::uint32_t b = pair.client->send_request({{":method", "POST"}}, {0xB});
+  pair.pump();
+  pair.server->send_response(a, {{":status", "200"}}, {0xA, 0xA});
+  pair.server->send_response(b, {{":status", "200"}}, {0xB, 0xB});
+  pair.pump();
+  EXPECT_EQ(pair.client_data[a], (std::vector<std::uint8_t>{0xA, 0xA}));
+  EXPECT_EQ(pair.client_data[b], (std::vector<std::uint8_t>{0xB, 0xB}));
+}
+
+TEST(H2Connection, GoawayDelivered) {
+  H2Pair pair;
+  bool goaway = false;
+  H2Connection::Callbacks scb;
+  scb.send_transport = [&pair](std::vector<std::uint8_t> b) {
+    pair.to_client.insert(pair.to_client.end(), b.begin(), b.end());
+  };
+  scb.on_goaway = [&] { goaway = true; };
+  H2Connection server(false, std::move(scb));
+  pair.client->start();
+  pair.client->send_goaway();
+  server.on_transport_data(pair.to_server);
+  EXPECT_TRUE(goaway);
+}
+
+}  // namespace
+}  // namespace doxlab::h2

@@ -1,0 +1,246 @@
+// Unit tests for the network fabric: addressing, geography, latency model,
+// packet delivery, loss, overrides, and UDP sockets.
+#include <gtest/gtest.h>
+
+#include "net/address.h"
+#include "net/geo.h"
+#include "net/latency.h"
+#include "net/network.h"
+#include "net/udp.h"
+#include "sim/simulator.h"
+
+namespace doxlab::net {
+namespace {
+
+TEST(IpAddress, ParseValid) {
+  auto a = IpAddress::parse("192.168.1.42");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "192.168.1.42");
+  EXPECT_EQ(a->value(), 0xC0A8012Au);
+}
+
+TEST(IpAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(IpAddress::parse("").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IpAddress::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(IpAddress::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IpAddress::parse("1..2.3").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.1234").has_value());
+}
+
+TEST(IpAddress, OctetConstruction) {
+  EXPECT_EQ(IpAddress::from_octets(8, 8, 8, 8).to_string(), "8.8.8.8");
+  EXPECT_EQ(kLoopback.to_string(), "127.0.0.1");
+}
+
+TEST(Endpoint, Formatting) {
+  Endpoint e{IpAddress::from_octets(1, 2, 3, 4), 853};
+  EXPECT_EQ(e.to_string(), "1.2.3.4:853");
+}
+
+TEST(Geo, HaversineKnownDistances) {
+  // Frankfurt <-> Singapore is roughly 10,260 km.
+  GeoPoint fra{50.11, 8.68};
+  GeoPoint sin{1.35, 103.82};
+  EXPECT_NEAR(haversine_km(fra, sin), 10260, 300);
+  // Zero distance.
+  EXPECT_NEAR(haversine_km(fra, fra), 0.0, 1e-9);
+}
+
+TEST(Geo, ContinentCodesRoundTrip) {
+  for (Continent c : all_continents()) {
+    EXPECT_EQ(continent_from_code(continent_code(c)), c);
+  }
+  EXPECT_THROW(continent_from_code("XX"), std::invalid_argument);
+}
+
+TEST(Geo, SixVantagePointsOnePerContinent) {
+  const auto& vps = vantage_point_cities();
+  ASSERT_EQ(vps.size(), 6u);
+  std::set<Continent> seen;
+  for (const auto& vp : vps) seen.insert(vp.continent);
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Latency, GrowsWithDistance) {
+  LatencyModel model;
+  GeoPoint fra{50.11, 8.68};
+  GeoPoint ams{52.37, 4.90};
+  GeoPoint sin{1.35, 103.82};
+  const SimTime near = model.base_one_way(fra, ams, 1000, 1000);
+  const SimTime far = model.base_one_way(fra, sin, 1000, 1000);
+  EXPECT_LT(near, far);
+  // Frankfurt->Singapore one-way should be in the tens of milliseconds.
+  EXPECT_GT(far, from_ms(50));
+  EXPECT_LT(far, from_ms(150));
+}
+
+TEST(Latency, RespectsMinimumPropagation) {
+  LatencyModel model;
+  GeoPoint p{10, 10};
+  EXPECT_GE(model.base_one_way(p, p, 0, 0),
+            model.config().min_propagation);
+}
+
+TEST(Latency, JitterIsPositiveAndBounded) {
+  LatencyModel model;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    SimTime j = model.jitter(rng);
+    EXPECT_GE(j, 0);
+    EXPECT_LE(j, from_ms(250));
+  }
+}
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  NetworkFixture()
+      : network_(sim_, Rng(123)),
+        a_(network_.add_host("a", IpAddress::from_octets(10, 0, 0, 1),
+                             {50.11, 8.68}, Continent::kEurope)),
+        b_(network_.add_host("b", IpAddress::from_octets(10, 0, 0, 2),
+                             {52.37, 4.90}, Continent::kEurope)) {
+    network_.set_loss_rate(0.0);
+  }
+
+  sim::Simulator sim_;
+  Network network_;
+  Host& a_;
+  Host& b_;
+};
+
+TEST_F(NetworkFixture, DuplicateAddressThrows) {
+  EXPECT_THROW(network_.add_host("dup", a_.address(), {0, 0},
+                                 Continent::kEurope),
+               std::invalid_argument);
+}
+
+TEST_F(NetworkFixture, UdpDelivery) {
+  UdpStack stack_a(a_);
+  UdpStack stack_b(b_);
+  auto server = stack_b.bind(53);
+  auto client = stack_a.bind_ephemeral();
+
+  std::vector<std::uint8_t> received;
+  Endpoint from{};
+  server->on_datagram([&](const Endpoint& src, std::vector<std::uint8_t> d) {
+    from = src;
+    received = std::move(d);
+  });
+
+  client->send_to(Endpoint{b_.address(), 53}, {1, 2, 3});
+  sim_.run();
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(from.address, a_.address());
+  EXPECT_EQ(from.port, client->port());
+  // Accounting includes the 8-byte UDP header.
+  EXPECT_EQ(client->bytes_sent(), 11u);
+  EXPECT_EQ(server->bytes_received(), 11u);
+}
+
+TEST_F(NetworkFixture, DeliveryDelayMatchesPathOverride) {
+  network_.set_path_override(a_.address(), b_.address(), from_ms(10));
+  UdpStack stack_a(a_);
+  UdpStack stack_b(b_);
+  auto server = stack_b.bind(53);
+  auto client = stack_a.bind_ephemeral();
+  SimTime arrival = -1;
+  server->on_datagram(
+      [&](const Endpoint&, std::vector<std::uint8_t>) { arrival = sim_.now(); });
+  client->send_to(Endpoint{b_.address(), 53}, {0});
+  sim_.run();
+  // Path override pins the base delay; jitter is still added.
+  EXPECT_GE(arrival, from_ms(10));
+  EXPECT_LT(arrival, from_ms(260));
+}
+
+TEST_F(NetworkFixture, FullLossDropsEverything) {
+  network_.set_loss_override(a_.address(), b_.address(), 1.0);
+  UdpStack stack_a(a_);
+  UdpStack stack_b(b_);
+  auto server = stack_b.bind(53);
+  auto client = stack_a.bind_ephemeral();
+  bool got = false;
+  server->on_datagram(
+      [&](const Endpoint&, std::vector<std::uint8_t>) { got = true; });
+  for (int i = 0; i < 50; ++i) {
+    client->send_to(Endpoint{b_.address(), 53}, {0});
+  }
+  sim_.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(network_.counters().packets_lost, 50u);
+}
+
+TEST_F(NetworkFixture, DownHostDropsAtDelivery) {
+  UdpStack stack_a(a_);
+  UdpStack stack_b(b_);
+  auto server = stack_b.bind(53);
+  auto client = stack_a.bind_ephemeral();
+  bool got = false;
+  server->on_datagram(
+      [&](const Endpoint&, std::vector<std::uint8_t>) { got = true; });
+  b_.set_up(false);
+  client->send_to(Endpoint{b_.address(), 53}, {0});
+  sim_.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(network_.counters().packets_unroutable, 1u);
+}
+
+TEST_F(NetworkFixture, UnboundPortIsSilentlyDropped) {
+  UdpStack stack_a(a_);
+  UdpStack stack_b(b_);
+  auto client = stack_a.bind_ephemeral();
+  client->send_to(Endpoint{b_.address(), 999}, {0});
+  sim_.run();  // must not crash
+  EXPECT_EQ(network_.counters().packets_delivered, 1u);
+}
+
+TEST_F(NetworkFixture, TapSeesEveryPacket) {
+  UdpStack stack_a(a_);
+  UdpStack stack_b(b_);
+  auto server = stack_b.bind(53);
+  auto client = stack_a.bind_ephemeral();
+  int tapped = 0;
+  network_.set_tap([&](const Packet& p) {
+    ++tapped;
+    EXPECT_EQ(p.protocol, kProtoUdp);
+  });
+  client->send_to(Endpoint{b_.address(), 53}, {9, 9});
+  sim_.run();
+  EXPECT_EQ(tapped, 1);
+}
+
+TEST_F(NetworkFixture, LoopbackIsFastAndLossless) {
+  network_.set_loss_rate(1.0);  // loopback must ignore loss
+  UdpStack stack_a(a_);
+  auto server = stack_a.bind(53);
+  auto client = stack_a.bind_ephemeral();
+  SimTime arrival = -1;
+  server->on_datagram(
+      [&](const Endpoint&, std::vector<std::uint8_t>) { arrival = sim_.now(); });
+  client->send_to(Endpoint{a_.address(), 53}, {0});
+  sim_.run();
+  EXPECT_GE(arrival, 0);
+  EXPECT_LE(arrival, from_ms(1));
+}
+
+TEST_F(NetworkFixture, EphemeralPortsAreDistinct) {
+  UdpStack stack_a(a_);
+  auto s1 = stack_a.bind_ephemeral();
+  auto s2 = stack_a.bind_ephemeral();
+  EXPECT_NE(s1->port(), s2->port());
+}
+
+TEST_F(NetworkFixture, RebindAfterCloseWorks) {
+  UdpStack stack_a(a_);
+  {
+    auto s = stack_a.bind(5353);
+    EXPECT_THROW(stack_a.bind(5353), std::invalid_argument);
+  }
+  auto s2 = stack_a.bind(5353);  // destructor unbinds
+  EXPECT_EQ(s2->port(), 5353);
+}
+
+}  // namespace
+}  // namespace doxlab::net

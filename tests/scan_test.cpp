@@ -1,0 +1,164 @@
+// Tests for the discovery pipeline: population construction matches the
+// paper's distributions; the ZMap-style scan rediscovers exactly the
+// planted resolvers (Fig. 1 funnel).
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "scan/population.h"
+#include "scan/scanner.h"
+#include "sim/simulator.h"
+
+namespace doxlab::scan {
+namespace {
+
+TEST(Population, ContinentQuotaSumsTo313) {
+  int total = 0;
+  for (const auto& [continent, quota] : verified_continent_quota()) {
+    total += quota;
+  }
+  EXPECT_EQ(total, 313);
+}
+
+TEST(Population, FullScaleCountsMatchPaper) {
+  sim::Simulator sim;
+  net::Network network(sim, Rng(3));
+  PopulationConfig config;  // full scale: 313 verified / 1216 DoQ
+  Rng rng(42);
+  Population population = build_population(network, config, rng);
+
+  EXPECT_EQ(population.verified.size(), 313u);
+  EXPECT_EQ(population.resolvers.size(), 1216u);
+
+  // Continent distribution of the verified set (Fig. 1).
+  EXPECT_EQ(population.verified_on(net::Continent::kEurope), 130);
+  EXPECT_EQ(population.verified_on(net::Continent::kAsia), 128);
+  EXPECT_EQ(population.verified_on(net::Continent::kNorthAmerica), 49);
+  EXPECT_EQ(population.verified_on(net::Continent::kAfrica), 2);
+  EXPECT_EQ(population.verified_on(net::Continent::kOceania), 2);
+  EXPECT_EQ(population.verified_on(net::Continent::kSouthAmerica), 2);
+
+  // Every verified resolver supports all five protocols.
+  for (std::size_t index : population.verified) {
+    const auto& p = population.resolvers[index]->profile();
+    EXPECT_TRUE(p.supports_doudp && p.supports_dotcp && p.supports_dot &&
+                p.supports_doh && p.supports_doq);
+  }
+  // No non-verified resolver supports all five.
+  std::set<std::size_t> verified_set(population.verified.begin(),
+                                     population.verified.end());
+  for (std::size_t i = 0; i < population.resolvers.size(); ++i) {
+    if (verified_set.contains(i)) continue;
+    const auto& p = population.resolvers[i]->profile();
+    EXPECT_FALSE(p.supports_doudp && p.supports_dotcp && p.supports_dot &&
+                 p.supports_doh);
+  }
+}
+
+TEST(Population, ProtocolSupportMarginalsApproximatePaper) {
+  sim::Simulator sim;
+  net::Network network(sim, Rng(3));
+  PopulationConfig config;
+  Rng rng(42);
+  Population population = build_population(network, config, rng);
+  int doudp = 0, dotcp = 0, dot = 0, doh = 0;
+  for (const auto& resolver : population.resolvers) {
+    const auto& p = resolver->profile();
+    doudp += p.supports_doudp;
+    dotcp += p.supports_dotcp;
+    dot += p.supports_dot;
+    doh += p.supports_doh;
+  }
+  // Paper: 548 / 706 / 1149 / 732 of 1216 (tolerance: random draws).
+  EXPECT_NEAR(doudp, 548, 60);
+  EXPECT_NEAR(dotcp, 706, 60);
+  EXPECT_NEAR(dot, 1149, 60);
+  EXPECT_NEAR(doh, 732, 60);
+}
+
+TEST(Population, FeatureMixApproximatesPaper) {
+  sim::Simulator sim;
+  net::Network network(sim, Rng(3));
+  PopulationConfig config;
+  config.verified_only = true;
+  Rng rng(42);
+  Population population = build_population(network, config, rng);
+  int v1 = 0, tls13 = 0, i02 = 0, zero_rtt = 0, tfo = 0, keepalive = 0;
+  const int n = static_cast<int>(population.resolvers.size());
+  for (const auto& resolver : population.resolvers) {
+    const auto& p = resolver->profile();
+    v1 += p.quic_version == quic::QuicVersion::kV1;
+    tls13 += p.max_tls == tls::TlsVersion::kTls13;
+    i02 += p.doq_alpn == "doq-i02";
+    zero_rtt += p.supports_0rtt;
+    tfo += p.supports_tfo;
+    keepalive += p.supports_keepalive;
+    EXPECT_GE(p.certificate_chain_size, 1500u);
+    EXPECT_LE(p.certificate_chain_size, 3800u);
+  }
+  EXPECT_NEAR(100.0 * v1 / n, 89.1, 5.0);
+  EXPECT_NEAR(100.0 * tls13 / n, 99.0, 2.0);
+  EXPECT_NEAR(100.0 * i02 / n, 87.4, 6.0);
+  EXPECT_EQ(zero_rtt, 0);
+  EXPECT_EQ(tfo, 0);
+  EXPECT_EQ(keepalive, 0);
+}
+
+TEST(Population, AsQuotasMatchPaperHeadliners) {
+  sim::Simulator sim;
+  net::Network network(sim, Rng(3));
+  PopulationConfig config;
+  config.verified_only = true;
+  Rng rng(42);
+  Population population = build_population(network, config, rng);
+  std::map<std::string, int> by_as;
+  for (std::size_t index : population.verified) {
+    ++by_as[population.resolvers[index]->profile().as_name];
+  }
+  EXPECT_EQ(by_as["ORACLE"], 47);
+  EXPECT_EQ(by_as["DIGITALOCEAN"], 20);
+  EXPECT_EQ(by_as["MNGTNET"], 18);
+  EXPECT_EQ(by_as["OVHCLOUD"], 16);
+}
+
+TEST(Scanner, RediscoversPlantedPopulation) {
+  sim::Simulator sim;
+  net::Network network(sim, Rng(5));
+  network.set_loss_rate(0.0);
+
+  PopulationConfig config;
+  config.verified_dox = 12;  // scaled-down world for test runtime
+  config.total_doq = 40;
+  Rng rng(42);
+  Population population = build_population(network, config, rng);
+
+  auto& scan_host = network.add_host(
+      "scanner", net::IpAddress::from_octets(10, 9, 9, 9), {48.26, 11.67},
+      net::Continent::kEurope);
+
+  // Candidate space: all planted resolvers plus dark addresses.
+  std::vector<net::IpAddress> candidates;
+  for (const auto& resolver : population.resolvers) {
+    candidates.push_back(resolver->profile().address);
+  }
+  const std::size_t live = candidates.size();
+  for (int i = 0; i < 20; ++i) {
+    candidates.push_back(net::IpAddress::from_octets(10, 200, 0,
+                                                     std::uint8_t(i + 1)));
+  }
+
+  Ipv4Scanner scanner(network, scan_host, ScanConfig{});
+  ScanReport report = scanner.run(candidates);
+
+  EXPECT_EQ(report.addresses_probed, candidates.size());
+  // Every live resolver answers the version probe; dark space stays silent.
+  EXPECT_EQ(report.quic_hosts.size(), live);
+  EXPECT_EQ(report.doq_resolvers.size(), live);
+  // Exactly the verified subset supports all five protocols.
+  EXPECT_EQ(report.verified_dox.size(), population.verified.size());
+  // Per-protocol counts at least cover the verified subset.
+  EXPECT_GE(report.doudp, static_cast<int>(population.verified.size()));
+  EXPECT_GE(report.dot, report.doh);
+}
+
+}  // namespace
+}  // namespace doxlab::scan

@@ -1,0 +1,113 @@
+// Unit tests for the statistics module (percentiles, CDFs, relative
+// differences, table rendering).
+#include <gtest/gtest.h>
+
+#include "stats/stats.h"
+#include "stats/table.h"
+
+namespace doxlab::stats {
+namespace {
+
+TEST(Percentile, EmptyInput) {
+  EXPECT_FALSE(percentile({}, 50).has_value());
+  EXPECT_FALSE(median({}).has_value());
+}
+
+TEST(Percentile, SingleValue) {
+  EXPECT_EQ(percentile({42.0}, 0), 42.0);
+  EXPECT_EQ(percentile({42.0}, 50), 42.0);
+  EXPECT_EQ(percentile({42.0}, 100), 42.0);
+}
+
+TEST(Percentile, MedianOfOddAndEven) {
+  EXPECT_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Percentile, Interpolates) {
+  // p25 of [10, 20, 30, 40]: rank 0.75 -> 17.5.
+  EXPECT_DOUBLE_EQ(*percentile({10, 20, 30, 40}, 25), 17.5);
+}
+
+TEST(Percentile, ClampsRange) {
+  EXPECT_EQ(percentile({1.0, 2.0}, -5), 1.0);
+  EXPECT_EQ(percentile({1.0, 2.0}, 150), 2.0);
+}
+
+TEST(SummaryTest, ComputesAllFields) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i);
+  Summary s = Summary::of(samples);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.p90, 90.1, 0.2);
+  EXPECT_NEAR(s.p99, 99.01, 0.1);
+}
+
+TEST(CdfTest, FractionBelow) {
+  Cdf cdf({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(3), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(100), 1.0);
+}
+
+TEST(CdfTest, QuantileInverse) {
+  Cdf cdf({10, 20, 30, 40, 50});
+  EXPECT_DOUBLE_EQ(*cdf.quantile(0), 10);
+  EXPECT_DOUBLE_EQ(*cdf.quantile(0.5), 30);
+  EXPECT_DOUBLE_EQ(*cdf.quantile(1), 50);
+}
+
+TEST(CdfTest, CurveIsMonotonic) {
+  Cdf cdf({5, 1, 9, 3, 7, 2, 8});
+  auto curve = cdf.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+    EXPECT_GT(curve[i].first, curve[i - 1].first);
+  }
+}
+
+TEST(CdfTest, EmptyBehaviour) {
+  Cdf cdf({});
+  EXPECT_EQ(cdf.fraction_below(1), 0.0);
+  EXPECT_FALSE(cdf.quantile(0.5).has_value());
+  EXPECT_TRUE(cdf.curve().empty());
+}
+
+TEST(RelativeDifference, Basics) {
+  EXPECT_DOUBLE_EQ(*relative_difference(100, 110), 0.10);
+  EXPECT_DOUBLE_EQ(*relative_difference(100, 90), -0.10);
+  EXPECT_FALSE(relative_difference(0, 5).has_value());
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"Name", "Value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "22"});
+  std::string out = table.render();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Right-aligned numeric column: " 1" under "Value".
+  EXPECT_NE(out.find("    1"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"A", "B", "C"});
+  table.add_row({"x"});
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(Cells, Formatting) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(percent_cell(0.123), "+12.3%");
+  EXPECT_EQ(percent_cell(-0.04), "-4.0%");
+}
+
+}  // namespace
+}  // namespace doxlab::stats

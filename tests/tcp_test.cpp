@@ -1,0 +1,290 @@
+// Unit tests for the TCP model: handshake timing, reliable delivery under
+// loss and reordering, RFC 6298 retransmission, TFO, close semantics, and
+// the byte accounting Table 1 depends on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "tcp/tcp.h"
+
+namespace doxlab::tcp {
+namespace {
+
+using net::Continent;
+using net::Endpoint;
+using net::IpAddress;
+
+class TcpFixture : public ::testing::Test {
+ protected:
+  TcpFixture()
+      : network_(sim_, Rng(7)),
+        client_host_(network_.add_host("client",
+                                       IpAddress::from_octets(10, 0, 0, 1),
+                                       {50.11, 8.68}, Continent::kEurope)),
+        server_host_(network_.add_host("server",
+                                       IpAddress::from_octets(10, 0, 0, 2),
+                                       {52.37, 4.90}, Continent::kEurope)),
+        client_(client_host_),
+        server_(server_host_) {
+    network_.set_loss_rate(0.0);
+    // Pin a 10 ms one-way delay for deterministic timing assertions (jitter
+    // still applies per packet, bounded by the model).
+    network_.set_path_override(client_host_.address(), server_host_.address(),
+                               from_ms(10));
+  }
+
+  /// Sets up an echo server on port 853 that sends back whatever it gets.
+  void start_echo_server() {
+    auto& listener = server_.listen(853);
+    listener.on_accept([this](const std::shared_ptr<TcpConnection>& conn) {
+      server_conn_ = conn;
+      conn->on_data([conn](std::span<const std::uint8_t> data) {
+        conn->send({data.begin(), data.end()});
+      });
+    });
+  }
+
+  sim::Simulator sim_;
+  net::Network network_;
+  net::Host& client_host_;
+  net::Host& server_host_;
+  TcpStack client_;
+  TcpStack server_;
+  std::shared_ptr<TcpConnection> server_conn_;
+};
+
+TEST_F(TcpFixture, HandshakeCompletesInOneRtt) {
+  start_echo_server();
+  auto conn = client_.connect(Endpoint{server_host_.address(), 853});
+  bool connected = false;
+  conn->on_connected([&] { connected = true; });
+  sim_.run();
+  ASSERT_TRUE(connected);
+  ASSERT_TRUE(conn->connected_at().has_value());
+  // 1 RTT = 20 ms base; generous jitter allowance.
+  EXPECT_GE(*conn->connected_at(), from_ms(20));
+  EXPECT_LT(*conn->connected_at(), from_ms(40));
+}
+
+TEST_F(TcpFixture, ConnectToClosedPortTimesOut) {
+  auto conn = client_.connect(Endpoint{server_host_.address(), 999},
+                              TcpOptions{.max_retransmits = 2});
+  bool closed_with_error = false;
+  conn->on_closed([&](bool error) { closed_with_error = error; });
+  sim_.run();
+  EXPECT_TRUE(closed_with_error);
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpFixture, EchoRoundTrip) {
+  start_echo_server();
+  auto conn = client_.connect(Endpoint{server_host_.address(), 853});
+  std::vector<std::uint8_t> received;
+  conn->on_data([&](std::span<const std::uint8_t> d) {
+    received.insert(received.end(), d.begin(), d.end());
+  });
+  conn->send({1, 2, 3, 4, 5});
+  sim_.run();
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(TcpFixture, DataQueuedBeforeConnectFlushesAfterHandshake) {
+  start_echo_server();
+  auto conn = client_.connect(Endpoint{server_host_.address(), 853});
+  conn->send({42});  // queued while SYN in flight
+  std::vector<std::uint8_t> received;
+  conn->on_data([&](std::span<const std::uint8_t> d) {
+    received.insert(received.end(), d.begin(), d.end());
+  });
+  sim_.run();
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{42}));
+  EXPECT_FALSE(conn->used_tfo());
+}
+
+TEST_F(TcpFixture, LargeTransferSegmentsAndReassembles) {
+  start_echo_server();
+  auto conn = client_.connect(Endpoint{server_host_.address(), 853});
+  std::vector<std::uint8_t> payload(20000);
+  std::iota(payload.begin(), payload.end(), 0);
+  std::vector<std::uint8_t> received;
+  conn->on_data([&](std::span<const std::uint8_t> d) {
+    received.insert(received.end(), d.begin(), d.end());
+  });
+  conn->send(payload);
+  sim_.run();
+  // Echo returns the identical byte stream in order despite per-packet
+  // jitter-induced reordering.
+  EXPECT_EQ(received, payload);
+}
+
+TEST_F(TcpFixture, RetransmitsThroughModerateLoss) {
+  network_.set_loss_override(client_host_.address(), server_host_.address(),
+                             0.25);
+  start_echo_server();
+  auto conn = client_.connect(Endpoint{server_host_.address(), 853});
+  std::vector<std::uint8_t> payload(30000, 0xAA);
+  std::vector<std::uint8_t> received;
+  conn->on_data([&](std::span<const std::uint8_t> d) {
+    received.insert(received.end(), d.begin(), d.end());
+  });
+  conn->send(payload);
+  sim_.run();
+  EXPECT_EQ(received.size(), payload.size());
+  EXPECT_GT(network_.counters().packets_lost, 0u);
+  EXPECT_GT(conn->retransmit_count() + server_conn_->retransmit_count(), 0u);
+}
+
+TEST_F(TcpFixture, FirstRetransmitUsesOneSecondInitialRto) {
+  // Drop everything so the SYN never gets through; watch the retransmission
+  // times. RFC 6298: 1 s initial RTO, doubling per attempt.
+  network_.set_loss_override(client_host_.address(), server_host_.address(),
+                             1.0);
+  std::vector<SimTime> syn_times;
+  network_.set_tap([&](const net::Packet& p) {
+    if (p.protocol == net::kProtoTcp) syn_times.push_back(sim_.now());
+  });
+  auto conn = client_.connect(Endpoint{server_host_.address(), 853},
+                              TcpOptions{.max_retransmits = 3});
+  sim_.run();
+  ASSERT_GE(syn_times.size(), 3u);
+  EXPECT_EQ(syn_times[0], 0);
+  EXPECT_EQ(syn_times[1], 1 * kSecond);          // first RTO
+  EXPECT_EQ(syn_times[2], 3 * kSecond);          // backoff x2
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpFixture, HandshakeByteAccountingMatchesModel) {
+  start_echo_server();
+  auto conn = client_.connect(Endpoint{server_host_.address(), 853});
+  std::uint64_t sent_at_connect = 0;
+  std::uint64_t received_at_connect = 0;
+  conn->on_connected([&] {
+    sent_at_connect = conn->bytes_sent();
+    received_at_connect = conn->bytes_received();
+  });
+  sim_.run();
+  // C->S: SYN (40) + final ACK (32) = 72 — the Table 1 DoTCP handshake
+  // client-to-resolver figure. S->C: SYN-ACK (40).
+  EXPECT_EQ(sent_at_connect, 72u);
+  EXPECT_EQ(received_at_connect, 40u);
+}
+
+TEST_F(TcpFixture, GracefulCloseBothSides) {
+  start_echo_server();
+  auto conn = client_.connect(Endpoint{server_host_.address(), 853});
+  bool client_closed = false, client_error = true;
+  conn->on_closed([&](bool error) {
+    client_closed = true;
+    client_error = error;
+  });
+  conn->on_connected([&] { conn->close(); });
+  // Server closes in response to FIN.
+  auto& listener = server_.listen(854);
+  (void)listener;
+  sim_.run();
+  // The echo server never closes on its own; close its side when FIN seen.
+  // (Our close() above moved client to FIN_WAIT; server_conn_ is in
+  // CLOSE_WAIT until we close it.)
+  ASSERT_TRUE(server_conn_ != nullptr);
+  if (server_conn_->state() == TcpState::kCloseWait) {
+    server_conn_->close();
+  }
+  sim_.run();
+  EXPECT_TRUE(client_closed);
+  EXPECT_FALSE(client_error);
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+  EXPECT_EQ(server_conn_->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpFixture, AbortSendsRstAndClosesPeer) {
+  start_echo_server();
+  auto conn = client_.connect(Endpoint{server_host_.address(), 853});
+  bool server_error = false;
+  conn->on_connected([&] {
+    server_conn_->on_closed([&](bool error) { server_error = error; });
+    conn->abort();
+  });
+  sim_.run();
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+  EXPECT_TRUE(server_error);
+}
+
+TEST_F(TcpFixture, TfoCarriesDataOnSyn) {
+  auto& listener = server_.listen(8443);
+  listener.set_tfo_enabled(true);
+  std::vector<std::uint8_t> server_got;
+  SimTime data_at = -1;
+  listener.on_accept([&](const std::shared_ptr<TcpConnection>& conn) {
+    server_conn_ = conn;
+    conn->on_data([&](std::span<const std::uint8_t> d) {
+      server_got.assign(d.begin(), d.end());
+      data_at = sim_.now();
+    });
+  });
+  client_.learn_tfo_cookie(server_host_.address());
+  auto conn = client_.connect(Endpoint{server_host_.address(), 8443},
+                              TcpOptions{.enable_tfo = true});
+  conn->send({9, 8, 7});
+  sim_.run();
+  EXPECT_TRUE(conn->used_tfo());
+  EXPECT_EQ(server_got, (std::vector<std::uint8_t>{9, 8, 7}));
+  // Early data arrives with the SYN: ~0.5 RTT, not 1.5 RTT.
+  EXPECT_GE(data_at, from_ms(10));
+  EXPECT_LT(data_at, from_ms(20));
+}
+
+TEST_F(TcpFixture, TfoWithoutCookieFallsBackToPlainHandshake) {
+  auto& listener = server_.listen(8443);
+  listener.set_tfo_enabled(true);
+  start_echo_server();
+  // No learn_tfo_cookie() call: client must not attempt TFO.
+  auto conn = client_.connect(Endpoint{server_host_.address(), 8443},
+                              TcpOptions{.enable_tfo = true});
+  conn->send({1});
+  sim_.run();
+  EXPECT_FALSE(conn->used_tfo());
+}
+
+TEST_F(TcpFixture, TfoFallbackWhenListenerRejectsEarlyData) {
+  // Server listener does not enable TFO: per RFC 7413 the SYN payload is
+  // ignored, the SYN-ACK acknowledges only the SYN, and the client must
+  // retransmit the data as a normal post-handshake segment.
+  auto& listener = server_.listen(8444);
+  std::vector<std::uint8_t> server_got;
+  SimTime data_at = -1;
+  listener.on_accept([&](const std::shared_ptr<TcpConnection>& conn) {
+    server_conn_ = conn;
+    conn->on_data([&](std::span<const std::uint8_t> d) {
+      server_got.insert(server_got.end(), d.begin(), d.end());
+      data_at = sim_.now();
+    });
+  });
+  client_.learn_tfo_cookie(server_host_.address());
+  auto conn = client_.connect(Endpoint{server_host_.address(), 8444},
+                              TcpOptions{.enable_tfo = true});
+  conn->send({5, 5});
+  sim_.run();
+  EXPECT_EQ(server_got, (std::vector<std::uint8_t>{5, 5}));
+  EXPECT_FALSE(conn->used_tfo());
+  // Data arrives only after the full handshake (~1.5 RTT = 30 ms).
+  EXPECT_GE(data_at, from_ms(30));
+}
+
+TEST_F(TcpFixture, SrttConvergesNearPathRtt) {
+  start_echo_server();
+  auto conn = client_.connect(Endpoint{server_host_.address(), 853});
+  std::vector<std::uint8_t> received;
+  conn->on_data([&](std::span<const std::uint8_t> d) {
+    received.insert(received.end(), d.begin(), d.end());
+  });
+  conn->send(std::vector<std::uint8_t>(8000, 1));
+  sim_.run();
+  ASSERT_TRUE(conn->srtt().has_value());
+  EXPECT_GE(*conn->srtt(), from_ms(20));
+  EXPECT_LT(*conn->srtt(), from_ms(45));
+}
+
+}  // namespace
+}  // namespace doxlab::tcp

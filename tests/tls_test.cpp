@@ -1,0 +1,403 @@
+// Unit tests for the TLS session model: 1.3 full/resumed/0-RTT handshakes,
+// 1.2 fallback, ticket issuance and validation, ALPN, framing robustness.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tls/session.h"
+#include "tls/ticket.h"
+#include "tls/wire.h"
+
+namespace doxlab::tls {
+namespace {
+
+/// Wires two TlsSessions back-to-back through in-memory byte queues and
+/// counts bytes per direction.
+class TlsPair {
+ public:
+  TlsPair(TlsConfig client_cfg, TlsConfig server_cfg, SimTime now = 0)
+      : now_(now) {
+    client_cfg.is_server = false;
+    server_cfg.is_server = true;
+
+    TlsSession::Callbacks ccb;
+    ccb.send_transport = [this](std::vector<std::uint8_t> b) {
+      c2s_bytes += b.size();
+      to_server_.push_back(std::move(b));
+    };
+    ccb.on_handshake_complete = [this](const HandshakeInfo& i) {
+      client_info = i;
+    };
+    ccb.on_application_data = [this](std::span<const std::uint8_t> d) {
+      client_received.insert(client_received.end(), d.begin(), d.end());
+    };
+    ccb.on_new_ticket = [this](const SessionTicket& t) { tickets.push_back(t); };
+    ccb.on_error = [this](const std::string& e) { client_error = e; };
+    ccb.on_close_notify = [this] { client_saw_close = true; };
+    ccb.now = [this] { return now_; };
+
+    TlsSession::Callbacks scb;
+    scb.send_transport = [this](std::vector<std::uint8_t> b) {
+      s2c_bytes += b.size();
+      to_client_.push_back(std::move(b));
+    };
+    scb.on_handshake_complete = [this](const HandshakeInfo& i) {
+      server_info = i;
+    };
+    scb.on_application_data = [this](std::span<const std::uint8_t> d) {
+      server_received.insert(server_received.end(), d.begin(), d.end());
+      server_data_flight = flight_counter;
+    };
+    scb.on_error = [this](const std::string& e) { server_error = e; };
+    scb.now = [this] { return now_; };
+
+    client = std::make_unique<TlsSession>(client_cfg, std::move(ccb));
+    server = std::make_unique<TlsSession>(server_cfg, std::move(scb));
+  }
+
+  /// Moves queued bytes between the endpoints until quiescent.
+  void pump() {
+    if (pumping_) return;
+    pumping_ = true;
+    while (!to_server_.empty() || !to_client_.empty()) {
+      ++flight_counter;
+      std::vector<std::vector<std::uint8_t>> batch;
+      batch.swap(to_server_);
+      for (auto& b : batch) server->on_transport_data(b);
+      batch.clear();
+      batch.swap(to_client_);
+      for (auto& b : batch) client->on_transport_data(b);
+    }
+    pumping_ = false;
+  }
+
+  std::unique_ptr<TlsSession> client;
+  std::unique_ptr<TlsSession> server;
+  std::optional<HandshakeInfo> client_info;
+  std::optional<HandshakeInfo> server_info;
+  std::vector<SessionTicket> tickets;
+  std::vector<std::uint8_t> client_received;
+  std::vector<std::uint8_t> server_received;
+  std::string client_error;
+  std::string server_error;
+  bool client_saw_close = false;
+  std::size_t c2s_bytes = 0;
+  std::size_t s2c_bytes = 0;
+  int flight_counter = 0;
+  int server_data_flight = -1;
+
+ private:
+  SimTime now_;
+  bool pumping_ = false;
+  std::vector<std::vector<std::uint8_t>> to_server_;
+  std::vector<std::vector<std::uint8_t>> to_client_;
+};
+
+TlsConfig dot_client() {
+  TlsConfig c;
+  c.alpn = {"dot"};
+  c.sni = "resolver.example";
+  return c;
+}
+
+TlsConfig dot_server() {
+  TlsConfig c;
+  c.alpn = {"dot"};
+  c.ticket_secret = 0xABCDEF;
+  c.certificate_chain_size = 3000;
+  return c;
+}
+
+TEST(TlsSession, FullHandshake13) {
+  TlsPair pair(dot_client(), dot_server());
+  pair.client->start();
+  pair.pump();
+  ASSERT_TRUE(pair.client_info.has_value());
+  ASSERT_TRUE(pair.server_info.has_value());
+  EXPECT_EQ(pair.client_info->version, TlsVersion::kTls13);
+  EXPECT_FALSE(pair.client_info->resumed);
+  EXPECT_EQ(pair.client_info->alpn, "dot");
+  EXPECT_EQ(pair.client_info->round_trips, 1);
+  EXPECT_TRUE(pair.client_error.empty());
+  // Full handshake carries the certificate: server flight must exceed the
+  // chain size.
+  EXPECT_GT(pair.s2c_bytes, 3000u);
+}
+
+TEST(TlsSession, TicketIssuedAfterFullHandshake) {
+  TlsPair pair(dot_client(), dot_server());
+  pair.client->start();
+  pair.pump();
+  ASSERT_EQ(pair.tickets.size(), 1u);
+  EXPECT_EQ(pair.tickets[0].server_secret, 0xABCDEFu);
+  EXPECT_EQ(pair.tickets[0].lifetime, 7 * kDay);
+  EXPECT_FALSE(pair.tickets[0].allow_early_data);
+}
+
+TEST(TlsSession, ResumedHandshakeSkipsCertificate) {
+  TlsPair first(dot_client(), dot_server());
+  first.client->start();
+  first.pump();
+  ASSERT_EQ(first.tickets.size(), 1u);
+
+  TlsPair second(dot_client(), dot_server());
+  second.client->start(first.tickets[0]);
+  second.pump();
+  ASSERT_TRUE(second.client_info.has_value());
+  EXPECT_TRUE(second.client_info->resumed);
+  // Resumed server flight: SH + EE + Fin + NST, far below the chain size.
+  EXPECT_LT(second.s2c_bytes, 800u);
+}
+
+TEST(TlsSession, ExpiredTicketFallsBackToFullHandshake) {
+  TlsPair first(dot_client(), dot_server());
+  first.client->start();
+  first.pump();
+
+  // 8 days later the 7-day ticket is dead.
+  TlsPair second(dot_client(), dot_server(), /*now=*/8 * kDay);
+  second.client->start(first.tickets[0]);
+  second.pump();
+  ASSERT_TRUE(second.client_info.has_value());
+  EXPECT_FALSE(second.client_info->resumed);
+  EXPECT_GT(second.s2c_bytes, 3000u);
+}
+
+TEST(TlsSession, WrongServerSecretRejectsPsk) {
+  TlsPair first(dot_client(), dot_server());
+  first.client->start();
+  first.pump();
+
+  TlsConfig other_server = dot_server();
+  other_server.ticket_secret = 0x999;
+  TlsPair second(dot_client(), other_server);
+  second.client->start(first.tickets[0]);
+  second.pump();
+  ASSERT_TRUE(second.client_info.has_value());
+  EXPECT_FALSE(second.client_info->resumed);
+}
+
+TEST(TlsSession, AppDataQueuedUntilHandshakeCompletes) {
+  TlsPair pair(dot_client(), dot_server());
+  pair.client->send_application_data({1, 2, 3});
+  pair.client->start();
+  pair.pump();
+  EXPECT_EQ(pair.server_received, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(TlsSession, ZeroRttAcceptedWhenEnabledEverywhere) {
+  TlsConfig server_cfg = dot_server();
+  server_cfg.enable_0rtt = true;
+  TlsPair first(dot_client(), server_cfg);
+  first.client->start();
+  first.pump();
+  ASSERT_EQ(first.tickets.size(), 1u);
+  EXPECT_TRUE(first.tickets[0].allow_early_data);
+
+  TlsConfig client_cfg = dot_client();
+  client_cfg.enable_0rtt = true;
+  TlsPair second(client_cfg, server_cfg);
+  second.client->start(first.tickets[0], {7, 7, 7});
+  second.pump();
+  EXPECT_TRUE(second.client->sent_early_data());
+  ASSERT_TRUE(second.client_info.has_value());
+  EXPECT_TRUE(second.client_info->early_data_accepted);
+  EXPECT_EQ(second.client_info->round_trips, 0);
+  EXPECT_EQ(second.server_received, (std::vector<std::uint8_t>{7, 7, 7}));
+  // Early data is processed in the same flight as the ClientHello.
+  EXPECT_EQ(second.server_data_flight, 1);
+}
+
+TEST(TlsSession, ZeroRttRejectedByServerIsRetransmitted) {
+  // Ticket allows early data, but the *new* server config refuses 0-RTT
+  // (e.g. resolver disabled it — the paper found none accept it).
+  TlsConfig issuing_server = dot_server();
+  issuing_server.enable_0rtt = true;
+  TlsPair first(dot_client(), issuing_server);
+  first.client->start();
+  first.pump();
+
+  TlsConfig strict_server = dot_server();
+  strict_server.enable_0rtt = false;
+  TlsConfig client_cfg = dot_client();
+  client_cfg.enable_0rtt = true;
+  TlsPair second(client_cfg, strict_server);
+  second.client->start(first.tickets[0], {9, 9});
+  second.pump();
+  EXPECT_TRUE(second.client->sent_early_data());
+  ASSERT_TRUE(second.client_info.has_value());
+  EXPECT_FALSE(second.client_info->early_data_accepted);
+  // Data still arrives — after the handshake.
+  EXPECT_EQ(second.server_received, (std::vector<std::uint8_t>{9, 9}));
+}
+
+TEST(TlsSession, ClientWithoutTicketNeverSendsEarlyData) {
+  TlsConfig client_cfg = dot_client();
+  client_cfg.enable_0rtt = true;
+  TlsConfig server_cfg = dot_server();
+  server_cfg.enable_0rtt = true;
+  TlsPair pair(client_cfg, server_cfg);
+  pair.client->start(std::nullopt, {1});
+  pair.pump();
+  EXPECT_FALSE(pair.client->sent_early_data());
+  EXPECT_EQ(pair.server_received, (std::vector<std::uint8_t>{1}));
+}
+
+TEST(TlsSession, Tls12ServerNegotiatesTwoRoundTrips) {
+  TlsConfig server_cfg = dot_server();
+  server_cfg.max_version = TlsVersion::kTls12;
+  TlsPair pair(dot_client(), server_cfg);
+  pair.client->start();
+  pair.pump();
+  ASSERT_TRUE(pair.client_info.has_value());
+  EXPECT_EQ(pair.client_info->version, TlsVersion::kTls12);
+  EXPECT_EQ(pair.client_info->round_trips, 2);
+  // No ticket in our 1.2 model.
+  EXPECT_TRUE(pair.tickets.empty());
+}
+
+TEST(TlsSession, Tls12IgnoresOfferedTicket) {
+  TlsConfig server_cfg = dot_server();
+  server_cfg.max_version = TlsVersion::kTls12;
+  // Hand-craft a ticket; the 1.2 server must do a full handshake anyway.
+  SessionTicket ticket;
+  ticket.server_secret = server_cfg.ticket_secret;
+  ticket.issued_at = 0;
+  TlsPair pair(dot_client(), server_cfg);
+  pair.client->start(ticket);
+  pair.pump();
+  ASSERT_TRUE(pair.client_info.has_value());
+  EXPECT_FALSE(pair.client_info->resumed);
+  EXPECT_EQ(pair.client_info->version, TlsVersion::kTls12);
+}
+
+TEST(TlsSession, BidirectionalApplicationData) {
+  TlsPair pair(dot_client(), dot_server());
+  pair.client->start();
+  pair.pump();
+  pair.client->send_application_data({1});
+  pair.pump();
+  pair.server->send_application_data({2, 2});
+  pair.pump();
+  EXPECT_EQ(pair.server_received, (std::vector<std::uint8_t>{1}));
+  EXPECT_EQ(pair.client_received, (std::vector<std::uint8_t>{2, 2}));
+}
+
+TEST(TlsSession, CloseNotifyDelivered) {
+  TlsPair pair(dot_client(), dot_server());
+  pair.client->start();
+  pair.pump();
+  pair.server->send_close_notify();
+  pair.pump();
+  EXPECT_TRUE(pair.client_saw_close);
+}
+
+TEST(TlsSession, AlpnMismatchFailsHandshake) {
+  TlsConfig client_cfg = dot_client();
+  client_cfg.alpn = {"doq"};
+  TlsPair pair(client_cfg, dot_server());
+  pair.client->start();
+  pair.pump();
+  EXPECT_FALSE(pair.server_error.empty());
+  EXPECT_FALSE(pair.client_info.has_value());
+}
+
+TEST(TlsSession, MultiProtocolAlpnPicksFirstOverlap) {
+  TlsConfig client_cfg = dot_client();
+  client_cfg.alpn = {"doq", "dot"};
+  TlsPair pair(client_cfg, dot_server());
+  pair.client->start();
+  pair.pump();
+  ASSERT_TRUE(pair.client_info.has_value());
+  EXPECT_EQ(pair.client_info->alpn, "dot");
+}
+
+TEST(TlsWire, RecordFramingSurvivesFragmentation) {
+  // Feed the server the client's bytes one octet at a time.
+  TlsConfig server_cfg = dot_server();
+  std::vector<std::uint8_t> server_out;
+  bool complete = false;
+  TlsSession server(
+      {.is_server = true, .alpn = {"dot"}, .ticket_secret = 1},
+      TlsSession::Callbacks{
+          .send_transport =
+              [&](std::vector<std::uint8_t> b) {
+                server_out.insert(server_out.end(), b.begin(), b.end());
+              },
+          .on_handshake_complete = [&](const HandshakeInfo&) {},
+          .now = [] { return SimTime(0); },
+      });
+
+  TlsWire wire;
+  ClientHello ch;
+  ch.alpn = {"dot"};
+  auto record = wire.client_hello_record(ch);
+  for (std::uint8_t byte : record) {
+    server.on_transport_data(std::span(&byte, 1));
+  }
+  // Server must have emitted its flight exactly once.
+  EXPECT_GT(server_out.size(), 3000u);
+  (void)complete;
+}
+
+TEST(TlsWire, NextRecordReturnsNulloptOnPartial) {
+  TlsWire wire;
+  auto record = wire.finished_record();
+  std::vector<std::uint8_t> buf(record.begin(), record.end() - 1);
+  EXPECT_FALSE(TlsWire::next_record(buf).has_value());
+  buf.push_back(record.back());
+  auto parsed = TlsWire::next_record(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, RecordType::kHandshake);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(TlsWire, ClientHelloSizeGrowsWithPsk) {
+  TlsWire wire;
+  ClientHello plain;
+  plain.sni = "resolver.example";
+  plain.alpn = {"dot"};
+  ClientHello with_psk = plain;
+  with_psk.psk = SessionTicket{};
+  const auto a = wire.client_hello_record(plain).size();
+  const auto b = wire.client_hello_record(with_psk).size();
+  EXPECT_EQ(b - a, wire.sizes().psk_extension);
+}
+
+TEST(TlsWire, TicketRoundTripThroughNst) {
+  TlsWire wire;
+  SessionTicket t;
+  t.server_secret = 42;
+  t.ticket_id = 7;
+  t.issued_at = 123456;
+  t.lifetime = 7 * kDay;
+  t.allow_early_data = true;
+  t.alpn = "doq";
+  auto record_bytes = wire.new_session_ticket_record(t);
+  std::vector<std::uint8_t> buf = record_bytes;
+  auto record = TlsWire::next_record(buf);
+  ASSERT_TRUE(record.has_value());
+  auto msg = wire.parse_handshake(record->body, /*encrypted=*/true);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_TRUE(msg->new_session_ticket.has_value());
+  const SessionTicket& back = msg->new_session_ticket->ticket;
+  EXPECT_EQ(back.server_secret, 42u);
+  EXPECT_EQ(back.ticket_id, 7u);
+  EXPECT_EQ(back.issued_at, 123456);
+  EXPECT_TRUE(back.allow_early_data);
+  EXPECT_EQ(back.alpn, "doq");
+}
+
+TEST(TicketStore, ExpiryAndReplacement) {
+  TicketStore store;
+  SessionTicket t;
+  t.issued_at = 0;
+  t.lifetime = kDay;
+  store.put("k", t);
+  EXPECT_TRUE(store.get("k", kHour).has_value());
+  EXPECT_FALSE(store.get("k", 2 * kDay).has_value());
+  EXPECT_EQ(store.size(), 0u);  // expired entry erased
+}
+
+}  // namespace
+}  // namespace doxlab::tls

@@ -1,0 +1,178 @@
+// Unit tests for util: byte codec (incl. QUIC varints), RNG, strings.
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/types.h"
+
+namespace doxlab {
+namespace {
+
+TEST(Bytes, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ull);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, BigEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.view()[0], 0x01);
+  EXPECT_EQ(w.view()[1], 0x02);
+}
+
+TEST(Bytes, ReadPastEndReturnsNullopt) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.view());
+  EXPECT_TRUE(r.u8().has_value());
+  EXPECT_FALSE(r.u8().has_value());
+  EXPECT_FALSE(r.u16().has_value());
+  EXPECT_FALSE(r.u32().has_value());
+  EXPECT_FALSE(r.u64().has_value());
+  EXPECT_FALSE(r.varint().has_value());
+}
+
+struct VarintCase {
+  std::uint64_t value;
+  std::size_t encoded_size;
+};
+
+class VarintTest : public ::testing::TestWithParam<VarintCase> {};
+
+TEST_P(VarintTest, RoundTripAndSize) {
+  const auto& param = GetParam();
+  ByteWriter w;
+  w.varint(param.value);
+  EXPECT_EQ(w.size(), param.encoded_size);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.varint(), param.value);
+  EXPECT_TRUE(r.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintTest,
+    ::testing::Values(VarintCase{0, 1}, VarintCase{63, 1}, VarintCase{64, 2},
+                      VarintCase{16383, 2}, VarintCase{16384, 4},
+                      VarintCase{1073741823, 4}, VarintCase{1073741824, 8},
+                      VarintCase{4611686018427387903ull, 8}));
+
+TEST(Bytes, VarintTruncatedRejected) {
+  ByteWriter w;
+  w.varint(70000);  // 4-byte encoding
+  auto data = w.take();
+  data.pop_back();
+  ByteReader r(data);
+  EXPECT_FALSE(r.varint().has_value());
+}
+
+TEST(Bytes, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.bytes(std::string_view("abc"));
+  w.patch_u16(0, 3);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u16(), 3);
+}
+
+TEST(Bytes, SeekAndHex) {
+  ByteWriter w;
+  w.u32(0x00FF10AB);
+  ByteReader r(w.view());
+  EXPECT_TRUE(r.seek(2));
+  EXPECT_EQ(r.u8(), 0x10);
+  EXPECT_FALSE(r.seek(99));
+  EXPECT_EQ(to_hex(w.view()), "00ff10ab");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, ForkDivergesFromParentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  Rng b(42);
+  Rng child_b = b.fork();
+  // Forks of identical parents match each other...
+  EXPECT_EQ(child.uniform_int(0, 1 << 30), child_b.uniform_int(0, 1 << 30));
+  // ...and children differ from a fresh engine with the parent seed.
+  Rng c(42);
+  bool any_diff = false;
+  Rng child2 = a.fork();
+  for (int i = 0; i < 10; ++i) {
+    if (child2.uniform_int(0, 1 << 30) != c.uniform_int(0, 1 << 30)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsZeroWeights) {
+  Rng rng(7);
+  const double weights[] = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexApproximatesWeights) {
+  Rng rng(7);
+  const double weights[] = {1.0, 3.0};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(double(counts[1]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Strings, SplitJoin) {
+  auto parts = split("a.b..c", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, "."), "a.b..c");
+}
+
+TEST(Strings, CaseAndPadding) {
+  EXPECT_EQ(to_lower("GooGLE.Com"), "google.com");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_right("abcdef", 4), "abcd");
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_TRUE(ends_with("google.com", ".com"));
+  EXPECT_FALSE(ends_with("com", ".com"));
+}
+
+TEST(Types, TimeConversions) {
+  EXPECT_EQ(to_ms(1500), 1.5);
+  EXPECT_EQ(from_ms(1.5), 1500);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+}  // namespace
+}  // namespace doxlab

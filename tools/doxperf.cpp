@@ -1,0 +1,181 @@
+// doxperf — a dnsperf-style command-line front end for the doxlab testbed.
+//
+// Runs the paper's measurement methodology (cache warming, session
+// resumption, token reuse) over a synthetic resolver population and prints
+// the single-query and/or web-performance reports. Everything is
+// deterministic for a given --seed.
+//
+// Examples:
+//   doxperf                                  # single-query study, defaults
+//   doxperf --protocols=doq,doh --reps=4
+//   doxperf --web --resolvers=24             # web study (FCP/PLT CDFs)
+//   doxperf --no-resumption --protocols=doq  # preliminary-work behaviour
+//   doxperf --0rtt --pad --csv=out.csv
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "measure/csv.h"
+#include "measure/report.h"
+#include "measure/single_query.h"
+#include "measure/web_study.h"
+#include "util/strings.h"
+
+using namespace doxlab;
+using namespace doxlab::measure;
+
+namespace {
+
+const char* kUsage = R"(doxperf — DNS-over-X measurement testbed CLI
+
+  --protocols=LIST   comma list of doudp,dotcp,dot,doh,doq,doh3 (default:
+                     the paper's five)
+  --resolvers=N      verified resolvers in the population (default 48)
+  --reps=N           repetitions per combination (default 1)
+  --qname=NAME       query name (default google.com)
+  --seed=N           study seed (default 42)
+  --web              run the web study (FCP/PLT) instead of single queries
+  --pages=LIST       web: comma list of page names (default: all ten)
+  --loads=N          web: measured loads per combination (default 4)
+  --no-resumption    disable TLS session resumption (preliminary-work mode)
+  --no-token         do not present QUIC address-validation tokens
+  --0rtt             resolvers accept TLS/QUIC 0-RTT (future-work mode)
+  --doh3             resolvers additionally serve DNS over HTTP/3
+  --pad              RFC 8467 padding on encrypted transports
+  --fix-dot          use the fixed dnsproxy DoT connection reuse (web)
+  --csv=FILE         write raw records as CSV
+  --help             this text
+)";
+
+std::string flag_value(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+bool flag_set(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+std::vector<dox::DnsProtocol> parse_protocols(const std::string& list) {
+  std::vector<dox::DnsProtocol> out;
+  for (const std::string& raw : split(list, ',')) {
+    const std::string name = to_lower(raw);
+    if (name == "doudp" || name == "udp") {
+      out.push_back(dox::DnsProtocol::kDoUdp);
+    } else if (name == "dotcp" || name == "tcp") {
+      out.push_back(dox::DnsProtocol::kDoTcp);
+    } else if (name == "dot") {
+      out.push_back(dox::DnsProtocol::kDoT);
+    } else if (name == "doh") {
+      out.push_back(dox::DnsProtocol::kDoH);
+    } else if (name == "doq") {
+      out.push_back(dox::DnsProtocol::kDoQ);
+    } else if (name == "doh3") {
+      out.push_back(dox::DnsProtocol::kDoH3);
+    } else if (!name.empty()) {
+      std::fprintf(stderr, "unknown protocol: %s\n", name.c_str());
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int run(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  if (flag_set(argc, argv, "--help") || flag_set(argc, argv, "-h")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "doxperf: %s\n", e.what());
+    return 2;
+  }
+}
+
+int run(int argc, char** argv) {
+
+  TestbedConfig config;
+  config.seed =
+      static_cast<std::uint64_t>(std::atoll(
+          flag_value(argc, argv, "--seed", "42").c_str()));
+  config.population.verified_only = true;
+  config.population.verified_dox =
+      std::atoi(flag_value(argc, argv, "--resolvers", "48").c_str());
+  if (flag_set(argc, argv, "--0rtt")) {
+    config.population.force_supports_0rtt = true;
+  }
+  if (flag_set(argc, argv, "--doh3")) {
+    config.population.force_supports_doh3 = true;
+  }
+
+  std::vector<dox::DnsProtocol> protocols{std::begin(dox::kAllProtocols),
+                                          std::end(dox::kAllProtocols)};
+  const std::string protocol_list = flag_value(argc, argv, "--protocols", "");
+  if (!protocol_list.empty()) protocols = parse_protocols(protocol_list);
+
+  Testbed testbed(config);
+  std::vector<std::string> vp_names;
+  for (auto& vp : testbed.vantage_points()) vp_names.push_back(vp->name);
+  const std::string csv_path = flag_value(argc, argv, "--csv", "");
+
+  if (flag_set(argc, argv, "--web")) {
+    WebStudyConfig web;
+    web.protocols = protocols;
+    web.max_resolvers = std::min<int>(
+        config.population.verified_dox,
+        std::atoi(flag_value(argc, argv, "--resolvers", "48").c_str()));
+    web.loads_per_combo =
+        std::atoi(flag_value(argc, argv, "--loads", "4").c_str());
+    web.dot_buggy_reuse = !flag_set(argc, argv, "--fix-dot");
+    web.attempt_0rtt = true;
+    const std::string pages = flag_value(argc, argv, "--pages", "");
+    if (!pages.empty()) web.pages = split(pages, ',');
+
+    WebStudy study(testbed, web);
+    auto records = study.run();
+    std::printf("%s", render_fig3(fig3_relative(records)).c_str());
+    std::printf("%s",
+                render_fig4(fig4_cells(records, vp_names), vp_names).c_str());
+    if (!csv_path.empty()) {
+      write_file(csv_path, web_csv(records));
+      std::printf("raw records -> %s\n", csv_path.c_str());
+    }
+    return 0;
+  }
+
+  SingleQueryConfig sq;
+  sq.protocols = protocols;
+  sq.qname = flag_value(argc, argv, "--qname", "google.com");
+  sq.repetitions = std::atoi(flag_value(argc, argv, "--reps", "1").c_str());
+  sq.use_session_resumption = !flag_set(argc, argv, "--no-resumption");
+  sq.use_address_token = !flag_set(argc, argv, "--no-token");
+  sq.pad_encrypted = flag_set(argc, argv, "--pad");
+
+  SingleQueryStudy study(testbed, sq);
+  auto records = study.run();
+
+  std::printf("%s\n", render_table1(table1_sizes(records), nullptr).c_str());
+  std::printf("%s",
+              render_fig2(fig2_handshake_resolve(records, vp_names)).c_str());
+  std::printf("%s", render_mix(protocol_mix(records)).c_str());
+  if (!csv_path.empty()) {
+    write_file(csv_path, single_query_csv(records));
+    std::printf("raw records -> %s\n", csv_path.c_str());
+  }
+  return 0;
+}
