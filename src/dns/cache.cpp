@@ -21,7 +21,17 @@ void Cache::insert(const DnsName& name, RRType type,
     entry.original_ttl = min_ttl;
   }
   entry.records = std::move(records);
-  entries_[Key{name, type}] = std::move(entry);
+
+  const Key key{name, type};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.entry = std::move(entry);
+    touch(it->second);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Node{std::move(entry), lru_.begin()});
+  enforce_capacity();
 }
 
 bool Cache::expired(const CacheEntry& entry, SimTime now) const {
@@ -29,27 +39,89 @@ bool Cache::expired(const CacheEntry& entry, SimTime now) const {
   return age >= static_cast<SimTime>(entry.original_ttl) * kSecond;
 }
 
+void Cache::touch(const Node& node) const {
+  lru_.splice(lru_.begin(), lru_, node.lru);
+}
+
+void Cache::enforce_capacity() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void Cache::set_capacity(std::size_t max_entries) {
+  capacity_ = max_entries;
+  enforce_capacity();
+}
+
+void Cache::clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
 std::optional<std::vector<ResourceRecord>> Cache::lookup(const DnsName& name,
                                                          RRType type,
                                                          SimTime now) const {
   auto it = entries_.find(Key{name, type});
-  if (it == entries_.end() || expired(it->second, now)) {
+  if (it == entries_.end() || expired(it->second.entry, now)) {
     ++misses_;
     return std::nullopt;
   }
   ++hits_;
-  const SimTime age_s = (now - it->second.inserted_at) / kSecond;
-  std::vector<ResourceRecord> out = it->second.records;
+  touch(it->second);
+  const CacheEntry& entry = it->second.entry;
+  const SimTime age_s = (now - entry.inserted_at) / kSecond;
+  std::vector<ResourceRecord> out = entry.records;
   for (auto& rr : out) {
     rr.ttl = rr.ttl > age_s ? rr.ttl - static_cast<std::uint32_t>(age_s) : 0;
   }
   return out;
 }
 
+std::optional<StaleLookup> Cache::lookup_stale(const DnsName& name,
+                                               RRType type, SimTime now,
+                                               SimTime max_stale,
+                                               std::uint32_t stale_ttl) const {
+  auto it = entries_.find(Key{name, type});
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const CacheEntry& entry = it->second.entry;
+  if (!expired(entry, now)) {
+    ++hits_;
+    touch(it->second);
+    const SimTime age_s = (now - entry.inserted_at) / kSecond;
+    StaleLookup result;
+    result.records = entry.records;
+    for (auto& rr : result.records) {
+      rr.ttl = rr.ttl > age_s ? rr.ttl - static_cast<std::uint32_t>(age_s) : 0;
+    }
+    return result;
+  }
+  const SimTime expired_at =
+      entry.inserted_at + static_cast<SimTime>(entry.original_ttl) * kSecond;
+  if (now - expired_at >= max_stale) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  touch(it->second);
+  StaleLookup result;
+  result.stale = true;
+  result.records = entry.records;
+  for (auto& rr : result.records) rr.ttl = stale_ttl;
+  return result;
+}
+
 std::size_t Cache::evict_expired(SimTime now) {
   std::size_t evicted = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (expired(it->second, now)) {
+    if (expired(it->second.entry, now)) {
+      lru_.erase(it->second.lru);
       it = entries_.erase(it);
       ++evicted;
     } else {

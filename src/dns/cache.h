@@ -1,8 +1,16 @@
 // TTL-bounded DNS record cache, used by resolvers (and by the local proxy
 // when its cache is *enabled* — the study disables it, and tests cover both).
+//
+// The cache is unbounded by default (the study's resolvers never evict), but
+// can be given a capacity bound: insertion beyond the bound evicts the
+// least-recently-used entry, which is what a shared forwarder cache under
+// sustained traffic needs. It also supports RFC 8767 serve-stale lookups:
+// an expired entry can still be returned (with clamped TTLs) for a bounded
+// staleness window, leaving the refresh policy to the caller.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <optional>
 #include <vector>
@@ -19,11 +27,20 @@ struct CacheEntry {
   std::uint32_t original_ttl = 0;
 };
 
+/// Result of a serve-stale lookup.
+struct StaleLookup {
+  std::vector<ResourceRecord> records;
+  /// True when the entry had expired and the records carry the clamped
+  /// stale TTL instead of a decayed one.
+  bool stale = false;
+};
+
 /// Cache keyed by (qname, qtype). TTLs decay against simulated time.
 class Cache {
  public:
   /// Inserts (replacing) the answer set for a key. `ttl` is taken from the
   /// minimum record TTL; an empty record set is cached as a negative entry.
+  /// May evict the least-recently-used entry if a capacity bound is set.
   void insert(const DnsName& name, RRType type,
               std::vector<ResourceRecord> records, SimTime now);
 
@@ -33,22 +50,51 @@ class Cache {
                                                     RRType type,
                                                     SimTime now) const;
 
-  /// Drops expired entries; returns how many were evicted.
+  /// RFC 8767 serve-stale lookup: like lookup(), but an entry that expired
+  /// no more than `max_stale` ago is still returned, its record TTLs
+  /// clamped to `stale_ttl` (RFC 8767 §4 recommends <= 30 s). Refreshing
+  /// the entry is the caller's responsibility.
+  std::optional<StaleLookup> lookup_stale(const DnsName& name, RRType type,
+                                          SimTime now, SimTime max_stale,
+                                          std::uint32_t stale_ttl = 30) const;
+
+  /// Drops expired entries; returns how many were evicted. Does not count
+  /// towards evictions() (which tracks capacity pressure only).
   std::size_t evict_expired(SimTime now);
 
-  void clear() { entries_.clear(); }
+  /// Bounds the cache to `max_entries` (0 = unbounded, the default).
+  /// Shrinking below the current size evicts least-recently-used entries.
+  void set_capacity(std::size_t max_entries);
+  std::size_t capacity() const { return capacity_; }
+
+  void clear();
   std::size_t size() const { return entries_.size(); }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Entries evicted by the capacity bound (not TTL expiry).
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
   using Key = std::pair<DnsName, RRType>;
-  bool expired(const CacheEntry& entry, SimTime now) const;
+  struct Node {
+    CacheEntry entry;
+    /// Position in lru_ (front = most recently used).
+    std::list<Key>::iterator lru;
+  };
 
-  std::map<Key, CacheEntry> entries_;
+  bool expired(const CacheEntry& entry, SimTime now) const;
+  /// Moves a node to the front of the LRU list.
+  void touch(const Node& node) const;
+  /// Evicts LRU entries until size() <= capacity (no-op when unbounded).
+  void enforce_capacity();
+
+  std::map<Key, Node> entries_;
+  mutable std::list<Key> lru_;
+  std::size_t capacity_ = 0;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace doxlab::dns

@@ -92,23 +92,33 @@ class Doh3Transport final : public TransportBase {
 
     state->socket = deps_.udp->bind_ephemeral();
 
+    // Weak ConnState captures: the state owns both the QUIC connection and
+    // the H3 session, so shared captures in their callbacks would form
+    // reference cycles that leak the whole connection (sanitizer-visible).
+    std::weak_ptr<ConnState> weak_state = state;
     quic::QuicConnection::Callbacks callbacks;
-    callbacks.send_datagram = [this, state, guard = alive_guard()](
+    callbacks.send_datagram = [this, weak_state, guard = alive_guard()](
                                   std::vector<std::uint8_t> bytes) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       state->socket->send_to(options_.resolver, std::move(bytes));
     };
     callbacks.on_handshake_complete =
-        [this, state, guard = alive_guard()](
+        [this, weak_state, guard = alive_guard()](
             const quic::QuicHandshakeInfo& info) {
           if (guard.expired()) return;
+          auto state = weak_state.lock();
+          if (!state) return;
           on_established(state, info);
         };
-    callbacks.on_stream_data = [this, state, guard = alive_guard()](
+    callbacks.on_stream_data = [this, weak_state, guard = alive_guard()](
                                    std::uint64_t id,
                                    std::span<const std::uint8_t> d,
                                    bool fin) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       state->h3->on_stream_data(id, d, fin);
     };
     callbacks.on_new_ticket = [this, guard = alive_guard()](
@@ -121,9 +131,11 @@ class Doh3Transport final : public TransportBase {
       if (guard.expired()) return;
       if (deps_.doq_cache) deps_.doq_cache->entry(cache_key()).token = token;
     };
-    callbacks.on_closed = [this, state, guard = alive_guard()](
+    callbacks.on_closed = [this, weak_state, guard = alive_guard()](
                               const std::string& reason) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       if (!reason.empty()) {
         auto in_flight = std::move(state->in_flight);
         state->in_flight.clear();
@@ -142,23 +154,29 @@ class Doh3Transport final : public TransportBase {
         });
 
     h3::H3Connection::Callbacks h3_callbacks;
-    h3_callbacks.on_headers = [this, state, guard = alive_guard()](
+    h3_callbacks.on_headers = [this, weak_state, guard = alive_guard()](
                                   std::uint64_t stream_id,
                                   const std::vector<h2::Header>& headers,
                                   bool end_stream) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       on_response_headers(state, stream_id, headers, end_stream);
     };
-    h3_callbacks.on_data = [this, state, guard = alive_guard()](
+    h3_callbacks.on_data = [this, weak_state, guard = alive_guard()](
                                std::uint64_t stream_id,
                                std::span<const std::uint8_t> data,
                                bool end_stream) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       on_response_data(state, stream_id, data, end_stream);
     };
-    h3_callbacks.on_error = [this, state, guard = alive_guard()](
+    h3_callbacks.on_error = [this, weak_state, guard = alive_guard()](
                                 const std::string& reason) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       auto in_flight = std::move(state->in_flight);
       state->in_flight.clear();
       for (auto& pending : in_flight) {

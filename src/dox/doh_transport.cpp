@@ -39,6 +39,9 @@ class DohTransport final : public TransportBase {
       state_->tls->send_close_notify();
       state_->conn->close();
       state_->closed = true;
+      // The FIN exchange completes asynchronously; on_closed (which
+      // records final byte totals) still needs the state alive.
+      closing_.push_back(state_);
     }
     state_.reset();
   }
@@ -92,18 +95,30 @@ class DohTransport final : public TransportBase {
     tls_config.sni = authority();
     tls_config.enable_0rtt = options_.attempt_0rtt;
 
+    // Weak ConnState captures throughout: the state owns the TLS session,
+    // the H2 session, and the TCP connection, so shared captures in any of
+    // their callbacks would leak the whole connection as a cycle.
+    std::weak_ptr<ConnState> weak_state = state;
     tls::TlsSession::Callbacks tls_callbacks;
     tls_callbacks.now = [this] { return sim().now(); };
-    tls_callbacks.send_transport = [state](std::vector<std::uint8_t> bytes) {
-      if (!state->closed) state->conn->send(std::move(bytes));
-    };
+    tls_callbacks.send_transport =
+        [weak_state](std::vector<std::uint8_t> bytes) {
+          auto state = weak_state.lock();
+          if (!state) return;
+          if (!state->closed) state->conn->send(std::move(bytes));
+        };
     tls_callbacks.on_handshake_complete =
-        [this, state, guard = alive_guard()](const tls::HandshakeInfo& info) {
+        [this, weak_state, guard = alive_guard()](
+            const tls::HandshakeInfo& info) {
           if (guard.expired()) return;
+          auto state = weak_state.lock();
+          if (!state) return;
           on_established(state, info);
         };
     tls_callbacks.on_application_data =
-        [state](std::span<const std::uint8_t> data) {
+        [weak_state](std::span<const std::uint8_t> data) {
+          auto state = weak_state.lock();
+          if (!state) return;
           state->h2->on_transport_data(data);
         };
     tls_callbacks.on_new_ticket = [this, guard = alive_guard()](
@@ -111,9 +126,11 @@ class DohTransport final : public TransportBase {
       if (guard.expired()) return;
       if (deps_.tickets) deps_.tickets->put(ticket_key(), ticket);
     };
-    tls_callbacks.on_error = [this, state, guard = alive_guard()](
+    tls_callbacks.on_error = [this, weak_state, guard = alive_guard()](
                                  const std::string& reason) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       fail_connection(state, "TLS error: " + reason);
     };
     state->tls = std::make_unique<tls::TlsSession>(tls_config,
@@ -122,45 +139,60 @@ class DohTransport final : public TransportBase {
     h2::H2Connection::Callbacks h2_callbacks;
     // Until the TLS client has started, H2 output accumulates so it can be
     // offered as 0-RTT early data in the first flight.
-    h2_callbacks.send_transport = [state](std::vector<std::uint8_t> bytes) {
-      if (!state->tls_started) {
-        state->early_buffer.insert(state->early_buffer.end(), bytes.begin(),
-                                   bytes.end());
-        return;
-      }
-      state->tls->send_application_data(std::move(bytes));
-    };
-    h2_callbacks.on_headers = [this, state, guard = alive_guard()](
+    h2_callbacks.send_transport =
+        [weak_state](std::vector<std::uint8_t> bytes) {
+          auto state = weak_state.lock();
+          if (!state) return;
+          if (!state->tls_started) {
+            state->early_buffer.insert(state->early_buffer.end(),
+                                       bytes.begin(), bytes.end());
+            return;
+          }
+          state->tls->send_application_data(std::move(bytes));
+        };
+    h2_callbacks.on_headers = [this, weak_state, guard = alive_guard()](
                                   std::uint32_t stream_id,
                                   const std::vector<h2::Header>& hs,
                                   bool end_stream) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       on_response_headers(state, stream_id, hs, end_stream);
     };
-    h2_callbacks.on_data = [this, state, guard = alive_guard()](
+    h2_callbacks.on_data = [this, weak_state, guard = alive_guard()](
                                std::uint32_t stream_id,
                                std::span<const std::uint8_t> data,
                                bool end_stream) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       on_response_data(state, stream_id, data, end_stream);
     };
-    h2_callbacks.on_error = [this, state, guard = alive_guard()](
+    h2_callbacks.on_error = [this, weak_state, guard = alive_guard()](
                                 const std::string& reason) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       fail_connection(state, "H2 error: " + reason);
     };
     state->h2 = std::make_unique<h2::H2Connection>(/*is_client=*/true,
                                                    std::move(h2_callbacks));
 
-    state->conn->on_data([state](std::span<const std::uint8_t> data) {
+    state->conn->on_data([weak_state](std::span<const std::uint8_t> data) {
+      auto state = weak_state.lock();
+      if (!state) return;
       state->tls->on_transport_data(data);
     });
-    state->conn->on_closed([this, state, guard = alive_guard()](bool error) {
+    state->conn->on_closed([this, weak_state,
+                            guard = alive_guard()](bool error) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       stats_.total_c2r = state->conn->bytes_sent();
       stats_.total_r2c = state->conn->bytes_received();
       state->closed = true;
       if (error) fail_connection(state, "TCP connection failed");
+      std::erase(closing_, state);
     });
 
     state->in_flight.push_back(first);
@@ -293,6 +325,8 @@ class DohTransport final : public TransportBase {
   }
 
   std::shared_ptr<ConnState> state_;
+  /// Owns reset connections until their close handshake finishes.
+  std::vector<std::shared_ptr<ConnState>> closing_;
   std::weak_ptr<ConnState> last_;
   WireStats stats_;
 };

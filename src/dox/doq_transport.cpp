@@ -116,23 +116,34 @@ class DoqTransport final : public TransportBase {
 
     state->socket = deps_.udp->bind_ephemeral();
 
+    // The connection's callbacks capture the ConnState weakly: the state
+    // owns the connection, so a shared capture here would be a
+    // state -> conn -> callbacks -> state cycle that outlives the
+    // transport (the sanitizer build flags it as a leak).
+    std::weak_ptr<ConnState> weak_state = state;
     quic::QuicConnection::Callbacks callbacks;
-    callbacks.send_datagram = [this, state, guard = alive_guard()](
+    callbacks.send_datagram = [this, weak_state, guard = alive_guard()](
                                   std::vector<std::uint8_t> bytes) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       state->socket->send_to(options_.resolver, std::move(bytes));
     };
     callbacks.on_handshake_complete =
-        [this, state, guard = alive_guard()](
+        [this, weak_state, guard = alive_guard()](
             const quic::QuicHandshakeInfo& info) {
           if (guard.expired()) return;
+          auto state = weak_state.lock();
+          if (!state) return;
           on_established(state, info);
         };
-    callbacks.on_stream_data = [this, state, guard = alive_guard()](
+    callbacks.on_stream_data = [this, weak_state, guard = alive_guard()](
                                    std::uint64_t id,
                                    std::span<const std::uint8_t> d,
                                    bool fin) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       on_stream_data(state, id, d, fin);
     };
     callbacks.on_new_ticket = [this, guard = alive_guard()](
@@ -145,9 +156,11 @@ class DoqTransport final : public TransportBase {
       if (guard.expired()) return;
       if (deps_.doq_cache) deps_.doq_cache->entry(cache_key()).token = token;
     };
-    callbacks.on_closed = [this, state, guard = alive_guard()](
+    callbacks.on_closed = [this, weak_state, guard = alive_guard()](
                               const std::string& reason) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       if (!reason.empty()) {
         auto in_flight = std::move(state->in_flight);
         state->in_flight.clear();

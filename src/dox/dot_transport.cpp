@@ -38,13 +38,15 @@ class DotTransport final : public TransportBase {
   }
 
   void reset_sessions() override {
+    // Mark states closed but keep owning them: the FIN exchange completes
+    // asynchronously and on_closed (which records final byte totals and
+    // erases the state) still needs the state alive.
     for (auto& state : connections_) {
       if (state->closed) continue;
       state->tls->send_close_notify();
       state->conn->close();
       state->closed = true;
     }
-    connections_.clear();
   }
 
   WireStats wire_stats() const override {
@@ -97,20 +99,31 @@ class DotTransport final : public TransportBase {
     tls_config.sni = "resolver-" + options_.resolver.address.to_string();
     tls_config.enable_0rtt = options_.attempt_0rtt;
 
+    // The state owns the TLS session and the TCP connection; their
+    // callbacks must capture it weakly or the trio leaks as a reference
+    // cycle (sanitizer-visible).
+    std::weak_ptr<ConnState> weak_state = state;
     tls::TlsSession::Callbacks callbacks;
     callbacks.now = [this] { return sim().now(); };
-    callbacks.send_transport = [state](std::vector<std::uint8_t> bytes) {
+    callbacks.send_transport = [weak_state](std::vector<std::uint8_t> bytes) {
+      auto state = weak_state.lock();
+      if (!state) return;
       if (!state->closed) state->conn->send(std::move(bytes));
     };
     callbacks.on_handshake_complete =
-        [this, state, guard = alive_guard()](const tls::HandshakeInfo& info) {
+        [this, weak_state, guard = alive_guard()](
+            const tls::HandshakeInfo& info) {
           if (guard.expired()) return;
+          auto state = weak_state.lock();
+          if (!state) return;
           on_established(state, info);
         };
     callbacks.on_application_data =
-        [this, state, guard = alive_guard()](
+        [this, weak_state, guard = alive_guard()](
             std::span<const std::uint8_t> data) {
           if (guard.expired()) return;
+          auto state = weak_state.lock();
+          if (!state) return;
           on_dns_stream(state, data);
         };
     callbacks.on_new_ticket = [this, guard = alive_guard()](
@@ -118,24 +131,32 @@ class DotTransport final : public TransportBase {
       if (guard.expired()) return;
       if (deps_.tickets) deps_.tickets->put(ticket_key(), ticket);
     };
-    callbacks.on_error = [this, state, guard = alive_guard()](
+    callbacks.on_error = [this, weak_state, guard = alive_guard()](
                              const std::string& reason) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       fail_connection(state, "TLS error: " + reason);
     };
     state->tls =
         std::make_unique<tls::TlsSession>(tls_config, std::move(callbacks));
 
-    state->conn->on_data([state](std::span<const std::uint8_t> data) {
+    state->conn->on_data([weak_state](std::span<const std::uint8_t> data) {
+      auto state = weak_state.lock();
+      if (!state) return;
       state->tls->on_transport_data(data);
     });
-    state->conn->on_closed([this, state, guard = alive_guard()](bool error) {
+    state->conn->on_closed([this, weak_state,
+                            guard = alive_guard()](bool error) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       stats_.total_c2r = state->conn->bytes_sent();
       stats_.total_r2c = state->conn->bytes_received();
       last_.reset();
       state->closed = true;
       if (error) fail_connection(state, "TCP connection failed");
+      std::erase(connections_, state);
     });
 
     state->in_flight.push_back(first);

@@ -39,15 +39,13 @@ class TcpTransport final : public TransportBase {
   }
 
   void reset_sessions() override {
-    if (persistent_) {
-      persistent_->conn->close();
-      persistent_.reset();
-    }
+    persistent_.reset();
     // Fresh-mode connections normally close themselves after the response,
-    // but an in-flight one must not survive a session reset.
-    if (auto state = last_.lock()) {
-      state->conn->close();
-    }
+    // but an in-flight one must not survive a session reset. Closing
+    // triggers on_closed, which erases the state from open_.
+    auto open = open_;
+    for (auto& state : open) state->conn->close();
+    open_.clear();
   }
 
   WireStats wire_stats() const override {
@@ -83,9 +81,17 @@ class TcpTransport final : public TransportBase {
     state->queued.push_back(first);
     stats_ = WireStats{};  // fresh connection, fresh accounting
     last_ = state;
+    // open_ is the state's owner until on_closed fires (the connection's
+    // callbacks deliberately hold it only weakly).
+    open_.push_back(state);
 
-    state->conn->on_connected([this, state, guard = alive_guard()] {
+    // The state owns the connection, so handlers the connection stores must
+    // capture it weakly or the pair leaks as a reference cycle.
+    std::weak_ptr<ConnState> weak_state = state;
+    state->conn->on_connected([this, weak_state, guard = alive_guard()] {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       state->connected = true;
       stats_.handshake_c2r = state->conn->bytes_sent();
       stats_.handshake_r2c = state->conn->bytes_received();
@@ -95,13 +101,18 @@ class TcpTransport final : public TransportBase {
       }
       flush_queued(state);
     });
-    state->conn->on_data([this, state, guard = alive_guard()](
+    state->conn->on_data([this, weak_state, guard = alive_guard()](
                              std::span<const std::uint8_t> data) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       on_stream_data(state, data);
     });
-    state->conn->on_closed([this, state, guard = alive_guard()](bool error) {
+    state->conn->on_closed([this, weak_state,
+                            guard = alive_guard()](bool error) {
       if (guard.expired()) return;
+      auto state = weak_state.lock();
+      if (!state) return;
       stats_.total_c2r = state->conn->bytes_sent();
       stats_.total_r2c = state->conn->bytes_received();
       last_.reset();
@@ -112,6 +123,7 @@ class TcpTransport final : public TransportBase {
       }
       state->in_flight.clear();
       if (persistent_ == state) persistent_.reset();
+      std::erase(open_, state);
     });
 
     if (!options_.tcp_fresh_connection_per_query) persistent_ = state;
@@ -177,6 +189,9 @@ class TcpTransport final : public TransportBase {
   }
 
   StatePtr persistent_;
+  /// Owns every not-yet-closed connection state (fresh-mode connections
+  /// have no other owner).
+  std::vector<StatePtr> open_;
   std::weak_ptr<ConnState> last_;
   WireStats stats_;
 };

@@ -1,0 +1,199 @@
+#include "engine/engine.h"
+
+#include "util/logging.h"
+
+namespace doxlab::engine {
+
+ForwarderEngine::ForwarderEngine(sim::Simulator& sim,
+                                 net::UdpStack& stub_udp,
+                                 const dox::TransportDeps& upstream_deps,
+                                 std::vector<UpstreamConfig> upstreams,
+                                 EngineConfig config)
+    : sim_(sim),
+      config_(config),
+      pool_(sim, upstream_deps, std::move(upstreams), config.pool) {
+  cache_.set_capacity(config_.cache_capacity);
+  listener_ = stub_udp.bind(config_.listen_port);
+  listener_->on_datagram([this](const net::Endpoint& from,
+                                std::vector<std::uint8_t> payload) {
+    on_stub_query(from, std::move(payload));
+  });
+}
+
+std::vector<dns::ResourceRecord> ForwarderEngine::clamp_ttls(
+    std::vector<dns::ResourceRecord> records) const {
+  if (config_.min_ttl == 0 && config_.max_ttl == 0) return records;
+  for (auto& rr : records) {
+    if (config_.max_ttl != 0 && rr.ttl > config_.max_ttl) {
+      rr.ttl = config_.max_ttl;
+    }
+    if (rr.ttl < config_.min_ttl) rr.ttl = config_.min_ttl;
+  }
+  return records;
+}
+
+void ForwarderEngine::answer(const Waiter& waiter,
+                             const dns::Question& question,
+                             std::vector<dns::ResourceRecord> records) {
+  dns::Message response;
+  response.id = waiter.stub_id;
+  response.qr = true;
+  response.ra = true;
+  response.questions = {question};
+  response.answers = std::move(records);
+  listener_->send_to(waiter.from, response.encode());
+  latency_ms_.push_back(to_ms(sim_.now() - waiter.arrived));
+}
+
+void ForwarderEngine::answer_servfail(const Waiter& waiter,
+                                      const dns::Question& question) {
+  ++servfails_sent_;
+  dns::Message servfail;
+  servfail.id = waiter.stub_id;
+  servfail.qr = true;
+  servfail.ra = true;
+  servfail.rcode = dns::RCode::kServFail;
+  servfail.questions = {question};
+  listener_->send_to(waiter.from, servfail.encode());
+  latency_ms_.push_back(to_ms(sim_.now() - waiter.arrived));
+}
+
+void ForwarderEngine::on_stub_query(const net::Endpoint& from,
+                                    std::vector<std::uint8_t> payload) {
+  auto query = dns::Message::decode(payload);
+  if (!query || query->qr || query->questions.empty()) return;
+  const dns::Question question = query->questions.front();
+  const Key key{question.name, question.type};
+  const Waiter waiter{from, query->id, sim_.now()};
+
+  ++queries_;
+  if (first_query_at_ < 0) first_query_at_ = sim_.now();
+  last_query_at_ = sim_.now();
+
+  if (config_.cache_enabled) {
+    if (config_.serve_stale) {
+      if (auto found = cache_.lookup_stale(question.name, question.type,
+                                           sim_.now(), config_.max_stale,
+                                           config_.stale_ttl)) {
+        if (!found->stale) {
+          ++cache_hits_;
+          answer(waiter, question, std::move(found->records));
+          return;
+        }
+        // RFC 8767: answer stale immediately, refresh in the background.
+        ++stale_hits_;
+        answer(waiter, question, std::move(found->records));
+        if (inflight_.find(key) == inflight_.end()) {
+          ++stale_refreshes_;
+          inflight_[key];  // refresh entry with no waiters
+          start_resolve(key, question);
+        }
+        return;
+      }
+    } else if (auto cached = cache_.lookup(question.name, question.type,
+                                           sim_.now())) {
+      ++cache_hits_;
+      answer(waiter, question, std::move(*cached));
+      return;
+    }
+  }
+
+  if (config_.coalesce) {
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      ++coalesced_;
+      it->second.waiters.push_back(waiter);
+      return;
+    }
+  }
+  ++misses_;
+  if (!config_.coalesce) {
+    // Every query pays its own upstream resolve (the ablation baseline).
+    ++upstream_resolves_;
+    pool_.resolve(question, [this, waiter, question](dox::QueryResult result) {
+      deliver({waiter}, question, std::move(result));
+    });
+    return;
+  }
+  inflight_[key].waiters.push_back(waiter);
+  start_resolve(key, question);
+}
+
+void ForwarderEngine::start_resolve(const Key& key,
+                                    const dns::Question& question) {
+  ++upstream_resolves_;
+  pool_.resolve(question, [this, key, question](dox::QueryResult result) {
+    on_upstream_result(key, question, std::move(result));
+  });
+}
+
+void ForwarderEngine::on_upstream_result(const Key& key,
+                                         const dns::Question& question,
+                                         dox::QueryResult result) {
+  auto it = inflight_.find(key);
+  std::vector<Waiter> waiters;
+  if (it != inflight_.end()) {
+    waiters = std::move(it->second.waiters);
+    inflight_.erase(it);
+  }
+  deliver(std::move(waiters), question, std::move(result));
+}
+
+void ForwarderEngine::deliver(std::vector<Waiter> waiters,
+                              const dns::Question& question,
+                              dox::QueryResult result) {
+  if (!result.success) {
+    DOXLAB_DEBUG("engine upstream failure: " << result.error);
+    // RFC 8767: a resolution failure is the canonical serve-stale trigger —
+    // prefer stale data over SERVFAIL while it lasts.
+    if (config_.cache_enabled && config_.serve_stale) {
+      if (auto found = cache_.lookup_stale(question.name, question.type,
+                                           sim_.now(), config_.max_stale,
+                                           config_.stale_ttl);
+          found && found->stale) {
+        stale_hits_ += waiters.size();
+        for (const Waiter& waiter : waiters) {
+          answer(waiter, question, found->records);
+        }
+        return;
+      }
+    }
+    for (const Waiter& waiter : waiters) answer_servfail(waiter, question);
+    return;
+  }
+
+  std::vector<dns::ResourceRecord> records =
+      clamp_ttls(result.response.answers);
+  if (config_.cache_enabled) {
+    cache_.insert(question.name, question.type, records, sim_.now());
+  }
+  for (const Waiter& waiter : waiters) {
+    answer(waiter, question, records);
+  }
+}
+
+EngineStats ForwarderEngine::stats() const {
+  EngineStats s;
+  s.queries = queries_;
+  s.cache_hits = cache_hits_;
+  s.stale_hits = stale_hits_;
+  s.misses = misses_;
+  s.coalesced = coalesced_;
+  s.upstream_resolves = upstream_resolves_;
+  s.upstream_attempts = pool_.attempts_issued();
+  s.failovers = pool_.failovers();
+  s.stale_refreshes = stale_refreshes_;
+  s.servfails_sent = servfails_sent_;
+  s.cache_evictions = cache_.evictions();
+  s.upstreams = pool_.health();
+  return s;
+}
+
+double ForwarderEngine::observed_qps() const {
+  if (queries_ < 2 || last_query_at_ <= first_query_at_) return 0.0;
+  return static_cast<double>(queries_) /
+         (static_cast<double>(last_query_at_ - first_query_at_) /
+          static_cast<double>(kSecond));
+}
+
+}  // namespace doxlab::engine

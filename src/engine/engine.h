@@ -1,0 +1,156 @@
+// The forwarder engine — a production-shaped descendant of proxy::DnsProxy.
+//
+// Where `DnsProxy` forwards one stub client to one upstream transport with
+// its cache off (the paper's measurement configuration), `ForwarderEngine`
+// serves *many* concurrent stub clients against a *pool* of upstream DoX
+// resolvers:
+//
+//   * in-flight query coalescing — identical (qname, qtype) queries from
+//     different clients share one upstream resolve; the answer fans back
+//     out to every waiter with its own transaction id;
+//   * a bounded shared cache (dns::Cache + LRU capacity) with RFC 8767
+//     serve-stale: an expired entry is answered immediately with a clamped
+//     TTL while a background refresh re-resolves it, and a resolution
+//     failure falls back to stale data before SERVFAIL;
+//   * cross-protocol upstream fallback with health tracking, via
+//     `UpstreamPool` (DoQ -> DoT -> DoUDP, Happy-Eyeballs-style);
+//   * a stats surface: qps, coalesce rate, hit/stale/miss split, SERVFAILs,
+//     per-upstream health, and client-visible latency samples for
+//     percentile reporting through src/stats.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dns/cache.h"
+#include "engine/upstream_pool.h"
+#include "net/udp.h"
+
+namespace doxlab::engine {
+
+struct EngineConfig {
+  /// Local port the stub listener binds.
+  std::uint16_t listen_port = 53;
+  /// Share one upstream resolve among identical concurrent queries.
+  bool coalesce = true;
+  bool cache_enabled = true;
+  /// Cache capacity bound (entries); 0 = unbounded.
+  std::size_t cache_capacity = 4096;
+  /// RFC 8767 serve-stale: answer expired entries immediately and refresh
+  /// in the background.
+  bool serve_stale = true;
+  /// How long past expiry an entry may still be served.
+  SimTime max_stale = 10 * kMinute;
+  /// TTL (seconds) stamped on stale answers (RFC 8767 §4 recommends <= 30).
+  std::uint32_t stale_ttl = 30;
+  /// Clamp record TTLs on cache insert (seconds; 0 = no clamp). A low
+  /// `max_ttl` forces refresh traffic — the serve-stale ablation knob.
+  std::uint32_t min_ttl = 0;
+  std::uint32_t max_ttl = 0;
+  /// Upstream pool behaviour (timeouts, health thresholds, selection).
+  PoolConfig pool;
+};
+
+/// Counters + health snapshot (cheap to copy; taken at any time).
+struct EngineStats {
+  std::uint64_t queries = 0;         ///< well-formed stub queries received
+  std::uint64_t cache_hits = 0;      ///< answered fresh from cache
+  std::uint64_t stale_hits = 0;      ///< answered stale (RFC 8767)
+  std::uint64_t misses = 0;          ///< needed an upstream resolve
+  std::uint64_t coalesced = 0;       ///< joined an in-flight resolve
+  std::uint64_t upstream_resolves = 0;  ///< pool resolves started
+  std::uint64_t upstream_attempts = 0;  ///< transport attempts (incl. retries)
+  std::uint64_t failovers = 0;       ///< attempts beyond a query's first
+  std::uint64_t stale_refreshes = 0; ///< background refreshes triggered
+  std::uint64_t servfails_sent = 0;  ///< mirrors proxy::DnsProxy's counter
+  std::uint64_t cache_evictions = 0; ///< LRU evictions in the shared cache
+  std::vector<UpstreamHealth> upstreams;
+
+  /// Fraction of cache-missing queries that coalesced onto an existing
+  /// in-flight resolve.
+  double coalesce_rate() const {
+    const std::uint64_t candidates = misses + coalesced;
+    return candidates == 0
+               ? 0.0
+               : static_cast<double>(coalesced) /
+                     static_cast<double>(candidates);
+  }
+};
+
+class ForwarderEngine {
+ public:
+  /// Binds the stub listener on `stub_udp` and creates upstream transports
+  /// from `deps` as the pool first uses them.
+  ForwarderEngine(sim::Simulator& sim, net::UdpStack& stub_udp,
+                  const dox::TransportDeps& upstream_deps,
+                  std::vector<UpstreamConfig> upstreams, EngineConfig config);
+
+  ForwarderEngine(const ForwarderEngine&) = delete;
+  ForwarderEngine& operator=(const ForwarderEngine&) = delete;
+
+  /// Drops upstream connections (keeps tickets/tokens).
+  void reset_sessions() { pool_.reset_sessions(); }
+
+  const EngineConfig& config() const { return config_; }
+  UpstreamPool& pool() { return pool_; }
+  const dns::Cache& cache() const { return cache_; }
+
+  EngineStats stats() const;
+  /// Client-visible latency samples in ms (arrival -> answer), for
+  /// percentile reporting. Cache hits contribute 0.
+  const std::vector<double>& latency_samples_ms() const {
+    return latency_ms_;
+  }
+  /// Sustained query rate over the window between first and last query.
+  double observed_qps() const;
+
+ private:
+  using Key = std::pair<dns::DnsName, dns::RRType>;
+
+  struct Waiter {
+    net::Endpoint from;
+    std::uint16_t stub_id = 0;
+    SimTime arrived = 0;
+  };
+  struct InFlight {
+    std::vector<Waiter> waiters;  ///< empty for a pure background refresh
+  };
+
+  void on_stub_query(const net::Endpoint& from,
+                     std::vector<std::uint8_t> payload);
+  void answer(const Waiter& waiter, const dns::Question& question,
+              std::vector<dns::ResourceRecord> records);
+  void answer_servfail(const Waiter& waiter, const dns::Question& question);
+  /// Starts an upstream resolve for `key` (coalescing point).
+  void start_resolve(const Key& key, const dns::Question& question);
+  void on_upstream_result(const Key& key, const dns::Question& question,
+                          dox::QueryResult result);
+  /// Caches a successful result and fans it out (or stale/SERVFAIL on
+  /// failure) to `waiters`.
+  void deliver(std::vector<Waiter> waiters, const dns::Question& question,
+               dox::QueryResult result);
+  std::vector<dns::ResourceRecord> clamp_ttls(
+      std::vector<dns::ResourceRecord> records) const;
+
+  sim::Simulator& sim_;
+  EngineConfig config_;
+  std::unique_ptr<net::UdpSocket> listener_;
+  UpstreamPool pool_;
+  dns::Cache cache_;
+  std::map<Key, InFlight> inflight_;
+
+  std::uint64_t queries_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t stale_hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t upstream_resolves_ = 0;
+  std::uint64_t stale_refreshes_ = 0;
+  std::uint64_t servfails_sent_ = 0;
+  std::vector<double> latency_ms_;
+  SimTime first_query_at_ = -1;
+  SimTime last_query_at_ = -1;
+};
+
+}  // namespace doxlab::engine

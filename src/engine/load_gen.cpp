@@ -1,0 +1,90 @@
+#include "engine/load_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "dns/message.h"
+
+namespace doxlab::engine {
+
+LoadGenerator::LoadGenerator(sim::Simulator& sim, net::UdpStack& udp,
+                             LoadConfig config)
+    : sim_(sim), config_(std::move(config)), rng_(config_.seed) {
+  clients_.reserve(config_.clients);
+  for (std::size_t i = 0; i < config_.clients; ++i) {
+    auto client = std::make_unique<Client>();
+    client->socket = udp.bind_ephemeral();
+    client->socket->on_datagram([this, i](const net::Endpoint&,
+                                          std::vector<std::uint8_t> payload) {
+      auto response = dns::Message::decode(payload);
+      if (!response || !response->qr) return;
+      Client& c = *clients_[i];
+      auto it = c.pending.find(response->id);
+      if (it == c.pending.end()) return;  // late answer after timeout
+      it->second.timeout.cancel();
+      if (response->rcode == dns::RCode::kServFail) {
+        ++report_.servfails;
+      } else {
+        ++report_.answered;
+        report_.latency_ms.push_back(to_ms(sim_.now() - it->second.sent_at));
+      }
+      c.pending.erase(it);
+    });
+    clients_.push_back(std::move(client));
+  }
+
+  // Zipf weights 1/rank^s, stored cumulatively for O(log n) sampling.
+  name_cdf_.reserve(config_.names);
+  double total = 0.0;
+  for (std::size_t rank = 1; rank <= config_.names; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank),
+                            config_.zipf_exponent);
+    name_cdf_.push_back(total);
+  }
+
+  // Poisson arrivals: exponential inter-arrival gaps at the aggregate rate.
+  const double mean_gap_us =
+      static_cast<double>(kSecond) / std::max(config_.qps, 1e-9);
+  SimTime at = sim_.now();
+  while (true) {
+    at += std::max<SimTime>(1, static_cast<SimTime>(
+                                   rng_.exponential(mean_gap_us)));
+    if (at >= sim_.now() + config_.duration) break;
+    const std::size_t client = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(config_.clients) - 1));
+    arrivals_.push_back(
+        sim_.at(at, [this, client] { send_query(client); }));
+  }
+}
+
+std::size_t LoadGenerator::sample_name() {
+  const double u = rng_.uniform_real(0.0, name_cdf_.back());
+  auto it = std::upper_bound(name_cdf_.begin(), name_cdf_.end(), u);
+  return static_cast<std::size_t>(it - name_cdf_.begin());
+}
+
+void LoadGenerator::send_query(std::size_t client_index) {
+  Client& client = *clients_[client_index];
+  const std::size_t name_index = std::min(sample_name(), config_.names - 1);
+  const dns::DnsName name = dns::DnsName::parse(
+      "name" + std::to_string(name_index) + ".load.example");
+
+  std::uint16_t id = client.next_id++;
+  if (client.next_id == 0) client.next_id = 1;
+  dns::Message query = dns::make_query(id, name, dns::RRType::kA);
+
+  PendingQuery pending;
+  pending.sent_at = sim_.now();
+  pending.timeout =
+      sim_.schedule(config_.client_timeout, [this, client_index, id] {
+        Client& c = *clients_[client_index];
+        if (c.pending.erase(id) > 0) ++report_.timeouts;
+      });
+  client.pending[id] = std::move(pending);
+
+  ++report_.sent;
+  client.socket->send_to(config_.target, query.encode());
+}
+
+}  // namespace doxlab::engine

@@ -1,0 +1,95 @@
+// Multi-client stub load generator for the forwarder engine.
+//
+// Simulates thousands of stub clients on one host: query arrivals form a
+// Poisson process at an aggregate rate, each arrival is issued by a
+// uniformly-chosen client against a Zipf-distributed name population (web
+// DNS traffic is heavily skewed towards a few hot names — the property that
+// makes coalescing and caching pay). Every query's client-visible latency
+// is recorded, along with SERVFAIL and timeout counts, so a run reports
+// sustained qps and p50/p95/p99 through src/stats.
+//
+// Deterministic: all randomness comes from the seeded Rng, and arrivals are
+// pre-scheduled on the simulator.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/udp.h"
+#include "sim/simulator.h"
+#include "stats/stats.h"
+#include "util/rng.h"
+
+namespace doxlab::engine {
+
+struct LoadConfig {
+  /// Simulated stub clients (each gets its own ephemeral socket).
+  std::size_t clients = 1000;
+  /// Aggregate Poisson arrival rate, queries per second.
+  double qps = 2000.0;
+  /// Arrival window; queries issued in [start, start + duration).
+  SimTime duration = 30 * kSecond;
+  /// Distinct query names ("nameN.load.example").
+  std::size_t names = 500;
+  /// Zipf popularity exponent (1.0 ~ web-like skew).
+  double zipf_exponent = 1.0;
+  /// A client gives up on an unanswered query after this long.
+  SimTime client_timeout = 8 * kSecond;
+  std::uint64_t seed = 7;
+  /// Where queries go (the engine's stub endpoint).
+  net::Endpoint target;
+};
+
+struct LoadReport {
+  std::uint64_t sent = 0;
+  std::uint64_t answered = 0;   ///< non-SERVFAIL responses
+  std::uint64_t servfails = 0;  ///< client-visible SERVFAILs
+  std::uint64_t timeouts = 0;   ///< gave up waiting
+  std::vector<double> latency_ms;  ///< answered queries only
+
+  bool complete() const { return answered + servfails + timeouts == sent; }
+  stats::Summary latency_summary() const {
+    return stats::Summary::of(latency_ms);
+  }
+};
+
+class LoadGenerator {
+ public:
+  /// Creates the client sockets and pre-schedules every arrival on `sim`.
+  /// Run the simulator afterwards; the report is complete once every query
+  /// was answered or timed out (config.duration + client_timeout suffices).
+  LoadGenerator(sim::Simulator& sim, net::UdpStack& udp, LoadConfig config);
+
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  const LoadReport& report() const { return report_; }
+  const LoadConfig& config() const { return config_; }
+
+ private:
+  struct PendingQuery {
+    SimTime sent_at = 0;
+    sim::Timer timeout;
+  };
+  struct Client {
+    std::unique_ptr<net::UdpSocket> socket;
+    std::uint16_t next_id = 1;
+    std::unordered_map<std::uint16_t, PendingQuery> pending;
+  };
+
+  void send_query(std::size_t client_index);
+  /// Samples a name index from the Zipf popularity distribution.
+  std::size_t sample_name();
+
+  sim::Simulator& sim_;
+  LoadConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  /// Cumulative Zipf weights for binary-search sampling.
+  std::vector<double> name_cdf_;
+  std::vector<sim::Timer> arrivals_;
+  LoadReport report_;
+};
+
+}  // namespace doxlab::engine

@@ -1,0 +1,78 @@
+#include "engine/scenario.h"
+
+#include "net/network.h"
+#include "resolver/resolver.h"
+#include "tcp/tcp.h"
+
+namespace doxlab::engine {
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  sim::Simulator sim;
+  net::Network network(sim, Rng(config.seed));
+  network.set_loss_rate(0.0);  // loss is the transports' business elsewhere
+
+  net::Host& client_host = network.add_host(
+      "engine-host", net::IpAddress::from_octets(10, 1, 0, 1),
+      {50.11, 8.68}, net::Continent::kEurope);
+  net::UdpStack udp(client_host);
+  tcp::TcpStack tcp(client_host);
+  tls::TicketStore tickets;
+  dox::DoqSessionCache doq_cache;
+
+  // Upstream resolvers at pinned RTTs, all speaking the full chain.
+  std::vector<std::unique_ptr<resolver::DoxResolver>> resolvers;
+  std::vector<UpstreamConfig> upstreams;
+  for (std::size_t i = 0; i < config.upstream_one_way.size(); ++i) {
+    resolver::ResolverProfile profile;
+    profile.name = "upstream-" + std::to_string(i);
+    profile.address =
+        net::IpAddress::from_octets(10, 9, 0, static_cast<std::uint8_t>(i + 1));
+    profile.location = {48.86, 2.35};
+    profile.secret = 0xE0 + i;
+    profile.drop_probability = 0.0;
+    resolvers.push_back(std::make_unique<resolver::DoxResolver>(
+        network, profile, Rng(config.seed + 100 + i)));
+    network.set_path_override(client_host.address(), profile.address,
+                              config.upstream_one_way[i]);
+
+    UpstreamConfig upstream;
+    upstream.name = profile.name;
+    upstream.address = profile.address;
+    upstream.protocols = config.protocols;
+    upstreams.push_back(std::move(upstream));
+  }
+
+  dox::TransportDeps deps;
+  deps.sim = &sim;
+  deps.udp = &udp;
+  deps.tcp = &tcp;
+  deps.tickets = &tickets;
+  deps.doq_cache = &doq_cache;
+
+  ForwarderEngine engine(sim, udp, deps, std::move(upstreams),
+                         config.engine);
+
+  LoadConfig load = config.load;
+  load.target = net::Endpoint{client_host.address(),
+                              config.engine.listen_port};
+  LoadGenerator generator(sim, udp, load);
+
+  if (config.kill_primary_at > 0 && !resolvers.empty()) {
+    sim.at(config.kill_primary_at,
+           [&resolvers] { resolvers.front()->host().set_up(false); });
+  }
+
+  // Arrival window, then enough slack for in-flight queries to settle
+  // (client timeout plus a full pool fallback walk).
+  sim.run_until(load.duration + load.client_timeout + 15 * kSecond);
+
+  ScenarioResult result;
+  result.engine = engine.stats();
+  result.load = generator.report();
+  result.offered_qps = load.qps;
+  result.engine_qps = engine.observed_qps();
+  result.events = sim.events_executed();
+  return result;
+}
+
+}  // namespace doxlab::engine

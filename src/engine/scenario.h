@@ -1,0 +1,47 @@
+// A self-contained engine load scenario: one client host running a
+// `ForwarderEngine`, a handful of upstream DoX resolvers at fixed RTTs, and
+// a `LoadGenerator` driving simulated stub clients — the harness behind
+// `bench/engine_load` and `doxperf engine`.
+//
+// Everything is deterministic from `seed`; the optional mid-run primary
+// kill exercises health-tracked failover under live traffic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/load_gen.h"
+
+namespace doxlab::engine {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  /// Upstream resolvers; RTTs to the client are 2x these one-way delays.
+  /// The first upstream is the primary.
+  std::vector<SimTime> upstream_one_way = {from_ms(25), from_ms(40),
+                                           from_ms(60)};
+  /// Fallback chain used by every upstream.
+  std::vector<dox::DnsProtocol> protocols = {dox::DnsProtocol::kDoQ,
+                                             dox::DnsProtocol::kDoT,
+                                             dox::DnsProtocol::kDoUdp};
+  /// Take the primary upstream down at this time (0 = never).
+  SimTime kill_primary_at = 0;
+  EngineConfig engine;
+  LoadConfig load;
+};
+
+struct ScenarioResult {
+  EngineStats engine;
+  LoadReport load;
+  double offered_qps = 0.0;
+  double engine_qps = 0.0;
+  /// Simulator events executed (work proxy for the run).
+  std::uint64_t events = 0;
+};
+
+/// Builds the scenario, runs it to completion, and returns the stats.
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace doxlab::engine

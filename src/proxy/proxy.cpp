@@ -47,6 +47,7 @@ void DnsProxy::on_stub_query(const net::Endpoint& from,
           // Real dnsproxy would eventually SERVFAIL; the stub's own
           // timeout/retry handles it either way. Send SERVFAIL for
           // determinism.
+          ++servfails_sent_;
           dns::Message servfail;
           servfail.id = stub_id;
           servfail.qr = true;

@@ -54,6 +54,9 @@ class DnsProxy {
   const ProxyConfig& config() const { return config_; }
   std::uint64_t queries_forwarded() const { return forwarded_; }
   std::uint64_t cache_hits() const { return cache_hits_; }
+  /// Upstream failures answered with SERVFAIL — the web study's failure
+  /// rate.
+  std::uint64_t servfails_sent() const { return servfails_sent_; }
 
   /// Wire stats of the upstream transport (diagnostics).
   dox::WireStats upstream_wire_stats() const {
@@ -71,6 +74,7 @@ class DnsProxy {
   dns::Cache cache_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t servfails_sent_ = 0;
 };
 
 }  // namespace doxlab::proxy

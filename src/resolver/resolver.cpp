@@ -290,17 +290,24 @@ void DoxResolver::serve_dotcp() {
   auto& listener = tcp_->listen(53);
   listener.set_tfo_enabled(profile_.supports_tfo);
   listener.on_accept([this](const std::shared_ptr<tcp::TcpConnection>& conn) {
-    conn->on_remote_fin([conn] { conn->close(); });
+    // Handlers owned by the connection must capture it weakly, or the
+    // connection keeps itself alive as a reference cycle until close.
+    std::weak_ptr<tcp::TcpConnection> weak_conn = conn;
+    conn->on_remote_fin([weak_conn] {
+      if (auto conn = weak_conn.lock()) conn->close();
+    });
     auto reader = std::make_shared<LengthReader>();
-    conn->on_data([this, conn, reader](std::span<const std::uint8_t> data) {
+    conn->on_data([this, weak_conn,
+                   reader](std::span<const std::uint8_t> data) {
       for (auto& payload : reader->feed(data)) {
         auto query = dns::Message::decode(payload);
         if (!query) continue;
         handle_query(dox::DnsProtocol::kDoTcp, *query,
-                     [conn](dns::Message response) {
+                     [weak_conn](dns::Message response) {
                        // kSynReceived is legal too: a TFO query is answered
                        // together with the SYN-ACK (0.5-RTT data).
-                       if (conn->state() != tcp::TcpState::kClosed) {
+                       auto conn = weak_conn.lock();
+                       if (conn && conn->state() != tcp::TcpState::kClosed) {
                          conn->send(with_length_prefix(response.encode()));
                        }
                      });
@@ -314,36 +321,54 @@ void DoxResolver::serve_dotcp() {
 void DoxResolver::serve_dot() {
   auto& listener = tcp_->listen(853);
   listener.on_accept([this](const std::shared_ptr<tcp::TcpConnection>& conn) {
-    conn->on_remote_fin([conn] { conn->close(); });
+    // The DotConn owns the TLS session and (a reference to) the TCP
+    // connection, so every callback stored inside either must capture the
+    // state weakly or the whole trio leaks as a reference cycle.
+    std::weak_ptr<tcp::TcpConnection> weak_conn = conn;
+    conn->on_remote_fin([weak_conn] {
+      if (auto conn = weak_conn.lock()) conn->close();
+    });
     auto state = std::make_shared<DotConn>();
+    std::weak_ptr<DotConn> weak_state = state;
     state->tcp = conn;
 
     tls::TlsSession::Callbacks callbacks;
     callbacks.now = [this] { return network_.simulator().now(); };
-    callbacks.send_transport = [state](std::vector<std::uint8_t> bytes) {
+    callbacks.send_transport = [weak_state](std::vector<std::uint8_t> bytes) {
+      auto state = weak_state.lock();
+      if (!state) return;
       if (!state->closed) state->tcp->send(std::move(bytes));
     };
-    callbacks.on_application_data = [this, state](
+    callbacks.on_application_data = [this, weak_state](
                                         std::span<const std::uint8_t> data) {
+      auto state = weak_state.lock();
+      if (!state) return;
       for (auto& payload : state->reader.feed(data)) {
         auto query = dns::Message::decode(payload);
         if (!query) continue;
         handle_query(dox::DnsProtocol::kDoT, *query,
-                     [state](dns::Message response) {
-                       if (!state->closed) {
+                     [weak_state](dns::Message response) {
+                       auto state = weak_state.lock();
+                       if (state && !state->closed) {
                          state->tls->send_application_data(
                              with_length_prefix(response.encode()));
                        }
                      });
       }
     };
-    callbacks.on_error = [state](const std::string&) { state->closed = true; };
+    callbacks.on_error = [weak_state](const std::string&) {
+      if (auto state = weak_state.lock()) state->closed = true;
+    };
     state->tls = std::make_unique<tls::TlsSession>(server_tls_config("dot"),
                                                    std::move(callbacks));
-    conn->on_data([state](std::span<const std::uint8_t> data) {
+    conn->on_data([weak_state](std::span<const std::uint8_t> data) {
+      auto state = weak_state.lock();
+      if (!state) return;
       state->tls->on_transport_data(data);
     });
-    conn->on_closed([this, state](bool) {
+    conn->on_closed([this, weak_state](bool) {
+      auto state = weak_state.lock();
+      if (!state) return;
       state->closed = true;
       std::erase(dot_conns_, state);
     });
@@ -356,12 +381,22 @@ void DoxResolver::serve_dot() {
 void DoxResolver::serve_doh() {
   auto& listener = tcp_->listen(443);
   listener.on_accept([this](const std::shared_ptr<tcp::TcpConnection>& conn) {
-    conn->on_remote_fin([conn] { conn->close(); });
+    // Same cycle-avoidance as serve_dot: the DohConn owns the TLS and H2
+    // sessions plus a TCP reference, so their stored callbacks capture it
+    // weakly.
+    std::weak_ptr<tcp::TcpConnection> weak_conn = conn;
+    conn->on_remote_fin([weak_conn] {
+      if (auto conn = weak_conn.lock()) conn->close();
+    });
     auto state = std::make_shared<DohConn>();
+    std::weak_ptr<DohConn> weak_state = state;
     state->tcp = conn;
 
     h2::H2Connection::Callbacks h2_callbacks;
-    h2_callbacks.send_transport = [state](std::vector<std::uint8_t> bytes) {
+    h2_callbacks.send_transport = [weak_state](
+                                      std::vector<std::uint8_t> bytes) {
+      auto state = weak_state.lock();
+      if (!state) return;
       if (!state->closed) state->tls->send_application_data(std::move(bytes));
     };
     h2_callbacks.on_headers = [](std::uint32_t id, const std::vector<h2::Header>& h,
@@ -372,9 +407,12 @@ void DoxResolver::serve_doh() {
     h2_callbacks.on_error = [](const std::string& reason) {
       DOXLAB_DEBUG("DoH server h2 error: " << reason);
     };
-    h2_callbacks.on_data = [this, state](std::uint32_t stream_id,
-                                         std::span<const std::uint8_t> data,
-                                         bool end_stream) {
+    h2_callbacks.on_data = [this, weak_state](
+                               std::uint32_t stream_id,
+                               std::span<const std::uint8_t> data,
+                               bool end_stream) {
+      auto state = weak_state.lock();
+      if (!state) return;
       auto& body = state->bodies[stream_id];
       body.insert(body.end(), data.begin(), data.end());
       DOXLAB_DEBUG("DoH server data stream=" << stream_id << " total="
@@ -386,8 +424,9 @@ void DoxResolver::serve_doh() {
       if (!query) return;
       handle_query(
           dox::DnsProtocol::kDoH, *query,
-          [state, stream_id](dns::Message response) {
-            if (state->closed) return;
+          [weak_state, stream_id](dns::Message response) {
+            auto state = weak_state.lock();
+            if (!state || state->closed) return;
             auto body = response.encode();
             std::vector<h2::Header> headers = {
                 {":status", "200"},
@@ -403,22 +442,31 @@ void DoxResolver::serve_doh() {
 
     tls::TlsSession::Callbacks tls_callbacks;
     tls_callbacks.now = [this] { return network_.simulator().now(); };
-    tls_callbacks.send_transport = [state](std::vector<std::uint8_t> bytes) {
-      if (!state->closed) state->tcp->send(std::move(bytes));
-    };
+    tls_callbacks.send_transport =
+        [weak_state](std::vector<std::uint8_t> bytes) {
+          auto state = weak_state.lock();
+          if (!state) return;
+          if (!state->closed) state->tcp->send(std::move(bytes));
+        };
     tls_callbacks.on_application_data =
-        [state](std::span<const std::uint8_t> data) {
+        [weak_state](std::span<const std::uint8_t> data) {
+          auto state = weak_state.lock();
+          if (!state) return;
           state->h2->on_transport_data(data);
         };
-    tls_callbacks.on_error = [state](const std::string&) {
-      state->closed = true;
+    tls_callbacks.on_error = [weak_state](const std::string&) {
+      if (auto state = weak_state.lock()) state->closed = true;
     };
     state->tls = std::make_unique<tls::TlsSession>(server_tls_config("h2"),
                                                    std::move(tls_callbacks));
-    conn->on_data([state](std::span<const std::uint8_t> data) {
+    conn->on_data([weak_state](std::span<const std::uint8_t> data) {
+      auto state = weak_state.lock();
+      if (!state) return;
       state->tls->on_transport_data(data);
     });
-    conn->on_closed([this, state](bool) {
+    conn->on_closed([this, weak_state](bool) {
+      auto state = weak_state.lock();
+      if (!state) return;
       state->closed = true;
       std::erase(doh_conns_, state);
     });
@@ -440,7 +488,11 @@ void DoxResolver::serve_doq() {
       auto buffers =
           std::make_shared<std::map<std::uint64_t,
                                     std::vector<std::uint8_t>>>();
-      conn->set_on_stream_data([this, conn, buffers, prefix](
+      // Weak capture: the connection owns this callback, so a shared
+      // capture would pin the connection alive forever (cycle). The
+      // QuicServer's connection map is the owner.
+      std::weak_ptr<quic::QuicConnection> weak_conn = conn;
+      conn->set_on_stream_data([this, weak_conn, buffers, prefix](
                                    std::uint64_t stream_id,
                                    std::span<const std::uint8_t> data,
                                    bool fin) {
@@ -457,8 +509,9 @@ void DoxResolver::serve_doq() {
         buffers->erase(stream_id);
         if (!query) return;
         handle_query(dox::DnsProtocol::kDoQ, *query,
-                     [conn, stream_id, prefix](dns::Message response) {
-                       if (conn->closed()) return;
+                     [weak_conn, stream_id, prefix](dns::Message response) {
+                       auto conn = weak_conn.lock();
+                       if (!conn || conn->closed()) return;
                        auto wire = response.encode();
                        if (prefix) wire = with_length_prefix(wire);
                        conn->send_stream(stream_id, std::move(wire), true);
@@ -482,13 +535,18 @@ void DoxResolver::serve_doh3() {
     auto h3 = std::make_shared<std::unique_ptr<h3::H3Connection>>();
     auto bodies = std::make_shared<
         std::map<std::uint64_t, std::vector<std::uint8_t>>>();
+    // The H3 session owns the connection and the connection's stream
+    // callback reaches the session — both captures must be weak or the
+    // pair leaks as a cycle. The resolver (doh3_conns_) is the owner.
+    std::weak_ptr<quic::QuicConnection> weak_conn = conn;
+    std::weak_ptr<std::unique_ptr<h3::H3Connection>> weak_h3 = h3;
 
     h3::H3Connection::Callbacks callbacks;
     callbacks.on_headers = [](std::uint64_t, const std::vector<h2::Header>&,
                               bool) {
       // POST /dns-query implied; the DATA frame carries the query.
     };
-    callbacks.on_data = [this, conn, h3, bodies](
+    callbacks.on_data = [this, weak_conn, weak_h3, bodies](
                             std::uint64_t stream_id,
                             std::span<const std::uint8_t> data,
                             bool end_stream) {
@@ -500,8 +558,10 @@ void DoxResolver::serve_doh3() {
       if (!query) return;
       handle_query(
           dox::DnsProtocol::kDoH3, *query,
-          [conn, h3, stream_id](dns::Message response) {
-            if (conn->closed() || !*h3) return;
+          [weak_conn, weak_h3, stream_id](dns::Message response) {
+            auto conn = weak_conn.lock();
+            auto h3 = weak_h3.lock();
+            if (!conn || conn->closed() || !h3 || !*h3) return;
             auto body = response.encode();
             std::vector<h2::Header> headers = {
                 {":status", "200"},
@@ -514,12 +574,15 @@ void DoxResolver::serve_doh3() {
     };
     *h3 = std::make_unique<h3::H3Connection>(conn, /*is_client=*/false,
                                              std::move(callbacks));
-    conn->set_on_stream_data([h3](std::uint64_t id,
-                                  std::span<const std::uint8_t> data,
-                                  bool fin) {
+    conn->set_on_stream_data([weak_h3](std::uint64_t id,
+                                       std::span<const std::uint8_t> data,
+                                       bool fin) {
+      auto h3 = weak_h3.lock();
+      if (!h3 || !*h3) return;
       (*h3)->on_stream_data(id, data, fin);
     });
     (*h3)->start();
+    doh3_conns_.push_back(std::move(h3));
   });
   quic_servers_.push_back(std::move(server));
 }

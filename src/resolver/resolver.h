@@ -127,6 +127,10 @@ class DoxResolver {
   std::vector<std::unique_ptr<quic::QuicServer>> quic_servers_;
   std::vector<std::shared_ptr<DotConn>> dot_conns_;
   std::vector<std::shared_ptr<DohConn>> doh_conns_;
+  /// Server-side H3 sessions (boxed so the accept handler can create the
+  /// session after wiring callbacks that reference it weakly).
+  std::vector<std::shared_ptr<std::unique_ptr<h3::H3Connection>>>
+      doh3_conns_;
 
   std::uint64_t served_[6] = {0, 0, 0, 0, 0, 0};
 };

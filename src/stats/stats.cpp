@@ -40,6 +40,7 @@ Summary Summary::of(std::vector<double> samples) {
   s.median = interpolate_sorted(samples, 50);
   s.p75 = interpolate_sorted(samples, 75);
   s.p90 = interpolate_sorted(samples, 90);
+  s.p95 = interpolate_sorted(samples, 95);
   s.p99 = interpolate_sorted(samples, 99);
   s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
            static_cast<double>(samples.size());

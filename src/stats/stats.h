@@ -24,6 +24,7 @@ struct Summary {
   double median = 0;
   double p75 = 0;
   double p90 = 0;
+  double p95 = 0;
   double p99 = 0;
   double max = 0;
   double mean = 0;

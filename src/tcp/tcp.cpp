@@ -265,9 +265,13 @@ void TcpConnection::arm_rto() {
   if (outstanding_.empty()) return;
   OutstandingSegment& front = outstanding_.front();
   if (front.rto_timer.armed()) return;
-  auto self = shared_from_this();
-  front.rto_timer = stack_->simulator().schedule(
-      current_rto(), [self]() { self->retransmit_front(); });
+  // Weak capture: the timer lives inside outstanding_, so a shared self
+  // here would keep the connection alive through its own member (a cycle).
+  // The stack owns the connection until it closes, which cancels the timer.
+  std::weak_ptr<TcpConnection> weak = weak_from_this();
+  front.rto_timer = stack_->simulator().schedule(current_rto(), [weak]() {
+    if (auto self = weak.lock()) self->retransmit_front();
+  });
 }
 
 void TcpConnection::retransmit_front() {
@@ -288,9 +292,10 @@ void TcpConnection::retransmit_front() {
   const std::size_t header = copy.syn ? kSynHeaderBytes : kSegHeaderBytes;
   bytes_sent_ += header + copy.payload.size();
   stack_->send_segment(local_, remote_, copy);
-  auto self = shared_from_this();
-  front.rto_timer = stack_->simulator().schedule(
-      current_rto(), [self]() { self->retransmit_front(); });
+  std::weak_ptr<TcpConnection> weak = weak_from_this();
+  front.rto_timer = stack_->simulator().schedule(current_rto(), [weak]() {
+    if (auto self = weak.lock()) self->retransmit_front();
+  });
 }
 
 void TcpConnection::update_rtt(SimTime sample) {

@@ -330,5 +330,123 @@ TEST(Cache, InsertReplaces) {
   EXPECT_EQ(rdata_as_a((*hit)[0]), 2u);
 }
 
+TEST(Cache, TtlDecrementsToOneJustBeforeExpiry) {
+  Cache cache;
+  DnsName name = DnsName::parse("edge.com");
+  cache.insert(name, RRType::kA, {make_a(name, 300, 1)}, 0);
+  auto hit = cache.lookup(name, RRType::kA, 299 * kSecond);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].ttl, 1u);  // one second of life left
+  // One microsecond short of the boundary still answers.
+  EXPECT_TRUE(
+      cache.lookup(name, RRType::kA, 300 * kSecond - 1).has_value());
+  // The boundary itself is a miss.
+  EXPECT_FALSE(cache.lookup(name, RRType::kA, 300 * kSecond).has_value());
+}
+
+TEST(Cache, NegativeEntryExpiresExactlyAtNegativeTtlBoundary) {
+  Cache cache;
+  DnsName name = DnsName::parse("nxdomain.example");
+  cache.insert(name, RRType::kA, {}, 0);
+  EXPECT_TRUE(cache.lookup(name, RRType::kA, 60 * kSecond - 1).has_value());
+  EXPECT_FALSE(cache.lookup(name, RRType::kA, 60 * kSecond).has_value());
+}
+
+TEST(Cache, EvictExpiredReturnsZeroWhenNothingExpired) {
+  Cache cache;
+  DnsName name = DnsName::parse("a.com");
+  cache.insert(name, RRType::kA, {make_a(name, 100, 1)}, 0);
+  EXPECT_EQ(cache.evict_expired(50 * kSecond), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, EvictExpiredDropsNegativeEntriesToo) {
+  Cache cache;
+  cache.insert(DnsName::parse("neg.example"), RRType::kA, {}, 0);
+  EXPECT_EQ(cache.evict_expired(61 * kSecond), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Cache, UnboundedByDefaultNeverEvicts) {
+  Cache cache;
+  for (int i = 0; i < 100; ++i) {
+    DnsName name = DnsName::parse("n" + std::to_string(i) + ".example");
+    cache.insert(name, RRType::kA, {make_a(name, 300, 1)}, 0);
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(Cache, CapacityBoundEvictsLeastRecentlyUsed) {
+  Cache cache;
+  cache.set_capacity(2);
+  DnsName a = DnsName::parse("a.com");
+  DnsName b = DnsName::parse("b.com");
+  DnsName c = DnsName::parse("c.com");
+  cache.insert(a, RRType::kA, {make_a(a, 300, 1)}, 0);
+  cache.insert(b, RRType::kA, {make_a(b, 300, 2)}, 0);
+  // Touch a so b becomes least recently used.
+  EXPECT_TRUE(cache.lookup(a, RRType::kA, 0).has_value());
+  cache.insert(c, RRType::kA, {make_a(c, 300, 3)}, 0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.lookup(a, RRType::kA, 0).has_value());
+  EXPECT_FALSE(cache.lookup(b, RRType::kA, 0).has_value());  // evicted
+  EXPECT_TRUE(cache.lookup(c, RRType::kA, 0).has_value());
+}
+
+TEST(Cache, ShrinkingCapacityEvictsDownToBound) {
+  Cache cache;
+  for (int i = 0; i < 10; ++i) {
+    DnsName name = DnsName::parse("n" + std::to_string(i) + ".example");
+    cache.insert(name, RRType::kA, {make_a(name, 300, 1)}, 0);
+  }
+  cache.set_capacity(3);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 7u);
+  // The three most recently inserted names survive.
+  for (int i = 7; i < 10; ++i) {
+    EXPECT_TRUE(cache
+                    .lookup(DnsName::parse("n" + std::to_string(i) +
+                                           ".example"),
+                            RRType::kA, 0)
+                    .has_value());
+  }
+}
+
+TEST(Cache, ReplacingInsertDoesNotGrowLruState) {
+  Cache cache;
+  cache.set_capacity(2);
+  DnsName a = DnsName::parse("a.com");
+  for (int i = 0; i < 5; ++i) {
+    cache.insert(a, RRType::kA, {make_a(a, 300, i)}, 0);
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(Cache, StaleLookupServesExpiredEntryWithClampedTtl) {
+  Cache cache;
+  DnsName name = DnsName::parse("stale.com");
+  cache.insert(name, RRType::kA, {make_a(name, 10, 1)}, 0);
+  // Fresh: decayed TTL, not stale.
+  auto fresh = cache.lookup_stale(name, RRType::kA, 4 * kSecond,
+                                  /*max_stale=*/kMinute, /*stale_ttl=*/30);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_FALSE(fresh->stale);
+  EXPECT_EQ(fresh->records[0].ttl, 6u);
+  // Expired but within the stale window: clamped TTL, stale flag set.
+  auto stale = cache.lookup_stale(name, RRType::kA, 30 * kSecond, kMinute,
+                                  30);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_TRUE(stale->stale);
+  EXPECT_EQ(stale->records[0].ttl, 30u);
+  // Beyond the stale window: gone.
+  EXPECT_FALSE(cache
+                   .lookup_stale(name, RRType::kA, 10 * kSecond + kMinute,
+                                 kMinute, 30)
+                   .has_value());
+}
+
 }  // namespace
 }  // namespace doxlab::dns

@@ -1,0 +1,386 @@
+// Tests for the forwarder engine: query coalescing fan-out, the bounded LRU
+// cache, RFC 8767 serve-stale + background refresh, upstream fallback
+// ordering and health-based failover, SERVFAIL accounting, and the load
+// generator's determinism.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/load_gen.h"
+#include "engine/scenario.h"
+#include "net/network.h"
+#include "resolver/resolver.h"
+#include "sim/simulator.h"
+
+namespace doxlab::engine {
+namespace {
+
+using net::Continent;
+using net::Endpoint;
+using net::IpAddress;
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  EngineFixture()
+      : network_(sim_, Rng(33)),
+        client_host_(network_.add_host("client",
+                                       IpAddress::from_octets(10, 1, 0, 1),
+                                       {50.11, 8.68}, Continent::kEurope)),
+        udp_(client_host_),
+        tcp_(client_host_) {
+    network_.set_loss_rate(0.0);
+    add_resolver(/*index=*/0, /*one_way=*/from_ms(10));
+    add_resolver(/*index=*/1, /*one_way=*/from_ms(30));
+  }
+
+  resolver::DoxResolver& add_resolver(std::size_t index, SimTime one_way,
+                                      bool supports_doq = true) {
+    resolver::ResolverProfile profile;
+    profile.name = "upstream-" + std::to_string(index);
+    profile.address =
+        IpAddress::from_octets(10, 2, 0, static_cast<std::uint8_t>(index + 1));
+    profile.location = {48.86, 2.35};
+    profile.secret = 0xAA + index;
+    profile.supports_doq = supports_doq;
+    profile.drop_probability = 0.0;
+    auto resolver = std::make_unique<resolver::DoxResolver>(
+        network_, profile, Rng(index + 1));
+    network_.set_path_override(client_host_.address(), profile.address,
+                               one_way);
+    resolvers_.push_back(std::move(resolver));
+    return *resolvers_.back();
+  }
+
+  UpstreamConfig upstream_config(std::size_t index) {
+    UpstreamConfig config;
+    config.name = resolvers_[index]->profile().name;
+    config.address = resolvers_[index]->profile().address;
+    config.protocols = {dox::DnsProtocol::kDoQ, dox::DnsProtocol::kDoT,
+                        dox::DnsProtocol::kDoUdp};
+    return config;
+  }
+
+  EngineConfig engine_config() {
+    EngineConfig config;
+    config.pool.attempt_timeout = kSecond;
+    config.pool.quarantine = 5 * kSecond;
+    return config;
+  }
+
+  std::unique_ptr<ForwarderEngine> make_engine(
+      EngineConfig config, std::vector<std::size_t> resolver_indices = {0,
+                                                                        1}) {
+    dox::TransportDeps deps;
+    deps.sim = &sim_;
+    deps.udp = &udp_;
+    deps.tcp = &tcp_;
+    deps.tickets = &tickets_;
+    deps.doq_cache = &doq_cache_;
+    std::vector<UpstreamConfig> configs;
+    for (std::size_t i : resolver_indices) {
+      configs.push_back(upstream_config(i));
+    }
+    return std::make_unique<ForwarderEngine>(sim_, udp_, deps,
+                                             std::move(configs), config);
+  }
+
+  /// Sends one stub query and waits for the response.
+  std::optional<dns::Message> stub_query(const std::string& name,
+                                         std::uint16_t id = 0x77,
+                                         SimTime wait = 30 * kSecond) {
+    auto socket = udp_.bind_ephemeral();
+    std::optional<dns::Message> response;
+    socket->on_datagram(
+        [&](const Endpoint&, std::vector<std::uint8_t> payload) {
+          response = dns::Message::decode(payload);
+        });
+    dns::Message query =
+        dns::make_query(id, dns::DnsName::parse(name), dns::RRType::kA);
+    socket->send_to(Endpoint{client_host_.address(), 53}, query.encode());
+    sim_.run_until(sim_.now() + wait);
+    return response;
+  }
+
+  sim::Simulator sim_;
+  net::Network network_;
+  net::Host& client_host_;
+  net::UdpStack udp_;
+  tcp::TcpStack tcp_;
+  tls::TicketStore tickets_;
+  dox::DoqSessionCache doq_cache_;
+  std::vector<std::unique_ptr<resolver::DoxResolver>> resolvers_;
+};
+
+TEST_F(EngineFixture, ForwardsAndRewritesId) {
+  auto engine = make_engine(engine_config());
+  auto response = stub_query("example.com", 0x1234);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->id, 0x1234);
+  EXPECT_TRUE(response->qr);
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_EQ(dns::rdata_as_a(response->answers[0]),
+            resolver::authoritative_ipv4(dns::DnsName::parse("example.com")));
+  EXPECT_EQ(engine->stats().queries, 1u);
+  EXPECT_EQ(engine->stats().misses, 1u);
+}
+
+TEST_F(EngineFixture, CoalescesConcurrentIdenticalQueries) {
+  auto engine = make_engine(engine_config());
+  // Five clients ask for the same name in the same instant: one upstream
+  // resolve, five answers, each with its own transaction id.
+  std::vector<std::unique_ptr<net::UdpSocket>> sockets;
+  std::vector<std::uint16_t> answered_ids;
+  for (int i = 0; i < 5; ++i) {
+    sockets.push_back(udp_.bind_ephemeral());
+    sockets.back()->on_datagram(
+        [&](const Endpoint&, std::vector<std::uint8_t> payload) {
+          auto response = dns::Message::decode(payload);
+          ASSERT_TRUE(response.has_value());
+          answered_ids.push_back(response->id);
+        });
+    dns::Message query = dns::make_query(
+        static_cast<std::uint16_t>(0x100 + i),
+        dns::DnsName::parse("hot.example"), dns::RRType::kA);
+    sockets[i]->send_to(Endpoint{client_host_.address(), 53},
+                        query.encode());
+  }
+  sim_.run_until(30 * kSecond);
+
+  ASSERT_EQ(answered_ids.size(), 5u);
+  std::sort(answered_ids.begin(), answered_ids.end());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(answered_ids[i], 0x100 + i);
+  }
+  const EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.queries, 5u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.coalesced, 4u);
+  EXPECT_EQ(stats.upstream_resolves, 1u);
+  EXPECT_DOUBLE_EQ(stats.coalesce_rate(), 0.8);
+  EXPECT_EQ(resolvers_[0]->queries_served(dox::DnsProtocol::kDoQ), 1u);
+}
+
+TEST_F(EngineFixture, CoalescingDisabledResolvesEachQueryUpstream) {
+  EngineConfig config = engine_config();
+  config.coalesce = false;
+  config.cache_enabled = false;
+  auto engine = make_engine(config);
+  std::vector<std::unique_ptr<net::UdpSocket>> sockets;
+  int answers = 0;
+  for (int i = 0; i < 3; ++i) {
+    sockets.push_back(udp_.bind_ephemeral());
+    sockets.back()->on_datagram(
+        [&](const Endpoint&, std::vector<std::uint8_t>) { ++answers; });
+    dns::Message query = dns::make_query(
+        static_cast<std::uint16_t>(i), dns::DnsName::parse("hot.example"),
+        dns::RRType::kA);
+    sockets[i]->send_to(Endpoint{client_host_.address(), 53},
+                        query.encode());
+  }
+  sim_.run_until(30 * kSecond);
+  EXPECT_EQ(answers, 3);
+  EXPECT_EQ(engine->stats().coalesced, 0u);
+  EXPECT_EQ(engine->stats().upstream_resolves, 3u);
+}
+
+TEST_F(EngineFixture, CacheServesRepeatQueriesWithoutUpstreamTraffic) {
+  auto engine = make_engine(engine_config());
+  stub_query("example.com");
+  stub_query("example.com");
+  const EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.upstream_resolves, 1u);
+}
+
+TEST_F(EngineFixture, LruBoundEvictsAndReResolves) {
+  EngineConfig config = engine_config();
+  config.cache_capacity = 2;
+  config.serve_stale = false;
+  auto engine = make_engine(config);
+  stub_query("a.example");
+  stub_query("b.example");
+  stub_query("c.example");  // evicts a.example (LRU)
+  EXPECT_EQ(engine->cache().size(), 2u);
+  EXPECT_EQ(engine->stats().cache_evictions, 1u);
+  stub_query("a.example");  // must go upstream again
+  EXPECT_EQ(engine->stats().upstream_resolves, 4u);
+}
+
+TEST_F(EngineFixture, ServeStaleAnswersImmediatelyAndRefreshes) {
+  EngineConfig config = engine_config();
+  config.max_ttl = 1;  // entries expire after a simulated second
+  config.stale_ttl = 30;
+  auto engine = make_engine(config);
+  stub_query("stale.example");
+  sim_.run_until(sim_.now() + 5 * kSecond);  // entry is now stale
+
+  // The stale answer arrives without waiting for the upstream.
+  auto socket = udp_.bind_ephemeral();
+  std::optional<dns::Message> response;
+  SimTime answered_at = 0;
+  socket->on_datagram(
+      [&](const Endpoint&, std::vector<std::uint8_t> payload) {
+        response = dns::Message::decode(payload);
+        answered_at = sim_.now();
+      });
+  const SimTime asked_at = sim_.now();
+  dns::Message query = dns::make_query(
+      0x42, dns::DnsName::parse("stale.example"), dns::RRType::kA);
+  socket->send_to(Endpoint{client_host_.address(), 53}, query.encode());
+  // Short wait: long enough for the background refresh (one RTT), short
+  // enough that the refreshed 1 s-TTL entry is still fresh below.
+  sim_.run_until(sim_.now() + 500 * kMillisecond);
+
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_EQ(response->answers[0].ttl, 30u);      // clamped stale TTL
+  EXPECT_LT(answered_at - asked_at, from_ms(1));  // no upstream round trip
+  const EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.stale_hits, 1u);
+  EXPECT_EQ(stats.stale_refreshes, 1u);
+  EXPECT_EQ(stats.upstream_resolves, 2u);  // initial + background refresh
+
+  // The background refresh re-populated the cache: the next query is a
+  // fresh hit, no new upstream resolve.
+  stub_query("stale.example");
+  EXPECT_EQ(engine->stats().cache_hits, 1u);
+  EXPECT_EQ(engine->stats().upstream_resolves, 2u);
+}
+
+TEST_F(EngineFixture, FallbackWalksProtocolChainInOrder) {
+  // The primary does not listen on DoQ: the DoQ attempt burns the attempt
+  // timeout, then DoT succeeds — on the same upstream.
+  add_resolver(2, from_ms(10), /*supports_doq=*/false);
+  auto engine = make_engine(engine_config(), {2, 1});
+  auto response = stub_query("fallback.example");
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_EQ(resolvers_[2]->queries_served(dox::DnsProtocol::kDoQ), 0u);
+  EXPECT_EQ(resolvers_[2]->queries_served(dox::DnsProtocol::kDoT), 1u);
+  EXPECT_EQ(resolvers_[1]->queries_served(dox::DnsProtocol::kDoT), 0u);
+  EXPECT_EQ(engine->pool().failovers(), 1u);
+}
+
+TEST_F(EngineFixture, DeadPrimaryQuarantinedAfterConsecutiveFailures) {
+  EngineConfig config = engine_config();
+  config.cache_enabled = false;
+  // Each stub_query advances the clock 30 s; keep the quarantine longer so
+  // the primary is not re-probed between queries.
+  config.pool.quarantine = 10 * kMinute;
+  auto engine = make_engine(config);
+  resolvers_[0]->host().set_up(false);
+
+  // Each query walks primary's dead chain before reaching the secondary;
+  // after `unhealthy_after` failed attempts the primary is quarantined and
+  // later queries go straight to the secondary.
+  for (int i = 0; i < 3; ++i) {
+    auto response =
+        stub_query("q" + std::to_string(i) + ".example", 0x10 + i);
+    ASSERT_TRUE(response.has_value()) << "query " << i;
+    EXPECT_EQ(response->rcode, dns::RCode::kNoError) << "query " << i;
+  }
+  auto health = engine->pool().health();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_FALSE(health[0].healthy);
+  EXPECT_GE(health[0].consecutive_failures, 3);
+  EXPECT_TRUE(health[1].healthy);
+  EXPECT_GT(health[1].ewma_latency_ms, 0.0);
+
+  // Quarantined: the next query must not pay the primary's timeouts — its
+  // client-visible latency stays under one attempt timeout because it goes
+  // straight to the live secondary.
+  auto response = stub_query("fast.example");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(engine->stats().servfails_sent, 0u);
+  auto samples = engine->latency_samples_ms();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_LT(samples.back(), to_ms(config.pool.attempt_timeout));
+}
+
+TEST_F(EngineFixture, AllUpstreamsDeadYieldsServfail) {
+  EngineConfig config = engine_config();
+  config.pool.attempt_timeout = 500 * kMillisecond;
+  auto engine = make_engine(config);
+  resolvers_[0]->host().set_up(false);
+  resolvers_[1]->host().set_up(false);
+  auto response = stub_query("dead.example", 0x99, 60 * kSecond);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->rcode, dns::RCode::kServFail);
+  EXPECT_EQ(engine->stats().servfails_sent, 1u);
+  EXPECT_GE(engine->pool().exhausted(), 1u);
+}
+
+TEST_F(EngineFixture, StaleServedInsteadOfServfailOnUpstreamFailure) {
+  EngineConfig config = engine_config();
+  config.pool.attempt_timeout = 500 * kMillisecond;
+  config.max_ttl = 1;
+  auto engine = make_engine(config);
+  stub_query("resilient.example");
+  sim_.run_until(sim_.now() + 5 * kSecond);  // entry stale
+  resolvers_[0]->host().set_up(false);
+  resolvers_[1]->host().set_up(false);
+  auto response = stub_query("resilient.example", 0x55, 60 * kSecond);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->rcode, dns::RCode::kNoError);
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_EQ(engine->stats().servfails_sent, 0u);
+}
+
+TEST_F(EngineFixture, NegativeAnswerCachedAndFannedOut) {
+  auto engine = make_engine(engine_config());
+  // TXT query against an A-only name yields an empty answer set; the
+  // engine caches it as a negative entry.
+  auto socket = udp_.bind_ephemeral();
+  std::optional<dns::Message> response;
+  socket->on_datagram(
+      [&](const Endpoint&, std::vector<std::uint8_t> payload) {
+        response = dns::Message::decode(payload);
+      });
+  dns::Message query = dns::make_query(
+      0x61, dns::DnsName::parse("nodata.example"), dns::RRType::kAAAA);
+  socket->send_to(Endpoint{client_host_.address(), 53}, query.encode());
+  sim_.run_until(sim_.now() + 30 * kSecond);
+  ASSERT_TRUE(response.has_value());
+
+  socket->send_to(Endpoint{client_host_.address(), 53}, query.encode());
+  sim_.run_until(sim_.now() + 30 * kSecond);
+  EXPECT_EQ(engine->stats().cache_hits, 1u);
+  EXPECT_EQ(engine->stats().upstream_resolves, 1u);
+}
+
+TEST(LoadGenerator, DeterministicFromSeed) {
+  auto run = [](std::uint64_t seed) {
+    ScenarioConfig config;
+    config.seed = seed;
+    config.load.seed = seed;
+    config.load.clients = 50;
+    config.load.qps = 200;
+    config.load.duration = 2 * kSecond;
+    config.load.names = 20;
+    return run_scenario(config);
+  };
+  const ScenarioResult a = run(11);
+  const ScenarioResult b = run(11);
+  const ScenarioResult c = run(12);
+  EXPECT_EQ(a.load.sent, b.load.sent);
+  EXPECT_EQ(a.load.answered, b.load.answered);
+  EXPECT_EQ(a.engine.upstream_resolves, b.engine.upstream_resolves);
+  EXPECT_EQ(a.load.latency_ms, b.load.latency_ms);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_NE(a.load.latency_ms, c.load.latency_ms);  // seed matters
+}
+
+TEST(LoadGenerator, AllQueriesAccountedFor) {
+  ScenarioConfig config;
+  config.load.clients = 100;
+  config.load.qps = 500;
+  config.load.duration = 4 * kSecond;
+  const ScenarioResult result = run_scenario(config);
+  EXPECT_GT(result.load.sent, 1000u);
+  EXPECT_TRUE(result.load.complete());
+  EXPECT_EQ(result.load.servfails, 0u);
+  EXPECT_EQ(result.load.timeouts, 0u);
+  EXPECT_EQ(result.load.sent, result.engine.queries);
+}
+
+}  // namespace
+}  // namespace doxlab::engine

@@ -188,9 +188,11 @@ TEST_F(ProxyFixture, UpstreamFailureYieldsServfail) {
   DnsProxy proxy(sim_, udp_, deps(), config);
   network_.set_loss_override(client_host_.address(),
                              resolver_->profile().address, 1.0);
+  EXPECT_EQ(proxy.servfails_sent(), 0u);
   auto response = stub_query("dead.example");
   ASSERT_TRUE(response.has_value());
   EXPECT_EQ(response->rcode, dns::RCode::kServFail);
+  EXPECT_EQ(proxy.servfails_sent(), 1u);
 }
 
 TEST_F(ProxyFixture, MalformedStubQueryIgnored) {

@@ -188,12 +188,15 @@ class QuicFixture : public ::testing::Test {
     server_->on_accept([this](const std::shared_ptr<QuicConnection>& conn,
                               const Endpoint&) {
       accepted_.push_back(conn);
-      conn->set_on_stream_data([conn](std::uint64_t id,
-                                      std::span<const std::uint8_t> data,
-                                      bool fin) {
+      // Raw capture: the server (and accepted_) own the connection; a
+      // shared capture in its own handler would leak it as a cycle.
+      conn->set_on_stream_data([c = conn.get()](
+                                   std::uint64_t id,
+                                   std::span<const std::uint8_t> data,
+                                   bool fin) {
         if (!fin) return;
         std::vector<std::uint8_t> reply(data.rbegin(), data.rend());
-        conn->send_stream(id, std::move(reply), true);
+        c->send_stream(id, std::move(reply), true);
       });
     });
   }
@@ -568,12 +571,14 @@ TEST_F(QuicFixture, StreamsSurviveExtremeJitterReordering) {
     // Accumulate per stream: reordering may deliver a stream in chunks.
     auto buffers = std::make_shared<
         std::map<std::uint64_t, std::vector<std::uint8_t>>>();
-    conn->set_on_stream_data([conn, buffers](std::uint64_t id,
-                                             std::span<const std::uint8_t> d,
-                                             bool fin) {
+    // Raw capture: the server owns the connection; a shared capture in its
+    // own handler would leak it as a cycle.
+    conn->set_on_stream_data([c = conn.get(), buffers](
+                                 std::uint64_t id,
+                                 std::span<const std::uint8_t> d, bool fin) {
       auto& buffer = (*buffers)[id];
       buffer.insert(buffer.end(), d.begin(), d.end());
-      if (fin) conn->send_stream(id, std::move(buffer), true);
+      if (fin) c->send_stream(id, std::move(buffer), true);
     });
   });
   auto socket = cu.bind_ephemeral();

@@ -40,8 +40,10 @@ class TcpFixture : public ::testing::Test {
     auto& listener = server_.listen(853);
     listener.on_accept([this](const std::shared_ptr<TcpConnection>& conn) {
       server_conn_ = conn;
-      conn->on_data([conn](std::span<const std::uint8_t> data) {
-        conn->send({data.begin(), data.end()});
+      // Raw capture: the stack (and server_conn_) own the connection; a
+      // shared capture in its own handler would leak it as a cycle.
+      conn->on_data([c = conn.get()](std::span<const std::uint8_t> data) {
+        c->send({data.begin(), data.end()});
       });
     });
   }

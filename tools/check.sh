@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1 gate: build + run the full test suite twice — the regular
+# RelWithDebInfo build, then an ASan+UBSan instrumented build
+# (-DDOXLAB_SANITIZE=ON). Both must be green.
+#
+# Usage: tools/check.sh [jobs]   (from the repository root)
+set -eu
+
+jobs=${1:-$(nproc 2>/dev/null || echo 4)}
+root=$(cd "$(dirname "$0")/.." && pwd)
+
+echo "== regular build (${root}/build) =="
+cmake -B "$root/build" -S "$root" >/dev/null
+cmake --build "$root/build" -j "$jobs"
+ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+
+echo "== sanitizer build (${root}/build-sanitize, ASan+UBSan) =="
+cmake -B "$root/build-sanitize" -S "$root" -DDOXLAB_SANITIZE=ON >/dev/null
+cmake --build "$root/build-sanitize" -j "$jobs"
+ctest --test-dir "$root/build-sanitize" --output-on-failure -j "$jobs"
+
+echo "== all checks passed =="

@@ -11,15 +11,18 @@
 //   doxperf --web --resolvers=24             # web study (FCP/PLT CDFs)
 //   doxperf --no-resumption --protocols=doq  # preliminary-work behaviour
 //   doxperf --0rtt --pad --csv=out.csv
+//   doxperf engine --clients=2000 --qps=3000  # forwarder-engine load run
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "engine/scenario.h"
 #include "measure/csv.h"
 #include "measure/report.h"
 #include "measure/single_query.h"
 #include "measure/web_study.h"
+#include "stats/stats.h"
 #include "util/strings.h"
 
 using namespace doxlab;
@@ -46,6 +49,16 @@ const char* kUsage = R"(doxperf — DNS-over-X measurement testbed CLI
   --fix-dot          use the fixed dnsproxy DoT connection reuse (web)
   --csv=FILE         write raw records as CSV
   --help             this text
+
+engine subcommand — forwarder-engine load run (doxperf engine ...):
+  --clients=N        simulated stub clients (default 1000)
+  --qps=N            aggregate Poisson query rate (default 2000)
+  --seconds=N        arrival window length (default 10)
+  --names=N          distinct query names, Zipf-popular (default 200)
+  --seed=N           scenario seed (default 42)
+  --no-coalesce      resolve each concurrent identical query upstream
+  --no-stale         disable RFC 8767 serve-stale
+  --kill-primary     take the primary upstream down mid-run
 )";
 
 std::string flag_value(int argc, char** argv, const char* name,
@@ -90,6 +103,82 @@ std::vector<dox::DnsProtocol> parse_protocols(const std::string& list) {
   return out;
 }
 
+int flag_int(int argc, char** argv, const char* name, int fallback) {
+  const std::string value = flag_value(argc, argv, name, "");
+  return value.empty() ? fallback : std::atoi(value.c_str());
+}
+
+/// `doxperf engine` — run the forwarder engine under multi-client load and
+/// print its stats surface.
+int run_engine(int argc, char** argv) {
+  engine::ScenarioConfig config;
+  config.seed = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--seed", "42").c_str()));
+  config.load.clients =
+      static_cast<std::size_t>(flag_int(argc, argv, "--clients", 1000));
+  config.load.qps = flag_int(argc, argv, "--qps", 2000);
+  config.load.duration = flag_int(argc, argv, "--seconds", 10) * kSecond;
+  config.load.names =
+      static_cast<std::size_t>(flag_int(argc, argv, "--names", 200));
+  config.engine.coalesce = !flag_set(argc, argv, "--no-coalesce");
+  config.engine.serve_stale = !flag_set(argc, argv, "--no-stale");
+  // Short TTLs keep refresh traffic flowing past the initial warmup.
+  config.engine.max_ttl = 1;
+  if (flag_set(argc, argv, "--kill-primary")) {
+    config.kill_primary_at = config.load.duration / 2;
+  }
+
+  const auto result = engine::run_scenario(config);
+  const auto& e = result.engine;
+  const auto& l = result.load;
+  const auto latency = l.latency_summary();
+  std::printf("forwarder engine: %zu clients, %zu names, %.0f qps offered "
+              "for %llu s (seed %llu)\n",
+              config.load.clients, config.load.names, config.load.qps,
+              static_cast<unsigned long long>(config.load.duration /
+                                              kSecond),
+              static_cast<unsigned long long>(config.seed));
+  std::printf("  coalescing %s, serve-stale %s, primary %s\n",
+              config.engine.coalesce ? "on" : "off",
+              config.engine.serve_stale ? "on" : "off",
+              config.kill_primary_at ? "killed mid-run" : "up");
+  std::printf("\nsustained      %9.0f qps (%llu queries, %llu events)\n",
+              result.engine_qps, static_cast<unsigned long long>(e.queries),
+              static_cast<unsigned long long>(result.events));
+  std::printf("latency        p50 %.2f  p95 %.2f  p99 %.2f  max %.2f ms\n",
+              latency.median, latency.p95, latency.p99, latency.max);
+  std::printf("client side    answered %llu  servfail %llu  timeout %llu\n",
+              static_cast<unsigned long long>(l.answered),
+              static_cast<unsigned long long>(l.servfails),
+              static_cast<unsigned long long>(l.timeouts));
+  std::printf("cache          hit %llu  stale %llu  miss %llu  "
+              "evictions %llu\n",
+              static_cast<unsigned long long>(e.cache_hits),
+              static_cast<unsigned long long>(e.stale_hits),
+              static_cast<unsigned long long>(e.misses),
+              static_cast<unsigned long long>(e.cache_evictions));
+  std::printf("coalescing     joined %llu in-flight resolves (%.0f%% of "
+              "misses)\n",
+              static_cast<unsigned long long>(e.coalesced),
+              100.0 * e.coalesce_rate());
+  std::printf("upstream       resolves %llu  attempts %llu  failovers %llu"
+              "  stale refreshes %llu  servfails %llu\n",
+              static_cast<unsigned long long>(e.upstream_resolves),
+              static_cast<unsigned long long>(e.upstream_attempts),
+              static_cast<unsigned long long>(e.failovers),
+              static_cast<unsigned long long>(e.stale_refreshes),
+              static_cast<unsigned long long>(e.servfails_sent));
+  for (const auto& upstream : e.upstreams) {
+    std::printf("  %-12s ewma %7.2f ms  attempts %6llu  failures %5llu"
+                "  %s\n",
+                upstream.name.c_str(), upstream.ewma_latency_ms,
+                static_cast<unsigned long long>(upstream.attempts),
+                static_cast<unsigned long long>(upstream.failures),
+                upstream.healthy ? "healthy" : "quarantined");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run(int argc, char** argv);
@@ -100,6 +189,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    if (argc > 1 && std::strcmp(argv[1], "engine") == 0) {
+      return run_engine(argc, argv);
+    }
     return run(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "doxperf: %s\n", e.what());
