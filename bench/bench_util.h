@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
 namespace doxlab::bench {
@@ -33,5 +34,51 @@ inline void banner(const char* title) {
   std::printf("%s\n", title);
   std::printf("================================================================\n");
 }
+
+/// Collects named metrics grouped by benchmark and serializes them as JSON
+/// (sorted keys, so reruns of identical results are byte-identical). Used
+/// by the microbenches to commit machine-readable baselines like
+/// BENCH_sim_core.json alongside the textual report.
+class JsonReporter {
+ public:
+  void metric(const std::string& bench, const std::string& name,
+              double value) {
+    benches_[bench][name] = value;
+  }
+
+  std::string to_json() const {
+    std::string out = "{\n";
+    bool first_bench = true;
+    for (const auto& [bench, metrics] : benches_) {
+      if (!first_bench) out += ",\n";
+      first_bench = false;
+      out += "  \"" + bench + "\": {\n";
+      bool first_metric = true;
+      for (const auto& [name, value] : metrics) {
+        if (!first_metric) out += ",\n";
+        first_metric = false;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        out += "    \"" + name + "\": " + buf;
+      }
+      out += "\n  }";
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Returns false on I/O failure.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string json = to_json();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                    json.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  std::map<std::string, std::map<std::string, double>> benches_;
+};
 
 }  // namespace doxlab::bench

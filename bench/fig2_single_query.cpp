@@ -4,32 +4,49 @@
 // versions, session resumption / 0-RTT usage).
 //
 // Usage: fig2_single_query [--resolvers=N] [--reps=N] [--full] [--csv=path]
+//        [--jobs=N]  (shard over a thread pool via the campaign runner;
+//                     output depends only on the seed, not on N)
 #include <cstdio>
 
 #include "bench_util.h"
 #include "measure/csv.h"
 #include "measure/report.h"
 #include "measure/single_query.h"
+#include "net/geo.h"
+#include "runner/campaign.h"
 
 using namespace doxlab;
 using namespace doxlab::measure;
 
 int main(int argc, char** argv) {
   const bool full = bench::flag_set(argc, argv, "--full");
-  TestbedConfig config;
-  config.population.verified_only = true;
-  config.population.verified_dox =
+  const int resolvers =
       bench::flag_int(argc, argv, "--resolvers", full ? 313 : 48);
-  Testbed testbed(config);
 
   SingleQueryConfig sq_config;
   sq_config.repetitions =
       bench::flag_int(argc, argv, "--reps", full ? 4 : 1);
-  SingleQueryStudy study(testbed, sq_config);
-  auto records = study.run();
 
+  std::vector<SingleQueryRecord> records;
   std::vector<std::string> vp_names;
-  for (auto& vp : testbed.vantage_points()) vp_names.push_back(vp->name);
+  if (bench::flag_int(argc, argv, "--jobs", -1) >= 0) {
+    runner::CampaignConfig campaign;
+    campaign.jobs = bench::flag_int(argc, argv, "--jobs", 1);
+    campaign.population.verified_only = true;
+    campaign.population.verified_dox = resolvers;
+    records = runner::run_single_query_campaign(campaign, sq_config);
+    for (const net::City& city : net::vantage_point_cities()) {
+      vp_names.push_back(city.name);
+    }
+  } else {
+    TestbedConfig config;
+    config.population.verified_only = true;
+    config.population.verified_dox = resolvers;
+    Testbed testbed(config);
+    SingleQueryStudy study(testbed, sq_config);
+    records = study.run();
+    for (auto& vp : testbed.vantage_points()) vp_names.push_back(vp->name);
+  }
 
   bench::banner("Fig. 2 — handshake and resolve times (measured)");
   std::printf("%s", render_fig2(

@@ -3,29 +3,42 @@
 // protocols (and DoTCP) and the DoUDP baseline, across the top-10 pages.
 //
 // Usage: fig3_web_cdf [--resolvers=N] [--loads=N] [--full] [--csv]
+//        [--jobs=N]  (shard over a thread pool via the campaign runner;
+//                     output depends only on the seed, not on N)
 #include <cstdio>
 
 #include "bench_util.h"
 #include "measure/csv.h"
 #include "measure/report.h"
 #include "measure/web_study.h"
+#include "runner/campaign.h"
 
 using namespace doxlab;
 using namespace doxlab::measure;
 
 int main(int argc, char** argv) {
   const bool full = bench::flag_set(argc, argv, "--full");
-  TestbedConfig config;
-  config.population.verified_only = true;
-  config.population.verified_dox = full ? 313 : 60;
-  Testbed testbed(config);
 
   WebStudyConfig web_config;
   web_config.max_resolvers =
       bench::flag_int(argc, argv, "--resolvers", full ? 0 : 12);
   web_config.loads_per_combo = bench::flag_int(argc, argv, "--loads", 4);
-  WebStudy study(testbed, web_config);
-  auto records = study.run();
+
+  std::vector<WebRecord> records;
+  if (bench::flag_int(argc, argv, "--jobs", -1) >= 0) {
+    runner::CampaignConfig campaign;
+    campaign.jobs = bench::flag_int(argc, argv, "--jobs", 1);
+    campaign.population.verified_only = true;
+    campaign.population.verified_dox = full ? 313 : 60;
+    records = runner::run_web_campaign(campaign, web_config);
+  } else {
+    TestbedConfig config;
+    config.population.verified_only = true;
+    config.population.verified_dox = full ? 313 : 60;
+    Testbed testbed(config);
+    WebStudy study(testbed, web_config);
+    records = study.run();
+  }
 
   bench::banner("Fig. 3 — relative FCP/PLT differences vs DoUDP (measured)");
   std::printf("%s", render_fig3(fig3_relative(records)).c_str());

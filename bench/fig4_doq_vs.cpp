@@ -4,12 +4,16 @@
 // DoQ beats DoH (the figure's background shading).
 //
 // Usage: fig4_doq_vs [--resolvers=N] [--loads=N] [--full] [--csv]
+//        [--jobs=N]  (shard over a thread pool via the campaign runner;
+//                     output depends only on the seed, not on N)
 #include <cstdio>
 
 #include "bench_util.h"
 #include "measure/csv.h"
 #include "measure/report.h"
 #include "measure/web_study.h"
+#include "net/geo.h"
+#include "runner/campaign.h"
 #include "stats/stats.h"
 
 using namespace doxlab;
@@ -17,10 +21,6 @@ using namespace doxlab::measure;
 
 int main(int argc, char** argv) {
   const bool full = bench::flag_set(argc, argv, "--full");
-  TestbedConfig config;
-  config.population.verified_only = true;
-  config.population.verified_dox = full ? 313 : 60;
-  Testbed testbed(config);
 
   WebStudyConfig web_config;
   web_config.max_resolvers =
@@ -29,11 +29,27 @@ int main(int argc, char** argv) {
   // Fig. 4 needs only DoUDP, DoH and the DoQ baseline.
   web_config.protocols = {dox::DnsProtocol::kDoUdp, dox::DnsProtocol::kDoH,
                           dox::DnsProtocol::kDoQ};
-  WebStudy study(testbed, web_config);
-  auto records = study.run();
 
+  std::vector<WebRecord> records;
   std::vector<std::string> vp_names;
-  for (auto& vp : testbed.vantage_points()) vp_names.push_back(vp->name);
+  if (bench::flag_int(argc, argv, "--jobs", -1) >= 0) {
+    runner::CampaignConfig campaign;
+    campaign.jobs = bench::flag_int(argc, argv, "--jobs", 1);
+    campaign.population.verified_only = true;
+    campaign.population.verified_dox = full ? 313 : 60;
+    records = runner::run_web_campaign(campaign, web_config);
+    for (const net::City& city : net::vantage_point_cities()) {
+      vp_names.push_back(city.name);
+    }
+  } else {
+    TestbedConfig config;
+    config.population.verified_only = true;
+    config.population.verified_dox = full ? 313 : 60;
+    Testbed testbed(config);
+    WebStudy study(testbed, web_config);
+    records = study.run();
+    for (auto& vp : testbed.vantage_points()) vp_names.push_back(vp->name);
+  }
 
   bench::banner("Fig. 4 — PLT vs the DoQ baseline per VP x page (measured)");
   auto cells = fig4_cells(records, vp_names);

@@ -1,0 +1,120 @@
+// The seed repo's event loop — per-event `std::make_shared<State>` plus a
+// type-erased `std::function` — frozen verbatim as a bench fixture so the
+// slab/SBO rewrite's speedup stays measurable in-tree (BENCH_sim_core.json
+// records both sides). Not used by any library code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/types.h"
+
+namespace doxlab::bench::legacy {
+
+class Simulator;
+
+class Timer {
+ public:
+  Timer() = default;
+
+  void cancel() {
+    if (!state_) return;
+    state_->cancelled = true;
+    state_->fn = nullptr;
+  }
+
+  bool armed() const {
+    return state_ && !state_->cancelled && !state_->fired;
+  }
+
+ private:
+  friend class Simulator;
+  struct State {
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit Timer(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  Timer schedule(SimTime delay, std::function<void()> fn) {
+    if (delay < 0) delay = 0;
+    return at(now_ + delay, std::move(fn));
+  }
+
+  Timer at(SimTime time, std::function<void()> fn) {
+    if (time < now_) time = now_;
+    auto state = std::make_shared<Timer::State>();
+    state->fn = std::move(fn);
+    queue_.push(Entry{time, next_seq_++, state});
+    return Timer(std::move(state));
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  void run_until(SimTime deadline) {
+    while (!queue_.empty()) {
+      const Entry& top = queue_.top();
+      if (top.state->cancelled) {
+        queue_.pop();
+        continue;
+      }
+      if (top.time > deadline) break;
+      step();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  bool step() {
+    while (!queue_.empty()) {
+      Entry entry = queue_.top();
+      queue_.pop();
+      if (entry.state->cancelled) continue;
+      now_ = entry.time;
+      entry.state->fired = true;
+      ++executed_;
+      auto fn = std::move(entry.state->fn);
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::shared_ptr<Timer::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace doxlab::bench::legacy

@@ -191,7 +191,17 @@ const ResourceRecord* Message::opt() const {
 }
 
 std::vector<std::uint8_t> Message::encode() const {
-  ByteWriter w(512);
+  // Reserve an uncompressed-size upper bound so the writer never regrows:
+  // 12-byte header, name + type/class per question, name + fixed 10 bytes
+  // (type, class, ttl, rdlength) + rdata per record.
+  std::size_t estimate = 12;
+  for (const Question& q : questions) estimate += q.name.wire_length() + 4;
+  for (const auto* section : {&answers, &authorities, &additionals}) {
+    for (const ResourceRecord& rr : *section) {
+      estimate += rr.name.wire_length() + 10 + rr.rdata.size();
+    }
+  }
+  ByteWriter w(estimate);
   NameCompressor nc;
 
   w.u16(id);

@@ -1,0 +1,27 @@
+// Resolver subsampling shared by the studies and the campaign runner.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace doxlab::measure {
+
+/// Caps a resolver set at `max` entries (0 = no cap) by stride-sampling,
+/// which preserves the continent interleaving of the verified list. Both
+/// studies and the campaign runner must agree on this selection for
+/// parallel shards to reproduce the serial schedule.
+inline std::vector<std::size_t> sample_resolvers(
+    const std::vector<std::size_t>& resolvers, int max) {
+  if (max <= 0 || static_cast<int>(resolvers.size()) <= max) {
+    return resolvers;
+  }
+  std::vector<std::size_t> sampled;
+  sampled.reserve(static_cast<std::size_t>(max));
+  const double stride = static_cast<double>(resolvers.size()) / max;
+  for (int i = 0; i < max; ++i) {
+    sampled.push_back(resolvers[static_cast<std::size_t>(i * stride)]);
+  }
+  return sampled;
+}
+
+}  // namespace doxlab::measure

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dox/transport.h"
+#include "measure/sampling.h"
 
 namespace doxlab::measure {
 
@@ -16,19 +17,8 @@ std::vector<SingleQueryRecord> SingleQueryStudy::run() {
   const dns::Question question{dns::DnsName::parse(config_.qname),
                                dns::RRType::kA, dns::RRClass::kIN};
 
-  std::vector<std::size_t> resolver_set = population.verified;
-  if (config_.max_resolvers > 0 &&
-      static_cast<int>(resolver_set.size()) > config_.max_resolvers) {
-    // Stride-sample to keep the continent interleaving.
-    std::vector<std::size_t> sampled;
-    const double stride = static_cast<double>(resolver_set.size()) /
-                          config_.max_resolvers;
-    for (int i = 0; i < config_.max_resolvers; ++i) {
-      sampled.push_back(
-          resolver_set[static_cast<std::size_t>(i * stride)]);
-    }
-    resolver_set = std::move(sampled);
-  }
+  std::vector<std::size_t> resolver_set =
+      sample_resolvers(population.verified, config_.max_resolvers);
 
   records.reserve(resolver_set.size() *
                   testbed_.vantage_points().size() *
@@ -38,9 +28,17 @@ std::vector<SingleQueryRecord> SingleQueryStudy::run() {
   for (int rep = 0; rep < config_.repetitions; ++rep) {
     for (std::size_t vp_index = 0;
          vp_index < testbed_.vantage_points().size(); ++vp_index) {
+      if (config_.only_vp >= 0 &&
+          static_cast<int>(vp_index) != config_.only_vp) {
+        continue;
+      }
       auto& vp = *testbed_.vantage_points()[vp_index];
       for (std::size_t r = 0; r < resolver_set.size(); ++r) {
         const std::size_t resolver_index = resolver_set[r];
+        if (config_.only_resolver >= 0 &&
+            static_cast<int>(resolver_index) != config_.only_resolver) {
+          continue;
+        }
         for (dox::DnsProtocol protocol : config_.protocols) {
           dox::TransportOptions options;
           options.resolver =
@@ -57,7 +55,7 @@ std::vector<SingleQueryRecord> SingleQueryStudy::run() {
           record.vp = static_cast<int>(vp_index);
           record.resolver = static_cast<int>(resolver_index);
           record.protocol = protocol;
-          record.rep = rep;
+          record.rep = config_.rep_base + rep;
 
           // Cache-warming query on a fresh session.
           {

@@ -33,6 +33,12 @@ struct SingleQueryConfig {
   /// RFC 9210-style connection reuse for DoTCP (off: the observed
   /// fresh-connection-per-query behaviour).
   bool tcp_reuse_connections = false;
+  /// Sharding filters used by the campaign runner: restrict the sweep to a
+  /// single vantage point / resolver population index (-1 = no filter) and
+  /// offset the `rep` recorded so merged shards reproduce a serial sweep.
+  int only_vp = -1;
+  int only_resolver = -1;
+  int rep_base = 0;
 };
 
 struct SingleQueryRecord {

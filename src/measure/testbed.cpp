@@ -7,7 +7,10 @@ Testbed::Testbed(TestbedConfig config)
   network_ = std::make_unique<net::Network>(sim_, rng_.fork());
   network_->set_loss_rate(config_.loss_rate);
 
+  // Fork for the population unconditionally so the testbed's own stream is
+  // identical whether or not an explicit population seed overrides it.
   Rng pop_rng = rng_.fork();
+  if (config_.population_seed) pop_rng = Rng(*config_.population_seed);
   population_ = scan::build_population(*network_, config_.population, pop_rng);
 
   // Six vantage points, one per continent (the paper's EC2 instances).

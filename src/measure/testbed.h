@@ -7,7 +7,9 @@
 // simulated concurrency here.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,11 @@ struct VantagePoint {
 
 struct TestbedConfig {
   std::uint64_t seed = 42;
+  /// When set, the resolver population is built from its own seed instead
+  /// of the forked testbed stream. The campaign runner pins this to the
+  /// campaign seed so every parallel run sees the identical population
+  /// while per-run seeds vary jitter/loss.
+  std::optional<std::uint64_t> population_seed;
   scan::PopulationConfig population = {.verified_only = true};
   double loss_rate = 0.002;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "measure/sampling.h"
 #include "proxy/proxy.h"
 #include "web/browser.h"
 
@@ -24,25 +25,24 @@ std::vector<WebRecord> WebStudy::run() {
     }
   }
 
-  std::vector<std::size_t> resolver_set = population.verified;
-  if (config_.max_resolvers > 0 &&
-      static_cast<int>(resolver_set.size()) > config_.max_resolvers) {
-    std::vector<std::size_t> sampled;
-    const double stride = static_cast<double>(resolver_set.size()) /
-                          config_.max_resolvers;
-    for (int i = 0; i < config_.max_resolvers; ++i) {
-      sampled.push_back(resolver_set[static_cast<std::size_t>(i * stride)]);
-    }
-    resolver_set = std::move(sampled);
-  }
+  std::vector<std::size_t> resolver_set =
+      sample_resolvers(population.verified, config_.max_resolvers);
 
   for (int rep = 0; rep < config_.repetitions; ++rep) {
     for (std::size_t vp_index = 0;
          vp_index < testbed_.vantage_points().size(); ++vp_index) {
+      if (config_.only_vp >= 0 &&
+          static_cast<int>(vp_index) != config_.only_vp) {
+        continue;
+      }
       auto& vp = *testbed_.vantage_points()[vp_index];
       auto origin_rtt = testbed_.origin_rtt_fn(vp);
 
       for (std::size_t resolver_index : resolver_set) {
+        if (config_.only_resolver >= 0 &&
+            static_cast<int>(resolver_index) != config_.only_resolver) {
+          continue;
+        }
         for (dox::DnsProtocol protocol : config_.protocols) {
           // Fresh proxy per combination: Chromium's local resolver is
           // "newly setup" each time in the paper's methodology.
@@ -87,7 +87,7 @@ std::vector<WebRecord> WebStudy::run() {
               record.resolver = static_cast<int>(resolver_index);
               record.protocol = protocol;
               record.page = page->name;
-              record.rep = rep;
+              record.rep = config_.rep_base + rep;
               record.load = load;
 
               bool done = false;

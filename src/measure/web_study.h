@@ -30,6 +30,12 @@ struct WebStudyConfig {
   /// Methodology switches.
   bool use_session_resumption = true;
   bool attempt_0rtt = true;
+  /// Sharding filters used by the campaign runner: restrict the sweep to a
+  /// single vantage point / resolver population index (-1 = no filter) and
+  /// offset the `rep` recorded so merged shards reproduce a serial sweep.
+  int only_vp = -1;
+  int only_resolver = -1;
+  int rep_base = 0;
 };
 
 struct WebRecord {

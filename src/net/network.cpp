@@ -7,6 +7,10 @@
 
 namespace doxlab::net {
 
+namespace {
+constexpr SimTime kLoopbackOneWay = 50;  // 50 us
+}  // namespace
+
 void Host::set_protocol_handler(int protocol, PacketHandler handler) {
   handlers_[protocol] = std::move(handler);
 }
@@ -63,8 +67,13 @@ void Network::set_loss_override(IpAddress a, IpAddress b, double loss) {
 }
 
 SimTime Network::base_one_way(const Host& a, const Host& b) const {
-  if (a.address() == b.address()) return 50;  // loopback: 50 us
-  auto it = path_overrides_.find(pair_key(a.address(), b.address()));
+  if (a.address() == b.address()) return kLoopbackOneWay;
+  return keyed_one_way(pair_key(a.address(), b.address()), a, b);
+}
+
+SimTime Network::keyed_one_way(std::uint64_t key, const Host& a,
+                               const Host& b) const {
+  auto it = path_overrides_.find(key);
   if (it != path_overrides_.end()) return it->second;
   return latency_.base_one_way(a.location(), b.location(), a.access_delay(),
                                b.access_delay());
@@ -82,11 +91,15 @@ void Network::send(Packet packet) {
     return;
   }
 
+  // Hash the (src, dst) pair once; the key feeds both the loss override and
+  // the path override lookups. Loopback needs neither.
   const bool loopback = packet.src.address == packet.dst.address;
+  const std::uint64_t key =
+      loopback ? 0 : pair_key(packet.src.address, packet.dst.address);
+
   double loss = loopback ? 0.0 : loss_rate_;
   if (!loopback) {
-    auto lit = loss_overrides_.find(
-        pair_key(packet.src.address, packet.dst.address));
+    auto lit = loss_overrides_.find(key);
     if (lit != loss_overrides_.end()) loss = lit->second;
   }
   if (rng_.chance(loss)) {
@@ -94,7 +107,7 @@ void Network::send(Packet packet) {
     return;
   }
 
-  SimTime delay = base_one_way(*src, *dst);
+  SimTime delay = loopback ? kLoopbackOneWay : keyed_one_way(key, *src, *dst);
   if (!loopback) delay += latency_.jitter(rng_);
 
   const IpAddress dst_addr = packet.dst.address;

@@ -146,6 +146,11 @@ class Network {
  private:
   static std::uint64_t pair_key(IpAddress a, IpAddress b);
 
+  /// Non-loopback one-way delay with the pair key already computed — `send`
+  /// hashes the pair once for both the loss and path override lookups.
+  SimTime keyed_one_way(std::uint64_t key, const Host& a,
+                        const Host& b) const;
+
   sim::Simulator& simulator_;
   Rng rng_;
   LatencyModel latency_;

@@ -1,0 +1,123 @@
+#include "runner/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace doxlab::runner {
+
+struct ThreadPool::Batch {
+  std::atomic<std::size_t> remaining{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+};
+
+ThreadPool::ThreadPool(int threads) {
+  std::size_t n = threads > 0 ? static_cast<std::size_t>(threads)
+                              : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  Batch batch;
+  batch.remaining.store(count, std::memory_order_relaxed);
+
+  // Round-robin initial distribution; stealing evens out any imbalance.
+  for (std::size_t i = 0; i < count; ++i) {
+    WorkerQueue& queue = *queues_[i % queues_.size()];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    queue.tasks.push_back(Task{&fn, i, &batch});
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    queued_ += count;
+  }
+  wake_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(batch.done_mutex);
+  batch.done_cv.wait(lock, [&] {
+    return batch.remaining.load(std::memory_order_acquire) == 0;
+  });
+  lock.unlock();
+
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait(lock, [&] { return shutdown_ || queued_ > 0; });
+      if (shutdown_ && queued_ == 0) return;
+    }
+    Task task;
+    while (try_get_task(worker_index, task)) {
+      {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        --queued_;
+      }
+      run_task(task);
+    }
+  }
+}
+
+bool ThreadPool::try_get_task(std::size_t self, Task& out) {
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = own.tasks.back();
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    WorkerQueue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = victim.tasks.front();
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_task(const Task& task) {
+  Batch& batch = *task.batch;
+  try {
+    (*task.fn)(task.index);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(batch.error_mutex);
+    if (!batch.first_error) batch.first_error = std::current_exception();
+  }
+  if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task: notify under the mutex so the waiter cannot miss it
+    // between its predicate check and its wait.
+    std::lock_guard<std::mutex> lock(batch.done_mutex);
+    batch.done_cv.notify_all();
+  }
+}
+
+}  // namespace doxlab::runner

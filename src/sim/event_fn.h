@@ -1,0 +1,192 @@
+// Small-buffer-optimized callback type for the event loop.
+//
+// Every scheduled event used to carry a `std::function<void()>` inside a
+// `std::make_shared` state block — two heap allocations per event on the
+// simulator's hottest path. `EventFn` stores the callable inline when it
+// fits (the fabric's packet-delivery lambda, retransmission timers, and
+// every other capture-a-few-pointers closure in the codebase does) and only
+// falls back to the heap for oversized captures. Move-only: the simulator
+// is the sole owner of a scheduled callback.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace doxlab::sim {
+
+namespace detail {
+/// Process-wide count of heap fallbacks (atomic: campaign workers run one
+/// simulator per thread). Exposed through EventFn::heap_allocations() so
+/// tests can assert the hot path stays allocation-free.
+inline std::atomic<std::uint64_t> g_event_fn_heap_allocs{0};
+}  // namespace detail
+
+/// Type-erased `void()` callable with inline storage for small captures.
+class EventFn {
+ public:
+  /// Inline capture budget, sized so the largest hot-path closure — the
+  /// packet fabric's delivery lambda (a whole `net::Packet` plus two
+  /// pointers) — never heap-allocates.
+  static constexpr std::size_t kInlineSize = 96;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT: match std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT: implicit, like std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = ops_for<Fn, /*Inline=*/true>();
+    } else {
+      detail::g_event_fn_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+      *reinterpret_cast<Fn**>(static_cast<void*>(storage_)) =
+          new Fn(std::forward<F>(f));
+      ops_ = ops_for<Fn, /*Inline=*/false>();
+    }
+  }
+
+  /// Destroys the current callable (if any) and constructs `f` directly in
+  /// this object's storage — no temporary EventFn, no relocate. The hot-path
+  /// `Simulator::at` uses this to build the capture straight into its slab
+  /// slot.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void emplace(F&& f) {
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = ops_for<Fn, /*Inline=*/true>();
+    } else {
+      detail::g_event_fn_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+      *reinterpret_cast<Fn**>(static_cast<void*>(storage_)) =
+          new Fn(std::forward<F>(f));
+      ops_ = ops_for<Fn, /*Inline=*/false>();
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  /// Invokes then destroys the callable in one indirect call — the event
+  /// loop's pop path, where separate invoke + destroy dispatches would cost
+  /// an extra indirect branch per event. Leaves this EventFn empty.
+  void invoke_consume() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(storage_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroys the held callable (releases captured object graphs now, not
+  /// at the event's scheduled time).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True if the callable lives in the inline buffer (or is empty).
+  bool is_inline() const noexcept {
+    return ops_ == nullptr || ops_->inline_stored;
+  }
+
+  /// Heap fallbacks taken since process start (test/bench hook).
+  static std::uint64_t heap_allocations() {
+    return detail::g_event_fn_heap_allocs.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Invokes then destroys in one dispatch (destroys even on throw).
+    void (*invoke_destroy)(void* storage);
+    /// Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename Fn, bool Inline>
+  static const Ops* ops_for() {
+    if constexpr (Inline) {
+      static constexpr Ops ops = {
+          [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+          [](void* s) {
+            Fn* f = std::launder(reinterpret_cast<Fn*>(s));
+            struct Guard {
+              Fn* f;
+              ~Guard() { f->~Fn(); }
+            } guard{f};
+            (*f)();
+          },
+          [](void* dst, void* src) noexcept {
+            Fn* f = std::launder(reinterpret_cast<Fn*>(src));
+            ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+          },
+          [](void* s) noexcept {
+            std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+          },
+          true};
+      return &ops;
+    } else {
+      static constexpr Ops ops = {
+          [](void* s) { (**reinterpret_cast<Fn**>(s))(); },
+          [](void* s) {
+            Fn* f = *reinterpret_cast<Fn**>(s);
+            struct Guard {
+              Fn* f;
+              ~Guard() { delete f; }
+            } guard{f};
+            (*f)();
+          },
+          [](void* dst, void* src) noexcept {
+            *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+          },
+          [](void* s) noexcept { delete *reinterpret_cast<Fn**>(s); },
+          false};
+      return &ops;
+    }
+  }
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace doxlab::sim

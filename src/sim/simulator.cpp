@@ -1,68 +1,52 @@
 #include "sim/simulator.h"
 
-#include <utility>
-
 namespace doxlab::sim {
 
-void Timer::cancel() {
-  if (!state_) return;
-  state_->cancelled = true;
+namespace detail {
+
+bool SimCore::cancel(std::uint32_t idx, std::uint32_t gen) {
+  if (idx >= slots.size()) return false;
+  Slot& s = slots[idx];
+  if (!s.in_use || s.gen != gen || s.cancelled) return false;
+  s.cancelled = true;
   // Release the closure immediately: cancelled entries stay queued until
-  // their scheduled time, and closures can hold large object graphs alive.
-  state_->fn = nullptr;
+  // popped or compacted, and closures can hold large object graphs alive.
+  s.fn.reset();
+  --live;
+  ++dead;
+  maybe_compact();
+  return true;
+}
+
+bool SimCore::armed(std::uint32_t idx, std::uint32_t gen) const {
+  return idx < slots.size() && slots[idx].in_use && slots[idx].gen == gen &&
+         !slots[idx].cancelled;
+}
+
+void SimCore::maybe_compact() {
+  if (heap.size() < kCompactionMinEntries || dead * 2 <= heap.size()) return;
+  auto keep = heap.begin();
+  for (const QueueEntry& entry : heap) {
+    if (slots[entry.slot].cancelled) {
+      release(entry.slot);
+    } else {
+      *keep++ = entry;
+    }
+  }
+  heap.erase(keep, heap.end());
+  std::make_heap(heap.begin(), heap.end(), Later{});
+  dead = 0;
+  ++compactions;
+}
+
+}  // namespace detail
+
+void Timer::cancel() {
+  if (core_) core_->cancel(slot_, gen_);
 }
 
 bool Timer::armed() const {
-  return state_ && !state_->cancelled && !state_->fired;
-}
-
-Timer Simulator::schedule(SimTime delay, std::function<void()> fn) {
-  if (delay < 0) delay = 0;
-  return at(now_ + delay, std::move(fn));
-}
-
-Timer Simulator::at(SimTime time, std::function<void()> fn) {
-  if (time < now_) time = now_;
-  auto state = std::make_shared<Timer::State>();
-  state->fn = std::move(fn);
-  queue_.push(Entry{time, next_seq_++, state});
-  return Timer(std::move(state));
-}
-
-bool Simulator::step() {
-  while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
-    if (entry.state->cancelled) continue;
-    now_ = entry.time;
-    entry.state->fired = true;
-    ++executed_;
-    // Move the closure out so that re-entrant scheduling from within the
-    // callback cannot observe a half-dead entry.
-    auto fn = std::move(entry.state->fn);
-    fn();
-    return true;
-  }
-  return false;
-}
-
-void Simulator::run() {
-  while (step()) {
-  }
-}
-
-void Simulator::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
-    // Peek over cancelled entries without executing live ones past deadline.
-    const Entry& top = queue_.top();
-    if (top.state->cancelled) {
-      queue_.pop();
-      continue;
-    }
-    if (top.time > deadline) break;
-    step();
-  }
-  if (now_ < deadline) now_ = deadline;
+  return static_cast<bool>(core_) && core_->armed(slot_, gen_);
 }
 
 }  // namespace doxlab::sim

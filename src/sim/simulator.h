@@ -9,22 +9,159 @@
 //   at(time, fn)         — run fn at an absolute time
 // Both return a `Timer` handle that can cancel the event (needed for
 // retransmission timers that are disarmed by an ACK).
+//
+// Hot-path layout: events live in a slab of pooled slots (recycled through a
+// free list, generation-counted so stale `Timer` handles can never touch a
+// reused slot), the priority queue holds small (time, seq, slot) records,
+// and callbacks are small-buffer-optimized `EventFn`s — zero heap
+// allocations per event once the slab is warm. Cancellation is lazy:
+// cancelled entries stay queued until popped, but when more than half of the
+// queue is dead (retransmission timers disarmed by ACKs) a compaction sweep
+// drops them and re-heapifies, keeping pop cost proportional to live events.
+// schedule/at are templates so the callable's erasure ops are still known
+// constants where they inline — the compiler flattens the capture move into
+// the slot instead of bouncing through function pointers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "util/types.h"
 
 namespace doxlab::sim {
 
 class Simulator;
 
+namespace detail {
+
+/// The slab + queue state. Owned jointly by the Simulator and any Timer
+/// handles (via CorePtr below) so handles stay valid — and simply report
+/// disarmed — after the Simulator dies.
+struct SimCore {
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  /// Compaction only kicks in past this queue size: tiny queues are cheap
+  /// to skip through and re-heapifying them would dominate.
+  static constexpr std::size_t kCompactionMinEntries = 64;
+
+  /// One pooled event record. `gen` increments every time the slot is
+  /// released, invalidating outstanding Timer handles.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool in_use = false;
+    bool cancelled = false;
+  };
+
+  /// Priority-queue record; `slot` points into the slab.
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  /// Max-heap comparator whose "largest" element fires first: earliest
+  /// time, then lowest sequence number.
+  struct Later {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Slot> slots;
+  std::vector<QueueEntry> heap;
+  std::uint32_t free_head = kNoSlot;
+  std::uint64_t next_seq = 0;
+  std::size_t live = 0;   // queued and not cancelled
+  std::size_t dead = 0;   // cancelled entries still sitting in `heap`
+  std::uint64_t compactions = 0;
+
+  std::uint32_t acquire() {
+    if (free_head != kNoSlot) {
+      const std::uint32_t idx = free_head;
+      free_head = slots[idx].next_free;
+      slots[idx].in_use = true;
+      return idx;
+    }
+    slots.emplace_back();
+    slots.back().in_use = true;
+    return static_cast<std::uint32_t>(slots.size() - 1);
+  }
+
+  void release(std::uint32_t idx) {
+    Slot& s = slots[idx];
+    s.fn.reset();
+    ++s.gen;
+    s.in_use = false;
+    s.cancelled = false;
+    s.next_free = free_head;
+    free_head = idx;
+  }
+
+  void push(SimTime time, std::uint32_t slot) {
+    heap.push_back(QueueEntry{time, next_seq++, slot});
+    std::push_heap(heap.begin(), heap.end(), Later{});
+  }
+
+  QueueEntry pop() {
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    const QueueEntry entry = heap.back();
+    heap.pop_back();
+    return entry;
+  }
+
+  bool cancel(std::uint32_t idx, std::uint32_t gen);
+  bool armed(std::uint32_t idx, std::uint32_t gen) const;
+  void maybe_compact();
+
+  std::uint32_t refs = 0;  // managed by CorePtr
+};
+
+/// Intrusive, deliberately non-atomic refcounted pointer to SimCore. A
+/// simulator and all of its Timer handles live on one thread (parallel
+/// campaigns give each task its own simulator), so the count needs no
+/// synchronization — which keeps Timer construction on the schedule hot
+/// path free of locked instructions (a shared_ptr copy costs two once any
+/// thread exists in the process).
+class CorePtr {
+ public:
+  CorePtr() = default;
+  explicit CorePtr(SimCore* core) : core_(core) {
+    if (core_ != nullptr) ++core_->refs;
+  }
+  CorePtr(const CorePtr& other) : core_(other.core_) {
+    if (core_ != nullptr) ++core_->refs;
+  }
+  CorePtr(CorePtr&& other) noexcept : core_(other.core_) {
+    other.core_ = nullptr;
+  }
+  CorePtr& operator=(CorePtr other) noexcept {
+    std::swap(core_, other.core_);
+    return *this;
+  }
+  ~CorePtr() {
+    if (core_ != nullptr && --core_->refs == 0) delete core_;
+  }
+
+  SimCore& operator*() const { return *core_; }
+  SimCore* operator->() const { return core_; }
+  explicit operator bool() const { return core_ != nullptr; }
+
+ private:
+  SimCore* core_ = nullptr;
+};
+
+}  // namespace detail
+
 /// Cancellation handle for a scheduled event. Copyable; all copies refer to
 /// the same underlying event. Cancelling an already-fired event is a no-op.
+/// Handles keep the slab alive (like the seed's shared state block) so they
+/// stay safe to poke even after the Simulator is destroyed.
 class Timer {
  public:
   Timer() = default;
@@ -37,64 +174,123 @@ class Timer {
 
  private:
   friend class Simulator;
-  struct State {
-    std::function<void()> fn;
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit Timer(std::shared_ptr<State> state) : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  Timer(const detail::CorePtr& core, std::uint32_t slot, std::uint32_t gen)
+      : core_(core), slot_(slot), gen_(gen) {}
+
+  detail::CorePtr core_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// The event loop. One instance drives one experiment.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : core_(new detail::SimCore) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Destroys every still-queued closure. Closures routinely capture Timer
+  /// handles (retransmission timers owned by the objects they fire on), and
+  /// a Timer keeps the slab alive — leaving the closures in place would
+  /// cycle and leak their object graphs. Slot metadata survives so
+  /// outstanding handles still answer armed()/cancel() safely.
+  ~Simulator() {
+    for (detail::SimCore::Slot& slot : core_->slots) slot.fn.reset();
+  }
 
   /// Current simulated time.
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run `delay` from now. Negative delays clamp to zero.
-  Timer schedule(SimTime delay, std::function<void()> fn);
+  template <typename F>
+  Timer schedule(SimTime delay, F&& fn) {
+    if (delay < 0) delay = 0;
+    return at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` at an absolute time (clamped to be >= now()).
-  Timer at(SimTime time, std::function<void()> fn);
+  template <typename F>
+  Timer at(SimTime time, F&& fn) {
+    if (time < now_) time = now_;
+    detail::SimCore& core = *core_;
+    const std::uint32_t idx = core.acquire();
+    detail::SimCore::Slot& slot = core.slots[idx];
+    // Construct the capture directly into the slab slot; where this
+    // inlines, the erasure ops are compile-time constants and the store is
+    // a plain copy of the capture bytes.
+    try {
+      slot.fn.emplace(std::forward<F>(fn));
+    } catch (...) {
+      core.release(idx);
+      throw;
+    }
+    core.push(time, idx);
+    ++core.live;
+    return Timer(core_, idx, slot.gen);
+  }
 
   /// Runs until the event queue is empty.
-  void run();
+  void run() {
+    while (step_before(kSimTimeNever)) {
+    }
+  }
 
   /// Runs events with time <= `deadline`; leaves later events queued and
   /// advances the clock to `deadline`.
-  void run_until(SimTime deadline);
+  void run_until(SimTime deadline) {
+    while (step_before(deadline)) {
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
 
   /// Runs at most one event. Returns false if the queue was empty.
-  bool step();
+  bool step() { return step_before(kSimTimeNever); }
 
   /// Number of events executed since construction.
   std::uint64_t events_executed() const { return executed_; }
 
-  /// Number of events currently pending.
-  std::size_t pending() const { return queue_.size(); }
+  /// Number of live (not cancelled) pending events.
+  std::size_t pending() const { return core_->live; }
+
+  /// Queue entries including lazily-cancelled ones (compaction test hook).
+  std::size_t queued_entries() const { return core_->heap.size(); }
+
+  /// Number of lazy-cancel compaction sweeps performed (test hook).
+  std::uint64_t compactions() const { return core_->compactions; }
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;
-    std::shared_ptr<Timer::State> state;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  /// Pops and runs the earliest live event if its time is <= `deadline`
+  /// (skipping and reclaiming cancelled entries on the way). Returns false
+  /// if nothing fired. Shared by step(), run() and run_until().
+  bool step_before(SimTime deadline) {
+    detail::SimCore& core = *core_;
+    while (!core.heap.empty()) {
+      const detail::SimCore::QueueEntry& top = core.heap.front();
+      if (core.slots[top.slot].cancelled) {
+        const auto entry = core.pop();
+        core.release(entry.slot);
+        --core.dead;
+        continue;
+      }
+      if (top.time > deadline) return false;
+      const auto entry = core.pop();
+      now_ = entry.time;
+      // Move the closure out and free the slot *before* invoking so that
+      // re-entrant scheduling from within the callback sees a consistent
+      // slab (and cancelling the running event's own Timer is a no-op).
+      EventFn fn = std::move(core.slots[entry.slot].fn);
+      core.release(entry.slot);
+      --core.live;
+      ++executed_;
+      fn.invoke_consume();
+      return true;
     }
-  };
+    return false;
+  }
 
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  detail::CorePtr core_;
 };
 
 }  // namespace doxlab::sim

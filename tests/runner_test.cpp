@@ -1,0 +1,134 @@
+// Unit tests for the campaign runner: thread-pool correctness (coverage,
+// exceptions, stealing) and the determinism contract — a campaign's output
+// is a pure function of the seed/config, never of --jobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "measure/csv.h"
+#include "runner/campaign.h"
+#include "runner/thread_pool.h"
+
+namespace doxlab::runner {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.parallel_for(20, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("cell 13");
+                          completed.fetch_add(1);
+                        }),
+      std::runtime_error);
+  // Every non-throwing task still ran before the rethrow.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(CampaignSeed, DerivedSeedsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    seen.insert(derive_run_seed(42, i));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+  // Different campaign seeds diverge too.
+  EXPECT_NE(derive_run_seed(1, 0), derive_run_seed(2, 0));
+}
+
+measure::SingleQueryConfig small_query_config() {
+  measure::SingleQueryConfig config;
+  config.repetitions = 2;
+  config.max_resolvers = 4;
+  config.protocols = {dox::DnsProtocol::kDoUdp, dox::DnsProtocol::kDoQ};
+  return config;
+}
+
+TEST(Campaign, SingleQueryParallelMatchesSerial) {
+  CampaignConfig campaign;
+  campaign.seed = 7;
+  campaign.population.verified_dox = 8;
+
+  campaign.jobs = 1;
+  const auto serial = run_single_query_campaign(campaign, small_query_config());
+  campaign.jobs = 8;
+  const auto parallel =
+      run_single_query_campaign(campaign, small_query_config());
+
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(measure::single_query_csv(serial),
+            measure::single_query_csv(parallel));
+}
+
+TEST(Campaign, SingleQuerySeedChangesOutput) {
+  CampaignConfig campaign;
+  campaign.population.verified_dox = 8;
+  campaign.seed = 7;
+  const auto a = run_single_query_campaign(campaign, small_query_config());
+  campaign.seed = 8;
+  const auto b = run_single_query_campaign(campaign, small_query_config());
+  EXPECT_NE(measure::single_query_csv(a), measure::single_query_csv(b));
+}
+
+TEST(Campaign, WebParallelMatchesSerial) {
+  CampaignConfig campaign;
+  campaign.seed = 11;
+  campaign.population.verified_dox = 6;
+
+  measure::WebStudyConfig web;
+  web.max_resolvers = 2;
+  web.loads_per_combo = 1;
+  web.pages = {"wikipedia.org"};
+  web.protocols = {dox::DnsProtocol::kDoUdp, dox::DnsProtocol::kDoQ};
+
+  campaign.jobs = 1;
+  const auto serial = run_web_campaign(campaign, web);
+  campaign.jobs = 4;
+  const auto parallel = run_web_campaign(campaign, web);
+
+  ASSERT_FALSE(serial.empty());
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(measure::web_csv(serial), measure::web_csv(parallel));
+}
+
+}  // namespace
+}  // namespace doxlab::runner

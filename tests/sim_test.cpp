@@ -118,5 +118,168 @@ TEST(Simulator, AbsoluteScheduling) {
   EXPECT_EQ(seen, 777);
 }
 
+TEST(Simulator, CancelInsideCallback) {
+  // An ACK handler disarming a retransmission timer: the cancel happens
+  // while another event is mid-flight.
+  Simulator sim;
+  bool retransmitted = false;
+  Timer retransmit = sim.schedule(20, [&] { retransmitted = true; });
+  sim.schedule(10, [&] { retransmit.cancel(); });
+  sim.run();
+  EXPECT_FALSE(retransmitted);
+  EXPECT_EQ(sim.events_executed(), 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelOwnTimerInsideCallbackIsNoop) {
+  Simulator sim;
+  Timer self;
+  int fired = 0;
+  self = sim.schedule(10, [&] {
+    ++fired;
+    self.cancel();  // already popped; must not corrupt the slab
+    EXPECT_FALSE(self.armed());
+  });
+  sim.schedule(20, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ReentrantScheduleAtCurrentInstantPreservesOrder) {
+  // An event that schedules more work "now" runs it after events that were
+  // already queued for the same instant (seq order), not before.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(10, [&] {
+    order.push_back(1);
+    sim.schedule(0, [&] { order.push_back(3); });
+  });
+  sim.schedule(10, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulator, RunUntilAllCancelledAdvancesClock) {
+  // A queue holding only cancelled entries is logically empty: run_until
+  // must drain it and still advance the clock to the deadline.
+  Simulator sim;
+  std::vector<Timer> timers;
+  for (int i = 0; i < 8; ++i) {
+    timers.push_back(sim.schedule(10 + i, [] {}));
+  }
+  for (Timer& t : timers) t.cancel();
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+  EXPECT_EQ(sim.events_executed(), 0u);
+  EXPECT_EQ(sim.queued_entries(), 0u);
+}
+
+TEST(Simulator, TimerOutlivesSimulator) {
+  // Handles share ownership of the slab (like the seed's shared state
+  // block), so poking one after the Simulator dies is safe. A never-fired
+  // event still reports armed — matching the original semantics where the
+  // shared `fired` flag stays false.
+  Timer t;
+  {
+    Simulator sim;
+    t = sim.schedule(10, [] {});
+  }
+  EXPECT_TRUE(t.armed());
+  t.cancel();
+  EXPECT_FALSE(t.armed());
+  t.cancel();  // double-cancel after death is also a no-op
+
+  Timer fired_timer;
+  {
+    Simulator sim;
+    fired_timer = sim.schedule(1, [] {});
+    sim.run();
+  }
+  EXPECT_FALSE(fired_timer.armed());
+  fired_timer.cancel();
+}
+
+TEST(Simulator, CompactionReclaimsCancelledEntries) {
+  // When more than half the queue is dead, a sweep drops the cancelled
+  // entries instead of leaving pop() to skip them one at a time.
+  Simulator sim;
+  std::vector<Timer> timers;
+  constexpr int kEvents = 128;
+  for (int i = 0; i < kEvents; ++i) {
+    timers.push_back(sim.schedule(i, [] {}));
+  }
+  EXPECT_EQ(sim.queued_entries(), static_cast<std::size_t>(kEvents));
+  // Cancel 3/4 of them; compaction triggers once dead*2 > queued.
+  for (int i = 0; i < kEvents; ++i) {
+    if (i % 4 != 0) timers[i].cancel();
+  }
+  EXPECT_GE(sim.compactions(), 1u);
+  // The sweep dropped dead entries; later cancels may re-accumulate below
+  // the trigger threshold, so the queue is smaller but not minimal.
+  EXPECT_LT(sim.queued_entries(), static_cast<std::size_t>(kEvents));
+  EXPECT_EQ(sim.pending(), static_cast<std::size_t>(kEvents / 4));
+  // The survivors still fire.
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), static_cast<std::uint64_t>(kEvents / 4));
+}
+
+TEST(Simulator, SmallQueueSkipsCompaction) {
+  // Below the size floor, cancelled entries are reclaimed lazily on pop.
+  Simulator sim;
+  std::vector<Timer> timers;
+  for (int i = 0; i < 16; ++i) timers.push_back(sim.schedule(i, [] {}));
+  for (Timer& t : timers) t.cancel();
+  EXPECT_EQ(sim.compactions(), 0u);
+  EXPECT_EQ(sim.queued_entries(), 16u);  // still queued, lazily dead
+  sim.run();
+  EXPECT_EQ(sim.queued_entries(), 0u);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, SlotReuseDoesNotConfuseStaleTimers) {
+  // After an event fires, its slot is recycled; a stale handle onto the old
+  // generation must not cancel the new occupant.
+  Simulator sim;
+  Timer old = sim.schedule(1, [] {});
+  sim.run();
+  bool fired = false;
+  Timer fresh = sim.schedule(1, [&] { fired = true; });  // reuses the slot
+  old.cancel();  // stale generation: must be a no-op
+  EXPECT_TRUE(fresh.armed());
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, SmallCallbacksNeverHitEventFnHeap) {
+  // The slab plus 96-byte inline EventFn storage means typical protocol
+  // callbacks (a few pointers of capture) never fall back to the heap.
+  const std::uint64_t before = EventFn::heap_allocations();
+  Simulator sim;
+  long counter = 0;
+  void* a = &counter;
+  void* b = &sim;
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule(i, [&counter, a, b] {
+      counter += (a != b);
+    });
+  }
+  sim.run();
+  EXPECT_EQ(counter, 1000);
+  EXPECT_EQ(EventFn::heap_allocations(), before);
+
+  // An oversized capture (> inline buffer) must still work via the heap
+  // fallback, and be counted.
+  struct Big {
+    char bytes[200] = {};
+  } big;
+  bool ran = false;
+  sim.schedule(1, [big, &ran] { ran = big.bytes[0] == 0; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(EventFn::heap_allocations(), before + 1);
+}
+
 }  // namespace
 }  // namespace doxlab::sim

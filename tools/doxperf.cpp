@@ -12,6 +12,8 @@
 //   doxperf --no-resumption --protocols=doq  # preliminary-work behaviour
 //   doxperf --0rtt --pad --csv=out.csv
 //   doxperf engine --clients=2000 --qps=3000  # forwarder-engine load run
+//   doxperf campaign --jobs=8 --reps=4        # parallel measurement sweep
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -22,6 +24,8 @@
 #include "measure/report.h"
 #include "measure/single_query.h"
 #include "measure/web_study.h"
+#include "net/geo.h"
+#include "runner/campaign.h"
 #include "stats/stats.h"
 #include "util/strings.h"
 
@@ -49,6 +53,11 @@ const char* kUsage = R"(doxperf — DNS-over-X measurement testbed CLI
   --fix-dot          use the fixed dnsproxy DoT connection reuse (web)
   --csv=FILE         write raw records as CSV
   --help             this text
+
+campaign subcommand — the same studies sharded over a thread pool
+(doxperf campaign ...). Output is bit-identical for any --jobs value:
+  --jobs=N           worker threads (default 1; 0 = all hardware threads)
+  plus the study flags above (--web, --protocols, --resolvers, --reps, ...)
 
 engine subcommand — forwarder-engine load run (doxperf engine ...):
   --clients=N        simulated stub clients (default 1000)
@@ -179,6 +188,87 @@ int run_engine(int argc, char** argv) {
   return 0;
 }
 
+/// `doxperf campaign` — the measurement studies sharded across a
+/// work-stealing pool; reports the same tables plus wall-clock timing.
+int run_campaign(int argc, char** argv) {
+  runner::CampaignConfig campaign;
+  campaign.seed = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--seed", "42").c_str()));
+  campaign.jobs = flag_int(argc, argv, "--jobs", 1);
+  campaign.population.verified_only = true;
+  campaign.population.verified_dox = flag_int(argc, argv, "--resolvers", 48);
+  if (flag_set(argc, argv, "--0rtt")) {
+    campaign.population.force_supports_0rtt = true;
+  }
+  if (flag_set(argc, argv, "--doh3")) {
+    campaign.population.force_supports_doh3 = true;
+  }
+
+  std::vector<dox::DnsProtocol> protocols{std::begin(dox::kAllProtocols),
+                                          std::end(dox::kAllProtocols)};
+  const std::string protocol_list = flag_value(argc, argv, "--protocols", "");
+  if (!protocol_list.empty()) protocols = parse_protocols(protocol_list);
+
+  std::vector<std::string> vp_names;
+  for (const net::City& city : net::vantage_point_cities()) {
+    vp_names.push_back(city.name);
+  }
+  const std::string csv_path = flag_value(argc, argv, "--csv", "");
+  const auto started = std::chrono::steady_clock::now();
+  const auto wall_seconds = [&started] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started)
+        .count();
+  };
+
+  if (flag_set(argc, argv, "--web")) {
+    WebStudyConfig web;
+    web.protocols = protocols;
+    web.max_resolvers = std::min<int>(
+        campaign.population.verified_dox,
+        flag_int(argc, argv, "--resolvers", 48));
+    web.loads_per_combo = flag_int(argc, argv, "--loads", 4);
+    web.repetitions = flag_int(argc, argv, "--reps", 1);
+    web.dot_buggy_reuse = !flag_set(argc, argv, "--fix-dot");
+    web.attempt_0rtt = true;
+    const std::string pages = flag_value(argc, argv, "--pages", "");
+    if (!pages.empty()) web.pages = split(pages, ',');
+
+    auto records = runner::run_web_campaign(campaign, web);
+    std::printf("%s", render_fig3(fig3_relative(records)).c_str());
+    std::printf("%s",
+                render_fig4(fig4_cells(records, vp_names), vp_names).c_str());
+    std::printf("campaign: %zu records in %.2f s (--jobs %d)\n",
+                records.size(), wall_seconds(), campaign.jobs);
+    if (!csv_path.empty()) {
+      write_file(csv_path, web_csv(records));
+      std::printf("raw records -> %s\n", csv_path.c_str());
+    }
+    return 0;
+  }
+
+  SingleQueryConfig sq;
+  sq.protocols = protocols;
+  sq.qname = flag_value(argc, argv, "--qname", "google.com");
+  sq.repetitions = flag_int(argc, argv, "--reps", 1);
+  sq.use_session_resumption = !flag_set(argc, argv, "--no-resumption");
+  sq.use_address_token = !flag_set(argc, argv, "--no-token");
+  sq.pad_encrypted = flag_set(argc, argv, "--pad");
+
+  auto records = runner::run_single_query_campaign(campaign, sq);
+  std::printf("%s\n", render_table1(table1_sizes(records), nullptr).c_str());
+  std::printf("%s",
+              render_fig2(fig2_handshake_resolve(records, vp_names)).c_str());
+  std::printf("%s", render_mix(protocol_mix(records)).c_str());
+  std::printf("campaign: %zu records in %.2f s (--jobs %d)\n",
+              records.size(), wall_seconds(), campaign.jobs);
+  if (!csv_path.empty()) {
+    write_file(csv_path, single_query_csv(records));
+    std::printf("raw records -> %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run(int argc, char** argv);
@@ -191,6 +281,9 @@ int main(int argc, char** argv) {
   try {
     if (argc > 1 && std::strcmp(argv[1], "engine") == 0) {
       return run_engine(argc, argv);
+    }
+    if (argc > 1 && std::strcmp(argv[1], "campaign") == 0) {
+      return run_campaign(argc, argv);
     }
     return run(argc, argv);
   } catch (const std::exception& e) {
