@@ -1,0 +1,222 @@
+// The seed repo's DNS codec — names decoded into one std::string per label,
+// suffix compression tracked in a std::map keyed by freshly built suffix
+// strings — frozen verbatim as a bench fixture so the zero-copy byte path's
+// speedup stays measurable in-tree (BENCH_byte_path.json records both
+// sides). Not used by any library code; the fixture asserts its wire output
+// is byte-identical to the current codec before timing anything.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/strings.h"
+
+namespace doxlab::bench::legacy {
+
+/// Seed DnsName: lower-cased labels, one heap string apiece.
+struct Name {
+  std::vector<std::string> labels;
+};
+
+inline std::optional<Name> read_name(ByteReader& reader) {
+  Name name;
+  std::size_t total = 1;
+  int pointer_hops = 0;
+  std::optional<std::size_t> resume_at;
+
+  while (true) {
+    auto len = reader.u8();
+    if (!len) return std::nullopt;
+    if ((*len & 0xC0) == 0xC0) {
+      auto low = reader.u8();
+      if (!low) return std::nullopt;
+      const std::size_t target =
+          (static_cast<std::size_t>(*len & 0x3F) << 8) | *low;
+      if (!resume_at) resume_at = reader.position();
+      if (target >= reader.position() - 2) return std::nullopt;
+      if (++pointer_hops > 32) return std::nullopt;
+      if (!reader.seek(target)) return std::nullopt;
+      continue;
+    }
+    if ((*len & 0xC0) != 0) return std::nullopt;
+    if (*len == 0) break;
+    auto label = reader.string(*len);
+    if (!label) return std::nullopt;
+    total += 1 + label->size();
+    if (total > 255) return std::nullopt;
+    name.labels.push_back(to_lower(*label));
+  }
+  if (resume_at) reader.seek(*resume_at);
+  return name;
+}
+
+/// Seed NameCompressor: presentation-form suffix strings in a std::map.
+class NameCompressor {
+ public:
+  void write(ByteWriter& writer, const Name& name) {
+    const auto& labels = name.labels;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      std::string suffix;
+      for (std::size_t j = i; j < labels.size(); ++j) {
+        if (j > i) suffix.push_back('.');
+        suffix.append(labels[j]);
+      }
+      auto it = offsets_.find(suffix);
+      if (it != offsets_.end()) {
+        writer.u16(static_cast<std::uint16_t>(0xC000 | it->second));
+        return;
+      }
+      if (writer.size() < 0x3FFF) {
+        offsets_.emplace(std::move(suffix),
+                         static_cast<std::uint16_t>(writer.size()));
+      }
+      writer.u8(static_cast<std::uint8_t>(labels[i].size()));
+      writer.bytes(labels[i]);
+    }
+    writer.u8(0);
+  }
+
+ private:
+  std::map<std::string, std::uint16_t> offsets_;
+};
+
+struct Question {
+  Name name;
+  std::uint16_t type = 0;
+  std::uint16_t klass = 1;
+};
+
+struct ResourceRecord {
+  Name name;
+  std::uint16_t type = 0;
+  std::uint16_t klass_or_udpsize = 1;
+  std::uint32_t ttl = 0;
+  std::vector<std::uint8_t> rdata;
+};
+
+struct Message {
+  std::uint16_t id = 0;
+  bool qr = false;
+  std::uint8_t opcode = 0;
+  bool aa = false, tc = false, rd = false, ra = false, ad = false, cd = false;
+  std::uint8_t rcode = 0;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+};
+
+inline void write_record(ByteWriter& w, NameCompressor& nc,
+                         const ResourceRecord& rr) {
+  nc.write(w, rr.name);
+  w.u16(rr.type);
+  w.u16(rr.klass_or_udpsize);
+  w.u32(rr.ttl);
+  w.u16(static_cast<std::uint16_t>(rr.rdata.size()));
+  w.bytes(rr.rdata);
+}
+
+inline std::optional<ResourceRecord> read_record(ByteReader& r) {
+  ResourceRecord rr;
+  auto name = read_name(r);
+  if (!name) return std::nullopt;
+  rr.name = std::move(*name);
+  auto type = r.u16();
+  auto klass = r.u16();
+  auto ttl = r.u32();
+  auto rdlen = r.u16();
+  if (!type || !klass || !ttl || !rdlen) return std::nullopt;
+  rr.type = *type;
+  rr.klass_or_udpsize = *klass;
+  rr.ttl = *ttl;
+  auto rdata = r.bytes(*rdlen);
+  if (!rdata) return std::nullopt;
+  rr.rdata.assign(rdata->begin(), rdata->end());
+  return rr;
+}
+
+inline std::vector<std::uint8_t> encode(const Message& m) {
+  ByteWriter w(512);
+  NameCompressor nc;
+  w.u16(m.id);
+  std::uint16_t flags = 0;
+  if (m.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(m.opcode) << 11;
+  if (m.aa) flags |= 0x0400;
+  if (m.tc) flags |= 0x0200;
+  if (m.rd) flags |= 0x0100;
+  if (m.ra) flags |= 0x0080;
+  if (m.ad) flags |= 0x0020;
+  if (m.cd) flags |= 0x0010;
+  flags |= static_cast<std::uint16_t>(m.rcode) & 0x0F;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(m.questions.size()));
+  w.u16(static_cast<std::uint16_t>(m.answers.size()));
+  w.u16(static_cast<std::uint16_t>(m.authorities.size()));
+  w.u16(static_cast<std::uint16_t>(m.additionals.size()));
+  for (const Question& q : m.questions) {
+    nc.write(w, q.name);
+    w.u16(q.type);
+    w.u16(q.klass);
+  }
+  for (const ResourceRecord& rr : m.answers) write_record(w, nc, rr);
+  for (const ResourceRecord& rr : m.authorities) write_record(w, nc, rr);
+  for (const ResourceRecord& rr : m.additionals) write_record(w, nc, rr);
+  return w.take();
+}
+
+inline std::optional<Message> decode(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  Message m;
+  auto id = r.u16();
+  auto flags = r.u16();
+  auto qd = r.u16();
+  auto an = r.u16();
+  auto ns = r.u16();
+  auto ar = r.u16();
+  if (!id || !flags || !qd || !an || !ns || !ar) return std::nullopt;
+  m.id = *id;
+  m.qr = (*flags & 0x8000) != 0;
+  m.opcode = static_cast<std::uint8_t>((*flags >> 11) & 0x0F);
+  m.aa = (*flags & 0x0400) != 0;
+  m.tc = (*flags & 0x0200) != 0;
+  m.rd = (*flags & 0x0100) != 0;
+  m.ra = (*flags & 0x0080) != 0;
+  m.ad = (*flags & 0x0020) != 0;
+  m.cd = (*flags & 0x0010) != 0;
+  m.rcode = static_cast<std::uint8_t>(*flags & 0x0F);
+  for (int i = 0; i < *qd; ++i) {
+    Question q;
+    auto name = read_name(r);
+    auto type = r.u16();
+    auto klass = r.u16();
+    if (!name || !type || !klass) return std::nullopt;
+    q.name = std::move(*name);
+    q.type = *type;
+    q.klass = *klass;
+    m.questions.push_back(std::move(q));
+  }
+  for (int i = 0; i < *an; ++i) {
+    auto rr = read_record(r);
+    if (!rr) return std::nullopt;
+    m.answers.push_back(std::move(*rr));
+  }
+  for (int i = 0; i < *ns; ++i) {
+    auto rr = read_record(r);
+    if (!rr) return std::nullopt;
+    m.authorities.push_back(std::move(*rr));
+  }
+  for (int i = 0; i < *ar; ++i) {
+    auto rr = read_record(r);
+    if (!rr) return std::nullopt;
+    m.additionals.push_back(std::move(*rr));
+  }
+  return m;
+}
+
+}  // namespace doxlab::bench::legacy

@@ -6,10 +6,15 @@
 // The sim-core suite additionally measures the slab/SBO event loop against
 // the seed's shared_ptr+std::function implementation (bench/legacy_sim.h)
 // and writes the numbers to BENCH_sim_core.json — the committed hot-path
-// baseline. Extra flags (stripped before google-benchmark sees them):
-//   --smoke        run only the sim-core suite, briefly, and exit non-zero
-//                  on a hot-path regression (CI guard)
-//   --json[=PATH]  write BENCH_sim_core.json (default name) after the run
+// baseline. The byte-path suite does the same for the pooled zero-copy
+// send/receive path (util::Buffer + in-place framing + scratch decode) vs
+// the seed's copy chain, writing BENCH_byte_path.json; it also counts heap
+// allocations per forwarded cached query through the full forwarder engine.
+// Extra flags (stripped before google-benchmark sees them):
+//   --smoke        run only the sim-core + byte-path suites, briefly, and
+//                  exit non-zero on a hot-path regression (CI guard)
+//   --json[=PATH]  write BENCH_sim_core.json (default name) and
+//                  BENCH_byte_path.json after the run
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -23,12 +28,17 @@
 
 #include "bench_util.h"
 #include "dns/message.h"
+#include "engine/engine.h"
 #include "h2/hpack.h"
+#include "legacy_dns.h"
 #include "legacy_sim.h"
 #include "measure/testbed.h"
+#include "net/network.h"
 #include "quic/wire.h"
+#include "resolver/resolver.h"
 #include "sim/simulator.h"
 #include "tls/wire.h"
+#include "util/buffer.h"
 
 // Program-wide allocation counter: the sim-core suite reports heap
 // allocations per event, the headline metric of the slab/SBO rewrite.
@@ -385,6 +395,269 @@ void report_sim_core(const SimCoreResults& r, bench::JsonReporter& json) {
               r.cancel_legacy.allocs_per_op);
 }
 
+// ---------------------------------------------------------------------------
+// byte-path suite: the pooled zero-copy send/receive path vs the seed's
+// copy-chain (vector encode, per-hop payload copy, allocating decode),
+// reported to BENCH_byte_path.json. Timed by hand like the sim-core suite.
+
+struct BytePathSample {
+  double ns_per_op = 0;
+  double allocs_per_op = 0;  // global operator new count delta
+};
+
+/// Times `op` over `trials` iterations, reporting ns and allocations per op.
+template <typename Op>
+BytePathSample measure_ops(int trials, Op&& op) {
+  const std::uint64_t allocs0 = g_heap_allocs.load();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int t = 0; t < trials; ++t) op();
+  const auto t1 = std::chrono::steady_clock::now();
+  BytePathSample sample;
+  sample.ns_per_op =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / trials;
+  sample.allocs_per_op =
+      static_cast<double>(g_heap_allocs.load() - allocs0) / trials;
+  return sample;
+}
+
+/// The study's DoUDP exchange: the 59-byte query and 63-byte response, in
+/// both today's codec and the frozen seed codec (bench/legacy_dns.h). The
+/// constructor asserts both produce identical wire bytes, so the two sides
+/// of the comparison do identical protocol work.
+struct DoudpMessages {
+  dns::Message query;
+  dns::Message response;
+  bench::legacy::Message legacy_query;
+  bench::legacy::Message legacy_response;
+
+  DoudpMessages() {
+    query = dns::make_query(0x1234, dns::DnsName::parse("google.com"),
+                            dns::RRType::kA);
+    response = dns::make_response(query);
+    response.answers.push_back(
+        dns::make_a(dns::DnsName::parse("google.com"), 300, 0x08080404));
+    legacy_query = *bench::legacy::decode(query.encode());
+    legacy_response = *bench::legacy::decode(response.encode());
+    if (bench::legacy::encode(legacy_query) != query.encode() ||
+        bench::legacy::encode(legacy_response) != response.encode()) {
+      std::fprintf(stderr, "legacy codec fixture diverged from current\n");
+      std::abort();
+    }
+  }
+};
+
+/// Seed path: vector encode (std::map suffix compression), a per-hop
+/// payload copy (the old net::Packet payload vector), then the decode that
+/// built a std::vector<std::string> per name.
+BytePathSample measure_roundtrip_legacy(int trials) {
+  DoudpMessages m;
+  return measure_ops(trials, [&] {
+    std::vector<std::uint8_t> query_wire = bench::legacy::encode(m.legacy_query);
+    std::vector<std::uint8_t> delivered_q(query_wire);  // hop copy
+    auto decoded_q = bench::legacy::decode(delivered_q);
+    benchmark::DoNotOptimize(decoded_q);
+    std::vector<std::uint8_t> response_wire =
+        bench::legacy::encode(m.legacy_response);
+    std::vector<std::uint8_t> delivered_r(response_wire);  // hop copy
+    auto decoded_r = bench::legacy::decode(delivered_r);
+    benchmark::DoNotOptimize(decoded_r);
+  });
+}
+
+/// Pooled path: one slab per message, moved through the hop, decoded into
+/// reusable scratch storage.
+BytePathSample measure_roundtrip_pooled(int trials) {
+  DoudpMessages m;
+  dns::Message scratch_q, scratch_r;
+  return measure_ops(trials, [&] {
+    util::Buffer query_wire = m.query.encode_buffer();
+    util::Buffer delivered_q = std::move(query_wire);  // zero-copy hop
+    dns::Message::decode_into(delivered_q, scratch_q);
+    benchmark::DoNotOptimize(scratch_q.id);
+    util::Buffer response_wire = m.response.encode_buffer();
+    util::Buffer delivered_r = std::move(response_wire);  // zero-copy hop
+    dns::Message::decode_into(delivered_r, scratch_r);
+    benchmark::DoNotOptimize(scratch_r.id);
+  });
+}
+
+/// Seed DoT framing chain: encode vector, copy into a length-prefixed
+/// vector, copy again into a TLS application-data record vector.
+BytePathSample measure_dot_frame_legacy(int trials) {
+  DoudpMessages m;
+  return measure_ops(trials, [&] {
+    std::vector<std::uint8_t> msg = bench::legacy::encode(m.legacy_query);
+    std::vector<std::uint8_t> prefixed;
+    prefixed.reserve(2 + msg.size());
+    prefixed.push_back(static_cast<std::uint8_t>(msg.size() >> 8));
+    prefixed.push_back(static_cast<std::uint8_t>(msg.size() & 0xFF));
+    prefixed.insert(prefixed.end(), msg.begin(), msg.end());
+    std::vector<std::uint8_t> record;
+    record.reserve(tls::kRecordHeaderBytes + prefixed.size() +
+                   tls::kAeadTagBytes);
+    const std::size_t record_len = prefixed.size() + tls::kAeadTagBytes;
+    record.push_back(0x17);
+    record.push_back(0x03);
+    record.push_back(0x03);
+    record.push_back(static_cast<std::uint8_t>(record_len >> 8));
+    record.push_back(static_cast<std::uint8_t>(record_len & 0xFF));
+    record.insert(record.end(), prefixed.begin(), prefixed.end());
+    record.insert(record.end(), tls::kAeadTagBytes, 0);
+    benchmark::DoNotOptimize(record);
+  });
+}
+
+/// Pooled DoT framing: the length prefix and TLS record header are
+/// prepended into the message's headroom in place — one slab end to end.
+BytePathSample measure_dot_frame_pooled(int trials) {
+  DoudpMessages m;
+  tls::TlsWire wire;
+  constexpr std::size_t kDotHeadroom = 2 + tls::kRecordHeaderBytes;
+  return measure_ops(trials, [&] {
+    util::Buffer msg = m.query.encode_buffer(kDotHeadroom);
+    const std::size_t len = msg.size();
+    std::uint8_t* prefix = msg.prepend(2);
+    prefix[0] = static_cast<std::uint8_t>(len >> 8);
+    prefix[1] = static_cast<std::uint8_t>(len & 0xFF);
+    util::Buffer record = wire.seal_application_data(std::move(msg));
+    benchmark::DoNotOptimize(record.size());
+  });
+}
+
+/// Heap allocations per forwarded cached DoUDP query through the full
+/// forwarder engine (stub socket -> UDP -> decode -> cache hit -> encode ->
+/// UDP -> stub socket), measured steady-state after warm-up.
+double measure_engine_cached_allocs(int queries) {
+  sim::Simulator sim;
+  net::Network network(sim, Rng(33));
+  net::Host& host = network.add_host(
+      "client", net::IpAddress::from_octets(10, 1, 0, 1), {50.11, 8.68},
+      net::Continent::kEurope);
+  net::UdpStack udp(host);
+  tcp::TcpStack tcp(host);
+  tls::TicketStore tickets;
+  dox::DoqSessionCache doq_cache;
+  network.set_loss_rate(0.0);
+
+  resolver::ResolverProfile profile;
+  profile.name = "upstream";
+  profile.address = net::IpAddress::from_octets(10, 2, 0, 1);
+  profile.location = {48.86, 2.35};
+  profile.secret = 0xAA;
+  profile.drop_probability = 0.0;
+  resolver::DoxResolver upstream(network, profile, Rng(1));
+  network.set_path_override(host.address(), profile.address, from_ms(10));
+
+  dox::TransportDeps deps;
+  deps.sim = &sim;
+  deps.udp = &udp;
+  deps.tcp = &tcp;
+  deps.tickets = &tickets;
+  deps.doq_cache = &doq_cache;
+  engine::UpstreamConfig upstream_config;
+  upstream_config.name = profile.name;
+  upstream_config.address = profile.address;
+  upstream_config.protocols = {dox::DnsProtocol::kDoUdp};
+  engine::EngineConfig config;
+  engine::ForwarderEngine engine(sim, udp, deps, {upstream_config}, config);
+
+  auto socket = udp.bind_ephemeral();
+  std::uint64_t answered = 0;
+  socket->on_datagram(
+      [&](const net::Endpoint&, util::Buffer) { ++answered; });
+  const dns::Message query = dns::make_query(
+      0x77, dns::DnsName::parse("cached.example.com"), dns::RRType::kA);
+  const util::Buffer query_wire = query.encode_buffer();
+  const net::Endpoint engine_ep{host.address(), 53};
+
+  // Warm-up: the first query resolves upstream and fills the cache; the
+  // rest drive every scratch vector and the buffer pool to their
+  // steady-state high-water marks.
+  for (int i = 0; i < 1024; ++i) {
+    socket->send_to(engine_ep, query_wire);
+    sim.run_until(sim.now() + (i == 0 ? kSecond : kMillisecond));
+  }
+
+  const std::uint64_t before = answered;
+  const std::uint64_t allocs0 = g_heap_allocs.load();
+  for (int i = 0; i < queries; ++i) {
+    socket->send_to(engine_ep, query_wire);
+    sim.run_until(sim.now() + kMillisecond);
+  }
+  const std::uint64_t allocs = g_heap_allocs.load() - allocs0;
+  if (answered - before != static_cast<std::uint64_t>(queries)) {
+    std::fprintf(stderr,
+                 "byte-path engine probe: %llu/%d cached queries answered\n",
+                 static_cast<unsigned long long>(answered - before), queries);
+    return -1.0;
+  }
+  return static_cast<double>(allocs) / queries;
+}
+
+struct BytePathResults {
+  BytePathSample roundtrip_new, roundtrip_legacy;
+  BytePathSample frame_new, frame_legacy;
+  double engine_allocs_per_query = 0;
+};
+
+void keep_best(BytePathSample& best, const BytePathSample& sample) {
+  if (best.ns_per_op == 0 || sample.ns_per_op < best.ns_per_op) best = sample;
+}
+
+BytePathResults run_byte_path_suite(int trials) {
+  constexpr int kPasses = 3;  // best-of-N to shed scheduler noise
+  const int warmup = trials / 10 + 10;
+  BytePathResults r;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    measure_roundtrip_pooled(warmup);
+    keep_best(r.roundtrip_new, measure_roundtrip_pooled(trials));
+    measure_roundtrip_legacy(warmup);
+    keep_best(r.roundtrip_legacy, measure_roundtrip_legacy(trials));
+    measure_dot_frame_pooled(warmup);
+    keep_best(r.frame_new, measure_dot_frame_pooled(trials));
+    measure_dot_frame_legacy(warmup);
+    keep_best(r.frame_legacy, measure_dot_frame_legacy(trials));
+  }
+  r.engine_allocs_per_query = measure_engine_cached_allocs(/*queries=*/1000);
+  return r;
+}
+
+void report_byte_path(const BytePathResults& r, bench::JsonReporter& json) {
+  const double rt_speedup =
+      r.roundtrip_legacy.ns_per_op / r.roundtrip_new.ns_per_op;
+  const double frame_speedup =
+      r.frame_legacy.ns_per_op / r.frame_new.ns_per_op;
+  bench::banner("byte-path: pooled zero-copy stack vs seed copy chain");
+  std::printf("DoUDP encode->deliver->decode %8.1f ns/op (legacy %8.1f)  "
+              "%0.2fx\n",
+              r.roundtrip_new.ns_per_op, r.roundtrip_legacy.ns_per_op,
+              rt_speedup);
+  std::printf("  allocations/op              %8.4f       (legacy %8.4f)\n",
+              r.roundtrip_new.allocs_per_op, r.roundtrip_legacy.allocs_per_op);
+  std::printf("DoT in-place framing          %8.1f ns/op (legacy %8.1f)  "
+              "%0.2fx\n",
+              r.frame_new.ns_per_op, r.frame_legacy.ns_per_op, frame_speedup);
+  std::printf("  allocations/op              %8.4f       (legacy %8.4f)\n",
+              r.frame_new.allocs_per_op, r.frame_legacy.allocs_per_op);
+  std::printf("engine cached-query heap allocations/query: %.4f\n",
+              r.engine_allocs_per_query);
+
+  json.metric("byte_path_roundtrip", "ns_per_op", r.roundtrip_new.ns_per_op);
+  json.metric("byte_path_roundtrip", "ns_per_op_legacy",
+              r.roundtrip_legacy.ns_per_op);
+  json.metric("byte_path_roundtrip", "speedup_vs_legacy", rt_speedup);
+  json.metric("byte_path_roundtrip", "heap_allocs_per_op",
+              r.roundtrip_new.allocs_per_op);
+  json.metric("byte_path_roundtrip", "heap_allocs_per_op_legacy",
+              r.roundtrip_legacy.allocs_per_op);
+  json.metric("byte_path_dot_frame", "ns_per_op", r.frame_new.ns_per_op);
+  json.metric("byte_path_dot_frame", "ns_per_op_legacy",
+              r.frame_legacy.ns_per_op);
+  json.metric("byte_path_dot_frame", "speedup_vs_legacy", frame_speedup);
+  json.metric("byte_path_engine", "heap_allocs_per_cached_query",
+              r.engine_allocs_per_query);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -406,13 +679,16 @@ int main(int argc, char** argv) {
   int pass_argc = static_cast<int>(passthrough.size());
 
   if (smoke) {
-    // CI guard: short run, only the sim-core suite. Fails on a hot-path
-    // regression — allocations crept back in or the speedup collapsed.
-    // The gate (1.3x) is deliberately looser than the committed baseline
-    // (>=2x) to keep noisy shared runners from flaking.
+    // CI guard: short run, only the sim-core and byte-path suites. Fails
+    // on a hot-path regression — allocations crept back in or a speedup
+    // collapsed. The gates (1.3x) are deliberately looser than the
+    // committed baselines (>=2x) to keep noisy shared runners from flaking.
     const SimCoreResults r = run_sim_core_suite(/*trials=*/300);
+    const BytePathResults b = run_byte_path_suite(/*trials=*/3000);
     bench::JsonReporter json;
     report_sim_core(r, json);
+    bench::JsonReporter byte_json;
+    report_byte_path(b, byte_json);
     if (write_json && !json.write_file(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
@@ -434,7 +710,24 @@ int main(int argc, char** argv) {
                    fire_speedup);
       ok = false;
     }
-    std::printf("\nsim-core smoke: %s\n", ok ? "OK" : "REGRESSION");
+    const double rt_speedup =
+        b.roundtrip_legacy.ns_per_op / b.roundtrip_new.ns_per_op;
+    if (rt_speedup < 1.3) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: byte-path round-trip speedup %.2fx < 1.3x "
+                   "floor\n",
+                   rt_speedup);
+      ok = false;
+    }
+    if (b.engine_allocs_per_query < 0 ||
+        b.engine_allocs_per_query > 0.01) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: cached engine query allocates (%.4f heap "
+                   "allocations per query; gate 0.01)\n",
+                   b.engine_allocs_per_query);
+      ok = false;
+    }
+    std::printf("\nhot-path smoke: %s\n", ok ? "OK" : "REGRESSION");
     return ok ? 0 : 1;
   }
 
@@ -449,12 +742,20 @@ int main(int argc, char** argv) {
   const SimCoreResults r = run_sim_core_suite(/*trials=*/2000);
   bench::JsonReporter json;
   report_sim_core(r, json);
+  const BytePathResults b = run_byte_path_suite(/*trials=*/20000);
+  bench::JsonReporter byte_json;
+  report_byte_path(b, byte_json);
   if (write_json) {
     if (!json.write_file(json_path)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
     }
     std::printf("sim-core baseline -> %s\n", json_path.c_str());
+    if (!byte_json.write_file("BENCH_byte_path.json")) {
+      std::fprintf(stderr, "failed to write BENCH_byte_path.json\n");
+      return 1;
+    }
+    std::printf("byte-path baseline -> BENCH_byte_path.json\n");
   }
   return 0;
 }

@@ -22,15 +22,14 @@ void Cache::insert(const DnsName& name, RRType type,
   }
   entry.records = std::move(records);
 
-  const Key key{name, type};
-  auto it = entries_.find(key);
+  auto it = entries_.find(KeyView{name, type});
   if (it != entries_.end()) {
     it->second.entry = std::move(entry);
     touch(it->second);
     return;
   }
-  lru_.push_front(key);
-  entries_.emplace(key, Node{std::move(entry), lru_.begin()});
+  lru_.push_front(Key{name, type});
+  entries_.emplace(lru_.front(), Node{std::move(entry), lru_.begin()});
   enforce_capacity();
 }
 
@@ -62,10 +61,9 @@ void Cache::clear() {
   lru_.clear();
 }
 
-std::optional<std::vector<ResourceRecord>> Cache::lookup(const DnsName& name,
-                                                         RRType type,
-                                                         SimTime now) const {
-  auto it = entries_.find(Key{name, type});
+std::optional<EntryRef> Cache::lookup_ref(const DnsName& name, RRType type,
+                                          SimTime now) const {
+  auto it = entries_.find(KeyView{name, type});
   if (it == entries_.end() || expired(it->second.entry, now)) {
     ++misses_;
     return std::nullopt;
@@ -73,19 +71,16 @@ std::optional<std::vector<ResourceRecord>> Cache::lookup(const DnsName& name,
   ++hits_;
   touch(it->second);
   const CacheEntry& entry = it->second.entry;
-  const SimTime age_s = (now - entry.inserted_at) / kSecond;
-  std::vector<ResourceRecord> out = entry.records;
-  for (auto& rr : out) {
-    rr.ttl = rr.ttl > age_s ? rr.ttl - static_cast<std::uint32_t>(age_s) : 0;
-  }
-  return out;
+  EntryRef ref;
+  ref.records = &entry.records;
+  ref.age_s = static_cast<std::uint32_t>((now - entry.inserted_at) / kSecond);
+  return ref;
 }
 
-std::optional<StaleLookup> Cache::lookup_stale(const DnsName& name,
-                                               RRType type, SimTime now,
-                                               SimTime max_stale,
-                                               std::uint32_t stale_ttl) const {
-  auto it = entries_.find(Key{name, type});
+std::optional<EntryRef> Cache::lookup_stale_ref(const DnsName& name,
+                                                RRType type, SimTime now,
+                                                SimTime max_stale) const {
+  auto it = entries_.find(KeyView{name, type});
   if (it == entries_.end()) {
     ++misses_;
     return std::nullopt;
@@ -94,13 +89,11 @@ std::optional<StaleLookup> Cache::lookup_stale(const DnsName& name,
   if (!expired(entry, now)) {
     ++hits_;
     touch(it->second);
-    const SimTime age_s = (now - entry.inserted_at) / kSecond;
-    StaleLookup result;
-    result.records = entry.records;
-    for (auto& rr : result.records) {
-      rr.ttl = rr.ttl > age_s ? rr.ttl - static_cast<std::uint32_t>(age_s) : 0;
-    }
-    return result;
+    EntryRef ref;
+    ref.records = &entry.records;
+    ref.age_s =
+        static_cast<std::uint32_t>((now - entry.inserted_at) / kSecond);
+    return ref;
   }
   const SimTime expired_at =
       entry.inserted_at + static_cast<SimTime>(entry.original_ttl) * kSecond;
@@ -110,10 +103,40 @@ std::optional<StaleLookup> Cache::lookup_stale(const DnsName& name,
   }
   ++hits_;
   touch(it->second);
+  EntryRef ref;
+  ref.records = &entry.records;
+  ref.stale = true;
+  return ref;
+}
+
+std::optional<std::vector<ResourceRecord>> Cache::lookup(const DnsName& name,
+                                                         RRType type,
+                                                         SimTime now) const {
+  auto ref = lookup_ref(name, type, now);
+  if (!ref) return std::nullopt;
+  std::vector<ResourceRecord> out = *ref->records;
+  for (auto& rr : out) {
+    rr.ttl = rr.ttl > ref->age_s ? rr.ttl - ref->age_s : 0;
+  }
+  return out;
+}
+
+std::optional<StaleLookup> Cache::lookup_stale(const DnsName& name,
+                                               RRType type, SimTime now,
+                                               SimTime max_stale,
+                                               std::uint32_t stale_ttl) const {
+  auto ref = lookup_stale_ref(name, type, now, max_stale);
+  if (!ref) return std::nullopt;
   StaleLookup result;
-  result.stale = true;
-  result.records = entry.records;
-  for (auto& rr : result.records) rr.ttl = stale_ttl;
+  result.stale = ref->stale;
+  result.records = *ref->records;
+  if (ref->stale) {
+    for (auto& rr : result.records) rr.ttl = stale_ttl;
+  } else {
+    for (auto& rr : result.records) {
+      rr.ttl = rr.ttl > ref->age_s ? rr.ttl - ref->age_s : 0;
+    }
+  }
   return result;
 }
 

@@ -7,12 +7,18 @@
 // sustained traffic needs. It also supports RFC 8767 serve-stale lookups:
 // an expired entry can still be returned (with clamped TTLs) for a bounded
 // staleness window, leaving the refresh policy to the caller.
+//
+// Storage is a hash map keyed on the name's flat wire-form labels, with
+// transparent hash/equality so lookups take the (name, type) pair by
+// reference: a cache hit performs no heap allocation — callers on hot paths
+// use lookup_ref()/lookup_stale_ref(), which hand back a pointer into the
+// entry instead of a TTL-adjusted copy.
 #pragma once
 
 #include <cstdint>
 #include <list>
-#include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "dns/message.h"
@@ -32,6 +38,17 @@ struct StaleLookup {
   std::vector<ResourceRecord> records;
   /// True when the entry had expired and the records carry the clamped
   /// stale TTL instead of a decayed one.
+  bool stale = false;
+};
+
+/// A zero-copy cache hit: `records` points into the cache entry and stays
+/// valid until the next insert/eviction. Record TTLs are the *original*
+/// ones; subtract `age_s` (fresh hits) or clamp to the stale TTL (stale
+/// hits) when materializing an answer.
+struct EntryRef {
+  const std::vector<ResourceRecord>* records = nullptr;
+  /// Whole seconds since insertion (0 for stale hits — use the stale TTL).
+  std::uint32_t age_s = 0;
   bool stale = false;
 };
 
@@ -58,6 +75,17 @@ class Cache {
                                           SimTime now, SimTime max_stale,
                                           std::uint32_t stale_ttl = 30) const;
 
+  /// Allocation-free variant of lookup(): a hit returns a reference into
+  /// the entry (valid until the next mutation) instead of copying records.
+  std::optional<EntryRef> lookup_ref(const DnsName& name, RRType type,
+                                     SimTime now) const;
+
+  /// Allocation-free variant of lookup_stale(). Stale hits have age_s == 0
+  /// and stale == true; the caller stamps its own stale TTL.
+  std::optional<EntryRef> lookup_stale_ref(const DnsName& name, RRType type,
+                                           SimTime now,
+                                           SimTime max_stale) const;
+
   /// Drops expired entries; returns how many were evicted. Does not count
   /// towards evictions() (which tracks capacity pressure only).
   std::size_t evict_expired(SimTime now);
@@ -76,12 +104,47 @@ class Cache {
   std::uint64_t evictions() const { return evictions_; }
 
  private:
-  using Key = std::pair<DnsName, RRType>;
+  struct Key {
+    DnsName name;
+    RRType type = RRType::kA;
+    bool operator==(const Key&) const = default;
+  };
+  /// Borrowed key for heterogeneous find(): no DnsName copy per lookup.
+  struct KeyView {
+    const DnsName& name;
+    RRType type;
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    static std::size_t mix(const DnsName& name, RRType type) noexcept {
+      return std::hash<DnsName>()(name) ^
+             (static_cast<std::size_t>(type) * 0x9E3779B97F4A7C15ull);
+    }
+    std::size_t operator()(const Key& k) const noexcept {
+      return mix(k.name, k.type);
+    }
+    std::size_t operator()(const KeyView& k) const noexcept {
+      return mix(k.name, k.type);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+    bool operator()(const KeyView& a, const Key& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+    bool operator()(const Key& a, const KeyView& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+  };
   struct Node {
     CacheEntry entry;
     /// Position in lru_ (front = most recently used).
     std::list<Key>::iterator lru;
   };
+  using Map = std::unordered_map<Key, Node, KeyHash, KeyEq>;
 
   bool expired(const CacheEntry& entry, SimTime now) const;
   /// Moves a node to the front of the LRU list.
@@ -89,7 +152,7 @@ class Cache {
   /// Evicts LRU entries until size() <= capacity (no-op when unbounded).
   void enforce_capacity();
 
-  std::map<Key, Node> entries_;
+  Map entries_;
   mutable std::list<Key> lru_;
   std::size_t capacity_ = 0;
   mutable std::uint64_t hits_ = 0;

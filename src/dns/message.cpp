@@ -146,16 +146,13 @@ void write_record(ByteWriter& w, NameCompressor& nc,
   w.bytes(rr.rdata);
 }
 
-std::optional<ResourceRecord> read_record(ByteReader& r) {
-  ResourceRecord rr;
-  auto name = read_name(r);
-  if (!name) return std::nullopt;
-  rr.name = std::move(*name);
+bool read_record_into(ByteReader& r, ResourceRecord& rr) {
+  if (!read_name_into(r, rr.name)) return false;
   auto type = r.u16();
   auto klass = r.u16();
   auto ttl = r.u32();
   auto rdlen = r.u16();
-  if (!type || !klass || !ttl || !rdlen) return std::nullopt;
+  if (!type || !klass || !ttl || !rdlen) return false;
   rr.type = static_cast<RRType>(*type);
   rr.klass_or_udpsize = *klass;
   rr.ttl = *ttl;
@@ -165,20 +162,22 @@ std::optional<ResourceRecord> read_record(ByteReader& r) {
   if (rr.type == RRType::kCNAME || rr.type == RRType::kNS ||
       rr.type == RRType::kPTR) {
     const std::size_t end = r.position() + *rdlen;
-    auto target = read_name(r);
-    if (!target || r.position() > end) return std::nullopt;
-    if (!r.seek(end)) return std::nullopt;
-    ByteWriter w;
-    NameCompressor nc;
-    nc.write(w, *target);
-    rr.rdata = w.take();
-    return rr;
+    DnsName target;
+    if (!read_name_into(r, target) || r.position() > end) return false;
+    if (!r.seek(end)) return false;
+    // Uncompressed name wire form: flat label bytes + terminating zero.
+    const std::string_view labels = target.wire_labels();
+    rr.rdata.clear();
+    rr.rdata.reserve(labels.size() + 1);
+    rr.rdata.insert(rr.rdata.end(), labels.begin(), labels.end());
+    rr.rdata.push_back(0);
+    return true;
   }
 
   auto rdata = r.bytes(*rdlen);
-  if (!rdata) return std::nullopt;
+  if (!rdata) return false;
   rr.rdata.assign(rdata->begin(), rdata->end());
-  return rr;
+  return true;
 }
 
 }  // namespace
@@ -190,10 +189,10 @@ const ResourceRecord* Message::opt() const {
   return nullptr;
 }
 
-std::vector<std::uint8_t> Message::encode() const {
-  // Reserve an uncompressed-size upper bound so the writer never regrows:
-  // 12-byte header, name + type/class per question, name + fixed 10 bytes
-  // (type, class, ttl, rdlength) + rdata per record.
+std::size_t Message::encoded_size_estimate() const {
+  // Uncompressed-size upper bound so writers never regrow: 12-byte header,
+  // name + type/class per question, name + fixed 10 bytes (type, class,
+  // ttl, rdlength) + rdata per record.
   std::size_t estimate = 12;
   for (const Question& q : questions) estimate += q.name.wire_length() + 4;
   for (const auto* section : {&answers, &authorities, &additionals}) {
@@ -201,7 +200,10 @@ std::vector<std::uint8_t> Message::encode() const {
       estimate += rr.name.wire_length() + 10 + rr.rdata.size();
     }
   }
-  ByteWriter w(estimate);
+  return estimate;
+}
+
+void Message::encode_to(ByteWriter& w) const {
   NameCompressor nc;
 
   w.u16(id);
@@ -229,57 +231,70 @@ std::vector<std::uint8_t> Message::encode() const {
   for (const ResourceRecord& rr : answers) write_record(w, nc, rr);
   for (const ResourceRecord& rr : authorities) write_record(w, nc, rr);
   for (const ResourceRecord& rr : additionals) write_record(w, nc, rr);
+}
+
+std::vector<std::uint8_t> Message::encode() const {
+  ByteWriter w(encoded_size_estimate());
+  encode_to(w);
   return w.take();
 }
 
-std::optional<Message> Message::decode(std::span<const std::uint8_t> wire) {
+util::Buffer Message::encode_buffer(std::size_t headroom) const {
+  ByteWriter w = ByteWriter::pooled(encoded_size_estimate(), headroom);
+  encode_to(w);
+  return w.take_buffer();
+}
+
+bool Message::decode_into(std::span<const std::uint8_t> wire, Message& out) {
   ByteReader r(wire);
-  Message m;
   auto id = r.u16();
   auto flags = r.u16();
   auto qd = r.u16();
   auto an = r.u16();
   auto ns = r.u16();
   auto ar = r.u16();
-  if (!id || !flags || !qd || !an || !ns || !ar) return std::nullopt;
+  if (!id || !flags || !qd || !an || !ns || !ar) return false;
 
-  m.id = *id;
-  m.qr = (*flags & 0x8000) != 0;
-  m.opcode = static_cast<Opcode>((*flags >> 11) & 0x0F);
-  m.aa = (*flags & 0x0400) != 0;
-  m.tc = (*flags & 0x0200) != 0;
-  m.rd = (*flags & 0x0100) != 0;
-  m.ra = (*flags & 0x0080) != 0;
-  m.ad = (*flags & 0x0020) != 0;
-  m.cd = (*flags & 0x0010) != 0;
-  m.rcode = static_cast<RCode>(*flags & 0x0F);
+  out.id = *id;
+  out.qr = (*flags & 0x8000) != 0;
+  out.opcode = static_cast<Opcode>((*flags >> 11) & 0x0F);
+  out.aa = (*flags & 0x0400) != 0;
+  out.tc = (*flags & 0x0200) != 0;
+  out.rd = (*flags & 0x0100) != 0;
+  out.ra = (*flags & 0x0080) != 0;
+  out.ad = (*flags & 0x0020) != 0;
+  out.cd = (*flags & 0x0010) != 0;
+  out.rcode = static_cast<RCode>(*flags & 0x0F);
 
-  for (int i = 0; i < *qd; ++i) {
-    Question q;
-    auto name = read_name(r);
+  // resize + element-wise overwrite reuses each element's name and rdata
+  // capacity across decodes — no allocations once the message is warm.
+  out.questions.resize(*qd);
+  for (Question& q : out.questions) {
+    if (!read_name_into(r, q.name)) return false;
     auto type = r.u16();
     auto klass = r.u16();
-    if (!name || !type || !klass) return std::nullopt;
-    q.name = std::move(*name);
+    if (!type || !klass) return false;
     q.type = static_cast<RRType>(*type);
     q.klass = static_cast<RRClass>(*klass);
-    m.questions.push_back(std::move(q));
   }
-  for (int i = 0; i < *an; ++i) {
-    auto rr = read_record(r);
-    if (!rr) return std::nullopt;
-    m.answers.push_back(std::move(*rr));
+  out.answers.resize(*an);
+  for (ResourceRecord& rr : out.answers) {
+    if (!read_record_into(r, rr)) return false;
   }
-  for (int i = 0; i < *ns; ++i) {
-    auto rr = read_record(r);
-    if (!rr) return std::nullopt;
-    m.authorities.push_back(std::move(*rr));
+  out.authorities.resize(*ns);
+  for (ResourceRecord& rr : out.authorities) {
+    if (!read_record_into(r, rr)) return false;
   }
-  for (int i = 0; i < *ar; ++i) {
-    auto rr = read_record(r);
-    if (!rr) return std::nullopt;
-    m.additionals.push_back(std::move(*rr));
+  out.additionals.resize(*ar);
+  for (ResourceRecord& rr : out.additionals) {
+    if (!read_record_into(r, rr)) return false;
   }
+  return true;
+}
+
+std::optional<Message> Message::decode(std::span<const std::uint8_t> wire) {
+  Message m;
+  if (!decode_into(wire, m)) return std::nullopt;
   return m;
 }
 

@@ -99,8 +99,18 @@ struct Message {
   /// Encodes to wire format with name compression.
   std::vector<std::uint8_t> encode() const;
 
+  /// Encodes into a pooled buffer with `headroom` bytes reserved in front
+  /// so outer layers (DoT length prefix, TLS record, H2 frame) can prepend
+  /// their framing in place. Byte-identical to encode().
+  util::Buffer encode_buffer(std::size_t headroom = 0) const;
+
   /// Decodes from wire format; nullopt on malformed input.
   static std::optional<Message> decode(std::span<const std::uint8_t> wire);
+
+  /// Decodes into `out`, reusing its section/name/rdata storage — the
+  /// steady-state allocation-free path. `out` is fully overwritten on
+  /// success and unspecified on failure. Returns false on malformed input.
+  static bool decode_into(std::span<const std::uint8_t> wire, Message& out);
 
   /// Convenience: the first question, if any.
   const Question* question() const {
@@ -111,6 +121,12 @@ struct Message {
   const ResourceRecord* opt() const;
 
   bool operator==(const Message&) const = default;
+
+ private:
+  /// Uncompressed-size upper bound (writers reserve this and never regrow).
+  std::size_t encoded_size_estimate() const;
+  /// Shared encoder behind encode()/encode_buffer().
+  void encode_to(ByteWriter& w) const;
 };
 
 /// Builds a standard recursive query for (name, type) with EDNS0 and an

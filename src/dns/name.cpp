@@ -6,121 +6,184 @@
 
 namespace doxlab::dns {
 
+namespace {
+
+char lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + ('a' - 'A')) : c;
+}
+
+/// Appends one length-prefixed lowercased label; throws on invalid size.
+void append_label(std::string& wire, std::string_view label) {
+  if (label.empty()) throw std::invalid_argument("empty DNS label");
+  if (label.size() > 63) throw std::invalid_argument("DNS label > 63 octets");
+  wire.push_back(static_cast<char>(label.size()));
+  for (char c : label) wire.push_back(lower(c));
+}
+
+}  // namespace
+
 DnsName DnsName::parse(std::string_view text) {
   DnsName name;
   if (text.empty() || text == ".") return name;
   if (text.back() == '.') text.remove_suffix(1);
 
-  std::size_t total = 1;  // terminating zero octet
-  for (const std::string& raw : split(text, '.')) {
-    if (raw.empty()) throw std::invalid_argument("empty DNS label");
-    if (raw.size() > 63) throw std::invalid_argument("DNS label > 63 octets");
-    total += 1 + raw.size();
-    name.labels_.push_back(to_lower(raw));
+  name.wire_.reserve(text.size() + 1);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t dot = text.find('.', start);
+    const std::size_t end = dot == std::string_view::npos ? text.size() : dot;
+    append_label(name.wire_, text.substr(start, end - start));
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
   }
-  if (total > 255) throw std::invalid_argument("DNS name > 255 octets");
+  if (name.wire_.size() + 1 > 255) {
+    throw std::invalid_argument("DNS name > 255 octets");
+  }
   return name;
 }
 
-DnsName DnsName::from_labels(std::vector<std::string> labels) {
+DnsName DnsName::from_labels(const std::vector<std::string>& labels) {
   DnsName name;
-  std::size_t total = 1;
-  for (std::string& label : labels) {
-    if (label.empty()) throw std::invalid_argument("empty DNS label");
-    if (label.size() > 63) throw std::invalid_argument("DNS label > 63");
-    total += 1 + label.size();
-    label = to_lower(label);
+  for (const std::string& label : labels) append_label(name.wire_, label);
+  if (name.wire_.size() + 1 > 255) {
+    throw std::invalid_argument("DNS name > 255 octets");
   }
-  if (total > 255) throw std::invalid_argument("DNS name > 255 octets");
-  name.labels_ = std::move(labels);
   return name;
+}
+
+std::vector<std::string> DnsName::labels() const {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < wire_.size()) {
+    const std::size_t len = static_cast<std::uint8_t>(wire_[pos]);
+    out.emplace_back(wire_, pos + 1, len);
+    pos += 1 + len;
+  }
+  return out;
+}
+
+std::size_t DnsName::label_count() const {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (pos < wire_.size()) {
+    ++count;
+    pos += 1 + static_cast<std::uint8_t>(wire_[pos]);
+  }
+  return count;
 }
 
 std::string DnsName::to_string() const {
-  if (labels_.empty()) return ".";
-  return join(labels_, ".");
-}
-
-std::size_t DnsName::wire_length() const {
-  std::size_t len = 1;
-  for (const auto& label : labels_) len += 1 + label.size();
-  return len;
+  if (wire_.empty()) return ".";
+  std::string out;
+  out.reserve(wire_.size());
+  std::size_t pos = 0;
+  while (pos < wire_.size()) {
+    const std::size_t len = static_cast<std::uint8_t>(wire_[pos]);
+    if (pos > 0) out.push_back('.');
+    out.append(wire_, pos + 1, len);
+    pos += 1 + len;
+  }
+  return out;
 }
 
 bool DnsName::is_subdomain_of(const DnsName& other) const {
-  if (other.labels_.size() > labels_.size()) return false;
-  auto it = labels_.end() - static_cast<std::ptrdiff_t>(other.labels_.size());
-  return std::equal(it, labels_.end(), other.labels_.begin());
+  if (other.wire_.size() > wire_.size()) return false;
+  const std::size_t split = wire_.size() - other.wire_.size();
+  if (std::string_view(wire_).substr(split) != other.wire_) return false;
+  // A byte-level suffix match only counts when it starts on a label
+  // boundary (label bytes may themselves contain length-like values).
+  std::size_t pos = 0;
+  while (pos < split) pos += 1 + static_cast<std::uint8_t>(wire_[pos]);
+  return pos == split;
 }
 
 DnsName DnsName::parent() const {
   DnsName p;
-  p.labels_.assign(labels_.begin() + 1, labels_.end());
+  p.wire_ = wire_.substr(1 + static_cast<std::uint8_t>(wire_[0]));
   return p;
 }
 
+const NameCompressor::Entry* NameCompressor::find(
+    std::string_view suffix) const {
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (inline_[i].suffix == suffix) return &inline_[i];
+  }
+  for (const Entry& e : overflow_) {
+    if (e.suffix == suffix) return &e;
+  }
+  return nullptr;
+}
+
+void NameCompressor::remember(std::string_view suffix, std::uint16_t offset) {
+  if (count_ < inline_.size()) {
+    inline_[count_++] = Entry{suffix, offset};
+  } else {
+    overflow_.push_back(Entry{suffix, offset});
+  }
+}
+
 void NameCompressor::write(ByteWriter& writer, const DnsName& name) {
-  const auto& labels = name.labels();
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    // Presentation form of the suffix starting at label i.
-    std::string suffix;
-    for (std::size_t j = i; j < labels.size(); ++j) {
-      if (j > i) suffix.push_back('.');
-      suffix.append(labels[j]);
-    }
-    auto it = offsets_.find(suffix);
-    if (it != offsets_.end()) {
-      writer.u16(static_cast<std::uint16_t>(0xC000 | it->second));
+  const std::string_view wire = name.wire_labels();
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const std::string_view suffix = wire.substr(pos);
+    if (const Entry* hit = find(suffix)) {
+      writer.u16(static_cast<std::uint16_t>(0xC000 | hit->offset));
       return;
     }
     // Pointers can only address the first 16KiB - and the top two bits are
     // the pointer tag - so only record offsets that fit in 14 bits.
     if (writer.size() < 0x3FFF) {
-      offsets_.emplace(std::move(suffix),
-                       static_cast<std::uint16_t>(writer.size()));
+      remember(suffix, static_cast<std::uint16_t>(writer.size()));
     }
-    writer.u8(static_cast<std::uint8_t>(labels[i].size()));
-    writer.bytes(labels[i]);
+    const std::size_t label_len = static_cast<std::uint8_t>(wire[pos]);
+    writer.u8(static_cast<std::uint8_t>(label_len));
+    writer.bytes(wire.substr(pos, 1 + label_len).substr(1));
+    pos += 1 + label_len;
   }
   writer.u8(0);
 }
 
-std::optional<DnsName> read_name(ByteReader& reader) {
-  DnsName name;
-  std::vector<std::string> labels;
-  std::size_t total = 1;
+bool read_name_into(ByteReader& reader, DnsName& out) {
+  std::string& wire = out.wire_;
+  wire.clear();
   int pointer_hops = 0;
   std::optional<std::size_t> resume_at;  // position after the first pointer
 
   while (true) {
     auto len = reader.u8();
-    if (!len) return std::nullopt;
+    if (!len) return false;
     if ((*len & 0xC0) == 0xC0) {
       // Compression pointer: 14-bit absolute offset.
       auto low = reader.u8();
-      if (!low) return std::nullopt;
+      if (!low) return false;
       const std::size_t target =
           (static_cast<std::size_t>(*len & 0x3F) << 8) | *low;
       if (!resume_at) resume_at = reader.position();
       // Require strictly backward pointers; combined with the hop limit this
       // rules out loops.
-      if (target >= reader.position() - 2) return std::nullopt;
-      if (++pointer_hops > 32) return std::nullopt;
-      if (!reader.seek(target)) return std::nullopt;
+      if (target >= reader.position() - 2) return false;
+      if (++pointer_hops > 32) return false;
+      if (!reader.seek(target)) return false;
       continue;
     }
-    if ((*len & 0xC0) != 0) return std::nullopt;  // reserved tags 01/10
+    if ((*len & 0xC0) != 0) return false;  // reserved tags 01/10
     if (*len == 0) break;
-    auto label = reader.string(*len);
-    if (!label) return std::nullopt;
-    total += 1 + label->size();
-    if (total > 255) return std::nullopt;
-    labels.push_back(to_lower(*label));
+    auto label = reader.bytes(*len);
+    if (!label) return false;
+    if (wire.size() + 1 + label->size() + 1 > 255) return false;
+    wire.push_back(static_cast<char>(*len));
+    for (std::uint8_t c : *label) wire.push_back(lower(static_cast<char>(c)));
   }
 
   if (resume_at) reader.seek(*resume_at);
-  if (labels.empty()) return DnsName::root();
-  return DnsName::from_labels(std::move(labels));
+  return true;
+}
+
+std::optional<DnsName> read_name(ByteReader& reader) {
+  DnsName name;
+  if (!read_name_into(reader, name)) return std::nullopt;
+  return name;
 }
 
 }  // namespace doxlab::dns

@@ -101,12 +101,11 @@ class DohTransport final : public TransportBase {
     std::weak_ptr<ConnState> weak_state = state;
     tls::TlsSession::Callbacks tls_callbacks;
     tls_callbacks.now = [this] { return sim().now(); };
-    tls_callbacks.send_transport =
-        [weak_state](std::vector<std::uint8_t> bytes) {
-          auto state = weak_state.lock();
-          if (!state) return;
-          if (!state->closed) state->conn->send(std::move(bytes));
-        };
+    tls_callbacks.send_transport = [weak_state](util::Buffer bytes) {
+      auto state = weak_state.lock();
+      if (!state) return;
+      if (!state->closed) state->conn->send(std::move(bytes));
+    };
     tls_callbacks.on_handshake_complete =
         [this, weak_state, guard = alive_guard()](
             const tls::HandshakeInfo& info) {
@@ -139,17 +138,16 @@ class DohTransport final : public TransportBase {
     h2::H2Connection::Callbacks h2_callbacks;
     // Until the TLS client has started, H2 output accumulates so it can be
     // offered as 0-RTT early data in the first flight.
-    h2_callbacks.send_transport =
-        [weak_state](std::vector<std::uint8_t> bytes) {
-          auto state = weak_state.lock();
-          if (!state) return;
-          if (!state->tls_started) {
-            state->early_buffer.insert(state->early_buffer.end(),
-                                       bytes.begin(), bytes.end());
-            return;
-          }
-          state->tls->send_application_data(std::move(bytes));
-        };
+    h2_callbacks.send_transport = [weak_state](util::Buffer bytes) {
+      auto state = weak_state.lock();
+      if (!state) return;
+      if (!state->tls_started) {
+        state->early_buffer.insert(state->early_buffer.end(), bytes.data(),
+                                   bytes.data() + bytes.size());
+        return;
+      }
+      state->tls->send_application_data(std::move(bytes));
+    };
     h2_callbacks.on_headers = [this, weak_state, guard = alive_guard()](
                                   std::uint32_t stream_id,
                                   const std::vector<h2::Header>& hs,
@@ -243,7 +241,9 @@ class DohTransport final : public TransportBase {
 
   void send_request(const PendingPtr& pending) {
     dns::Message query = build_query(pending, /*encrypted=*/true);
-    auto body = query.encode();
+    // One slab end to end: the H2 DATA frame header and TLS record header
+    // are prepended into the body's headroom in place.
+    util::Buffer body = query.encode_buffer(kDohHeadroom);
     std::vector<h2::Header> headers = {
         {":method", "POST"},
         {":scheme", "https"},

@@ -123,7 +123,7 @@ class DoqTransport final : public TransportBase {
     std::weak_ptr<ConnState> weak_state = state;
     quic::QuicConnection::Callbacks callbacks;
     callbacks.send_datagram = [this, weak_state, guard = alive_guard()](
-                                  std::vector<std::uint8_t> bytes) {
+                                  util::Buffer bytes) {
       if (guard.expired()) return;
       auto state = weak_state.lock();
       if (!state) return;
@@ -174,7 +174,7 @@ class DoqTransport final : public TransportBase {
                                                     std::move(callbacks));
     state->socket->on_datagram(
         [conn = state->conn](const net::Endpoint&,
-                             std::vector<std::uint8_t> payload) {
+                             util::Buffer payload) {
           conn->on_datagram(payload);
         });
 

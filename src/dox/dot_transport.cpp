@@ -105,7 +105,7 @@ class DotTransport final : public TransportBase {
     std::weak_ptr<ConnState> weak_state = state;
     tls::TlsSession::Callbacks callbacks;
     callbacks.now = [this] { return sim().now(); };
-    callbacks.send_transport = [weak_state](std::vector<std::uint8_t> bytes) {
+    callbacks.send_transport = [weak_state](util::Buffer bytes) {
       auto state = weak_state.lock();
       if (!state) return;
       if (!state->closed) state->conn->send(std::move(bytes));
@@ -203,7 +203,10 @@ class DotTransport final : public TransportBase {
 
   void send_query(const StatePtr& state, const PendingPtr& pending) {
     dns::Message query = build_query(pending, /*encrypted=*/true);
-    state->tls->send_application_data(length_prefixed(query.encode()));
+    // One slab end to end: the message encodes once, then the length
+    // prefix and TLS record header are prepended into its headroom.
+    state->tls->send_application_data(
+        length_prefixed(query.encode_buffer(kDotHeadroom)));
     if (pending->query_sent_at < 0) pending->query_sent_at = sim().now();
     // Carry protocol facts even on reused sessions.
     if (!pending->result.tls_version && state->info) {

@@ -70,6 +70,14 @@ std::vector<std::uint8_t> length_prefixed(const std::vector<std::uint8_t>& m) {
   return out;
 }
 
+util::Buffer length_prefixed(util::Buffer m) {
+  const std::size_t len = m.size();
+  std::uint8_t* prefix = m.prepend(2);
+  prefix[0] = static_cast<std::uint8_t>(len >> 8);
+  prefix[1] = static_cast<std::uint8_t>(len & 0xFF);
+  return m;
+}
+
 std::vector<std::vector<std::uint8_t>> StreamMessageReader::feed(
     std::span<const std::uint8_t> data) {
   buffer_.insert(buffer_.end(), data.begin(), data.end());

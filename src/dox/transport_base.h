@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "dox/transport.h"
+#include "util/buffer.h"
 #include "util/logging.h"
 
 namespace doxlab::dox {
@@ -122,6 +123,18 @@ class TransportBase : public DnsTransport {
 
 /// Adds a 2-byte length prefix (DNS over stream transports, RFC 1035 §4.2.2).
 std::vector<std::uint8_t> length_prefixed(const std::vector<std::uint8_t>& m);
+
+/// In-place variant: the prefix goes into `m`'s headroom (encode messages
+/// with at least 2 bytes of headroom to stay copy-free).
+util::Buffer length_prefixed(util::Buffer m);
+
+/// Headroom for a DoT query buffer: 2-byte length prefix + 5-byte TLS
+/// record header, both prepended in place on the way down the stack.
+inline constexpr std::size_t kDotHeadroom = 2 + 5;
+
+/// Headroom for a DoH body buffer: 9-byte H2 frame header + 5-byte TLS
+/// record header.
+inline constexpr std::size_t kDohHeadroom = 9 + 5;
 
 /// Incremental parser for length-prefixed DNS messages on a byte stream.
 class StreamMessageReader {

@@ -46,7 +46,7 @@ class UdpTransport final : public TransportBase {
     if (socket_) return;
     socket_ = deps_.udp->bind_ephemeral();
     socket_->on_datagram([this](const net::Endpoint& from,
-                                std::vector<std::uint8_t> payload) {
+                                util::Buffer payload) {
       on_datagram(from, std::move(payload));
     });
   }
@@ -79,7 +79,7 @@ class UdpTransport final : public TransportBase {
   }
 
   void on_datagram(const net::Endpoint& from,
-                   std::vector<std::uint8_t> payload) {
+                   util::Buffer payload) {
     if (from != options_.resolver) return;
     bytes_received_ += payload.size() + net::kUdpHeaderBytes;
     auto message = dns::Message::decode(payload);

@@ -15,7 +15,7 @@ ForwarderEngine::ForwarderEngine(sim::Simulator& sim,
   cache_.set_capacity(config_.cache_capacity);
   listener_ = stub_udp.bind(config_.listen_port);
   listener_->on_datagram([this](const net::Endpoint& from,
-                                std::vector<std::uint8_t> payload) {
+                                util::Buffer payload) {
     on_stub_query(from, std::move(payload));
   });
 }
@@ -32,39 +32,63 @@ std::vector<dns::ResourceRecord> ForwarderEngine::clamp_ttls(
   return records;
 }
 
-void ForwarderEngine::answer(const Waiter& waiter,
-                             const dns::Question& question,
-                             std::vector<dns::ResourceRecord> records) {
-  dns::Message response;
+void ForwarderEngine::send_response(const Waiter& waiter,
+                                    const dns::Question& question,
+                                    dns::RCode rcode) {
+  dns::Message& response = scratch_response_;
   response.id = waiter.stub_id;
   response.qr = true;
   response.ra = true;
-  response.questions = {question};
-  response.answers = std::move(records);
-  listener_->send_to(waiter.from, response.encode());
+  response.rcode = rcode;
+  // Copy-assign into retained storage: after warm-up neither the question
+  // slot nor the pooled encode buffer allocates.
+  response.questions.resize(1);
+  response.questions[0] = question;
+  response.authorities.clear();
+  response.additionals.clear();
+  listener_->send_to(waiter.from, response.encode_buffer());
   latency_ms_.push_back(to_ms(sim_.now() - waiter.arrived));
+}
+
+void ForwarderEngine::answer(const Waiter& waiter,
+                             const dns::Question& question,
+                             std::vector<dns::ResourceRecord> records) {
+  scratch_response_.answers = std::move(records);
+  send_response(waiter, question, dns::RCode::kNoError);
+}
+
+void ForwarderEngine::answer_cached(const Waiter& waiter,
+                                    const dns::Question& question,
+                                    const dns::EntryRef& found) {
+  std::vector<dns::ResourceRecord>& answers = scratch_response_.answers;
+  answers = *found.records;
+  if (found.stale) {
+    for (auto& rr : answers) rr.ttl = config_.stale_ttl;
+  } else if (found.age_s > 0) {
+    for (auto& rr : answers) {
+      rr.ttl = rr.ttl > found.age_s ? rr.ttl - found.age_s : 0;
+    }
+  }
+  send_response(waiter, question, dns::RCode::kNoError);
 }
 
 void ForwarderEngine::answer_servfail(const Waiter& waiter,
                                       const dns::Question& question) {
   ++servfails_sent_;
-  dns::Message servfail;
-  servfail.id = waiter.stub_id;
-  servfail.qr = true;
-  servfail.ra = true;
-  servfail.rcode = dns::RCode::kServFail;
-  servfail.questions = {question};
-  listener_->send_to(waiter.from, servfail.encode());
-  latency_ms_.push_back(to_ms(sim_.now() - waiter.arrived));
+  scratch_response_.answers.clear();
+  send_response(waiter, question, dns::RCode::kServFail);
 }
 
 void ForwarderEngine::on_stub_query(const net::Endpoint& from,
-                                    std::vector<std::uint8_t> payload) {
-  auto query = dns::Message::decode(payload);
-  if (!query || query->qr || query->questions.empty()) return;
-  const dns::Question question = query->questions.front();
-  const Key key{question.name, question.type};
-  const Waiter waiter{from, query->id, sim_.now()};
+                                    util::Buffer payload) {
+  // Decode into the reusable scratch message: label/rdata storage is
+  // retained across queries, so the steady-state path allocates nothing.
+  if (!dns::Message::decode_into(payload, scratch_query_)) return;
+  const dns::Message& query = scratch_query_;
+  if (query.qr || query.questions.empty()) return;
+  const dns::Question& question = query.questions.front();
+  const KeyView key_view{question.name, question.type};
+  const Waiter waiter{from, query.id, sim_.now()};
 
   ++queries_;
   if (first_query_at_ < 0) first_query_at_ = sim_.now();
@@ -72,34 +96,36 @@ void ForwarderEngine::on_stub_query(const net::Endpoint& from,
 
   if (config_.cache_enabled) {
     if (config_.serve_stale) {
-      if (auto found = cache_.lookup_stale(question.name, question.type,
-                                           sim_.now(), config_.max_stale,
-                                           config_.stale_ttl)) {
+      if (auto found = cache_.lookup_stale_ref(question.name, question.type,
+                                               sim_.now(),
+                                               config_.max_stale)) {
         if (!found->stale) {
           ++cache_hits_;
-          answer(waiter, question, std::move(found->records));
+          answer_cached(waiter, question, *found);
           return;
         }
         // RFC 8767: answer stale immediately, refresh in the background.
         ++stale_hits_;
-        answer(waiter, question, std::move(found->records));
-        if (inflight_.find(key) == inflight_.end()) {
+        answer_cached(waiter, question, *found);
+        if (inflight_.find(key_view) == inflight_.end()) {
           ++stale_refreshes_;
-          inflight_[key];  // refresh entry with no waiters
-          start_resolve(key, question);
+          // Refresh entry with no waiters.
+          auto [it, inserted] =
+              inflight_.try_emplace(Key{question.name, question.type});
+          start_resolve(it->first, question);
         }
         return;
       }
-    } else if (auto cached = cache_.lookup(question.name, question.type,
-                                           sim_.now())) {
+    } else if (auto found = cache_.lookup_ref(question.name, question.type,
+                                              sim_.now())) {
       ++cache_hits_;
-      answer(waiter, question, std::move(*cached));
+      answer_cached(waiter, question, *found);
       return;
     }
   }
 
   if (config_.coalesce) {
-    auto it = inflight_.find(key);
+    auto it = inflight_.find(key_view);
     if (it != inflight_.end()) {
       ++coalesced_;
       it->second.waiters.push_back(waiter);
@@ -115,8 +141,10 @@ void ForwarderEngine::on_stub_query(const net::Endpoint& from,
     });
     return;
   }
-  inflight_[key].waiters.push_back(waiter);
-  start_resolve(key, question);
+  auto [it, inserted] =
+      inflight_.try_emplace(Key{question.name, question.type});
+  it->second.waiters.push_back(waiter);
+  start_resolve(it->first, question);
 }
 
 void ForwarderEngine::start_resolve(const Key& key,

@@ -19,8 +19,8 @@
 //     percentile reporting through src/stats.
 #pragma once
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "dns/cache.h"
@@ -106,7 +106,43 @@ class ForwarderEngine {
   double observed_qps() const;
 
  private:
-  using Key = std::pair<dns::DnsName, dns::RRType>;
+  struct Key {
+    dns::DnsName name;
+    dns::RRType type = dns::RRType::kA;
+    bool operator==(const Key&) const = default;
+  };
+  /// Borrowed key so the steady-state paths never copy a DnsName just to
+  /// probe the in-flight table.
+  struct KeyView {
+    const dns::DnsName& name;
+    dns::RRType type;
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    static std::size_t mix(const dns::DnsName& name,
+                           dns::RRType type) noexcept {
+      return std::hash<dns::DnsName>()(name) ^
+             (static_cast<std::size_t>(type) * 0x9E3779B97F4A7C15ull);
+    }
+    std::size_t operator()(const Key& k) const noexcept {
+      return mix(k.name, k.type);
+    }
+    std::size_t operator()(const KeyView& k) const noexcept {
+      return mix(k.name, k.type);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+    bool operator()(const KeyView& a, const Key& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+    bool operator()(const Key& a, const KeyView& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+  };
 
   struct Waiter {
     net::Endpoint from;
@@ -118,10 +154,19 @@ class ForwarderEngine {
   };
 
   void on_stub_query(const net::Endpoint& from,
-                     std::vector<std::uint8_t> payload);
+                     util::Buffer payload);
   void answer(const Waiter& waiter, const dns::Question& question,
               std::vector<dns::ResourceRecord> records);
+  /// Allocation-lean answer straight from a cache hit: records are copied
+  /// into the reusable scratch response (capacity is retained across
+  /// queries) with TTLs decayed/clamped in place.
+  void answer_cached(const Waiter& waiter, const dns::Question& question,
+                     const dns::EntryRef& found);
   void answer_servfail(const Waiter& waiter, const dns::Question& question);
+  /// Stamps header flags on the scratch response and ships it as one pooled
+  /// buffer.
+  void send_response(const Waiter& waiter, const dns::Question& question,
+                     dns::RCode rcode);
   /// Starts an upstream resolve for `key` (coalescing point).
   void start_resolve(const Key& key, const dns::Question& question);
   void on_upstream_result(const Key& key, const dns::Question& question,
@@ -138,7 +183,12 @@ class ForwarderEngine {
   std::unique_ptr<net::UdpSocket> listener_;
   UpstreamPool pool_;
   dns::Cache cache_;
-  std::map<Key, InFlight> inflight_;
+  std::unordered_map<Key, InFlight, KeyHash, KeyEq> inflight_;
+  /// Reusable decode/encode scratch: the cached-answer hot path re-decodes
+  /// into and re-encodes from these, so their string/vector storage reaches
+  /// a high-water mark and steady-state queries allocate nothing.
+  dns::Message scratch_query_;
+  dns::Message scratch_response_;
 
   std::uint64_t queries_ = 0;
   std::uint64_t cache_hits_ = 0;

@@ -16,7 +16,7 @@ LoadGenerator::LoadGenerator(sim::Simulator& sim, net::UdpStack& udp,
     auto client = std::make_unique<Client>();
     client->socket = udp.bind_ephemeral();
     client->socket->on_datagram([this, i](const net::Endpoint&,
-                                          std::vector<std::uint8_t> payload) {
+                                          util::Buffer payload) {
       auto response = dns::Message::decode(payload);
       if (!response || !response->qr) return;
       Client& c = *clients_[i];

@@ -14,22 +14,40 @@ void H2Connection::fail(const std::string& reason) {
   if (cb_.on_error) cb_.on_error(reason);
 }
 
+namespace {
+/// Front room left on every frame buffer so the DoH layer can seal the TLS
+/// record header in place.
+constexpr std::size_t kSendHeadroom = 5;
+}  // namespace
+
 void H2Connection::send_frame(H2FrameType type, std::uint8_t flags,
                               std::uint32_t stream_id,
                               std::span<const std::uint8_t> payload) {
-  ByteWriter w(kFrameHeaderBytes + payload.size());
-  w.u8(static_cast<std::uint8_t>((payload.size() >> 16) & 0xFF));
-  w.u16(static_cast<std::uint16_t>(payload.size() & 0xFFFF));
-  w.u8(static_cast<std::uint8_t>(type));
-  w.u8(flags);
-  w.u32(stream_id & 0x7FFFFFFF);
-  w.bytes(payload);
-  if (cb_.send_transport) cb_.send_transport(w.take());
+  send_frame(type, flags, stream_id,
+             util::Buffer::copy_of(payload, kFrameHeaderBytes + kSendHeadroom));
+}
+
+void H2Connection::send_frame(H2FrameType type, std::uint8_t flags,
+                              std::uint32_t stream_id, util::Buffer payload) {
+  const std::size_t length = payload.size();
+  std::uint8_t* h = payload.prepend(kFrameHeaderBytes);
+  h[0] = static_cast<std::uint8_t>((length >> 16) & 0xFF);
+  h[1] = static_cast<std::uint8_t>((length >> 8) & 0xFF);
+  h[2] = static_cast<std::uint8_t>(length & 0xFF);
+  h[3] = static_cast<std::uint8_t>(type);
+  h[4] = flags;
+  const std::uint32_t id = stream_id & 0x7FFFFFFF;
+  h[5] = static_cast<std::uint8_t>(id >> 24);
+  h[6] = static_cast<std::uint8_t>(id >> 16);
+  h[7] = static_cast<std::uint8_t>(id >> 8);
+  h[8] = static_cast<std::uint8_t>(id);
+  if (cb_.send_transport) cb_.send_transport(std::move(payload));
 }
 
 void H2Connection::send_settings(bool ack) {
   if (ack) {
-    send_frame(H2FrameType::kSettings, /*flags=*/0x1, 0, {});
+    send_frame(H2FrameType::kSettings, /*flags=*/0x1, 0,
+               std::span<const std::uint8_t>{});
     return;
   }
   // Three settings (MAX_CONCURRENT_STREAMS, INITIAL_WINDOW_SIZE,
@@ -49,8 +67,10 @@ void H2Connection::start() {
   if (started_ || !is_client_) return;
   started_ = true;
   if (cb_.send_transport) {
-    cb_.send_transport(std::vector<std::uint8_t>(kClientPreface.begin(),
-                                                 kClientPreface.end()));
+    cb_.send_transport(util::Buffer::copy_of(
+        std::span(reinterpret_cast<const std::uint8_t*>(kClientPreface.data()),
+                  kClientPreface.size()),
+        kSendHeadroom));
   }
   send_settings(/*ack=*/false);
   // A WINDOW_UPDATE for the connection is what real clients (incl.
@@ -62,7 +82,7 @@ void H2Connection::start() {
 }
 
 std::uint32_t H2Connection::send_request(const std::vector<Header>& headers,
-                                         std::vector<std::uint8_t> body) {
+                                         util::Buffer body) {
   const std::uint32_t id = next_stream_id_;
   next_stream_id_ += 2;
   ++streams_opened_;
@@ -70,23 +90,23 @@ std::uint32_t H2Connection::send_request(const std::vector<Header>& headers,
   const bool end_on_headers = body.empty();
   send_frame(H2FrameType::kHeaders,
              static_cast<std::uint8_t>(0x4 | (end_on_headers ? 0x1 : 0x0)),
-             id, block);
+             id, std::span<const std::uint8_t>(block));
   if (!body.empty()) {
-    send_frame(H2FrameType::kData, /*END_STREAM=*/0x1, id, body);
+    send_frame(H2FrameType::kData, /*END_STREAM=*/0x1, id, std::move(body));
   }
   return id;
 }
 
 void H2Connection::send_response(std::uint32_t stream_id,
                                  const std::vector<Header>& headers,
-                                 std::vector<std::uint8_t> body) {
+                                 util::Buffer body) {
   auto block = encoder_.encode(headers);
   const bool end_on_headers = body.empty();
   send_frame(H2FrameType::kHeaders,
              static_cast<std::uint8_t>(0x4 | (end_on_headers ? 0x1 : 0x0)),
-             stream_id, block);
+             stream_id, std::span<const std::uint8_t>(block));
   if (!body.empty()) {
-    send_frame(H2FrameType::kData, 0x1, stream_id, body);
+    send_frame(H2FrameType::kData, 0x1, stream_id, std::move(body));
   }
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "h2/hpack.h"
+#include "util/buffer.h"
 
 namespace doxlab::h2 {
 
@@ -39,8 +40,10 @@ inline constexpr std::string_view kClientPreface =
 class H2Connection {
  public:
   struct Callbacks {
-    /// Bytes for the transport (TLS application data).
-    std::function<void(std::vector<std::uint8_t>)> send_transport;
+    /// Bytes for the transport (TLS application data). Buffers carry
+    /// headroom for the TLS record header, so the DoH layer seals them
+    /// without copying.
+    std::function<void(util::Buffer)> send_transport;
     /// A complete header block arrived for a stream.
     std::function<void(std::uint32_t stream_id,
                        const std::vector<Header>& headers, bool end_stream)>
@@ -63,14 +66,27 @@ class H2Connection {
   void start();
 
   /// Client: sends HEADERS (+DATA when `body` is non-empty) on a new
-  /// stream; returns the stream id.
+  /// stream; returns the stream id. The DATA frame header is prepended
+  /// into `body`'s headroom in place — encode bodies with
+  /// kFrameHeaderBytes (+5 for the TLS record) of headroom to avoid every
+  /// copy between the DNS encoder and the TCP send queue.
   std::uint32_t send_request(const std::vector<Header>& headers,
-                             std::vector<std::uint8_t> body);
+                             util::Buffer body);
+  std::uint32_t send_request(const std::vector<Header>& headers,
+                             std::vector<std::uint8_t> body) {
+    return send_request(headers, util::Buffer::copy_of(
+                                     body, kFrameHeaderBytes + 5));
+  }
 
   /// Server: responds on `stream_id`.
   void send_response(std::uint32_t stream_id,
+                     const std::vector<Header>& headers, util::Buffer body);
+  void send_response(std::uint32_t stream_id,
                      const std::vector<Header>& headers,
-                     std::vector<std::uint8_t> body);
+                     std::vector<std::uint8_t> body) {
+    send_response(stream_id, headers,
+                  util::Buffer::copy_of(body, kFrameHeaderBytes + 5));
+  }
 
   /// Sends GOAWAY (graceful shutdown announcement).
   void send_goaway();
@@ -84,6 +100,10 @@ class H2Connection {
  private:
   void send_frame(H2FrameType type, std::uint8_t flags,
                   std::uint32_t stream_id, std::span<const std::uint8_t> payload);
+  /// Zero-copy variant: prepends the 9-byte frame header into `payload`'s
+  /// headroom and ships the same buffer.
+  void send_frame(H2FrameType type, std::uint8_t flags,
+                  std::uint32_t stream_id, util::Buffer payload);
   void send_settings(bool ack);
   void process_frame(H2FrameType type, std::uint8_t flags,
                      std::uint32_t stream_id,

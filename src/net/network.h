@@ -19,6 +19,7 @@
 #include "net/geo.h"
 #include "net/latency.h"
 #include "sim/simulator.h"
+#include "util/buffer.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -35,7 +36,9 @@ struct Packet {
   Endpoint dst;
   int protocol = kProtoUdp;
   std::size_t header_bytes = 8;
-  std::vector<std::uint8_t> payload;
+  /// Pooled slab moved (not copied) from the sender's encoder through
+  /// delivery to the receive handler; copies share the slab by refcount.
+  util::Buffer payload;
   /// Structured sidecar for protocols whose control metadata we do not
   /// serialize byte-exactly (TCP segment flags/seq live here).
   std::shared_ptr<const void> meta;

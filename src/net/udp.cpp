@@ -12,8 +12,7 @@ Endpoint UdpSocket::local_endpoint() const {
   return Endpoint{stack_->host().address(), port_};
 }
 
-void UdpSocket::send_to(const Endpoint& to,
-                        std::vector<std::uint8_t> payload) {
+void UdpSocket::send_to(const Endpoint& to, util::Buffer payload) {
   Packet packet;
   packet.src = local_endpoint();
   packet.dst = to;
@@ -24,8 +23,7 @@ void UdpSocket::send_to(const Endpoint& to,
   stack_->host().network().send(std::move(packet));
 }
 
-void UdpSocket::receive(const Endpoint& from,
-                        std::vector<std::uint8_t> payload) {
+void UdpSocket::receive(const Endpoint& from, util::Buffer payload) {
   bytes_received_ += kUdpHeaderBytes + payload.size();
   if (handler_) handler_(from, std::move(payload));
 }

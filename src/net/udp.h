@@ -25,14 +25,20 @@ inline constexpr std::size_t kUdpHeaderBytes = 8;
 class UdpSocket {
  public:
   using DatagramHandler =
-      std::function<void(const Endpoint& from, std::vector<std::uint8_t>)>;
+      std::function<void(const Endpoint& from, util::Buffer)>;
 
   ~UdpSocket();
   UdpSocket(const UdpSocket&) = delete;
   UdpSocket& operator=(const UdpSocket&) = delete;
 
   /// Sends a datagram to `to`. The socket's bound port is the source port.
-  void send_to(const Endpoint& to, std::vector<std::uint8_t> payload);
+  /// The buffer is moved untouched into the packet (zero-copy path).
+  void send_to(const Endpoint& to, util::Buffer payload);
+  /// Convenience for cold paths and tests still assembling vectors; the
+  /// bytes are copied into a pooled buffer.
+  void send_to(const Endpoint& to, std::vector<std::uint8_t> payload) {
+    send_to(to, util::Buffer::copy_of(payload));
+  }
 
   /// Sets the receive callback (may be replaced at any time).
   void on_datagram(DatagramHandler handler) { handler_ = std::move(handler); }
@@ -49,7 +55,7 @@ class UdpSocket {
   UdpSocket(UdpStack& stack, std::uint16_t port)
       : stack_(&stack), port_(port) {}
 
-  void receive(const Endpoint& from, std::vector<std::uint8_t> payload);
+  void receive(const Endpoint& from, util::Buffer payload);
 
   UdpStack* stack_;
   std::uint16_t port_;

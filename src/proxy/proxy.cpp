@@ -14,7 +14,7 @@ DnsProxy::DnsProxy(sim::Simulator& sim, net::UdpStack& stub_udp,
                                    options);
   listener_ = stub_udp.bind(config_.listen_port);
   listener_->on_datagram([this](const net::Endpoint& from,
-                                std::vector<std::uint8_t> payload) {
+                                util::Buffer payload) {
     on_stub_query(from, std::move(payload));
   });
 }
@@ -22,7 +22,7 @@ DnsProxy::DnsProxy(sim::Simulator& sim, net::UdpStack& stub_udp,
 void DnsProxy::reset_sessions() { transport_->reset_sessions(); }
 
 void DnsProxy::on_stub_query(const net::Endpoint& from,
-                             std::vector<std::uint8_t> payload) {
+                             util::Buffer payload) {
   auto query = dns::Message::decode(payload);
   if (!query || query->qr || query->questions.empty()) return;
   const dns::Question question = query->questions.front();

@@ -65,7 +65,7 @@ class DnsProxy {
 
  private:
   void on_stub_query(const net::Endpoint& from,
-                     std::vector<std::uint8_t> payload);
+                     util::Buffer payload);
 
   sim::Simulator& sim_;
   ProxyConfig config_;

@@ -327,8 +327,7 @@ void QuicConnection::flush_output() {
         close_datagram();
         continue;
       }
-      const std::size_t encoded_size = encode_packet(packet).size();
-      current_size += encoded_size;
+      current_size += encoded_packet_size(packet);
       current.push_back(std::move(packet));
       if (current_size + kPacketOverhead + 48 > config_.max_datagram_size) {
         close_datagram();
@@ -344,7 +343,7 @@ void QuicConnection::flush_output() {
 void QuicConnection::send_datagrams(
     std::vector<std::vector<QuicPacket>> datagrams) {
   for (auto& packets : datagrams) {
-    auto bytes = encode_datagram(packets, !config_.is_server);
+    util::Buffer bytes = encode_datagram(packets, !config_.is_server);
     const std::size_t wire_size = bytes.size() + net::kUdpHeaderBytes;
 
     if (config_.is_server && !address_validated_) {

@@ -101,8 +101,9 @@ class QuicConnection : public std::enable_shared_from_this<QuicConnection> {
     std::function<void(const AddressToken&)> on_new_token;
     /// Connection ended; empty reason means clean close.
     std::function<void(const std::string&)> on_closed;
-    /// Raw datagram egress (wired to a UDP socket by the owner).
-    std::function<void(std::vector<std::uint8_t>)> send_datagram;
+    /// Raw datagram egress (wired to a UDP socket by the owner). The buffer
+    /// is pooled and uniquely owned; sinks may ship it as-is.
+    std::function<void(util::Buffer)> send_datagram;
   };
 
   /// Client factory.

@@ -9,7 +9,7 @@ QuicServer::QuicServer(sim::Simulator& sim, net::UdpStack& stack,
     : sim_(sim), socket_(stack.bind(port)), config_(std::move(config)) {
   config_.is_server = true;
   socket_->on_datagram(
-      [this](const net::Endpoint& from, std::vector<std::uint8_t> payload) {
+      [this](const net::Endpoint& from, util::Buffer payload) {
         on_datagram(from, std::move(payload));
       });
 }
@@ -22,7 +22,7 @@ bool QuicServer::version_supported(QuicVersion v) const {
 }
 
 void QuicServer::on_datagram(const net::Endpoint& from,
-                             std::vector<std::uint8_t> payload) {
+                             util::Buffer payload) {
   auto existing = connections_.find(from);
   if (existing != connections_.end()) {
     existing->second->on_datagram(payload);
@@ -84,7 +84,7 @@ void QuicServer::on_datagram(const net::Endpoint& from,
   conn_config.version = first.version;
 
   QuicConnection::Callbacks callbacks;
-  callbacks.send_datagram = [this, from](std::vector<std::uint8_t> bytes) {
+  callbacks.send_datagram = [this, from](util::Buffer bytes) {
     socket_->send_to(from, std::move(bytes));
   };
   auto conn = QuicConnection::make_server(sim_, std::move(conn_config),

@@ -42,7 +42,7 @@ class QuicServer {
 
  private:
   void on_datagram(const net::Endpoint& from,
-                   std::vector<std::uint8_t> payload);
+                   util::Buffer payload);
   bool version_supported(QuicVersion v) const;
 
   sim::Simulator& sim_;

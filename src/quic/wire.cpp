@@ -1,5 +1,7 @@
 #include "quic/wire.h"
 
+#include <algorithm>
+
 namespace doxlab::quic {
 
 std::string_view version_name(QuicVersion v) {
@@ -65,6 +67,63 @@ constexpr std::uint8_t kFirstZeroRtt = 0xD0;
 constexpr std::uint8_t kFirstHandshake = 0xE0;
 constexpr std::uint8_t kFirstRetry = 0xF0;
 constexpr std::uint8_t kFirstOneRtt = 0x40;
+
+/// RFC 9000 §16 varint width for `v` (1, 2, 4 or 8 bytes).
+constexpr std::size_t varint_size(std::uint64_t v) {
+  if (v < (1ull << 6)) return 1;
+  if (v < (1ull << 14)) return 2;
+  if (v < (1ull << 30)) return 4;
+  return 8;
+}
+
+/// Exact encoded size of `frames`; mirrors encode_frames() case by case.
+std::size_t encoded_frames_size(const std::vector<Frame>& frames) {
+  std::size_t total = 0;
+  for (const Frame& f : frames) {
+    switch (f.type) {
+      case FrameType::kPadding:
+      case FrameType::kPing:
+      case FrameType::kHandshakeDone:
+        total += 1;
+        break;
+      case FrameType::kAck: {
+        total += 1;
+        if (f.ack_ranges.empty()) {
+          total += 4;  // four zero varints
+          break;
+        }
+        const AckRange& top = f.ack_ranges.front();
+        total += varint_size(top.last) + varint_size(0) +
+                 varint_size(f.ack_ranges.size() - 1) +
+                 varint_size(top.last - top.first);
+        std::uint64_t prev_first = top.first;
+        for (std::size_t i = 1; i < f.ack_ranges.size(); ++i) {
+          const AckRange& r = f.ack_ranges[i];
+          total += varint_size(prev_first - r.last - 2) +
+                   varint_size(r.last - r.first);
+          prev_first = r.first;
+        }
+        break;
+      }
+      case FrameType::kCrypto:
+        total += 1 + varint_size(f.offset) + varint_size(f.data.size()) +
+                 f.data.size();
+        break;
+      case FrameType::kNewToken:
+        total += 1 + varint_size(f.token.size()) + f.token.size();
+        break;
+      case FrameType::kStream:
+        total += 1 + varint_size(f.stream_id) + varint_size(f.offset) +
+                 varint_size(f.data.size()) + f.data.size();
+        break;
+      case FrameType::kConnectionClose:
+        total += 1 + varint_size(f.error_code) + varint_size(0) +
+                 varint_size(f.reason.size()) + f.reason.size();
+        break;
+    }
+  }
+  return total;
+}
 
 void encode_frames(ByteWriter& w, const std::vector<Frame>& frames) {
   for (const Frame& f : frames) {
@@ -230,10 +289,10 @@ std::optional<std::vector<Frame>> decode_frames(
   return out;
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> encode_packet(const QuicPacket& packet) {
-  ByteWriter w(64);
+/// Writes one packet into `w`; the frame payload goes straight into the
+/// writer (the length varint is computed analytically up front, so no
+/// intermediate body buffer is needed).
+void encode_packet_into(ByteWriter& w, const QuicPacket& packet) {
   switch (packet.type) {
     case PacketType::kVersionNegotiation: {
       w.u8(0x80);
@@ -245,7 +304,7 @@ std::vector<std::uint8_t> encode_packet(const QuicPacket& packet) {
       for (QuicVersion v : packet.supported_versions) {
         w.u32(static_cast<std::uint32_t>(v));
       }
-      return w.take();
+      return;
     }
     case PacketType::kRetry: {
       w.u8(kFirstRetry);
@@ -257,7 +316,7 @@ std::vector<std::uint8_t> encode_packet(const QuicPacket& packet) {
       w.varint(packet.token.size());
       w.bytes(packet.token);
       w.pad(16);  // retry integrity tag
-      return w.take();
+      return;
     }
     case PacketType::kInitial:
     case PacketType::kZeroRtt:
@@ -277,47 +336,80 @@ std::vector<std::uint8_t> encode_packet(const QuicPacket& packet) {
         w.varint(packet.token.size());
         w.bytes(packet.token);
       }
-      ByteWriter body;
-      encode_frames(body, packet.frames);
       // Length covers packet number (2 bytes) + payload + tag.
-      w.varint(2 + body.size() + kAeadTag);
+      w.varint(2 + encoded_frames_size(packet.frames) + kAeadTag);
       w.u16(static_cast<std::uint16_t>(packet.packet_number & 0xFFFF));
-      w.bytes(body.view());
+      encode_frames(w, packet.frames);
       w.pad(kAeadTag);
-      return w.take();
+      return;
     }
     case PacketType::kOneRtt: {
       // Model simplification: short-header packets carry an explicit length
       // varint so coalesced parsing works without header protection.
       w.u8(kFirstOneRtt);
       w.u64(packet.dcid);
-      ByteWriter body;
-      encode_frames(body, packet.frames);
-      w.varint(2 + body.size() + kAeadTag);
+      w.varint(2 + encoded_frames_size(packet.frames) + kAeadTag);
       w.u16(static_cast<std::uint16_t>(packet.packet_number & 0xFFFF));
-      w.bytes(body.view());
+      encode_frames(w, packet.frames);
       w.pad(kAeadTag);
-      return w.take();
+      return;
     }
   }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_packet(const QuicPacket& packet) {
+  ByteWriter w(encoded_packet_size(packet));
+  encode_packet_into(w, packet);
   return w.take();
 }
 
-std::vector<std::uint8_t> encode_datagram(std::span<const QuicPacket> packets,
-                                          bool sender_is_client) {
-  ByteWriter w(kMinInitialDatagram);
+std::size_t encoded_packet_size(const QuicPacket& packet) {
+  switch (packet.type) {
+    case PacketType::kVersionNegotiation:
+      return 1 + 4 + (1 + 8) * 2 + 4 * packet.supported_versions.size();
+    case PacketType::kRetry:
+      return 1 + 4 + (1 + 8) * 2 + varint_size(packet.token.size()) +
+             packet.token.size() + 16;
+    case PacketType::kInitial:
+    case PacketType::kZeroRtt:
+    case PacketType::kHandshake: {
+      const std::size_t body = 2 + encoded_frames_size(packet.frames) +
+                               kAeadTag;
+      std::size_t size = 1 + 4 + (1 + 8) * 2;
+      if (packet.type == PacketType::kInitial) {
+        size += varint_size(packet.token.size()) + packet.token.size();
+      }
+      return size + varint_size(body) + body;
+    }
+    case PacketType::kOneRtt: {
+      const std::size_t body = 2 + encoded_frames_size(packet.frames) +
+                               kAeadTag;
+      return 1 + 8 + varint_size(body) + body;
+    }
+  }
+  return 0;
+}
+
+util::Buffer encode_datagram(std::span<const QuicPacket> packets,
+                             bool sender_is_client) {
+  std::size_t total = 0;
   bool pad = false;
   for (const QuicPacket& p : packets) {
     if (p.type == PacketType::kInitial &&
         (sender_is_client || p.ack_eliciting())) {
       pad = true;
     }
-    w.bytes(encode_packet(p));
+    total += encoded_packet_size(p);
   }
+  const std::size_t wire = pad ? std::max(total, kMinInitialDatagram) : total;
+  ByteWriter w = ByteWriter::pooled(wire, /*headroom=*/0);
+  for (const QuicPacket& p : packets) encode_packet_into(w, p);
   if (pad && w.size() < kMinInitialDatagram) {
     w.pad(kMinInitialDatagram - w.size());
   }
-  return w.take();
+  return w.take_buffer();
 }
 
 std::optional<std::vector<QuicPacket>> decode_datagram(

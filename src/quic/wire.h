@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "quic/types.h"
+#include "util/buffer.h"
 #include "util/bytes.h"
 
 namespace doxlab::quic {
@@ -158,11 +159,17 @@ struct QuicPacket {
 /// Encodes one packet (including its 16-byte tag for protected types).
 std::vector<std::uint8_t> encode_packet(const QuicPacket& packet);
 
+/// Exact encoded size of `packet`, computed analytically without encoding.
+/// Matches `encode_packet(packet).size()` byte for byte; used by the packet
+/// scheduler to size datagrams without a throwaway encode per packet.
+std::size_t encoded_packet_size(const QuicPacket& packet);
+
 /// Encodes a datagram from coalesced packets, applying RFC 9000 §14.1
 /// padding to 1200 bytes: clients pad every INITIAL-carrying datagram,
-/// servers pad those carrying an ack-eliciting INITIAL.
-std::vector<std::uint8_t> encode_datagram(std::span<const QuicPacket> packets,
-                                          bool sender_is_client);
+/// servers pad those carrying an ack-eliciting INITIAL. All coalesced
+/// packets are written into one exactly-sized pooled buffer.
+util::Buffer encode_datagram(std::span<const QuicPacket> packets,
+                             bool sender_is_client);
 
 /// Decodes all packets coalesced in a datagram; nullopt on malformed input.
 /// Trailing zero padding is skipped.

@@ -38,12 +38,21 @@ std::vector<std::uint8_t> with_length_prefix(
   return out;
 }
 
+/// In-place variant: the prefix lands in the buffer's headroom.
+util::Buffer with_length_prefix(util::Buffer m) {
+  const std::size_t len = m.size();
+  std::uint8_t* prefix = m.prepend(2);
+  prefix[0] = static_cast<std::uint8_t>(len >> 8);
+  prefix[1] = static_cast<std::uint8_t>(len & 0xFF);
+  return m;
+}
+
 /// Parses "txtNNNN....": synthetic TXT payload size from the leftmost label
 /// ("txt1800.example.com" -> a 1800-byte TXT record). Returns 0 when the
 /// name does not request TXT data.
 std::size_t txt_payload_size(const dns::DnsName& name) {
-  if (name.labels().empty()) return 0;
-  const std::string& label = name.labels().front();
+  if (name.is_root()) return 0;
+  const std::string_view label = name.first_label();
   if (label.size() < 4 || label.substr(0, 3) != "txt") return 0;
   std::size_t n = 0;
   for (std::size_t i = 3; i < label.size(); ++i) {
@@ -242,8 +251,8 @@ void DoxResolver::handle_query(dox::DnsProtocol protocol,
         } else if (question.type == dns::RRType::kA ||
                    question.type == dns::RRType::kAAAA) {
           if (!question.name.is_root() &&
-              question.name.labels().front() == "www" &&
-              question.name.labels().size() > 2) {
+              question.name.first_label() == "www" &&
+              question.name.label_count() > 2) {
             // Recursive resolvers return the full chain: the www alias plus
             // the canonical name's address record.
             const dns::DnsName canonical = question.name.parent();
@@ -274,7 +283,7 @@ void DoxResolver::handle_query(dox::DnsProtocol protocol,
 void DoxResolver::serve_doudp() {
   udp53_ = udp_->bind(53);
   udp53_->on_datagram([this](const net::Endpoint& from,
-                             std::vector<std::uint8_t> payload) {
+                             util::Buffer payload) {
     auto query = dns::Message::decode(payload);
     if (!query) return;
     handle_query(dox::DnsProtocol::kDoUdp, *query,
@@ -308,7 +317,8 @@ void DoxResolver::serve_dotcp() {
                        // together with the SYN-ACK (0.5-RTT data).
                        auto conn = weak_conn.lock();
                        if (conn && conn->state() != tcp::TcpState::kClosed) {
-                         conn->send(with_length_prefix(response.encode()));
+                         conn->send(with_length_prefix(
+                             response.encode_buffer(/*headroom=*/2)));
                        }
                      });
       }
@@ -334,7 +344,7 @@ void DoxResolver::serve_dot() {
 
     tls::TlsSession::Callbacks callbacks;
     callbacks.now = [this] { return network_.simulator().now(); };
-    callbacks.send_transport = [weak_state](std::vector<std::uint8_t> bytes) {
+    callbacks.send_transport = [weak_state](util::Buffer bytes) {
       auto state = weak_state.lock();
       if (!state) return;
       if (!state->closed) state->tcp->send(std::move(bytes));
@@ -351,7 +361,8 @@ void DoxResolver::serve_dot() {
                        auto state = weak_state.lock();
                        if (state && !state->closed) {
                          state->tls->send_application_data(
-                             with_length_prefix(response.encode()));
+                             with_length_prefix(response.encode_buffer(
+                                 2 + tls::kRecordHeaderBytes)));
                        }
                      });
       }
@@ -393,8 +404,7 @@ void DoxResolver::serve_doh() {
     state->tcp = conn;
 
     h2::H2Connection::Callbacks h2_callbacks;
-    h2_callbacks.send_transport = [weak_state](
-                                      std::vector<std::uint8_t> bytes) {
+    h2_callbacks.send_transport = [weak_state](util::Buffer bytes) {
       auto state = weak_state.lock();
       if (!state) return;
       if (!state->closed) state->tls->send_application_data(std::move(bytes));
@@ -427,7 +437,8 @@ void DoxResolver::serve_doh() {
           [weak_state, stream_id](dns::Message response) {
             auto state = weak_state.lock();
             if (!state || state->closed) return;
-            auto body = response.encode();
+            util::Buffer body = response.encode_buffer(
+                h2::kFrameHeaderBytes + tls::kRecordHeaderBytes);
             std::vector<h2::Header> headers = {
                 {":status", "200"},
                 {"content-type", "application/dns-message"},
@@ -442,12 +453,11 @@ void DoxResolver::serve_doh() {
 
     tls::TlsSession::Callbacks tls_callbacks;
     tls_callbacks.now = [this] { return network_.simulator().now(); };
-    tls_callbacks.send_transport =
-        [weak_state](std::vector<std::uint8_t> bytes) {
-          auto state = weak_state.lock();
-          if (!state) return;
-          if (!state->closed) state->tcp->send(std::move(bytes));
-        };
+    tls_callbacks.send_transport = [weak_state](util::Buffer bytes) {
+      auto state = weak_state.lock();
+      if (!state) return;
+      if (!state->closed) state->tcp->send(std::move(bytes));
+    };
     tls_callbacks.on_application_data =
         [weak_state](std::span<const std::uint8_t> data) {
           auto state = weak_state.lock();

@@ -26,7 +26,7 @@ std::map<net::IpAddress, std::uint16_t> Ipv4Scanner::probe_versions(
 
   auto socket = udp_.bind_ephemeral();
   socket->on_datagram([&](const net::Endpoint& from,
-                          std::vector<std::uint8_t> payload) {
+                          util::Buffer payload) {
     auto packets = quic::decode_datagram(payload);
     if (!packets || packets->empty()) return;
     if ((*packets)[0].type != quic::PacketType::kVersionNegotiation) return;
@@ -76,7 +76,7 @@ std::vector<net::IpAddress> Ipv4Scanner::verify_doq(
     quic::QuicConnection::Callbacks callbacks;
     callbacks.send_datagram = [&socket, endpoint = net::Endpoint{address,
                                                                  port}](
-                                  std::vector<std::uint8_t> bytes) {
+                                  util::Buffer bytes) {
       socket->send_to(endpoint, std::move(bytes));
     };
     callbacks.on_handshake_complete = [&](const quic::QuicHandshakeInfo&) {
@@ -87,7 +87,7 @@ std::vector<net::IpAddress> Ipv4Scanner::verify_doq(
     auto conn = quic::QuicConnection::make_client(sim, config,
                                                   std::move(callbacks));
     socket->on_datagram([conn](const net::Endpoint&,
-                               std::vector<std::uint8_t> payload) {
+                               util::Buffer payload) {
       conn->on_datagram(payload);
     });
     conn->connect();

@@ -128,8 +128,8 @@ void TcpConnection::start_connect() {
     used_tfo_ = true;
     // Carry up to one MSS of early data on the SYN.
     const std::size_t early = std::min(send_buffer_.size(), options_.mss);
-    syn.payload.assign(send_buffer_.begin(),
-                       send_buffer_.begin() + static_cast<long>(early));
+    syn.payload = util::Buffer::copy_of(
+        std::span<const std::uint8_t>(send_buffer_.data(), early));
     send_buffer_.erase(send_buffer_.begin(),
                        send_buffer_.begin() + static_cast<long>(early));
   }
@@ -156,7 +156,7 @@ void TcpConnection::accept_syn(const Segment& syn) {
   transmit(std::move(synack), /*count_outstanding=*/true);
 
   if (!syn.payload.empty() && on_data_) {
-    on_data_(std::span<const std::uint8_t>(syn.payload));
+    on_data_(syn.payload.view());
   }
 }
 
@@ -168,10 +168,30 @@ void TcpConnection::enter_established() {
   pump_send();
 }
 
-void TcpConnection::send(std::vector<std::uint8_t> data) {
+void TcpConnection::send(util::Buffer data) {
   if (state_ == TcpState::kClosed || fin_queued_) return;
-  send_buffer_.insert(send_buffer_.end(), data.begin(), data.end());
-  if (established() || state_ == TcpState::kSynReceived) pump_send();
+  const bool may_pump = established() || state_ == TcpState::kSynReceived;
+  // Zero-copy fast path: with nothing queued and the bytes fitting one
+  // in-window segment, the buffer ships as the segment payload directly —
+  // byte-for-byte what pump_send() would have produced from the stream
+  // buffer for the same input.
+  if (may_pump && send_buffer_.empty() && !data.empty()) {
+    const std::uint64_t in_flight = snd_nxt_ - snd_una_;
+    if (in_flight < cwnd_bytes_ && data.size() <= options_.mss &&
+        data.size() <= cwnd_bytes_ - in_flight) {
+      Segment seg;
+      seg.seq = snd_nxt_;
+      seg.has_ack = true;
+      seg.ack = rcv_nxt_;
+      seg.payload = std::move(data);
+      snd_nxt_ += seg.payload.size();
+      transmit(std::move(seg), /*count_outstanding=*/true);
+      return;
+    }
+  }
+  send_buffer_.insert(send_buffer_.end(), data.data(),
+                      data.data() + data.size());
+  if (may_pump) pump_send();
 }
 
 void TcpConnection::close() {
@@ -211,8 +231,8 @@ void TcpConnection::pump_send() {
     seg.seq = snd_nxt_;
     seg.has_ack = true;
     seg.ack = rcv_nxt_;
-    seg.payload.assign(send_buffer_.begin(),
-                       send_buffer_.begin() + static_cast<long>(chunk));
+    seg.payload = util::Buffer::copy_of(
+        std::span<const std::uint8_t>(send_buffer_.data(), chunk));
     send_buffer_.erase(send_buffer_.begin(),
                        send_buffer_.begin() + static_cast<long>(chunk));
     snd_nxt_ += chunk;
@@ -361,8 +381,8 @@ void TcpConnection::handle_segment(Segment segment) {
         outstanding_.front().segment.syn &&
         !outstanding_.front().segment.payload.empty()) {
       auto& payload = outstanding_.front().segment.payload;
-      send_buffer_.insert(send_buffer_.begin(), payload.begin(),
-                          payload.end());
+      send_buffer_.insert(send_buffer_.begin(), payload.data(),
+                          payload.data() + payload.size());
       payload.clear();
       snd_nxt_ = 1;
       used_tfo_ = false;
@@ -390,7 +410,7 @@ void TcpConnection::handle_segment(Segment segment) {
     if (segment.seq == rcv_nxt_) {
       rcv_nxt_ += segment.payload.size();
       advanced = true;
-      if (on_data_) on_data_(std::span<const std::uint8_t>(segment.payload));
+      if (on_data_) on_data_(segment.payload.view());
       deliver_in_order();
     } else if (segment.seq > rcv_nxt_) {
       reassembly_.emplace(segment.seq, std::move(segment.payload));

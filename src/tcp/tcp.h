@@ -81,8 +81,13 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   /// Queues stream bytes for transmission (before or after establishment;
   /// pre-handshake bytes flush when the handshake completes, or ride the SYN
-  /// when TFO is active).
-  void send(std::vector<std::uint8_t> data);
+  /// when TFO is active). When the stream buffer is empty and the bytes fit
+  /// in one in-window segment — the steady state for DoT/DoH records — the
+  /// buffer becomes the segment payload directly, with no stream copy.
+  void send(util::Buffer data);
+  void send(std::vector<std::uint8_t> data) {
+    send(util::Buffer::copy_of(data));
+  }
 
   /// Graceful close: FIN after all queued data.
   void close();
@@ -134,7 +139,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
     bool rst = false;
     bool has_ack = false;
     bool tfo = false;  // SYN carries a fast-open cookie
-    std::vector<std::uint8_t> payload;
+    util::Buffer payload;  // shared (refcounted) with packet + retransmit state
 
     std::uint64_t seq_span() const {
       return payload.size() + (syn ? 1 : 0) + (fin ? 1 : 0);
@@ -186,7 +191,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   // Receive side.
   std::uint64_t rcv_nxt_ = 0;
-  std::map<std::uint64_t, std::vector<std::uint8_t>> reassembly_;
+  std::map<std::uint64_t, util::Buffer> reassembly_;
   bool peer_fin_seen_ = false;
   std::optional<std::uint64_t> peer_fin_seq_;
 

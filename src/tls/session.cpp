@@ -13,7 +13,7 @@ TlsSession::TlsSession(TlsConfig config, Callbacks callbacks)
       state_(config_.is_server ? State::kServerWaitClientHello
                                : State::kIdle) {}
 
-void TlsSession::emit(std::vector<std::uint8_t> bytes) {
+void TlsSession::emit(util::Buffer bytes) {
   if (cb_.send_transport) cb_.send_transport(std::move(bytes));
 }
 
@@ -63,7 +63,7 @@ void TlsSession::start(std::optional<SessionTicket> ticket,
   state_ = State::kClientWaitServerFlight;
 }
 
-void TlsSession::send_application_data(std::vector<std::uint8_t> data) {
+void TlsSession::send_application_data(util::Buffer data) {
   if (failed_ || data.empty()) return;
   // TLS 1.3 servers may send application data right after their Finished
   // (0.5-RTT data) without waiting for the client's Finished — that is how
@@ -72,11 +72,11 @@ void TlsSession::send_application_data(std::vector<std::uint8_t> data) {
       complete_ || (config_.is_server && server_flight_sent_ &&
                     negotiated_ == TlsVersion::kTls13);
   if (!can_send) {
-    pending_app_data_.insert(pending_app_data_.end(), data.begin(),
-                             data.end());
+    pending_app_data_.insert(pending_app_data_.end(), data.data(),
+                             data.data() + data.size());
     return;
   }
-  emit(wire_.application_data_record(data));
+  emit(wire_.seal_application_data(std::move(data)));
 }
 
 void TlsSession::send_close_notify() {

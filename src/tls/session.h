@@ -63,8 +63,9 @@ struct HandshakeInfo {
 class TlsSession {
  public:
   struct Callbacks {
-    /// Bytes to hand to the transport (never empty).
-    std::function<void(std::vector<std::uint8_t>)> send_transport;
+    /// Record bytes to hand to the transport (never empty). The buffer is
+    /// pooled and uniquely owned — the transport may ship it as-is.
+    std::function<void(util::Buffer)> send_transport;
     /// Handshake completed (client: Fin sent; server: client Fin received).
     std::function<void(const HandshakeInfo&)> on_handshake_complete;
     /// Decrypted application payload.
@@ -90,8 +91,14 @@ class TlsSession {
   /// Feeds raw transport bytes into the record layer.
   void on_transport_data(std::span<const std::uint8_t> data);
 
-  /// Sends (or queues, pre-handshake) application data.
-  void send_application_data(std::vector<std::uint8_t> data);
+  /// Sends (or queues, pre-handshake) application data. The record header
+  /// and AEAD tag are sealed into the buffer in place, so callers that
+  /// encode with kRecordHeaderBytes of headroom pay zero copies.
+  void send_application_data(util::Buffer data);
+  void send_application_data(std::vector<std::uint8_t> data) {
+    send_application_data(
+        util::Buffer::copy_of(data, /*headroom=*/kRecordHeaderBytes));
+  }
 
   /// Sends close_notify.
   void send_close_notify();
@@ -120,7 +127,7 @@ class TlsSession {
   void complete_handshake();
   void flush_pending();
   void fail(const std::string& reason);
-  void emit(std::vector<std::uint8_t> bytes);
+  void emit(util::Buffer bytes);
 
   TlsConfig config_;
   Callbacks cb_;

@@ -29,6 +29,14 @@ std::optional<std::string> read_string(ByteReader& r) {
   return r.string(*len);
 }
 
+/// Exact encoded size of write_string's output.
+std::size_t string_size(const std::string& s) { return 2 + s.size(); }
+
+/// Exact encoded size of write_ticket's output.
+std::size_t ticket_size(const SessionTicket& t) {
+  return 8 * 4 + 1 + 2 + string_size(t.alpn);
+}
+
 void write_ticket(ByteWriter& w, const SessionTicket& t) {
   w.u64(t.server_secret);
   w.u64(t.ticket_id);
@@ -64,37 +72,32 @@ std::optional<SessionTicket> read_ticket(ByteReader& r) {
 
 }  // namespace
 
-std::vector<std::uint8_t> TlsWire::handshake_message(
-    HandshakeType type, const std::vector<std::uint8_t>& semantic,
-    std::size_t declared_body) const {
-  // The declared body must at least hold the semantic fields.
+util::Buffer TlsWire::handshake_record(HandshakeType type,
+                                       std::span<const std::uint8_t> semantic,
+                                       std::size_t declared_body,
+                                       bool encrypted) const {
+  // One pooled slab holds the whole record: header, message, padding, tag.
   const std::size_t body = std::max(declared_body, semantic.size());
-  ByteWriter w(4 + body);
+  const std::size_t record_len =
+      4 + body + (encrypted ? kAeadTagBytes : 0);
+  ByteWriter w = ByteWriter::pooled(kRecordHeaderBytes + record_len,
+                                    /*headroom=*/0);
+  w.u8(static_cast<std::uint8_t>(RecordType::kHandshake));
+  w.u16(0x0303);  // legacy record version
+  w.u16(static_cast<std::uint16_t>(record_len));
   w.u8(static_cast<std::uint8_t>(type));
   write_u24(w, body);
   w.bytes(semantic);
   w.pad(body - semantic.size());
-  return w.take();
-}
-
-std::vector<std::uint8_t> TlsWire::handshake_record(
-    HandshakeType type, const std::vector<std::uint8_t>& semantic,
-    std::size_t declared_body, bool encrypted) const {
-  auto message = handshake_message(type, semantic, declared_body);
-  ByteWriter w(kRecordHeaderBytes + message.size() + kAeadTagBytes);
-  w.u8(static_cast<std::uint8_t>(RecordType::kHandshake));
-  w.u16(0x0303);  // legacy record version
-  const std::size_t record_len =
-      message.size() + (encrypted ? kAeadTagBytes : 0);
-  w.u16(static_cast<std::uint16_t>(record_len));
-  w.bytes(message);
   if (encrypted) w.pad(kAeadTagBytes);
-  return w.take();
+  return w.take_buffer();
 }
 
-std::vector<std::uint8_t> TlsWire::client_hello_record(
-    const ClientHello& ch) const {
-  ByteWriter s;
+util::Buffer TlsWire::client_hello_record(const ClientHello& ch) const {
+  std::size_t semantic_size = 2 + string_size(ch.sni) + 1 + 1 + 1;
+  for (const auto& proto : ch.alpn) semantic_size += string_size(proto);
+  if (ch.psk) semantic_size += ticket_size(*ch.psk);
+  ByteWriter s(semantic_size);
   s.u16(static_cast<std::uint16_t>(ch.max_version));
   write_string(s, ch.sni);
   s.u8(static_cast<std::uint8_t>(ch.alpn.size()));
@@ -111,18 +114,17 @@ std::vector<std::uint8_t> TlsWire::client_hello_record(
                           /*encrypted=*/false);
 }
 
-std::vector<std::uint8_t> TlsWire::server_hello_record(
-    const ServerHello& sh) const {
-  ByteWriter s;
+util::Buffer TlsWire::server_hello_record(const ServerHello& sh) const {
+  ByteWriter s(3);
   s.u16(static_cast<std::uint16_t>(sh.version));
   s.u8(sh.psk_accepted ? 1 : 0);
   return handshake_record(HandshakeType::kServerHello, s.data(),
                           sizes_.server_hello, /*encrypted=*/false);
 }
 
-std::vector<std::uint8_t> TlsWire::encrypted_extensions_record(
+util::Buffer TlsWire::encrypted_extensions_record(
     const EncryptedExtensions& ee) const {
-  ByteWriter s;
+  ByteWriter s(string_size(ee.alpn) + 1);
   write_string(s, ee.alpn);
   s.u8(ee.early_data_accepted ? 1 : 0);
   return handshake_record(HandshakeType::kEncryptedExtensions, s.data(),
@@ -130,85 +132,99 @@ std::vector<std::uint8_t> TlsWire::encrypted_extensions_record(
                           /*encrypted=*/true);
 }
 
-std::vector<std::uint8_t> TlsWire::certificate_record(
-    std::size_t chain_size) const {
+util::Buffer TlsWire::certificate_record(std::size_t chain_size) const {
   return handshake_record(HandshakeType::kCertificate, {}, chain_size,
                           /*encrypted=*/true);
 }
 
-std::vector<std::uint8_t> TlsWire::certificate_verify_record() const {
+util::Buffer TlsWire::certificate_verify_record() const {
   return handshake_record(HandshakeType::kCertificateVerify, {},
                           sizes_.certificate_verify, /*encrypted=*/true);
 }
 
-std::vector<std::uint8_t> TlsWire::finished_record() const {
+util::Buffer TlsWire::finished_record() const {
   return handshake_record(HandshakeType::kFinished, {}, sizes_.finished,
                           /*encrypted=*/true);
 }
 
-std::vector<std::uint8_t> TlsWire::new_session_ticket_record(
+util::Buffer TlsWire::new_session_ticket_record(
     const SessionTicket& ticket) const {
-  ByteWriter s;
+  ByteWriter s(ticket_size(ticket));
   write_ticket(s, ticket);
   return handshake_record(HandshakeType::kNewSessionTicket, s.data(),
                           sizes_.new_session_ticket, /*encrypted=*/true);
 }
 
-std::vector<std::uint8_t> TlsWire::server_hello_done_record() const {
+util::Buffer TlsWire::server_hello_done_record() const {
   return handshake_record(HandshakeType::kServerHelloDone, {}, 4,
                           /*encrypted=*/false);
 }
 
-std::vector<std::uint8_t> TlsWire::server_key_exchange_record() const {
+util::Buffer TlsWire::server_key_exchange_record() const {
   return handshake_record(HandshakeType::kServerKeyExchange, {},
                           sizes_.server_key_exchange, /*encrypted=*/false);
 }
 
-std::vector<std::uint8_t> TlsWire::client_key_exchange_record() const {
+util::Buffer TlsWire::client_key_exchange_record() const {
   return handshake_record(HandshakeType::kClientKeyExchange, {},
                           sizes_.client_key_exchange, /*encrypted=*/false);
 }
 
-std::vector<std::uint8_t> TlsWire::change_cipher_spec_record() const {
-  ByteWriter w;
+util::Buffer TlsWire::change_cipher_spec_record() const {
+  ByteWriter w = ByteWriter::pooled(6, /*headroom=*/0);
   w.u8(static_cast<std::uint8_t>(RecordType::kChangeCipherSpec));
   w.u16(0x0303);
   w.u16(1);
   w.u8(1);
-  return w.take();
+  return w.take_buffer();
 }
 
-std::vector<std::uint8_t> TlsWire::application_data_record(
+util::Buffer TlsWire::application_data_record(
     std::span<const std::uint8_t> payload) const {
-  ByteWriter w(kRecordHeaderBytes + payload.size() + kAeadTagBytes);
+  ByteWriter w = ByteWriter::pooled(
+      kRecordHeaderBytes + payload.size() + kAeadTagBytes, /*headroom=*/0);
   w.u8(static_cast<std::uint8_t>(RecordType::kApplicationData));
   w.u16(0x0303);
   w.u16(static_cast<std::uint16_t>(payload.size() + kAeadTagBytes));
   w.bytes(payload);
   w.pad(kAeadTagBytes);
-  return w.take();
+  return w.take_buffer();
 }
 
-std::vector<std::uint8_t> TlsWire::alert_record() const {
-  ByteWriter w;
+util::Buffer TlsWire::seal_application_data(util::Buffer payload) const {
+  const std::size_t record_len = payload.size() + kAeadTagBytes;
+  std::uint8_t* tag = payload.append(kAeadTagBytes);
+  std::memset(tag, 0, kAeadTagBytes);
+  std::uint8_t* header = payload.prepend(kRecordHeaderBytes);
+  header[0] = static_cast<std::uint8_t>(RecordType::kApplicationData);
+  header[1] = 0x03;
+  header[2] = 0x03;
+  header[3] = static_cast<std::uint8_t>(record_len >> 8);
+  header[4] = static_cast<std::uint8_t>(record_len & 0xFF);
+  return payload;
+}
+
+util::Buffer TlsWire::alert_record() const {
+  ByteWriter w =
+      ByteWriter::pooled(kRecordHeaderBytes + 2 + kAeadTagBytes,
+                         /*headroom=*/0);
   w.u8(static_cast<std::uint8_t>(RecordType::kAlert));
   w.u16(0x0303);
   w.u16(2 + kAeadTagBytes);
   w.u8(1);  // warning
   w.u8(0);  // close_notify
   w.pad(kAeadTagBytes);
-  return w.take();
+  return w.take_buffer();
 }
 
 namespace {
 /// Strips record framing: 5-byte header plus, for encrypted records, the
 /// trailing AEAD tag. Used to derive raw messages for QUIC CRYPTO frames.
-std::vector<std::uint8_t> strip_record(std::vector<std::uint8_t> record,
+std::vector<std::uint8_t> strip_record(const util::Buffer& record,
                                        bool encrypted) {
-  std::vector<std::uint8_t> out(record.begin() + kRecordHeaderBytes,
-                                record.end());
-  if (encrypted) out.resize(out.size() - kAeadTagBytes);
-  return out;
+  const std::size_t end =
+      record.size() - (encrypted ? kAeadTagBytes : 0);
+  return {record.data() + kRecordHeaderBytes, record.data() + end};
 }
 }  // namespace
 

@@ -120,27 +120,34 @@ class TlsWire {
   std::vector<std::uint8_t> new_session_ticket_message(
       const SessionTicket& ticket) const;
 
-  // --- handshake message encoders (return full record bytes) ---
-  std::vector<std::uint8_t> client_hello_record(const ClientHello& ch) const;
-  std::vector<std::uint8_t> server_hello_record(const ServerHello& sh) const;
-  std::vector<std::uint8_t> encrypted_extensions_record(
+  // --- handshake message encoders (return full record bytes in pooled
+  //     buffers, ready to hand to the transport without another copy) ---
+  util::Buffer client_hello_record(const ClientHello& ch) const;
+  util::Buffer server_hello_record(const ServerHello& sh) const;
+  util::Buffer encrypted_extensions_record(
       const EncryptedExtensions& ee) const;
-  std::vector<std::uint8_t> certificate_record(std::size_t chain_size) const;
-  std::vector<std::uint8_t> certificate_verify_record() const;
-  std::vector<std::uint8_t> finished_record() const;
-  std::vector<std::uint8_t> new_session_ticket_record(
-      const SessionTicket& ticket) const;
-  std::vector<std::uint8_t> server_hello_done_record() const;
-  std::vector<std::uint8_t> server_key_exchange_record() const;
-  std::vector<std::uint8_t> client_key_exchange_record() const;
-  std::vector<std::uint8_t> change_cipher_spec_record() const;
+  util::Buffer certificate_record(std::size_t chain_size) const;
+  util::Buffer certificate_verify_record() const;
+  util::Buffer finished_record() const;
+  util::Buffer new_session_ticket_record(const SessionTicket& ticket) const;
+  util::Buffer server_hello_done_record() const;
+  util::Buffer server_key_exchange_record() const;
+  util::Buffer client_key_exchange_record() const;
+  util::Buffer change_cipher_spec_record() const;
 
   /// Application data record (encrypted: header + payload + tag).
-  std::vector<std::uint8_t> application_data_record(
+  util::Buffer application_data_record(
       std::span<const std::uint8_t> payload) const;
 
+  /// Seals `payload` as an application-data record *in place*: the 5-byte
+  /// record header goes into the buffer's headroom and the AEAD tag into
+  /// its tailroom — zero copies when the payload was encoded with
+  /// kRecordHeaderBytes of headroom. Byte-identical to
+  /// application_data_record(payload).
+  util::Buffer seal_application_data(util::Buffer payload) const;
+
   /// close_notify alert.
-  std::vector<std::uint8_t> alert_record() const;
+  util::Buffer alert_record() const;
 
   const WireSizes& sizes() const { return sizes_; }
 
@@ -165,12 +172,10 @@ class TlsWire {
       std::span<const std::uint8_t> body);
 
  private:
-  std::vector<std::uint8_t> handshake_message(
-      HandshakeType type, const std::vector<std::uint8_t>& semantic,
-      std::size_t declared_body) const;
-  std::vector<std::uint8_t> handshake_record(
-      HandshakeType type, const std::vector<std::uint8_t>& semantic,
-      std::size_t declared_body, bool encrypted) const;
+  util::Buffer handshake_record(HandshakeType type,
+                                std::span<const std::uint8_t> semantic,
+                                std::size_t declared_body,
+                                bool encrypted) const;
 
   WireSizes sizes_;
 };

@@ -1,0 +1,188 @@
+#include "util/buffer.h"
+
+#include <algorithm>
+#include <bit>
+#include <new>
+
+namespace doxlab::util {
+
+namespace {
+
+// Thread teardown can outlive buffers held by statics; the release path
+// consults this pointer and falls back to a plain delete once the pool is
+// gone. Set by the holder's constructor, cleared by its destructor.
+thread_local BufferPool* g_local_pool = nullptr;
+
+struct PoolHolder {
+  BufferPool pool;
+  PoolHolder() { g_local_pool = &pool; }
+  ~PoolHolder() { g_local_pool = nullptr; }
+};
+
+int class_for(std::size_t bytes) {
+  if (bytes > BufferPool::kMaxPooledBytes) return -1;
+  const std::size_t rounded =
+      std::bit_ceil(std::max(bytes, BufferPool::kMinSlabBytes));
+  return std::countr_zero(rounded) - std::countr_zero(BufferPool::kMinSlabBytes);
+}
+
+std::size_t class_bytes(int cls) { return BufferPool::kMinSlabBytes << cls; }
+
+detail::Slab* new_slab(std::size_t capacity, std::uint8_t cls) {
+  void* mem = ::operator new(sizeof(detail::Slab) + capacity);
+  auto* slab = new (mem) detail::Slab;
+  slab->refs = 1;
+  slab->capacity = static_cast<std::uint32_t>(capacity);
+  slab->size_class = cls;
+  return slab;
+}
+
+// Free slabs store the next-pointer in their own payload bytes.
+detail::Slab*& next_of(detail::Slab* slab) {
+  return *reinterpret_cast<detail::Slab**>(slab->storage());
+}
+
+// Free lists adapt to the observed high-water mark instead of a fixed cap:
+// a cell that keeps 3 buffers in flight caches ~3, a loaded forwarder more.
+std::uint32_t cache_cap(std::uint32_t high_water) {
+  return std::clamp<std::uint32_t>(high_water, 8, 1024);
+}
+
+}  // namespace
+
+namespace detail {
+
+void release_slab(Slab* slab) {
+  BufferPool* pool = g_local_pool;
+  if (slab->size_class == kUnpooled || pool == nullptr) {
+    ::operator delete(slab);
+    return;
+  }
+  pool->recycle(slab);
+}
+
+}  // namespace detail
+
+BufferPool& BufferPool::local() {
+  static thread_local PoolHolder holder;
+  return holder.pool;
+}
+
+Buffer BufferPool::allocate(std::size_t capacity, std::size_t headroom) {
+  const std::size_t total = capacity + headroom;
+  const int cls = class_for(total);
+  detail::Slab* slab = nullptr;
+  if (cls < 0) {
+    ++oversize_;
+    slab = new_slab(total, detail::kUnpooled);
+  } else if (free_[cls] != nullptr) {
+    slab = free_[cls];
+    free_[cls] = next_of(slab);
+    --free_count_[cls];
+    slab->refs = 1;
+    ++reuses_;
+  } else {
+    ++fresh_allocs_;
+    slab = new_slab(class_bytes(cls), static_cast<std::uint8_t>(cls));
+  }
+  if (cls >= 0) {
+    ++live_[cls];
+    high_water_[cls] = std::max(high_water_[cls], live_[cls]);
+  }
+  return Buffer(slab, slab->storage() + headroom, 0);
+}
+
+void BufferPool::recycle(detail::Slab* slab) {
+  const int cls = slab->size_class;
+  if (live_[cls] > 0) --live_[cls];
+  if (free_count_[cls] >= cache_cap(high_water_[cls])) {
+    ::operator delete(slab);
+    return;
+  }
+  next_of(slab) = free_[cls];
+  free_[cls] = slab;
+  ++free_count_[cls];
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.fresh_allocs = fresh_allocs_;
+  s.reuses = reuses_;
+  s.oversize = oversize_;
+  for (int c = 0; c < kClasses; ++c) {
+    s.outstanding += live_[c];
+    s.high_water += high_water_[c];
+    s.cached += free_count_[c];
+  }
+  return s;
+}
+
+void BufferPool::trim() {
+  for (int c = 0; c < kClasses; ++c) {
+    while (free_[c] != nullptr) {
+      detail::Slab* slab = free_[c];
+      free_[c] = next_of(slab);
+      ::operator delete(slab);
+    }
+    free_count_[c] = 0;
+  }
+}
+
+BufferPool::~BufferPool() { trim(); }
+
+Buffer Buffer::allocate(std::size_t capacity, std::size_t headroom) {
+  return BufferPool::local().allocate(capacity, headroom);
+}
+
+Buffer Buffer::copy_of(std::span<const std::uint8_t> bytes,
+                       std::size_t headroom) {
+  Buffer buf = BufferPool::local().allocate(bytes.size(), headroom);
+  if (!bytes.empty()) {
+    std::memcpy(buf.data_, bytes.data(), bytes.size());
+  }
+  buf.len_ = bytes.size();
+  return buf;
+}
+
+void Buffer::reallocate(std::size_t new_headroom, std::size_t new_tailroom) {
+  Buffer grown =
+      BufferPool::local().allocate(len_ + new_tailroom, new_headroom);
+  if (len_ != 0) std::memcpy(grown.data_, data_, len_);
+  grown.len_ = len_;
+  swap(grown);
+}
+
+std::uint8_t* Buffer::prepend(std::size_t n) {
+  if (!unique() || headroom() < n) {
+    // Copy-on-write / room miss: give the copy generous front slack so a
+    // retried prepend sequence stays in place.
+    reallocate(std::max<std::size_t>(n, 64), tailroom());
+  }
+  data_ -= n;
+  len_ += n;
+  return data_;
+}
+
+std::uint8_t* Buffer::append(std::size_t n) {
+  if (!unique() || tailroom() < n) {
+    const std::size_t slack =
+        std::max<std::size_t>(n, slab_ == nullptr ? 0 : slab_->capacity);
+    reallocate(headroom(), slack);
+  }
+  std::uint8_t* out = data_ + len_;
+  len_ += n;
+  return out;
+}
+
+void Buffer::assign(std::span<const std::uint8_t> bytes) {
+  if (!unique() || slab_->capacity < bytes.size()) {
+    Buffer fresh = copy_of(bytes);
+    swap(fresh);
+    return;
+  }
+  data_ = slab_->storage();
+  if (!bytes.empty()) std::memcpy(data_, bytes.data(), bytes.size());
+  len_ = bytes.size();
+}
+
+}  // namespace doxlab::util

@@ -1,0 +1,220 @@
+// Pooled, headroom-aware byte buffers — the zero-copy backbone of the
+// transport stack.
+//
+// A `Buffer` is a ref-counted handle onto a heap slab with reserved
+// *headroom* in front of the payload and *tailroom* behind it. Encoders
+// write the innermost payload once (DNS message, HTTP body) and each outer
+// layer *prepends its framing in place* — DoT length prefix, H2/H3 frame
+// header, TLS record header, QUIC packet header — instead of re-copying
+// the payload into a fresh vector per layer. The receive path hands the
+// same slab up the stack and parses `std::span` views over it.
+//
+// Slabs come from a thread-local `BufferPool` free list with power-of-two
+// size classes and high-water-mark sizing, so a steady-state forwarder
+// recycles the same few slabs and performs zero heap allocations per
+// query. Refcounts are intentionally non-atomic: the simulator confines
+// each campaign cell (and therefore every buffer it creates) to a single
+// worker thread, mirroring the CorePtr design in src/sim. A slab released
+// on a thread other than its allocator simply returns to *that* thread's
+// pool — slabs carry no owner pointer, so cross-thread handoff is safe,
+// it is only concurrent *sharing* of one buffer that is not supported.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+namespace doxlab::util {
+
+class BufferPool;
+
+namespace detail {
+
+/// Slab header; payload storage follows contiguously. 8-byte alignment
+/// keeps the storage area pointer-aligned: free slabs park their intrusive
+/// next-pointer in the first payload bytes.
+struct alignas(8) Slab {
+  std::uint32_t refs;      ///< non-atomic; buffers are thread-confined
+  std::uint32_t capacity;  ///< storage bytes following this header
+  std::uint8_t size_class; ///< pool class index; kUnpooled for oversize
+  std::uint8_t* storage() { return reinterpret_cast<std::uint8_t*>(this + 1); }
+  const std::uint8_t* storage() const {
+    return reinterpret_cast<const std::uint8_t*>(this + 1);
+  }
+};
+
+inline constexpr std::uint8_t kUnpooled = 0xFF;
+
+/// Returns the slab to the releasing thread's pool (or frees it outright
+/// when oversize or during thread teardown).
+void release_slab(Slab* slab);
+
+}  // namespace detail
+
+/// Ref-counted view-adjustable byte buffer. Copying bumps a refcount and
+/// shares the slab (treat shared contents as immutable); moving transfers
+/// ownership. `prepend`/`append` mutate in place while the buffer is
+/// uniquely owned and the reserved room suffices, and fall back to a
+/// copy-on-write reallocation otherwise — correctness never depends on the
+/// headroom budget being right, only speed does.
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(const Buffer& other) : slab_(other.slab_), data_(other.data_),
+                                len_(other.len_) {
+    if (slab_ != nullptr) ++slab_->refs;
+  }
+  Buffer(Buffer&& other) noexcept
+      : slab_(other.slab_), data_(other.data_), len_(other.len_) {
+    other.slab_ = nullptr;
+    other.data_ = nullptr;
+    other.len_ = 0;
+  }
+  Buffer& operator=(const Buffer& other) {
+    Buffer tmp(other);
+    swap(tmp);
+    return *this;
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ~Buffer() { release(); }
+
+  void swap(Buffer& other) noexcept {
+    std::swap(slab_, other.slab_);
+    std::swap(data_, other.data_);
+    std::swap(len_, other.len_);
+  }
+
+  /// Pool-allocates an empty buffer able to hold `capacity` payload bytes
+  /// after `headroom` reserved front bytes.
+  static Buffer allocate(std::size_t capacity, std::size_t headroom = 0);
+
+  /// Pool-allocates a copy of `bytes` with `headroom` reserved in front.
+  static Buffer copy_of(std::span<const std::uint8_t> bytes,
+                        std::size_t headroom = 0);
+
+  const std::uint8_t* data() const { return data_; }
+  std::uint8_t* data() { return data_; }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  std::span<const std::uint8_t> view() const { return {data_, len_}; }
+  operator std::span<const std::uint8_t>() const { return {data_, len_}; }
+
+  /// Unused bytes in front of / behind the payload (0 for a null buffer).
+  std::size_t headroom() const {
+    return slab_ == nullptr ? 0
+                            : static_cast<std::size_t>(data_ - slab_->storage());
+  }
+  std::size_t tailroom() const {
+    return slab_ == nullptr ? 0 : slab_->capacity - headroom() - len_;
+  }
+  bool unique() const { return slab_ != nullptr && slab_->refs == 1; }
+
+  /// Grows the payload by `n` front bytes and returns a pointer to them
+  /// (in place when uniquely owned with enough headroom).
+  std::uint8_t* prepend(std::size_t n);
+  /// Grows the payload by `n` back bytes and returns a pointer to them.
+  std::uint8_t* append(std::size_t n);
+
+  /// Shrinks the view from the front/back without touching the bytes.
+  void drop_front(std::size_t n) { data_ += n; len_ -= n; }
+  void drop_back(std::size_t n) { len_ -= n; }
+
+  /// Replaces the contents with `bytes`, reusing the slab when uniquely
+  /// owned and large enough.
+  void assign(std::span<const std::uint8_t> bytes);
+
+  /// Releases the slab and becomes a null buffer.
+  void clear() {
+    release();
+    slab_ = nullptr;
+    data_ = nullptr;
+    len_ = 0;
+  }
+
+ private:
+  friend class BufferPool;
+  Buffer(detail::Slab* slab, std::uint8_t* data, std::size_t len)
+      : slab_(slab), data_(data), len_(len) {}
+
+  void release() {
+    if (slab_ != nullptr && --slab_->refs == 0) detail::release_slab(slab_);
+  }
+  /// Moves to a fresh uniquely-owned slab with the requested room.
+  void reallocate(std::size_t new_headroom, std::size_t new_tailroom);
+
+  detail::Slab* slab_ = nullptr;
+  std::uint8_t* data_ = nullptr;
+  std::size_t len_ = 0;
+};
+
+/// Non-owning view with the same surface tests use for Buffer contents.
+/// Prefer std::span in new APIs; BufferView adds only convenience accessors.
+class BufferView {
+ public:
+  BufferView() = default;
+  BufferView(const Buffer& buffer) : data_(buffer.data()), len_(buffer.size()) {}
+  BufferView(std::span<const std::uint8_t> bytes)
+      : data_(bytes.data()), len_(bytes.size()) {}
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  operator std::span<const std::uint8_t>() const { return {data_, len_}; }
+  std::span<const std::uint8_t> subview(std::size_t offset,
+                                        std::size_t count) const {
+    return std::span<const std::uint8_t>(data_ + offset, count);
+  }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t len_ = 0;
+};
+
+/// Thread-local slab recycler. Free lists are per power-of-two size class
+/// (512 B … 64 KiB; larger slabs bypass the pool), each capped at its
+/// observed high-water mark of concurrently outstanding slabs, so the pool
+/// adapts to the workload instead of hoarding.
+class BufferPool {
+ public:
+  static constexpr std::size_t kMinSlabBytes = 512;
+  static constexpr std::size_t kMaxPooledBytes = 64 * 1024;
+  static constexpr int kClasses = 8;  // 512 << 0 … 512 << 7
+
+  struct Stats {
+    std::uint64_t fresh_allocs = 0;  ///< slabs taken from the heap
+    std::uint64_t reuses = 0;        ///< slabs recycled from a free list
+    std::uint64_t oversize = 0;      ///< unpooled (> kMaxPooledBytes) allocs
+    std::uint64_t outstanding = 0;   ///< live slabs right now
+    std::uint64_t high_water = 0;    ///< max simultaneously live slabs
+    std::uint64_t cached = 0;        ///< slabs parked on free lists
+  };
+
+  /// The calling thread's pool.
+  static BufferPool& local();
+
+  Buffer allocate(std::size_t capacity, std::size_t headroom);
+  Stats stats() const;
+  /// Frees every cached slab (tests use this to probe recycling).
+  void trim();
+
+  ~BufferPool();
+
+ private:
+  friend void detail::release_slab(detail::Slab* slab);
+  void recycle(detail::Slab* slab);
+
+  detail::Slab* free_[kClasses] = {};   // intrusive singly-linked free lists
+  std::uint32_t free_count_[kClasses] = {};
+  std::uint32_t live_[kClasses] = {};       // outstanding per class
+  std::uint32_t high_water_[kClasses] = {}; // per-class high-water mark
+  std::uint64_t fresh_allocs_ = 0;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t oversize_ = 0;
+};
+
+}  // namespace doxlab::util

@@ -3,20 +3,23 @@
 namespace doxlab {
 
 void ByteWriter::u16(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  std::uint8_t* out = grab(2);
+  out[0] = static_cast<std::uint8_t>(v >> 8);
+  out[1] = static_cast<std::uint8_t>(v);
 }
 
 void ByteWriter::u32(std::uint32_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  std::uint8_t* out = grab(4);
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
 }
 
 void ByteWriter::u64(std::uint64_t v) {
+  std::uint8_t* out = grab(8);
   for (int shift = 56; shift >= 0; shift -= 8) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    *out++ = static_cast<std::uint8_t>(v >> shift);
   }
 }
 
@@ -35,18 +38,27 @@ void ByteWriter::varint(std::uint64_t v) {
 }
 
 void ByteWriter::bytes(std::span<const std::uint8_t> data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  if (data.empty()) return;
+  std::memcpy(grab(data.size()), data.data(), data.size());
 }
 
 void ByteWriter::bytes(std::string_view data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  if (data.empty()) return;
+  std::memcpy(grab(data.size()), data.data(), data.size());
 }
 
 void ByteWriter::pad(std::size_t n, std::uint8_t fill) {
-  buf_.insert(buf_.end(), n, fill);
+  if (n == 0) return;
+  std::memset(grab(n), fill, n);
 }
 
 void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (pooled_mode_) {
+    std::uint8_t* at = pooled_.data() + base_ + offset;
+    at[0] = static_cast<std::uint8_t>(v >> 8);
+    at[1] = static_cast<std::uint8_t>(v);
+    return;
+  }
   buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
   buf_.at(offset + 1) = static_cast<std::uint8_t>(v);
 }

@@ -2,6 +2,8 @@
 // cache — including the byte-size anchors the paper's Table 1 relies on.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "dns/cache.h"
 #include "dns/message.h"
 #include "dns/name.h"
@@ -50,22 +52,28 @@ TEST(DnsName, SubdomainAndParent) {
 }
 
 TEST(DnsName, CompressionSharesSuffixes) {
+  // Written names must outlive the compressor (it keys on views into
+  // their label storage), so bind them to locals.
+  const DnsName google = DnsName::parse("google.com");
+  const DnsName www = DnsName::parse("www.google.com");
   ByteWriter w;
   NameCompressor nc;
-  nc.write(w, DnsName::parse("google.com"));
+  nc.write(w, google);
   const std::size_t first = w.size();
   EXPECT_EQ(first, 12u);
-  nc.write(w, DnsName::parse("google.com"));
+  nc.write(w, google);
   EXPECT_EQ(w.size(), first + 2);  // pure pointer
-  nc.write(w, DnsName::parse("www.google.com"));
+  nc.write(w, www);
   EXPECT_EQ(w.size(), first + 2 + 4 + 2);  // "www" label + pointer
 }
 
 TEST(DnsName, CompressedRoundTrip) {
+  const DnsName mail = DnsName::parse("mail.google.com");
+  const DnsName chat = DnsName::parse("chat.google.com");
   ByteWriter w;
   NameCompressor nc;
-  nc.write(w, DnsName::parse("mail.google.com"));
-  nc.write(w, DnsName::parse("chat.google.com"));
+  nc.write(w, mail);
+  nc.write(w, chat);
   ByteReader r(w.view());
   EXPECT_EQ(read_name(r)->to_string(), "mail.google.com");
   EXPECT_EQ(read_name(r)->to_string(), "chat.google.com");
@@ -107,6 +115,48 @@ TEST(Message, CachedResponseEncodesToPaperAnchorSize) {
   r.answers.push_back(
       make_a(DnsName::parse("google.com"), 300, 0x8EFA'B00Eu));
   EXPECT_EQ(r.encode().size(), 55u);
+}
+
+TEST(Message, PooledEncodeMatchesVectorEncodeByteForByte) {
+  // The zero-copy path must not change a single wire byte: Table 1 and the
+  // fig2/fig3/fig4 CSVs are pinned to these exact encodings (59/63-byte
+  // DoUDP query/response IP payloads with the 8-byte UDP header).
+  Message q = make_query(0x1234, DnsName::parse("google.com"), RRType::kA);
+  Message r = make_response(q);
+  r.answers.push_back(make_a(DnsName::parse("google.com"), 300, 0x08080404));
+
+  for (const Message* m : {&q, &r}) {
+    const std::vector<std::uint8_t> vec = m->encode();
+    const util::Buffer plain = m->encode_buffer();
+    const util::Buffer roomy = m->encode_buffer(/*headroom=*/14);
+    ASSERT_EQ(plain.size(), vec.size());
+    EXPECT_EQ(std::memcmp(plain.data(), vec.data(), vec.size()), 0);
+    ASSERT_EQ(roomy.size(), vec.size());
+    EXPECT_EQ(std::memcmp(roomy.data(), vec.data(), vec.size()), 0);
+    EXPECT_GE(roomy.headroom(), 14u);
+  }
+  EXPECT_EQ(q.encode_buffer().size(), 51u);  // + 8-byte UDP header = 59
+  EXPECT_EQ(r.encode_buffer().size(), 55u);  // + 8-byte UDP header = 63
+}
+
+TEST(Message, DecodeIntoMatchesDecodeAndReusesScratch) {
+  Message q = make_query(0x4321, DnsName::parse("example.org"), RRType::kAAAA);
+  Message r = make_response(q);
+  r.answers.push_back(make_a(DnsName::parse("example.org"), 60, 0x01020304));
+
+  Message scratch;
+  // Decode the (larger) response first, then the query into the same
+  // scratch: stale answers/additionals must be fully overwritten.
+  const std::vector<std::uint8_t> response_wire = r.encode();
+  ASSERT_TRUE(Message::decode_into(response_wire, scratch));
+  EXPECT_EQ(scratch.encode(), response_wire);
+
+  const std::vector<std::uint8_t> query_wire = q.encode();
+  ASSERT_TRUE(Message::decode_into(query_wire, scratch));
+  auto fresh = Message::decode(query_wire);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(scratch.encode(), fresh->encode());
+  EXPECT_TRUE(scratch.answers.empty());
 }
 
 TEST(Message, RoundTripPreservesEverything) {
@@ -289,6 +339,31 @@ TEST(Cache, ExpiryAtTtlBoundary) {
   cache.insert(name, RRType::kA, {make_a(name, 300, 1)}, 0);
   EXPECT_TRUE(cache.lookup(name, RRType::kA, 299 * kSecond).has_value());
   EXPECT_FALSE(cache.lookup(name, RRType::kA, 300 * kSecond).has_value());
+}
+
+TEST(Cache, LookupRefBorrowsRecordsWithoutTtlDecay) {
+  // The allocation-free engine path: EntryRef points at the cached records
+  // (original TTLs); the caller applies `age_s` itself.
+  Cache cache;
+  DnsName name = DnsName::parse("ref.example");
+  cache.insert(name, RRType::kA, {make_a(name, 300, 7)}, 0);
+
+  auto ref = cache.lookup_ref(name, RRType::kA, 100 * kSecond);
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_FALSE(ref->stale);
+  EXPECT_EQ(ref->age_s, 100u);
+  ASSERT_EQ(ref->records->size(), 1u);
+  EXPECT_EQ((*ref->records)[0].ttl, 300u);  // undecayed — borrowed storage
+
+  // Expired + within max_stale: the stale ref leaves TTL clamping to the
+  // caller as well.
+  auto stale = cache.lookup_stale_ref(name, RRType::kA, 301 * kSecond,
+                                      /*max_stale=*/10 * kSecond);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_TRUE(stale->stale);
+  auto gone = cache.lookup_stale_ref(name, RRType::kA, 312 * kSecond,
+                                     /*max_stale=*/10 * kSecond);
+  EXPECT_FALSE(gone.has_value());
 }
 
 TEST(Cache, TypeAndNameAreKeyed) {

@@ -90,7 +90,7 @@ class EngineFixture : public ::testing::Test {
     auto socket = udp_.bind_ephemeral();
     std::optional<dns::Message> response;
     socket->on_datagram(
-        [&](const Endpoint&, std::vector<std::uint8_t> payload) {
+        [&](const Endpoint&, util::Buffer payload) {
           response = dns::Message::decode(payload);
         });
     dns::Message query =
@@ -132,7 +132,7 @@ TEST_F(EngineFixture, CoalescesConcurrentIdenticalQueries) {
   for (int i = 0; i < 5; ++i) {
     sockets.push_back(udp_.bind_ephemeral());
     sockets.back()->on_datagram(
-        [&](const Endpoint&, std::vector<std::uint8_t> payload) {
+        [&](const Endpoint&, util::Buffer payload) {
           auto response = dns::Message::decode(payload);
           ASSERT_TRUE(response.has_value());
           answered_ids.push_back(response->id);
@@ -169,7 +169,7 @@ TEST_F(EngineFixture, CoalescingDisabledResolvesEachQueryUpstream) {
   for (int i = 0; i < 3; ++i) {
     sockets.push_back(udp_.bind_ephemeral());
     sockets.back()->on_datagram(
-        [&](const Endpoint&, std::vector<std::uint8_t>) { ++answers; });
+        [&](const Endpoint&, util::Buffer) { ++answers; });
     dns::Message query = dns::make_query(
         static_cast<std::uint16_t>(i), dns::DnsName::parse("hot.example"),
         dns::RRType::kA);
@@ -218,7 +218,7 @@ TEST_F(EngineFixture, ServeStaleAnswersImmediatelyAndRefreshes) {
   std::optional<dns::Message> response;
   SimTime answered_at = 0;
   socket->on_datagram(
-      [&](const Endpoint&, std::vector<std::uint8_t> payload) {
+      [&](const Endpoint&, util::Buffer payload) {
         response = dns::Message::decode(payload);
         answered_at = sim_.now();
       });
@@ -332,7 +332,7 @@ TEST_F(EngineFixture, NegativeAnswerCachedAndFannedOut) {
   auto socket = udp_.bind_ephemeral();
   std::optional<dns::Message> response;
   socket->on_datagram(
-      [&](const Endpoint&, std::vector<std::uint8_t> payload) {
+      [&](const Endpoint&, util::Buffer payload) {
         response = dns::Message::decode(payload);
       });
   dns::Message query = dns::make_query(

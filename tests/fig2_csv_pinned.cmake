@@ -1,0 +1,22 @@
+# Byte-fidelity pin for the zero-copy byte path: runs the fig2 experiment
+# in a scratch directory and asserts the CSV it writes is bit-identical to
+# the committed baseline hash. Same seeds must keep producing the same wire
+# traces and therefore the same timings, no matter how the buffers under
+# them are pooled or framed.
+#
+# Invoked by ctest as:
+#   cmake -DFIG2_BIN=... -DWORK_DIR=... -DEXPECTED_SHA256=... -P this_file
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(COMMAND "${FIG2_BIN}" --csv
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig2_single_query --csv failed (exit ${rc})")
+endif()
+file(SHA256 "${WORK_DIR}/fig2_single_query.csv" actual)
+if(NOT actual STREQUAL "${EXPECTED_SHA256}")
+  message(FATAL_ERROR "fig2_single_query.csv drifted: sha256 ${actual} != "
+                      "pinned ${EXPECTED_SHA256} — the byte path changed "
+                      "observable wire behaviour")
+endif()

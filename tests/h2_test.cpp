@@ -63,8 +63,8 @@ TEST(Hpack, ValueChangeReusesNameIndex) {
 struct H2Pair {
   H2Pair() {
     H2Connection::Callbacks ccb;
-    ccb.send_transport = [this](std::vector<std::uint8_t> b) {
-      to_server.insert(to_server.end(), b.begin(), b.end());
+    ccb.send_transport = [this](util::Buffer b) {
+      to_server.insert(to_server.end(), b.data(), b.data() + b.size());
     };
     ccb.on_headers = [this](std::uint32_t id, const std::vector<Header>& h,
                             bool end) {
@@ -79,8 +79,8 @@ struct H2Pair {
     client = std::make_unique<H2Connection>(true, std::move(ccb));
 
     H2Connection::Callbacks scb;
-    scb.send_transport = [this](std::vector<std::uint8_t> b) {
-      to_client.insert(to_client.end(), b.begin(), b.end());
+    scb.send_transport = [this](util::Buffer b) {
+      to_client.insert(to_client.end(), b.data(), b.data() + b.size());
     };
     scb.on_headers = [this](std::uint32_t id, const std::vector<Header>& h,
                             bool end) {
@@ -144,15 +144,18 @@ TEST(H2Connection, SettingsExchangedBothWays) {
 TEST(H2Connection, StreamIdsAreOddAndIncreasing) {
   H2Pair pair;
   pair.client->start();
-  EXPECT_EQ(pair.client->send_request({{":method", "GET"}}, {}), 1u);
-  EXPECT_EQ(pair.client->send_request({{":method", "GET"}}, {}), 3u);
-  EXPECT_EQ(pair.client->send_request({{":method", "GET"}}, {}), 5u);
+  EXPECT_EQ(pair.client->send_request({{":method", "GET"}}, util::Buffer{}),
+            1u);
+  EXPECT_EQ(pair.client->send_request({{":method", "GET"}}, util::Buffer{}),
+            3u);
+  EXPECT_EQ(pair.client->send_request({{":method", "GET"}}, util::Buffer{}),
+            5u);
 }
 
 TEST(H2Connection, BadPrefaceFailsServer) {
   bool failed = false;
   H2Connection::Callbacks scb;
-  scb.send_transport = [](std::vector<std::uint8_t>) {};
+  scb.send_transport = [](util::Buffer) {};
   scb.on_error = [&](const std::string&) { failed = true; };
   H2Connection server(false, std::move(scb));
   std::vector<std::uint8_t> junk(32, 'x');
@@ -177,8 +180,9 @@ TEST(H2Connection, GoawayDelivered) {
   H2Pair pair;
   bool goaway = false;
   H2Connection::Callbacks scb;
-  scb.send_transport = [&pair](std::vector<std::uint8_t> b) {
-    pair.to_client.insert(pair.to_client.end(), b.begin(), b.end());
+  scb.send_transport = [&pair](util::Buffer b) {
+    pair.to_client.insert(pair.to_client.end(), b.data(),
+                          b.data() + b.size());
   };
   scb.on_goaway = [&] { goaway = true; };
   H2Connection server(false, std::move(scb));

@@ -237,13 +237,13 @@ TEST(H3Frames, RequestResponseThroughLoopbackQuic) {
 
   auto socket = udp_a.bind_ephemeral();
   quic::QuicConnection::Callbacks conn_callbacks;
-  conn_callbacks.send_datagram = [&](std::vector<std::uint8_t> bytes) {
+  conn_callbacks.send_datagram = [&](util::Buffer bytes) {
     socket->send_to(Endpoint{b.address(), 443}, std::move(bytes));
   };
   auto conn = quic::QuicConnection::make_client(
       sim, quic::QuicConfig{.alpn = {"h3"}, .sni = "b"},
       std::move(conn_callbacks));
-  socket->on_datagram([&](const Endpoint&, std::vector<std::uint8_t> d) {
+  socket->on_datagram([&](const Endpoint&, util::Buffer d) {
     conn->on_datagram(d);
   });
 

@@ -111,7 +111,7 @@ TEST_F(IntegrationFixture, DotBugVisibleAsSecondConnectionOnWire) {
     auto socket = udp_.bind_ephemeral();
     int answers = 0;
     socket->on_datagram(
-        [&](const Endpoint&, std::vector<std::uint8_t>) { ++answers; });
+        [&](const Endpoint&, util::Buffer) { ++answers; });
     for (int i = 0; i < 3; ++i) {
       dns::Message query = dns::make_query(
           static_cast<std::uint16_t>(i + 1),

@@ -124,9 +124,9 @@ TEST_F(NetworkFixture, UdpDelivery) {
 
   std::vector<std::uint8_t> received;
   Endpoint from{};
-  server->on_datagram([&](const Endpoint& src, std::vector<std::uint8_t> d) {
+  server->on_datagram([&](const Endpoint& src, util::Buffer d) {
     from = src;
-    received = std::move(d);
+    received.assign(d.data(), d.data() + d.size());
   });
 
   client->send_to(Endpoint{b_.address(), 53}, {1, 2, 3});
@@ -147,7 +147,7 @@ TEST_F(NetworkFixture, DeliveryDelayMatchesPathOverride) {
   auto client = stack_a.bind_ephemeral();
   SimTime arrival = -1;
   server->on_datagram(
-      [&](const Endpoint&, std::vector<std::uint8_t>) { arrival = sim_.now(); });
+      [&](const Endpoint&, util::Buffer) { arrival = sim_.now(); });
   client->send_to(Endpoint{b_.address(), 53}, {0});
   sim_.run();
   // Path override pins the base delay; jitter is still added.
@@ -163,7 +163,7 @@ TEST_F(NetworkFixture, FullLossDropsEverything) {
   auto client = stack_a.bind_ephemeral();
   bool got = false;
   server->on_datagram(
-      [&](const Endpoint&, std::vector<std::uint8_t>) { got = true; });
+      [&](const Endpoint&, util::Buffer) { got = true; });
   for (int i = 0; i < 50; ++i) {
     client->send_to(Endpoint{b_.address(), 53}, {0});
   }
@@ -179,7 +179,7 @@ TEST_F(NetworkFixture, DownHostDropsAtDelivery) {
   auto client = stack_a.bind_ephemeral();
   bool got = false;
   server->on_datagram(
-      [&](const Endpoint&, std::vector<std::uint8_t>) { got = true; });
+      [&](const Endpoint&, util::Buffer) { got = true; });
   b_.set_up(false);
   client->send_to(Endpoint{b_.address(), 53}, {0});
   sim_.run();
@@ -218,7 +218,7 @@ TEST_F(NetworkFixture, LoopbackIsFastAndLossless) {
   auto client = stack_a.bind_ephemeral();
   SimTime arrival = -1;
   server->on_datagram(
-      [&](const Endpoint&, std::vector<std::uint8_t>) { arrival = sim_.now(); });
+      [&](const Endpoint&, util::Buffer) { arrival = sim_.now(); });
   client->send_to(Endpoint{a_.address(), 53}, {0});
   sim_.run();
   EXPECT_GE(arrival, 0);

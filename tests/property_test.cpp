@@ -439,10 +439,10 @@ TEST_P(TlsCertSweep, ServerFlightGrowsWithChainSize) {
 
   tls::TlsSession* server_ptr = nullptr;
   tls::TlsSession* client_ptr = nullptr;
-  std::vector<std::vector<std::uint8_t>> to_server, to_client;
+  std::vector<util::Buffer> to_server, to_client;
 
   tls::TlsSession::Callbacks server_callbacks;
-  server_callbacks.send_transport = [&](std::vector<std::uint8_t> bytes) {
+  server_callbacks.send_transport = [&](util::Buffer bytes) {
     server_bytes += bytes.size();
     to_client.push_back(std::move(bytes));
   };
@@ -451,7 +451,7 @@ TEST_P(TlsCertSweep, ServerFlightGrowsWithChainSize) {
   server_ptr = &server;
 
   tls::TlsSession::Callbacks client_callbacks;
-  client_callbacks.send_transport = [&](std::vector<std::uint8_t> bytes) {
+  client_callbacks.send_transport = [&](util::Buffer bytes) {
     to_server.push_back(std::move(bytes));
   };
   client_callbacks.on_handshake_complete =
@@ -513,7 +513,7 @@ TEST(SimulatorProperty, IdenticalSeedsGiveIdenticalRuns) {
     net::UdpStack ua(a), ub(b);
     auto server = ub.bind(53);
     std::vector<SimTime> arrivals;
-    server->on_datagram([&](const net::Endpoint&, std::vector<std::uint8_t>) {
+    server->on_datagram([&](const net::Endpoint&, util::Buffer) {
       arrivals.push_back(sim.now());
     });
     auto client = ua.bind_ephemeral();

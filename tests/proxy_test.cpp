@@ -62,7 +62,7 @@ class ProxyFixture : public ::testing::Test {
     auto socket = udp_.bind_ephemeral();
     std::optional<dns::Message> response;
     socket->on_datagram(
-        [&](const Endpoint&, std::vector<std::uint8_t> payload) {
+        [&](const Endpoint&, util::Buffer payload) {
           response = dns::Message::decode(payload);
         });
     dns::Message query =
@@ -135,7 +135,7 @@ TEST_F(ProxyFixture, TruncatedUpstreamAnswerArrivesCompleteViaTcpFallback) {
   auto socket = udp_.bind_ephemeral();
   std::optional<dns::Message> response;
   socket->on_datagram(
-      [&](const Endpoint&, std::vector<std::uint8_t> payload) {
+      [&](const Endpoint&, util::Buffer payload) {
         response = dns::Message::decode(payload);
       });
   dns::Message query = dns::make_query(
@@ -200,7 +200,7 @@ TEST_F(ProxyFixture, MalformedStubQueryIgnored) {
   auto socket = udp_.bind_ephemeral();
   bool got = false;
   socket->on_datagram(
-      [&](const Endpoint&, std::vector<std::uint8_t>) { got = true; });
+      [&](const Endpoint&, util::Buffer) { got = true; });
   socket->send_to(Endpoint{client_host_.address(), 53}, {1, 2, 3});
   sim_.run_until(sim_.now() + kSecond);
   EXPECT_FALSE(got);
@@ -212,7 +212,7 @@ TEST_F(ProxyFixture, ConcurrentStubQueriesAllAnswered) {
   auto socket = udp_.bind_ephemeral();
   int answers = 0;
   socket->on_datagram(
-      [&](const Endpoint&, std::vector<std::uint8_t>) { ++answers; });
+      [&](const Endpoint&, util::Buffer) { ++answers; });
   for (int i = 0; i < 5; ++i) {
     dns::Message query = dns::make_query(
         static_cast<std::uint16_t>(100 + i),

@@ -205,7 +205,7 @@ class QuicFixture : public ::testing::Test {
   std::shared_ptr<QuicConnection> make_client(QuicConfig config) {
     client_socket_ = client_udp_.bind_ephemeral();
     QuicConnection::Callbacks callbacks;
-    callbacks.send_datagram = [this](std::vector<std::uint8_t> bytes) {
+    callbacks.send_datagram = [this](util::Buffer bytes) {
       client_socket_->send_to(Endpoint{server_host_.address(), 853},
                               std::move(bytes));
     };
@@ -235,7 +235,7 @@ class QuicFixture : public ::testing::Test {
     auto conn = QuicConnection::make_client(sim_, std::move(config),
                                             std::move(callbacks));
     client_socket_->on_datagram(
-        [conn](const Endpoint&, std::vector<std::uint8_t> payload) {
+        [conn](const Endpoint&, util::Buffer payload) {
           conn->on_datagram(payload);
         });
     return conn;
@@ -583,7 +583,7 @@ TEST_F(QuicFixture, StreamsSurviveExtremeJitterReordering) {
   });
   auto socket = cu.bind_ephemeral();
   QuicConnection::Callbacks callbacks;
-  callbacks.send_datagram = [&](std::vector<std::uint8_t> bytes) {
+  callbacks.send_datagram = [&](util::Buffer bytes) {
     socket->send_to(Endpoint{sh.address(), 853}, std::move(bytes));
   };
   callbacks.on_stream_data = [&](std::uint64_t id,
@@ -593,7 +593,7 @@ TEST_F(QuicFixture, StreamsSurviveExtremeJitterReordering) {
   auto conn = QuicConnection::make_client(
       sim, QuicConfig{.alpn = {"doq"}, .sni = "s"}, std::move(callbacks));
   socket->on_datagram([conn](const Endpoint&,
-                             std::vector<std::uint8_t> payload) {
+                             util::Buffer payload) {
     conn->on_datagram(payload);
   });
   conn->connect();

@@ -21,7 +21,7 @@ class TlsPair {
     server_cfg.is_server = true;
 
     TlsSession::Callbacks ccb;
-    ccb.send_transport = [this](std::vector<std::uint8_t> b) {
+    ccb.send_transport = [this](util::Buffer b) {
       c2s_bytes += b.size();
       to_server_.push_back(std::move(b));
     };
@@ -37,7 +37,7 @@ class TlsPair {
     ccb.now = [this] { return now_; };
 
     TlsSession::Callbacks scb;
-    scb.send_transport = [this](std::vector<std::uint8_t> b) {
+    scb.send_transport = [this](util::Buffer b) {
       s2c_bytes += b.size();
       to_client_.push_back(std::move(b));
     };
@@ -61,7 +61,7 @@ class TlsPair {
     pumping_ = true;
     while (!to_server_.empty() || !to_client_.empty()) {
       ++flight_counter;
-      std::vector<std::vector<std::uint8_t>> batch;
+      std::vector<util::Buffer> batch;
       batch.swap(to_server_);
       for (auto& b : batch) server->on_transport_data(b);
       batch.clear();
@@ -89,8 +89,8 @@ class TlsPair {
  private:
   SimTime now_;
   bool pumping_ = false;
-  std::vector<std::vector<std::uint8_t>> to_server_;
-  std::vector<std::vector<std::uint8_t>> to_client_;
+  std::vector<util::Buffer> to_server_;
+  std::vector<util::Buffer> to_client_;
 };
 
 TlsConfig dot_client() {
@@ -321,8 +321,9 @@ TEST(TlsWire, RecordFramingSurvivesFragmentation) {
       {.is_server = true, .alpn = {"dot"}, .ticket_secret = 1},
       TlsSession::Callbacks{
           .send_transport =
-              [&](std::vector<std::uint8_t> b) {
-                server_out.insert(server_out.end(), b.begin(), b.end());
+              [&](util::Buffer b) {
+                server_out.insert(server_out.end(), b.data(),
+                                  b.data() + b.size());
               },
           .on_handshake_complete = [&](const HandshakeInfo&) {},
           .now = [] { return SimTime(0); },
@@ -332,7 +333,7 @@ TEST(TlsWire, RecordFramingSurvivesFragmentation) {
   ClientHello ch;
   ch.alpn = {"dot"};
   auto record = wire.client_hello_record(ch);
-  for (std::uint8_t byte : record) {
+  for (std::uint8_t byte : record.view()) {
     server.on_transport_data(std::span(&byte, 1));
   }
   // Server must have emitted its flight exactly once.
@@ -343,9 +344,10 @@ TEST(TlsWire, RecordFramingSurvivesFragmentation) {
 TEST(TlsWire, NextRecordReturnsNulloptOnPartial) {
   TlsWire wire;
   auto record = wire.finished_record();
-  std::vector<std::uint8_t> buf(record.begin(), record.end() - 1);
+  std::vector<std::uint8_t> buf(record.data(),
+                                record.data() + record.size() - 1);
   EXPECT_FALSE(TlsWire::next_record(buf).has_value());
-  buf.push_back(record.back());
+  buf.push_back(record.data()[record.size() - 1]);
   auto parsed = TlsWire::next_record(buf);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->type, RecordType::kHandshake);
@@ -374,7 +376,8 @@ TEST(TlsWire, TicketRoundTripThroughNst) {
   t.allow_early_data = true;
   t.alpn = "doq";
   auto record_bytes = wire.new_session_ticket_record(t);
-  std::vector<std::uint8_t> buf = record_bytes;
+  std::vector<std::uint8_t> buf(record_bytes.data(),
+                                record_bytes.data() + record_bytes.size());
   auto record = TlsWire::next_record(buf);
   ASSERT_TRUE(record.has_value());
   auto msg = wire.parse_handshake(record->body, /*encrypted=*/true);

@@ -1,6 +1,11 @@
-// Unit tests for util: byte codec (incl. QUIC varints), RNG, strings.
+// Unit tests for util: byte codec (incl. QUIC varints), pooled buffers,
+// RNG, strings.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
+#include "util/buffer.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -165,6 +170,91 @@ TEST(Strings, CaseAndPadding) {
   EXPECT_EQ(pad_left("7", 3), "  7");
   EXPECT_TRUE(ends_with("google.com", ".com"));
   EXPECT_FALSE(ends_with("com", ".com"));
+}
+
+TEST(Buffer, PrependFillsHeadroomInPlace) {
+  util::Buffer buf = util::Buffer::allocate(16, /*headroom=*/8);
+  std::memcpy(buf.append(5), "hello", 5);
+  ASSERT_EQ(buf.size(), 5u);
+  EXPECT_EQ(buf.headroom(), 8u);
+  const std::uint8_t* payload = buf.data();
+
+  std::uint8_t* front = buf.prepend(3);
+  std::memcpy(front, "abc", 3);
+  // In-place: the payload bytes did not move, the view grew leftwards.
+  EXPECT_EQ(buf.data() + 3, payload);
+  EXPECT_EQ(buf.headroom(), 5u);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(std::memcmp(buf.data(), "abchello", 8), 0);
+}
+
+TEST(Buffer, PrependBeyondHeadroomReallocatesCorrectly) {
+  util::Buffer buf = util::Buffer::allocate(8, /*headroom=*/2);
+  std::memcpy(buf.append(4), "data", 4);
+  std::uint8_t* front = buf.prepend(6);  // only 2 bytes of headroom
+  std::memcpy(front, "header", 6);
+  ASSERT_EQ(buf.size(), 10u);
+  EXPECT_EQ(std::memcmp(buf.data(), "headerdata", 10), 0);
+}
+
+TEST(Buffer, SharedPrependCopiesOnWrite) {
+  util::Buffer a = util::Buffer::allocate(16, /*headroom=*/8);
+  std::memcpy(a.append(4), "body", 4);
+  util::Buffer b = a;  // refbump share
+  EXPECT_FALSE(a.unique());
+
+  std::memcpy(b.prepend(2), "xy", 2);
+  // The writer got its own slab; the original view is untouched.
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(std::memcmp(a.data(), "body", 4), 0);
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(std::memcmp(b.data(), "xybody", 6), 0);
+  EXPECT_TRUE(a.unique());
+  EXPECT_TRUE(b.unique());
+}
+
+TEST(BufferPool, RecyclesSlabsFromFreeList) {
+  util::BufferPool& pool = util::BufferPool::local();
+  pool.trim();
+  const auto before = pool.stats();
+
+  { util::Buffer one = util::Buffer::allocate(100); }
+  // The released slab sits on the free list and satisfies the next alloc.
+  { util::Buffer two = util::Buffer::allocate(100); }
+
+  const auto after = pool.stats();
+  EXPECT_EQ(after.fresh_allocs, before.fresh_allocs + 1);
+  EXPECT_GE(after.reuses, before.reuses + 1);
+  EXPECT_GE(after.cached, 1u);
+
+  pool.trim();
+  EXPECT_EQ(pool.stats().cached, 0u);
+}
+
+TEST(BufferPool, HighWaterMarkTracksConcurrentSlabs) {
+  util::BufferPool& pool = util::BufferPool::local();
+  pool.trim();
+  const auto before = pool.stats();
+
+  std::vector<util::Buffer> live;
+  for (int i = 0; i < 4; ++i) live.push_back(util::Buffer::allocate(64));
+  const auto peak = pool.stats();
+  EXPECT_GE(peak.outstanding, before.outstanding + 4);
+  EXPECT_GE(peak.high_water, before.outstanding + 4);
+
+  live.clear();
+  // High-water is sticky: it keeps the peak after the slabs drain.
+  EXPECT_GE(pool.stats().high_water, peak.high_water);
+  pool.trim();
+}
+
+TEST(BufferPool, OversizeAllocationsBypassThePool) {
+  util::BufferPool& pool = util::BufferPool::local();
+  const auto before = pool.stats();
+  { util::Buffer big = util::Buffer::allocate(util::BufferPool::kMaxPooledBytes + 1); }
+  const auto after = pool.stats();
+  EXPECT_EQ(after.oversize, before.oversize + 1);
+  EXPECT_EQ(after.cached, before.cached);  // oversize slabs are never parked
 }
 
 TEST(Types, TimeConversions) {
