@@ -243,8 +243,8 @@ int main(int argc, char** argv) {
              dns::RRClass::kIN},
             [&](dox::QueryResult r) { result = std::move(r); });
         sim.run_until(sim.now() + 30 * kSecond);
-        if (result && result->success &&
-            to_ms(result->handshake_time) > 60.0) {
+        if (result && result->ok() &&
+            to_ms(result->handshake_time()) > 60.0) {
           ++stalls;  // > 1.5 RTT: amplification stall
         }
         transport->reset_sessions();

@@ -92,9 +92,9 @@ int main() {
       session = "full";
     }
     table.add_row({std::string(dox::protocol_name(protocol)),
-                   stats::cell(to_ms(m.result.handshake_time), 1),
-                   stats::cell(to_ms(m.result.resolve_time), 1),
-                   stats::cell(to_ms(m.result.total_time), 1),
+                   stats::cell(to_ms(m.result.handshake_time()), 1),
+                   stats::cell(to_ms(m.result.resolve_time()), 1),
+                   stats::cell(to_ms(m.result.total_time()), 1),
                    std::to_string(m.bytes.total_c2r),
                    std::to_string(m.bytes.total_r2c), session});
   }

@@ -51,20 +51,20 @@ int main() {
       dns::Question{dns::DnsName::parse("google.com"), dns::RRType::kA,
                     dns::RRClass::kIN},
       [&](dox::QueryResult result) {
-        if (!result.success) {
-          std::printf("query failed: %s\n", result.error.c_str());
+        if (!result.ok()) {
+          std::printf("query failed: %s\n", result.error().to_string().c_str());
           return;
         }
         auto ip = dns::rdata_as_a(result.response.answers.at(0));
         std::printf("google.com -> %s\n",
                     net::IpAddress(ip.value_or(0)).to_string().c_str());
         std::printf("  QUIC handshake: %6.1f ms (%s, ALPN %s)\n",
-                    to_ms(result.handshake_time),
+                    to_ms(result.handshake_time()),
                     result.session_resumed ? "resumed" : "full",
                     result.alpn.c_str());
         std::printf("  resolve:        %6.1f ms\n",
-                    to_ms(result.resolve_time));
-        std::printf("  total:          %6.1f ms\n", to_ms(result.total_time));
+                    to_ms(result.resolve_time()));
+        std::printf("  total:          %6.1f ms\n", to_ms(result.total_time()));
       });
   sim.run();
 

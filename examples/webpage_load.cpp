@@ -77,7 +77,7 @@ int main() {
           continue;
         }
         if (!done || !metrics.success) {
-          std::printf("load failed: %s\n", metrics.error.c_str());
+          std::printf("load failed: %s\n", metrics.error.to_string().c_str());
           continue;
         }
         table.add_row({page.name, std::string(dox::protocol_name(protocol)),

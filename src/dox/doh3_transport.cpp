@@ -62,7 +62,6 @@ class Doh3Transport final : public TransportBase {
     std::map<std::uint64_t, std::vector<std::uint8_t>> bodies;
     std::vector<PendingPtr> in_flight;
     std::vector<PendingPtr> queued;
-    SimTime connect_started = 0;
   };
   using StatePtr = std::shared_ptr<ConnState>;
 
@@ -77,8 +76,8 @@ class Doh3Transport final : public TransportBase {
   void open_connection(const PendingPtr& first) {
     auto state = std::make_shared<ConnState>();
     state_ = state;
-    state->connect_started = sim().now();
     first->result.new_session = true;
+    mark(first, QueryPhase::kConnect);
     stats_ = WireStats{};
 
     const DoqServerInfo* known =
@@ -132,16 +131,16 @@ class Doh3Transport final : public TransportBase {
       if (deps_.doq_cache) deps_.doq_cache->entry(cache_key()).token = token;
     };
     callbacks.on_closed = [this, weak_state, guard = alive_guard()](
-                              const std::string& reason) {
+                              const util::Error& error) {
       if (guard.expired()) return;
       auto state = weak_state.lock();
       if (!state) return;
-      if (!reason.empty()) {
+      if (!error.ok()) {
         auto in_flight = std::move(state->in_flight);
         state->in_flight.clear();
         state->queued.clear();
         for (auto& pending : in_flight) {
-          finish_error(pending, "QUIC: " + reason);
+          finish_error(pending, error);
         }
       }
     };
@@ -173,14 +172,14 @@ class Doh3Transport final : public TransportBase {
       on_response_data(state, stream_id, data, end_stream);
     };
     h3_callbacks.on_error = [this, weak_state, guard = alive_guard()](
-                                const std::string& reason) {
+                                const util::Error& error) {
       if (guard.expired()) return;
       auto state = weak_state.lock();
       if (!state) return;
       auto in_flight = std::move(state->in_flight);
       state->in_flight.clear();
       for (auto& pending : in_flight) {
-        finish_error(pending, "H3: " + reason);
+        finish_error(pending, error);
       }
     };
     state->h3 = std::make_unique<h3::H3Connection>(state->conn,
@@ -217,7 +216,6 @@ class Doh3Transport final : public TransportBase {
                       const quic::QuicHandshakeInfo& info) {
     stats_.handshake_c2r = state->conn->bytes_sent();
     stats_.handshake_r2c = state->conn->bytes_received();
-    const SimTime hs = sim().now() - state->connect_started;
     if (deps_.doq_cache) {
       auto& entry = deps_.doq_cache->entry(cache_key());
       entry.version = info.version;
@@ -225,7 +223,7 @@ class Doh3Transport final : public TransportBase {
     }
     for (auto& p : state->in_flight) {
       if (p->result.new_session) {
-        p->result.handshake_time = hs;
+        mark(p, QueryPhase::kSecure);
         p->result.quic_version = info.version;
         p->result.alpn = info.alpn;
         p->result.session_resumed = info.resumed;
@@ -256,7 +254,7 @@ class Doh3Transport final : public TransportBase {
     const std::uint64_t stream_id =
         state->h3->send_request(headers, std::move(body));
     state->by_stream[stream_id] = pending;
-    if (pending->query_sent_at < 0) pending->query_sent_at = sim().now();
+    mark(pending, QueryPhase::kRequestSent);
     if (!pending->result.quic_version && state->conn->info()) {
       const auto& info = *state->conn->info();
       pending->result.quic_version = info.version;
@@ -276,7 +274,7 @@ class Doh3Transport final : public TransportBase {
         auto pending = it->second;
         state->by_stream.erase(it);
         std::erase(state->in_flight, pending);
-        finish_error(pending, "HTTP status " + h.value);
+        finish_error(pending, util::Error::protocol("HTTP status " + h.value));
         return;
       }
     }
@@ -284,7 +282,7 @@ class Doh3Transport final : public TransportBase {
       auto pending = it->second;
       state->by_stream.erase(it);
       std::erase(state->in_flight, pending);
-      finish_error(pending, "empty DoH3 response");
+      finish_error(pending, util::Error::truncated("empty DoH3 response"));
     }
   }
 
@@ -302,7 +300,8 @@ class Doh3Transport final : public TransportBase {
     auto message = dns::Message::decode(body);
     state->bodies.erase(stream_id);
     if (!message || !matches(*message, *pending)) {
-      finish_error(pending, "malformed DoH3 response body");
+      finish_error(pending,
+                   util::Error::protocol("malformed DoH3 response body"));
       return;
     }
     finish_success(pending, std::move(*message));

@@ -64,7 +64,6 @@ class DohTransport final : public TransportBase {
     std::map<std::uint32_t, std::vector<std::uint8_t>> bodies;
     std::vector<PendingPtr> in_flight;
     std::vector<PendingPtr> queued;
-    SimTime connect_started = 0;
     bool established = false;
     bool closed = false;
     bool tls_started = false;
@@ -84,8 +83,8 @@ class DohTransport final : public TransportBase {
     auto state = std::make_shared<ConnState>();
     state_ = state;
     last_ = state;
-    state->connect_started = sim().now();
     first->result.new_session = true;
+    mark(first, QueryPhase::kConnect);
     stats_ = WireStats{};
 
     state->conn = deps_.tcp->connect(options_.resolver);
@@ -126,11 +125,11 @@ class DohTransport final : public TransportBase {
       if (deps_.tickets) deps_.tickets->put(ticket_key(), ticket);
     };
     tls_callbacks.on_error = [this, weak_state, guard = alive_guard()](
-                                 const std::string& reason) {
+                                 const util::Error& error) {
       if (guard.expired()) return;
       auto state = weak_state.lock();
       if (!state) return;
-      fail_connection(state, "TLS error: " + reason);
+      fail_connection(state, error);
     };
     state->tls = std::make_unique<tls::TlsSession>(tls_config,
                                                    std::move(tls_callbacks));
@@ -167,11 +166,11 @@ class DohTransport final : public TransportBase {
       on_response_data(state, stream_id, data, end_stream);
     };
     h2_callbacks.on_error = [this, weak_state, guard = alive_guard()](
-                                const std::string& reason) {
+                                const util::Error& error) {
       if (guard.expired()) return;
       auto state = weak_state.lock();
       if (!state) return;
-      fail_connection(state, "H2 error: " + reason);
+      fail_connection(state, error);
     };
     state->h2 = std::make_unique<h2::H2Connection>(/*is_client=*/true,
                                                    std::move(h2_callbacks));
@@ -182,14 +181,14 @@ class DohTransport final : public TransportBase {
       state->tls->on_transport_data(data);
     });
     state->conn->on_closed([this, weak_state,
-                            guard = alive_guard()](bool error) {
+                            guard = alive_guard()](const util::Error& error) {
       if (guard.expired()) return;
       auto state = weak_state.lock();
       if (!state) return;
       stats_.total_c2r = state->conn->bytes_sent();
       stats_.total_r2c = state->conn->bytes_received();
       state->closed = true;
-      if (error) fail_connection(state, "TCP connection failed");
+      if (!error.ok()) fail_connection(state, error);
       std::erase(closing_, state);
     });
 
@@ -222,10 +221,9 @@ class DohTransport final : public TransportBase {
     state->info = info;
     stats_.handshake_c2r = state->conn->bytes_sent();
     stats_.handshake_r2c = state->conn->bytes_received();
-    const SimTime hs = sim().now() - state->connect_started;
     for (auto& p : state->in_flight) {
       if (p->result.new_session) {
-        p->result.handshake_time = hs;
+        mark(p, QueryPhase::kSecure);
         p->result.tls_version = info.version;
         p->result.session_resumed = info.resumed;
         p->result.used_0rtt = info.early_data_accepted;
@@ -257,7 +255,7 @@ class DohTransport final : public TransportBase {
     const std::uint32_t stream_id =
         state_->h2->send_request(headers, std::move(body));
     state_->by_stream[stream_id] = pending;
-    if (pending->query_sent_at < 0) pending->query_sent_at = sim().now();
+    mark(pending, QueryPhase::kRequestSent);
     if (!pending->result.tls_version && state_->info) {
       pending->result.tls_version = state_->info->version;
       pending->result.session_resumed = state_->info->resumed;
@@ -276,7 +274,7 @@ class DohTransport final : public TransportBase {
         auto pending = it->second;
         state->by_stream.erase(it);
         remove_in_flight(state, pending);
-        finish_error(pending, "HTTP status " + h.value);
+        finish_error(pending, util::Error::protocol("HTTP status " + h.value));
         return;
       }
     }
@@ -284,7 +282,7 @@ class DohTransport final : public TransportBase {
       auto pending = it->second;
       state->by_stream.erase(it);
       remove_in_flight(state, pending);
-      finish_error(pending, "empty DoH response");
+      finish_error(pending, util::Error::truncated("empty DoH response"));
     }
   }
 
@@ -303,7 +301,8 @@ class DohTransport final : public TransportBase {
     auto message = dns::Message::decode(body);
     state->bodies.erase(stream_id);
     if (!message || !matches(*message, *pending)) {
-      finish_error(pending, "malformed DoH response body");
+      finish_error(pending,
+                   util::Error::protocol("malformed DoH response body"));
       return;
     }
     finish_success(pending, std::move(*message));
@@ -315,13 +314,13 @@ class DohTransport final : public TransportBase {
   }
 
   void fail_connection(const std::shared_ptr<ConnState>& state,
-                       const std::string& reason) {
+                       const util::Error& error) {
     auto in_flight = std::move(state->in_flight);
     state->in_flight.clear();
     state->queued.clear();
     state->by_stream.clear();
     state->closed = true;
-    for (auto& pending : in_flight) finish_error(pending, reason);
+    for (auto& pending : in_flight) finish_error(pending, error);
   }
 
   std::shared_ptr<ConnState> state_;

@@ -89,7 +89,6 @@ class DoqTransport final : public TransportBase {
     std::map<std::uint64_t, StreamBuf> streams;
     std::vector<PendingPtr> in_flight;
     std::vector<PendingPtr> queued;
-    SimTime connect_started = 0;
     std::string alpn;  // negotiated (or assumed from cache pre-handshake)
     bool length_prefix = true;
   };
@@ -101,8 +100,8 @@ class DoqTransport final : public TransportBase {
   void open_connection(const PendingPtr& first) {
     auto state = std::make_shared<ConnState>();
     state_ = state;
-    state->connect_started = sim().now();
     first->result.new_session = true;
+    mark(first, QueryPhase::kConnect);
     stats_ = WireStats{};
 
     const DoqServerInfo* known =
@@ -157,16 +156,16 @@ class DoqTransport final : public TransportBase {
       if (deps_.doq_cache) deps_.doq_cache->entry(cache_key()).token = token;
     };
     callbacks.on_closed = [this, weak_state, guard = alive_guard()](
-                              const std::string& reason) {
+                              const util::Error& error) {
       if (guard.expired()) return;
       auto state = weak_state.lock();
       if (!state) return;
-      if (!reason.empty()) {
+      if (!error.ok()) {
         auto in_flight = std::move(state->in_flight);
         state->in_flight.clear();
         state->queued.clear();
         for (auto& pending : in_flight) {
-          finish_error(pending, "QUIC: " + reason);
+          finish_error(pending, error);
         }
       }
     };
@@ -217,7 +216,7 @@ class DoqTransport final : public TransportBase {
     if (state->length_prefix) wire = length_prefixed(wire);
     const std::uint64_t stream_id = state->conn->open_stream(wire, true);
     state->streams[stream_id].pending = pending;
-    if (pending->query_sent_at < 0) pending->query_sent_at = sim().now();
+    mark(pending, QueryPhase::kRequestSent);
   }
 
   void on_established(const std::shared_ptr<ConnState>& state,
@@ -226,7 +225,6 @@ class DoqTransport final : public TransportBase {
     state->length_prefix = alpn_uses_length_prefix(info.alpn);
     stats_.handshake_c2r = state->conn->bytes_sent();
     stats_.handshake_r2c = state->conn->bytes_received();
-    const SimTime hs = sim().now() - state->connect_started;
 
     if (deps_.doq_cache) {
       auto& entry = deps_.doq_cache->entry(cache_key());
@@ -235,7 +233,7 @@ class DoqTransport final : public TransportBase {
     }
     for (auto& p : state->in_flight) {
       if (p->result.new_session) {
-        p->result.handshake_time = hs;
+        mark(p, QueryPhase::kSecure);
         p->result.quic_version = info.version;
         p->result.alpn = info.alpn;
         p->result.session_resumed = info.resumed;
@@ -274,7 +272,7 @@ class DoqTransport final : public TransportBase {
     std::span<const std::uint8_t> payload(buf.data);
     if (state->length_prefix) {
       if (payload.size() < 2) {
-        finish_error(pending, "short DoQ response");
+        finish_error(pending, util::Error::truncated("short DoQ response"));
         return;
       }
       const std::size_t len = (std::size_t(payload[0]) << 8) | payload[1];
@@ -284,7 +282,7 @@ class DoqTransport final : public TransportBase {
     std::erase(state->in_flight, pending);
     state->streams.erase(it);
     if (!message || !matches(*message, *pending)) {
-      finish_error(pending, "malformed DoQ response");
+      finish_error(pending, util::Error::protocol("malformed DoQ response"));
       return;
     }
     finish_success(pending, std::move(*message));

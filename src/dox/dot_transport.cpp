@@ -65,7 +65,6 @@ class DotTransport final : public TransportBase {
     StreamMessageReader reader;
     std::vector<PendingPtr> in_flight;
     std::vector<PendingPtr> queued;  // waiting for handshake
-    SimTime connect_started = 0;
     bool established = false;
     bool closed = false;
     std::optional<tls::HandshakeInfo> info;
@@ -87,8 +86,8 @@ class DotTransport final : public TransportBase {
 
   void open_connection(const PendingPtr& first) {
     auto state = std::make_shared<ConnState>();
-    state->connect_started = sim().now();
     first->result.new_session = true;
+    mark(first, QueryPhase::kConnect);
     stats_ = WireStats{};
     last_ = state;
 
@@ -132,11 +131,11 @@ class DotTransport final : public TransportBase {
       if (deps_.tickets) deps_.tickets->put(ticket_key(), ticket);
     };
     callbacks.on_error = [this, weak_state, guard = alive_guard()](
-                             const std::string& reason) {
+                             const util::Error& error) {
       if (guard.expired()) return;
       auto state = weak_state.lock();
       if (!state) return;
-      fail_connection(state, "TLS error: " + reason);
+      fail_connection(state, error);
     };
     state->tls =
         std::make_unique<tls::TlsSession>(tls_config, std::move(callbacks));
@@ -147,7 +146,7 @@ class DotTransport final : public TransportBase {
       state->tls->on_transport_data(data);
     });
     state->conn->on_closed([this, weak_state,
-                            guard = alive_guard()](bool error) {
+                            guard = alive_guard()](const util::Error& error) {
       if (guard.expired()) return;
       auto state = weak_state.lock();
       if (!state) return;
@@ -155,7 +154,7 @@ class DotTransport final : public TransportBase {
       stats_.total_r2c = state->conn->bytes_received();
       last_.reset();
       state->closed = true;
-      if (error) fail_connection(state, "TCP connection failed");
+      if (!error.ok()) fail_connection(state, error);
       std::erase(connections_, state);
     });
 
@@ -172,7 +171,7 @@ class DotTransport final : public TransportBase {
     if (options_.attempt_0rtt && ticket && ticket->allow_early_data) {
       dns::Message query = build_query(first, /*encrypted=*/true);
       early_data = length_prefixed(query.encode());
-      first->query_sent_at = sim().now();
+      mark(first, QueryPhase::kRequestSent);
       state->queued.clear();  // riding 0-RTT instead
       first->result.used_0rtt = true;
     }
@@ -184,10 +183,9 @@ class DotTransport final : public TransportBase {
     state->info = info;
     stats_.handshake_c2r = state->conn->bytes_sent();
     stats_.handshake_r2c = state->conn->bytes_received();
-    const SimTime hs = sim().now() - state->connect_started;
     for (auto& p : state->in_flight) {
       if (p->result.new_session) {
-        p->result.handshake_time = hs;
+        mark(p, QueryPhase::kSecure);
         p->result.tls_version = info.version;
         p->result.session_resumed = info.resumed;
         p->result.used_0rtt = info.early_data_accepted;
@@ -207,7 +205,7 @@ class DotTransport final : public TransportBase {
     // prefix and TLS record header are prepended into its headroom.
     state->tls->send_application_data(
         length_prefixed(query.encode_buffer(kDotHeadroom)));
-    if (pending->query_sent_at < 0) pending->query_sent_at = sim().now();
+    mark(pending, QueryPhase::kRequestSent);
     // Carry protocol facts even on reused sessions.
     if (!pending->result.tls_version && state->info) {
       pending->result.tls_version = state->info->version;
@@ -218,7 +216,14 @@ class DotTransport final : public TransportBase {
 
   void on_dns_stream(const StatePtr& state,
                      std::span<const std::uint8_t> data) {
-    for (auto& payload : state->reader.feed(data)) {
+    auto payloads = state->reader.feed(data);
+    if (state->reader.failed()) {
+      fail_connection(state,
+                      util::Error::protocol("garbage DNS message framing"));
+      state->conn->abort();
+      return;
+    }
+    for (auto& payload : payloads) {
       auto message = dns::Message::decode(payload);
       if (!message) continue;
       for (auto it = state->in_flight.begin(); it != state->in_flight.end();
@@ -238,12 +243,12 @@ class DotTransport final : public TransportBase {
     }
   }
 
-  void fail_connection(const StatePtr& state, const std::string& reason) {
+  void fail_connection(const StatePtr& state, const util::Error& error) {
     auto in_flight = std::move(state->in_flight);
     state->in_flight.clear();
     state->queued.clear();
     state->closed = true;
-    for (auto& pending : in_flight) finish_error(pending, reason);
+    for (auto& pending : in_flight) finish_error(pending, error);
   }
 
   std::vector<StatePtr> connections_;

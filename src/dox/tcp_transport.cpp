@@ -64,7 +64,6 @@ class TcpTransport final : public TransportBase {
     StreamMessageReader reader;
     std::vector<PendingPtr> in_flight;
     std::vector<PendingPtr> queued;
-    SimTime connect_started = 0;
     bool connected = false;
     bool keepalive = false;  // server sent edns-tcp-keepalive
   };
@@ -72,11 +71,11 @@ class TcpTransport final : public TransportBase {
 
   void open_connection(const PendingPtr& first) {
     auto state = std::make_shared<ConnState>();
-    state->connect_started = sim().now();
     tcp::TcpOptions tcp_options;
     tcp_options.enable_tfo = options_.tcp_use_tfo;
     state->conn = deps_.tcp->connect(options_.resolver, tcp_options);
     first->result.new_session = true;
+    mark(first, QueryPhase::kConnect);
     state->in_flight.push_back(first);
     state->queued.push_back(first);
     stats_ = WireStats{};  // fresh connection, fresh accounting
@@ -95,9 +94,8 @@ class TcpTransport final : public TransportBase {
       state->connected = true;
       stats_.handshake_c2r = state->conn->bytes_sent();
       stats_.handshake_r2c = state->conn->bytes_received();
-      const SimTime hs = sim().now() - state->connect_started;
       for (auto& p : state->in_flight) {
-        if (p->result.new_session) p->result.handshake_time = hs;
+        if (p->result.new_session) mark(p, QueryPhase::kSecure);
       }
       flush_queued(state);
     });
@@ -109,16 +107,16 @@ class TcpTransport final : public TransportBase {
       on_stream_data(state, data);
     });
     state->conn->on_closed([this, weak_state,
-                            guard = alive_guard()](bool error) {
+                            guard = alive_guard()](const util::Error& error) {
       if (guard.expired()) return;
       auto state = weak_state.lock();
       if (!state) return;
       stats_.total_c2r = state->conn->bytes_sent();
       stats_.total_r2c = state->conn->bytes_received();
       last_.reset();
-      if (error) {
+      if (!error.ok()) {
         for (auto& p : state->in_flight) {
-          finish_error(p, "TCP connection failed");
+          finish_error(p, error);
         }
       }
       state->in_flight.clear();
@@ -137,7 +135,7 @@ class TcpTransport final : public TransportBase {
       if (pending->done) continue;
       dns::Message query = build_query(pending, /*encrypted=*/false);
       state->conn->send(length_prefixed(query.encode()));
-      if (pending->query_sent_at < 0) pending->query_sent_at = sim().now();
+      mark(pending, QueryPhase::kRequestSent);
     }
     state->queued.clear();
   }
@@ -146,12 +144,17 @@ class TcpTransport final : public TransportBase {
     state->in_flight.push_back(pending);
     dns::Message query = build_query(pending, /*encrypted=*/false);
     state->conn->send(length_prefixed(query.encode()));
-    pending->query_sent_at = sim().now();
+    mark(pending, QueryPhase::kRequestSent);
   }
 
   void on_stream_data(const StatePtr& state,
                       std::span<const std::uint8_t> data) {
-    for (auto& payload : state->reader.feed(data)) {
+    auto payloads = state->reader.feed(data);
+    if (state->reader.failed()) {
+      fail_stream(state);
+      return;
+    }
+    for (auto& payload : payloads) {
       auto message = dns::Message::decode(payload);
       if (!message) continue;
       if (server_advertises_keepalive(*message)) {
@@ -175,6 +178,17 @@ class TcpTransport final : public TransportBase {
       // Single-shot mode: tear the connection down after the response.
       state->conn->close();
     }
+  }
+
+  /// Garbage length framing on the stream: the channel is unusable, so
+  /// every in-flight query fails kProtocolError and the connection aborts.
+  void fail_stream(const StatePtr& state) {
+    auto in_flight = std::move(state->in_flight);
+    state->in_flight.clear();
+    for (auto& p : in_flight) {
+      finish_error(p, util::Error::protocol("garbage DNS message framing"));
+    }
+    state->conn->abort();
   }
 
   static bool server_advertises_keepalive(const dns::Message& response) {

@@ -1,0 +1,109 @@
+// Per-query phase timeline.
+//
+// Every transport used to hand-maintain `submitted_at`, `query_sent_at` and
+// a computed `handshake_time` per pending query. The timeline replaces that
+// bookkeeping with one set of phase-transition timestamps recorded once, in
+// TransportBase, for all six transports:
+//
+//   kSubmit       resolve() accepted the query
+//   kConnect      the transport started opening a connection for this query
+//   kSecure       that connection became usable (TCP established, TLS or
+//                 QUIC handshake complete)
+//   kRequestSent  the DNS request was handed to the wire
+//   kResponse     a valid DNS response was accepted
+//   kError        a terminal failure was delivered
+//
+// The paper's metrics are derived views over these marks and reproduce the
+// old fields exactly (Table 1 / Fig. 2 outputs are bit-identical):
+//   handshake_time = kSecure - kConnect     (0 on a reused session, which
+//                                            never marks kConnect/kSecure)
+//   resolve_time   = kResponse - kRequestSent  (0 on failure)
+//   total_time     = terminal mark - kSubmit
+//
+// mark() is first-write-wins, which encodes the measurement semantics: a
+// DoUDP retransmission does not move kRequestSent, and only the pending
+// query that opened a connection carries kConnect/kSecure.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace doxlab::dox {
+
+enum class QueryPhase : std::uint8_t {
+  kSubmit = 0,
+  kConnect,
+  kSecure,
+  kRequestSent,
+  kResponse,
+  kError,
+};
+
+inline constexpr std::size_t kQueryPhaseCount = 6;
+
+inline std::string_view query_phase_name(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kSubmit:
+      return "submit";
+    case QueryPhase::kConnect:
+      return "connect";
+    case QueryPhase::kSecure:
+      return "secure";
+    case QueryPhase::kRequestSent:
+      return "request_sent";
+    case QueryPhase::kResponse:
+      return "response";
+    case QueryPhase::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+class QueryTimeline {
+ public:
+  /// Records `now` for `phase` unless the phase was already marked.
+  void mark(QueryPhase phase, SimTime now) {
+    SimTime& slot = at_[index(phase)];
+    if (slot < 0) slot = now;
+  }
+
+  bool has(QueryPhase phase) const { return at_[index(phase)] >= 0; }
+
+  /// Timestamp of `phase`, or -1 if never reached.
+  SimTime at(QueryPhase phase) const { return at_[index(phase)]; }
+
+  /// Connection setup cost (TCP + TLS/QUIC). 0 when the query rode an
+  /// existing session.
+  SimTime handshake_time() const {
+    return has(QueryPhase::kConnect) && has(QueryPhase::kSecure)
+               ? at(QueryPhase::kSecure) - at(QueryPhase::kConnect)
+               : 0;
+  }
+
+  /// Wire round trip of the DNS exchange itself. 0 on failure.
+  SimTime resolve_time() const {
+    return has(QueryPhase::kRequestSent) && has(QueryPhase::kResponse)
+               ? at(QueryPhase::kResponse) - at(QueryPhase::kRequestSent)
+               : 0;
+  }
+
+  /// Submit to terminal mark (response or error).
+  SimTime total_time() const {
+    if (!has(QueryPhase::kSubmit)) return 0;
+    const SimTime end = has(QueryPhase::kResponse)
+                            ? at(QueryPhase::kResponse)
+                            : at(QueryPhase::kError);
+    return end >= 0 ? end - at(QueryPhase::kSubmit) : 0;
+  }
+
+ private:
+  static std::size_t index(QueryPhase phase) {
+    return static_cast<std::size_t>(phase);
+  }
+  std::array<SimTime, kQueryPhaseCount> at_{-1, -1, -1, -1, -1, -1};
+};
+
+}  // namespace doxlab::dox

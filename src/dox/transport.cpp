@@ -80,13 +80,27 @@ util::Buffer length_prefixed(util::Buffer m) {
 
 std::vector<std::vector<std::uint8_t>> StreamMessageReader::feed(
     std::span<const std::uint8_t> data) {
-  buffer_.insert(buffer_.end(), data.begin(), data.end());
   std::vector<std::vector<std::uint8_t>> out;
+  if (failed_) return out;
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
   while (buffer_.size() >= 2) {
     const std::size_t len = (std::size_t(buffer_[0]) << 8) | buffer_[1];
+    // A prefix announcing less than a DNS header is not a DNS stream:
+    // poison the reader rather than resynchronising on garbage.
+    if (len < kMinMessageBytes) {
+      failed_ = true;
+      buffer_.clear();
+      return out;
+    }
     if (buffer_.size() < 2 + len) break;
     out.emplace_back(buffer_.begin() + 2, buffer_.begin() + 2 + len);
     buffer_.erase(buffer_.begin(), buffer_.begin() + 2 + len);
+  }
+  // The extraction loop drains every complete message, so leftover bytes
+  // are at most one partial message; anything larger is a framing bug.
+  if (buffer_.size() > kMaxBufferedBytes) {
+    failed_ = true;
+    buffer_.clear();
   }
   return out;
 }

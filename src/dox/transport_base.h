@@ -26,14 +26,18 @@ class TransportBase : public DnsTransport {
     ResultHandler handler;
     QueryResult result;
     std::uint16_t dns_id = 0;
-    SimTime submitted_at = 0;
-    SimTime query_sent_at = -1;
     sim::Timer timeout;
     bool done = false;
   };
   using PendingPtr = std::shared_ptr<PendingQuery>;
 
   sim::Simulator& sim() { return *deps_.sim; }
+
+  /// Records a phase transition on the pending query's timeline (first
+  /// mark wins — a retransmission never moves kRequestSent).
+  void mark(const PendingPtr& pending, QueryPhase phase) {
+    pending->result.timeline.mark(phase, sim().now());
+  }
 
   /// Creates a pending entry with a fresh DNS id and an armed timeout.
   PendingPtr make_pending(const dns::Question& question,
@@ -42,13 +46,14 @@ class TransportBase : public DnsTransport {
     pending->question = question;
     pending->handler = std::move(handler);
     pending->dns_id = next_id_++;
-    pending->submitted_at = sim().now();
+    mark(pending, QueryPhase::kSubmit);
     std::weak_ptr<PendingQuery> weak = pending;
     pending->timeout = sim().schedule(
         options_.query_timeout, [this, weak, guard = alive_guard()] {
           if (guard.expired()) return;
           if (auto p = weak.lock()) {
-            finish_error(p, "query timed out");
+            finish_error(p, util::Error::timeout(
+                                std::string(util::kQueryDeadlineDetail)));
           }
         });
     return pending;
@@ -59,12 +64,9 @@ class TransportBase : public DnsTransport {
     if (pending->done) return;
     pending->done = true;
     pending->timeout.cancel();
-    pending->result.success = true;
+    pending->result.outcome = util::Outcome::success();
     pending->result.response = std::move(response);
-    if (pending->query_sent_at >= 0) {
-      pending->result.resolve_time = sim().now() - pending->query_sent_at;
-    }
-    pending->result.total_time = sim().now() - pending->submitted_at;
+    mark(pending, QueryPhase::kResponse);
     // Move the handler out: it often captures the caller's object graph,
     // and the pending entry may linger in per-connection lists.
     auto handler = std::move(pending->handler);
@@ -72,14 +74,13 @@ class TransportBase : public DnsTransport {
     if (handler) handler(std::move(pending->result));
   }
 
-  /// Completes a query with an error.
-  void finish_error(const PendingPtr& pending, std::string error) {
+  /// Completes a query with a typed error.
+  void finish_error(const PendingPtr& pending, util::Error error) {
     if (pending->done) return;
     pending->done = true;
     pending->timeout.cancel();
-    pending->result.success = false;
-    pending->result.error = std::move(error);
-    pending->result.total_time = sim().now() - pending->submitted_at;
+    pending->result.outcome = util::Outcome::failure(std::move(error));
+    mark(pending, QueryPhase::kError);
     auto handler = std::move(pending->handler);
     pending->handler = nullptr;
     if (handler) handler(std::move(pending->result));
@@ -137,16 +138,35 @@ inline constexpr std::size_t kDotHeadroom = 2 + 5;
 inline constexpr std::size_t kDohHeadroom = 9 + 5;
 
 /// Incremental parser for length-prefixed DNS messages on a byte stream.
+/// Bounded: the reassembly buffer never exceeds one maximum message
+/// (65535 + 2 prefix bytes), and a garbage prefix — a length too short to
+/// hold a DNS header — poisons the reader instead of growing the buffer.
+/// Callers check failed() after feed() and surface kProtocolError.
 class StreamMessageReader {
  public:
+  /// Largest DNS message a 2-byte prefix can announce.
+  static constexpr std::size_t kMaxMessageBytes = 65535;
+  /// Hard cap on buffered bytes (one full message + its prefix).
+  static constexpr std::size_t kMaxBufferedBytes = kMaxMessageBytes + 2;
+  /// A length prefix below the fixed DNS header size is garbage.
+  static constexpr std::size_t kMinMessageBytes = 12;
+
   /// Appends stream bytes; returns every complete DNS message payload.
+  /// After a malformed prefix the reader is poisoned: it returns nothing
+  /// and failed() is true until reset().
   std::vector<std::vector<std::uint8_t>> feed(
       std::span<const std::uint8_t> data);
 
-  void reset() { buffer_.clear(); }
+  bool failed() const { return failed_; }
+
+  void reset() {
+    buffer_.clear();
+    failed_ = false;
+  }
 
  private:
   std::vector<std::uint8_t> buffer_;
+  bool failed_ = false;
 };
 
 }  // namespace doxlab::dox

@@ -6,15 +6,18 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "dns/message.h"
+#include "dox/timeline.h"
 #include "net/address.h"
 #include "quic/types.h"
 #include "tls/ticket.h"
+#include "util/error.h"
 #include "util/types.h"
 
 namespace doxlab::dox {
@@ -54,20 +57,28 @@ struct WireStats {
   std::uint64_t total() const { return total_c2r + total_r2c; }
 };
 
-/// Outcome of one resolve() call.
+/// Outcome of one resolve() call. Success/failure is a typed
+/// `util::Outcome` (class + detail, never a matched string) and all timing
+/// is derived from the phase timeline recorded by TransportBase.
 struct QueryResult {
-  bool success = false;
-  std::string error;
+  util::Outcome outcome;
+  QueryTimeline timeline;
   dns::Message response;
 
-  /// First transport-handshake packet -> encrypted session established.
-  /// Zero when the query reused an existing session (and for DoUDP, which
-  /// is connectionless).
-  SimTime handshake_time = 0;
-  /// First packet of the DNS query -> valid DNS response.
-  SimTime resolve_time = 0;
-  /// resolve() call -> response (handshake + resolve + internal gaps).
-  SimTime total_time = 0;
+  bool ok() const { return outcome.ok(); }
+  const util::Error& error() const { return outcome.error(); }
+  util::ErrorClass error_class() const { return outcome.cls(); }
+
+  /// First transport-handshake packet -> encrypted session established
+  /// (kConnect -> kSecure). Zero when the query reused an existing session
+  /// (and for DoUDP, which is connectionless).
+  SimTime handshake_time() const { return timeline.handshake_time(); }
+  /// First packet of the DNS query -> valid DNS response
+  /// (kRequestSent -> kResponse).
+  SimTime resolve_time() const { return timeline.resolve_time(); }
+  /// resolve() call -> terminal mark (handshake + resolve + internal gaps).
+  SimTime total_time() const { return timeline.total_time(); }
+
   /// True if this query triggered a fresh connection/session.
   bool new_session = false;
 
@@ -94,20 +105,34 @@ struct DoqServerInfo {
   std::optional<quic::AddressToken> token;
 };
 
-/// Per-resolver DoQ knowledge cache, keyed like the ticket store.
+/// Per-resolver DoQ knowledge cache, keyed like the ticket store. The map
+/// is transparent (heterogeneous string_view lookup), so probing with a
+/// borrowed key never materialises a std::string.
 class DoqSessionCache {
  public:
-  DoqServerInfo& entry(const std::string& server_key) {
-    return entries_[server_key];
+  DoqServerInfo& entry(std::string_view server_key) {
+    auto it = entries_.find(server_key);
+    if (it == entries_.end()) {
+      it = entries_.emplace(std::string(server_key), DoqServerInfo{}).first;
+    }
+    return it->second;
   }
-  const DoqServerInfo* find(const std::string& server_key) const {
+  const DoqServerInfo* find(std::string_view server_key) const {
     auto it = entries_.find(server_key);
     return it == entries_.end() ? nullptr : &it->second;
   }
   void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
 
  private:
-  std::map<std::string, DoqServerInfo> entries_;
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view key) const noexcept {
+      return std::hash<std::string_view>{}(key);
+    }
+  };
+  std::unordered_map<std::string, DoqServerInfo, KeyHash, std::equal_to<>>
+      entries_;
 };
 
 /// Canonical ticket/info store key for a resolver endpoint + protocol.

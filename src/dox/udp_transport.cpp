@@ -60,7 +60,7 @@ class UdpTransport final : public TransportBase {
     auto wire = query.encode();
     bytes_sent_ += wire.size() + net::kUdpHeaderBytes;
     socket_->send_to(options_.resolver, std::move(wire));
-    if (pending->query_sent_at < 0) pending->query_sent_at = sim().now();
+    mark(pending, QueryPhase::kRequestSent);
 
     if (attempt < options_.udp_max_attempts) {
       std::weak_ptr<PendingQuery> weak = pending;
@@ -101,10 +101,14 @@ class UdpTransport final : public TransportBase {
           pending->question,
           [this, pending, guard = alive_guard()](QueryResult result) {
             if (guard.expired()) return;
-            if (result.success) {
+            if (result.ok()) {
               finish_success(pending, std::move(result.response));
             } else {
-              finish_error(pending, "TCP fallback failed: " + result.error);
+              // Propagate the fallback's class; the detail records that the
+              // failure happened on the TCP retry leg.
+              util::Error err = result.error();
+              err.detail = "TCP fallback failed: " + err.to_string();
+              finish_error(pending, std::move(err));
             }
           });
       return;

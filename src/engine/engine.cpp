@@ -170,8 +170,8 @@ void ForwarderEngine::on_upstream_result(const Key& key,
 void ForwarderEngine::deliver(std::vector<Waiter> waiters,
                               const dns::Question& question,
                               dox::QueryResult result) {
-  if (!result.success) {
-    DOXLAB_DEBUG("engine upstream failure: " << result.error);
+  if (!result.ok()) {
+    DOXLAB_DEBUG("engine upstream failure: " << result.error());
     // RFC 8767: a resolution failure is the canonical serve-stale trigger —
     // prefer stale data over SERVFAIL while it lasts.
     if (config_.cache_enabled && config_.serve_stale) {
@@ -213,6 +213,7 @@ EngineStats ForwarderEngine::stats() const {
   s.stale_refreshes = stale_refreshes_;
   s.servfails_sent = servfails_sent_;
   s.cache_evictions = cache_.evictions();
+  s.upstream_errors = pool_.error_counts();
   s.upstreams = pool_.health();
   return s;
 }

@@ -65,6 +65,9 @@ struct EngineStats {
   std::uint64_t stale_refreshes = 0; ///< background refreshes triggered
   std::uint64_t servfails_sent = 0;  ///< mirrors proxy::DnsProxy's counter
   std::uint64_t cache_evictions = 0; ///< LRU evictions in the shared cache
+  /// Failed upstream attempts, tallied per util::ErrorClass (timeouts,
+  /// resets, REFUSED answers, ...).
+  util::ErrorCounters upstream_errors;
   std::vector<UpstreamHealth> upstreams;
 
   /// Fraction of cache-missing queries that coalesced onto an existing

@@ -13,8 +13,9 @@ struct UpstreamPool::Pending {
   ResultHandler handler;
   std::vector<Candidate> candidates;
   std::size_t next = 0;  ///< next candidate to start
+  int charged = 0;       ///< attempts counted against max_attempts
   bool done = false;
-  std::string last_error = "no upstream available";
+  util::Error last_error = util::Error::no_route("no upstream available");
 
   struct Attempt {
     std::size_t upstream = 0;
@@ -97,13 +98,12 @@ void UpstreamPool::resolve(const dns::Question& question,
 void UpstreamPool::start_attempt(const std::shared_ptr<Pending>& pending) {
   if (pending->done) return;
   if (pending->next >= pending->candidates.size() ||
-      static_cast<int>(pending->attempts.size()) >= config_.max_attempts) {
+      pending->charged >= config_.max_attempts) {
     pending->done = true;
     ++exhausted_;
     for (auto& attempt : pending->attempts) attempt.timeout.cancel();
     dox::QueryResult failure;
-    failure.success = false;
-    failure.error = pending->last_error;
+    failure.outcome = util::Outcome::failure(pending->last_error);
     pending->handler(failure);
     return;
   }
@@ -113,6 +113,7 @@ void UpstreamPool::start_attempt(const std::shared_ptr<Pending>& pending) {
   Pending::Attempt new_attempt;
   new_attempt.upstream = candidate.upstream;
   pending->attempts.push_back(std::move(new_attempt));
+  ++pending->charged;
   ++attempts_issued_;
   if (attempt > 0) ++failovers_;
   ++upstreams_[candidate.upstream].attempts;
@@ -123,8 +124,8 @@ void UpstreamPool::start_attempt(const std::shared_ptr<Pending>& pending) {
   pending->attempts[attempt].timeout = sim_.schedule(
       config_.attempt_timeout, [this, pending, attempt] {
         dox::QueryResult timeout;
-        timeout.success = false;
-        timeout.error = "attempt timeout";
+        timeout.outcome = util::Outcome::failure(util::Error::timeout(
+            std::string(util::kQueryDeadlineDetail)));
         finish_attempt(pending, attempt,
                        pending->attempts[attempt].upstream, timeout);
       });
@@ -142,26 +143,56 @@ void UpstreamPool::finish_attempt(const std::shared_ptr<Pending>& pending,
                                   int attempt, std::size_t upstream_index,
                                   dox::QueryResult result) {
   Pending::Attempt& state = pending->attempts[attempt];
+  // A well-formed REFUSED answer is not a transport failure: the upstream
+  // is alive and answered promptly, it just declined the question. Walk to
+  // the next candidate without recording a health failure and without
+  // charging the attempt against max_attempts.
+  const bool refused =
+      result.ok() && result.response.rcode == dns::RCode::kRefused;
   // Health is recorded once per attempt — at the timeout or at the first
   // transport signal, whichever comes first.
   if (!state.settled) {
     state.settled = true;
     state.timeout.cancel();
-    if (result.success) {
-      record_success(upstreams_[upstream_index], result.total_time);
+    if (result.ok()) {
+      record_success(upstreams_[upstream_index], result.total_time());
     } else {
       record_failure(upstreams_[upstream_index]);
     }
   }
 
   if (pending->done) return;
-  if (result.success) {
+  if (result.ok() && !refused) {
     pending->done = true;
     for (auto& a : pending->attempts) a.timeout.cancel();
     pending->handler(std::move(result));
     return;
   }
-  pending->last_error = result.error;
+
+  if (refused) {
+    --pending->charged;  // declined, not failed: refund the attempt budget
+    pending->last_error = util::Error::rcode_error(
+        static_cast<std::uint8_t>(result.response.rcode),
+        upstreams_[upstream_index].config.name + " answered REFUSED");
+  } else {
+    pending->last_error = result.error();
+  }
+  error_counts_.record(pending->last_error.cls);
+
+  // Retry policy keys on the failure class: everything that can plausibly
+  // be cured by another candidate (timeouts, resets, refused connections,
+  // TLS/QUIC/protocol trouble, REFUSED answers) walks the chain; a
+  // cancelled attempt means the resolve was torn down deliberately, so it
+  // terminates without consuming the remaining candidates.
+  if (pending->last_error.cls == util::ErrorClass::kCancelled) {
+    pending->done = true;
+    ++exhausted_;
+    for (auto& a : pending->attempts) a.timeout.cancel();
+    dox::QueryResult failure;
+    failure.outcome = util::Outcome::failure(pending->last_error);
+    pending->handler(failure);
+    return;
+  }
   if (!state.advanced) {
     state.advanced = true;
     start_attempt(pending);

@@ -95,6 +95,9 @@ class UpstreamPool {
   std::uint64_t failovers() const { return failovers_; }
   /// resolve() calls that exhausted every candidate.
   std::uint64_t exhausted() const { return exhausted_; }
+  /// Per-ErrorClass tally of failed upstream attempts (REFUSED answers
+  /// count under kRcode even though the transport reported success).
+  const util::ErrorCounters& error_counts() const { return error_counts_; }
 
  private:
   struct Upstream {
@@ -133,6 +136,7 @@ class UpstreamPool {
   std::uint64_t attempts_issued_ = 0;
   std::uint64_t failovers_ = 0;
   std::uint64_t exhausted_ = 0;
+  util::ErrorCounters error_counts_;
 };
 
 }  // namespace doxlab::engine

@@ -11,7 +11,7 @@ H2Connection::H2Connection(bool is_client, Callbacks callbacks)
 void H2Connection::fail(const std::string& reason) {
   if (failed_) return;
   failed_ = true;
-  if (cb_.on_error) cb_.on_error(reason);
+  if (cb_.on_error) cb_.on_error(util::Error::protocol(reason));
 }
 
 namespace {

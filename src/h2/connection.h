@@ -19,6 +19,7 @@
 
 #include "h2/hpack.h"
 #include "util/buffer.h"
+#include "util/error.h"
 
 namespace doxlab::h2 {
 
@@ -55,7 +56,8 @@ class H2Connection {
     /// Peer sent GOAWAY.
     std::function<void()> on_goaway;
     /// Protocol error; connection is dead.
-    std::function<void(const std::string&)> on_error;
+    /// Fatal framing/compression failure (always kProtocolError).
+    std::function<void(const util::Error&)> on_error;
   };
 
   H2Connection(bool is_client, Callbacks callbacks);

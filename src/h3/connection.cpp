@@ -16,7 +16,7 @@ H3Connection::H3Connection(std::shared_ptr<quic::QuicConnection> conn,
 void H3Connection::fail(const std::string& reason) {
   if (failed_) return;
   failed_ = true;
-  if (cb_.on_error) cb_.on_error(reason);
+  if (cb_.on_error) cb_.on_error(util::Error::protocol(reason));
 }
 
 std::vector<std::uint8_t> H3Connection::encode_frame(

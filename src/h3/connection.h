@@ -51,7 +51,8 @@ class H3Connection {
     std::function<void(std::uint64_t stream_id,
                        std::span<const std::uint8_t> data, bool end_stream)>
         on_data;
-    std::function<void(const std::string&)> on_error;
+    /// Fatal framing/compression failure (always kProtocolError).
+    std::function<void(const util::Error&)> on_error;
   };
 
   /// Binds to an established (or establishing) QUIC connection. The owner

@@ -1,6 +1,7 @@
 #include "measure/csv.h"
 
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "quic/wire.h"
@@ -39,6 +40,41 @@ std::string web_csv(const std::vector<WebRecord>& records) {
         << ',' << r.page << ',' << r.rep << ',' << r.load << ','
         << (r.success ? 1 : 0) << ',' << to_ms(r.fcp) << ',' << to_ms(r.plt)
         << ',' << r.dns_queries << ',' << r.dns_retransmissions << '\n';
+  }
+  return out.str();
+}
+
+std::string failure_rate_csv(const std::vector<SingleQueryRecord>& records) {
+  std::ostringstream out;
+  out << "protocol,samples,failures";
+  for (util::ErrorClass cls : util::kAllErrorClasses) {
+    if (cls == util::ErrorClass::kNone) continue;
+    out << ',' << util::error_class_name(cls);
+  }
+  out << ",failure_rate\n";
+  for (dox::DnsProtocol protocol : dox::kAllProtocols) {
+    util::ErrorCounters counters;
+    std::uint64_t samples = 0;
+    std::uint64_t failures = 0;
+    for (const auto& r : records) {
+      if (r.protocol != protocol) continue;
+      ++samples;
+      if (!r.success) {
+        ++failures;
+        counters.record(r.error_class);
+      }
+    }
+    if (samples == 0) continue;
+    out << protocol_name(protocol) << ',' << samples << ',' << failures;
+    for (util::ErrorClass cls : util::kAllErrorClasses) {
+      if (cls == util::ErrorClass::kNone) continue;
+      out << ',' << counters.count(cls);
+    }
+    const double rate = static_cast<double>(failures) /
+                        static_cast<double>(samples);
+    out << ',' << std::fixed << std::setprecision(4) << rate << '\n';
+    out.unsetf(std::ios::fixed);
+    out.precision(6);
   }
   return out.str();
 }

@@ -16,6 +16,12 @@ std::string single_query_csv(const std::vector<SingleQueryRecord>& records);
 /// Serializes web records.
 std::string web_csv(const std::vector<WebRecord>& records);
 
+/// Per-protocol failure breakdown: one row per protocol with a sample
+/// count, total failures, one column per util::ErrorClass, and the failure
+/// rate. Protocols with no samples are omitted; rows follow
+/// dox::kAllProtocols order, so the output is deterministic.
+std::string failure_rate_csv(const std::vector<SingleQueryRecord>& records);
+
 /// Writes text to a file; returns false on I/O failure.
 bool write_file(const std::string& path, const std::string& content);
 

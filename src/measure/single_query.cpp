@@ -76,10 +76,11 @@ std::vector<SingleQueryRecord> SingleQueryStudy::run() {
               dox::make_transport(protocol, vp.deps(sim), options);
           bool done = false;
           transport->resolve(question, [&](dox::QueryResult result) {
-            record.success = result.success;
-            record.handshake_time = result.handshake_time;
-            record.resolve_time = result.resolve_time;
-            record.total_time = result.total_time;
+            record.success = result.ok();
+            record.error_class = result.error_class();
+            record.handshake_time = result.handshake_time();
+            record.resolve_time = result.resolve_time();
+            record.total_time = result.total_time();
             record.tls_version = result.tls_version;
             record.quic_version = result.quic_version;
             record.alpn = result.alpn;

@@ -47,6 +47,8 @@ struct SingleQueryRecord {
   dox::DnsProtocol protocol = dox::DnsProtocol::kDoUdp;
   int rep = 0;
   bool success = false;
+  /// Failure class when !success (util::ErrorClass::kNone on success).
+  util::ErrorClass error_class = util::ErrorClass::kNone;
   SimTime handshake_time = 0;
   SimTime resolve_time = 0;
   SimTime total_time = 0;

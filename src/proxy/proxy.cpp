@@ -42,8 +42,8 @@ void DnsProxy::on_stub_query(const net::Endpoint& from,
   ++forwarded_;
   transport_->resolve(
       question, [this, from, stub_id, question](dox::QueryResult result) {
-        if (!result.success) {
-          DOXLAB_DEBUG("proxy upstream failure: " << result.error);
+        if (!result.ok()) {
+          DOXLAB_DEBUG("proxy upstream failure: " << result.error());
           // Real dnsproxy would eventually SERVFAIL; the stub's own
           // timeout/retry handles it either way. Send SERVFAIL for
           // determinism.

@@ -52,7 +52,7 @@ void QuicConnection::touch_idle_timer() {
       if (conn->closed_) return;
       conn->closed_ = true;
       conn->pto_timer_.cancel();
-      conn->notify_closed("idle timeout");
+      conn->notify_closed(util::Error::timeout("QUIC idle timeout"));
     }
   });
 }
@@ -62,7 +62,7 @@ void QuicConnection::touch_idle_timer() {
 void QuicConnection::connect(std::optional<tls::SessionTicket> ticket,
                              std::optional<AddressToken> token) {
   if (config_.is_server || connect_called_) {
-    fail("connect() on server or already-connected endpoint");
+    fail(util::Error::protocol("connect() on server or already-connected endpoint"));
     return;
   }
   connect_called_ = true;
@@ -168,21 +168,21 @@ void QuicConnection::close(std::uint64_t error_code, std::string reason) {
   closed_ = true;
   pto_timer_.cancel();
   idle_timer_.cancel();
-  notify_closed("");
+  notify_closed(util::Error::none());
 }
 
-void QuicConnection::fail(const std::string& reason) {
+void QuicConnection::fail(util::Error error) {
   if (closed_) return;
   closed_ = true;
   pto_timer_.cancel();
   idle_timer_.cancel();
-  DOXLAB_DEBUG("QUIC failure: " << reason);
-  notify_closed(reason);
+  DOXLAB_DEBUG("QUIC failure: " << error);
+  notify_closed(error);
 }
 
-void QuicConnection::notify_closed(const std::string& reason) {
-  if (cb_.on_closed) cb_.on_closed(reason);
-  if (app_on_closed_) app_on_closed_(reason);
+void QuicConnection::notify_closed(const util::Error& error) {
+  if (cb_.on_closed) cb_.on_closed(error);
+  if (app_on_closed_) app_on_closed_(error);
   // Break reference cycles: user callbacks routinely capture shared_ptrs to
   // this connection or to its owning transport state, which in turn owns
   // this connection. Dropping the handlers (one event-loop turn later, so a
@@ -489,7 +489,11 @@ void QuicConnection::process_frames(PnSpace space, const QuicPacket& packet) {
         closed_ = true;
         pto_timer_.cancel();
         idle_timer_.cancel();
-        notify_closed(frame.reason);
+        // Error code 0 with no reason is a clean application shutdown;
+        // anything else is a peer-signalled transport error.
+        notify_closed(frame.error_code == 0 && frame.reason.empty()
+                          ? util::Error::none()
+                          : util::Error::quic_transport(frame.reason));
         return;
       }
       case FrameType::kPing:
@@ -538,7 +542,7 @@ void QuicConnection::process_crypto_stream(PnSpace space) {
                                           4 + body_len);
     auto msg = tls_wire_.parse_handshake(message, /*encrypted=*/false);
     if (!msg) {
-      fail("malformed CRYPTO message");
+      fail(util::Error::protocol("malformed CRYPTO message"));
       return;
     }
     handle_tls_message(space, *msg);
@@ -554,8 +558,8 @@ void QuicConnection::handle_tls_message(PnSpace space,
   if (config_.is_server) {
     switch (msg.type) {
       case HandshakeType::kClientHello:
-        if (!msg.client_hello) return fail("CH without payload");
-        if (space != PnSpace::kInitial) return fail("CH outside Initial");
+        if (!msg.client_hello) return fail(util::Error::protocol("CH without payload"));
+        if (space != PnSpace::kInitial) return fail(util::Error::protocol("CH outside Initial"));
         server_respond_to_client_hello(*msg.client_hello);
         break;
       case HandshakeType::kFinished: {
@@ -593,11 +597,11 @@ void QuicConnection::handle_tls_message(PnSpace space,
   // Client side.
   switch (msg.type) {
     case HandshakeType::kServerHello:
-      if (!msg.server_hello) return fail("SH without payload");
+      if (!msg.server_hello) return fail(util::Error::protocol("SH without payload"));
       resumed_ = msg.server_hello->psk_accepted;
       break;
     case HandshakeType::kEncryptedExtensions: {
-      if (!msg.encrypted_extensions) return fail("EE without payload");
+      if (!msg.encrypted_extensions) return fail(util::Error::protocol("EE without payload"));
       negotiated_alpn_ = msg.encrypted_extensions->alpn;
       early_accepted_ = msg.encrypted_extensions->early_data_accepted &&
                         sent_early_data_;
@@ -627,7 +631,7 @@ void QuicConnection::handle_tls_message(PnSpace space,
       break;
     }
     case HandshakeType::kNewSessionTicket:
-      if (!msg.new_session_ticket) return fail("NST without payload");
+      if (!msg.new_session_ticket) return fail(util::Error::protocol("NST without payload"));
       if (cb_.on_new_ticket) cb_.on_new_ticket(msg.new_session_ticket->ticket);
       break;
     default:
@@ -651,7 +655,7 @@ void QuicConnection::server_respond_to_client_hello(
     queue_frame(PnSpace::kInitial,
                 Frame::connection_close(0x178, "no application protocol"));
     flush_output();
-    fail("no ALPN overlap");
+    fail(util::Error::tls_alert("no ALPN overlap"));
     return;
   }
 
@@ -771,7 +775,7 @@ void QuicConnection::handle_version_negotiation(const QuicPacket& packet) {
     if (chosen) break;
   }
   if (!chosen) {
-    fail("no common QUIC version");
+    fail(util::Error::quic_transport("no common QUIC version"));
     return;
   }
   pending_info_.used_version_negotiation = true;
@@ -883,7 +887,7 @@ void QuicConnection::on_pto() {
   ++pto_backoff_;
   ++total_ptos_;
   if (pto_backoff_ > config_.max_pto_count) {
-    fail("handshake/transfer timed out");
+    fail(util::Error::timeout("QUIC handshake/transfer timed out"));
     return;
   }
   // Retransmit all unacknowledged retransmittable frames as fresh packets.

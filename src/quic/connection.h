@@ -35,6 +35,7 @@
 #include "sim/simulator.h"
 #include "tls/ticket.h"
 #include "tls/wire.h"
+#include "util/error.h"
 
 namespace doxlab::quic {
 
@@ -99,8 +100,11 @@ class QuicConnection : public std::enable_shared_from_this<QuicConnection> {
         on_stream_data;
     std::function<void(const tls::SessionTicket&)> on_new_ticket;
     std::function<void(const AddressToken&)> on_new_token;
-    /// Connection ended; empty reason means clean close.
-    std::function<void(const std::string&)> on_closed;
+    /// Connection ended; kNone means clean close. kTimeout for idle/PTO
+    /// expiry, kQuicTransportError for a peer CONNECTION_CLOSE with an
+    /// error code, kProtocolError for malformed flights, kTlsAlert for
+    /// ALPN failure.
+    std::function<void(const util::Error&)> on_closed;
     /// Raw datagram egress (wired to a UDP socket by the owner). The buffer
     /// is pooled and uniquely owned; sinks may ship it as-is.
     std::function<void(util::Buffer)> send_datagram;
@@ -153,7 +157,7 @@ class QuicConnection : public std::enable_shared_from_this<QuicConnection> {
   void set_on_new_token(std::function<void(const AddressToken&)> fn) {
     cb_.on_new_token = std::move(fn);
   }
-  void set_on_closed(std::function<void(const std::string&)> fn) {
+  void set_on_closed(std::function<void(const util::Error&)> fn) {
     app_on_closed_ = std::move(fn);
   }
 
@@ -197,10 +201,10 @@ class QuicConnection : public std::enable_shared_from_this<QuicConnection> {
   void send_client_initial();
   void server_respond_to_client_hello(const tls::ClientHello& ch);
   void complete_handshake();
-  void fail(const std::string& reason);
+  void fail(util::Error error);
 
   // --- loss recovery ---
-  void notify_closed(const std::string& reason);
+  void notify_closed(const util::Error& error);
   void arm_pto();
   void on_pto();
   SimTime current_pto() const;
@@ -211,7 +215,7 @@ class QuicConnection : public std::enable_shared_from_this<QuicConnection> {
   sim::Simulator& sim_;
   QuicConfig config_;
   Callbacks cb_;
-  std::function<void(const std::string&)> app_on_closed_;
+  std::function<void(const util::Error&)> app_on_closed_;
   tls::TlsWire tls_wire_;
 
   QuicVersion version_;

@@ -367,7 +367,7 @@ void DoxResolver::serve_dot() {
                      });
       }
     };
-    callbacks.on_error = [weak_state](const std::string&) {
+    callbacks.on_error = [weak_state](const util::Error&) {
       if (auto state = weak_state.lock()) state->closed = true;
     };
     state->tls = std::make_unique<tls::TlsSession>(server_tls_config("dot"),
@@ -377,7 +377,7 @@ void DoxResolver::serve_dot() {
       if (!state) return;
       state->tls->on_transport_data(data);
     });
-    conn->on_closed([this, weak_state](bool) {
+    conn->on_closed([this, weak_state](const util::Error&) {
       auto state = weak_state.lock();
       if (!state) return;
       state->closed = true;
@@ -414,8 +414,8 @@ void DoxResolver::serve_doh() {
       DOXLAB_DEBUG("DoH server headers stream=" << id << " n=" << h.size()
                                                 << " end=" << end);
     };
-    h2_callbacks.on_error = [](const std::string& reason) {
-      DOXLAB_DEBUG("DoH server h2 error: " << reason);
+    h2_callbacks.on_error = [](const util::Error& error) {
+      DOXLAB_DEBUG("DoH server h2 error: " << error);
     };
     h2_callbacks.on_data = [this, weak_state](
                                std::uint32_t stream_id,
@@ -464,7 +464,7 @@ void DoxResolver::serve_doh() {
           if (!state) return;
           state->h2->on_transport_data(data);
         };
-    tls_callbacks.on_error = [weak_state](const std::string&) {
+    tls_callbacks.on_error = [weak_state](const util::Error&) {
       if (auto state = weak_state.lock()) state->closed = true;
     };
     state->tls = std::make_unique<tls::TlsSession>(server_tls_config("h2"),
@@ -474,7 +474,7 @@ void DoxResolver::serve_doh() {
       if (!state) return;
       state->tls->on_transport_data(data);
     });
-    conn->on_closed([this, weak_state](bool) {
+    conn->on_closed([this, weak_state](const util::Error&) {
       auto state = weak_state.lock();
       if (!state) return;
       state->closed = true;

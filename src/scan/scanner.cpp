@@ -83,7 +83,7 @@ std::vector<net::IpAddress> Ipv4Scanner::verify_doq(
       ok = true;
       done = true;
     };
-    callbacks.on_closed = [&](const std::string&) { done = true; };
+    callbacks.on_closed = [&](const util::Error&) { done = true; };
     auto conn = quic::QuicConnection::make_client(sim, config,
                                                   std::move(callbacks));
     socket->on_datagram([conn](const net::Endpoint&,
@@ -130,7 +130,7 @@ void Ipv4Scanner::probe_support(const std::vector<net::IpAddress>& doq_hosts,
       auto transport = dox::make_transport(protocols[i], deps, options);
       bool done = false;
       transport->resolve(question, [&, i](dox::QueryResult result) {
-        support[i] = result.success;
+        support[i] = result.ok();
         done = true;
       });
       const SimTime deadline = sim.now() + 10 * kSecond;

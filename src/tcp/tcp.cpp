@@ -101,8 +101,18 @@ void TcpStack::on_packet(net::Packet packet) {
       return;
     }
   }
-  // No matching flow and not a connectable SYN: real stacks answer RST; we
-  // silently drop, which the initiator experiences as retransmit + timeout.
+  // No matching flow and not a connectable SYN. Real stacks answer RST;
+  // by default we silently drop, which the initiator experiences as
+  // retransmit + timeout. With refuse_unbound set, answer the RST so the
+  // initiator sees connection-refused.
+  if (refuse_unbound_ && segment.syn && !segment.has_ack) {
+    TcpConnection::Segment rst;
+    rst.rst = true;
+    rst.has_ack = true;
+    rst.seq = 0;
+    rst.ack = segment.seq + segment.seq_span();
+    send_segment(packet.dst, packet.src, rst);
+  }
 }
 
 // ----------------------------------------------------------- TcpConnection
@@ -211,7 +221,7 @@ void TcpConnection::abort() {
   rst.has_ack = true;
   rst.ack = rcv_nxt_;
   transmit(std::move(rst), /*count_outstanding=*/false);
-  finish(/*error=*/true);
+  finish(util::Error::conn_reset("local abort"));
 }
 
 void TcpConnection::pump_send() {
@@ -298,7 +308,7 @@ void TcpConnection::retransmit_front() {
   if (state_ == TcpState::kClosed || outstanding_.empty()) return;
   OutstandingSegment& front = outstanding_.front();
   if (front.transmissions > options_.max_retransmits) {
-    finish(/*error=*/true);
+    finish(util::Error::timeout("TCP retransmit exhaustion"));
     return;
   }
   ++retransmits_;
@@ -356,7 +366,7 @@ void TcpConnection::handle_ack(std::uint64_t ack) {
   if (state_ == TcpState::kSynReceived) enter_established();
   if ((state_ == TcpState::kFinWait || state_ == TcpState::kLastAck) &&
       fin_sent_ && snd_una_ >= snd_nxt_ && peer_fin_seen_) {
-    finish(/*error=*/false);
+    finish(util::Error::none());
     return;
   }
   pump_send();
@@ -366,7 +376,9 @@ void TcpConnection::handle_segment(Segment segment) {
   if (state_ == TcpState::kClosed) return;
 
   if (segment.rst) {
-    finish(/*error=*/true);
+    finish(state_ == TcpState::kSynSent
+               ? util::Error::conn_refused("RST in response to SYN")
+               : util::Error::conn_reset("connection reset by peer"));
     return;
   }
 
@@ -436,7 +448,7 @@ void TcpConnection::handle_segment(Segment segment) {
       if (state_ == TcpState::kClosed) return;
     }
     if (fin_sent_ && snd_una_ >= snd_nxt_) {
-      finish(/*error=*/false);
+      finish(util::Error::none());
       return;
     }
   }
@@ -479,7 +491,7 @@ void TcpConnection::send_pure_ack() {
   transmit(std::move(ack), /*count_outstanding=*/false);
 }
 
-void TcpConnection::finish(bool error) {
+void TcpConnection::finish(util::Error error) {
   if (state_ == TcpState::kClosed) return;
   state_ = TcpState::kClosed;
   for (auto& out : outstanding_) out.rto_timer.cancel();

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "util/error.h"
 #include "util/types.h"
 
 namespace doxlab::tcp {
@@ -76,8 +77,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
  public:
   using ConnectedHandler = std::function<void()>;
   using DataHandler = std::function<void(std::span<const std::uint8_t>)>;
-  /// `error` is true for RST/retransmit-exhaustion, false for clean close.
-  using ClosedHandler = std::function<void(bool error)>;
+  /// Close reason: kNone for a clean FIN exchange, kConnRefused for an RST
+  /// answering our SYN, kConnReset for an RST on an established connection
+  /// (or a local abort), kTimeout for retransmit exhaustion.
+  using ClosedHandler = std::function<void(const util::Error&)>;
 
   /// Queues stream bytes for transmission (before or after establishment;
   /// pre-handshake bytes flush when the handshake completes, or ride the SYN
@@ -169,7 +172,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   SimTime current_rto() const;
   void send_pure_ack();
   void enter_established();
-  void finish(bool error);
+  void finish(util::Error error);
   void maybe_send_fin();
 
   TcpStack* stack_;
@@ -258,6 +261,14 @@ class TcpStack {
     return tfo_cookies_.contains(server);
   }
 
+  /// When enabled, a SYN to a port with no listener is answered with an RST
+  /// (the initiator sees kConnRefused). Off by default: the model's default
+  /// is to drop silently, which the initiator experiences as retransmit +
+  /// timeout — keeping baseline timings unchanged. Fault-injection tests
+  /// turn this on to exercise the refused path.
+  void set_refuse_unbound(bool on) { refuse_unbound_ = on; }
+  bool refuse_unbound() const { return refuse_unbound_; }
+
   net::Host& host() { return *host_; }
   sim::Simulator& simulator() { return host_->network().simulator(); }
 
@@ -287,6 +298,7 @@ class TcpStack {
   std::unordered_map<FlowKey, std::shared_ptr<TcpConnection>, FlowKeyHash>
       connections_;
   std::set<net::IpAddress> tfo_cookies_;
+  bool refuse_unbound_ = false;
 };
 
 }  // namespace doxlab::tcp

@@ -22,7 +22,7 @@ void TlsSession::fail(const std::string& reason) {
   failed_ = true;
   state_ = State::kFailed;
   DOXLAB_DEBUG("TLS failure: " << reason);
-  if (cb_.on_error) cb_.on_error(reason);
+  if (cb_.on_error) cb_.on_error(util::Error::tls_alert(reason));
 }
 
 void TlsSession::start(std::optional<SessionTicket> ticket,

@@ -25,6 +25,7 @@
 
 #include "tls/ticket.h"
 #include "tls/wire.h"
+#include "util/error.h"
 
 namespace doxlab::tls {
 
@@ -72,8 +73,9 @@ class TlsSession {
     std::function<void(std::span<const std::uint8_t>)> on_application_data;
     /// Client only: a NewSessionTicket arrived.
     std::function<void(const SessionTicket&)> on_new_ticket;
-    /// Fatal alert / protocol error; the session is dead afterwards.
-    std::function<void(const std::string&)> on_error;
+    /// Fatal alert / protocol error (always kTlsAlert); the session is dead
+    /// afterwards.
+    std::function<void(const util::Error&)> on_error;
     /// close_notify received.
     std::function<void()> on_close_notify;
     /// Clock for ticket validity (wired to the simulator).

@@ -1,0 +1,57 @@
+#include "util/error.h"
+
+#include <ostream>
+
+namespace doxlab::util {
+
+std::string_view error_class_name(ErrorClass cls) {
+  switch (cls) {
+    case ErrorClass::kNone:
+      return "none";
+    case ErrorClass::kTimeout:
+      return "timeout";
+    case ErrorClass::kConnRefused:
+      return "conn_refused";
+    case ErrorClass::kConnReset:
+      return "conn_reset";
+    case ErrorClass::kTlsAlert:
+      return "tls_alert";
+    case ErrorClass::kQuicTransportError:
+      return "quic_transport_error";
+    case ErrorClass::kProtocolError:
+      return "protocol_error";
+    case ErrorClass::kTruncated:
+      return "truncated";
+    case ErrorClass::kRcode:
+      return "rcode";
+    case ErrorClass::kCancelled:
+      return "cancelled";
+    case ErrorClass::kNoRoute:
+      return "no_route";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out{error_class_name(cls)};
+  if (cls == ErrorClass::kRcode) {
+    out += "(" + std::to_string(static_cast<int>(rcode)) + ")";
+  }
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Error& e) {
+  return os << e.to_string();
+}
+
+std::uint64_t ErrorCounters::total_errors() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 1; i < counts_.size(); ++i) total += counts_[i];
+  return total;
+}
+
+}  // namespace doxlab::util

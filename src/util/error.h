@@ -1,0 +1,161 @@
+// Typed failure taxonomy shared by every layer of the stack.
+//
+// The paper's methodology hinges on knowing *why* a query failed — DoUDP's
+// 5 s retry tail, DoTCP's fresh-connection penalty, resolvers answering
+// REFUSED — so failures carry a machine-readable class instead of a
+// free-form string. The class drives control flow (the engine's retry and
+// fallback policy, the failure-rate report); `detail` is human context only
+// and must never be string-matched.
+//
+// Layer mapping (see DESIGN.md §8 for the full table):
+//   tcp     -> kConnRefused (RST to our SYN), kConnReset (RST established),
+//              kTimeout (retransmit exhaustion)
+//   tls     -> kTlsAlert (every fatal handshake/record failure)
+//   quic    -> kTimeout (idle / PTO exhaustion), kQuicTransportError (peer
+//              CONNECTION_CLOSE with an error code), kProtocolError
+//              (malformed CRYPTO flights), kTlsAlert (no ALPN overlap)
+//   h2/h3   -> kProtocolError
+//   dox     -> kTimeout (query timer), kTruncated (short/empty responses),
+//              kProtocolError (garbage framing, bad HTTP status)
+//   engine  -> kRcode (REFUSED et al. walked past), kNoRoute (no upstream)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace doxlab::util {
+
+/// Machine-readable failure class. Keep kCount last; switches over this
+/// enum are kept exhaustive by -Werror=switch.
+enum class ErrorClass : std::uint8_t {
+  kNone = 0,            ///< success / clean close
+  kTimeout,             ///< timer expiry at any layer
+  kConnRefused,         ///< RST in response to our SYN
+  kConnReset,           ///< RST on an established connection
+  kTlsAlert,            ///< fatal TLS handshake or record failure
+  kQuicTransportError,  ///< peer CONNECTION_CLOSE with an error code
+  kProtocolError,       ///< malformed peer bytes above the secure channel
+  kTruncated,           ///< response shorter than its framing promised
+  kRcode,               ///< semantically valid DNS answer with error RCODE
+  kCancelled,           ///< caller tore the query down before completion
+  kNoRoute,             ///< no usable upstream / destination
+};
+
+inline constexpr std::size_t kErrorClassCount = 11;
+
+/// All classes in declaration order (report columns, counters).
+inline constexpr std::array<ErrorClass, kErrorClassCount> kAllErrorClasses = {
+    ErrorClass::kNone,          ErrorClass::kTimeout,
+    ErrorClass::kConnRefused,   ErrorClass::kConnReset,
+    ErrorClass::kTlsAlert,      ErrorClass::kQuicTransportError,
+    ErrorClass::kProtocolError, ErrorClass::kTruncated,
+    ErrorClass::kRcode,         ErrorClass::kCancelled,
+    ErrorClass::kNoRoute,
+};
+
+/// Stable short name ("timeout", "conn_refused", ...) used in CSV headers.
+std::string_view error_class_name(ErrorClass cls);
+
+/// Shared detail for query-deadline expiry. The transport query timer and
+/// the engine's per-attempt timer used to carry two different strings
+/// ("query timed out" / "attempt timeout"); both are one kTimeout constant
+/// now so no consumer can tell them apart by matching text.
+inline constexpr std::string_view kQueryDeadlineDetail =
+    "query deadline exceeded";
+
+/// One failure: a class that drives policy plus free-form human context.
+struct Error {
+  ErrorClass cls = ErrorClass::kNone;
+  /// Human-readable context. Diagnostics only — never branch on it.
+  std::string detail;
+  /// DNS RCODE when cls == kRcode (raw value; util cannot depend on dns).
+  std::uint8_t rcode = 0;
+
+  bool ok() const { return cls == ErrorClass::kNone; }
+  /// "timeout: query timer expired" / "rcode(5): upstream answered REFUSED".
+  std::string to_string() const;
+
+  static Error none() { return {}; }
+  static Error timeout(std::string detail = {}) {
+    return {ErrorClass::kTimeout, std::move(detail), 0};
+  }
+  static Error conn_refused(std::string detail = {}) {
+    return {ErrorClass::kConnRefused, std::move(detail), 0};
+  }
+  static Error conn_reset(std::string detail = {}) {
+    return {ErrorClass::kConnReset, std::move(detail), 0};
+  }
+  static Error tls_alert(std::string detail = {}) {
+    return {ErrorClass::kTlsAlert, std::move(detail), 0};
+  }
+  static Error quic_transport(std::string detail = {}) {
+    return {ErrorClass::kQuicTransportError, std::move(detail), 0};
+  }
+  static Error protocol(std::string detail = {}) {
+    return {ErrorClass::kProtocolError, std::move(detail), 0};
+  }
+  static Error truncated(std::string detail = {}) {
+    return {ErrorClass::kTruncated, std::move(detail), 0};
+  }
+  static Error rcode_error(std::uint8_t rcode, std::string detail = {}) {
+    return {ErrorClass::kRcode, std::move(detail), rcode};
+  }
+  static Error cancelled(std::string detail = {}) {
+    return {ErrorClass::kCancelled, std::move(detail), 0};
+  }
+  static Error no_route(std::string detail = {}) {
+    return {ErrorClass::kNoRoute, std::move(detail), 0};
+  }
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Error& e);
+
+/// Success-or-typed-error carrier for one completed operation. Default-
+/// constructed outcomes are *failures* (kCancelled, "not completed") so a
+/// result that was never finished can't read as success.
+class Outcome {
+ public:
+  Outcome() : error_(Error::cancelled("not completed")) {}
+
+  static Outcome success() {
+    Outcome o;
+    o.error_ = Error::none();
+    return o;
+  }
+  static Outcome failure(Error e) {
+    Outcome o;
+    o.error_ = std::move(e);
+    return o;
+  }
+
+  bool ok() const { return error_.ok(); }
+  const Error& error() const { return error_; }
+  ErrorClass cls() const { return error_.cls; }
+
+ private:
+  Error error_;
+};
+
+/// Per-class event counters (engine stats, failure-rate report).
+class ErrorCounters {
+ public:
+  void record(ErrorClass cls) { ++counts_[index(cls)]; }
+  std::uint64_t count(ErrorClass cls) const { return counts_[index(cls)]; }
+  /// Sum over every class except kNone.
+  std::uint64_t total_errors() const;
+  bool empty() const { return total_errors() == 0; }
+
+ private:
+  static std::size_t index(ErrorClass cls) {
+    return static_cast<std::size_t>(cls);
+  }
+  std::array<std::uint64_t, kErrorClassCount> counts_{};
+};
+
+}  // namespace doxlab::util

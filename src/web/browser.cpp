@@ -85,7 +85,7 @@ void Browser::navigate(const WebPage& page,
 
   active_ = nav;
   nav->timeout = sim_.schedule(config_.load_timeout, [this, nav] {
-    fail_navigation(nav, "page load timed out");
+    fail_navigation(nav, util::Error::timeout("page load timed out"));
   });
 
   // The navigation starts with the document origin (group 0).
@@ -94,25 +94,36 @@ void Browser::navigate(const WebPage& page,
 
 void Browser::resolve_domain(const std::shared_ptr<NavState>& nav,
                              const dns::DnsName& domain,
-                             std::function<void(bool)> done) {
+                             std::function<void(util::Error)> done) {
   nav->stub->resolve(
       dns::Question{domain, dns::RRType::kA, dns::RRClass::kIN},
       [nav, done = std::move(done)](dox::QueryResult result) {
         if (nav->finished) return;
         nav->dns_retransmissions += result.udp_retransmissions;
-        done(result.success &&
-             result.response.rcode == dns::RCode::kNoError);
+        if (!result.ok()) {
+          done(result.error());
+          return;
+        }
+        if (result.response.rcode != dns::RCode::kNoError) {
+          done(util::Error::rcode_error(
+              static_cast<std::uint8_t>(result.response.rcode),
+              "stub returned " +
+                  std::string(dns::rcode_name(result.response.rcode))));
+          return;
+        }
+        done(util::Error::none());
       });
 }
 
 void Browser::start_group(const std::shared_ptr<NavState>& nav,
                           std::size_t index) {
   const ResourceGroup& group = nav->page->groups[index];
-  resolve_domain(nav, group.domain, [this, nav, index](bool ok) {
+  resolve_domain(nav, group.domain, [this, nav, index](util::Error error) {
     if (nav->finished) return;
-    if (!ok) {
-      fail_navigation(nav, "DNS resolution failed for group " +
-                               std::to_string(index));
+    if (!error.ok()) {
+      error.detail = "DNS resolution failed for group " +
+                     std::to_string(index) + ": " + error.detail;
+      fail_navigation(nav, std::move(error));
       return;
     }
     const ResourceGroup& group = nav->page->groups[index];
@@ -219,13 +230,13 @@ void Browser::maybe_finish(const std::shared_ptr<NavState>& nav) {
 }
 
 void Browser::fail_navigation(const std::shared_ptr<NavState>& nav,
-                              const std::string& error) {
+                              util::Error error) {
   if (nav->finished) return;
   nav->finished = true;
   nav->timeout.cancel();
   PageLoadMetrics metrics;
   metrics.success = false;
-  metrics.error = error;
+  metrics.error = std::move(error);
   metrics.dns_queries = nav->page->dns_queries();
   metrics.dns_retransmissions = nav->dns_retransmissions;
   auto cb = std::move(nav->done);

@@ -21,6 +21,7 @@
 
 #include "dox/transport.h"
 #include "net/udp.h"
+#include "util/error.h"
 #include "util/rng.h"
 #include "web/page.h"
 
@@ -46,7 +47,8 @@ struct BrowserConfig {
 
 struct PageLoadMetrics {
   bool success = false;
-  std::string error;
+  /// Failure cause when !success (kNone otherwise).
+  util::Error error;
   SimTime fcp = 0;
   SimTime plt = 0;
   int dns_queries = 0;
@@ -79,16 +81,18 @@ class Browser {
  private:
   struct NavState;
 
+  /// `done` receives Error::none() on a usable answer, or the typed cause
+  /// (transport failure, or kRcode for a non-NOERROR answer).
   void resolve_domain(const std::shared_ptr<NavState>& nav,
                       const dns::DnsName& domain,
-                      std::function<void(bool)> done);
+                      std::function<void(util::Error)> done);
   void start_group(const std::shared_ptr<NavState>& nav, std::size_t index);
   void html_finished(const std::shared_ptr<NavState>& nav);
   void group_finished(const std::shared_ptr<NavState>& nav,
                       std::size_t index);
   void maybe_finish(const std::shared_ptr<NavState>& nav);
   void fail_navigation(const std::shared_ptr<NavState>& nav,
-                       const std::string& error);
+                       util::Error error);
   SimTime fetch_time(const ResourceGroup& group, SimTime rtt);
 
   sim::Simulator& sim_;

@@ -92,7 +92,7 @@ class DoxFixture : public ::testing::Test {
     {
       auto warm = make_transport(protocol, deps(), opts);
       QueryResult r = query(*warm, name);
-      EXPECT_TRUE(r.success);
+      EXPECT_TRUE(r.ok());
       sim_.run_until(sim_.now() + 300 * kMillisecond);  // drain NST/token
       warm->reset_sessions();
       sim_.run_until(sim_.now() + kSecond);
@@ -125,7 +125,7 @@ TEST_P(AllProtocols, ResolvesARecord) {
   start_resolver(default_profile());
   auto transport = make_transport(GetParam(), deps(), options_for(GetParam()));
   QueryResult result = query(*transport, "google.com");
-  ASSERT_TRUE(result.success) << result.error;
+  ASSERT_TRUE(result.ok()) << result.error();
   ASSERT_EQ(result.response.answers.size(), 1u);
   auto ip = dns::rdata_as_a(result.response.answers[0]);
   ASSERT_TRUE(ip.has_value());
@@ -138,11 +138,11 @@ TEST_P(AllProtocols, SecondQueryHitsResolverCache) {
   auto transport = make_transport(GetParam(), deps(), options_for(GetParam()));
   QueryResult first = query(*transport, "example.org");
   QueryResult second = query(*transport, "example.org");
-  ASSERT_TRUE(first.success);
-  ASSERT_TRUE(second.success);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
   // Cache hit answers much faster than the simulated recursion (~80 ms).
-  EXPECT_GT(first.resolve_time, from_ms(40));
-  EXPECT_LT(second.resolve_time, from_ms(40));
+  EXPECT_GT(first.resolve_time(), from_ms(40));
+  EXPECT_LT(second.resolve_time(), from_ms(40));
 }
 
 TEST_P(AllProtocols, UnsupportedNameTypeYieldsEmptyAnswer) {
@@ -155,7 +155,7 @@ TEST_P(AllProtocols, UnsupportedNameTypeYieldsEmptyAnswer) {
       [&](QueryResult r) { result = std::move(r); });
   sim_.run_until(sim_.now() + 30 * kSecond);
   ASSERT_TRUE(result.has_value());
-  ASSERT_TRUE(result->success);
+  ASSERT_TRUE(result->ok());
   EXPECT_TRUE(result->response.answers.empty());
 }
 
@@ -177,11 +177,11 @@ TEST_F(DoxFixture, HandshakeRoundTripsMatchPaperExpectations) {
   QueryResult doh = warmed_query(DnsProtocol::kDoH);
   QueryResult doq = warmed_query(DnsProtocol::kDoQ);
 
-  EXPECT_EQ(udp.handshake_time, 0);
-  EXPECT_NEAR(to_ms(tcp.handshake_time), 20.0, 8.0);
-  EXPECT_NEAR(to_ms(doq.handshake_time), 20.0, 8.0);
-  EXPECT_NEAR(to_ms(dot.handshake_time), 40.0, 10.0);
-  EXPECT_NEAR(to_ms(doh.handshake_time), 40.0, 10.0);
+  EXPECT_EQ(udp.handshake_time(), 0);
+  EXPECT_NEAR(to_ms(tcp.handshake_time()), 20.0, 8.0);
+  EXPECT_NEAR(to_ms(doq.handshake_time()), 20.0, 8.0);
+  EXPECT_NEAR(to_ms(dot.handshake_time()), 40.0, 10.0);
+  EXPECT_NEAR(to_ms(doh.handshake_time()), 40.0, 10.0);
 
   EXPECT_TRUE(dot.session_resumed);
   EXPECT_TRUE(doh.session_resumed);
@@ -193,9 +193,9 @@ TEST_F(DoxFixture, ResolveTimesSimilarAcrossProtocolsOnWarmCache) {
   start_resolver(default_profile());
   for (DnsProtocol protocol : kAllProtocols) {
     QueryResult r = warmed_query(protocol);
-    ASSERT_TRUE(r.success) << protocol_name(protocol);
+    ASSERT_TRUE(r.ok()) << protocol_name(protocol);
     // Cached resolve: ~1 RTT + processing.
-    EXPECT_NEAR(to_ms(r.resolve_time), 20.0, 10.0)
+    EXPECT_NEAR(to_ms(r.resolve_time()), 20.0, 10.0)
         << protocol_name(protocol);
   }
 }
@@ -205,10 +205,10 @@ TEST_F(DoxFixture, DoqZeroRttWhenResolverSupportsIt) {
   profile.supports_0rtt = true;
   start_resolver(profile);
   QueryResult r = warmed_query(DnsProtocol::kDoQ);
-  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r.used_0rtt);
   // Query + response complete in ~1 RTT total: 0-RTT makes DoQ match DoUDP.
-  EXPECT_NEAR(to_ms(r.total_time), 20.0, 10.0);
+  EXPECT_NEAR(to_ms(r.total_time()), 20.0, 10.0);
 }
 
 TEST_F(DoxFixture, DotZeroRttWhenResolverSupportsIt) {
@@ -216,11 +216,11 @@ TEST_F(DoxFixture, DotZeroRttWhenResolverSupportsIt) {
   profile.supports_0rtt = true;
   start_resolver(profile);
   QueryResult r = warmed_query(DnsProtocol::kDoT);
-  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r.used_0rtt);
   // TCP handshake (1 RTT) + 0-RTT query/response (1 RTT) = ~2 RTT total,
   // one less than resumed DoT's 3.
-  EXPECT_NEAR(to_ms(r.total_time), 40.0, 12.0);
+  EXPECT_NEAR(to_ms(r.total_time()), 40.0, 12.0);
 }
 
 TEST_F(DoxFixture, ResumptionDisabledForcesFullHandshake) {
@@ -229,7 +229,7 @@ TEST_F(DoxFixture, ResumptionDisabledForcesFullHandshake) {
   override.use_session_resumption = false;
   override.attempt_0rtt = false;
   QueryResult r = warmed_query(DnsProtocol::kDoT, "google.com", override);
-  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.ok());
   EXPECT_FALSE(r.session_resumed);
 }
 
@@ -238,12 +238,12 @@ TEST_F(DoxFixture, Tls12ResolverNegotiatesDownAndAddsRoundTrip) {
   profile.max_tls = tls::TlsVersion::kTls12;
   start_resolver(profile);
   QueryResult r = warmed_query(DnsProtocol::kDoT);
-  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.ok());
   ASSERT_TRUE(r.tls_version.has_value());
   EXPECT_EQ(*r.tls_version, tls::TlsVersion::kTls12);
   EXPECT_FALSE(r.session_resumed);
   // TCP (1 RTT) + TLS 1.2 (2 RTT) = ~60 ms.
-  EXPECT_NEAR(to_ms(r.handshake_time), 60.0, 12.0);
+  EXPECT_NEAR(to_ms(r.handshake_time()), 60.0, 12.0);
 }
 
 // ------------------------------------------------------------ DoQ specifics
@@ -257,7 +257,7 @@ TEST_F(DoxFixture, DoqLearnsVersionAlpnAndToken) {
   auto transport = make_transport(DnsProtocol::kDoQ, deps(),
                                   options_for(DnsProtocol::kDoQ));
   QueryResult first = query(*transport, "google.com");
-  ASSERT_TRUE(first.success);
+  ASSERT_TRUE(first.ok());
   EXPECT_EQ(first.quic_version, quic::QuicVersion::kDraft34);
   EXPECT_EQ(first.alpn, "doq-i03");
   // First contact guesses v1 and pays Version Negotiation.
@@ -274,8 +274,8 @@ TEST_F(DoxFixture, DoqLearnsVersionAlpnAndToken) {
   auto measured = make_transport(DnsProtocol::kDoQ, deps(),
                                  options_for(DnsProtocol::kDoQ));
   QueryResult second = query(*measured, "google.com");
-  ASSERT_TRUE(second.success);
-  EXPECT_NEAR(to_ms(second.handshake_time), 20.0, 8.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NEAR(to_ms(second.handshake_time()), 20.0, 8.0);
 }
 
 TEST_F(DoxFixture, DoqDraftAlpnWithoutPrefixStillWorks) {
@@ -283,7 +283,7 @@ TEST_F(DoxFixture, DoqDraftAlpnWithoutPrefixStillWorks) {
   profile.doq_alpn = "doq-i02";  // bare-message framing
   start_resolver(profile);
   QueryResult r = warmed_query(DnsProtocol::kDoQ);
-  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.alpn, "doq-i02");
 }
 
@@ -293,11 +293,11 @@ TEST_F(DoxFixture, DoqMultipleQueriesShareOneConnection) {
                                   options_for(DnsProtocol::kDoQ));
   QueryResult a = query(*transport, "a.example");
   QueryResult b = query(*transport, "b.example");
-  ASSERT_TRUE(a.success);
-  ASSERT_TRUE(b.success);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
   EXPECT_TRUE(a.new_session);
   EXPECT_FALSE(b.new_session);
-  EXPECT_EQ(b.handshake_time, 0);
+  EXPECT_EQ(b.handshake_time(), 0);
 }
 
 // ----------------------------------------------------------- DoT connection
@@ -318,8 +318,8 @@ TEST_F(DoxFixture, DotCorrectReusePipelinesConcurrentQueries) {
                      [&](QueryResult r) { results.push_back(std::move(r)); });
   sim_.run_until(sim_.now() + 30 * kSecond);
   ASSERT_EQ(results.size(), 2u);
-  EXPECT_TRUE(results[0].success);
-  EXPECT_TRUE(results[1].success);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
   // One connection total: exactly one query paid the handshake.
   EXPECT_EQ((results[0].new_session ? 1 : 0) +
                 (results[1].new_session ? 1 : 0),
@@ -344,7 +344,7 @@ TEST_F(DoxFixture, DotBuggyReuseOpensSecondConnectionWhileInFlight) {
   // Both queries paid a fresh handshake — the dnsproxy bug.
   EXPECT_TRUE(results[0].new_session);
   EXPECT_TRUE(results[1].new_session);
-  EXPECT_GT(results[1].handshake_time, 0);
+  EXPECT_GT(results[1].handshake_time(), 0);
 }
 
 // ------------------------------------------------------------------- DoUDP
@@ -367,11 +367,11 @@ TEST_F(DoxFixture, DoUdpRetransmitsAfterFiveSeconds) {
                              resolver_->profile().address, 0.0);
   sim_.run_until(sim_.now() + 30 * kSecond);
   ASSERT_TRUE(result.has_value());
-  ASSERT_TRUE(result->success);
+  ASSERT_TRUE(result->ok());
   EXPECT_GE(result->udp_retransmissions, 1);
   // The 5-second application-layer timeout dominates the resolve time —
   // the paper's DoUDP outlier mechanism.
-  EXPECT_GT(result->resolve_time, 5 * kSecond);
+  EXPECT_GT(result->resolve_time(), 5 * kSecond);
 }
 
 TEST_F(DoxFixture, DoUdpFailsAfterAllRetries) {
@@ -387,7 +387,7 @@ TEST_F(DoxFixture, DoUdpFailsAfterAllRetries) {
                      [&](QueryResult r) { result = std::move(r); });
   sim_.run_until(sim_.now() + 60 * kSecond);
   ASSERT_TRUE(result.has_value());
-  EXPECT_FALSE(result->success);
+  EXPECT_FALSE(result->ok());
 }
 
 // ----------------------------------------------- RFC extensions / options
@@ -397,7 +397,7 @@ TEST_F(DoxFixture, WwwNamesReturnCnameChain) {
   auto transport = make_transport(DnsProtocol::kDoUdp, deps(),
                                   options_for(DnsProtocol::kDoUdp));
   QueryResult r = query(*transport, "www.example.net");
-  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.ok());
   ASSERT_EQ(r.response.answers.size(), 2u);
   EXPECT_EQ(r.response.answers[0].type, dns::RRType::kCNAME);
   EXPECT_EQ(dns::rdata_as_name(r.response.answers[0])->to_string(),
@@ -412,14 +412,14 @@ TEST_F(DoxFixture, InvalidTldYieldsNxdomain) {
   auto transport = make_transport(DnsProtocol::kDoQ, deps(),
                                   options_for(DnsProtocol::kDoQ));
   QueryResult r = query(*transport, "nothing.invalid");
-  ASSERT_TRUE(r.success);
+  ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.response.rcode, dns::RCode::kNXDomain);
   EXPECT_TRUE(r.response.answers.empty());
   // Negative entries are cached too: the second query is fast.
   QueryResult again = query(*transport, "nothing.invalid");
-  ASSERT_TRUE(again.success);
+  ASSERT_TRUE(again.ok());
   EXPECT_EQ(again.response.rcode, dns::RCode::kNXDomain);
-  EXPECT_LT(again.resolve_time, from_ms(40));
+  EXPECT_LT(again.resolve_time(), from_ms(40));
 }
 
 TEST_F(DoxFixture, TruncatedUdpResponseFallsBackToTcp) {
@@ -433,12 +433,12 @@ TEST_F(DoxFixture, TruncatedUdpResponseFallsBackToTcp) {
                      [&](QueryResult r) { result = std::move(r); });
   sim_.run_until(sim_.now() + 30 * kSecond);
   ASSERT_TRUE(result.has_value());
-  ASSERT_TRUE(result->success) << result->error;
+  ASSERT_TRUE(result->ok()) << result->error();
   EXPECT_TRUE(result->tc_fallback);
   ASSERT_EQ(result->response.answers.size(), 1u);
   EXPECT_GT(result->response.answers[0].rdata.size(), 1999u);
   // The fallback costs the TCP handshake + exchange on top of the UDP RTT.
-  EXPECT_GT(result->resolve_time, from_ms(50));
+  EXPECT_GT(result->resolve_time(), from_ms(50));
 }
 
 TEST_F(DoxFixture, TruncationFallbackDisabledReturnsTcResponse) {
@@ -452,7 +452,7 @@ TEST_F(DoxFixture, TruncationFallbackDisabledReturnsTcResponse) {
                      [&](QueryResult r) { result = std::move(r); });
   sim_.run_until(sim_.now() + 30 * kSecond);
   ASSERT_TRUE(result.has_value());
-  ASSERT_TRUE(result->success);
+  ASSERT_TRUE(result->ok());
   EXPECT_TRUE(result->response.tc);
   EXPECT_TRUE(result->response.answers.empty());
   EXPECT_FALSE(result->tc_fallback);
@@ -468,7 +468,7 @@ TEST_F(DoxFixture, SmallTxtStaysOnUdp) {
                      [&](QueryResult r) { result = std::move(r); });
   sim_.run_until(sim_.now() + 30 * kSecond);
   ASSERT_TRUE(result.has_value());
-  ASSERT_TRUE(result->success);
+  ASSERT_TRUE(result->ok());
   EXPECT_FALSE(result->tc_fallback);
   ASSERT_EQ(result->response.answers.size(), 1u);
 }
@@ -481,12 +481,12 @@ TEST_F(DoxFixture, KeepaliveAdvertisementEnablesDoTcpReuse) {
                                   options_for(DnsProtocol::kDoTcp));
   QueryResult first = query(*transport, "a.example");
   QueryResult second = query(*transport, "b.example");
-  ASSERT_TRUE(first.success);
-  ASSERT_TRUE(second.success);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
   // RFC 7828 honoured: the second query reuses the connection.
   EXPECT_TRUE(first.new_session);
   EXPECT_FALSE(second.new_session);
-  EXPECT_EQ(second.handshake_time, 0);
+  EXPECT_EQ(second.handshake_time(), 0);
 }
 
 TEST_F(DoxFixture, NoKeepaliveMeansFreshConnectionPerQuery) {
@@ -495,8 +495,8 @@ TEST_F(DoxFixture, NoKeepaliveMeansFreshConnectionPerQuery) {
                                   options_for(DnsProtocol::kDoTcp));
   QueryResult first = query(*transport, "a.example");
   QueryResult second = query(*transport, "b.example");
-  ASSERT_TRUE(first.success);
-  ASSERT_TRUE(second.success);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
   EXPECT_TRUE(first.new_session);
   EXPECT_TRUE(second.new_session);  // the paper's observed behaviour
 }
@@ -512,13 +512,13 @@ TEST_F(DoxFixture, PaddedQueriesGrowToBlockSizes) {
     opts.pad_encrypted = true;
     auto warm = make_transport(DnsProtocol::kDoT, deps(), opts);
     QueryResult r = query(*warm, "google.com");
-    ASSERT_TRUE(r.success);
+    ASSERT_TRUE(r.ok());
     sim_.run_until(sim_.now() + 300 * kMillisecond);
     warm->reset_sessions();
     sim_.run_until(sim_.now() + kSecond);
     auto measured = make_transport(DnsProtocol::kDoT, deps(), opts);
     QueryResult m = query(*measured, "google.com");
-    ASSERT_TRUE(m.success);
+    ASSERT_TRUE(m.ok());
     sim_.run_until(sim_.now() + 300 * kMillisecond);
     measured->reset_sessions();
     sim_.run_until(sim_.now() + kSecond);
@@ -572,7 +572,7 @@ TEST_F(DoxFixture, ResumedTlsHandshakeOmitsCertificateBytes) {
     TransportOptions opts = options_for(DnsProtocol::kDoT);
     auto transport = make_transport(DnsProtocol::kDoT, deps(), opts);
     QueryResult r = query(*transport, "google.com");
-    ASSERT_TRUE(r.success);
+    ASSERT_TRUE(r.ok());
     transport->reset_sessions();
     sim_.run_until(sim_.now() + kSecond);
     cold = transport->wire_stats();

@@ -1,0 +1,39 @@
+# Pin for the per-protocol x error-class failure report: runs a small
+# single-query study (whose seed makes a handful of queries hit the 0.2%
+# packet-loss budget hard enough to exhaust their retries) and asserts the
+# failure-rate CSV is bit-identical to the committed baseline. This guards
+# two things at once: the deterministic classification of terminal errors
+# (those losses must keep surfacing as `timeout`, never as some other
+# class) and the report's column/row ordering.
+#
+# Invoked by ctest as:
+#   cmake -DDOXPERF_BIN=... -DWORK_DIR=... -DEXPECTED_SHA256=... -P this_file
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(COMMAND "${DOXPERF_BIN}" --resolvers=12 --reps=6 --seed=42
+                        --failure-csv=failure_report.csv
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "doxperf --failure-csv failed (exit ${rc})")
+endif()
+file(SHA256 "${WORK_DIR}/failure_report.csv" actual)
+if(NOT actual STREQUAL "${EXPECTED_SHA256}")
+  message(FATAL_ERROR "failure_report.csv drifted: sha256 ${actual} != "
+                      "pinned ${EXPECTED_SHA256} — error classification or "
+                      "report layout changed observable behaviour")
+endif()
+# The pinned run is chosen to contain real failures; an all-zero report
+# would pass the hash check only if the baseline itself were degenerate,
+# so double-check the report still records at least one classified error.
+file(STRINGS "${WORK_DIR}/failure_report.csv" lines)
+set(total_failures 0)
+foreach(line IN LISTS lines)
+  if(line MATCHES "^[^,]+,[0-9]+,([0-9]+),")
+    math(EXPR total_failures "${total_failures} + ${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+if(total_failures EQUAL 0)
+  message(FATAL_ERROR "pinned failure report contains no failures — the "
+                      "scenario no longer exercises error classification")
+endif()

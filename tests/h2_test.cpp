@@ -156,7 +156,7 @@ TEST(H2Connection, BadPrefaceFailsServer) {
   bool failed = false;
   H2Connection::Callbacks scb;
   scb.send_transport = [](util::Buffer) {};
-  scb.on_error = [&](const std::string&) { failed = true; };
+  scb.on_error = [&](const util::Error&) { failed = true; };
   H2Connection server(false, std::move(scb));
   std::vector<std::uint8_t> junk(32, 'x');
   server.on_transport_data(junk);

@@ -77,7 +77,7 @@ class Doh3Fixture : public ::testing::Test {
     {
       auto warm = dox::make_transport(protocol, deps(), options(protocol));
       auto r = query(*warm, "google.com");
-      EXPECT_TRUE(r.success) << r.error;
+      EXPECT_TRUE(r.ok()) << r.error();
       sim_.run_until(sim_.now() + 300 * kMillisecond);
       warm->reset_sessions();
       sim_.run_until(sim_.now() + kSecond);
@@ -105,7 +105,7 @@ TEST_F(Doh3Fixture, ResolvesOverHttp3) {
   auto transport = dox::make_transport(dox::DnsProtocol::kDoH3, deps(),
                                        options(dox::DnsProtocol::kDoH3));
   auto result = query(*transport, "example.com");
-  ASSERT_TRUE(result.success) << result.error;
+  ASSERT_TRUE(result.ok()) << result.error();
   ASSERT_EQ(result.response.answers.size(), 1u);
   EXPECT_EQ(dns::rdata_as_a(result.response.answers[0]),
             resolver::authoritative_ipv4(dns::DnsName::parse("example.com")));
@@ -115,11 +115,11 @@ TEST_F(Doh3Fixture, ResolvesOverHttp3) {
 TEST_F(Doh3Fixture, WarmedHandshakeIsOneRoundTripLikeDoQ) {
   start_resolver();
   auto r = warmed_query(dox::DnsProtocol::kDoH3);
-  ASSERT_TRUE(r.success) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   EXPECT_TRUE(r.session_resumed);
   // 1 RTT = 20 ms: HTTP/3 inherits QUIC's combined handshake — the paper's
   // future-work expectation that DoH3 closes the DoH(H2) gap.
-  EXPECT_NEAR(to_ms(r.handshake_time), 20.0, 8.0);
+  EXPECT_NEAR(to_ms(r.handshake_time()), 20.0, 8.0);
 }
 
 TEST_F(Doh3Fixture, ResolverWithoutDoh3RefusesAlpn) {
@@ -141,7 +141,7 @@ TEST_F(Doh3Fixture, ResolverWithoutDoh3RefusesAlpn) {
   opts.query_timeout = 5 * kSecond;
   auto transport = dox::make_transport(dox::DnsProtocol::kDoH3, deps(), opts);
   auto result = query(*transport, "example.com");
-  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.ok());
 }
 
 TEST_F(Doh3Fixture, MultipleQueriesShareOneConnection) {
@@ -150,8 +150,8 @@ TEST_F(Doh3Fixture, MultipleQueriesShareOneConnection) {
                                        options(dox::DnsProtocol::kDoH3));
   auto a = query(*transport, "a.example");
   auto b = query(*transport, "b.example");
-  ASSERT_TRUE(a.success);
-  ASSERT_TRUE(b.success);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
   EXPECT_TRUE(a.new_session);
   EXPECT_FALSE(b.new_session);
 }
@@ -159,10 +159,10 @@ TEST_F(Doh3Fixture, MultipleQueriesShareOneConnection) {
 TEST_F(Doh3Fixture, ZeroRttRequestWhenSupported) {
   start_resolver(/*supports_0rtt=*/true);
   auto r = warmed_query(dox::DnsProtocol::kDoH3);
-  ASSERT_TRUE(r.success) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   EXPECT_TRUE(r.used_0rtt);
   // Query completes within ~1 RTT total.
-  EXPECT_NEAR(to_ms(r.total_time), 20.0, 10.0);
+  EXPECT_NEAR(to_ms(r.total_time()), 20.0, 10.0);
 }
 
 TEST_F(Doh3Fixture, CarriesMoreBytesThanDoQButFewerRoundTripsThanDoH) {
@@ -171,7 +171,7 @@ TEST_F(Doh3Fixture, CarriesMoreBytesThanDoQButFewerRoundTripsThanDoH) {
   {
     auto t = dox::make_transport(dox::DnsProtocol::kDoQ, deps(),
                                  options(dox::DnsProtocol::kDoQ));
-    ASSERT_TRUE(query(*t, "google.com").success);
+    ASSERT_TRUE(query(*t, "google.com").ok());
     sim_.run_until(sim_.now() + 300 * kMillisecond);
     t->reset_sessions();
     sim_.run_until(sim_.now() + kSecond);
@@ -180,7 +180,7 @@ TEST_F(Doh3Fixture, CarriesMoreBytesThanDoQButFewerRoundTripsThanDoH) {
   {
     auto t = dox::make_transport(dox::DnsProtocol::kDoH3, deps(),
                                  options(dox::DnsProtocol::kDoH3));
-    ASSERT_TRUE(query(*t, "google.com").success);
+    ASSERT_TRUE(query(*t, "google.com").ok());
     sim_.run_until(sim_.now() + 300 * kMillisecond);
     t->reset_sessions();
     sim_.run_until(sim_.now() + kSecond);

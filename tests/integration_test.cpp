@@ -81,7 +81,7 @@ TEST_P(DoqPorts, ServesOnDraftPort) {
                      [&](dox::QueryResult r) { result = std::move(r); });
   sim_.run_until(sim_.now() + 30 * kSecond);
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->success) << "port " << GetParam();
+  EXPECT_TRUE(result->ok()) << "port " << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(DraftPorts, DoqPorts,
@@ -208,7 +208,7 @@ TEST_F(IntegrationFixture, FullyUnresponsiveResolverTimesOutEveryProtocol) {
                        [&](dox::QueryResult r) { result = std::move(r); });
     sim_.run_until(sim_.now() + 60 * kSecond);
     ASSERT_TRUE(result.has_value()) << protocol_name(protocol);
-    EXPECT_FALSE(result->success) << protocol_name(protocol);
+    EXPECT_FALSE(result->ok()) << protocol_name(protocol);
     transport->reset_sessions();
     sim_.run_until(sim_.now() + 5 * kSecond);
   }
@@ -231,7 +231,7 @@ TEST_F(IntegrationFixture, DuplicateQuicDatagramsAreSuppressed) {
                      });
   sim_.run_until(sim_.now() + 30 * kSecond);
   ASSERT_TRUE(result.has_value());
-  EXPECT_TRUE(result->success);
+  EXPECT_TRUE(result->ok());
   EXPECT_EQ(responses, 1);
 }
 

@@ -229,8 +229,8 @@ class QuicFixture : public ::testing::Test {
     callbacks.on_new_token = [this](const AddressToken& t) {
       tokens_.push_back(t);
     };
-    callbacks.on_closed = [this](const std::string& reason) {
-      close_reasons_.push_back(reason);
+    callbacks.on_closed = [this](const util::Error& error) {
+      close_reasons_.push_back(error);
     };
     auto conn = QuicConnection::make_client(sim_, std::move(config),
                                             std::move(callbacks));
@@ -279,7 +279,7 @@ class QuicFixture : public ::testing::Test {
   std::map<std::uint64_t, SimTime> stream_fin_at_;
   std::vector<tls::SessionTicket> tickets_;
   std::vector<AddressToken> tokens_;
-  std::vector<std::string> close_reasons_;
+  std::vector<util::Error> close_reasons_;
 };
 
 TEST_F(QuicFixture, FullHandshakeCompletesInOneRtt) {
@@ -514,7 +514,7 @@ TEST_F(QuicFixture, UnreachableServerTimesOut) {
   sim_.run_until(600 * kSecond);
   EXPECT_TRUE(conn->closed());
   ASSERT_FALSE(close_reasons_.empty());
-  EXPECT_NE(close_reasons_[0], "");
+  EXPECT_EQ(close_reasons_[0].cls, util::ErrorClass::kTimeout);
 }
 
 TEST_F(QuicFixture, ClientCloseSendsConnectionClose) {
@@ -525,7 +525,7 @@ TEST_F(QuicFixture, ClientCloseSendsConnectionClose) {
   ASSERT_EQ(accepted_.size(), 1u);
   bool server_closed = false;
   accepted_[0]->set_on_closed(
-      [&](const std::string&) { server_closed = true; });
+      [&](const util::Error&) { server_closed = true; });
   conn->close();
   sim_.run_until(sim_.now() + kSecond);
   EXPECT_TRUE(conn->closed());
@@ -622,7 +622,7 @@ TEST_F(QuicFixture, HandshakeTimeoutWhenServerVanishesMidway) {
   sim_.run_until(600 * kSecond);
   EXPECT_TRUE(conn->closed());
   ASSERT_FALSE(close_reasons_.empty());
-  EXPECT_NE(close_reasons_[0], "");
+  EXPECT_EQ(close_reasons_[0].cls, util::ErrorClass::kTimeout);
 }
 
 TEST_F(QuicFixture, ClientInitialDatagramIsPadded) {

@@ -74,7 +74,8 @@ TEST_F(TcpFixture, ConnectToClosedPortTimesOut) {
   auto conn = client_.connect(Endpoint{server_host_.address(), 999},
                               TcpOptions{.max_retransmits = 2});
   bool closed_with_error = false;
-  conn->on_closed([&](bool error) { closed_with_error = error; });
+  conn->on_closed(
+      [&](const util::Error& error) { closed_with_error = !error.ok(); });
   sim_.run();
   EXPECT_TRUE(closed_with_error);
   EXPECT_EQ(conn->state(), TcpState::kClosed);
@@ -177,9 +178,9 @@ TEST_F(TcpFixture, GracefulCloseBothSides) {
   start_echo_server();
   auto conn = client_.connect(Endpoint{server_host_.address(), 853});
   bool client_closed = false, client_error = true;
-  conn->on_closed([&](bool error) {
+  conn->on_closed([&](const util::Error& error) {
     client_closed = true;
-    client_error = error;
+    client_error = !error.ok();
   });
   conn->on_connected([&] { conn->close(); });
   // Server closes in response to FIN.
@@ -205,7 +206,8 @@ TEST_F(TcpFixture, AbortSendsRstAndClosesPeer) {
   auto conn = client_.connect(Endpoint{server_host_.address(), 853});
   bool server_error = false;
   conn->on_connected([&] {
-    server_conn_->on_closed([&](bool error) { server_error = error; });
+    server_conn_->on_closed(
+        [&](const util::Error& error) { server_error = !error.ok(); });
     conn->abort();
   });
   sim_.run();

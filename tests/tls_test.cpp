@@ -32,7 +32,7 @@ class TlsPair {
       client_received.insert(client_received.end(), d.begin(), d.end());
     };
     ccb.on_new_ticket = [this](const SessionTicket& t) { tickets.push_back(t); };
-    ccb.on_error = [this](const std::string& e) { client_error = e; };
+    ccb.on_error = [this](const util::Error& e) { client_error = e.to_string(); };
     ccb.on_close_notify = [this] { client_saw_close = true; };
     ccb.now = [this] { return now_; };
 
@@ -48,7 +48,7 @@ class TlsPair {
       server_received.insert(server_received.end(), d.begin(), d.end());
       server_data_flight = flight_counter;
     };
-    scb.on_error = [this](const std::string& e) { server_error = e; };
+    scb.on_error = [this](const util::Error& e) { server_error = e.to_string(); };
     scb.now = [this] { return now_; };
 
     client = std::make_unique<TlsSession>(client_cfg, std::move(ccb));

@@ -194,7 +194,7 @@ TEST_F(BrowserFixture, DnsFailureFailsNavigation) {
   config.load_timeout = 20 * kSecond;
   auto metrics = load(page_by_name("wikipedia.org"), config);
   EXPECT_FALSE(metrics.success);
-  EXPECT_FALSE(metrics.error.empty());
+  EXPECT_NE(metrics.error.cls, util::ErrorClass::kNone);
 }
 
 TEST_F(BrowserFixture, LostDnsPacketCostsFiveSeconds) {

@@ -52,6 +52,7 @@ const char* kUsage = R"(doxperf — DNS-over-X measurement testbed CLI
   --pad              RFC 8467 padding on encrypted transports
   --fix-dot          use the fixed dnsproxy DoT connection reuse (web)
   --csv=FILE         write raw records as CSV
+  --failure-csv=FILE write the per-protocol x error-class failure report
   --help             this text
 
 campaign subcommand — the same studies sharded over a thread pool
@@ -185,6 +186,14 @@ int run_engine(int argc, char** argv) {
                 static_cast<unsigned long long>(upstream.failures),
                 upstream.healthy ? "healthy" : "quarantined");
   }
+  std::printf("failure classes");
+  for (util::ErrorClass cls : util::kAllErrorClasses) {
+    if (cls == util::ErrorClass::kNone) continue;
+    std::printf("  %s %llu", std::string(util::error_class_name(cls)).c_str(),
+                static_cast<unsigned long long>(
+                    e.upstream_errors.count(cls)));
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -265,6 +274,12 @@ int run_campaign(int argc, char** argv) {
   if (!csv_path.empty()) {
     write_file(csv_path, single_query_csv(records));
     std::printf("raw records -> %s\n", csv_path.c_str());
+  }
+  const std::string failure_csv =
+      flag_value(argc, argv, "--failure-csv", "");
+  if (!failure_csv.empty()) {
+    write_file(failure_csv, failure_rate_csv(records));
+    std::printf("failure report -> %s\n", failure_csv.c_str());
   }
   return 0;
 }
@@ -361,6 +376,12 @@ int run(int argc, char** argv) {
   if (!csv_path.empty()) {
     write_file(csv_path, single_query_csv(records));
     std::printf("raw records -> %s\n", csv_path.c_str());
+  }
+  const std::string failure_csv =
+      flag_value(argc, argv, "--failure-csv", "");
+  if (!failure_csv.empty()) {
+    write_file(failure_csv, failure_rate_csv(records));
+    std::printf("failure report -> %s\n", failure_csv.c_str());
   }
   return 0;
 }
