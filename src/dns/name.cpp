@@ -86,10 +86,10 @@ std::string DnsName::to_string() const {
   return out;
 }
 
-bool DnsName::is_subdomain_of(const DnsName& other) const {
-  if (other.wire_.size() > wire_.size()) return false;
-  const std::size_t split = wire_.size() - other.wire_.size();
-  if (std::string_view(wire_).substr(split) != other.wire_) return false;
+bool DnsName::has_suffix(const DnsName& suffix) const {
+  if (suffix.wire_.size() > wire_.size()) return false;
+  const std::size_t split = wire_.size() - suffix.wire_.size();
+  if (std::string_view(wire_).substr(split) != suffix.wire_) return false;
   // A byte-level suffix match only counts when it starts on a label
   // boundary (label bytes may themselves contain length-like values).
   std::size_t pos = 0;

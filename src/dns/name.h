@@ -68,8 +68,20 @@ class DnsName {
   /// + terminating zero octet.
   std::size_t wire_length() const { return wire_.size() + 1; }
 
-  /// True if `this` equals `other` or is a subdomain of it.
-  bool is_subdomain_of(const DnsName& other) const;
+  /// Label-wise suffix test: true if `suffix` is the root name, equals
+  /// `this`, or `this` is a subdomain of it. Allocation-free — a byte-level
+  /// suffix compare over the flat label storage plus a label-boundary walk
+  /// (label bytes may themselves contain length-like values, so ends_with
+  /// alone would false-positive). Case-insensitive by construction: labels
+  /// are stored lower-cased. This is the comparator the policy suffix rule
+  /// evaluates per query.
+  bool has_suffix(const DnsName& suffix) const;
+
+  /// True if `this` equals `other` or is a subdomain of it (alias of
+  /// has_suffix, kept for call-site readability).
+  bool is_subdomain_of(const DnsName& other) const {
+    return has_suffix(other);
+  }
 
   /// Strips the leftmost label ("www.google.com" -> "google.com").
   /// Precondition: !is_root().

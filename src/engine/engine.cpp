@@ -1,5 +1,7 @@
 #include "engine/engine.h"
 
+#include <iterator>
+
 #include "util/logging.h"
 
 namespace doxlab::engine {
@@ -9,9 +11,43 @@ ForwarderEngine::ForwarderEngine(sim::Simulator& sim,
                                  const dox::TransportDeps& upstream_deps,
                                  std::vector<UpstreamConfig> upstreams,
                                  EngineConfig config)
-    : sim_(sim),
-      config_(config),
-      pool_(sim, upstream_deps, std::move(upstreams), config.pool) {
+    : sim_(sim), config_(std::move(config)) {
+  // Group upstreams into named pools, order of first appearance. With every
+  // upstream in one pool (the default) this is exactly the pre-policy
+  // engine: one pool walking all upstreams.
+  std::vector<std::vector<UpstreamConfig>> groups;
+  for (auto& upstream : upstreams) {
+    const std::string& name =
+        upstream.pool.empty() ? std::string("default") : upstream.pool;
+    std::size_t index = pool_names_.size();
+    for (std::size_t i = 0; i < pool_names_.size(); ++i) {
+      if (pool_names_[i] == name) {
+        index = i;
+        break;
+      }
+    }
+    if (index == pool_names_.size()) {
+      pool_names_.push_back(name);
+      groups.emplace_back();
+    }
+    groups[index].push_back(std::move(upstream));
+  }
+  if (groups.empty()) {
+    // No upstreams at all: keep one empty default pool so resolves fail
+    // with kNoRoute instead of indexing nothing.
+    pool_names_.push_back("default");
+    groups.emplace_back();
+  }
+  pools_.reserve(groups.size());
+  for (auto& group : groups) {
+    pools_.push_back(std::make_unique<UpstreamPool>(
+        sim, upstream_deps, std::move(group), config_.pool));
+  }
+
+  // Compile the policy chain against the pool names; kRoutePool targets
+  // resolve to indices here, so an unknown name fails construction.
+  chain_ = policy::RuleChain(config_.policy, pool_names_);
+
   cache_.set_capacity(config_.cache_capacity);
   listener_ = stub_udp.bind(config_.listen_port);
   listener_->on_datagram([this](const net::Endpoint& from,
@@ -34,10 +70,11 @@ std::vector<dns::ResourceRecord> ForwarderEngine::clamp_ttls(
 
 void ForwarderEngine::send_response(const Waiter& waiter,
                                     const dns::Question& question,
-                                    dns::RCode rcode) {
+                                    dns::RCode rcode, bool tc) {
   dns::Message& response = scratch_response_;
   response.id = waiter.stub_id;
   response.qr = true;
+  response.tc = tc;
   response.ra = true;
   response.rcode = rcode;
   // Copy-assign into retained storage: after warm-up neither the question
@@ -79,6 +116,37 @@ void ForwarderEngine::answer_servfail(const Waiter& waiter,
   send_response(waiter, question, dns::RCode::kServFail);
 }
 
+bool ForwarderEngine::apply_policy_verdict(const policy::Verdict& verdict,
+                                           const Waiter& waiter,
+                                           const dns::Question& question) {
+  switch (verdict.action) {
+    case policy::ActionKind::kAllow:
+    case policy::ActionKind::kRoutePool:
+      return false;
+    case policy::ActionKind::kDrop:
+      // Silent drop: no response at all. The client experiences a timeout,
+      // so the taxonomy books it as a deliberate teardown (kCancelled).
+      ++policy_dropped_;
+      policy_errors_.record(util::ErrorClass::kCancelled);
+      return true;
+    case policy::ActionKind::kRefuse:
+      ++policy_refused_;
+      policy_errors_.record(util::ErrorClass::kRcode);
+      scratch_response_.answers.clear();
+      send_response(waiter, question, verdict.rcode);
+      return true;
+    case policy::ActionKind::kTruncate:
+      // TC=1, empty answer: a real stub would retry over TCP — in this
+      // testbed it is the "slow-path the abuser" action.
+      ++policy_truncated_;
+      policy_errors_.record(util::ErrorClass::kTruncated);
+      scratch_response_.answers.clear();
+      send_response(waiter, question, dns::RCode::kNoError, /*tc=*/true);
+      return true;
+  }
+  return false;
+}
+
 void ForwarderEngine::on_stub_query(const net::Endpoint& from,
                                     util::Buffer payload) {
   // Decode into the reusable scratch message: label/rdata storage is
@@ -93,6 +161,18 @@ void ForwarderEngine::on_stub_query(const net::Endpoint& from,
   ++queries_;
   if (first_query_at_ < 0) first_query_at_ = sim_.now();
   last_query_at_ = sim_.now();
+
+  // Policy runs BEFORE cache and coalescing: abusive traffic must not touch
+  // (and thus never pollutes or probes) any downstream mechanism. An empty
+  // chain evaluates to kAllow without a branch per rule.
+  std::uint32_t pool_index = 0;
+  if (!chain_.empty()) {
+    const policy::Verdict verdict = chain_.evaluate(policy::QueryInfo{
+        from.address, question.name, question.type, sim_.now()});
+    if (apply_policy_verdict(verdict, waiter, question)) return;
+    pool_index = verdict.pool;
+    if (pool_index != 0) ++policy_routed_;
+  }
 
   if (config_.cache_enabled) {
     if (config_.serve_stale) {
@@ -112,7 +192,7 @@ void ForwarderEngine::on_stub_query(const net::Endpoint& from,
           // Refresh entry with no waiters.
           auto [it, inserted] =
               inflight_.try_emplace(Key{question.name, question.type});
-          start_resolve(it->first, question);
+          start_resolve(it->first, question, pool_index);
         }
         return;
       }
@@ -136,23 +216,26 @@ void ForwarderEngine::on_stub_query(const net::Endpoint& from,
   if (!config_.coalesce) {
     // Every query pays its own upstream resolve (the ablation baseline).
     ++upstream_resolves_;
-    pool_.resolve(question, [this, waiter, question](dox::QueryResult result) {
-      deliver({waiter}, question, std::move(result));
-    });
+    pools_[pool_index]->resolve(
+        question, [this, waiter, question](dox::QueryResult result) {
+          deliver({waiter}, question, std::move(result));
+        });
     return;
   }
   auto [it, inserted] =
       inflight_.try_emplace(Key{question.name, question.type});
   it->second.waiters.push_back(waiter);
-  start_resolve(it->first, question);
+  start_resolve(it->first, question, pool_index);
 }
 
 void ForwarderEngine::start_resolve(const Key& key,
-                                    const dns::Question& question) {
+                                    const dns::Question& question,
+                                    std::uint32_t pool_index) {
   ++upstream_resolves_;
-  pool_.resolve(question, [this, key, question](dox::QueryResult result) {
-    on_upstream_result(key, question, std::move(result));
-  });
+  pools_[pool_index]->resolve(
+      question, [this, key, question](dox::QueryResult result) {
+        on_upstream_result(key, question, std::move(result));
+      });
 }
 
 void ForwarderEngine::on_upstream_result(const Key& key,
@@ -208,13 +291,25 @@ EngineStats ForwarderEngine::stats() const {
   s.misses = misses_;
   s.coalesced = coalesced_;
   s.upstream_resolves = upstream_resolves_;
-  s.upstream_attempts = pool_.attempts_issued();
-  s.failovers = pool_.failovers();
   s.stale_refreshes = stale_refreshes_;
   s.servfails_sent = servfails_sent_;
   s.cache_evictions = cache_.evictions();
-  s.upstream_errors = pool_.error_counts();
-  s.upstreams = pool_.health();
+  for (const auto& pool : pools_) {
+    s.upstream_attempts += pool->attempts_issued();
+    s.failovers += pool->failovers();
+    s.upstream_errors.add(pool->error_counts());
+    auto health = pool->health();
+    s.upstreams.insert(s.upstreams.end(),
+                       std::make_move_iterator(health.begin()),
+                       std::make_move_iterator(health.end()));
+  }
+  s.policy_evaluations = chain_.evaluations();
+  s.policy_dropped = policy_dropped_;
+  s.policy_refused = policy_refused_;
+  s.policy_truncated = policy_truncated_;
+  s.policy_routed = policy_routed_;
+  s.policy_errors = policy_errors_;
+  s.policy_rules = chain_.stats();
   return s;
 }
 

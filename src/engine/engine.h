@@ -14,9 +14,13 @@
 //     failure falls back to stale data before SERVFAIL;
 //   * cross-protocol upstream fallback with health tracking, via
 //     `UpstreamPool` (DoQ -> DoT -> DoUDP, Happy-Eyeballs-style);
+//   * a compiled policy chain (src/policy) evaluated on every query BEFORE
+//     cache and coalescing — drop/refuse/truncate abusive traffic, route
+//     qname suffixes to named upstream pools — so attack floods are shed
+//     ahead of every expensive mechanism;
 //   * a stats surface: qps, coalesce rate, hit/stale/miss split, SERVFAILs,
-//     per-upstream health, and client-visible latency samples for
-//     percentile reporting through src/stats.
+//     per-upstream health, per-policy-rule hit counters, and client-visible
+//     latency samples for percentile reporting through src/stats.
 #pragma once
 
 #include <memory>
@@ -26,6 +30,7 @@
 #include "dns/cache.h"
 #include "engine/upstream_pool.h"
 #include "net/udp.h"
+#include "policy/policy.h"
 
 namespace doxlab::engine {
 
@@ -48,8 +53,12 @@ struct EngineConfig {
   /// `max_ttl` forces refresh traffic — the serve-stale ablation knob.
   std::uint32_t min_ttl = 0;
   std::uint32_t max_ttl = 0;
-  /// Upstream pool behaviour (timeouts, health thresholds, selection).
+  /// Upstream pool behaviour (timeouts, health thresholds, selection);
+  /// shared by every named pool.
   PoolConfig pool;
+  /// Policy rule chain, compiled at engine construction against the named
+  /// upstream pools. Empty: every query is allowed (zero overhead).
+  policy::ChainConfig policy;
 };
 
 /// Counters + health snapshot (cheap to copy; taken at any time).
@@ -66,9 +75,32 @@ struct EngineStats {
   std::uint64_t servfails_sent = 0;  ///< mirrors proxy::DnsProxy's counter
   std::uint64_t cache_evictions = 0; ///< LRU evictions in the shared cache
   /// Failed upstream attempts, tallied per util::ErrorClass (timeouts,
-  /// resets, REFUSED answers, ...).
+  /// resets, REFUSED answers, ...), aggregated across named pools.
   util::ErrorCounters upstream_errors;
   std::vector<UpstreamHealth> upstreams;
+
+  // Policy pipeline surface.
+  std::uint64_t policy_evaluations = 0;  ///< queries through the chain
+  std::uint64_t policy_dropped = 0;      ///< kDrop: discarded silently
+  std::uint64_t policy_refused = 0;      ///< kRefuse: answered with RCODE
+  std::uint64_t policy_truncated = 0;    ///< kTruncate: TC=1 answers
+  std::uint64_t policy_routed = 0;       ///< kRoutePool to a non-default pool
+  /// Policy verdicts keyed into the PR-4 failure taxonomy: refusals count
+  /// as kRcode, truncations as kTruncated, silent drops as kCancelled (the
+  /// engine deliberately tore the query down; the client sees a timeout).
+  util::ErrorCounters policy_errors;
+  /// Per-rule hit counters in chain order (`doxperf --policy-csv`).
+  std::vector<policy::RuleStats> policy_rules;
+
+  /// Fraction of evaluated queries the chain refused/dropped/truncated.
+  double policy_shed_rate() const {
+    const std::uint64_t shed =
+        policy_dropped + policy_refused + policy_truncated;
+    return policy_evaluations == 0
+               ? 0.0
+               : static_cast<double>(shed) /
+                     static_cast<double>(policy_evaluations);
+  }
 
   /// Fraction of cache-missing queries that coalesced onto an existing
   /// in-flight resolve.
@@ -83,8 +115,12 @@ struct EngineStats {
 
 class ForwarderEngine {
  public:
-  /// Binds the stub listener on `stub_udp` and creates upstream transports
-  /// from `deps` as the pool first uses them.
+  /// Binds the stub listener on `stub_udp`, groups `upstreams` into named
+  /// pools (order of first appearance; the first upstream's pool is the
+  /// default routing target), compiles the policy chain against those pool
+  /// names, and creates upstream transports from `deps` as pools first use
+  /// them. Throws std::invalid_argument if the chain references an unknown
+  /// pool.
   ForwarderEngine(sim::Simulator& sim, net::UdpStack& stub_udp,
                   const dox::TransportDeps& upstream_deps,
                   std::vector<UpstreamConfig> upstreams, EngineConfig config);
@@ -92,11 +128,15 @@ class ForwarderEngine {
   ForwarderEngine(const ForwarderEngine&) = delete;
   ForwarderEngine& operator=(const ForwarderEngine&) = delete;
 
-  /// Drops upstream connections (keeps tickets/tokens).
-  void reset_sessions() { pool_.reset_sessions(); }
+  /// Drops upstream connections (keeps tickets/tokens) across all pools.
+  void reset_sessions() {
+    for (auto& pool : pools_) pool->reset_sessions();
+  }
 
   const EngineConfig& config() const { return config_; }
-  UpstreamPool& pool() { return pool_; }
+  std::size_t pool_count() const { return pools_.size(); }
+  UpstreamPool& pool(std::size_t index = 0) { return *pools_[index]; }
+  const std::vector<std::string>& pool_names() const { return pool_names_; }
   const dns::Cache& cache() const { return cache_; }
 
   EngineStats stats() const;
@@ -158,6 +198,11 @@ class ForwarderEngine {
 
   void on_stub_query(const net::Endpoint& from,
                      util::Buffer payload);
+  /// Applies a terminal policy verdict (drop/refuse/truncate). Returns true
+  /// when the query was consumed and must not proceed to resolution.
+  bool apply_policy_verdict(const policy::Verdict& verdict,
+                            const Waiter& waiter,
+                            const dns::Question& question);
   void answer(const Waiter& waiter, const dns::Question& question,
               std::vector<dns::ResourceRecord> records);
   /// Allocation-lean answer straight from a cache hit: records are copied
@@ -167,11 +212,13 @@ class ForwarderEngine {
                      const dns::EntryRef& found);
   void answer_servfail(const Waiter& waiter, const dns::Question& question);
   /// Stamps header flags on the scratch response and ships it as one pooled
-  /// buffer.
+  /// buffer. `tc` sets the truncation bit (policy kTruncate).
   void send_response(const Waiter& waiter, const dns::Question& question,
-                     dns::RCode rcode);
-  /// Starts an upstream resolve for `key` (coalescing point).
-  void start_resolve(const Key& key, const dns::Question& question);
+                     dns::RCode rcode, bool tc = false);
+  /// Starts an upstream resolve for `key` on pool `pool_index` (the
+  /// coalescing point).
+  void start_resolve(const Key& key, const dns::Question& question,
+                     std::uint32_t pool_index);
   void on_upstream_result(const Key& key, const dns::Question& question,
                           dox::QueryResult result);
   /// Caches a successful result and fans it out (or stale/SERVFAIL on
@@ -184,7 +231,12 @@ class ForwarderEngine {
   sim::Simulator& sim_;
   EngineConfig config_;
   std::unique_ptr<net::UdpSocket> listener_;
-  UpstreamPool pool_;
+  /// Named upstream pools, grouped from the upstream configs (index 0 is
+  /// the default routing target). Names in `pool_names_` align by index.
+  std::vector<std::unique_ptr<UpstreamPool>> pools_;
+  std::vector<std::string> pool_names_;
+  /// Compiled policy chain; empty means every query is allowed.
+  policy::RuleChain chain_;
   dns::Cache cache_;
   std::unordered_map<Key, InFlight, KeyHash, KeyEq> inflight_;
   /// Reusable decode/encode scratch: the cached-answer hot path re-decodes
@@ -201,6 +253,11 @@ class ForwarderEngine {
   std::uint64_t upstream_resolves_ = 0;
   std::uint64_t stale_refreshes_ = 0;
   std::uint64_t servfails_sent_ = 0;
+  std::uint64_t policy_dropped_ = 0;
+  std::uint64_t policy_refused_ = 0;
+  std::uint64_t policy_truncated_ = 0;
+  std::uint64_t policy_routed_ = 0;
+  util::ErrorCounters policy_errors_;
   std::vector<double> latency_ms_;
   SimTime first_query_at_ = -1;
   SimTime last_query_at_ = -1;

@@ -8,6 +8,15 @@
 
 namespace doxlab::engine {
 
+std::string_view attack_kind_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kRandomSubdomain: return "random-subdomain";
+    case AttackKind::kWaterTorture: return "water-torture";
+    case AttackKind::kAmplification: return "amplification";
+  }
+  return "?";
+}
+
 LoadGenerator::LoadGenerator(sim::Simulator& sim, net::UdpStack& udp,
                              LoadConfig config)
     : sim_(sim), config_(std::move(config)), rng_(config_.seed) {
@@ -15,6 +24,14 @@ LoadGenerator::LoadGenerator(sim::Simulator& sim, net::UdpStack& udp,
   for (std::size_t i = 0; i < config_.clients; ++i) {
     auto client = std::make_unique<Client>();
     client->socket = udp.bind_ephemeral();
+    if (config_.client_span > 0) {
+      // SplitMix64 on (seed, client index): stable per client, independent
+      // of the arrival stream, collisions harmless (ports still demux).
+      client->source = net::IpAddress(
+          config_.client_base.value() +
+          static_cast<std::uint32_t>(splitmix64(config_.seed, i) %
+                                     config_.client_span));
+    }
     client->socket->on_datagram([this, i](const net::Endpoint&,
                                           util::Buffer payload) {
       auto response = dns::Message::decode(payload);
@@ -56,6 +73,103 @@ LoadGenerator::LoadGenerator(sim::Simulator& sim, net::UdpStack& udp,
     arrivals_.push_back(
         sim_.at(at, [this, client] { send_query(client); }));
   }
+
+  // Attack mixes: each gets a socket, a private Rng stream (the 2^32 index
+  // offset keeps it disjoint from client-address derivation), and its own
+  // pre-scheduled Poisson arrivals — the legit schedule above is already
+  // fixed, so attacks never perturb it.
+  attacks_.reserve(config_.attacks.size());
+  for (std::size_t k = 0; k < config_.attacks.size(); ++k) {
+    auto state = std::make_unique<AttackState>(AttackState{
+        config_.attacks[k],
+        Rng(splitmix64(config_.seed, (std::uint64_t{1} << 32) + k)),
+        udp.bind_ephemeral(),
+        AttackReport{config_.attacks[k].kind}});
+    state->socket->on_datagram([this, k](const net::Endpoint&,
+                                         util::Buffer payload) {
+      auto response = dns::Message::decode(payload);
+      if (!response || !response->qr) return;
+      AttackReport& r = attacks_[k]->report;
+      if (response->tc) {
+        ++r.truncated;
+      } else if (response->rcode == dns::RCode::kRefused) {
+        ++r.refused;
+      } else {
+        ++r.answered;
+      }
+    });
+
+    const AttackConfig& attack = state->config;
+    const double attack_gap_us =
+        static_cast<double>(kSecond) / std::max(attack.qps, 1e-9);
+    SimTime attack_at = sim_.now() + attack.start;
+    const SimTime attack_end = attack_at + attack.duration;
+    while (true) {
+      attack_at += std::max<SimTime>(
+          1, static_cast<SimTime>(state->rng.exponential(attack_gap_us)));
+      if (attack_at >= attack_end) break;
+      arrivals_.push_back(
+          sim_.at(attack_at, [this, k] { send_attack(k); }));
+    }
+    attacks_.push_back(std::move(state));
+  }
+}
+
+std::vector<AttackReport> LoadGenerator::attack_reports() const {
+  std::vector<AttackReport> reports;
+  reports.reserve(attacks_.size());
+  for (const auto& attack : attacks_) reports.push_back(attack->report);
+  return reports;
+}
+
+AttackReport LoadGenerator::attack_total() const {
+  AttackReport total;
+  for (const auto& attack : attacks_) {
+    total.kind = attack->report.kind;
+    total.sent += attack->report.sent;
+    total.answered += attack->report.answered;
+    total.refused += attack->report.refused;
+    total.truncated += attack->report.truncated;
+  }
+  return total;
+}
+
+void LoadGenerator::send_attack(std::size_t attack_index) {
+  AttackState& state = *attacks_[attack_index];
+  const AttackConfig& attack = state.config;
+  // Spoofed source for this packet: one of the configured addresses.
+  const net::IpAddress source(
+      attack.source_base.value() +
+      static_cast<std::uint32_t>(state.rng.uniform_int(
+          0, static_cast<std::int64_t>(attack.source_count) - 1)));
+
+  std::string qname;
+  dns::RRType qtype = dns::RRType::kA;
+  switch (attack.kind) {
+    case AttackKind::kRandomSubdomain:
+      qname = "r" + std::to_string(state.rng.uniform_int(0, 1 << 30)) + "." +
+              attack.zone;
+      break;
+    case AttackKind::kWaterTorture:
+      qname = "w" + std::to_string(state.rng.uniform_int(0, 1 << 30)) +
+              ".z" + std::to_string(state.rng.uniform_int(0, 7)) + "." +
+              attack.zone;
+      break;
+    case AttackKind::kAmplification:
+      // Small query, big TXT answer: the resolver sizes the payload from
+      // the leading label.
+      qname = "txt" + std::to_string(attack.amp_payload) + "." + attack.zone;
+      qtype = dns::RRType::kTXT;
+      break;
+  }
+
+  const std::uint16_t id =
+      static_cast<std::uint16_t>(state.rng.uniform_int(1, 0xFFFF));
+  dns::Message query =
+      dns::make_query(id, dns::DnsName::parse(qname), qtype);
+  ++state.report.sent;
+  state.socket->send_to_from(config_.target, source,
+                             util::Buffer::copy_of(query.encode()));
 }
 
 std::size_t LoadGenerator::sample_name() {
@@ -84,7 +198,12 @@ void LoadGenerator::send_query(std::size_t client_index) {
   client.pending[id] = std::move(pending);
 
   ++report_.sent;
-  client.socket->send_to(config_.target, query.encode());
+  if (config_.client_span > 0) {
+    client.socket->send_to_from(config_.target, client.source,
+                                util::Buffer::copy_of(query.encode()));
+  } else {
+    client.socket->send_to(config_.target, query.encode());
+  }
 }
 
 }  // namespace doxlab::engine

@@ -6,6 +6,64 @@
 
 namespace doxlab::engine {
 
+namespace {
+
+/// The canonical abuse chain, ordered the way an operator would stack it:
+/// cheap protocol classifiers first, then volumetric limits, then
+/// zone-specific shields, then routing.
+policy::ChainConfig abuse_chain(const AbuseMix& abuse) {
+  policy::ChainConfig chain;
+  {
+    // Amplification defence: this testbed's clients never ask for TXT.
+    policy::RuleConfig rule;
+    rule.name = "refuse-txt";
+    rule.matcher = policy::MatcherKind::kQType;
+    rule.qtype = dns::RRType::kTXT;
+    rule.action = policy::ActionKind::kRefuse;
+    chain.rules.push_back(std::move(rule));
+  }
+  {
+    // Volumetric backstop: per-/24 budget, silently drop the excess.
+    policy::RuleConfig rule;
+    rule.name = "qps-per-24";
+    rule.matcher = policy::MatcherKind::kRateLimit;
+    rule.rate_qps = abuse.rate_limit_qps;
+    rule.subnet_prefix_len = 24;
+    rule.action = policy::ActionKind::kDrop;
+    chain.rules.push_back(std::move(rule));
+  }
+  {
+    // What leaks under the rate limit still never resolves.
+    policy::RuleConfig rule;
+    rule.name = "refuse-flood-zone";
+    rule.matcher = policy::MatcherKind::kQnameSuffix;
+    rule.suffixes = {"flood.example"};
+    rule.action = policy::ActionKind::kRefuse;
+    chain.rules.push_back(std::move(rule));
+  }
+  {
+    policy::RuleConfig rule;
+    rule.name = "drop-torture-zone";
+    rule.matcher = policy::MatcherKind::kQnameSuffix;
+    rule.suffixes = {"torture.example"};
+    rule.action = policy::ActionKind::kDrop;
+    chain.rules.push_back(std::move(rule));
+  }
+  {
+    // Legit zone to the dedicated pool (same resolver, own connections).
+    policy::RuleConfig rule;
+    rule.name = "route-load-anycast";
+    rule.matcher = policy::MatcherKind::kQnameSuffix;
+    rule.suffixes = {"load.example"};
+    rule.action = policy::ActionKind::kRoutePool;
+    rule.pool = "anycast";
+    chain.rules.push_back(std::move(rule));
+  }
+  return chain;
+}
+
+}  // namespace
+
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   sim::Simulator sim;
   net::Network network(sim, Rng(config.seed));
@@ -14,6 +72,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   net::Host& client_host = network.add_host(
       "engine-host", net::IpAddress::from_octets(10, 1, 0, 1),
       {50.11, 8.68}, net::Continent::kEurope);
+  if (config.abuse.enabled) {
+    // The amplification victim: its prefix must route *somewhere* for the
+    // latency model, and the engine's answers to spoofed sources (the
+    // backscatter) land here — never back at the bots.
+    net::Host& victim = network.add_host(
+        "victim", net::IpAddress::from_octets(203, 0, 113, 1),
+        {40.71, -74.01}, net::Continent::kNorthAmerica);
+    network.add_prefix_route(net::IpAddress::from_octets(203, 0, 113, 0), 24,
+                             victim.address());
+  }
   net::UdpStack udp(client_host);
   tcp::TcpStack tcp(client_host);
   tls::TicketStore tickets;
@@ -49,12 +117,71 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   deps.tickets = &tickets;
   deps.doq_cache = &doq_cache;
 
-  ForwarderEngine engine(sim, udp, deps, std::move(upstreams),
-                         config.engine);
-
+  EngineConfig engine_config = config.engine;
   LoadConfig load = config.load;
   load.target = net::Endpoint{client_host.address(),
                               config.engine.listen_port};
+
+  if (config.abuse.enabled && !upstreams.empty()) {
+    // Duplicate the primary into a dedicated "anycast" pool: the route rule
+    // exercises named-pool routing at identical RTT.
+    UpstreamConfig anycast = upstreams.front();
+    anycast.name += "-anycast";
+    anycast.pool = "anycast";
+    upstreams.push_back(std::move(anycast));
+    if (engine_config.policy.empty()) {
+      engine_config.policy = abuse_chain(config.abuse);
+    }
+
+    // Every stub client gets its own address in 10.50.0.0/16; the bot
+    // subnets live in 198.18.0.0/16 (RFC 2544 benchmarking space). Both
+    // prefixes front the engine host, so replies route back to the
+    // generator's sockets. The amplification victim prefix stays unrouted.
+    load.client_base = net::IpAddress::from_octets(10, 50, 0, 0);
+    load.client_span = 1 << 16;
+    network.add_prefix_route(load.client_base, 16, client_host.address());
+    network.add_prefix_route(net::IpAddress::from_octets(198, 18, 0, 0), 16,
+                             client_host.address());
+
+    const SimTime attack_duration =
+        config.abuse.duration > 0
+            ? config.abuse.duration
+            : (load.duration > config.abuse.start
+                   ? load.duration - config.abuse.start
+                   : 0);
+    AttackConfig flood;
+    flood.kind = AttackKind::kRandomSubdomain;
+    flood.qps = config.abuse.flood_qps;
+    flood.start = config.abuse.start;
+    flood.duration = attack_duration;
+    flood.zone = "flood.example";
+    flood.source_base = net::IpAddress::from_octets(198, 18, 0, 0);
+    flood.source_count = 256;
+    load.attacks.push_back(std::move(flood));
+
+    AttackConfig torture;
+    torture.kind = AttackKind::kWaterTorture;
+    torture.qps = config.abuse.torture_qps;
+    torture.start = config.abuse.start;
+    torture.duration = attack_duration;
+    torture.zone = "torture.example";
+    torture.source_base = net::IpAddress::from_octets(198, 18, 1, 0);
+    torture.source_count = 256;
+    load.attacks.push_back(std::move(torture));
+
+    AttackConfig amp;
+    amp.kind = AttackKind::kAmplification;
+    amp.qps = config.abuse.amp_qps;
+    amp.start = config.abuse.start;
+    amp.duration = attack_duration;
+    amp.zone = "amp.example";
+    amp.source_base = net::IpAddress::from_octets(203, 0, 113, 0);
+    amp.source_count = 256;
+    load.attacks.push_back(std::move(amp));
+  }
+
+  ForwarderEngine engine(sim, udp, deps, std::move(upstreams),
+                         engine_config);
   LoadGenerator generator(sim, udp, load);
 
   if (config.kill_primary_at > 0 && !resolvers.empty()) {
@@ -69,6 +196,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   ScenarioResult result;
   result.engine = engine.stats();
   result.load = generator.report();
+  result.attacks = generator.attack_reports();
   result.offered_qps = load.qps;
   result.engine_qps = engine.observed_qps();
   result.events = sim.events_executed();

@@ -16,6 +16,33 @@
 
 namespace doxlab::engine {
 
+/// The abuse-scenario family: legitimate load plus the three attack mixes,
+/// shed by the canonical policy chain. When enabled, run_scenario
+///   * gives every stub client its own source address in 10.50.0.0/16
+///     (prefix-routed to the engine host),
+///   * launches a random-subdomain flood (flood.example) and water torture
+///     (torture.example) from bot subnets in 198.18.0.0/16, and a
+///     spoofed-source TXT amplification run whose sources sit in the
+///     unrouted victim prefix 203.0.113.0/24 (backscatter is dropped at
+///     routing — it never returns to the bots),
+///   * duplicates the primary upstream into a dedicated "anycast" pool and
+///     routes load.example there (named-pool routing with identical RTT, so
+///     legit latency stays comparable to the no-attack baseline), and
+///   * installs the chain: refuse TXT, per-/24 rate-limit drop, refuse
+///     flood.example, drop torture.example, route load.example -> anycast —
+///     unless `engine.policy` already has rules (caller override).
+struct AbuseMix {
+  bool enabled = false;
+  double flood_qps = 3000.0;
+  double torture_qps = 1500.0;
+  double amp_qps = 1000.0;
+  /// Attack window offset; duration 0 means "until the load window ends".
+  SimTime start = 5 * kSecond;
+  SimTime duration = 0;
+  /// Per-/24 client-subnet budget for the rate-limit rule.
+  std::uint32_t rate_limit_qps = 100;
+};
+
 struct ScenarioConfig {
   std::uint64_t seed = 42;
   /// Upstream resolvers; RTTs to the client are 2x these one-way delays.
@@ -28,6 +55,7 @@ struct ScenarioConfig {
                                              dox::DnsProtocol::kDoUdp};
   /// Take the primary upstream down at this time (0 = never).
   SimTime kill_primary_at = 0;
+  AbuseMix abuse;
   EngineConfig engine;
   LoadConfig load;
 };
@@ -35,10 +63,26 @@ struct ScenarioConfig {
 struct ScenarioResult {
   EngineStats engine;
   LoadReport load;
+  /// Per-attack counters (abuse scenarios; empty otherwise).
+  std::vector<AttackReport> attacks;
   double offered_qps = 0.0;
   double engine_qps = 0.0;
   /// Simulator events executed (work proxy for the run).
   std::uint64_t events = 0;
+
+  /// Fraction of attack queries shed (refused/dropped/truncated). Sent
+  /// minus observed responses covers silent drops AND spoofed-source
+  /// backscatter that never returns to the bots.
+  double attack_shed_rate() const {
+    std::uint64_t sent = 0, answered = 0;
+    for (const AttackReport& a : attacks) {
+      sent += a.sent;
+      answered += a.answered;
+    }
+    return sent == 0 ? 0.0
+                     : static_cast<double>(sent - answered) /
+                           static_cast<double>(sent);
+  }
 };
 
 /// Builds the scenario, runs it to completion, and returns the stats.

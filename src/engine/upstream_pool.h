@@ -28,6 +28,11 @@ namespace doxlab::engine {
 
 struct UpstreamConfig {
   std::string name;
+  /// Named pool this upstream belongs to. The engine groups upstreams with
+  /// the same pool name into one `UpstreamPool`; policy kRoutePool actions
+  /// reference these names, compiled to pool indices. Everything in one
+  /// pool (the default) behaves exactly like the pre-policy engine.
+  std::string pool = "default";
   net::IpAddress address;
   /// Fallback chain, most preferred first. Ports are the protocol defaults.
   std::vector<dox::DnsProtocol> protocols = {dox::DnsProtocol::kDoQ,

@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -52,6 +53,36 @@ const Host* Network::find_host(IpAddress address) const {
   return it == hosts_.end() ? nullptr : it->second.get();
 }
 
+void Network::add_prefix_route(IpAddress network, int prefix_len,
+                               IpAddress via) {
+  if (prefix_len < 0 || prefix_len > 32) {
+    throw std::invalid_argument("prefix length out of range");
+  }
+  if (find_host(via) == nullptr) {
+    throw std::invalid_argument("prefix route target is not a host: " +
+                                via.to_string());
+  }
+  const std::uint32_t mask =
+      prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+  prefix_routes_.push_back(
+      PrefixRoute{network.value() & mask, mask, via});
+  // Longest prefix first, so the linear scan returns the most specific.
+  std::stable_sort(prefix_routes_.begin(), prefix_routes_.end(),
+                   [](const PrefixRoute& a, const PrefixRoute& b) {
+                     return a.mask > b.mask;
+                   });
+}
+
+Host* Network::route_host(IpAddress address) {
+  if (Host* exact = find_host(address)) return exact;
+  for (const PrefixRoute& route : prefix_routes_) {
+    if ((address.value() & route.mask) == route.network) {
+      return find_host(route.via);
+    }
+  }
+  return nullptr;
+}
+
 std::uint64_t Network::pair_key(IpAddress a, IpAddress b) {
   std::uint32_t lo = std::min(a.value(), b.value());
   std::uint32_t hi = std::max(a.value(), b.value());
@@ -84,16 +115,20 @@ void Network::send(Packet packet) {
   counters_.ip_payload_bytes += packet.ip_payload_bytes();
   if (tap_) tap_(packet);
 
-  Host* src = find_host(packet.src.address);
-  Host* dst = find_host(packet.dst.address);
+  // Spoofed/prefixed source addresses resolve through the routing table:
+  // the latency model needs *some* host on each end, and a reply to a
+  // routed address must reach the fronting machine.
+  Host* src = route_host(packet.src.address);
+  Host* dst = route_host(packet.dst.address);
   if (src == nullptr || dst == nullptr) {
     ++counters_.packets_unroutable;
     return;
   }
 
   // Hash the (src, dst) pair once; the key feeds both the loss override and
-  // the path override lookups. Loopback needs neither.
-  const bool loopback = packet.src.address == packet.dst.address;
+  // the path override lookups. Loopback — same machine after routing, which
+  // covers a host fronting a whole client prefix — needs neither.
+  const bool loopback = src == dst;
   const std::uint64_t key =
       loopback ? 0 : pair_key(packet.src.address, packet.dst.address);
 
@@ -113,7 +148,7 @@ void Network::send(Packet packet) {
   const IpAddress dst_addr = packet.dst.address;
   simulator_.schedule(delay, [this, dst_addr,
                               p = std::move(packet)]() mutable {
-    Host* target = find_host(dst_addr);
+    Host* target = route_host(dst_addr);
     if (target == nullptr || !target->up()) {
       ++counters_.packets_unroutable;
       return;

@@ -119,6 +119,19 @@ class Network {
   Host* find_host(IpAddress address);
   const Host* find_host(IpAddress address) const;
 
+  /// Routes a whole prefix to an existing host: any packet addressed into
+  /// `network`/`prefix_len` that matches no exact host is delivered to the
+  /// host at `via` (its UDP/TCP stacks then demultiplex by port). This is
+  /// how one simulated machine fronts many client source addresses — the
+  /// load generator's per-client subnets, and the victim of a spoofed-
+  /// source attack receiving the backscatter. Longest prefix wins; the
+  /// route target must already be a host.
+  void add_prefix_route(IpAddress network, int prefix_len, IpAddress via);
+
+  /// Exact host, or the longest-prefix route target; nullptr when neither
+  /// matches.
+  Host* route_host(IpAddress address);
+
   /// Sends a packet. Routability is evaluated at delivery time.
   void send(Packet packet);
 
@@ -158,7 +171,15 @@ class Network {
   Rng rng_;
   LatencyModel latency_;
   double loss_rate_ = 0.002;
+  struct PrefixRoute {
+    std::uint32_t network = 0;
+    std::uint32_t mask = 0;
+    IpAddress via;
+  };
+
   std::unordered_map<IpAddress, std::unique_ptr<Host>> hosts_;
+  /// Sorted longest-prefix-first; scanned linearly (a handful of routes).
+  std::vector<PrefixRoute> prefix_routes_;
   std::unordered_map<std::uint64_t, SimTime> path_overrides_;
   std::unordered_map<std::uint64_t, double> loss_overrides_;
   Tap tap_;

@@ -13,8 +13,13 @@ Endpoint UdpSocket::local_endpoint() const {
 }
 
 void UdpSocket::send_to(const Endpoint& to, util::Buffer payload) {
+  send_to_from(to, stack_->host().address(), std::move(payload));
+}
+
+void UdpSocket::send_to_from(const Endpoint& to, IpAddress source,
+                             util::Buffer payload) {
   Packet packet;
-  packet.src = local_endpoint();
+  packet.src = Endpoint{source, port_};
   packet.dst = to;
   packet.protocol = kProtoUdp;
   packet.header_bytes = kUdpHeaderBytes;

@@ -34,6 +34,13 @@ class UdpSocket {
   /// Sends a datagram to `to`. The socket's bound port is the source port.
   /// The buffer is moved untouched into the packet (zero-copy path).
   void send_to(const Endpoint& to, util::Buffer payload);
+  /// Sends with an explicit source address (bound port still the source
+  /// port): raw-socket-style spoofing for attack traffic, and the stamp the
+  /// load generator uses to give every simulated client its own address.
+  /// Replies reach this socket only if `source` routes back to this host
+  /// (Network::add_prefix_route).
+  void send_to_from(const Endpoint& to, IpAddress source,
+                    util::Buffer payload);
   /// Convenience for cold paths and tests still assembling vectors; the
   /// bytes are copied into a pooled buffer.
   void send_to(const Endpoint& to, std::vector<std::uint8_t> payload) {

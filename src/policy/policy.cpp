@@ -1,0 +1,255 @@
+#include "policy/policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace doxlab::policy {
+
+Netmask Netmask::parse(std::string_view text) {
+  int prefix_len = 32;
+  const std::size_t slash = text.find('/');
+  std::string_view addr_text = text;
+  if (slash != std::string_view::npos) {
+    addr_text = text.substr(0, slash);
+    const std::string_view len_text = text.substr(slash + 1);
+    if (len_text.empty() || len_text.size() > 2) {
+      throw std::invalid_argument("bad netmask prefix: " + std::string(text));
+    }
+    prefix_len = 0;
+    for (char c : len_text) {
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("bad netmask prefix: " +
+                                    std::string(text));
+      }
+      prefix_len = prefix_len * 10 + (c - '0');
+    }
+  }
+  const auto address = net::IpAddress::parse(addr_text);
+  if (!address) {
+    throw std::invalid_argument("bad netmask address: " + std::string(text));
+  }
+  return of(*address, prefix_len);
+}
+
+Netmask Netmask::of(net::IpAddress address, int prefix_len) {
+  if (prefix_len < 0 || prefix_len > 32) {
+    throw std::invalid_argument("netmask prefix out of range");
+  }
+  Netmask out;
+  out.mask = prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+  out.network = address.value() & out.mask;
+  return out;
+}
+
+std::string Netmask::to_string() const {
+  int prefix_len = 0;
+  for (std::uint32_t m = mask; m != 0; m <<= 1) ++prefix_len;
+  return net::IpAddress(network).to_string() + "/" +
+         std::to_string(prefix_len);
+}
+
+SubnetRateLimiter::SubnetRateLimiter(std::uint32_t rate_per_s,
+                                     std::uint32_t burst, int prefix_len,
+                                     std::size_t slots)
+    : rate_(rate_per_s),
+      burst_(burst == 0 ? 2 * rate_per_s : burst),
+      prefix_len_(prefix_len) {
+  if (rate_per_s == 0) {
+    throw std::invalid_argument("rate limiter needs a positive rate");
+  }
+  if (prefix_len < 0 || prefix_len > 32) {
+    throw std::invalid_argument("rate limiter prefix out of range");
+  }
+  mask_ = prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+  // Power-of-two table so the hash folds with a mask.
+  std::size_t capacity = 16;
+  while (capacity < slots) capacity <<= 1;
+  slots_.resize(capacity);
+}
+
+bool SubnetRateLimiter::over_limit(net::IpAddress client, SimTime now) {
+  const std::uint32_t key = client.value() & mask_;
+  // Fibonacci-hash the subnet into the direct-mapped table.
+  const std::size_t index =
+      (std::uint64_t{key} * 0x9E3779B97F4A7C15ull >> 32) &
+      (slots_.size() - 1);
+  Slot& slot = slots_[index];
+  if (slot.key != key) {
+    // Collision or first sight: the newcomer takes the slot with a fresh
+    // full bucket (bounded memory beats per-subnet exactness here).
+    slot.key = key;
+    slot.bucket = TokenBucket(rate_, burst_);
+  }
+  return !slot.bucket.take(now);
+}
+
+std::string_view action_kind_name(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kAllow:
+      return "allow";
+    case ActionKind::kDrop:
+      return "drop";
+    case ActionKind::kRefuse:
+      return "refuse";
+    case ActionKind::kTruncate:
+      return "truncate";
+    case ActionKind::kRoutePool:
+      return "route-pool";
+  }
+  return "?";
+}
+
+std::string_view matcher_kind_name(MatcherKind kind) {
+  switch (kind) {
+    case MatcherKind::kAny:
+      return "any";
+    case MatcherKind::kClientSubnet:
+      return "client-subnet";
+    case MatcherKind::kQnameSuffix:
+      return "qname-suffix";
+    case MatcherKind::kQType:
+      return "qtype";
+    case MatcherKind::kRateLimit:
+      return "rate-limit";
+  }
+  return "?";
+}
+
+RuleChain::RuleChain(const ChainConfig& config,
+                     const std::vector<std::string>& pool_names) {
+  rules_.reserve(config.rules.size());
+  for (std::size_t i = 0; i < config.rules.size(); ++i) {
+    const RuleConfig& rc = config.rules[i];
+    Rule rule;
+    rule.name = rc.name.empty() ? "rule" + std::to_string(i) : rc.name;
+    rule.matcher = rc.matcher;
+    rule.negate = rc.negate;
+    rule.action = rc.action;
+    rule.rcode = rc.rcode;
+
+    switch (rc.matcher) {
+      case MatcherKind::kAny:
+        break;
+      case MatcherKind::kClientSubnet: {
+        if (rc.subnets.empty()) {
+          throw std::invalid_argument(rule.name +
+                                      ": client-subnet rule needs subnets");
+        }
+        for (const std::string& text : rc.subnets) {
+          rule.netmasks.add(Netmask::parse(text));
+        }
+        break;
+      }
+      case MatcherKind::kQnameSuffix: {
+        if (rc.suffixes.empty()) {
+          throw std::invalid_argument(rule.name +
+                                      ": qname-suffix rule needs suffixes");
+        }
+        for (const std::string& text : rc.suffixes) {
+          rule.suffixes.push_back(dns::DnsName::parse(text));
+        }
+        break;
+      }
+      case MatcherKind::kQType:
+        rule.qtype = rc.qtype;
+        break;
+      case MatcherKind::kRateLimit: {
+        if (rc.negate) {
+          throw std::invalid_argument(
+              rule.name + ": rate-limit rules cannot be negated");
+        }
+        rule.limiter = SubnetRateLimiter(rc.rate_qps, rc.burst,
+                                         rc.subnet_prefix_len);
+        break;
+      }
+    }
+
+    if (rc.action == ActionKind::kRoutePool) {
+      const auto it =
+          std::find(pool_names.begin(), pool_names.end(), rc.pool);
+      if (it == pool_names.end()) {
+        throw std::invalid_argument(rule.name + ": unknown upstream pool '" +
+                                    rc.pool + "'");
+      }
+      rule.pool =
+          static_cast<std::uint32_t>(it - pool_names.begin());
+    }
+    rules_.push_back(std::move(rule));
+  }
+}
+
+bool RuleChain::matches(Rule& rule, const QueryInfo& query) {
+  bool hit = false;
+  switch (rule.matcher) {
+    case MatcherKind::kAny:
+      hit = true;
+      break;
+    case MatcherKind::kClientSubnet:
+      hit = rule.netmasks.matches(query.client);
+      break;
+    case MatcherKind::kQnameSuffix:
+      for (const dns::DnsName& suffix : rule.suffixes) {
+        if (query.qname.has_suffix(suffix)) {
+          hit = true;
+          break;
+        }
+      }
+      break;
+    case MatcherKind::kQType:
+      hit = query.qtype == rule.qtype;
+      break;
+    case MatcherKind::kRateLimit:
+      // Matches when over budget; the token charge is the side effect that
+      // makes the budget real (compile rejects negate for this kind).
+      hit = rule.limiter.over_limit(query.client, query.now);
+      break;
+  }
+  return rule.negate ? !hit : hit;
+}
+
+Verdict RuleChain::evaluate(const QueryInfo& query) {
+  ++evaluations_;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    Rule& rule = rules_[i];
+    if (!matches(rule, query)) continue;
+    ++rule.matches;
+    Verdict verdict;
+    verdict.action = rule.action;
+    verdict.rcode = rule.rcode;
+    verdict.pool = rule.pool;
+    verdict.rule = static_cast<std::int32_t>(i);
+    return verdict;
+  }
+  return Verdict{};
+}
+
+std::string policy_csv(const std::vector<RuleStats>& rules) {
+  std::string out = "rule,matcher,action,matches\n";
+  for (const RuleStats& rule : rules) {
+    out += rule.name;
+    out += ',';
+    out += matcher_kind_name(rule.matcher);
+    out += ',';
+    out += action_kind_name(rule.action);
+    out += ',';
+    out += std::to_string(rule.matches);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<RuleStats> RuleChain::stats() const {
+  std::vector<RuleStats> out;
+  out.reserve(rules_.size());
+  for (const Rule& rule : rules_) {
+    RuleStats s;
+    s.name = rule.name;
+    s.matcher = rule.matcher;
+    s.action = rule.action;
+    s.matches = rule.matches;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace doxlab::policy

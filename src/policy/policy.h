@@ -1,0 +1,303 @@
+// The policy pipeline: a compiled rules/actions chain evaluated on every
+// stub query *before* cache, coalescing, or any upstream work.
+//
+// A production encrypted-DNS forwarder spends its hot path classifying
+// traffic — shedding random-subdomain floods, rate-limiting abusive
+// subnets, routing zones to dedicated upstream pools — before resolving
+// anything. This module is the dnsdist `DNSRule`/`DNSAction` split
+// recompiled for this codebase: instead of a list of virtual rule objects,
+// a `ChainConfig` (declarative rule descriptions) is *compiled* into a flat
+// vector of rule records whose matchers read only borrowed views — the
+// client address from the datagram and the already-decoded flat `DnsName`
+// labels — so evaluation performs zero allocations per query and the
+// cached fast path stays allocation-free end to end.
+//
+// Matchers (`MatcherKind`):
+//   * kAny          — always matches (chain-terminal defaults)
+//   * kClientSubnet — dnsdist NetmaskGroupRule: client address against a
+//                     set of CIDR masks
+//   * kQnameSuffix  — dnsdist SuffixMatchNodeRule: label-wise suffix test
+//                     over the flat DnsName storage (DnsName::has_suffix)
+//   * kQType        — query type equality
+//   * kRateLimit    — dnsdist MaxQPSIPRule: per-client-subnet token
+//                     bucket; the rule *matches when the subnet is over
+//                     budget*, so pairing it with Drop sheds the excess
+//
+// Actions (`ActionKind`) are terminal — the first matching rule decides:
+//   * kAllow     — short-circuit: skip the rest of the chain, resolve
+//                  normally on the default pool
+//   * kDrop      — discard silently (the client sees a timeout)
+//   * kRefuse    — answer immediately with a configurable RCODE (REFUSED)
+//   * kTruncate  — answer empty with TC set (push the client to retry
+//                  over TCP — the classic spoofed-source defence)
+//   * kRoutePool — resolve on a named upstream pool (compiled to a pool
+//                  index; unknown names fail at compile time, not per
+//                  query)
+//
+// Every rule keeps a hit counter; `RuleChain::stats()` snapshots them for
+// EngineStats and the `doxperf --policy-csv` report.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/types.h"
+#include "net/address.h"
+#include "util/types.h"
+
+namespace doxlab::policy {
+
+/// One CIDR netmask ("10.66.0.0/16").
+struct Netmask {
+  std::uint32_t network = 0;
+  std::uint32_t mask = 0;
+
+  /// Parses "a.b.c.d/len" (len omitted means /32). Throws
+  /// std::invalid_argument on malformed input.
+  static Netmask parse(std::string_view text);
+  static Netmask of(net::IpAddress address, int prefix_len);
+
+  bool contains(net::IpAddress address) const {
+    return (address.value() & mask) == network;
+  }
+  std::string to_string() const;
+};
+
+/// dnsdist NetmaskGroup: membership across a set of masks.
+class NetmaskGroup {
+ public:
+  NetmaskGroup() = default;
+  explicit NetmaskGroup(std::vector<Netmask> masks)
+      : masks_(std::move(masks)) {}
+
+  void add(Netmask mask) { masks_.push_back(mask); }
+  bool matches(net::IpAddress address) const {
+    for (const Netmask& mask : masks_) {
+      if (mask.contains(address)) return true;
+    }
+    return false;
+  }
+  bool empty() const { return masks_.empty(); }
+  std::size_t size() const { return masks_.size(); }
+
+ private:
+  std::vector<Netmask> masks_;
+};
+
+/// Deterministic token bucket on simulated time. Tokens are stored in
+/// micro-tokens (1e-6 token) and refilled from integer SimTime deltas, so
+/// refill is exact and bit-reproducible: rate tokens/second over a
+/// microsecond clock means one micro-token per (microsecond x rate).
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(std::uint32_t rate_per_s, std::uint32_t burst)
+      : rate_(rate_per_s),
+        capacity_(std::uint64_t{burst} * kMicroToken),
+        micro_tokens_(std::uint64_t{burst} * kMicroToken) {}
+
+  /// Refills for the elapsed time, then tries to consume one token.
+  /// Returns false when the bucket is empty (the caller is over budget).
+  bool take(SimTime now) {
+    refill(now);
+    if (micro_tokens_ < kMicroToken) return false;
+    micro_tokens_ -= kMicroToken;
+    return true;
+  }
+
+  /// Tokens currently available (floor).
+  std::uint64_t available(SimTime now) {
+    refill(now);
+    return micro_tokens_ / kMicroToken;
+  }
+
+ private:
+  static constexpr std::uint64_t kMicroToken = 1000000;
+
+  void refill(SimTime now) {
+    if (now <= last_) return;
+    // rate tokens/s == rate micro-tokens/us with a 1e6 scale: exact.
+    const std::uint64_t gained =
+        static_cast<std::uint64_t>(now - last_) * rate_;
+    micro_tokens_ = std::min(capacity_, micro_tokens_ + gained);
+    last_ = now;
+  }
+
+  std::uint32_t rate_ = 0;
+  std::uint64_t capacity_ = 0;
+  std::uint64_t micro_tokens_ = 0;
+  SimTime last_ = 0;
+};
+
+/// Per-client-subnet QPS limiter: clients are masked to `prefix_len` and
+/// each subnet gets its own token bucket. Buckets live in a fixed-size
+/// direct-mapped table (no allocation after construction): a hash collision
+/// evicts the cold slot and starts the newcomer with a full bucket — a
+/// bounded-memory trade real rate limiters make; with the default 4096
+/// slots and a handful of active subnets, collisions are effectively zero.
+class SubnetRateLimiter {
+ public:
+  SubnetRateLimiter() = default;
+  SubnetRateLimiter(std::uint32_t rate_per_s, std::uint32_t burst,
+                    int prefix_len, std::size_t slots = 4096);
+
+  /// True when the client's subnet is OVER budget (the rule "matches").
+  bool over_limit(net::IpAddress client, SimTime now);
+
+  int prefix_len() const { return prefix_len_; }
+
+ private:
+  struct Slot {
+    std::uint32_t key = kEmptyKey;
+    TokenBucket bucket;
+  };
+  static constexpr std::uint32_t kEmptyKey = 0xFFFFFFFF;
+
+  std::uint32_t rate_ = 0;
+  std::uint32_t burst_ = 0;
+  std::uint32_t mask_ = 0;
+  int prefix_len_ = 24;
+  std::vector<Slot> slots_;
+};
+
+/// What a matched rule does with the query.
+enum class ActionKind : std::uint8_t {
+  kAllow = 0,  ///< short-circuit: resolve normally
+  kDrop,       ///< discard silently
+  kRefuse,     ///< immediate response with `rcode`
+  kTruncate,   ///< immediate empty response with TC set
+  kRoutePool,  ///< resolve on the named upstream pool
+};
+
+std::string_view action_kind_name(ActionKind kind);
+
+/// How a rule decides whether it applies.
+enum class MatcherKind : std::uint8_t {
+  kAny = 0,
+  kClientSubnet,
+  kQnameSuffix,
+  kQType,
+  kRateLimit,
+};
+
+std::string_view matcher_kind_name(MatcherKind kind);
+
+/// One declarative rule, compiled by RuleChain.
+struct RuleConfig {
+  /// Stats/CSV label; defaults to "rule<i>" when empty.
+  std::string name;
+
+  MatcherKind matcher = MatcherKind::kAny;
+  /// Inverts the matcher (rate-limit rules cannot be negated: "under
+  /// budget" as a match would charge tokens to non-matching traffic).
+  bool negate = false;
+
+  /// kClientSubnet: CIDR list.
+  std::vector<std::string> subnets;
+  /// kQnameSuffix: suffix names in presentation form.
+  std::vector<std::string> suffixes;
+  /// kQType.
+  dns::RRType qtype = dns::RRType::kA;
+  /// kRateLimit: budget per subnet of `subnet_prefix_len`.
+  std::uint32_t rate_qps = 0;
+  std::uint32_t burst = 0;  ///< 0: defaults to 2x rate
+  int subnet_prefix_len = 24;
+
+  ActionKind action = ActionKind::kAllow;
+  /// kRefuse.
+  dns::RCode rcode = dns::RCode::kRefused;
+  /// kRoutePool: named pool, resolved to an index at compile time.
+  std::string pool;
+};
+
+struct ChainConfig {
+  std::vector<RuleConfig> rules;
+
+  bool empty() const { return rules.empty(); }
+};
+
+/// Everything a matcher may look at. Views borrow from the caller's
+/// already-decoded query — evaluation never copies.
+struct QueryInfo {
+  net::IpAddress client;
+  const dns::DnsName& qname;
+  dns::RRType qtype = dns::RRType::kA;
+  SimTime now = 0;
+};
+
+/// The chain's decision for one query.
+struct Verdict {
+  ActionKind action = ActionKind::kAllow;
+  dns::RCode rcode = dns::RCode::kRefused;  ///< kRefuse only
+  std::uint32_t pool = 0;   ///< resolved pool index (kRoutePool / default 0)
+  std::int32_t rule = -1;   ///< matched rule index; -1: fell off the chain
+
+  bool allowed() const { return action == ActionKind::kAllow; }
+};
+
+/// Per-rule counter snapshot.
+struct RuleStats {
+  std::string name;
+  MatcherKind matcher = MatcherKind::kAny;
+  ActionKind action = ActionKind::kAllow;
+  std::uint64_t matches = 0;
+};
+
+/// Renders per-rule counters as CSV ("rule,matcher,action,matches"), one
+/// row per rule in chain order — the `doxperf --policy-csv` report, pinned
+/// by the policy_csv_pinned regression test.
+std::string policy_csv(const std::vector<RuleStats>& rules);
+
+/// The compiled chain. Construction parses/validates every rule once
+/// (netmasks, suffix names, pool names); evaluate() is then a flat loop of
+/// view-only matchers — no allocation, no virtual dispatch.
+class RuleChain {
+ public:
+  /// An empty chain: every query is allowed on pool 0.
+  RuleChain() = default;
+
+  /// Compiles `config`. `pool_names` maps named pools to indices for
+  /// kRoutePool resolution. Throws std::invalid_argument on malformed
+  /// netmasks/suffixes, unknown pool names, negated rate limits, or a
+  /// zero-rate limiter.
+  RuleChain(const ChainConfig& config,
+            const std::vector<std::string>& pool_names);
+
+  /// Applies the chain in order; the first matching rule's action wins.
+  /// Falls off the end -> Allow on pool 0. Allocation-free.
+  Verdict evaluate(const QueryInfo& query);
+
+  bool empty() const { return rules_.empty(); }
+  std::size_t size() const { return rules_.size(); }
+  /// Total evaluate() calls.
+  std::uint64_t evaluations() const { return evaluations_; }
+  std::vector<RuleStats> stats() const;
+
+ private:
+  /// One compiled rule record. Matcher payloads are member values (not
+  /// pointers into config), so the chain owns everything it reads.
+  struct Rule {
+    std::string name;
+    MatcherKind matcher = MatcherKind::kAny;
+    bool negate = false;
+    NetmaskGroup netmasks;
+    std::vector<dns::DnsName> suffixes;
+    dns::RRType qtype = dns::RRType::kA;
+    SubnetRateLimiter limiter;
+    ActionKind action = ActionKind::kAllow;
+    dns::RCode rcode = dns::RCode::kRefused;
+    std::uint32_t pool = 0;
+    std::uint64_t matches = 0;
+  };
+
+  bool matches(Rule& rule, const QueryInfo& query);
+
+  std::vector<Rule> rules_;
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace doxlab::policy

@@ -68,12 +68,7 @@ measure::TestbedConfig cell_testbed_config(const CampaignConfig& campaign,
 
 std::uint64_t derive_run_seed(std::uint64_t campaign_seed,
                               std::uint64_t run_index) {
-  // SplitMix64: the campaign seed selects the stream, the (1-based) index
-  // walks it. Finalizer from Steele et al., "Fast splittable PRNGs".
-  std::uint64_t z = campaign_seed + 0x9E3779B97F4A7C15ull * (run_index + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  return splitmix64(campaign_seed, run_index);
 }
 
 std::vector<measure::SingleQueryRecord> run_single_query_campaign(

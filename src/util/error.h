@@ -147,6 +147,12 @@ class ErrorCounters {
  public:
   void record(ErrorClass cls) { ++counts_[index(cls)]; }
   std::uint64_t count(ErrorClass cls) const { return counts_[index(cls)]; }
+  /// Accumulates another counter set (aggregating per-pool tallies).
+  void add(const ErrorCounters& other) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+  }
   /// Sum over every class except kNone.
   std::uint64_t total_errors() const;
   bool empty() const { return total_errors() == 0; }

@@ -51,6 +51,37 @@ TEST(DnsName, SubdomainAndParent) {
   EXPECT_EQ(www.parent(), google);
 }
 
+TEST(DnsName, HasSuffixWalksLabelBoundaries) {
+  const DnsName name = DnsName::parse("a.b.flood.example");
+  EXPECT_TRUE(name.has_suffix(DnsName::parse("flood.example")));
+  EXPECT_TRUE(name.has_suffix(DnsName::parse("b.flood.example")));
+  EXPECT_TRUE(name.has_suffix(DnsName::parse("example")));
+  EXPECT_TRUE(name.has_suffix(name));  // a name is its own suffix
+  EXPECT_FALSE(name.has_suffix(DnsName::parse("x.flood.example")));
+  // A textual suffix that is not a label suffix must not match: the "ood"
+  // tail of the "flood" label is inside a label, not at a boundary.
+  EXPECT_FALSE(name.has_suffix(DnsName::parse("ood.example")));
+  // Longer than the name: never a suffix.
+  EXPECT_FALSE(DnsName::parse("example")
+                   .has_suffix(DnsName::parse("flood.example")));
+}
+
+TEST(DnsName, HasSuffixCaseInsensitiveByConstruction) {
+  // Wire storage is lowercased at parse, so differently-cased spellings
+  // compare equal label-for-label (RFC 1035 case-insensitive matching).
+  EXPECT_TRUE(DnsName::parse("WWW.Flood.EXAMPLE")
+                  .has_suffix(DnsName::parse("flood.example")));
+  EXPECT_TRUE(DnsName::parse("www.flood.example")
+                  .has_suffix(DnsName::parse("FLOOD.example")));
+}
+
+TEST(DnsName, HasSuffixRootEdges) {
+  // The root is a suffix of every name, including itself.
+  EXPECT_TRUE(DnsName::parse("a.example").has_suffix(DnsName::root()));
+  EXPECT_TRUE(DnsName::root().has_suffix(DnsName::root()));
+  EXPECT_FALSE(DnsName::root().has_suffix(DnsName::parse("example")));
+}
+
 TEST(DnsName, CompressionSharesSuffixes) {
   // Written names must outlive the compressor (it keys on views into
   // their label storage), so bind them to locals.

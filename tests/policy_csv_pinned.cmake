@@ -1,0 +1,42 @@
+# Pin for the per-rule policy report: runs the smoke abuse scenario and
+# asserts the rule/matcher/action/matches CSV is bit-identical to the
+# committed baseline. This guards the deterministic end-to-end path in one
+# hash: attack traffic generation (splitmix64-derived streams), chain
+# compilation order, per-rule hit accounting, and the report layout.
+#
+# Invoked by ctest as:
+#   cmake -DDOXPERF_BIN=... -DWORK_DIR=... -DEXPECTED_SHA256=... -P this_file
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(COMMAND "${DOXPERF_BIN}" abuse --smoke --seed=42
+                        --policy-csv=policy_report.csv
+                WORKING_DIRECTORY "${WORK_DIR}"
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "doxperf abuse --policy-csv failed (exit ${rc})")
+endif()
+file(SHA256 "${WORK_DIR}/policy_report.csv" actual)
+if(NOT actual STREQUAL "${EXPECTED_SHA256}")
+  message(FATAL_ERROR "policy_report.csv drifted: sha256 ${actual} != "
+                      "pinned ${EXPECTED_SHA256} — attack generation, rule "
+                      "matching, or report layout changed observable "
+                      "behaviour")
+endif()
+# The pinned run must actually shed traffic; an all-zero report would only
+# pass the hash check if the baseline itself were degenerate, so double-check
+# every abuse rule recorded at least one match.
+file(STRINGS "${WORK_DIR}/policy_report.csv" lines)
+set(rule_rows 0)
+foreach(line IN LISTS lines)
+  if(line MATCHES "^[^,]+,[^,]+,[^,]+,([0-9]+)$")
+    math(EXPR rule_rows "${rule_rows} + 1")
+    if(CMAKE_MATCH_1 EQUAL 0)
+      message(FATAL_ERROR "pinned policy report rule '${line}' matched "
+                          "nothing — the abuse scenario no longer exercises "
+                          "that rule")
+    endif()
+  endif()
+endforeach()
+if(rule_rows EQUAL 0)
+  message(FATAL_ERROR "pinned policy report contains no rule rows")
+endif()

@@ -69,6 +69,15 @@ engine subcommand — forwarder-engine load run (doxperf engine ...):
   --no-coalesce      resolve each concurrent identical query upstream
   --no-stale         disable RFC 8767 serve-stale
   --kill-primary     take the primary upstream down mid-run
+
+abuse subcommand — engine load plus attack mixes shed by the policy chain
+(doxperf abuse ...): the engine flags above, and
+  --flood-qps=N      random-subdomain flood rate (default 3000)
+  --torture-qps=N    water-torture rate (default 1500)
+  --amp-qps=N        spoofed-source TXT amplification rate (default 1000)
+  --rate-limit=N     per-/24 client-subnet budget, qps (default 100)
+  --policy-csv=FILE  write the per-rule hit-counter report
+  --smoke            small deterministic run (sanitizer CI)
 )";
 
 std::string flag_value(int argc, char** argv, const char* name,
@@ -197,6 +206,78 @@ int run_engine(int argc, char** argv) {
   return 0;
 }
 
+/// `doxperf abuse` — the abuse-scenario family: legit load plus the three
+/// attack mixes, shed by the canonical policy chain.
+int run_abuse(int argc, char** argv) {
+  const bool smoke = flag_set(argc, argv, "--smoke");
+  engine::ScenarioConfig config;
+  config.seed = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--seed", "42").c_str()));
+  config.load.clients = static_cast<std::size_t>(
+      flag_int(argc, argv, "--clients", smoke ? 200 : 1000));
+  config.load.qps = flag_int(argc, argv, "--qps", smoke ? 500 : 2000);
+  config.load.duration =
+      flag_int(argc, argv, "--seconds", smoke ? 5 : 10) * kSecond;
+  config.load.names =
+      static_cast<std::size_t>(flag_int(argc, argv, "--names", 200));
+  config.abuse.enabled = true;
+  config.abuse.flood_qps =
+      flag_int(argc, argv, "--flood-qps", smoke ? 800 : 3000);
+  config.abuse.torture_qps =
+      flag_int(argc, argv, "--torture-qps", smoke ? 400 : 1500);
+  config.abuse.amp_qps = flag_int(argc, argv, "--amp-qps", smoke ? 300 : 1000);
+  config.abuse.start = (smoke ? 1 : 2) * kSecond;
+  config.abuse.rate_limit_qps = static_cast<std::uint32_t>(
+      flag_int(argc, argv, "--rate-limit", 100));
+  config.engine.max_ttl = 1;
+
+  const auto result = engine::run_scenario(config);
+  const auto& e = result.engine;
+  const auto latency = result.load.latency_summary();
+  std::printf("abuse scenario: %zu clients at %.0f legit qps for %llu s "
+              "(seed %llu)\n",
+              config.load.clients, config.load.qps,
+              static_cast<unsigned long long>(config.load.duration / kSecond),
+              static_cast<unsigned long long>(config.seed));
+  for (const auto& attack : result.attacks) {
+    std::printf("  %-17s sent %7llu  answered %6llu  refused %6llu  "
+                "truncated %6llu\n",
+                std::string(engine::attack_kind_name(attack.kind)).c_str(),
+                static_cast<unsigned long long>(attack.sent),
+                static_cast<unsigned long long>(attack.answered),
+                static_cast<unsigned long long>(attack.refused),
+                static_cast<unsigned long long>(attack.truncated));
+  }
+  std::printf("policy         evaluated %llu  dropped %llu  refused %llu  "
+              "truncated %llu  routed %llu\n",
+              static_cast<unsigned long long>(e.policy_evaluations),
+              static_cast<unsigned long long>(e.policy_dropped),
+              static_cast<unsigned long long>(e.policy_refused),
+              static_cast<unsigned long long>(e.policy_truncated),
+              static_cast<unsigned long long>(e.policy_routed));
+  for (const auto& rule : e.policy_rules) {
+    std::printf("  %-18s %-13s %-10s %8llu hits\n", rule.name.c_str(),
+                std::string(policy::matcher_kind_name(rule.matcher)).c_str(),
+                std::string(policy::action_kind_name(rule.action)).c_str(),
+                static_cast<unsigned long long>(rule.matches));
+  }
+  std::printf("attack shed    %.1f%%\n", 100.0 * result.attack_shed_rate());
+  std::printf("legit          answered %llu  servfail %llu  timeout %llu\n",
+              static_cast<unsigned long long>(result.load.answered),
+              static_cast<unsigned long long>(result.load.servfails),
+              static_cast<unsigned long long>(result.load.timeouts));
+  std::printf("legit latency  p50 %.2f  p95 %.2f  p99 %.2f ms\n",
+              latency.median, latency.p95, latency.p99);
+
+  const std::string policy_csv_path =
+      flag_value(argc, argv, "--policy-csv", "");
+  if (!policy_csv_path.empty()) {
+    write_file(policy_csv_path, policy::policy_csv(e.policy_rules));
+    std::printf("policy report -> %s\n", policy_csv_path.c_str());
+  }
+  return 0;
+}
+
 /// `doxperf campaign` — the measurement studies sharded across a
 /// work-stealing pool; reports the same tables plus wall-clock timing.
 int run_campaign(int argc, char** argv) {
@@ -296,6 +377,9 @@ int main(int argc, char** argv) {
   try {
     if (argc > 1 && std::strcmp(argv[1], "engine") == 0) {
       return run_engine(argc, argv);
+    }
+    if (argc > 1 && std::strcmp(argv[1], "abuse") == 0) {
+      return run_abuse(argc, argv);
     }
     if (argc > 1 && std::strcmp(argv[1], "campaign") == 0) {
       return run_campaign(argc, argv);
