@@ -1,0 +1,166 @@
+#include "dns/packet_cache.h"
+
+#include <algorithm>
+
+#include "dns/name.h"
+#include "util/bytes.h"
+
+namespace doxlab::dns {
+
+SharedPacketCache::SharedPacketCache(std::size_t capacity,
+                                     std::uint32_t shards)
+    : capacity_(capacity), lanes_(shards == 0 ? 1 : shards) {
+  // One-time bucket reservation: the table never rehashes afterwards, so a
+  // mid-epoch lookup can never land on a growth stall.
+  entries_.reserve(capacity_);
+}
+
+bool SharedPacketCache::lookup(std::uint32_t shard, const DnsName& name,
+                               RRType type, SimTime now,
+                               PacketCacheHit& out) {
+  Lane& lane = lanes_[shard];
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Contended read: never wait. Count it and report a miss — the caller
+    // falls through to its normal resolve path.
+    ++lane.lock_misses;
+    ++lane.misses;
+    return false;
+  }
+  const auto it = entries_.find(KeyView{name, type});
+  if (it == entries_.end() || expired(it->second, now)) {
+    ++lane.misses;
+    return false;
+  }
+  const Entry& entry = it->second;
+  // Copying the buffer handle bumps the slab's atomic refcount (the encode
+  // path share()d it); the bytes stay valid on this shard's thread even
+  // after a later sweep erases the entry.
+  out.wire = entry.wire;
+  out.ttl_s = entry.ttl_s;
+  out.age_s = static_cast<std::uint32_t>((now - entry.inserted_at) / kSecond);
+  ++lane.hits;
+  return true;
+}
+
+void SharedPacketCache::insert(std::uint32_t shard, const DnsName& name,
+                               RRType type,
+                               std::span<const ResourceRecord> records,
+                               SimTime now) {
+  if (records.empty()) return;
+  Lane& lane = lanes_[shard];
+  std::uint32_t min_ttl = records.front().ttl;
+  for (const ResourceRecord& rr : records) min_ttl = std::min(min_ttl, rr.ttl);
+  if (min_ttl == 0) return;  // would expire instantly; not worth a lane slot
+  Pending pending;
+  pending.key = Key{name, type};
+  pending.entry.wire = encode_rrset(records);
+  pending.entry.inserted_at = now;
+  pending.entry.ttl_s = min_ttl;
+  lane.pending.push_back(std::move(pending));
+  ++lane.deferred_inserts;
+}
+
+void SharedPacketCache::sweep(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Merge lanes in shard-index order: the table's contents after a sweep
+  // are a function of what each shard deferred, never of thread timing.
+  for (Lane& lane : lanes_) {
+    for (Pending& pending : lane.pending) {
+      ++applied_inserts_;
+      const auto it = entries_.find(pending.key);
+      if (it != entries_.end()) {
+        it->second = std::move(pending.entry);
+        ++replaced_;
+        continue;
+      }
+      if (capacity_ != 0 && entries_.size() >= capacity_) {
+        ++rejected_capacity_;
+        continue;
+      }
+      entries_.emplace(std::move(pending.key), std::move(pending.entry));
+    }
+    lane.pending.clear();
+  }
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (expired(it->second, now)) {
+      it = entries_.erase(it);
+      ++expired_evicted_;
+    } else {
+      ++it;
+    }
+  }
+  ++sweeps_;
+}
+
+SharedPacketCache::Stats SharedPacketCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  for (const Lane& lane : lanes_) {
+    s.hits += lane.hits;
+    s.misses += lane.misses;
+    s.lock_misses += lane.lock_misses;
+    s.deferred_inserts += lane.deferred_inserts;
+  }
+  s.applied_inserts = applied_inserts_;
+  s.replaced = replaced_;
+  s.rejected_capacity = rejected_capacity_;
+  s.expired_evicted = expired_evicted_;
+  s.sweeps = sweeps_;
+  s.size = entries_.size();
+  return s;
+}
+
+util::Buffer SharedPacketCache::encode_rrset(
+    std::span<const ResourceRecord> records) {
+  std::size_t bytes = 2;
+  for (const ResourceRecord& rr : records) {
+    bytes += rr.name.wire_length() + 2 + 2 + 4 + 2 + rr.rdata.size();
+  }
+  ByteWriter writer(util::Buffer::allocate(bytes));
+  writer.u16(static_cast<std::uint16_t>(records.size()));
+  for (const ResourceRecord& rr : records) {
+    // Uncompressed wire name: flat labels + terminating zero. Record names
+    // matter — a CNAME chain's records carry different owner names.
+    writer.bytes(rr.name.wire_labels());
+    writer.u8(0);
+    writer.u16(static_cast<std::uint16_t>(rr.type));
+    writer.u16(rr.klass_or_udpsize);
+    writer.u32(rr.ttl);
+    writer.u16(static_cast<std::uint16_t>(rr.rdata.size()));
+    writer.bytes(std::span<const std::uint8_t>(rr.rdata));
+  }
+  util::Buffer wire = writer.take_buffer();
+  // Opt into atomic refcounting *before* the buffer crosses the lane/table
+  // synchronization edge — after that, any shard may copy the handle.
+  wire.share();
+  return wire;
+}
+
+bool SharedPacketCache::decode_rrset(std::span<const std::uint8_t> wire,
+                                     std::vector<ResourceRecord>& out) {
+  out.clear();
+  ByteReader reader(wire);
+  const auto count = reader.u16();
+  if (!count) return false;
+  out.reserve(*count);
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    ResourceRecord rr;
+    if (!read_name_into(reader, rr.name)) return false;
+    const auto type = reader.u16();
+    const auto klass = reader.u16();
+    const auto ttl = reader.u32();
+    const auto rdlen = reader.u16();
+    if (!type || !klass || !ttl || !rdlen) return false;
+    const auto rdata = reader.bytes(*rdlen);
+    if (!rdata) return false;
+    rr.type = static_cast<RRType>(*type);
+    rr.klass_or_udpsize = *klass;
+    rr.ttl = *ttl;
+    rr.rdata.assign(rdata->begin(), rdata->end());
+    out.push_back(std::move(rr));
+  }
+  return reader.at_end();
+}
+
+}  // namespace doxlab::dns

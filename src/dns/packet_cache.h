@@ -1,0 +1,196 @@
+// Shared L2 packet cache for the sharded forwarder engine.
+//
+// Every shard keeps its own L1 `dns::Cache` (see src/engine); this class is
+// the level below it — one table shared by all shards so an answer resolved
+// on shard 3 serves shard 5's next miss. The concurrency design borrows the
+// dnsdist packet-cache tricks and adapts them to the discrete-event setting:
+//
+//   * The bucket array is reserve()d once at construction and never rehashes,
+//     so lookups never pay a growth stall.
+//   * Readers take the table mutex with try_lock only. A contended read is
+//     *not* waited out — it is recorded (`lock_misses`) and reported as a
+//     cache miss, so the per-query hot path never blocks on a lock.
+//   * Writers never touch the table from the hot path at all: insert() parks
+//     the encoded answer on the inserting shard's private lane
+//     (`deferred_inserts`), and the coordinator merges all lanes into the
+//     table under the lock in sweep(), which runs at epoch barriers while no
+//     shard is executing.
+//
+// This split is also what makes the sharded engine deterministic: during an
+// epoch the table is effectively read-only (sweep holds the only writer
+// path), so try_lock always succeeds and a lookup's outcome depends only on
+// simulated time and the previous epoch's merged state — never on how the OS
+// interleaved the shard threads. The contended-read fallback exists for
+// safety and is exercised by unit tests, not by the engine.
+//
+// Entries store the answer RRset encoded into a single pooled util::Buffer
+// that has been share()d (atomic refcount): a hit hands the reading shard a
+// refcounted handle to bytes another shard's thread produced, and whichever
+// thread drops the last reference recycles the slab into its own pool.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "util/buffer.h"
+#include "util/types.h"
+
+namespace doxlab::dns {
+
+/// An L2 hit: a shared handle to the encoded RRset plus the TTL bookkeeping
+/// the caller needs to materialize an answer (decode, then subtract age_s
+/// from each record TTL, exactly like an L1 EntryRef hit).
+struct PacketCacheHit {
+  util::Buffer wire;         ///< shared encoded RRset (see encode_rrset)
+  std::uint32_t ttl_s = 0;   ///< minimum record TTL at insert time
+  std::uint32_t age_s = 0;   ///< whole seconds since insertion
+};
+
+/// Sharded-reader packet cache. Thread contract: lookup()/insert() may be
+/// called concurrently from different shard threads (each shard passes its
+/// own index; a lane is only ever touched by its shard); sweep() and
+/// stats() must run while no shard is executing (epoch barrier).
+class SharedPacketCache {
+ public:
+  /// `capacity` bounds the table (entries beyond it are rejected at sweep
+  /// time, not evicted LRU — the L1s in front absorb recency); buckets are
+  /// reserved up front. `shards` fixes the number of insert lanes.
+  SharedPacketCache(std::size_t capacity, std::uint32_t shards);
+
+  SharedPacketCache(const SharedPacketCache&) = delete;
+  SharedPacketCache& operator=(const SharedPacketCache&) = delete;
+
+  /// Hot-path read from shard `shard`. Returns true and fills `out` on a
+  /// fresh hit. A contended mutex (impossible mid-epoch, see header) or an
+  /// expired/absent entry reports false; expired entries are left for
+  /// sweep() to reap.
+  bool lookup(std::uint32_t shard, const DnsName& name, RRType type,
+              SimTime now, PacketCacheHit& out);
+
+  /// Encodes `records` into a shared buffer and parks it on shard `shard`'s
+  /// lane; the table itself is untouched until the next sweep(). Empty
+  /// record sets are not cached (negative answers stay an L1 concern).
+  void insert(std::uint32_t shard, const DnsName& name, RRType type,
+              std::span<const ResourceRecord> records, SimTime now);
+
+  /// Epoch-barrier maintenance: merges every lane into the table in shard
+  /// order (deterministic regardless of which threads ran the shards), then
+  /// reaps expired entries. Takes the mutex *blocking* — by contract nobody
+  /// else holds it here.
+  void sweep(SimTime now);
+
+  /// Aggregated counters (lane counters summed in shard order).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;        ///< includes lock_misses and expired
+    std::uint64_t lock_misses = 0;   ///< contended try_lock fallbacks
+    std::uint64_t deferred_inserts = 0;  ///< insert() calls parked on lanes
+    std::uint64_t applied_inserts = 0;   ///< lane entries merged by sweep
+    std::uint64_t replaced = 0;          ///< merges that overwrote a key
+    std::uint64_t rejected_capacity = 0; ///< merges dropped at the bound
+    std::uint64_t expired_evicted = 0;   ///< entries reaped by sweeps
+    std::uint64_t sweeps = 0;
+    std::size_t size = 0;            ///< live entries right now
+  };
+  Stats stats() const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Test hook: holds the table mutex so a unit test can force the
+  /// contended-read fallback deterministically (lookup from another thread
+  /// while the guard is live). Never used by the engine.
+  std::unique_lock<std::mutex> lock_for_testing() {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+
+  /// Encodes an RRset into one pooled buffer: u16 record count, then per
+  /// record its uncompressed wire name, u16 type, u16 class, u32 ttl,
+  /// u16 rdlen, rdata. The buffer is already share()d.
+  static util::Buffer encode_rrset(std::span<const ResourceRecord> records);
+
+  /// Decodes encode_rrset() output into `out` (cleared first, storage
+  /// reused). Returns false on malformed bytes.
+  static bool decode_rrset(std::span<const std::uint8_t> wire,
+                           std::vector<ResourceRecord>& out);
+
+ private:
+  struct Key {
+    DnsName name;
+    RRType type = RRType::kA;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyView {
+    const DnsName& name;
+    RRType type;
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    static std::size_t mix(const DnsName& name, RRType type) noexcept {
+      return std::hash<DnsName>()(name) ^
+             (static_cast<std::size_t>(type) * 0x9E3779B97F4A7C15ull);
+    }
+    std::size_t operator()(const Key& k) const noexcept {
+      return mix(k.name, k.type);
+    }
+    std::size_t operator()(const KeyView& k) const noexcept {
+      return mix(k.name, k.type);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+    bool operator()(const KeyView& a, const Key& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+    bool operator()(const Key& a, const KeyView& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+  };
+
+  struct Entry {
+    util::Buffer wire;
+    SimTime inserted_at = 0;
+    std::uint32_t ttl_s = 0;
+  };
+
+  struct Pending {
+    Key key;
+    Entry entry;
+  };
+
+  /// Per-shard insert lane + read counters. Padded to its own cache line so
+  /// shard threads bumping counters never false-share.
+  struct alignas(64) Lane {
+    std::vector<Pending> pending;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t lock_misses = 0;
+    std::uint64_t deferred_inserts = 0;
+  };
+
+  static bool expired(const Entry& entry, SimTime now) {
+    return now - entry.inserted_at >=
+           static_cast<SimTime>(entry.ttl_s) * kSecond;
+  }
+
+  using Map = std::unordered_map<Key, Entry, KeyHash, KeyEq>;
+
+  mutable std::mutex mu_;  ///< guards entries_ and the sweep counters
+  Map entries_;
+  std::size_t capacity_;
+  std::vector<Lane> lanes_;
+  std::uint64_t applied_inserts_ = 0;
+  std::uint64_t replaced_ = 0;
+  std::uint64_t rejected_capacity_ = 0;
+  std::uint64_t expired_evicted_ = 0;
+  std::uint64_t sweeps_ = 0;
+};
+
+}  // namespace doxlab::dns

@@ -116,6 +116,33 @@ void ForwarderEngine::answer_servfail(const Waiter& waiter,
   send_response(waiter, question, dns::RCode::kServFail);
 }
 
+bool ForwarderEngine::try_answer_l2(const Waiter& waiter,
+                                    const dns::Question& question) {
+  ++l2_lookups_;
+  dns::PacketCacheHit hit;
+  if (!config_.l2->lookup(config_.shard_index, question.name, question.type,
+                          sim_.now(), hit)) {
+    return false;
+  }
+  // Decode the shared bytes into the retained scratch answers, then decay
+  // TTLs so the client sees the remaining lifetime.
+  std::vector<dns::ResourceRecord>& answers = scratch_response_.answers;
+  if (!dns::SharedPacketCache::decode_rrset(hit.wire, answers)) return false;
+  ++l2_hits_;
+  if (hit.age_s > 0) {
+    for (auto& rr : answers) {
+      rr.ttl = rr.ttl > hit.age_s ? rr.ttl - hit.age_s : 0;
+    }
+  }
+  // Promote into the local L1 (already-decayed TTLs keep expiry honest), so
+  // this shard's next query for the key stays on the zero-copy L1 path.
+  if (config_.cache_enabled) {
+    cache_.insert(question.name, question.type, answers, sim_.now());
+  }
+  send_response(waiter, question, dns::RCode::kNoError);
+  return true;
+}
+
 bool ForwarderEngine::apply_policy_verdict(const policy::Verdict& verdict,
                                            const Waiter& waiter,
                                            const dns::Question& question) {
@@ -204,6 +231,10 @@ void ForwarderEngine::on_stub_query(const net::Endpoint& from,
     }
   }
 
+  // L1 had neither a fresh nor a stale entry: try the shared L2 before
+  // paying (or joining) an upstream resolve.
+  if (config_.l2 != nullptr && try_answer_l2(waiter, question)) return;
+
   if (config_.coalesce) {
     auto it = inflight_.find(key_view);
     if (it != inflight_.end()) {
@@ -278,6 +309,12 @@ void ForwarderEngine::deliver(std::vector<Waiter> waiters,
   if (config_.cache_enabled) {
     cache_.insert(question.name, question.type, records, sim_.now());
   }
+  if (config_.l2 != nullptr) {
+    // Deferred insert: parks on this shard's lane; visible to every shard
+    // after the next epoch-barrier sweep.
+    config_.l2->insert(config_.shard_index, question.name, question.type,
+                       records, sim_.now());
+  }
   for (const Waiter& waiter : waiters) {
     answer(waiter, question, records);
   }
@@ -290,6 +327,8 @@ EngineStats ForwarderEngine::stats() const {
   s.stale_hits = stale_hits_;
   s.misses = misses_;
   s.coalesced = coalesced_;
+  s.l2_hits = l2_hits_;
+  s.l2_lookups = l2_lookups_;
   s.upstream_resolves = upstream_resolves_;
   s.stale_refreshes = stale_refreshes_;
   s.servfails_sent = servfails_sent_;
@@ -311,6 +350,45 @@ EngineStats ForwarderEngine::stats() const {
   s.policy_errors = policy_errors_;
   s.policy_rules = chain_.stats();
   return s;
+}
+
+void EngineStats::add(const EngineStats& other) {
+  queries += other.queries;
+  cache_hits += other.cache_hits;
+  stale_hits += other.stale_hits;
+  misses += other.misses;
+  coalesced += other.coalesced;
+  l2_hits += other.l2_hits;
+  l2_lookups += other.l2_lookups;
+  upstream_resolves += other.upstream_resolves;
+  upstream_attempts += other.upstream_attempts;
+  failovers += other.failovers;
+  stale_refreshes += other.stale_refreshes;
+  servfails_sent += other.servfails_sent;
+  cache_evictions += other.cache_evictions;
+  upstream_errors.add(other.upstream_errors);
+  upstreams.insert(upstreams.end(), other.upstreams.begin(),
+                   other.upstreams.end());
+  policy_evaluations += other.policy_evaluations;
+  policy_dropped += other.policy_dropped;
+  policy_refused += other.policy_refused;
+  policy_truncated += other.policy_truncated;
+  policy_routed += other.policy_routed;
+  policy_errors.add(other.policy_errors);
+  bool aligned = policy_rules.size() == other.policy_rules.size();
+  for (std::size_t i = 0; aligned && i < policy_rules.size(); ++i) {
+    aligned = policy_rules[i].name == other.policy_rules[i].name &&
+              policy_rules[i].matcher == other.policy_rules[i].matcher &&
+              policy_rules[i].action == other.policy_rules[i].action;
+  }
+  if (aligned) {
+    for (std::size_t i = 0; i < policy_rules.size(); ++i) {
+      policy_rules[i].matches += other.policy_rules[i].matches;
+    }
+  } else {
+    policy_rules.insert(policy_rules.end(), other.policy_rules.begin(),
+                        other.policy_rules.end());
+  }
 }
 
 double ForwarderEngine::observed_qps() const {

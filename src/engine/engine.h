@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "dns/cache.h"
+#include "dns/packet_cache.h"
 #include "engine/upstream_pool.h"
 #include "net/udp.h"
 #include "policy/policy.h"
@@ -59,6 +60,13 @@ struct EngineConfig {
   /// Policy rule chain, compiled at engine construction against the named
   /// upstream pools. Empty: every query is allowed (zero overhead).
   policy::ChainConfig policy;
+  /// Shared L2 packet cache (sharded engine). Not owned; null = no L2.
+  /// Consulted only after the local L1 has neither a fresh nor a stale
+  /// entry; successful resolves are offered to it as deferred inserts.
+  dns::SharedPacketCache* l2 = nullptr;
+  /// This engine's shard index — selects its L2 insert lane and labels its
+  /// rows in per-shard reports.
+  std::uint32_t shard_index = 0;
 };
 
 /// Counters + health snapshot (cheap to copy; taken at any time).
@@ -68,6 +76,8 @@ struct EngineStats {
   std::uint64_t stale_hits = 0;      ///< answered stale (RFC 8767)
   std::uint64_t misses = 0;          ///< needed an upstream resolve
   std::uint64_t coalesced = 0;       ///< joined an in-flight resolve
+  std::uint64_t l2_hits = 0;         ///< answered from the shared L2 cache
+  std::uint64_t l2_lookups = 0;      ///< L1-missing queries that probed L2
   std::uint64_t upstream_resolves = 0;  ///< pool resolves started
   std::uint64_t upstream_attempts = 0;  ///< transport attempts (incl. retries)
   std::uint64_t failovers = 0;       ///< attempts beyond a query's first
@@ -101,6 +111,12 @@ struct EngineStats {
                : static_cast<double>(shed) /
                      static_cast<double>(policy_evaluations);
   }
+
+  /// Accumulates `other` into this — the sharded engine's merge. Counters
+  /// sum; upstream health rows append (each shard has its own pool);
+  /// per-rule policy counters sum elementwise when the chains line up
+  /// (identical config per shard) and append otherwise.
+  void add(const EngineStats& other);
 
   /// Fraction of cache-missing queries that coalesced onto an existing
   /// in-flight resolve.
@@ -210,6 +226,10 @@ class ForwarderEngine {
   /// queries) with TTLs decayed/clamped in place.
   void answer_cached(const Waiter& waiter, const dns::Question& question,
                      const dns::EntryRef& found);
+  /// Probes the shared L2 after an L1 miss. On a hit, decodes the shared
+  /// buffer into the scratch response, decays TTLs, promotes the records
+  /// into the local L1, answers, and returns true.
+  bool try_answer_l2(const Waiter& waiter, const dns::Question& question);
   void answer_servfail(const Waiter& waiter, const dns::Question& question);
   /// Stamps header flags on the scratch response and ships it as one pooled
   /// buffer. `tc` sets the truncation bit (policy kTruncate).
@@ -250,6 +270,8 @@ class ForwarderEngine {
   std::uint64_t stale_hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t coalesced_ = 0;
+  std::uint64_t l2_hits_ = 0;
+  std::uint64_t l2_lookups_ = 0;
   std::uint64_t upstream_resolves_ = 0;
   std::uint64_t stale_refreshes_ = 0;
   std::uint64_t servfails_sent_ = 0;

@@ -1,0 +1,160 @@
+#include "engine/shard.h"
+
+#include <string>
+
+#include "dns/message.h"
+#include "util/rng.h"
+
+namespace doxlab::engine {
+
+namespace {
+
+/// Seed-derivation lanes: each subsystem's stream is splitmix64(seed, lane)
+/// so adding draws in one place never perturbs another. Lanes encode the
+/// shard index but never the shard count — a shard's world is identical no
+/// matter how many siblings it has.
+constexpr std::uint64_t kNetworkLane = 0x5A000000ull;
+constexpr std::uint64_t kResolverLane = 0x5B000000ull;
+
+}  // namespace
+
+net::IpAddress client_source(const ShardedConfig& config,
+                             std::uint32_t index) {
+  return net::IpAddress(
+      config.client_base.value() +
+      static_cast<std::uint32_t>(splitmix64(config.seed, index) %
+                                 config.client_span));
+}
+
+std::uint32_t shard_of(const ShardedConfig& config, net::IpAddress source) {
+  if (config.shards <= 1) return 0;
+  return static_cast<std::uint32_t>(
+      splitmix64(config.seed ^ 0xC11E47ull, source.value()) % config.shards);
+}
+
+EngineShard::EngineShard(const ShardedConfig& config, std::uint32_t index,
+                         std::span<const Arrival> arrivals,
+                         dns::SharedPacketCache* l2)
+    : config_(config), index_(index) {
+  network_ = std::make_unique<net::Network>(
+      sim_, Rng(splitmix64(config.seed, kNetworkLane + index)));
+  network_->set_loss_rate(0.0);
+
+  // The shard's host carries both the engine listener and the swarm socket
+  // (mirroring run_scenario, where generator and engine share one host).
+  host_ = &network_->add_host(
+      "shard-" + std::to_string(index),
+      net::IpAddress::from_octets(10, 1, 0,
+                                  static_cast<std::uint8_t>(index + 1)),
+      {50.11, 8.68}, net::Continent::kEurope);
+  udp_ = std::make_unique<net::UdpStack>(*host_);
+  tcp_ = std::make_unique<tcp::TcpStack>(*host_);
+
+  // Client sources live in their own prefix; answers to spoofed sources
+  // must route back to this host's swarm socket.
+  network_->add_prefix_route(config.client_base, 16, host_->address());
+
+  std::vector<UpstreamConfig> upstreams;
+  for (std::size_t i = 0; i < config.upstream_one_way.size(); ++i) {
+    resolver::ResolverProfile profile;
+    profile.name = "upstream-" + std::to_string(i);
+    profile.address = net::IpAddress::from_octets(
+        10, 9, 0, static_cast<std::uint8_t>(i + 1));
+    profile.location = {48.86, 2.35};
+    profile.secret = 0xE0 + i;
+    profile.drop_probability = 0.0;
+    resolvers_.push_back(std::make_unique<resolver::DoxResolver>(
+        *network_, profile,
+        Rng(splitmix64(config.seed, kResolverLane + (index << 8) + i))));
+    network_->set_path_override(host_->address(), profile.address,
+                                config.upstream_one_way[i]);
+
+    UpstreamConfig upstream;
+    upstream.name = profile.name;
+    upstream.address = profile.address;
+    upstream.protocols = config.protocols;
+    upstreams.push_back(std::move(upstream));
+  }
+
+  dox::TransportDeps deps;
+  deps.sim = &sim_;
+  deps.udp = udp_.get();
+  deps.tcp = tcp_.get();
+  deps.tickets = &tickets_;
+  deps.doq_cache = &doq_cache_;
+
+  EngineConfig engine_config = config.engine;
+  engine_config.l2 = l2;
+  engine_config.shard_index = index;
+  // Per-shard chain instances can't share limiter state, so each shard
+  // polices an even split of the configured budgets.
+  engine_config.policy =
+      policy::scale_rate_limits(std::move(engine_config.policy),
+                                config.shards);
+  engine_ = std::make_unique<ForwarderEngine>(sim_, *udp_, deps,
+                                              std::move(upstreams),
+                                              engine_config);
+  target_ = net::Endpoint{host_->address(), engine_config.listen_port};
+
+  names_.reserve(config.names);
+  for (std::size_t i = 0; i < config.names; ++i) {
+    names_.push_back(
+        dns::DnsName::parse("name" + std::to_string(i) + ".load.example"));
+  }
+
+  swarm_ = udp_->bind_ephemeral();
+  swarm_->on_datagram([this](const net::Endpoint&, util::Buffer payload) {
+    on_response(std::move(payload));
+  });
+
+  arrivals_scheduled_ = arrivals.size();
+  for (const Arrival& arrival : arrivals) {
+    sim_.at(arrival.at, [this, client = arrival.client,
+                         name = arrival.name] { send_query(client, name); });
+  }
+}
+
+void EngineShard::run_until(SimTime deadline) { sim_.run_until(deadline); }
+
+void EngineShard::send_query(std::uint32_t client, std::uint32_t name_index) {
+  // Transaction ids are a shard-global ring: with a 16-bit space and
+  // short-lived queries, a still-pending id is skipped (deterministically)
+  // rather than clobbered.
+  std::uint16_t id = next_id_;
+  while (pending_.find(id) != pending_.end()) {
+    if (++id == 0) id = 1;
+    if (id == next_id_) return;  // 65535 in flight: shed this arrival
+  }
+  next_id_ = static_cast<std::uint16_t>(id + 1);
+  if (next_id_ == 0) next_id_ = 1;
+
+  dns::Message query = dns::make_query(id, names_[name_index],
+                                       dns::RRType::kA);
+  PendingQuery pending;
+  pending.sent_at = sim_.now();
+  pending.timeout = sim_.schedule(config_.client_timeout, [this, id] {
+    if (pending_.erase(id) > 0) ++report_.timeouts;
+  });
+  pending_[id] = std::move(pending);
+
+  ++report_.sent;
+  swarm_->send_to_from(target_, client_source(config_, client),
+                       util::Buffer::copy_of(query.encode()));
+}
+
+void EngineShard::on_response(util::Buffer payload) {
+  auto response = dns::Message::decode(payload);
+  if (!response || !response->qr) return;
+  auto it = pending_.find(response->id);
+  if (it == pending_.end()) return;  // late answer after timeout
+  it->second.timeout.cancel();
+  if (response->rcode == dns::RCode::kServFail) {
+    ++report_.servfails;
+  } else {
+    ++report_.answered;
+    report_.latency_ms.push_back(to_ms(sim_.now() - it->second.sent_at));
+  }
+  pending_.erase(it);
+}
+
+}  // namespace doxlab::engine

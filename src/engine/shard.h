@@ -1,0 +1,149 @@
+// One shard of the sharded forwarder engine: a complete, self-contained
+// simulated world (event loop, network, upstream resolvers, ForwarderEngine,
+// stub-client swarm) that runs on one thread at a time.
+//
+// The coordinator (engine/sharded.h) hashes stub clients onto shards by
+// source address and hands each shard its slice of one global arrival
+// schedule. Everything inside a shard is derived from (seed, shard index)
+// only — never from the shard *count* or from wall-clock — so a shard's
+// event stream is bit-identical run to run; the simulator's
+// event_stream_digest() pins exactly that in the determinism tests.
+//
+// The swarm client differs from engine/load_gen.h's LoadGenerator: instead
+// of one ephemeral socket per client (the UDP stack has ~16k ephemeral
+// ports; the sharded scenario drives millions of clients), the whole shard
+// shares ONE socket and stamps each query with its client's source address
+// via send_to_from. Replies route back through the client prefix and demux
+// by DNS transaction id, so per-client state is zero bytes — client count
+// scales to millions for free.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/packet_cache.h"
+#include "dox/transport.h"
+#include "engine/engine.h"
+#include "engine/load_gen.h"
+#include "net/network.h"
+#include "resolver/resolver.h"
+#include "tcp/tcp.h"
+
+namespace doxlab::engine {
+
+/// One entry of the global arrival schedule: at simulated time `at`, client
+/// `client` asks for name index `name`. Generated once by the coordinator
+/// from the seed — identical for every shard count.
+struct Arrival {
+  SimTime at = 0;
+  std::uint32_t client = 0;
+  std::uint32_t name = 0;
+};
+
+/// Workload + world parameters shared by every shard (the coordinator's
+/// config; see sharded.h for the fields' one-stop documentation).
+struct ShardedConfig {
+  std::uint32_t shards = 1;
+  std::uint64_t seed = 42;
+  /// Simulated stub clients across ALL shards (source-hashed onto shards).
+  std::size_t clients = 1'000'000;
+  /// Aggregate Poisson arrival rate across all shards, queries per second.
+  double qps = 20'000.0;
+  SimTime duration = 10 * kSecond;
+  std::size_t names = 500;
+  double zipf_exponent = 1.0;
+  SimTime client_timeout = 8 * kSecond;
+  /// Client source addressing (mirrors LoadConfig): client i sends from
+  /// `client_base + splitmix64(seed, i) % client_span`.
+  net::IpAddress client_base = net::IpAddress::from_octets(10, 50, 0, 0);
+  std::uint32_t client_span = 1 << 16;
+  /// Per-shard engine template; `l2` and `shard_index` are stamped per
+  /// shard, and rate-limit budgets are divided by the shard count.
+  EngineConfig engine;
+  std::vector<SimTime> upstream_one_way = {from_ms(25), from_ms(40),
+                                           from_ms(60)};
+  std::vector<dox::DnsProtocol> protocols = {dox::DnsProtocol::kDoQ,
+                                             dox::DnsProtocol::kDoT,
+                                             dox::DnsProtocol::kDoUdp};
+  /// Shared L2 packet cache (0 capacity disables it).
+  std::size_t l2_capacity = 1 << 16;
+  /// Epoch length: shards run independently for one epoch, then barrier at
+  /// its end for the L2 sweep.
+  SimTime epoch = 100 * kMillisecond;
+  /// Worker threads driving the shards (<= 0: one per hardware thread).
+  int threads = 0;
+};
+
+/// The source address client `index` sends from (shared by the coordinator
+/// for shard assignment and by the shard for query stamping).
+net::IpAddress client_source(const ShardedConfig& config, std::uint32_t index);
+
+/// Which shard owns `source`: splitmix64 over the address, mod shard count.
+std::uint32_t shard_of(const ShardedConfig& config, net::IpAddress source);
+
+class EngineShard {
+ public:
+  /// Builds the shard's world and pre-schedules its `arrivals` slice.
+  /// `l2` may be null (no shared cache). The ShardedConfig must outlive the
+  /// shard; arrivals are copied into the event queue.
+  EngineShard(const ShardedConfig& config, std::uint32_t index,
+              std::span<const Arrival> arrivals, dns::SharedPacketCache* l2);
+
+  EngineShard(const EngineShard&) = delete;
+  EngineShard& operator=(const EngineShard&) = delete;
+
+  /// Advances this shard's simulated clock to `deadline` (one epoch's
+  /// worth). Must not run concurrently with itself; the coordinator calls
+  /// it from at most one pool worker at a time.
+  void run_until(SimTime deadline);
+
+  std::uint32_t index() const { return index_; }
+  EngineStats engine_stats() const { return engine_->stats(); }
+  const LoadReport& report() const { return report_; }
+  std::uint64_t events_executed() const { return sim_.events_executed(); }
+  /// True once this shard is past the arrival window with no client query
+  /// awaiting an answer: everything left in the event queue is engine
+  /// housekeeping (idle timers, keep-alives). The coordinator then collapses
+  /// the remaining settle window into a single epoch — the same events
+  /// execute in the same order, it just stops barriering for a swarm that
+  /// has nothing more to say. Pure function of sim state, so deterministic.
+  bool drained() const {
+    return sim_.now() >= config_.duration && pending_.empty();
+  }
+  std::uint64_t stream_digest() const { return sim_.event_stream_digest(); }
+  std::size_t arrivals_scheduled() const { return arrivals_scheduled_; }
+
+ private:
+  struct PendingQuery {
+    SimTime sent_at = 0;
+    sim::Timer timeout;
+  };
+
+  void send_query(std::uint32_t client, std::uint32_t name_index);
+  void on_response(util::Buffer payload);
+
+  const ShardedConfig& config_;
+  std::uint32_t index_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  net::Host* host_ = nullptr;
+  std::unique_ptr<net::UdpStack> udp_;
+  std::unique_ptr<tcp::TcpStack> tcp_;
+  tls::TicketStore tickets_;
+  dox::DoqSessionCache doq_cache_;
+  std::vector<std::unique_ptr<resolver::DoxResolver>> resolvers_;
+  std::unique_ptr<ForwarderEngine> engine_;
+
+  /// Swarm client state: one socket for every client on this shard.
+  std::unique_ptr<net::UdpSocket> swarm_;
+  net::Endpoint target_;
+  std::vector<dns::DnsName> names_;  ///< pre-parsed query names
+  std::uint16_t next_id_ = 1;
+  std::unordered_map<std::uint16_t, PendingQuery> pending_;
+  std::size_t arrivals_scheduled_ = 0;
+  LoadReport report_;
+};
+
+}  // namespace doxlab::engine

@@ -238,6 +238,20 @@ std::string policy_csv(const std::vector<RuleStats>& rules) {
   return out;
 }
 
+ChainConfig scale_rate_limits(ChainConfig chain, std::uint32_t shards) {
+  if (shards <= 1) return chain;
+  for (RuleConfig& rule : chain.rules) {
+    if (rule.matcher != MatcherKind::kRateLimit) continue;
+    if (rule.rate_qps > 0) {
+      rule.rate_qps = std::max<std::uint32_t>(1, rule.rate_qps / shards);
+    }
+    if (rule.burst > 0) {
+      rule.burst = std::max<std::uint32_t>(1, rule.burst / shards);
+    }
+  }
+  return chain;
+}
+
 std::vector<RuleStats> RuleChain::stats() const {
   std::vector<RuleStats> out;
   out.reserve(rules_.size());

@@ -220,6 +220,16 @@ struct ChainConfig {
   bool empty() const { return rules.empty(); }
 };
 
+/// Divides every rate-limit rule's budget by `shards` (floor, min 1 qps)
+/// for per-shard chain instances. The sharded engine gives each shard its
+/// own compiled chain — limiter state is not shared across threads — so a
+/// global budget is approximated by splitting it evenly. This over-sheds
+/// subnets whose traffic concentrates on one shard and under-sheds subnets
+/// spread across many; with source-hashed sharding a /24's clients land on
+/// many shards, so the aggregate budget stays within ~1 shard's slice of
+/// the configured rate (documented in DESIGN.md §10).
+ChainConfig scale_rate_limits(ChainConfig chain, std::uint32_t shards);
+
 /// Everything a matcher may look at. Views borrow from the caller's
 /// already-decoded query — evaluation never copies.
 struct QueryInfo {

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "measure/sampling.h"
-#include "runner/thread_pool.h"
+#include "util/thread_pool.h"
 
 namespace doxlab::runner {
 
@@ -76,7 +76,7 @@ std::vector<measure::SingleQueryRecord> run_single_query_campaign(
   const std::vector<CellSpec> cells = enumerate_cells(campaign, study);
   std::vector<std::vector<measure::SingleQueryRecord>> shards(cells.size());
 
-  ThreadPool pool(campaign.jobs);
+  util::ThreadPool pool(campaign.jobs);
   pool.parallel_for(cells.size(), [&](std::size_t index) {
     const CellSpec& cell = cells[index];
     measure::Testbed testbed(cell_testbed_config(campaign, index));
@@ -106,7 +106,7 @@ std::vector<measure::WebRecord> run_web_campaign(
   const std::vector<CellSpec> cells = enumerate_cells(campaign, study);
   std::vector<std::vector<measure::WebRecord>> shards(cells.size());
 
-  ThreadPool pool(campaign.jobs);
+  util::ThreadPool pool(campaign.jobs);
   pool.parallel_for(cells.size(), [&](std::size_t index) {
     const CellSpec& cell = cells[index];
     measure::Testbed testbed(cell_testbed_config(campaign, index));

@@ -34,6 +34,7 @@ detail::Slab* new_slab(std::size_t capacity, std::uint8_t cls) {
   slab->refs = 1;
   slab->capacity = static_cast<std::uint32_t>(capacity);
   slab->size_class = cls;
+  slab->flags = 0;
   return slab;
 }
 
@@ -80,6 +81,7 @@ Buffer BufferPool::allocate(std::size_t capacity, std::size_t headroom) {
     free_[cls] = next_of(slab);
     --free_count_[cls];
     slab->refs = 1;
+    slab->flags = 0;  // a recycled shared slab goes back to non-atomic
     ++reuses_;
   } else {
     ++fresh_allocs_;

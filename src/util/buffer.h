@@ -12,14 +12,25 @@
 // Slabs come from a thread-local `BufferPool` free list with power-of-two
 // size classes and high-water-mark sizing, so a steady-state forwarder
 // recycles the same few slabs and performs zero heap allocations per
-// query. Refcounts are intentionally non-atomic: the simulator confines
-// each campaign cell (and therefore every buffer it creates) to a single
-// worker thread, mirroring the CorePtr design in src/sim. A slab released
-// on a thread other than its allocator simply returns to *that* thread's
-// pool — slabs carry no owner pointer, so cross-thread handoff is safe,
-// it is only concurrent *sharing* of one buffer that is not supported.
+// query. Refcounts are non-atomic by default: the simulator confines each
+// campaign cell (and therefore every buffer it creates) to a single worker
+// thread, mirroring the CorePtr design in src/sim. A slab released on a
+// thread other than its allocator simply returns to *that* thread's pool —
+// slabs carry no owner pointer, so sequential cross-thread handoff (move a
+// buffer, synchronize, use it over there) is safe.
+//
+// Concurrent sharing of one slab across threads needs an explicit opt-in:
+// `share()` flips the slab to atomic refcounting (std::atomic_ref on the
+// same counter word), after which copies may be taken and dropped from any
+// thread — the contract the sharded engine's L2 packet cache relies on,
+// where one shard encodes an answer and every other shard may hold a
+// reference to it concurrently. Call share() *before* publishing the buffer
+// to other threads; whichever thread drops the last reference recycles the
+// slab into its own pool (the flag is cleared on reuse). Unshared buffers
+// keep the single-branch non-atomic fast path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -35,13 +46,17 @@ namespace detail {
 /// keeps the storage area pointer-aligned: free slabs park their intrusive
 /// next-pointer in the first payload bytes.
 struct alignas(8) Slab {
-  std::uint32_t refs;      ///< non-atomic; buffers are thread-confined
+  std::uint32_t refs;      ///< non-atomic unless kSharedFlag is set
   std::uint32_t capacity;  ///< storage bytes following this header
   std::uint8_t size_class; ///< pool class index; kUnpooled for oversize
+  std::uint8_t flags;      ///< kSharedFlag: refcount ops go atomic
   std::uint8_t* storage() { return reinterpret_cast<std::uint8_t*>(this + 1); }
   const std::uint8_t* storage() const {
     return reinterpret_cast<const std::uint8_t*>(this + 1);
   }
+  bool is_shared() const { return (flags & kSharedFlag) != 0; }
+
+  static constexpr std::uint8_t kSharedFlag = 0x01;
 };
 
 inline constexpr std::uint8_t kUnpooled = 0xFF;
@@ -63,7 +78,7 @@ class Buffer {
   Buffer() = default;
   Buffer(const Buffer& other) : slab_(other.slab_), data_(other.data_),
                                 len_(other.len_) {
-    if (slab_ != nullptr) ++slab_->refs;
+    retain();
   }
   Buffer(Buffer&& other) noexcept
       : slab_(other.slab_), data_(other.data_), len_(other.len_) {
@@ -112,7 +127,24 @@ class Buffer {
   std::size_t tailroom() const {
     return slab_ == nullptr ? 0 : slab_->capacity - headroom() - len_;
   }
-  bool unique() const { return slab_ != nullptr && slab_->refs == 1; }
+  bool unique() const {
+    if (slab_ == nullptr) return false;
+    if (!slab_->is_shared()) return slab_->refs == 1;
+    return std::atomic_ref<std::uint32_t>(slab_->refs)
+               .load(std::memory_order_acquire) == 1;
+  }
+
+  /// Opts the slab into atomic refcounting so copies of this buffer may be
+  /// taken and released concurrently from other threads. Must be called
+  /// while the slab is still confined to the calling thread (i.e. before
+  /// the buffer is published through a lock, queue, or other
+  /// synchronization edge — that edge also publishes the flag). Idempotent;
+  /// no-op on a null buffer. Treat shared contents as immutable: in-place
+  /// mutation still requires unique ownership.
+  void share() {
+    if (slab_ != nullptr) slab_->flags |= detail::Slab::kSharedFlag;
+  }
+  bool is_shared() const { return slab_ != nullptr && slab_->is_shared(); }
 
   /// Grows the payload by `n` front bytes and returns a pointer to them
   /// (in place when uniquely owned with enough headroom).
@@ -141,8 +173,27 @@ class Buffer {
   Buffer(detail::Slab* slab, std::uint8_t* data, std::size_t len)
       : slab_(slab), data_(data), len_(len) {}
 
+  void retain() {
+    if (slab_ == nullptr) return;
+    if (!slab_->is_shared()) {
+      ++slab_->refs;
+      return;
+    }
+    std::atomic_ref<std::uint32_t>(slab_->refs)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
   void release() {
-    if (slab_ != nullptr && --slab_->refs == 0) detail::release_slab(slab_);
+    if (slab_ == nullptr) return;
+    if (!slab_->is_shared()) {
+      if (--slab_->refs == 0) detail::release_slab(slab_);
+      return;
+    }
+    // acq_rel: the last release must observe every other thread's writes
+    // through the slab before recycling it.
+    if (std::atomic_ref<std::uint32_t>(slab_->refs)
+            .fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      detail::release_slab(slab_);
+    }
   }
   /// Moves to a fresh uniquely-owned slab with the requested room.
   void reallocate(std::size_t new_headroom, std::size_t new_tailroom);

@@ -1,9 +1,9 @@
-#include "runner/thread_pool.h"
+#include "util/thread_pool.h"
 
 #include <atomic>
 #include <exception>
 
-namespace doxlab::runner {
+namespace doxlab::util {
 
 struct ThreadPool::Batch {
   std::atomic<std::size_t> remaining{0};
@@ -120,4 +120,4 @@ void ThreadPool::run_task(const Task& task) {
   }
 }
 
-}  // namespace doxlab::runner
+}  // namespace doxlab::util

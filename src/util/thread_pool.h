@@ -1,12 +1,14 @@
-// A small work-stealing thread pool for embarrassingly-parallel campaigns.
+// A small work-stealing thread pool shared by every parallel subsystem —
+// the campaign runner (one Testbed per cell) and the sharded forwarder
+// engine (one shard world per task, re-dispatched every epoch).
 //
 // Each worker owns a deque: it pushes and pops work at the back (LIFO, warm
 // caches) and victims are robbed from the front (FIFO, oldest tasks first —
 // the classic Chase-Lev discipline, here with a per-deque mutex because
-// campaign tasks are whole simulations, i.e. milliseconds to seconds each;
-// lock traffic is noise at that granularity). `parallel_for` partitions an
-// index space round-robin across workers so the initial distribution is
-// balanced even before any stealing happens.
+// tasks are whole simulations or simulation epochs, i.e. milliseconds to
+// seconds each; lock traffic is noise at that granularity). `parallel_for`
+// partitions an index space round-robin across workers so the initial
+// distribution is balanced even before any stealing happens.
 #pragma once
 
 #include <condition_variable>
@@ -18,7 +20,7 @@
 #include <thread>
 #include <vector>
 
-namespace doxlab::runner {
+namespace doxlab::util {
 
 class ThreadPool {
  public:
@@ -67,4 +69,4 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
-}  // namespace doxlab::runner
+}  // namespace doxlab::util

@@ -1,0 +1,31 @@
+# Sharded-engine determinism: the per-shard CSV (arrival counts, engine
+# counters, event totals, event-stream digests) must be bit-identical run
+# over run, at one shard and at eight. Any dependence of a shard's event
+# stream on thread scheduling — an L2 read slipping past an epoch barrier, a
+# shared buffer mutated cross-shard — shows up here as a digest flip.
+#
+# Invoked by ctest as:
+#   cmake -DDOXPERF_BIN=... -DWORK_DIR=... -P this_file
+file(MAKE_DIRECTORY "${WORK_DIR}")
+foreach(shards 1 8)
+  foreach(run a b)
+    execute_process(COMMAND "${DOXPERF_BIN}" engine --shards=${shards}
+                            --clients=5000 --qps=3000 --seconds=2
+                            --shard-csv=shards${shards}_${run}.csv
+                    WORKING_DIRECTORY "${WORK_DIR}"
+                    RESULT_VARIABLE rc
+                    OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+              "doxperf engine --shards=${shards} failed (exit ${rc})")
+    endif()
+  endforeach()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          "${WORK_DIR}/shards${shards}_a.csv"
+                          "${WORK_DIR}/shards${shards}_b.csv"
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "shard CSV differs between runs at --shards=${shards}")
+  endif()
+endforeach()

@@ -10,13 +10,13 @@
 
 #include "measure/csv.h"
 #include "runner/campaign.h"
-#include "runner/thread_pool.h"
+#include "util/thread_pool.h"
 
 namespace doxlab::runner {
 namespace {
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
-  ThreadPool pool(4);
+  util::ThreadPool pool(4);
   EXPECT_EQ(pool.thread_count(), 4u);
   constexpr std::size_t kCount = 1000;
   std::vector<std::atomic<int>> hits(kCount);
@@ -28,7 +28,7 @@ TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
 }
 
 TEST(ThreadPool, SingleThreadStillCompletes) {
-  ThreadPool pool(1);
+  util::ThreadPool pool(1);
   std::atomic<int> sum{0};
   pool.parallel_for(100, [&](std::size_t i) {
     sum.fetch_add(static_cast<int>(i));
@@ -37,7 +37,7 @@ TEST(ThreadPool, SingleThreadStillCompletes) {
 }
 
 TEST(ThreadPool, ReusableAcrossBatches) {
-  ThreadPool pool(3);
+  util::ThreadPool pool(3);
   std::atomic<int> total{0};
   for (int batch = 0; batch < 5; ++batch) {
     pool.parallel_for(20, [&](std::size_t) { total.fetch_add(1); });
@@ -46,7 +46,7 @@ TEST(ThreadPool, ReusableAcrossBatches) {
 }
 
 TEST(ThreadPool, PropagatesFirstException) {
-  ThreadPool pool(4);
+  util::ThreadPool pool(4);
   std::atomic<int> completed{0};
   EXPECT_THROW(
       pool.parallel_for(64,
@@ -60,7 +60,7 @@ TEST(ThreadPool, PropagatesFirstException) {
 }
 
 TEST(ThreadPool, ZeroCountIsNoop) {
-  ThreadPool pool(2);
+  util::ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
 }
 

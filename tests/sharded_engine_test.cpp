@@ -1,0 +1,167 @@
+// Tests for the sharded forwarder engine (engine/shard.h, engine/sharded.h):
+// the offered load must be invariant under the shard count, repeated runs
+// must be bit-identical (event-stream digests), the merged result must equal
+// the sum of its shards, and the shared L2 must actually carry answers
+// across shards.
+#include <gtest/gtest.h>
+
+#include "engine/sharded.h"
+#include "policy/policy.h"
+
+namespace doxlab::engine {
+namespace {
+
+/// Small-but-busy workload: hot names and a 1 s TTL clamp so shards keep
+/// refreshing past warm-up, which is what drives traffic through the L2.
+ShardedConfig small_config() {
+  ShardedConfig config;
+  config.seed = 7;
+  config.clients = 5000;
+  config.qps = 3000;
+  config.duration = 2 * kSecond;
+  config.names = 40;
+  config.epoch = 50 * kMillisecond;
+  config.engine.max_ttl = 1;
+  return config;
+}
+
+TEST(ShardedEngine, LoadInvariantAcrossShardCounts) {
+  ShardedConfig config = small_config();
+  config.shards = 1;
+  const ShardedResult one = run_sharded(config);
+  config.shards = 4;
+  const ShardedResult four = run_sharded(config);
+
+  // Resharding only repartitions the one global schedule.
+  EXPECT_EQ(one.total_arrivals, four.total_arrivals);
+  EXPECT_EQ(one.load.sent, four.load.sent);
+  EXPECT_EQ(one.load.answered, four.load.answered);
+  EXPECT_EQ(one.engine.queries, four.engine.queries);
+  EXPECT_GT(four.engine.queries, 0u);
+  EXPECT_EQ(four.shards.size(), 4u);
+}
+
+TEST(ShardedEngine, RunToRunBitIdentical) {
+  ShardedConfig config = small_config();
+  config.shards = 4;
+  const ShardedResult first = run_sharded(config);
+  const ShardedResult second = run_sharded(config);
+
+  EXPECT_EQ(first.merged_digest, second.merged_digest);
+  ASSERT_EQ(first.shards.size(), second.shards.size());
+  for (std::size_t i = 0; i < first.shards.size(); ++i) {
+    EXPECT_EQ(first.shards[i].stream_digest, second.shards[i].stream_digest);
+    EXPECT_EQ(first.shards[i].events, second.shards[i].events);
+    EXPECT_EQ(first.shards[i].arrivals, second.shards[i].arrivals);
+  }
+  EXPECT_EQ(first.engine.cache_hits, second.engine.cache_hits);
+  EXPECT_EQ(first.engine.l2_hits, second.engine.l2_hits);
+  EXPECT_EQ(first.load.latency_ms, second.load.latency_ms);
+}
+
+TEST(ShardedEngine, MergedResultEqualsSumOfShards) {
+  ShardedConfig config = small_config();
+  config.shards = 4;
+  const ShardedResult result = run_sharded(config);
+
+  std::uint64_t queries = 0, hits = 0, sent = 0, answered = 0;
+  std::uint64_t arrivals = 0;
+  for (const ShardOutcome& shard : result.shards) {
+    queries += shard.engine.queries;
+    hits += shard.engine.cache_hits;
+    sent += shard.load.sent;
+    answered += shard.load.answered;
+    arrivals += shard.arrivals;
+  }
+  EXPECT_EQ(result.engine.queries, queries);
+  EXPECT_EQ(result.engine.cache_hits, hits);
+  EXPECT_EQ(result.load.sent, sent);
+  EXPECT_EQ(result.load.answered, answered);
+  EXPECT_EQ(result.total_arrivals, arrivals);
+  EXPECT_EQ(result.load.latency_ms.size(), result.load.answered);
+}
+
+TEST(ShardedEngine, SharedL2CarriesAnswersAcrossShards) {
+  ShardedConfig config = small_config();
+  config.shards = 4;
+  const ShardedResult result = run_sharded(config);
+
+  // Shards miss their L1 and find answers other shards resolved.
+  EXPECT_GT(result.engine.l2_lookups, 0u);
+  EXPECT_GT(result.engine.l2_hits, 0u);
+  EXPECT_EQ(result.l2.deferred_inserts, result.l2.applied_inserts);
+  EXPECT_EQ(result.l2.lock_misses, 0u);  // epoch-frozen table never contends
+
+  // Disabling the L2 (capacity 0) keeps the engines off that path entirely.
+  config.l2_capacity = 0;
+  const ShardedResult off = run_sharded(config);
+  EXPECT_EQ(off.engine.l2_lookups, 0u);
+  EXPECT_EQ(off.engine.l2_hits, 0u);
+  EXPECT_EQ(off.load.answered, result.load.answered);
+}
+
+TEST(ShardedEngine, ShardOfIsStableAndInRange) {
+  ShardedConfig config = small_config();
+  config.shards = 8;
+  for (std::uint32_t client = 0; client < 200; ++client) {
+    const net::IpAddress source = client_source(config, client);
+    const std::uint32_t shard = shard_of(config, source);
+    EXPECT_LT(shard, config.shards);
+    EXPECT_EQ(shard, shard_of(config, source));  // pure function
+  }
+}
+
+TEST(EngineStats, AddSumsCounters) {
+  EngineStats a;
+  a.queries = 10;
+  a.cache_hits = 4;
+  a.l2_hits = 2;
+  a.l2_lookups = 3;
+  a.coalesced = 1;
+  EngineStats b;
+  b.queries = 5;
+  b.cache_hits = 1;
+  b.l2_hits = 1;
+  b.l2_lookups = 2;
+  b.servfails_sent = 2;
+
+  a.add(b);
+  EXPECT_EQ(a.queries, 15u);
+  EXPECT_EQ(a.cache_hits, 5u);
+  EXPECT_EQ(a.l2_hits, 3u);
+  EXPECT_EQ(a.l2_lookups, 5u);
+  EXPECT_EQ(a.coalesced, 1u);
+  EXPECT_EQ(a.servfails_sent, 2u);
+}
+
+TEST(ScaleRateLimits, DividesBudgetsAcrossShards) {
+  policy::ChainConfig chain;
+  policy::RuleConfig limit;
+  limit.name = "shed";
+  limit.matcher = policy::MatcherKind::kRateLimit;
+  limit.rate_qps = 100;
+  limit.burst = 10;
+  limit.action = policy::ActionKind::kDrop;
+  policy::RuleConfig other;
+  other.name = "pass";
+  other.matcher = policy::MatcherKind::kAny;
+  chain.rules = {limit, other};
+
+  const policy::ChainConfig split = policy::scale_rate_limits(chain, 4);
+  EXPECT_EQ(split.rules[0].rate_qps, 25u);
+  EXPECT_EQ(split.rules[0].burst, 2u);
+  EXPECT_EQ(split.rules[1].rate_qps, 0u);  // non-limit rules untouched
+
+  // Floors at 1 qps so tiny budgets never collapse to "drop everything".
+  const policy::ChainConfig floor = policy::scale_rate_limits(chain, 1000);
+  EXPECT_EQ(floor.rules[0].rate_qps, 1u);
+  EXPECT_EQ(floor.rules[0].burst, 1u);
+
+  // Single shard: unchanged.
+  const policy::ChainConfig same = policy::scale_rate_limits(chain, 1);
+  EXPECT_EQ(same.rules[0].rate_qps, 100u);
+  EXPECT_EQ(same.rules[0].burst, 10u);
+}
+
+}  // namespace
+}  // namespace doxlab::engine

@@ -1,7 +1,9 @@
 #!/bin/sh
-# Tier-1 gate: build + run the full test suite twice — the regular
-# RelWithDebInfo build, then an ASan+UBSan instrumented build
-# (-DDOXLAB_SANITIZE=ON). Both must be green.
+# Tier-1 gate: build + run the full test suite three times — the regular
+# RelWithDebInfo build (plus the sharded-engine scaling smoke), an
+# ASan+UBSan instrumented build (-DDOXLAB_SANITIZE=ON), and a TSan build
+# (-DDOXLAB_TSAN=ON) that re-runs the cross-thread tests and a sharded
+# engine smoke under the race detector. All must be green.
 #
 # Usage: tools/check.sh [jobs]   (from the repository root)
 set -eu
@@ -13,10 +15,23 @@ echo "== regular build (${root}/build) =="
 cmake -B "$root/build" -S "$root" >/dev/null
 cmake --build "$root/build" -j "$jobs"
 ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+echo "== sharded engine scaling smoke =="
+"$root/build/bench/engine_scale" --smoke
 
 echo "== sanitizer build (${root}/build-sanitize, ASan+UBSan) =="
 cmake -B "$root/build-sanitize" -S "$root" -DDOXLAB_SANITIZE=ON >/dev/null
 cmake --build "$root/build-sanitize" -j "$jobs"
 ctest --test-dir "$root/build-sanitize" --output-on-failure -j "$jobs"
+
+echo "== race-detector build (${root}/build-tsan, TSan) =="
+cmake -B "$root/build-tsan" -S "$root" -DDOXLAB_TSAN=ON >/dev/null
+cmake --build "$root/build-tsan" -j "$jobs" --target \
+      util_test packet_cache_test sharded_engine_test runner_test doxperf
+"$root/build-tsan/tests/util_test" --gtest_filter='Buffer*:BufferPool*'
+"$root/build-tsan/tests/packet_cache_test"
+"$root/build-tsan/tests/sharded_engine_test"
+"$root/build-tsan/tests/runner_test"
+"$root/build-tsan/tools/doxperf" engine --shards=4 --clients=5000 \
+      --qps=3000 --seconds=2 >/dev/null
 
 echo "== all checks passed =="

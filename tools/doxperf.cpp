@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "engine/scenario.h"
+#include "engine/sharded.h"
 #include "measure/csv.h"
 #include "measure/report.h"
 #include "measure/single_query.h"
@@ -69,6 +70,15 @@ engine subcommand — forwarder-engine load run (doxperf engine ...):
   --no-coalesce      resolve each concurrent identical query upstream
   --no-stale         disable RFC 8767 serve-stale
   --kill-primary     take the primary upstream down mid-run
+
+sharded engine (doxperf engine --shards=N ...): one scenario partitioned
+across N shard worlds driven by the thread pool, clients source-hashed onto
+shards, per-shard L1 caches over one shared L2 packet cache:
+  --shards=N         shard count (default: unset — single-engine run above)
+  --threads=N        pool worker threads (default 0 = hardware threads)
+  --epoch-ms=N       epoch barrier interval for L2 sweeps (default 100)
+  --l2-capacity=N    shared packet-cache entries, 0 disables (default 65536)
+  --shard-csv=FILE   per-shard stats rows (deterministic columns only)
 
 abuse subcommand — engine load plus attack mixes shed by the policy chain
 (doxperf abuse ...): the engine flags above, and
@@ -127,9 +137,147 @@ int flag_int(int argc, char** argv, const char* name, int fallback) {
   return value.empty() ? fallback : std::atoi(value.c_str());
 }
 
+/// Per-shard stats rows. Only simulation-derived (deterministic) columns —
+/// no wall-clock timing — so two runs with the same seed and shard count
+/// produce bit-identical files (the engine_shards_determinism ctest).
+std::string shard_csv(const engine::ShardedResult& result) {
+  std::string out =
+      "shard,arrivals,sent,answered,servfails,timeouts,queries,cache_hits,"
+      "stale_hits,misses,coalesced,l2_hits,l2_lookups,upstream_resolves,"
+      "events,digest\n";
+  char line[512];
+  for (const auto& shard : result.shards) {
+    std::snprintf(
+        line, sizeof(line),
+        "%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%llu,%llu,%016llx\n",
+        shard.index, static_cast<unsigned long long>(shard.arrivals),
+        static_cast<unsigned long long>(shard.load.sent),
+        static_cast<unsigned long long>(shard.load.answered),
+        static_cast<unsigned long long>(shard.load.servfails),
+        static_cast<unsigned long long>(shard.load.timeouts),
+        static_cast<unsigned long long>(shard.engine.queries),
+        static_cast<unsigned long long>(shard.engine.cache_hits),
+        static_cast<unsigned long long>(shard.engine.stale_hits),
+        static_cast<unsigned long long>(shard.engine.misses),
+        static_cast<unsigned long long>(shard.engine.coalesced),
+        static_cast<unsigned long long>(shard.engine.l2_hits),
+        static_cast<unsigned long long>(shard.engine.l2_lookups),
+        static_cast<unsigned long long>(shard.engine.upstream_resolves),
+        static_cast<unsigned long long>(shard.events),
+        static_cast<unsigned long long>(shard.stream_digest));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "merged,,,,,,,,,,,,,,,%016llx\n",
+                static_cast<unsigned long long>(result.merged_digest));
+  out += line;
+  return out;
+}
+
+/// `doxperf engine --shards=N` — the sharded engine run.
+int run_engine_sharded(int argc, char** argv, std::uint32_t shards) {
+  engine::ShardedConfig config;
+  config.shards = shards;
+  config.seed = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--seed", "42").c_str()));
+  config.clients = static_cast<std::size_t>(
+      std::atoll(flag_value(argc, argv, "--clients", "1000000").c_str()));
+  config.qps = flag_int(argc, argv, "--qps", 20000);
+  config.duration = flag_int(argc, argv, "--seconds", 10) * kSecond;
+  config.names =
+      static_cast<std::size_t>(flag_int(argc, argv, "--names", 200));
+  config.threads = flag_int(argc, argv, "--threads", 0);
+  config.epoch = flag_int(argc, argv, "--epoch-ms", 100) * kMillisecond;
+  config.l2_capacity = static_cast<std::size_t>(
+      flag_int(argc, argv, "--l2-capacity", 1 << 16));
+  config.engine.coalesce = !flag_set(argc, argv, "--no-coalesce");
+  config.engine.serve_stale = !flag_set(argc, argv, "--no-stale");
+  config.engine.max_ttl = 1;
+
+  const auto result = engine::run_sharded(config);
+  const auto& e = result.engine;
+  const auto latency = result.load.latency_summary();
+  std::printf("sharded engine: %u shards, %zu clients, %.0f qps offered for "
+              "%llu s (seed %llu)\n",
+              config.shards, config.clients, config.qps,
+              static_cast<unsigned long long>(config.duration / kSecond),
+              static_cast<unsigned long long>(config.seed));
+  std::printf("  epoch %llu ms, %llu epochs, L2 capacity %zu, coalescing "
+              "%s\n",
+              static_cast<unsigned long long>(config.epoch / kMillisecond),
+              static_cast<unsigned long long>(result.epochs),
+              config.l2_capacity, config.engine.coalesce ? "on" : "off");
+  std::printf("\nthroughput     %9.0f qps critical-path (%.0f qps wall on "
+              "this host)\n",
+              result.effective_qps(), result.wall_qps());
+  std::printf("timing         wall %.1f ms  critical path %.1f ms  sweeps "
+              "%.2f ms\n",
+              result.wall_ms, result.critical_path_ms, result.sweep_ms);
+  std::printf("queries        %llu processed, %llu arrivals, %llu sim "
+              "events\n",
+              static_cast<unsigned long long>(e.queries),
+              static_cast<unsigned long long>(result.total_arrivals),
+              static_cast<unsigned long long>(
+                  [&] {
+                    std::uint64_t total = 0;
+                    for (const auto& s : result.shards) total += s.events;
+                    return total;
+                  }()));
+  std::printf("latency        p50 %.2f  p95 %.2f  p99 %.2f  max %.2f ms\n",
+              latency.median, latency.p95, latency.p99, latency.max);
+  std::printf("client side    answered %llu  servfail %llu  timeout %llu\n",
+              static_cast<unsigned long long>(result.load.answered),
+              static_cast<unsigned long long>(result.load.servfails),
+              static_cast<unsigned long long>(result.load.timeouts));
+  std::printf("L1 cache       hit %llu  stale %llu  miss %llu\n",
+              static_cast<unsigned long long>(e.cache_hits),
+              static_cast<unsigned long long>(e.stale_hits),
+              static_cast<unsigned long long>(e.misses));
+  std::printf("L2 cache       hit %llu / %llu lookups  deferred %llu  "
+              "applied %llu  lock-miss %llu  size %zu\n",
+              static_cast<unsigned long long>(result.l2.hits),
+              static_cast<unsigned long long>(result.l2.hits +
+                                              result.l2.misses),
+              static_cast<unsigned long long>(result.l2.deferred_inserts),
+              static_cast<unsigned long long>(result.l2.applied_inserts),
+              static_cast<unsigned long long>(result.l2.lock_misses),
+              result.l2.size);
+  std::printf("coalescing     joined %llu in-flight resolves\n",
+              static_cast<unsigned long long>(e.coalesced));
+  std::printf("upstream       resolves %llu  attempts %llu  servfails "
+              "%llu\n",
+              static_cast<unsigned long long>(e.upstream_resolves),
+              static_cast<unsigned long long>(e.upstream_attempts),
+              static_cast<unsigned long long>(e.servfails_sent));
+  std::printf("per shard      arrivals [");
+  for (const auto& shard : result.shards) {
+    std::printf("%s%llu", shard.index == 0 ? "" : " ",
+                static_cast<unsigned long long>(shard.arrivals));
+  }
+  std::printf("]  digest %016llx\n",
+              static_cast<unsigned long long>(result.merged_digest));
+  std::printf("               busy ms [");
+  for (const auto& shard : result.shards) {
+    std::printf("%s%.1f", shard.index == 0 ? "" : " ", shard.busy_ms);
+  }
+  std::printf("]\n");
+
+  const std::string csv_path = flag_value(argc, argv, "--shard-csv", "");
+  if (!csv_path.empty()) {
+    write_file(csv_path, shard_csv(result));
+    std::printf("shard report -> %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
 /// `doxperf engine` — run the forwarder engine under multi-client load and
 /// print its stats surface.
 int run_engine(int argc, char** argv) {
+  const int shards = flag_int(argc, argv, "--shards", 0);
+  if (shards > 0) {
+    return run_engine_sharded(argc, argv,
+                              static_cast<std::uint32_t>(shards));
+  }
   engine::ScenarioConfig config;
   config.seed = static_cast<std::uint64_t>(
       std::atoll(flag_value(argc, argv, "--seed", "42").c_str()));
