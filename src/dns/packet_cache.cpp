@@ -19,7 +19,10 @@ bool SharedPacketCache::lookup(std::uint32_t shard, const DnsName& name,
                                RRType type, SimTime now,
                                PacketCacheHit& out) {
   Lane& lane = lanes_[shard];
-  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  // Shared lock: concurrent lookups from other shards never exclude this
+  // one; only an exclusive holder (the barrier-time sweep) makes the
+  // try_lock fail.
+  std::shared_lock<std::shared_mutex> lock(mu_, std::try_to_lock);
   if (!lock.owns_lock()) {
     // Contended read: never wait. Count it and report a miss — the caller
     // falls through to its normal resolve path.
@@ -62,7 +65,7 @@ void SharedPacketCache::insert(std::uint32_t shard, const DnsName& name,
 }
 
 void SharedPacketCache::sweep(SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   // Merge lanes in shard-index order: the table's contents after a sweep
   // are a function of what each shard deferred, never of thread timing.
   for (Lane& lane : lanes_) {
@@ -94,7 +97,7 @@ void SharedPacketCache::sweep(SimTime now) {
 }
 
 SharedPacketCache::Stats SharedPacketCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   Stats s;
   for (const Lane& lane : lanes_) {
     s.hits += lane.hits;

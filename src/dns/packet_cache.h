@@ -7,21 +7,23 @@
 //
 //   * The bucket array is reserve()d once at construction and never rehashes,
 //     so lookups never pay a growth stall.
-//   * Readers take the table mutex with try_lock only. A contended read is
-//     *not* waited out — it is recorded (`lock_misses`) and reported as a
-//     cache miss, so the per-query hot path never blocks on a lock.
+//   * Readers take the table lock *shared*, and only with try_lock_shared:
+//     concurrent lookups from different shards never exclude each other. A
+//     reader that does find the lock held exclusively is *not* waited out —
+//     it is recorded (`lock_misses`) and reported as a cache miss, so the
+//     per-query hot path never blocks on a lock.
 //   * Writers never touch the table from the hot path at all: insert() parks
 //     the encoded answer on the inserting shard's private lane
 //     (`deferred_inserts`), and the coordinator merges all lanes into the
-//     table under the lock in sweep(), which runs at epoch barriers while no
-//     shard is executing.
+//     table under the exclusive lock in sweep(), which runs at epoch
+//     barriers while no shard is executing.
 //
-// This split is also what makes the sharded engine deterministic: during an
-// epoch the table is effectively read-only (sweep holds the only writer
-// path), so try_lock always succeeds and a lookup's outcome depends only on
-// simulated time and the previous epoch's merged state — never on how the OS
-// interleaved the shard threads. The contended-read fallback exists for
-// safety and is exercised by unit tests, not by the engine.
+// This split is also what makes the sharded engine deterministic: only
+// sweep() ever takes the lock exclusively, and it runs at barriers, so
+// mid-epoch try_lock_shared always succeeds and a lookup's outcome depends
+// only on simulated time and the previous epoch's merged state — never on
+// how the OS interleaved the shard threads. The contended-read fallback
+// exists for safety and is exercised by unit tests, not by the engine.
 //
 // Entries store the answer RRset encoded into a single pooled util::Buffer
 // that has been share()d (atomic refcount): a hit hands the reading shard a
@@ -31,6 +33,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -65,9 +68,10 @@ class SharedPacketCache {
   SharedPacketCache& operator=(const SharedPacketCache&) = delete;
 
   /// Hot-path read from shard `shard`. Returns true and fills `out` on a
-  /// fresh hit. A contended mutex (impossible mid-epoch, see header) or an
-  /// expired/absent entry reports false; expired entries are left for
-  /// sweep() to reap.
+  /// fresh hit. Readers lock shared, so they only contend with the
+  /// exclusive sweep (impossible mid-epoch, see header), never with each
+  /// other; a contended or expired/absent entry reports false, and expired
+  /// entries are left for sweep() to reap.
   bool lookup(std::uint32_t shard, const DnsName& name, RRType type,
               SimTime now, PacketCacheHit& out);
 
@@ -79,15 +83,15 @@ class SharedPacketCache {
 
   /// Epoch-barrier maintenance: merges every lane into the table in shard
   /// order (deterministic regardless of which threads ran the shards), then
-  /// reaps expired entries. Takes the mutex *blocking* — by contract nobody
-  /// else holds it here.
+  /// reaps expired entries. Takes the lock exclusively and *blocking* — by
+  /// contract nobody else holds it here.
   void sweep(SimTime now);
 
   /// Aggregated counters (lane counters summed in shard order).
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;        ///< includes lock_misses and expired
-    std::uint64_t lock_misses = 0;   ///< contended try_lock fallbacks
+    std::uint64_t lock_misses = 0;   ///< try_lock_shared-vs-exclusive fallbacks
     std::uint64_t deferred_inserts = 0;  ///< insert() calls parked on lanes
     std::uint64_t applied_inserts = 0;   ///< lane entries merged by sweep
     std::uint64_t replaced = 0;          ///< merges that overwrote a key
@@ -101,11 +105,15 @@ class SharedPacketCache {
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
 
-  /// Test hook: holds the table mutex so a unit test can force the
-  /// contended-read fallback deterministically (lookup from another thread
-  /// while the guard is live). Never used by the engine.
-  std::unique_lock<std::mutex> lock_for_testing() {
-    return std::unique_lock<std::mutex>(mu_);
+  /// Test hooks, never used by the engine: `lock_for_testing` holds the
+  /// table lock *exclusively* (as sweep does) so a unit test can force the
+  /// contended-read fallback deterministically; `lock_shared_for_testing`
+  /// holds it shared, proving readers never exclude each other.
+  std::unique_lock<std::shared_mutex> lock_for_testing() {
+    return std::unique_lock<std::shared_mutex>(mu_);
+  }
+  std::shared_lock<std::shared_mutex> lock_shared_for_testing() {
+    return std::shared_lock<std::shared_mutex>(mu_);
   }
 
   /// Encodes an RRset into one pooled buffer: u16 record count, then per
@@ -182,7 +190,9 @@ class SharedPacketCache {
 
   using Map = std::unordered_map<Key, Entry, KeyHash, KeyEq>;
 
-  mutable std::mutex mu_;  ///< guards entries_ and the sweep counters
+  /// Guards entries_ and the sweep counters: shared for lookups, exclusive
+  /// for the barrier-time sweep/stats.
+  mutable std::shared_mutex mu_;
   Map entries_;
   std::size_t capacity_;
   std::vector<Lane> lanes_;

@@ -113,8 +113,12 @@ struct LoadReport {
   std::uint64_t answered = 0;   ///< non-SERVFAIL responses
   std::uint64_t servfails = 0;  ///< client-visible SERVFAILs
   std::uint64_t timeouts = 0;   ///< gave up waiting
+  /// Arrivals dropped before sending (the sharded swarm's 16-bit
+  /// transaction-id space was exhausted); sent + shed == arrivals offered.
+  std::uint64_t shed = 0;
   std::vector<double> latency_ms;  ///< answered queries only
 
+  /// Every *sent* query reached a terminal outcome (shed never went out).
   bool complete() const { return answered + servfails + timeouts == sent; }
   stats::Summary latency_summary() const {
     return stats::Summary::of(latency_ms);

@@ -1,5 +1,7 @@
 #include "engine/shard.h"
 
+#include <algorithm>
+#include <bit>
 #include <string>
 
 #include "dns/message.h"
@@ -51,8 +53,20 @@ EngineShard::EngineShard(const ShardedConfig& config, std::uint32_t index,
   tcp_ = std::make_unique<tcp::TcpStack>(*host_);
 
   // Client sources live in their own prefix; answers to spoofed sources
-  // must route back to this host's swarm socket.
-  network_->add_prefix_route(config.client_base, 16, host_->address());
+  // must route back to this host's swarm socket. Cover the whole source
+  // range [base, base + span - 1] with the narrowest containing prefix —
+  // a hardcoded length would blackhole replies whenever client_span
+  // outgrows it. Exact host addresses win over prefix routes in
+  // Network::route_host, so a wide cover cannot hijack engine or upstream
+  // traffic.
+  const std::uint32_t base = config.client_base.value();
+  const std::uint64_t last_wide =
+      std::uint64_t{base} + std::max<std::uint32_t>(1, config.client_span) - 1;
+  const auto last = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(last_wide, 0xFFFFFFFFull));
+  network_->add_prefix_route(config.client_base,
+                             32 - std::bit_width(base ^ last),
+                             host_->address());
 
   std::vector<UpstreamConfig> upstreams;
   for (std::size_t i = 0; i < config.upstream_one_way.size(); ++i) {
@@ -86,11 +100,12 @@ EngineShard::EngineShard(const ShardedConfig& config, std::uint32_t index,
   EngineConfig engine_config = config.engine;
   engine_config.l2 = l2;
   engine_config.shard_index = index;
-  // Per-shard chain instances can't share limiter state, so each shard
-  // polices an even split of the configured budgets.
-  engine_config.policy =
-      policy::scale_rate_limits(std::move(engine_config.policy),
-                                config.shards);
+  // Per-shard chain instances can't share limiter state. Address-keyed
+  // (/32) budgets are already shard-local — the source hash sends one
+  // address's traffic to one shard — and coarser budgets are sliced
+  // exactly across shards (see policy::scale_rate_limits).
+  engine_config.policy = policy::scale_rate_limits(
+      std::move(engine_config.policy), config.shards, index);
   engine_ = std::make_unique<ForwarderEngine>(sim_, *udp_, deps,
                                               std::move(upstreams),
                                               engine_config);
@@ -123,7 +138,12 @@ void EngineShard::send_query(std::uint32_t client, std::uint32_t name_index) {
   std::uint16_t id = next_id_;
   while (pending_.find(id) != pending_.end()) {
     if (++id == 0) id = 1;
-    if (id == next_id_) return;  // 65535 in flight: shed this arrival
+    if (id == next_id_) {
+      // 65535 in flight: shed this arrival. Counted so the load report
+      // reconciles — sent + shed == arrivals scheduled.
+      ++report_.shed;
+      return;
+    }
   }
   next_id_ = static_cast<std::uint16_t>(id + 1);
   if (next_id_ == 0) next_id_ = 1;

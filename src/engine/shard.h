@@ -56,11 +56,14 @@ struct ShardedConfig {
   double zipf_exponent = 1.0;
   SimTime client_timeout = 8 * kSecond;
   /// Client source addressing (mirrors LoadConfig): client i sends from
-  /// `client_base + splitmix64(seed, i) % client_span`.
+  /// `client_base + splitmix64(seed, i) % client_span`. Each shard routes
+  /// the narrowest prefix covering the whole span back to its swarm
+  /// socket, so any span fits.
   net::IpAddress client_base = net::IpAddress::from_octets(10, 50, 0, 0);
   std::uint32_t client_span = 1 << 16;
   /// Per-shard engine template; `l2` and `shard_index` are stamped per
-  /// shard, and rate-limit budgets are divided by the shard count.
+  /// shard, and rate-limit budgets are sliced across shards
+  /// (policy::scale_rate_limits — /32-keyed rules keep the full budget).
   EngineConfig engine;
   std::vector<SimTime> upstream_one_way = {from_ms(25), from_ms(40),
                                            from_ms(60)};

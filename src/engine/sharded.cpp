@@ -163,6 +163,7 @@ ShardedResult run_sharded(const ShardedConfig& config) {
     result.load.answered += outcome.load.answered;
     result.load.servfails += outcome.load.servfails;
     result.load.timeouts += outcome.load.timeouts;
+    result.load.shed += outcome.load.shed;
     result.load.latency_ms.insert(result.load.latency_ms.end(),
                                   outcome.load.latency_ms.begin(),
                                   outcome.load.latency_ms.end());

@@ -13,8 +13,10 @@
 //   barrier:  SharedPacketCache::sweep merges the shards' deferred
 //             L2 inserts and reaps expired entries            (serial)
 //
-// Between barriers the L2 table is read-only, so the shards' try-lock
-// lookups always succeed and every per-shard event stream is a pure
+// Between barriers the L2 table is read-only and lookups lock it *shared*
+// (readers never exclude each other; only the barrier-time sweep locks
+// exclusively), so the try-locks always succeed and every per-shard event
+// stream is a pure
 // function of (seed, shard index, epoch state) — bit-identical run to run
 // regardless of how the OS schedules the worker threads. That is the
 // determinism contract the engine_shards ctests pin via the simulator's

@@ -54,8 +54,13 @@ SubnetRateLimiter::SubnetRateLimiter(std::uint32_t rate_per_s,
     : rate_(rate_per_s),
       burst_(burst == 0 ? 2 * rate_per_s : burst),
       prefix_len_(prefix_len) {
-  if (rate_per_s == 0) {
-    throw std::invalid_argument("rate limiter needs a positive rate");
+  // Rate 0 with a positive burst is a refill-free bucket (the zero-share
+  // shard case of scale_rate_limits): the subnet spends its burst
+  // allowance, then everything is over limit. Both zero would shed every
+  // query unconditionally — reject that as a config typo.
+  if (rate_per_s == 0 && burst_ == 0) {
+    throw std::invalid_argument(
+        "rate limiter needs a positive rate or burst");
   }
   if (prefix_len < 0 || prefix_len > 32) {
     throw std::invalid_argument("rate limiter prefix out of range");
@@ -238,16 +243,31 @@ std::string policy_csv(const std::vector<RuleStats>& rules) {
   return out;
 }
 
-ChainConfig scale_rate_limits(ChainConfig chain, std::uint32_t shards) {
+ChainConfig scale_rate_limits(ChainConfig chain, std::uint32_t shards,
+                              std::uint32_t shard_index) {
   if (shards <= 1) return chain;
+  // Shard `shard_index`'s slice of an integer budget: floor share plus one
+  // of the remainder tokens, so the slices sum exactly to the configured
+  // value — no min-1 floor that would inflate the aggregate when shards
+  // outnumber the budget.
+  const auto slice = [shards, shard_index](std::uint32_t value) {
+    return value / shards + (shard_index < value % shards ? 1u : 0u);
+  };
   for (RuleConfig& rule : chain.rules) {
     if (rule.matcher != MatcherKind::kRateLimit) continue;
-    if (rule.rate_qps > 0) {
-      rule.rate_qps = std::max<std::uint32_t>(1, rule.rate_qps / shards);
-    }
-    if (rule.burst > 0) {
-      rule.burst = std::max<std::uint32_t>(1, rule.burst / shards);
-    }
+    // Clients are hashed onto shards by their full /32 source address, so
+    // an address-keyed bucket's traffic all lands on one shard: that
+    // shard's limiter already enforces exactly the configured budget.
+    if (rule.subnet_prefix_len >= 32) continue;
+    // Materialize the burst default (2x rate) against the *aggregate* rate
+    // before slicing, so the default does not re-expand per shard.
+    const std::uint32_t burst =
+        rule.burst == 0 ? 2 * rule.rate_qps : rule.burst;
+    rule.rate_qps = slice(rule.rate_qps);
+    // Every shard keeps at least one burst token so its limiter stays
+    // constructible and a subnet's first packet on a zero-share shard is
+    // not dropped outright.
+    rule.burst = std::max<std::uint32_t>(1, slice(burst));
   }
   return chain;
 }

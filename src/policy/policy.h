@@ -134,7 +134,9 @@ class TokenBucket {
 };
 
 /// Per-client-subnet QPS limiter: clients are masked to `prefix_len` and
-/// each subnet gets its own token bucket. Buckets live in a fixed-size
+/// each subnet gets its own token bucket (rate 0 with a positive burst is
+/// a refill-free bucket: the burst allowance, then always over limit).
+/// Buckets live in a fixed-size
 /// direct-mapped table (no allocation after construction): a hash collision
 /// evicts the cold slot and starts the newcomer with a full bucket — a
 /// bounded-memory trade real rate limiters make; with the default 4096
@@ -220,15 +222,21 @@ struct ChainConfig {
   bool empty() const { return rules.empty(); }
 };
 
-/// Divides every rate-limit rule's budget by `shards` (floor, min 1 qps)
-/// for per-shard chain instances. The sharded engine gives each shard its
-/// own compiled chain — limiter state is not shared across threads — so a
-/// global budget is approximated by splitting it evenly. This over-sheds
-/// subnets whose traffic concentrates on one shard and under-sheds subnets
-/// spread across many; with source-hashed sharding a /24's clients land on
-/// many shards, so the aggregate budget stays within ~1 shard's slice of
-/// the configured rate (documented in DESIGN.md §10).
-ChainConfig scale_rate_limits(ChainConfig chain, std::uint32_t shards);
+/// Slices every rate-limit rule's budget for shard `shard_index` of
+/// `shards` per-shard chain instances (the sharded engine gives each shard
+/// its own compiled chain — limiter state is not shared across threads).
+/// Rules keyed at /32 — the granularity clients are source-hashed onto
+/// shards with — are left untouched: one address's traffic lands wholly on
+/// one shard, so that shard's bucket already enforces exactly the
+/// configured budget. Coarser-prefix rules spread a subnet's clients
+/// across shards, so their budgets are split *exactly*: floor share plus
+/// one remainder token for the first `rate % shards` shards, summing to
+/// the configured rate (a zero-share shard keeps a refill-free bucket that
+/// sheds everything past its burst slice). The split is still an
+/// approximation for skewed subnets whose traffic concentrates on few
+/// shards — those get over-shed, as documented in DESIGN.md §10.
+ChainConfig scale_rate_limits(ChainConfig chain, std::uint32_t shards,
+                              std::uint32_t shard_index);
 
 /// Everything a matcher may look at. Views borrow from the caller's
 /// already-decoded query — evaluation never copies.
@@ -273,7 +281,7 @@ class RuleChain {
   /// Compiles `config`. `pool_names` maps named pools to indices for
   /// kRoutePool resolution. Throws std::invalid_argument on malformed
   /// netmasks/suffixes, unknown pool names, negated rate limits, or a
-  /// zero-rate limiter.
+  /// zero-rate zero-burst limiter.
   RuleChain(const ChainConfig& config,
             const std::vector<std::string>& pool_names);
 

@@ -55,6 +55,20 @@ void ThreadPool::parallel_for(std::size_t count,
   }
   wake_cv_.notify_all();
 
+  // The calling thread participates: drain queued tasks alongside the
+  // workers until none are left, then sleep out the stragglers still
+  // running on workers. With a single-worker pool this is what keeps two
+  // interdependent tasks from serializing onto one thread.
+  Task task;
+  while (batch.remaining.load(std::memory_order_acquire) > 0 &&
+         try_steal_task(task)) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      --queued_;
+    }
+    run_task(task);
+  }
+
   std::unique_lock<std::mutex> lock(batch.done_mutex);
   batch.done_cv.wait(lock, [&] {
     return batch.remaining.load(std::memory_order_acquire) == 0;
@@ -80,6 +94,21 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       run_task(task);
     }
   }
+}
+
+bool ThreadPool::try_steal_task(Task& out) {
+  // The caller owns no deque, so it robs every queue from the front, the
+  // same FIFO discipline worker-to-worker steals use.
+  for (auto& queue_ptr : queues_) {
+    WorkerQueue& queue = *queue_ptr;
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (!queue.tasks.empty()) {
+      out = queue.tasks.front();
+      queue.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
 }
 
 bool ThreadPool::try_get_task(std::size_t self, Task& out) {

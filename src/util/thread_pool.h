@@ -34,9 +34,11 @@ class ThreadPool {
   std::size_t thread_count() const { return workers_.size(); }
 
   /// Runs fn(0) .. fn(count-1) across the pool and waits for all of them.
-  /// The calling thread participates. If any invocation throws, the first
-  /// exception (by completion order) is rethrown after every task finished
-  /// or was abandoned; remaining queued tasks still run.
+  /// The calling thread participates: it drains queued tasks alongside the
+  /// workers and only sleeps once every task has been picked up. If any
+  /// invocation throws, the first exception (by completion order) is
+  /// rethrown after every task finished or was abandoned; remaining queued
+  /// tasks still run.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
@@ -58,6 +60,9 @@ class ThreadPool {
   /// Pops from own back, then steals from other fronts. Returns false when
   /// no work is available anywhere.
   bool try_get_task(std::size_t self, Task& out);
+  /// Steal for a thread without a queue of its own (the parallel_for
+  /// caller): robs every queue front-first.
+  bool try_steal_task(Task& out);
   static void run_task(const Task& task);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;

@@ -185,6 +185,32 @@ TEST(SharedPacketCache, ContendedTryLockFallsBackToMiss) {
   EXPECT_TRUE(cache.lookup(0, name, RRType::kA, 0, hit));
 }
 
+TEST(SharedPacketCache, SharedReadersDoNotExcludeEachOther) {
+  SharedPacketCache cache(64, 2);
+  const DnsName name = DnsName::parse("shared.example.com");
+  cache.insert(0, name, RRType::kA,
+               std::vector<ResourceRecord>{make_a(name, 60, 1)}, 0);
+  cache.sweep(0);
+
+  // While one reader holds the lock shared, another shard's lookup must
+  // still hit: readers contend only with the (barrier-time) exclusive
+  // sweep, never with each other — L2 hit/miss outcomes cannot depend on
+  // how the OS scheduled concurrent lookups.
+  bool found = false;
+  {
+    auto guard = cache.lock_shared_for_testing();
+    std::thread reader([&] {
+      PacketCacheHit hit;
+      found = cache.lookup(1, name, RRType::kA, 0, hit);
+    });
+    reader.join();
+  }
+  EXPECT_TRUE(found);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lock_misses, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
 TEST(SharedPacketCache, ConcurrentShardReadersAndLaneWriters) {
   // One thread per shard doing interleaved lookups and lane inserts while
   // the table is epoch-frozen — the exact engine contract. Run under TSan

@@ -99,6 +99,17 @@ TEST(SubnetRateLimiter, RejectsDegenerateConfig) {
   EXPECT_THROW(SubnetRateLimiter(10, 0, 40), std::invalid_argument);
 }
 
+TEST(SubnetRateLimiter, ZeroRateWithBurstNeverRefills) {
+  // The zero-share shard case of scale_rate_limits: the subnet gets its
+  // burst allowance once, then every query is over limit — forever.
+  SubnetRateLimiter limiter(0, 2, 24);
+  const IpAddress a = IpAddress::from_octets(10, 0, 0, 1);
+  EXPECT_FALSE(limiter.over_limit(a, 0));
+  EXPECT_FALSE(limiter.over_limit(a, 0));
+  EXPECT_TRUE(limiter.over_limit(a, 0));
+  EXPECT_TRUE(limiter.over_limit(a, 100 * kSecond));
+}
+
 // ---------------------------------------------------------------------------
 // RuleChain
 

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "measure/csv.h"
@@ -57,6 +58,20 @@ TEST(ThreadPool, PropagatesFirstException) {
       std::runtime_error);
   // Every non-throwing task still ran before the rethrow.
   EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, CallerParticipatesInDraining) {
+  // One worker + the participating caller = two executors. Two tasks that
+  // each wait for the other to start can only both finish if the calling
+  // thread really drains a task instead of idling on the completion CV —
+  // with a caller that only waits, this test would hang.
+  util::ThreadPool pool(1);
+  std::atomic<int> arrived{0};
+  pool.parallel_for(2, [&](std::size_t) {
+    arrived.fetch_add(1);
+    while (arrived.load() < 2) std::this_thread::yield();
+  });
+  EXPECT_EQ(arrived.load(), 2);
 }
 
 TEST(ThreadPool, ZeroCountIsNoop) {

@@ -65,20 +65,39 @@ TEST(ShardedEngine, MergedResultEqualsSumOfShards) {
   const ShardedResult result = run_sharded(config);
 
   std::uint64_t queries = 0, hits = 0, sent = 0, answered = 0;
-  std::uint64_t arrivals = 0;
+  std::uint64_t arrivals = 0, shed = 0;
   for (const ShardOutcome& shard : result.shards) {
     queries += shard.engine.queries;
     hits += shard.engine.cache_hits;
     sent += shard.load.sent;
     answered += shard.load.answered;
     arrivals += shard.arrivals;
+    shed += shard.load.shed;
+    // Per shard, every scheduled arrival was either sent or shed.
+    EXPECT_EQ(shard.load.sent + shard.load.shed, shard.arrivals);
   }
   EXPECT_EQ(result.engine.queries, queries);
   EXPECT_EQ(result.engine.cache_hits, hits);
   EXPECT_EQ(result.load.sent, sent);
   EXPECT_EQ(result.load.answered, answered);
   EXPECT_EQ(result.total_arrivals, arrivals);
+  EXPECT_EQ(result.load.shed, shed);
+  // The merged report reconciles with the offered load.
+  EXPECT_EQ(result.load.sent + result.load.shed, result.total_arrivals);
   EXPECT_EQ(result.load.latency_ms.size(), result.load.answered);
+}
+
+TEST(ShardedEngine, WideClientSpanStillRoutesReplies) {
+  // The client prefix route is derived from client_span; a span wider than
+  // the old hardcoded /16 must not blackhole replies to the high sources.
+  ShardedConfig config = small_config();
+  config.shards = 2;
+  config.client_span = 1u << 20;
+  const ShardedResult result = run_sharded(config);
+
+  EXPECT_GT(result.load.sent, 0u);
+  EXPECT_EQ(result.load.timeouts, 0u);  // a blackholed reply times out
+  EXPECT_EQ(result.load.answered + result.load.servfails, result.load.sent);
 }
 
 TEST(ShardedEngine, SharedL2CarriesAnswersAcrossShards) {
@@ -134,33 +153,70 @@ TEST(EngineStats, AddSumsCounters) {
   EXPECT_EQ(a.servfails_sent, 2u);
 }
 
-TEST(ScaleRateLimits, DividesBudgetsAcrossShards) {
+TEST(ScaleRateLimits, SlicesCoarseBudgetsExactlyAcrossShards) {
   policy::ChainConfig chain;
   policy::RuleConfig limit;
   limit.name = "shed";
   limit.matcher = policy::MatcherKind::kRateLimit;
   limit.rate_qps = 100;
   limit.burst = 10;
+  limit.subnet_prefix_len = 24;  // coarser than the /32 shard hash
   limit.action = policy::ActionKind::kDrop;
   policy::RuleConfig other;
   other.name = "pass";
   other.matcher = policy::MatcherKind::kAny;
   chain.rules = {limit, other};
 
-  const policy::ChainConfig split = policy::scale_rate_limits(chain, 4);
-  EXPECT_EQ(split.rules[0].rate_qps, 25u);
-  EXPECT_EQ(split.rules[0].burst, 2u);
-  EXPECT_EQ(split.rules[1].rate_qps, 0u);  // non-limit rules untouched
+  // The per-shard slices must sum exactly to the configured budget — the
+  // aggregate a /24's clients see when spread across every shard.
+  std::uint32_t total_rate = 0, total_burst = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const policy::ChainConfig split = policy::scale_rate_limits(chain, 4, i);
+    EXPECT_EQ(split.rules[0].rate_qps, 25u);
+    EXPECT_EQ(split.rules[1].rate_qps, 0u);  // non-limit rules untouched
+    total_rate += split.rules[0].rate_qps;
+    total_burst += split.rules[0].burst;
+  }
+  EXPECT_EQ(total_rate, 100u);
+  EXPECT_EQ(total_burst, 10u);
 
-  // Floors at 1 qps so tiny budgets never collapse to "drop everything".
-  const policy::ChainConfig floor = policy::scale_rate_limits(chain, 1000);
-  EXPECT_EQ(floor.rules[0].rate_qps, 1u);
-  EXPECT_EQ(floor.rules[0].burst, 1u);
+  // More shards than qps: remainder distribution, no min-1 floor blowing
+  // the aggregate up to one qps *per shard* — zero-share shards keep a
+  // refill-free bucket (burst tokens only).
+  std::uint32_t sparse_rate = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const policy::ChainConfig slice =
+        policy::scale_rate_limits(chain, 1000, i);
+    sparse_rate += slice.rules[0].rate_qps;
+    EXPECT_GE(slice.rules[0].burst, 1u);  // limiter stays constructible
+  }
+  EXPECT_EQ(sparse_rate, 100u);
 
   // Single shard: unchanged.
-  const policy::ChainConfig same = policy::scale_rate_limits(chain, 1);
+  const policy::ChainConfig same = policy::scale_rate_limits(chain, 1, 0);
   EXPECT_EQ(same.rules[0].rate_qps, 100u);
   EXPECT_EQ(same.rules[0].burst, 10u);
+}
+
+TEST(ScaleRateLimits, AddressKeyedBudgetsAreNotDivided) {
+  // Shards are source-hashed on the full /32 address, so a /32-keyed
+  // bucket's traffic lands wholly on one shard: slicing its budget would
+  // enforce rate/N — N times stricter than configured. The full budget
+  // must survive on every shard.
+  policy::ChainConfig chain;
+  policy::RuleConfig limit;
+  limit.matcher = policy::MatcherKind::kRateLimit;
+  limit.rate_qps = 100;
+  limit.burst = 10;
+  limit.subnet_prefix_len = 32;
+  limit.action = policy::ActionKind::kDrop;
+  chain.rules = {limit};
+
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const policy::ChainConfig split = policy::scale_rate_limits(chain, 8, i);
+    EXPECT_EQ(split.rules[0].rate_qps, 100u);
+    EXPECT_EQ(split.rules[0].burst, 10u);
+  }
 }
 
 }  // namespace

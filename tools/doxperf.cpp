@@ -142,20 +142,21 @@ int flag_int(int argc, char** argv, const char* name, int fallback) {
 /// produce bit-identical files (the engine_shards_determinism ctest).
 std::string shard_csv(const engine::ShardedResult& result) {
   std::string out =
-      "shard,arrivals,sent,answered,servfails,timeouts,queries,cache_hits,"
-      "stale_hits,misses,coalesced,l2_hits,l2_lookups,upstream_resolves,"
-      "events,digest\n";
+      "shard,arrivals,sent,answered,servfails,timeouts,shed,queries,"
+      "cache_hits,stale_hits,misses,coalesced,l2_hits,l2_lookups,"
+      "upstream_resolves,events,digest\n";
   char line[512];
   for (const auto& shard : result.shards) {
     std::snprintf(
         line, sizeof(line),
         "%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-        "%llu,%llu,%016llx\n",
+        "%llu,%llu,%llu,%016llx\n",
         shard.index, static_cast<unsigned long long>(shard.arrivals),
         static_cast<unsigned long long>(shard.load.sent),
         static_cast<unsigned long long>(shard.load.answered),
         static_cast<unsigned long long>(shard.load.servfails),
         static_cast<unsigned long long>(shard.load.timeouts),
+        static_cast<unsigned long long>(shard.load.shed),
         static_cast<unsigned long long>(shard.engine.queries),
         static_cast<unsigned long long>(shard.engine.cache_hits),
         static_cast<unsigned long long>(shard.engine.stale_hits),
@@ -168,7 +169,7 @@ std::string shard_csv(const engine::ShardedResult& result) {
         static_cast<unsigned long long>(shard.stream_digest));
     out += line;
   }
-  std::snprintf(line, sizeof(line), "merged,,,,,,,,,,,,,,,%016llx\n",
+  std::snprintf(line, sizeof(line), "merged,,,,,,,,,,,,,,,,%016llx\n",
                 static_cast<unsigned long long>(result.merged_digest));
   out += line;
   return out;
@@ -225,10 +226,12 @@ int run_engine_sharded(int argc, char** argv, std::uint32_t shards) {
                   }()));
   std::printf("latency        p50 %.2f  p95 %.2f  p99 %.2f  max %.2f ms\n",
               latency.median, latency.p95, latency.p99, latency.max);
-  std::printf("client side    answered %llu  servfail %llu  timeout %llu\n",
+  std::printf("client side    answered %llu  servfail %llu  timeout %llu  "
+              "shed %llu\n",
               static_cast<unsigned long long>(result.load.answered),
               static_cast<unsigned long long>(result.load.servfails),
-              static_cast<unsigned long long>(result.load.timeouts));
+              static_cast<unsigned long long>(result.load.timeouts),
+              static_cast<unsigned long long>(result.load.shed));
   std::printf("L1 cache       hit %llu  stale %llu  miss %llu\n",
               static_cast<unsigned long long>(e.cache_hits),
               static_cast<unsigned long long>(e.stale_hits),
