@@ -18,6 +18,11 @@
 //   * the cached L1 fast path still performs zero heap allocations per
 //     query with the shared L2 attached.
 //
+// A second sweep re-runs the scenario with the raw-wire cache enabled at
+// delivery-batch windows of 0/50/200 us and pins the answered totals and
+// summed per-query outcome digests across windows: batching may reshape the
+// event schedule but must not change any query's outcome.
+//
 // Writes BENCH_engine_scale.json with --json. Usage:
 //   engine_scale [--seed=N] [--clients=N] [--qps=N] [--seconds=N]
 //                [--json] [--smoke]
@@ -141,8 +146,10 @@ struct ScaleRow {
   std::uint64_t queries = 0;
   std::uint64_t answered = 0;
   std::uint64_t l2_hits = 0;
+  std::uint64_t wire_hits = 0;
   std::uint64_t lock_misses = 0;
   std::uint64_t digest = 0;
+  std::uint64_t outcome_digest = 0;
   double p99_ms = 0.0;
 
   /// Within-run speedup: how much shorter the critical path is than
@@ -166,8 +173,10 @@ ScaleRow run_once(const engine::ShardedConfig& config) {
   row.queries = result.engine.queries;
   row.answered = result.load.answered;
   row.l2_hits = result.engine.l2_hits;
+  row.wire_hits = result.engine.wire_hits;
   row.lock_misses = result.l2.lock_misses;
   row.digest = result.merged_digest;
+  row.outcome_digest = result.outcome_digest;
   row.p99_ms = result.load.latency_summary().p99;
   for (const auto& shard : result.shards) row.busy_sum_ms += shard.busy_ms;
   row.busy_sum_ms += result.sweep_ms;  // serial work serializes either way
@@ -236,11 +245,70 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(row.lock_misses));
   }
 
+  // Batch-window sweep: the same scenario with the wire cache on, across
+  // delivery-batching windows. Batching only reshapes the event schedule —
+  // it must not change any individual query's outcome — so for every shard
+  // count the answered total and the commutative per-query outcome digest
+  // are pinned across windows.
+  const std::vector<std::uint32_t> batch_counts =
+      smoke ? std::vector<std::uint32_t>{1, 4}
+            : std::vector<std::uint32_t>{1, 2, 4, 8};
+  const std::vector<std::uint64_t> windows =
+      smoke ? std::vector<std::uint64_t>{0, 200}
+            : std::vector<std::uint64_t>{0, 50, 200};
+  struct BatchRow {
+    std::uint32_t shards = 0;
+    std::uint64_t window_us = 0;
+    ScaleRow row;
+  };
+  std::vector<BatchRow> batch_rows;
+  for (std::uint32_t n : batch_counts) {
+    for (std::uint64_t w : windows) {
+      engine::ShardedConfig config = base;
+      config.shards = n;
+      config.batch_window = static_cast<SimTime>(w) * kMicrosecond;
+      config.engine.wire_cache_capacity = 4096;
+      batch_rows.push_back({n, w, run_once(config)});
+    }
+  }
+
+  std::printf("\nbatch sweep (wire cache on, %zu-entry):\n", std::size_t{4096});
+  std::printf("%7s %9s %14s %12s %10s %10s  %s\n", "shards", "batch us",
+              "critical qps", "wall qps", "wire hits", "answered",
+              "outcome digest");
+  for (const BatchRow& b : batch_rows) {
+    std::printf("%7u %9llu %14.0f %12.0f %10llu %10llu  %016llx\n", b.shards,
+                static_cast<unsigned long long>(b.window_us),
+                b.row.effective_qps, b.row.wall_qps,
+                static_cast<unsigned long long>(b.row.wire_hits),
+                static_cast<unsigned long long>(b.row.answered),
+                static_cast<unsigned long long>(b.row.outcome_digest));
+  }
+
   const double allocs = measure_cached_allocs_with_l2(smoke ? 1000 : 4000);
   std::printf("\ncached-query heap allocations with L2 attached: %.4f\n",
               allocs);
 
   bool ok = true;
+  bool batch_invariant = true;
+  for (std::size_t i = 0; i < batch_rows.size(); ++i) {
+    const BatchRow& b = batch_rows[i];
+    const BatchRow& zero = batch_rows[i - i % windows.size()];
+    if (b.row.answered != zero.row.answered ||
+        b.row.outcome_digest != zero.row.outcome_digest) {
+      std::fprintf(stderr,
+                   "FAIL: batching changed outcomes at %u shards "
+                   "(window %llu us: %llu answered digest %016llx vs "
+                   "%llu answered digest %016llx)\n",
+                   b.shards, static_cast<unsigned long long>(b.window_us),
+                   static_cast<unsigned long long>(b.row.answered),
+                   static_cast<unsigned long long>(b.row.outcome_digest),
+                   static_cast<unsigned long long>(zero.row.answered),
+                   static_cast<unsigned long long>(zero.row.outcome_digest));
+      batch_invariant = false;
+      ok = false;
+    }
+  }
   for (const ScaleRow& row : rows) {
     if (row.queries != rows.front().queries ||
         row.answered != rows.front().answered) {
@@ -288,9 +356,21 @@ int main(int argc, char** argv) {
                       static_cast<double>(row.lock_misses));
       reporter.metric(bench, "p99_ms", row.p99_ms);
     }
+    for (const BatchRow& b : batch_rows) {
+      const std::string bench = "batch_N" + std::to_string(b.shards) + "_w" +
+                                std::to_string(b.window_us);
+      reporter.metric(bench, "critical_path_qps", b.row.effective_qps);
+      reporter.metric(bench, "wall_qps", b.row.wall_qps);
+      reporter.metric(bench, "answered", static_cast<double>(b.row.answered));
+      reporter.metric(bench, "wire_hits",
+                      static_cast<double>(b.row.wire_hits));
+      reporter.metric(bench, "p99_ms", b.row.p99_ms);
+    }
     reporter.metric("invariants", "cached_allocs_with_l2", allocs);
     reporter.metric("invariants", "rerun_digest_match",
                     deterministic ? 1.0 : 0.0);
+    reporter.metric("invariants", "batch_outcome_match",
+                    batch_invariant ? 1.0 : 0.0);
     const char* path = "BENCH_engine_scale.json";
     if (reporter.write_file(path)) {
       std::printf("\nbaseline -> %s\n", path);

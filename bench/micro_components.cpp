@@ -28,6 +28,7 @@
 
 #include "bench_util.h"
 #include "dns/message.h"
+#include "dns/wire_cache.h"
 #include "engine/engine.h"
 #include "h2/hpack.h"
 #include "legacy_dns.h"
@@ -524,10 +525,53 @@ BytePathSample measure_dot_frame_pooled(int trials) {
   });
 }
 
+/// The engine's Message-path cached answer, componentized: decode the query
+/// into scratch, rebuild the response in scratch (id echo + record copies),
+/// re-encode into a pooled buffer. This is the per-hit work the wire cache
+/// eliminates, with the same fixture on both sides.
+BytePathSample measure_message_cached(int trials) {
+  DoudpMessages m;
+  const std::vector<std::uint8_t> query_wire = m.query.encode();
+  dns::Message scratch_q, scratch_r;
+  return measure_ops(trials, [&] {
+    dns::Message::decode_into(query_wire, scratch_q);
+    scratch_r.id = scratch_q.id;
+    scratch_r.qr = true;
+    scratch_r.ra = true;
+    scratch_r.rcode = dns::RCode::kNoError;
+    scratch_r.questions = scratch_q.questions;
+    scratch_r.answers = m.response.answers;  // the cached records
+    scratch_r.authorities.clear();
+    scratch_r.additionals.clear();
+    util::Buffer out = scratch_r.encode_buffer();
+    benchmark::DoNotOptimize(out.size());
+  });
+}
+
+/// The raw-wire fast path for the same exchange: normalized-hash probe plus
+/// copy-and-patch materialize — no Message anywhere.
+BytePathSample measure_wire_cached(int trials) {
+  DoudpMessages m;
+  dns::WireCache cache({});
+  const std::vector<std::uint8_t> query_wire = m.query.encode();
+  if (!cache.insert(query_wire, m.response.encode(), 0)) {
+    std::fprintf(stderr, "wire-cache fixture refused the insert\n");
+    std::abort();
+  }
+  return measure_ops(trials, [&] {
+    dns::WireCache::Hit hit;
+    if (!cache.probe(query_wire, kSecond, hit)) std::abort();
+    util::Buffer out = cache.materialize(hit, query_wire);
+    benchmark::DoNotOptimize(out.size());
+  });
+}
+
 /// Heap allocations per forwarded cached DoUDP query through the full
 /// forwarder engine (stub socket -> UDP -> decode -> cache hit -> encode ->
-/// UDP -> stub socket), measured steady-state after warm-up.
-double measure_engine_cached_allocs(int queries) {
+/// UDP -> stub socket), measured steady-state after warm-up. With
+/// `wire_capacity` > 0 the steady-state hits take the raw-wire fast path
+/// instead of the Message path.
+double measure_engine_cached_allocs(int queries, std::size_t wire_capacity) {
   sim::Simulator sim;
   net::Network network(sim, Rng(33));
   net::Host& host = network.add_host(
@@ -559,6 +603,7 @@ double measure_engine_cached_allocs(int queries) {
   upstream_config.address = profile.address;
   upstream_config.protocols = {dox::DnsProtocol::kDoUdp};
   engine::EngineConfig config;
+  config.wire_cache_capacity = wire_capacity;
   engine::ForwarderEngine engine(sim, udp, deps, {upstream_config}, config);
 
   auto socket = udp.bind_ephemeral();
@@ -597,7 +642,9 @@ double measure_engine_cached_allocs(int queries) {
 struct BytePathResults {
   BytePathSample roundtrip_new, roundtrip_legacy;
   BytePathSample frame_new, frame_legacy;
+  BytePathSample wire_cached, message_cached;
   double engine_allocs_per_query = 0;
+  double engine_wire_allocs_per_query = 0;
 };
 
 void keep_best(BytePathSample& best, const BytePathSample& sample) {
@@ -617,8 +664,15 @@ BytePathResults run_byte_path_suite(int trials) {
     keep_best(r.frame_new, measure_dot_frame_pooled(trials));
     measure_dot_frame_legacy(warmup);
     keep_best(r.frame_legacy, measure_dot_frame_legacy(trials));
+    measure_wire_cached(warmup);
+    keep_best(r.wire_cached, measure_wire_cached(trials));
+    measure_message_cached(warmup);
+    keep_best(r.message_cached, measure_message_cached(trials));
   }
-  r.engine_allocs_per_query = measure_engine_cached_allocs(/*queries=*/1000);
+  r.engine_allocs_per_query =
+      measure_engine_cached_allocs(/*queries=*/1000, /*wire_capacity=*/0);
+  r.engine_wire_allocs_per_query =
+      measure_engine_cached_allocs(/*queries=*/1000, /*wire_capacity=*/4096);
   return r;
 }
 
@@ -639,8 +693,20 @@ void report_byte_path(const BytePathResults& r, bench::JsonReporter& json) {
               r.frame_new.ns_per_op, r.frame_legacy.ns_per_op, frame_speedup);
   std::printf("  allocations/op              %8.4f       (legacy %8.4f)\n",
               r.frame_new.allocs_per_op, r.frame_legacy.allocs_per_op);
-  std::printf("engine cached-query heap allocations/query: %.4f\n",
-              r.engine_allocs_per_query);
+  const double wire_speedup =
+      r.message_cached.ns_per_op / r.wire_cached.ns_per_op;
+  const double wire_cached_qps = 1e9 / r.wire_cached.ns_per_op;
+  std::printf("wire-cache hit (probe+patch)  %8.1f ns/op (msg    %8.1f)  "
+              "%0.2fx\n",
+              r.wire_cached.ns_per_op, r.message_cached.ns_per_op,
+              wire_speedup);
+  std::printf("  allocations/op              %8.4f       (msg    %8.4f)\n",
+              r.wire_cached.allocs_per_op, r.message_cached.allocs_per_op);
+  std::printf("  wire-cached throughput      %8.0f hits/s single-thread\n",
+              wire_cached_qps);
+  std::printf("engine cached-query heap allocations/query: %.4f "
+              "(wire path %.4f)\n",
+              r.engine_allocs_per_query, r.engine_wire_allocs_per_query);
 
   json.metric("byte_path_roundtrip", "ns_per_op", r.roundtrip_new.ns_per_op);
   json.metric("byte_path_roundtrip", "ns_per_op_legacy",
@@ -654,8 +720,18 @@ void report_byte_path(const BytePathResults& r, bench::JsonReporter& json) {
   json.metric("byte_path_dot_frame", "ns_per_op_legacy",
               r.frame_legacy.ns_per_op);
   json.metric("byte_path_dot_frame", "speedup_vs_legacy", frame_speedup);
+  json.metric("byte_path_wire_cache", "ns_per_hit", r.wire_cached.ns_per_op);
+  json.metric("byte_path_wire_cache", "ns_per_hit_message_path",
+              r.message_cached.ns_per_op);
+  json.metric("byte_path_wire_cache", "speedup_vs_message_path",
+              wire_speedup);
+  json.metric("byte_path_wire_cache", "wire_cached_qps", wire_cached_qps);
+  json.metric("byte_path_wire_cache", "heap_allocs_per_hit",
+              r.wire_cached.allocs_per_op);
   json.metric("byte_path_engine", "heap_allocs_per_cached_query",
               r.engine_allocs_per_query);
+  json.metric("byte_path_engine", "heap_allocs_per_wire_cached_query",
+              r.engine_wire_allocs_per_query);
 }
 
 }  // namespace
@@ -725,6 +801,30 @@ int main(int argc, char** argv) {
                    "SMOKE FAIL: cached engine query allocates (%.4f heap "
                    "allocations per query; gate 0.01)\n",
                    b.engine_allocs_per_query);
+      ok = false;
+    }
+    const double wire_speedup =
+        b.message_cached.ns_per_op / b.wire_cached.ns_per_op;
+    if (wire_speedup < 2.0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: wire-cache hit speedup %.2fx < 2.0x floor "
+                   "over the Message cached path\n",
+                   wire_speedup);
+      ok = false;
+    }
+    if (b.wire_cached.allocs_per_op > 0.01) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: wire-cache hit allocates (%.4f heap "
+                   "allocations per hit; gate 0.01)\n",
+                   b.wire_cached.allocs_per_op);
+      ok = false;
+    }
+    if (b.engine_wire_allocs_per_query < 0 ||
+        b.engine_wire_allocs_per_query > 0.01) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: wire-cached engine query allocates (%.4f "
+                   "heap allocations per query; gate 0.01)\n",
+                   b.engine_wire_allocs_per_query);
       ok = false;
     }
     std::printf("\nhot-path smoke: %s\n", ok ? "OK" : "REGRESSION");

@@ -49,10 +49,21 @@ ForwarderEngine::ForwarderEngine(sim::Simulator& sim,
   chain_ = policy::RuleChain(config_.policy, pool_names_);
 
   cache_.set_capacity(config_.cache_capacity);
+  if (config_.wire_cache_capacity > 0) {
+    dns::WireCacheConfig wire_config;
+    wire_config.capacity = config_.wire_cache_capacity;
+    wire_config.serve_stale = config_.serve_stale;
+    wire_config.max_stale = config_.max_stale;
+    wire_config.stale_ttl = config_.stale_ttl;
+    wire_cache_ = std::make_unique<dns::WireCache>(wire_config);
+  }
   listener_ = stub_udp.bind(config_.listen_port);
   listener_->on_datagram([this](const net::Endpoint& from,
                                 util::Buffer payload) {
     on_stub_query(from, std::move(payload));
+  });
+  listener_->on_batch([this](std::span<net::Datagram> batch) {
+    on_stub_batch(batch);
   });
 }
 
@@ -83,8 +94,17 @@ void ForwarderEngine::send_response(const Waiter& waiter,
   response.questions[0] = question;
   response.authorities.clear();
   response.additionals.clear();
-  listener_->send_to(waiter.from, response.encode_buffer());
+  ship(waiter.from, response.encode_buffer());
   latency_ms_.push_back(to_ms(sim_.now() - waiter.arrived));
+}
+
+void ForwarderEngine::ship(const net::Endpoint& to, util::Buffer wire) {
+  if (batching_) {
+    response_flush_.push_back(
+        net::OutboundDatagram{to, net::IpAddress{}, std::move(wire)});
+    return;
+  }
+  listener_->send_to(to, std::move(wire));
 }
 
 void ForwarderEngine::answer(const Waiter& waiter,
@@ -174,8 +194,96 @@ bool ForwarderEngine::apply_policy_verdict(const policy::Verdict& verdict,
   return false;
 }
 
+void ForwarderEngine::on_stub_batch(std::span<net::Datagram> batch) {
+  // Drain the whole burst in this one event, staging responses; a single
+  // sendmmsg-style flush then pushes them into the fabric in order — the
+  // same per-packet semantics as immediate sends, amortized.
+  batching_ = true;
+  for (net::Datagram& datagram : batch) {
+    on_stub_query(datagram.from, std::move(datagram.payload));
+  }
+  batching_ = false;
+  if (!response_flush_.empty()) listener_->send_batch(response_flush_);
+}
+
+bool ForwarderEngine::try_answer_wire(const net::Endpoint& from,
+                                      const util::Buffer& payload) {
+  ++wire_lookups_;
+  dns::WireCache::Hit hit;
+  if (!wire_cache_->probe(payload, sim_.now(), hit)) return false;
+
+  // A hit implies a prior fill, and fills only happen for queries that
+  // passed the full decode — this exact image is safe to answer raw. The
+  // question is materialized lazily: only policy and the stale-refresh
+  // path need it, so the hot hit with an empty chain never parses a name.
+  const bool need_question = !chain_.empty() || hit.stale;
+  if (need_question &&
+      !dns::WireCache::parse_question(payload, scratch_wire_question_)) {
+    return false;  // cannot happen for a filled entry; decode path decides
+  }
+
+  const std::span<const std::uint8_t> query = payload.view();
+  const Waiter waiter{
+      from,
+      static_cast<std::uint16_t>((std::uint16_t(query[0]) << 8) | query[1]),
+      sim_.now()};
+  ++queries_;
+  if (first_query_at_ < 0) first_query_at_ = sim_.now();
+  last_query_at_ = sim_.now();
+
+  std::uint32_t pool_index = 0;
+  if (!chain_.empty()) {
+    const policy::Verdict verdict = chain_.evaluate(
+        policy::QueryInfo{from.address, scratch_wire_question_.name,
+                          scratch_wire_question_.type, sim_.now()});
+    if (apply_policy_verdict(verdict, waiter, scratch_wire_question_)) {
+      return true;
+    }
+    pool_index = verdict.pool;
+    if (pool_index != 0) ++policy_routed_;
+  }
+
+  ++wire_hits_;
+  ship(waiter.from, wire_cache_->materialize(hit, query));
+  latency_ms_.push_back(to_ms(sim_.now() - waiter.arrived));
+  if (hit.stale) {
+    // RFC 8767, mirroring the L1 stale path: the stale image just went out
+    // (and was evicted by materialize); refresh in the background.
+    ++stale_hits_;
+    const KeyView key_view{scratch_wire_question_.name,
+                           scratch_wire_question_.type};
+    if (inflight_.find(key_view) == inflight_.end()) {
+      ++stale_refreshes_;
+      auto [it, inserted] = inflight_.try_emplace(
+          Key{scratch_wire_question_.name, scratch_wire_question_.type});
+      start_resolve(it->first, scratch_wire_question_, pool_index);
+    }
+  }
+  return true;
+}
+
+void ForwarderEngine::wire_fill(std::span<const std::uint8_t> query,
+                                const dns::Question& question) {
+  // The scratch response still holds the answer that was just shipped;
+  // re-encoding it here costs one extra encode per *fill* (first hit of a
+  // key per TTL window), never per steady-state query.
+  if (!wire_cache_->insert(query, scratch_response_.encode_buffer(),
+                           sim_.now())) {
+    return;
+  }
+  if (config_.l2 != nullptr) {
+    // Offer the freshly-hot records to the shared L2 so sibling shards can
+    // serve them after the next epoch sweep.
+    config_.l2->insert(config_.shard_index, question.name, question.type,
+                       scratch_response_.answers, sim_.now());
+  }
+}
+
 void ForwarderEngine::on_stub_query(const net::Endpoint& from,
                                     util::Buffer payload) {
+  // Raw-wire fast path: a repeat query is answered by patching bytes in a
+  // cached response image, skipping decode/encode entirely.
+  if (wire_cache_ != nullptr && try_answer_wire(from, payload)) return;
   // Decode into the reusable scratch message: label/rdata storage is
   // retained across queries, so the steady-state path allocates nothing.
   if (!dns::Message::decode_into(payload, scratch_query_)) return;
@@ -209,6 +317,7 @@ void ForwarderEngine::on_stub_query(const net::Endpoint& from,
         if (!found->stale) {
           ++cache_hits_;
           answer_cached(waiter, question, *found);
+          if (wire_cache_ != nullptr) wire_fill(payload, question);
           return;
         }
         // RFC 8767: answer stale immediately, refresh in the background.
@@ -227,13 +336,17 @@ void ForwarderEngine::on_stub_query(const net::Endpoint& from,
                                               sim_.now())) {
       ++cache_hits_;
       answer_cached(waiter, question, *found);
+      if (wire_cache_ != nullptr) wire_fill(payload, question);
       return;
     }
   }
 
   // L1 had neither a fresh nor a stale entry: try the shared L2 before
   // paying (or joining) an upstream resolve.
-  if (config_.l2 != nullptr && try_answer_l2(waiter, question)) return;
+  if (config_.l2 != nullptr && try_answer_l2(waiter, question)) {
+    if (wire_cache_ != nullptr) wire_fill(payload, question);
+    return;
+  }
 
   if (config_.coalesce) {
     auto it = inflight_.find(key_view);
@@ -325,6 +438,8 @@ EngineStats ForwarderEngine::stats() const {
   s.queries = queries_;
   s.cache_hits = cache_hits_;
   s.stale_hits = stale_hits_;
+  s.wire_hits = wire_hits_;
+  s.wire_lookups = wire_lookups_;
   s.misses = misses_;
   s.coalesced = coalesced_;
   s.l2_hits = l2_hits_;
@@ -356,6 +471,8 @@ void EngineStats::add(const EngineStats& other) {
   queries += other.queries;
   cache_hits += other.cache_hits;
   stale_hits += other.stale_hits;
+  wire_hits += other.wire_hits;
+  wire_lookups += other.wire_lookups;
   misses += other.misses;
   coalesced += other.coalesced;
   l2_hits += other.l2_hits;

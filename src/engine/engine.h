@@ -24,11 +24,13 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "dns/cache.h"
 #include "dns/packet_cache.h"
+#include "dns/wire_cache.h"
 #include "engine/upstream_pool.h"
 #include "net/udp.h"
 #include "policy/policy.h"
@@ -43,6 +45,13 @@ struct EngineConfig {
   bool cache_enabled = true;
   /// Cache capacity bound (entries); 0 = unbounded.
   std::size_t cache_capacity = 4096;
+  /// Raw-wire packet cache in front of the L1 (entries; 0 disables — the
+  /// default, so existing pinned outputs are untouched). Hits answer by
+  /// patching ID/TTLs into a cached response image with no Message
+  /// decode/encode; misses fall through to the normal path, which fills it
+  /// from L1/L2 hits. Serve-stale behaviour follows the engine's
+  /// serve_stale/max_stale/stale_ttl knobs.
+  std::size_t wire_cache_capacity = 0;
   /// RFC 8767 serve-stale: answer expired entries immediately and refresh
   /// in the background.
   bool serve_stale = true;
@@ -72,8 +81,10 @@ struct EngineConfig {
 /// Counters + health snapshot (cheap to copy; taken at any time).
 struct EngineStats {
   std::uint64_t queries = 0;         ///< well-formed stub queries received
-  std::uint64_t cache_hits = 0;      ///< answered fresh from cache
-  std::uint64_t stale_hits = 0;      ///< answered stale (RFC 8767)
+  std::uint64_t cache_hits = 0;      ///< answered fresh from the L1 cache
+  std::uint64_t stale_hits = 0;      ///< answered stale (RFC 8767; any source)
+  std::uint64_t wire_hits = 0;       ///< answered from the raw-wire cache
+  std::uint64_t wire_lookups = 0;    ///< queries that probed the wire cache
   std::uint64_t misses = 0;          ///< needed an upstream resolve
   std::uint64_t coalesced = 0;       ///< joined an in-flight resolve
   std::uint64_t l2_hits = 0;         ///< answered from the shared L2 cache
@@ -156,6 +167,8 @@ class ForwarderEngine {
   const dns::Cache& cache() const { return cache_; }
 
   EngineStats stats() const;
+  /// The raw-wire cache, or null when wire_cache_capacity is 0 (tests).
+  const dns::WireCache* wire_cache() const { return wire_cache_.get(); }
   /// Client-visible latency samples in ms (arrival -> answer), for
   /// percentile reporting. Cache hits contribute 0.
   const std::vector<double>& latency_samples_ms() const {
@@ -214,6 +227,22 @@ class ForwarderEngine {
 
   void on_stub_query(const net::Endpoint& from,
                      util::Buffer payload);
+  /// Burst entry point (batched delivery): consumes every datagram in one
+  /// event while staging responses, then flushes them with one batched
+  /// send. Per-query behaviour is identical to per-datagram delivery.
+  void on_stub_batch(std::span<net::Datagram> batch);
+  /// The raw-wire fast path: probe the wire cache before any decode, run
+  /// policy over a lazily-parsed question view, and answer by ID/TTL
+  /// patching. Returns true when the query was consumed.
+  bool try_answer_wire(const net::Endpoint& from,
+                       const util::Buffer& payload);
+  /// Fills the wire cache from the just-answered scratch response (L1/L2
+  /// hit paths) and offers the records to the shared L2.
+  void wire_fill(std::span<const std::uint8_t> query,
+                 const dns::Question& question);
+  /// Ships an encoded response: immediately, or staged onto the batch
+  /// flush when inside on_stub_batch.
+  void ship(const net::Endpoint& to, util::Buffer wire);
   /// Applies a terminal policy verdict (drop/refuse/truncate). Returns true
   /// when the query was consumed and must not proceed to resolution.
   bool apply_policy_verdict(const policy::Verdict& verdict,
@@ -258,16 +287,27 @@ class ForwarderEngine {
   /// Compiled policy chain; empty means every query is allowed.
   policy::RuleChain chain_;
   dns::Cache cache_;
+  /// Raw-wire cache ahead of the decode step; null when disabled.
+  std::unique_ptr<dns::WireCache> wire_cache_;
   std::unordered_map<Key, InFlight, KeyHash, KeyEq> inflight_;
   /// Reusable decode/encode scratch: the cached-answer hot path re-decodes
   /// into and re-encodes from these, so their string/vector storage reaches
   /// a high-water mark and steady-state queries allocate nothing.
   dns::Message scratch_query_;
   dns::Message scratch_response_;
+  /// Lazily-parsed question view for wire-cache hits (policy + stale
+  /// refresh); storage reused across queries.
+  dns::Question scratch_wire_question_;
+  /// True while on_stub_batch is draining a burst: responses stage onto
+  /// `response_flush_` instead of going out one send at a time.
+  bool batching_ = false;
+  std::vector<net::OutboundDatagram> response_flush_;
 
   std::uint64_t queries_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t stale_hits_ = 0;
+  std::uint64_t wire_hits_ = 0;
+  std::uint64_t wire_lookups_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t coalesced_ = 0;
   std::uint64_t l2_hits_ = 0;

@@ -41,6 +41,7 @@ EngineShard::EngineShard(const ShardedConfig& config, std::uint32_t index,
   network_ = std::make_unique<net::Network>(
       sim_, Rng(splitmix64(config.seed, kNetworkLane + index)));
   network_->set_loss_rate(0.0);
+  network_->set_batch_window(config.batch_window);
 
   // The shard's host carries both the engine listener and the swarm socket
   // (mirroring run_scenario, where generator and engine share one host).
@@ -121,6 +122,13 @@ EngineShard::EngineShard(const ShardedConfig& config, std::uint32_t index,
   swarm_->on_datagram([this](const net::Endpoint&, util::Buffer payload) {
     on_response(std::move(payload));
   });
+  // Batched mode: one event drains a whole burst of answers through the
+  // same per-response logic (timer cancels amortize into one pass).
+  swarm_->on_batch([this](std::span<net::Datagram> batch) {
+    for (net::Datagram& datagram : batch) {
+      on_response(std::move(datagram.payload));
+    }
+  });
 
   arrivals_scheduled_ = arrivals.size();
   for (const Arrival& arrival : arrivals) {
@@ -130,6 +138,12 @@ EngineShard::EngineShard(const ShardedConfig& config, std::uint32_t index,
 }
 
 void EngineShard::run_until(SimTime deadline) { sim_.run_until(deadline); }
+
+void EngineShard::book_outcome(SimTime sent_at, std::uint64_t outcome) {
+  // Commutative sum — see outcome_digest() for the invariance contract.
+  outcome_digest_ +=
+      splitmix64(config_.seed ^ static_cast<std::uint64_t>(sent_at), outcome);
+}
 
 void EngineShard::send_query(std::uint32_t client, std::uint32_t name_index) {
   // Transaction ids are a shard-global ring: with a 16-bit space and
@@ -142,6 +156,7 @@ void EngineShard::send_query(std::uint32_t client, std::uint32_t name_index) {
       // 65535 in flight: shed this arrival. Counted so the load report
       // reconciles — sent + shed == arrivals scheduled.
       ++report_.shed;
+      book_outcome(sim_.now(), kOutcomeShed);
       return;
     }
   }
@@ -153,7 +168,11 @@ void EngineShard::send_query(std::uint32_t client, std::uint32_t name_index) {
   PendingQuery pending;
   pending.sent_at = sim_.now();
   pending.timeout = sim_.schedule(config_.client_timeout, [this, id] {
-    if (pending_.erase(id) > 0) ++report_.timeouts;
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    book_outcome(it->second.sent_at, kOutcomeTimeout);
+    pending_.erase(it);
+    ++report_.timeouts;
   });
   pending_[id] = std::move(pending);
 
@@ -170,9 +189,11 @@ void EngineShard::on_response(util::Buffer payload) {
   it->second.timeout.cancel();
   if (response->rcode == dns::RCode::kServFail) {
     ++report_.servfails;
+    book_outcome(it->second.sent_at, kOutcomeServfail);
   } else {
     ++report_.answered;
     report_.latency_ms.push_back(to_ms(sim_.now() - it->second.sent_at));
+    book_outcome(it->second.sent_at, kOutcomeAnswered);
   }
   pending_.erase(it);
 }

@@ -75,6 +75,13 @@ struct ShardedConfig {
   /// Epoch length: shards run independently for one epoch, then barrier at
   /// its end for the L2 sweep.
   SimTime epoch = 100 * kMillisecond;
+  /// Batched-delivery aggregation window (`--batch-us`; 0 = per-datagram
+  /// events). Applied to each shard's fabric: UDP datagrams landing on one
+  /// host within the window coalesce into a single PacketBatch event, and
+  /// the engine answers the burst with one batched flush. Changes event
+  /// count/order (and the stream digest) but never per-query outcomes —
+  /// that is what `outcome_digest` pins.
+  SimTime batch_window = 0;
   /// Worker threads driving the shards (<= 0: one per hardware thread).
   int threads = 0;
 };
@@ -116,6 +123,14 @@ class EngineShard {
     return sim_.now() >= config_.duration && pending_.empty();
   }
   std::uint64_t stream_digest() const { return sim_.event_stream_digest(); }
+  /// Commutative per-query outcome fingerprint: every terminal outcome
+  /// (answered / servfail / timeout / shed) folds
+  /// splitmix64(seed ^ sent_at, outcome class) into a SUM, so the digest is
+  /// invariant to answer ordering, shard assignment, and delivery batching
+  /// — it changes iff some query's outcome (or send time) changes. The
+  /// batch-determinism ctest compares it across --batch-us settings, where
+  /// the event-stream digest necessarily differs.
+  std::uint64_t outcome_digest() const { return outcome_digest_; }
   std::size_t arrivals_scheduled() const { return arrivals_scheduled_; }
 
  private:
@@ -123,6 +138,14 @@ class EngineShard {
     SimTime sent_at = 0;
     sim::Timer timeout;
   };
+
+  enum OutcomeClass : std::uint64_t {
+    kOutcomeAnswered = 1,
+    kOutcomeServfail = 2,
+    kOutcomeTimeout = 3,
+    kOutcomeShed = 4,
+  };
+  void book_outcome(SimTime sent_at, std::uint64_t outcome);
 
   void send_query(std::uint32_t client, std::uint32_t name_index);
   void on_response(util::Buffer payload);
@@ -146,6 +169,7 @@ class EngineShard {
   std::uint16_t next_id_ = 1;
   std::unordered_map<std::uint16_t, PendingQuery> pending_;
   std::size_t arrivals_scheduled_ = 0;
+  std::uint64_t outcome_digest_ = 0;
   LoadReport report_;
 };
 

@@ -156,6 +156,7 @@ ShardedResult run_sharded(const ShardedConfig& config) {
     outcome.arrivals = shards[i]->arrivals_scheduled();
     outcome.events = shards[i]->events_executed();
     outcome.stream_digest = shards[i]->stream_digest();
+    outcome.outcome_digest = shards[i]->outcome_digest();
     outcome.busy_ms = busy_ms[i];
 
     result.engine.add(outcome.engine);
@@ -169,6 +170,7 @@ ShardedResult run_sharded(const ShardedConfig& config) {
                                   outcome.load.latency_ms.end());
     result.merged_digest =
         (result.merged_digest * 0x100000001B3ull) ^ outcome.stream_digest;
+    result.outcome_digest += outcome.outcome_digest;
     result.shards.push_back(std::move(outcome));
   }
   result.l2 = l2.stats();

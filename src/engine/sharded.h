@@ -45,6 +45,10 @@ struct ShardOutcome {
   std::uint64_t arrivals = 0;      ///< schedule entries assigned here
   std::uint64_t events = 0;        ///< simulator events executed
   std::uint64_t stream_digest = 0; ///< sim event-stream fingerprint
+  /// Commutative per-query outcome fingerprint (see
+  /// EngineShard::outcome_digest): batching-invariant where the event
+  /// stream digest is not.
+  std::uint64_t outcome_digest = 0;
   double busy_ms = 0.0;            ///< cpu time across all epochs
 };
 
@@ -60,6 +64,10 @@ struct ShardedResult {
   /// Per-shard digests folded in shard order (FNV-style) — the one number
   /// the determinism test compares across runs.
   std::uint64_t merged_digest = 0;
+  /// Per-shard outcome digests SUMMED (commutative), so the merged value is
+  /// invariant to shard count and batching — the batch-determinism test's
+  /// cross-setting comparator.
+  std::uint64_t outcome_digest = 0;
   double wall_ms = 0.0;           ///< real elapsed time (this machine)
   double critical_path_ms = 0.0;  ///< sum over epochs of slowest shard
   double sweep_ms = 0.0;          ///< serial L2 sweep time (inside critical)

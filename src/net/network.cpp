@@ -16,6 +16,10 @@ void Host::set_protocol_handler(int protocol, PacketHandler handler) {
   handlers_[protocol] = std::move(handler);
 }
 
+void Host::set_protocol_batch_handler(int protocol, BatchHandler handler) {
+  batch_handlers_[protocol] = std::move(handler);
+}
+
 void Host::deliver(Packet packet) {
   auto it = handlers_.find(packet.protocol);
   if (it == handlers_.end() || !it->second) {
@@ -24,6 +28,18 @@ void Host::deliver(Packet packet) {
     return;
   }
   it->second(std::move(packet));
+}
+
+void Host::deliver_batch(PacketBatch& batch) {
+  // A staged slot holds one protocol (only UDP batches today), so the first
+  // packet speaks for the burst.
+  const int protocol = batch.front().protocol;
+  auto it = batch_handlers_.find(protocol);
+  if (it != batch_handlers_.end() && it->second) {
+    it->second(batch);
+    return;
+  }
+  for (Packet& packet : batch) deliver(std::move(packet));
 }
 
 Network::Network(sim::Simulator& simulator, Rng rng, LatencyModel latency)
@@ -145,6 +161,16 @@ void Network::send(Packet packet) {
   SimTime delay = loopback ? kLoopbackOneWay : keyed_one_way(key, *src, *dst);
   if (!loopback) delay += latency_.jitter(rng_);
 
+  if (batch_window_ > 0 && packet.protocol == kProtoUdp) {
+    // Round delivery UP to the aggregation grid; every packet landing on
+    // this (host, slot) pair flushes as one PacketBatch event.
+    const SimTime deliver_at = simulator_.now() + delay;
+    const SimTime bucket =
+        ((deliver_at + batch_window_ - 1) / batch_window_) * batch_window_;
+    stage_batch(*dst, bucket, std::move(packet));
+    return;
+  }
+
   const IpAddress dst_addr = packet.dst.address;
   simulator_.schedule(delay, [this, dst_addr,
                               p = std::move(packet)]() mutable {
@@ -156,6 +182,37 @@ void Network::send(Packet packet) {
     ++counters_.packets_delivered;
     target->deliver(std::move(p));
   });
+}
+
+void Network::stage_batch(Host& target, SimTime bucket, Packet packet) {
+  auto [it, inserted] =
+      staged_.try_emplace(BatchKey{target.address().value(), bucket});
+  if (inserted && !batch_pool_.empty()) {
+    it->second = std::move(batch_pool_.back());
+    batch_pool_.pop_back();
+  }
+  it->second.push_back(std::move(packet));
+  if (inserted) {
+    simulator_.at(bucket, [this, via = target.address(), bucket] {
+      flush_batch(via, bucket);
+    });
+  }
+}
+
+void Network::flush_batch(IpAddress via, SimTime bucket) {
+  auto it = staged_.find(BatchKey{via.value(), bucket});
+  if (it == staged_.end()) return;
+  PacketBatch batch = std::move(it->second);
+  staged_.erase(it);
+  Host* target = find_host(via);
+  if (target == nullptr || !target->up()) {
+    counters_.packets_unroutable += batch.size();
+  } else {
+    counters_.packets_delivered += batch.size();
+    target->deliver_batch(batch);
+  }
+  batch.clear();
+  batch_pool_.push_back(std::move(batch));
 }
 
 }  // namespace doxlab::net

@@ -48,10 +48,17 @@ struct Packet {
   }
 };
 
+/// A burst of packets reaching one host in a single simulator event
+/// (recvmmsg-style; see Network::set_batch_window). Handlers may move the
+/// packets out but must leave the vector itself alive — the fabric recycles
+/// its storage.
+using PacketBatch = std::vector<Packet>;
+
 /// A simulated machine: address, location, and protocol demultiplexers.
 class Host {
  public:
   using PacketHandler = std::function<void(Packet)>;
+  using BatchHandler = std::function<void(PacketBatch&)>;
 
   const std::string& name() const { return name_; }
   IpAddress address() const { return address_; }
@@ -62,6 +69,12 @@ class Host {
   /// Registers the handler for an IP protocol number (kProtoUdp/kProtoTcp).
   /// Replaces any previous handler.
   void set_protocol_handler(int protocol, PacketHandler handler);
+
+  /// Registers a burst handler for a protocol: when the fabric runs in
+  /// batch mode it hands a whole PacketBatch over in one call instead of
+  /// one deliver() per packet. A protocol without a batch handler falls
+  /// back to per-packet delivery (same packets, same order).
+  void set_protocol_batch_handler(int protocol, BatchHandler handler);
 
   /// Marks the host unreachable; packets to it are dropped silently (used by
   /// the scanner simulation for dark address space and resolver outages).
@@ -82,6 +95,7 @@ class Host {
         access_delay_(access_delay) {}
 
   void deliver(Packet packet);
+  void deliver_batch(PacketBatch& batch);
 
   Network* network_;
   std::string name_;
@@ -91,6 +105,7 @@ class Host {
   SimTime access_delay_;
   bool up_ = true;
   std::unordered_map<int, PacketHandler> handlers_;
+  std::unordered_map<int, BatchHandler> batch_handlers_;
 };
 
 /// Aggregate traffic counters, exposed for tests and the scan module.
@@ -132,8 +147,23 @@ class Network {
   /// matches.
   Host* route_host(IpAddress address);
 
-  /// Sends a packet. Routability is evaluated at delivery time.
+  /// Sends a packet. Routability is evaluated at delivery time (in batch
+  /// mode the routed host is pinned at send time; liveness is still checked
+  /// at the flush).
   void send(Packet packet);
+
+  /// Burst mode: 0 (the default) keeps classic one-event-per-packet
+  /// delivery. When > 0, each UDP packet's delivery time is rounded UP to
+  /// the next multiple of `window`, and every packet landing on the same
+  /// (host, grid slot) is flushed as one PacketBatch in a single simulator
+  /// event — the discrete-event analogue of recvmmsg with a small
+  /// aggregation delay (adds < `window` of latency per packet). Per-query
+  /// outcomes are unchanged; only event count/order (and thus the event
+  /// stream digest) differ from per-packet mode. TCP segments always take
+  /// the per-packet path: their stacks are ordering-sensitive state
+  /// machines with no burst entry point.
+  void set_batch_window(SimTime window) { batch_window_ = window; }
+  SimTime batch_window() const { return batch_window_; }
 
   /// Pins the one-way delay for a host pair in both directions (tests).
   void set_path_override(IpAddress a, IpAddress b, SimTime one_way);
@@ -167,6 +197,24 @@ class Network {
   SimTime keyed_one_way(std::uint64_t key, const Host& a,
                         const Host& b) const;
 
+  /// One pending batch slot: (routed host, delivery grid time).
+  struct BatchKey {
+    std::uint32_t via = 0;
+    SimTime at = 0;
+    bool operator==(const BatchKey&) const = default;
+  };
+  struct BatchKeyHash {
+    std::size_t operator()(const BatchKey& k) const noexcept {
+      std::uint64_t h = k.via * 0x9E3779B97F4A7C15ull;
+      h ^= static_cast<std::uint64_t>(k.at) + 0x9E3779B97F4A7C15ull +
+           (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  void stage_batch(Host& target, SimTime bucket, Packet packet);
+  void flush_batch(IpAddress via, SimTime bucket);
+
   sim::Simulator& simulator_;
   Rng rng_;
   LatencyModel latency_;
@@ -184,6 +232,12 @@ class Network {
   std::unordered_map<std::uint64_t, double> loss_overrides_;
   Tap tap_;
   NetworkCounters counters_;
+  SimTime batch_window_ = 0;
+  /// In-flight batch slots; the first packet staged into a slot schedules
+  /// its flush event. Drained vectors recycle through `batch_pool_` so a
+  /// steady-state burst loop reuses the same storage.
+  std::unordered_map<BatchKey, PacketBatch, BatchKeyHash> staged_;
+  std::vector<PacketBatch> batch_pool_;
 };
 
 }  // namespace doxlab::net

@@ -28,14 +28,43 @@ void UdpSocket::send_to_from(const Endpoint& to, IpAddress source,
   stack_->host().network().send(std::move(packet));
 }
 
+void UdpSocket::send_batch(std::vector<OutboundDatagram>& out) {
+  for (OutboundDatagram& datagram : out) {
+    send_to_from(datagram.to,
+                 datagram.source.value() == 0 ? stack_->host().address()
+                                              : datagram.source,
+                 std::move(datagram.payload));
+  }
+  out.clear();
+}
+
 void UdpSocket::receive(const Endpoint& from, util::Buffer payload) {
   bytes_received_ += kUdpHeaderBytes + payload.size();
   if (handler_) handler_(from, std::move(payload));
 }
 
+void UdpSocket::receive_run(PacketBatch& batch, std::size_t begin,
+                            std::size_t end) {
+  if (!batch_handler_) {
+    for (std::size_t i = begin; i < end; ++i) {
+      receive(batch[i].src, std::move(batch[i].payload));
+    }
+    return;
+  }
+  scratch_batch_.clear();
+  for (std::size_t i = begin; i < end; ++i) {
+    bytes_received_ += kUdpHeaderBytes + batch[i].payload.size();
+    scratch_batch_.push_back(
+        Datagram{batch[i].src, std::move(batch[i].payload)});
+  }
+  batch_handler_(std::span<Datagram>(scratch_batch_));
+}
+
 UdpStack::UdpStack(Host& host) : host_(&host) {
   host_->set_protocol_handler(
       kProtoUdp, [this](Packet packet) { on_packet(std::move(packet)); });
+  host_->set_protocol_batch_handler(
+      kProtoUdp, [this](PacketBatch& batch) { on_packet_batch(batch); });
 }
 
 std::unique_ptr<UdpSocket> UdpStack::bind(std::uint16_t port) {
@@ -65,6 +94,20 @@ void UdpStack::on_packet(Packet packet) {
   auto it = sockets_.find(packet.dst.port);
   if (it == sockets_.end()) return;  // No listener: silently dropped.
   it->second->receive(packet.src, std::move(packet.payload));
+}
+
+void UdpStack::on_packet_batch(PacketBatch& batch) {
+  // Group consecutive same-port packets into runs so a socket sees one
+  // burst per run — order across the batch is preserved exactly.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    const std::uint16_t port = batch[i].dst.port;
+    std::size_t j = i + 1;
+    while (j < batch.size() && batch[j].dst.port == port) ++j;
+    auto it = sockets_.find(port);
+    if (it != sockets_.end()) it->second->receive_run(batch, i, j);
+    i = j;
+  }
 }
 
 }  // namespace doxlab::net

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -21,11 +22,29 @@ class UdpStack;
 /// The size of a UDP header; every datagram's IP payload includes it.
 inline constexpr std::size_t kUdpHeaderBytes = 8;
 
+/// One received datagram inside a batch delivery.
+struct Datagram {
+  Endpoint from;
+  util::Buffer payload;
+};
+
+/// One staged outbound datagram for UdpSocket::send_batch. A default
+/// (zero) `source` sends from the host's own address, like send_to.
+struct OutboundDatagram {
+  Endpoint to;
+  IpAddress source;
+  util::Buffer payload;
+};
+
 /// A bound UDP socket.
 class UdpSocket {
  public:
   using DatagramHandler =
       std::function<void(const Endpoint& from, util::Buffer)>;
+  /// Burst receive: all datagrams reaching this socket in one batched
+  /// delivery event (see Network::set_batch_window). The span is valid only
+  /// for the duration of the call; payloads may be moved out.
+  using BatchHandler = std::function<void(std::span<Datagram>)>;
 
   ~UdpSocket();
   UdpSocket(const UdpSocket&) = delete;
@@ -47,8 +66,18 @@ class UdpSocket {
     send_to(to, util::Buffer::copy_of(payload));
   }
 
+  /// sendmmsg-style bulk send: pushes every staged datagram into the fabric
+  /// in order with one call, then clears `out` (storage retained for the
+  /// caller's reuse). Identical per-packet semantics to send_to_from.
+  void send_batch(std::vector<OutboundDatagram>& out);
+
   /// Sets the receive callback (may be replaced at any time).
   void on_datagram(DatagramHandler handler) { handler_ = std::move(handler); }
+
+  /// Sets the burst receive callback. When set, batched deliveries invoke
+  /// it once per burst instead of the per-datagram handler; per-packet
+  /// deliveries (batch window 0) still use on_datagram.
+  void on_batch(BatchHandler handler) { batch_handler_ = std::move(handler); }
 
   std::uint16_t port() const { return port_; }
   Endpoint local_endpoint() const;
@@ -63,10 +92,15 @@ class UdpSocket {
       : stack_(&stack), port_(port) {}
 
   void receive(const Endpoint& from, util::Buffer payload);
+  /// Delivers batch[begin, end) — a same-port run — through the batch
+  /// handler if set, else one receive() per datagram.
+  void receive_run(PacketBatch& batch, std::size_t begin, std::size_t end);
 
   UdpStack* stack_;
   std::uint16_t port_;
   DatagramHandler handler_;
+  BatchHandler batch_handler_;
+  std::vector<Datagram> scratch_batch_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
 };
@@ -93,6 +127,7 @@ class UdpStack {
   friend class UdpSocket;
   void unbind(std::uint16_t port);
   void on_packet(Packet packet);
+  void on_packet_batch(PacketBatch& batch);
 
   Host* host_;
   std::uint16_t next_ephemeral_ = 49152;

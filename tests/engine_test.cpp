@@ -478,6 +478,144 @@ TEST_F(EngineFixture, PolicyAllowedQueriesStillCacheAndCoalesce) {
   EXPECT_DOUBLE_EQ(stats.policy_shed_rate(), 0.0);
 }
 
+class WireCacheEngineFixture : public EngineFixture {
+ protected:
+  /// Sends one stub query and returns the raw response wire (empty on
+  /// timeout) — the byte-fidelity probes below compare images, not decodes.
+  std::vector<std::uint8_t> raw_query(const std::string& name,
+                                      std::uint16_t id,
+                                      SimTime wait = 200 * kMillisecond) {
+    auto socket = udp_.bind_ephemeral();
+    std::vector<std::uint8_t> raw;
+    socket->on_datagram([&](const Endpoint&, util::Buffer payload) {
+      raw.assign(payload.view().begin(), payload.view().end());
+    });
+    dns::Message query =
+        dns::make_query(id, dns::DnsName::parse(name), dns::RRType::kA);
+    socket->send_to(Endpoint{client_host_.address(), 53}, query.encode());
+    sim_.run_until(sim_.now() + wait);
+    return raw;
+  }
+};
+
+TEST_F(WireCacheEngineFixture, WireCacheServesRepeatsByPatchingBytes) {
+  EngineConfig config = engine_config();
+  config.wire_cache_capacity = 1024;
+  auto engine = make_engine(config);
+
+  // First query resolves upstream; the second is an L1 hit whose encoded
+  // answer fills the wire cache; the third never touches Message at all.
+  const auto first = raw_query("hot.example", 0x0101);
+  const auto second = raw_query("hot.example", 0x0202);
+  const auto third = raw_query("hot.example", 0x0303);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  ASSERT_FALSE(third.empty());
+
+  const EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.wire_lookups, 3u);
+  EXPECT_EQ(stats.wire_hits, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.upstream_resolves, 1u);
+  ASSERT_NE(engine->wire_cache(), nullptr);
+  EXPECT_EQ(engine->wire_cache()->size(), 1u);
+  EXPECT_EQ(engine->wire_cache()->stats().hits, 1u);
+
+  // The patched answer is the L1 answer byte for byte — only the two ID
+  // bytes differ (same whole simulated second, so no TTL decay yet).
+  ASSERT_EQ(third.size(), second.size());
+  EXPECT_EQ(third[0], 0x03);
+  EXPECT_EQ(third[1], 0x03);
+  EXPECT_TRUE(std::equal(third.begin() + 2, third.end(),
+                         second.begin() + 2));
+}
+
+TEST_F(WireCacheEngineFixture, WireCacheFoldsQnameCase) {
+  EngineConfig config = engine_config();
+  config.wire_cache_capacity = 1024;
+  auto engine = make_engine(config);
+  raw_query("case.example", 1);
+  raw_query("case.example", 2);  // fills the wire cache
+  const auto shouty = raw_query("CASE.Example", 3);
+  ASSERT_FALSE(shouty.empty());
+  EXPECT_EQ(engine->stats().wire_hits, 1u);
+  const auto decoded = dns::Message::decode(shouty);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 3);
+  ASSERT_FALSE(decoded->answers.empty());
+}
+
+TEST_F(WireCacheEngineFixture, WireCacheServesStaleAndTriggersRefresh) {
+  EngineConfig config = engine_config();
+  config.wire_cache_capacity = 1024;
+  config.max_ttl = 1;  // 1 s entries: stale quickly
+  config.stale_ttl = 30;
+  auto engine = make_engine(config);
+  raw_query("stale.example", 1);
+  raw_query("stale.example", 2);  // fills the wire cache (1 s lifetime)
+  sim_.run_until(sim_.now() + 5 * kSecond);
+
+  const auto stale = raw_query("stale.example", 3);
+  ASSERT_FALSE(stale.empty());
+  const auto decoded = dns::Message::decode(stale);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_FALSE(decoded->answers.empty());
+  EXPECT_EQ(decoded->answers[0].ttl, 30u);  // stale-stamped on the wire
+
+  const EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.wire_hits, 1u);
+  EXPECT_EQ(stats.stale_hits, 1u);        // wire-stale counts as stale
+  EXPECT_EQ(stats.stale_refreshes, 1u);   // background refresh started
+  EXPECT_EQ(stats.upstream_resolves, 2u);
+  // A stale image serves once: the entry is gone until the next fill.
+  EXPECT_EQ(engine->wire_cache()->size(), 0u);
+}
+
+TEST_F(WireCacheEngineFixture, PolicyChainRunsOnWireHits) {
+  // A refill-free rate limiter (rate 0, burst 2) admits exactly two
+  // queries, so the third — which probes the wire cache successfully — must
+  // still be REFUSED by the chain: the fast path cannot bypass policy.
+  EngineConfig config = engine_config();
+  config.wire_cache_capacity = 1024;
+  {
+    policy::RuleConfig rule;
+    rule.name = "budget";
+    rule.matcher = policy::MatcherKind::kRateLimit;
+    rule.rate_qps = 0;
+    rule.burst = 2;
+    rule.action = policy::ActionKind::kRefuse;
+    config.policy.rules.push_back(rule);
+  }
+  auto engine = make_engine(config);
+  raw_query("hot.example", 1);
+  raw_query("hot.example", 2);  // fills the wire cache
+  const auto refused = raw_query("hot.example", 3);
+  ASSERT_FALSE(refused.empty());
+  const auto decoded = dns::Message::decode(refused);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rcode, dns::RCode::kRefused);
+  EXPECT_TRUE(decoded->answers.empty());
+
+  const EngineStats stats = engine->stats();
+  EXPECT_EQ(stats.policy_evaluations, 3u);
+  EXPECT_EQ(stats.policy_refused, 1u);
+  EXPECT_EQ(stats.wire_lookups, 3u);
+  EXPECT_EQ(stats.wire_hits, 0u);  // consumed by policy, not served
+}
+
+TEST(EngineStatsTest, AddMergesWireCounters) {
+  EngineStats a;
+  a.wire_hits = 3;
+  a.wire_lookups = 10;
+  EngineStats b;
+  b.wire_hits = 4;
+  b.wire_lookups = 11;
+  a.add(b);
+  EXPECT_EQ(a.wire_hits, 7u);
+  EXPECT_EQ(a.wire_lookups, 21u);
+}
+
 TEST(LoadGenerator, DeterministicFromSeed) {
   auto run = [](std::uint64_t seed) {
     ScenarioConfig config;

@@ -2,6 +2,8 @@
 // packet delivery, loss, overrides, and UDP sockets.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/address.h"
 #include "net/geo.h"
 #include "net/latency.h"
@@ -153,6 +155,146 @@ TEST_F(NetworkFixture, DeliveryDelayMatchesPathOverride) {
   // Path override pins the base delay; jitter is still added.
   EXPECT_GE(arrival, from_ms(10));
   EXPECT_LT(arrival, from_ms(260));
+}
+
+// Batched delivery: a window wide enough to swallow the base delay plus
+// worst-case jitter (250 ms) makes bucket membership deterministic — every
+// datagram sent before the boundary lands in the same flush.
+TEST_F(NetworkFixture, BatchWindowCoalescesDatagramsInSendOrder) {
+  network_.set_batch_window(kSecond);
+  UdpStack stack_a(a_);
+  UdpStack stack_b(b_);
+  auto server = stack_b.bind(53);
+  auto client = stack_a.bind_ephemeral();
+
+  std::size_t batches = 0;
+  std::vector<std::uint8_t> order;
+  SimTime delivered_at = -1;
+  server->on_batch([&](std::span<Datagram> batch) {
+    ++batches;
+    delivered_at = sim_.now();
+    for (const Datagram& d : batch) order.push_back(d.payload.view()[0]);
+  });
+
+  client->send_to(Endpoint{b_.address(), 53}, {1});
+  client->send_to(Endpoint{b_.address(), 53}, {2});
+  client->send_to(Endpoint{b_.address(), 53}, {3});
+  sim_.run();
+
+  // One event for the burst, payloads in send order (staging order is send
+  // order, independent of per-packet jitter), at the bucket boundary.
+  EXPECT_EQ(batches, 1u);
+  EXPECT_EQ(order, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(delivered_at, kSecond);
+  // Byte accounting still counts every datagram (8-byte UDP header each).
+  EXPECT_EQ(server->bytes_received(), 3u * 9u);
+}
+
+TEST_F(NetworkFixture, BatchFallsBackToPerDatagramHandler) {
+  network_.set_batch_window(kSecond);
+  UdpStack stack_a(a_);
+  UdpStack stack_b(b_);
+  auto server = stack_b.bind(53);
+  auto client = stack_a.bind_ephemeral();
+
+  // No on_batch handler: the batch unrolls into the per-datagram callback.
+  std::vector<std::uint8_t> seen;
+  server->on_datagram([&](const Endpoint&, util::Buffer payload) {
+    seen.push_back(payload.view()[0]);
+  });
+  client->send_to(Endpoint{b_.address(), 53}, {7});
+  client->send_to(Endpoint{b_.address(), 53}, {8});
+  sim_.run();
+  EXPECT_EQ(seen, (std::vector<std::uint8_t>{7, 8}));
+}
+
+TEST_F(NetworkFixture, BatchSplitsRunsPerDestinationPort) {
+  network_.set_batch_window(kSecond);
+  UdpStack stack_a(a_);
+  UdpStack stack_b(b_);
+  auto dns = stack_b.bind(53);
+  auto other = stack_b.bind(54);
+  auto client = stack_a.bind_ephemeral();
+
+  std::vector<std::size_t> dns_runs;
+  std::size_t other_count = 0;
+  dns->on_batch(
+      [&](std::span<Datagram> batch) { dns_runs.push_back(batch.size()); });
+  other->on_batch(
+      [&](std::span<Datagram> batch) { other_count += batch.size(); });
+
+  // Interleaved ports: consecutive same-port runs stay batched, a port
+  // switch cuts the run — order across the whole burst is preserved.
+  client->send_to(Endpoint{b_.address(), 53}, {1});
+  client->send_to(Endpoint{b_.address(), 53}, {2});
+  client->send_to(Endpoint{b_.address(), 54}, {3});
+  client->send_to(Endpoint{b_.address(), 53}, {4});
+  sim_.run();
+  EXPECT_EQ(dns_runs, (std::vector<std::size_t>{2, 1}));
+  EXPECT_EQ(other_count, 1u);
+}
+
+TEST_F(NetworkFixture, BatchDroppedWhenHostGoesDownBeforeFlush) {
+  network_.set_batch_window(kSecond);
+  UdpStack stack_a(a_);
+  UdpStack stack_b(b_);
+  auto server = stack_b.bind(53);
+  auto client = stack_a.bind_ephemeral();
+  std::size_t received = 0;
+  server->on_batch(
+      [&](std::span<Datagram> batch) { received += batch.size(); });
+
+  client->send_to(Endpoint{b_.address(), 53}, {1});
+  b_.set_up(false);  // goes down between send and the bucket boundary
+  sim_.run();
+  EXPECT_EQ(received, 0u);
+  EXPECT_EQ(network_.counters().packets_unroutable, 1u);
+}
+
+TEST_F(NetworkFixture, SendBatchShipsEveryDatagramAndClears) {
+  // The latency model routes SOURCES too: a spoofed address must resolve
+  // to a fronting host (same contract the engine swarm's client prefix
+  // route provides).
+  network_.add_prefix_route(IpAddress::from_octets(10, 99, 0, 0), 24,
+                            a_.address());
+  UdpStack stack_a(a_);
+  UdpStack stack_b(b_);
+  auto server = stack_b.bind(53);
+  auto client = stack_a.bind_ephemeral();
+
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> seen;
+  server->on_datagram([&](const Endpoint& from, util::Buffer payload) {
+    seen.emplace_back(from.address.value(), payload.view()[0]);
+  });
+
+  std::vector<OutboundDatagram> out;
+  {
+    OutboundDatagram d;
+    d.to = Endpoint{b_.address(), 53};
+    const std::uint8_t byte1[] = {1};
+    d.payload = util::Buffer::copy_of(byte1);
+    out.push_back(std::move(d));
+  }
+  {
+    // Spoofed source: the response path the engine swarm relies on.
+    OutboundDatagram d;
+    d.to = Endpoint{b_.address(), 53};
+    d.source = IpAddress::from_octets(10, 99, 0, 7);
+    const std::uint8_t byte2[] = {2};
+    d.payload = util::Buffer::copy_of(byte2);
+    out.push_back(std::move(d));
+  }
+  client->send_batch(out);
+  EXPECT_TRUE(out.empty());  // consumed
+  sim_.run();
+  // Per-packet jitter may reorder unbatched delivery: compare as a set.
+  std::sort(seen.begin(), seen.end(),
+            [](const auto& x, const auto& y) { return x.second < y.second; });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, a_.address().value());
+  EXPECT_EQ(seen[0].second, 1);
+  EXPECT_EQ(seen[1].first, IpAddress::from_octets(10, 99, 0, 7).value());
+  EXPECT_EQ(seen[1].second, 2);
 }
 
 TEST_F(NetworkFixture, FullLossDropsEverything) {

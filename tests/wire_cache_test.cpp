@@ -1,0 +1,273 @@
+// Fidelity tests for the raw-wire packet cache: a materialized hit must be
+// byte-identical to freshly encoding the same response with the client's
+// transaction ID and the decayed TTLs — across mixed-case qnames, EDNS
+// options, multi-record answers and compression — plus the key-normalization,
+// expiry/serve-stale, and capacity rules the engine fast path relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/wire_cache.h"
+
+namespace doxlab::dns {
+namespace {
+
+Message query_for(std::uint16_t id, const std::string& name,
+                  RRType type = RRType::kA) {
+  return make_query(id, DnsName::parse(name), type);
+}
+
+/// A multi-section response: CNAME chain + A answers, NS authority, OPT —
+/// compression pointers everywhere past the first name.
+Message rich_response(const Message& query) {
+  Message response = make_response(query);
+  const DnsName& qname = query.questions[0].name;
+  const DnsName target = DnsName::parse("edge.cdn.example");
+  response.answers.push_back(make_cname(qname, 300, target));
+  response.answers.push_back(make_a(target, 60, 0x0A000001));
+  response.answers.push_back(make_a(target, 60, 0x0A000002));
+  response.authorities.push_back(
+      make_cname(DnsName::parse("cdn.example"), 3600,
+                 DnsName::parse("ns1.cdn.example")));
+  response.additionals.push_back(make_opt(1232));
+  return response;
+}
+
+/// What the wire cache must produce for a hit of age `age_s`: the stored
+/// response re-encoded with the new ID and every record TTL decremented
+/// (clamped at 0), OPT excluded. The codec is deterministic, so comparing
+/// encodings compares layouts byte for byte.
+std::vector<std::uint8_t> expect_patched(Message response, std::uint16_t id,
+                                         std::uint32_t age_s) {
+  response.id = id;
+  for (auto* section :
+       {&response.answers, &response.authorities, &response.additionals}) {
+    for (ResourceRecord& rr : *section) {
+      if (rr.type == RRType::kOPT) continue;
+      rr.ttl = rr.ttl > age_s ? rr.ttl - age_s : 0;
+    }
+  }
+  return response.encode();
+}
+
+TEST(WireCacheTest, HitPatchesOnlyTheId) {
+  WireCache cache({});
+  const Message query = query_for(0x1111, "www.example.com");
+  const Message response = rich_response(query);
+  ASSERT_TRUE(cache.insert(query.encode(), response.encode(), 0));
+
+  const Message same = query_for(0x2222, "www.example.com");
+  const auto wire = same.encode();
+  WireCache::Hit hit;
+  ASSERT_TRUE(cache.probe(wire, 0, hit));
+  EXPECT_FALSE(hit.stale);
+  EXPECT_EQ(hit.age_s, 0u);
+
+  const util::Buffer patched = cache.materialize(hit, wire);
+  const auto expected = expect_patched(response, 0x2222, 0);
+  EXPECT_TRUE(std::ranges::equal(patched.view(), expected));
+}
+
+TEST(WireCacheTest, AgedHitDecrementsEveryNonOptTtl) {
+  WireCache cache({});
+  const Message query = query_for(7, "www.example.com");
+  const Message response = rich_response(query);
+  ASSERT_TRUE(cache.insert(query.encode(), response.encode(), 0));
+
+  // min TTL is 60 s, so 59 s in the entry is still fresh and every record
+  // (300/60/60/3600) must have aged by exactly 59 — except the OPT, whose
+  // TTL field carries flags, never a lifetime.
+  const Message later = query_for(0xBEEF, "www.example.com");
+  const auto wire = later.encode();
+  WireCache::Hit hit;
+  ASSERT_TRUE(cache.probe(wire, 59 * kSecond, hit));
+  EXPECT_FALSE(hit.stale);
+  EXPECT_EQ(hit.age_s, 59u);
+
+  const util::Buffer patched = cache.materialize(hit, wire);
+  EXPECT_TRUE(
+      std::ranges::equal(patched.view(), expect_patched(response, 0xBEEF, 59)));
+
+  // And the patched image must still decode: TTLs visible to a client.
+  const auto decoded = Message::decode(patched.view());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 0xBEEF);
+  EXPECT_EQ(decoded->answers[0].ttl, 300u - 59u);
+  EXPECT_EQ(decoded->answers[1].ttl, 1u);
+  EXPECT_EQ(decoded->authorities[0].ttl, 3600u - 59u);
+}
+
+TEST(WireCacheTest, QnameCaseFoldsIntoTheSameKey) {
+  WireCache cache({});
+  const Message query = query_for(1, "www.example.com");
+  ASSERT_TRUE(
+      cache.insert(query.encode(), rich_response(query).encode(), 0));
+
+  const Message shouty = query_for(2, "WWW.ExAmPlE.CoM");
+  const auto wire = shouty.encode();
+  WireCache::Hit hit;
+  ASSERT_TRUE(cache.probe(wire, 0, hit));
+  // The patched answer carries the stored response bytes — including the
+  // original lower-case qname — with only the ID swapped.
+  const util::Buffer patched = cache.materialize(hit, wire);
+  const auto decoded = Message::decode(patched.view());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 2);
+  EXPECT_EQ(decoded->questions[0].name.to_string(), "www.example.com");
+}
+
+TEST(WireCacheTest, DifferentQtypeIsADifferentKey) {
+  WireCache cache({});
+  const Message query = query_for(1, "www.example.com", RRType::kA);
+  ASSERT_TRUE(
+      cache.insert(query.encode(), rich_response(query).encode(), 0));
+
+  const auto aaaa = query_for(1, "www.example.com", RRType::kAAAA).encode();
+  WireCache::Hit hit;
+  EXPECT_FALSE(cache.probe(aaaa, 0, hit));
+}
+
+TEST(WireCacheTest, ExpiredEntryEvictsOnProbe) {
+  WireCache cache({});  // serve_stale off
+  const Message query = query_for(1, "a.example");
+  Message response = make_response(query);
+  response.answers.push_back(
+      make_a(query.questions[0].name, 5, 0x7F000001));
+  ASSERT_TRUE(cache.insert(query.encode(), response.encode(), 0));
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto wire = query_for(2, "a.example").encode();
+  WireCache::Hit hit;
+  EXPECT_FALSE(cache.probe(wire, 5 * kSecond, hit));  // at the deadline
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().expired_evictions, 1u);
+}
+
+TEST(WireCacheTest, ServeStaleStampsTtlAndServesOnce) {
+  WireCacheConfig config;
+  config.serve_stale = true;
+  config.max_stale = 60 * kSecond;
+  config.stale_ttl = 7;
+  WireCache cache(config);
+  const Message query = query_for(1, "a.example");
+  Message response = make_response(query);
+  response.answers.push_back(
+      make_a(query.questions[0].name, 5, 0x7F000001));
+  response.answers.push_back(
+      make_a(query.questions[0].name, 9, 0x7F000002));
+  response.additionals.push_back(make_opt(1232));
+  ASSERT_TRUE(cache.insert(query.encode(), response.encode(), 0));
+
+  const auto wire = query_for(3, "a.example").encode();
+  WireCache::Hit hit;
+  ASSERT_TRUE(cache.probe(wire, 30 * kSecond, hit));
+  EXPECT_TRUE(hit.stale);
+
+  const util::Buffer patched = cache.materialize(hit, wire);
+  const auto decoded = Message::decode(patched.view());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 3);
+  EXPECT_EQ(decoded->answers[0].ttl, 7u);  // stamped, not decremented
+  EXPECT_EQ(decoded->answers[1].ttl, 7u);
+  EXPECT_EQ(decoded->additionals[0].ttl, 0u);  // OPT flags untouched
+
+  // A stale image is served at most once: materialize evicted it.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.probe(wire, 30 * kSecond, hit));
+  EXPECT_EQ(cache.stats().stale_hits, 1u);
+
+  // Past the stale window it is gone even before materialize.
+  ASSERT_TRUE(cache.insert(query.encode(), response.encode(), 0));
+  EXPECT_FALSE(cache.probe(wire, (5 + 61) * kSecond, hit));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(WireCacheTest, RejectsUncacheableResponses) {
+  WireCache cache({});
+  const Message query = query_for(1, "a.example");
+  // No answer records.
+  EXPECT_FALSE(cache.insert(query.encode(),
+                            make_response(query).encode(), 0));
+  // Zero minimum TTL: would expire before any probe could hit.
+  Message zero = make_response(query);
+  zero.answers.push_back(make_a(query.questions[0].name, 0, 1));
+  EXPECT_FALSE(cache.insert(query.encode(), zero.encode(), 0));
+  // Malformed response bytes.
+  Message ok = make_response(query);
+  ok.answers.push_back(make_a(query.questions[0].name, 60, 1));
+  auto bytes = ok.encode();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(cache.insert(query.encode(), bytes, 0));
+  EXPECT_EQ(cache.stats().rejected, 3u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(WireCacheTest, CapacityBoundPurgesExpiredBeforeRejecting) {
+  WireCacheConfig config;
+  config.capacity = 1;
+  WireCache cache(config);
+  const Message first = query_for(1, "a.example");
+  Message response_a = make_response(first);
+  response_a.answers.push_back(make_a(first.questions[0].name, 5, 1));
+  ASSERT_TRUE(cache.insert(first.encode(), response_a.encode(), 0));
+
+  const Message second = query_for(1, "b.example");
+  Message response_b = make_response(second);
+  response_b.answers.push_back(make_a(second.questions[0].name, 5, 2));
+  // Full, and the resident entry is still fresh: reject.
+  EXPECT_FALSE(cache.insert(second.encode(), response_b.encode(), 0));
+  // Once the resident entry has expired, the insert purges it and lands.
+  EXPECT_TRUE(
+      cache.insert(second.encode(), response_b.encode(), 6 * kSecond));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(WireCacheTest, RefusesQueriesTheFastPathCannotKey) {
+  WireCache cache({});
+  WireCache::Hit hit;
+  // Truncated header.
+  const std::vector<std::uint8_t> stub = {0, 1, 2};
+  EXPECT_FALSE(cache.probe(stub, 0, hit));
+  // QR set: a response, not a query.
+  auto wire = query_for(1, "a.example").encode();
+  wire[2] |= 0x80;
+  EXPECT_FALSE(cache.probe(wire, 0, hit));
+  EXPECT_FALSE(cache.insert(wire, wire, 0));
+}
+
+TEST(WireCacheTest, ParseQuestionMatchesFullDecode) {
+  const Message query = query_for(9, "WwW.Example.COM", RRType::kAAAA);
+  const auto wire = query.encode();
+  Question question;
+  ASSERT_TRUE(WireCache::parse_question(wire, question));
+  EXPECT_EQ(question, query.questions[0]);
+  EXPECT_FALSE(WireCache::parse_question(
+      std::span(wire).first(11), question));
+}
+
+TEST(WireCacheTest, ScanTtlOffsetsFindsEveryRecord) {
+  const Message query = query_for(1, "www.example.com");
+  const Message response = rich_response(query);
+  const auto wire = response.encode();
+  std::vector<std::uint16_t> offsets;
+  std::uint32_t min_ttl = 0xFFFFFFFF;
+  std::uint16_t answers = 0;
+  ASSERT_TRUE(WireCache::scan_ttl_offsets(wire, offsets, min_ttl, answers));
+  EXPECT_EQ(answers, 3u);
+  ASSERT_EQ(offsets.size(), 4u);  // 3 answers + 1 authority; OPT excluded
+  EXPECT_EQ(min_ttl, 60u);
+  // Each recorded offset must point at the record's actual TTL field.
+  std::vector<std::uint32_t> ttls;
+  for (std::uint16_t offset : offsets) {
+    ttls.push_back(static_cast<std::uint32_t>(wire[offset]) << 24 |
+                   static_cast<std::uint32_t>(wire[offset + 1]) << 16 |
+                   static_cast<std::uint32_t>(wire[offset + 2]) << 8 |
+                   wire[offset + 3]);
+  }
+  EXPECT_EQ(ttls, (std::vector<std::uint32_t>{300, 60, 60, 3600}));
+}
+
+}  // namespace
+}  // namespace doxlab::dns

@@ -33,5 +33,7 @@ cmake --build "$root/build-tsan" -j "$jobs" --target \
 "$root/build-tsan/tests/runner_test"
 "$root/build-tsan/tools/doxperf" engine --shards=4 --clients=5000 \
       --qps=3000 --seconds=2 >/dev/null
+"$root/build-tsan/tools/doxperf" engine --shards=4 --clients=5000 \
+      --qps=3000 --seconds=2 --batch-us=200 --wire-cache=4096 >/dev/null
 
 echo "== all checks passed =="

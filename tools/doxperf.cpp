@@ -78,6 +78,10 @@ shards, per-shard L1 caches over one shared L2 packet cache:
   --threads=N        pool worker threads (default 0 = hardware threads)
   --epoch-ms=N       epoch barrier interval for L2 sweeps (default 100)
   --l2-capacity=N    shared packet-cache entries, 0 disables (default 65536)
+  --batch-us=N       coalesce UDP datagrams per host within an N-us window
+                     into one batch event, 0 = per-datagram (default 0)
+  --wire-cache=N     raw-wire packet-cache entries fronting the L1, 0
+                     disables (default 0; also honoured by single-engine)
   --shard-csv=FILE   per-shard stats rows (deterministic columns only)
 
 abuse subcommand — engine load plus attack mixes shed by the policy chain
@@ -143,14 +147,14 @@ int flag_int(int argc, char** argv, const char* name, int fallback) {
 std::string shard_csv(const engine::ShardedResult& result) {
   std::string out =
       "shard,arrivals,sent,answered,servfails,timeouts,shed,queries,"
-      "cache_hits,stale_hits,misses,coalesced,l2_hits,l2_lookups,"
-      "upstream_resolves,events,digest\n";
+      "cache_hits,stale_hits,misses,coalesced,wire_hits,wire_lookups,"
+      "l2_hits,l2_lookups,upstream_resolves,events,digest,outcomes\n";
   char line[512];
   for (const auto& shard : result.shards) {
     std::snprintf(
         line, sizeof(line),
         "%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-        "%llu,%llu,%llu,%016llx\n",
+        "%llu,%llu,%llu,%llu,%llu,%016llx,%016llx\n",
         shard.index, static_cast<unsigned long long>(shard.arrivals),
         static_cast<unsigned long long>(shard.load.sent),
         static_cast<unsigned long long>(shard.load.answered),
@@ -162,15 +166,19 @@ std::string shard_csv(const engine::ShardedResult& result) {
         static_cast<unsigned long long>(shard.engine.stale_hits),
         static_cast<unsigned long long>(shard.engine.misses),
         static_cast<unsigned long long>(shard.engine.coalesced),
+        static_cast<unsigned long long>(shard.engine.wire_hits),
+        static_cast<unsigned long long>(shard.engine.wire_lookups),
         static_cast<unsigned long long>(shard.engine.l2_hits),
         static_cast<unsigned long long>(shard.engine.l2_lookups),
         static_cast<unsigned long long>(shard.engine.upstream_resolves),
         static_cast<unsigned long long>(shard.events),
-        static_cast<unsigned long long>(shard.stream_digest));
+        static_cast<unsigned long long>(shard.stream_digest),
+        static_cast<unsigned long long>(shard.outcome_digest));
     out += line;
   }
-  std::snprintf(line, sizeof(line), "merged,,,,,,,,,,,,,,,,%016llx\n",
-                static_cast<unsigned long long>(result.merged_digest));
+  std::snprintf(line, sizeof(line), "merged,,,,,,,,,,,,,,,,,,%016llx,%016llx\n",
+                static_cast<unsigned long long>(result.merged_digest),
+                static_cast<unsigned long long>(result.outcome_digest));
   out += line;
   return out;
 }
@@ -191,8 +199,12 @@ int run_engine_sharded(int argc, char** argv, std::uint32_t shards) {
   config.epoch = flag_int(argc, argv, "--epoch-ms", 100) * kMillisecond;
   config.l2_capacity = static_cast<std::size_t>(
       flag_int(argc, argv, "--l2-capacity", 1 << 16));
+  config.batch_window =
+      flag_int(argc, argv, "--batch-us", 0) * kMicrosecond;
   config.engine.coalesce = !flag_set(argc, argv, "--no-coalesce");
   config.engine.serve_stale = !flag_set(argc, argv, "--no-stale");
+  config.engine.wire_cache_capacity = static_cast<std::size_t>(
+      flag_int(argc, argv, "--wire-cache", 0));
   config.engine.max_ttl = 1;
 
   const auto result = engine::run_sharded(config);
@@ -204,10 +216,12 @@ int run_engine_sharded(int argc, char** argv, std::uint32_t shards) {
               static_cast<unsigned long long>(config.duration / kSecond),
               static_cast<unsigned long long>(config.seed));
   std::printf("  epoch %llu ms, %llu epochs, L2 capacity %zu, coalescing "
-              "%s\n",
+              "%s, batch window %llu us, wire cache %zu\n",
               static_cast<unsigned long long>(config.epoch / kMillisecond),
               static_cast<unsigned long long>(result.epochs),
-              config.l2_capacity, config.engine.coalesce ? "on" : "off");
+              config.l2_capacity, config.engine.coalesce ? "on" : "off",
+              static_cast<unsigned long long>(config.batch_window),
+              config.engine.wire_cache_capacity);
   std::printf("\nthroughput     %9.0f qps critical-path (%.0f qps wall on "
               "this host)\n",
               result.effective_qps(), result.wall_qps());
@@ -236,6 +250,9 @@ int run_engine_sharded(int argc, char** argv, std::uint32_t shards) {
               static_cast<unsigned long long>(e.cache_hits),
               static_cast<unsigned long long>(e.stale_hits),
               static_cast<unsigned long long>(e.misses));
+  std::printf("wire cache     hit %llu / %llu lookups\n",
+              static_cast<unsigned long long>(e.wire_hits),
+              static_cast<unsigned long long>(e.wire_lookups));
   std::printf("L2 cache       hit %llu / %llu lookups  deferred %llu  "
               "applied %llu  lock-miss %llu  size %zu\n",
               static_cast<unsigned long long>(result.l2.hits),
@@ -292,6 +309,8 @@ int run_engine(int argc, char** argv) {
       static_cast<std::size_t>(flag_int(argc, argv, "--names", 200));
   config.engine.coalesce = !flag_set(argc, argv, "--no-coalesce");
   config.engine.serve_stale = !flag_set(argc, argv, "--no-stale");
+  config.engine.wire_cache_capacity = static_cast<std::size_t>(
+      flag_int(argc, argv, "--wire-cache", 0));
   // Short TTLs keep refresh traffic flowing past the initial warmup.
   config.engine.max_ttl = 1;
   if (flag_set(argc, argv, "--kill-primary")) {
@@ -327,6 +346,11 @@ int run_engine(int argc, char** argv) {
               static_cast<unsigned long long>(e.stale_hits),
               static_cast<unsigned long long>(e.misses),
               static_cast<unsigned long long>(e.cache_evictions));
+  if (config.engine.wire_cache_capacity > 0) {
+    std::printf("wire cache     hit %llu / %llu lookups\n",
+                static_cast<unsigned long long>(e.wire_hits),
+                static_cast<unsigned long long>(e.wire_lookups));
+  }
   std::printf("coalescing     joined %llu in-flight resolves (%.0f%% of "
               "misses)\n",
               static_cast<unsigned long long>(e.coalesced),
