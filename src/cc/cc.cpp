@@ -1,0 +1,185 @@
+#include "cc/cc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace doxlab::cc {
+
+const char* phase_name(CcPhase phase) {
+  switch (phase) {
+    case CcPhase::kSlowStart: return "slow_start";
+    case CcPhase::kCongestionAvoidance: return "avoidance";
+    case CcPhase::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
+CongestionController::CongestionController(CcConfig config)
+    : config_(config),
+      cwnd_(config.initial_window_segments * config.mss),
+      ssthresh_(static_cast<std::size_t>(-1)) {}
+
+CcPhase CongestionController::phase() const {
+  if (in_recovery_) return CcPhase::kRecovery;
+  return cwnd_ < ssthresh_ ? CcPhase::kSlowStart
+                           : CcPhase::kCongestionAvoidance;
+}
+
+void CongestionController::record(SimTime now) {
+  if (!config_.trace) return;
+  // Coalesce same-instant samples so a burst of acks records once.
+  if (!trace_.empty() && trace_.back().at == now &&
+      trace_.back().phase == phase()) {
+    trace_.back().cwnd = cwnd_;
+    return;
+  }
+  trace_.push_back(CcTracePoint{now, cwnd_, phase()});
+}
+
+void CongestionController::on_ack(std::size_t bytes, SimTime sent_at,
+                                  SimTime now) {
+  if (bytes == 0) return;
+  if (config_.algorithm == CcAlgorithm::kLegacySlowStart) {
+    // Seed behaviour: grow on every ack, retransmitted data included.
+    cwnd_ += std::min(bytes, config_.mss * 2);
+    record(now);
+    return;
+  }
+  if (in_recovery_) {
+    if (sent_at <= recovery_start_) return;  // repairing old data: no growth
+    // An ack of data sent after the reduction ends the episode (RFC 6582's
+    // full-ack exit, expressed in time like RFC 9002).
+    in_recovery_ = false;
+  }
+  if (cwnd_ < ssthresh_) {
+    // Slow start: one MSS per MSS acked (exponential per RTT), capped so a
+    // single jumbo ack cannot overshoot ssthresh by more than the overage.
+    cwnd_ += std::min(bytes, config_.mss * 2);
+    record(now);
+    return;
+  }
+  switch (config_.algorithm) {
+    case CcAlgorithm::kNewReno:
+      grow_newreno(bytes);
+      break;
+    case CcAlgorithm::kCubic:
+      cubic_w_est_ += static_cast<std::size_t>(
+          static_cast<double>(bytes) *
+          (3.0 * (1.0 - config_.cubic_beta) / (1.0 + config_.cubic_beta)));
+      grow_cubic(now);
+      break;
+    case CcAlgorithm::kLegacySlowStart:
+      break;  // handled above
+  }
+  record(now);
+}
+
+void CongestionController::grow_newreno(std::size_t bytes) {
+  // Congestion avoidance: cwnd += MSS per cwnd bytes acked (RFC 5681 §3.1).
+  avoidance_acked_ += bytes;
+  if (avoidance_acked_ >= cwnd_) {
+    avoidance_acked_ -= cwnd_;
+    cwnd_ += config_.mss;
+  }
+}
+
+void CongestionController::grow_cubic(SimTime now) {
+  if (cubic_epoch_start_ < 0) {
+    cubic_epoch_start_ = now;
+    if (cubic_w_max_ <= 0.0) {
+      cubic_w_max_ = static_cast<double>(cwnd_) /
+                     static_cast<double>(config_.mss);
+    }
+    cubic_k_ = std::cbrt(cubic_w_max_ * (1.0 - config_.cubic_beta) /
+                         config_.cubic_c);
+    cubic_w_est_ = std::max(cubic_w_est_, cwnd_);
+  }
+  const double t =
+      static_cast<double>(now - cubic_epoch_start_) / kSecond;  // seconds
+  const double dt = t - cubic_k_;
+  const double w_cubic =
+      config_.cubic_c * dt * dt * dt + cubic_w_max_;  // segments
+  const std::size_t target = static_cast<std::size_t>(
+      std::max(w_cubic, 0.0) * static_cast<double>(config_.mss));
+  // Reno-friendly region: never slower than the AIMD estimate (RFC 9438 §4.3).
+  const std::size_t floor_bytes = cubic_w_est_;
+  std::size_t next = std::max(target, floor_bytes);
+  // Never grow by more than one MSS per ack nor shrink outside reductions.
+  next = std::min(next, cwnd_ + config_.mss);
+  cwnd_ = std::max(cwnd_, next);
+}
+
+bool CongestionController::on_loss(SimTime sent_at, SimTime now) {
+  if (config_.algorithm == CcAlgorithm::kLegacySlowStart) {
+    on_rto(now);
+    return true;
+  }
+  if (in_recovery(sent_at)) return false;
+  reduce_window(now);
+  return true;
+}
+
+void CongestionController::reduce_window(SimTime now) {
+  in_recovery_ = true;
+  recovery_start_ = now;
+  ++loss_episodes_;
+  const std::size_t floor_bytes = config_.min_window_segments * config_.mss;
+  switch (config_.algorithm) {
+    case CcAlgorithm::kNewReno:
+      cwnd_ = std::max(
+          floor_bytes,
+          static_cast<std::size_t>(static_cast<double>(cwnd_) *
+                                   config_.loss_reduction));
+      break;
+    case CcAlgorithm::kCubic: {
+      const double w = static_cast<double>(cwnd_) /
+                       static_cast<double>(config_.mss);
+      // Fast convergence (RFC 9438 §4.6): release share when w_max falls.
+      cubic_w_max_ = w < cubic_w_max_ ? w * (1.0 + config_.cubic_beta) / 2.0
+                                      : w;
+      cwnd_ = std::max(floor_bytes,
+                       static_cast<std::size_t>(static_cast<double>(cwnd_) *
+                                                config_.cubic_beta));
+      cubic_epoch_start_ = -1;  // new epoch starts at the next growth
+      cubic_w_est_ = cwnd_;
+      break;
+    }
+    case CcAlgorithm::kLegacySlowStart:
+      break;  // never reached: on_loss short-circuits to on_rto
+  }
+  ssthresh_ = std::max(cwnd_, floor_bytes);
+  avoidance_acked_ = 0;
+  record(now);
+}
+
+void CongestionController::on_rto(SimTime now) {
+  if (config_.algorithm == CcAlgorithm::kLegacySlowStart) {
+    // Seed behaviour: collapse to one segment; no ssthresh, no episode
+    // bookkeeping — growth resumes on the very next ack.
+    cwnd_ = config_.mss;
+    ++loss_episodes_;
+    record(now);
+    return;
+  }
+  // Collapse to the loss window and restart slow start. The halved ssthresh
+  // remembers where avoidance should resume (RFC 5681 §3.1 / RFC 9002 §7.6).
+  const std::size_t floor_bytes = config_.min_window_segments * config_.mss;
+  ssthresh_ = std::max(cwnd_ / 2, floor_bytes);
+  cwnd_ = floor_bytes;
+  in_recovery_ = true;
+  recovery_start_ = now;
+  ++loss_episodes_;
+  avoidance_acked_ = 0;
+  if (config_.algorithm == CcAlgorithm::kCubic) {
+    const double w = ssthresh_ > 0
+                         ? static_cast<double>(ssthresh_) * 2.0 /
+                               static_cast<double>(config_.mss)
+                         : 0.0;
+    cubic_w_max_ = std::max(cubic_w_max_, w);
+    cubic_epoch_start_ = -1;
+    cubic_w_est_ = cwnd_;
+  }
+  record(now);
+}
+
+}  // namespace doxlab::cc

@@ -1,0 +1,150 @@
+// Shared congestion-control primitives for the transport stacks.
+//
+// One controller instance owns the congestion window of one flow. The
+// transport (tcp::TcpConnection, quic::QuicConnection) keeps its own
+// reliability machinery — retransmit queues, RTO/PTO timers, dup-ack or
+// packet-threshold loss detection — and reports three things here:
+// bytes acknowledged, loss events (with the *send time* of the lost
+// packet), and retransmission-timeout fires. The controller answers the
+// only question the transport needs: how many bytes may be in flight.
+//
+// Two algorithms:
+//   * NewReno (RFC 6582 / RFC 9002 §B): slow start to ssthresh, AIMD
+//     congestion avoidance, multiplicative decrease on loss with ONE
+//     window reduction per recovery episode. Episodes are keyed on send
+//     time exactly as RFC 9002 does: a loss of a packet sent before the
+//     current recovery began does not shrink the window again.
+//   * CUBIC (RFC 9438): the cubic window growth function with fast
+//     convergence, sharing the same episode bookkeeping. Time is the
+//     simulator's deterministic clock, so growth is bit-reproducible.
+//
+// RTO handling follows RFC 5681 §3.1 / RFC 9002 §7.6: the window collapses
+// to the loss window and slow start restarts; under RFC 9002 the caller
+// signals *persistent congestion* explicitly (on_persistent_congestion).
+//
+// The optional trace records (time, cwnd, phase) on every change — the
+// adverse-path bench asserts slow-start -> recovery transitions from it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace doxlab::cc {
+
+enum class CcAlgorithm {
+  kNewReno,
+  kCubic,
+  /// The seed model's Tahoe-style behaviour: slow-start growth on every
+  /// ack (no ssthresh, no recovery episodes) and collapse to ONE segment
+  /// on timeout. Kept as the TCP default so every pinned artifact stays
+  /// bit-identical; adverse-path scenarios select kNewReno or kCubic.
+  kLegacySlowStart,
+};
+
+/// Controller phase, exposed for stats/traces.
+enum class CcPhase {
+  kSlowStart,
+  kCongestionAvoidance,
+  kRecovery,
+};
+
+const char* phase_name(CcPhase phase);
+
+struct CcConfig {
+  CcAlgorithm algorithm = CcAlgorithm::kNewReno;
+  /// Sender maximum segment (TCP) / datagram payload (QUIC) size in bytes;
+  /// the unit of all window arithmetic.
+  std::size_t mss = 1460;
+  /// Initial window, segments (RFC 6928 / RFC 9002 §7.2 both say 10).
+  std::size_t initial_window_segments = 10;
+  /// Floor for the collapsed window (RFC 9002 minimum window: 2 datagrams).
+  std::size_t min_window_segments = 2;
+  /// NewReno multiplicative-decrease factor (RFC 9002 §7.3.1: 0.5).
+  double loss_reduction = 0.5;
+  /// CUBIC constant C (RFC 9438 §4.1) and multiplicative decrease beta.
+  double cubic_c = 0.4;
+  double cubic_beta = 0.7;
+  /// Record a (time, cwnd, phase) sample on every window change.
+  bool trace = false;
+};
+
+/// One sample of the congestion-window trace.
+struct CcTracePoint {
+  SimTime at = 0;
+  std::size_t cwnd = 0;
+  CcPhase phase = CcPhase::kSlowStart;
+};
+
+class CongestionController {
+ public:
+  explicit CongestionController(CcConfig config = {});
+
+  /// Bytes the flow may have un-acknowledged right now.
+  std::size_t cwnd() const { return cwnd_; }
+  std::size_t ssthresh() const { return ssthresh_; }
+  CcPhase phase() const;
+  bool in_slow_start() const { return cwnd_ < ssthresh_ && !in_recovery_; }
+
+  /// True if a packet sent at `sent_at` predates the current recovery
+  /// episode (its loss must not trigger another window reduction).
+  bool in_recovery(SimTime sent_at) const {
+    return in_recovery_ && sent_at <= recovery_start_;
+  }
+
+  /// `bytes` newly acknowledged; `sent_at` is when the newest acked packet
+  /// left, `now` the simulated ack time. Grows the window (slow start or
+  /// avoidance) unless the ack is for recovery-episode data.
+  void on_ack(std::size_t bytes, SimTime sent_at, SimTime now);
+
+  /// A packet sent at `sent_at` was declared lost (fast retransmit /
+  /// packet-threshold detection). Returns true when this starts a NEW
+  /// recovery episode (window reduced); false when the loss belongs to the
+  /// episode already being repaired.
+  bool on_loss(SimTime sent_at, SimTime now);
+
+  /// Retransmission timeout fired: collapse to the loss window and restart
+  /// slow start (RFC 5681 §3.1). Also what RFC 9002 persistent congestion
+  /// does to the window.
+  void on_rto(SimTime now);
+  void on_persistent_congestion(SimTime now) { on_rto(now); }
+
+  const CcConfig& config() const { return config_; }
+  const std::vector<CcTracePoint>& trace() const { return trace_; }
+  std::uint64_t loss_episodes() const { return loss_episodes_; }
+
+  /// Whether dup-ack fast retransmit / fast recovery applies (everything
+  /// but the legacy collapse-only mode).
+  bool fast_recovery_enabled() const {
+    return config_.algorithm != CcAlgorithm::kLegacySlowStart;
+  }
+
+ private:
+  void reduce_window(SimTime now);
+  void grow_newreno(std::size_t bytes);
+  void grow_cubic(SimTime now);
+  void record(SimTime now);
+
+  CcConfig config_;
+  std::size_t cwnd_;
+  std::size_t ssthresh_;
+  bool in_recovery_ = false;
+  SimTime recovery_start_ = -1;
+  std::uint64_t loss_episodes_ = 0;
+
+  /// NewReno congestion-avoidance byte accumulator (grow one MSS per
+  /// cwnd-worth of acked bytes).
+  std::size_t avoidance_acked_ = 0;
+
+  /// CUBIC epoch state (RFC 9438 notation).
+  double cubic_w_max_ = 0.0;     // window before the last reduction, segments
+  double cubic_k_ = 0.0;         // time to regain w_max, seconds
+  SimTime cubic_epoch_start_ = -1;
+  std::size_t cubic_w_est_ = 0;  // Reno-friendly estimate, bytes
+
+  std::vector<CcTracePoint> trace_;
+};
+
+}  // namespace doxlab::cc

@@ -87,6 +87,7 @@ class Doh3Transport final : public TransportBase {
     config.alpn = {"h3"};
     config.sni = authority();
     config.enable_0rtt = options_.attempt_0rtt;
+    config.enable_cc = options_.quic_enable_cc;
     if (known && known->version) config.version = *known->version;
 
     state->socket = deps_.udp->bind_ephemeral();

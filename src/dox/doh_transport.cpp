@@ -87,7 +87,9 @@ class DohTransport final : public TransportBase {
     mark(first, QueryPhase::kConnect);
     stats_ = WireStats{};
 
-    state->conn = deps_.tcp->connect(options_.resolver);
+    tcp::TcpOptions tcp_options;
+    tcp_options.congestion_algorithm = options_.tcp_congestion;
+    state->conn = deps_.tcp->connect(options_.resolver, tcp_options);
 
     tls::TlsConfig tls_config;
     tls_config.alpn = {"h2"};

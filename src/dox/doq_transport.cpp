@@ -111,6 +111,7 @@ class DoqTransport final : public TransportBase {
     config.alpn = offered_alpns();
     config.sni = "resolver-" + options_.resolver.address.to_string();
     config.enable_0rtt = options_.attempt_0rtt;
+    config.enable_cc = options_.quic_enable_cc;
     if (known && known->version) config.version = *known->version;
 
     state->socket = deps_.udp->bind_ephemeral();

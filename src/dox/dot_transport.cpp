@@ -91,7 +91,9 @@ class DotTransport final : public TransportBase {
     stats_ = WireStats{};
     last_ = state;
 
-    state->conn = deps_.tcp->connect(options_.resolver);
+    tcp::TcpOptions tcp_options;
+    tcp_options.congestion_algorithm = options_.tcp_congestion;
+    state->conn = deps_.tcp->connect(options_.resolver, tcp_options);
 
     tls::TlsConfig tls_config;
     tls_config.alpn = {"dot"};

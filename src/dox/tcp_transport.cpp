@@ -73,6 +73,7 @@ class TcpTransport final : public TransportBase {
     auto state = std::make_shared<ConnState>();
     tcp::TcpOptions tcp_options;
     tcp_options.enable_tfo = options_.tcp_use_tfo;
+    tcp_options.congestion_algorithm = options_.tcp_congestion;
     state->conn = deps_.tcp->connect(options_.resolver, tcp_options);
     first->result.new_session = true;
     mark(first, QueryPhase::kConnect);

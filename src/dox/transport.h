@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "cc/cc.h"
 #include "dox/types.h"
 #include "net/udp.h"
 #include "sim/simulator.h"
@@ -65,6 +66,12 @@ struct TransportOptions {
   bool tcp_fallback_on_truncation = true;
   /// Give up on any query after this long.
   SimTime query_timeout = 15 * kSecond;
+  /// TCP congestion control for DoTCP/DoT/DoH connections. The default is
+  /// the seed-faithful legacy mode; adverse-path studies select kNewReno.
+  cc::CcAlgorithm tcp_congestion = cc::CcAlgorithm::kLegacySlowStart;
+  /// Enable RFC 9002 congestion control on DoQ/DoH3 connections (off by
+  /// default: the seed's PTO-only recovery is the pinned baseline).
+  bool quic_enable_cc = false;
 };
 
 class DnsTransport {

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <iterator>
 
 #include "util/logging.h"
@@ -492,6 +493,10 @@ void EngineStats::add(const EngineStats& other) {
   policy_truncated += other.policy_truncated;
   policy_routed += other.policy_routed;
   policy_errors.add(other.policy_errors);
+  link_packets += other.link_packets;
+  link_drops += other.link_drops;
+  link_burst_losses += other.link_burst_losses;
+  link_queue_peak = std::max(link_queue_peak, other.link_queue_peak);
   bool aligned = policy_rules.size() == other.policy_rules.size();
   for (std::size_t i = 0; aligned && i < policy_rules.size(); ++i) {
     aligned = policy_rules[i].name == other.policy_rules[i].name &&

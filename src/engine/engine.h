@@ -113,6 +113,13 @@ struct EngineStats {
   /// Per-rule hit counters in chain order (`doxperf --policy-csv`).
   std::vector<policy::RuleStats> policy_rules;
 
+  // Link-level path pressure (net::Link totals for the world's fabric;
+  // zero when no link models are configured).
+  std::uint64_t link_packets = 0;      ///< packets that traversed a link
+  std::uint64_t link_drops = 0;        ///< tail-drops at full link queues
+  std::uint64_t link_burst_losses = 0; ///< Gilbert-Elliott erasures
+  std::uint64_t link_queue_peak = 0;   ///< max backlog bytes on any link
+
   /// Fraction of evaluated queries the chain refused/dropped/truncated.
   double policy_shed_rate() const {
     const std::uint64_t shed =

@@ -52,6 +52,10 @@ EngineShard::EngineShard(const ShardedConfig& config, std::uint32_t index,
       {50.11, 8.68}, net::Continent::kEurope);
   udp_ = std::make_unique<net::UdpStack>(*host_);
   tcp_ = std::make_unique<tcp::TcpStack>(*host_);
+  if (config.bottleneck) {
+    network_->set_host_ingress_link(host_->address(),
+                                    network_->add_link(*config.bottleneck));
+  }
 
   // Client sources live in their own prefix; answers to spoofed sources
   // must route back to this host's swarm socket. Cover the whole source

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -84,6 +85,11 @@ struct ShardedConfig {
   SimTime batch_window = 0;
   /// Worker threads driving the shards (<= 0: one per hardware thread).
   int threads = 0;
+  /// Optional finite-rate bottleneck link on each shard host's ingress
+  /// (all stub queries and upstream answers drain through it). Exercises
+  /// the link queues under engine load — the TSan CI stage runs one; the
+  /// default (unset) keeps the pinned digests' event streams.
+  std::optional<net::LinkConfig> bottleneck;
 };
 
 /// The source address client `index` sends from (shared by the coordinator
@@ -110,7 +116,15 @@ class EngineShard {
   void run_until(SimTime deadline);
 
   std::uint32_t index() const { return index_; }
-  EngineStats engine_stats() const { return engine_->stats(); }
+  EngineStats engine_stats() const {
+    EngineStats stats = engine_->stats();
+    const net::LinkStats links = network_->link_totals();
+    stats.link_packets = links.packets;
+    stats.link_drops = links.tail_drops;
+    stats.link_burst_losses = links.burst_losses;
+    stats.link_queue_peak = links.queued_bytes_max;
+    return stats;
+  }
   const LoadReport& report() const { return report_; }
   std::uint64_t events_executed() const { return sim_.events_executed(); }
   /// True once this shard is past the arrival window with no client query

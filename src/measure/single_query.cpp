@@ -50,6 +50,8 @@ std::vector<SingleQueryRecord> SingleQueryStudy::run() {
           options.pad_encrypted = config_.pad_encrypted;
           options.tcp_fresh_connection_per_query =
               !config_.tcp_reuse_connections;
+          options.tcp_congestion = config_.tcp_congestion;
+          options.quic_enable_cc = config_.quic_enable_cc;
 
           SingleQueryRecord record;
           record.vp = static_cast<int>(vp_index);

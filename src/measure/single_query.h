@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/cc.h"
 #include "dox/types.h"
 #include "measure/testbed.h"
 
@@ -33,6 +34,10 @@ struct SingleQueryConfig {
   /// RFC 9210-style connection reuse for DoTCP (off: the observed
   /// fresh-connection-per-query behaviour).
   bool tcp_reuse_connections = false;
+  /// Real congestion control (adverse-path studies): NewReno/CUBIC on TCP
+  /// transports and RFC 9002 CC on QUIC. Defaults keep the pinned baseline.
+  cc::CcAlgorithm tcp_congestion = cc::CcAlgorithm::kLegacySlowStart;
+  bool quic_enable_cc = false;
   /// Sharding filters used by the campaign runner: restrict the sweep to a
   /// single vantage point / resolver population index (-1 = no filter) and
   /// offset the `rep` recorded so merged shards reproduce a serial sweep.

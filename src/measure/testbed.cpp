@@ -25,6 +25,14 @@ Testbed::Testbed(TestbedConfig config)
                                    /*access_delay=*/from_ms(1.0));
     vp->udp = std::make_unique<net::UdpStack>(*vp->host);
     vp->tcp = std::make_unique<tcp::TcpStack>(*vp->host);
+    if (config_.access_link) {
+      // Separate uplink/downlink instances: real access networks queue the
+      // two directions independently.
+      network_->set_host_egress_link(vp->host->address(),
+                                     network_->add_link(*config_.access_link));
+      network_->set_host_ingress_link(vp->host->address(),
+                                      network_->add_link(*config_.access_link));
+    }
     vantage_points_.push_back(std::move(vp));
   }
 }

@@ -55,6 +55,12 @@ struct TestbedConfig {
   std::optional<std::uint64_t> population_seed;
   scan::PopulationConfig population = {.verified_only = true};
   double loss_rate = 0.002;
+  /// Optional adverse-path access link applied to every vantage point in
+  /// BOTH directions (its own egress and ingress Link instances per VP, so
+  /// queues and burst-loss chains are independent). Unset preserves the
+  /// seed's pure geo-latency + iid-loss fabric — pinned artifacts depend
+  /// on that default.
+  std::optional<net::LinkConfig> access_link;
 };
 
 class Testbed {

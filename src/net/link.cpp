@@ -1,0 +1,80 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace doxlab::net {
+
+Link::Link(LinkConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  for (std::size_t i = 1; i < config_.delay_steps.size(); ++i) {
+    if (config_.delay_steps[i].at < config_.delay_steps[i - 1].at) {
+      throw std::invalid_argument("link delay steps must be sorted by time");
+    }
+  }
+}
+
+SimTime Link::transmit_time(std::size_t wire_bytes) const {
+  if (config_.rate_bps <= 0.0) return 0;
+  // bits / (bits/s) in microseconds, rounded up so back-to-back packets
+  // never overlap the transmitter.
+  const double us =
+      static_cast<double>(wire_bytes) * 8.0 * 1e6 / config_.rate_bps;
+  return static_cast<SimTime>(std::ceil(us));
+}
+
+std::size_t Link::backlog_bytes(SimTime now) const {
+  if (config_.rate_bps <= 0.0 || busy_until_ <= now) return 0;
+  const double bytes = static_cast<double>(busy_until_ - now) *
+                       config_.rate_bps / 8.0 / 1e6;
+  return static_cast<std::size_t>(bytes);
+}
+
+bool Link::draw_burst_loss() {
+  const GilbertElliott& ge = *config_.burst_loss;
+  // Advance the chain, then draw at the new state's loss rate.
+  if (bad_state_) {
+    if (rng_.chance(ge.p_bad_to_good)) bad_state_ = false;
+  } else {
+    if (rng_.chance(ge.p_good_to_bad)) bad_state_ = true;
+  }
+  return rng_.chance(bad_state_ ? ge.loss_bad : ge.loss_good);
+}
+
+std::optional<SimTime> Link::admit(std::size_t wire_bytes, SimTime now) {
+  ++stats_.packets;
+
+  if (config_.burst_loss && draw_burst_loss()) {
+    ++stats_.burst_losses;
+    return std::nullopt;
+  }
+
+  SimTime extra = 0;
+  if (!config_.delay_steps.empty()) {
+    while (next_step_ < config_.delay_steps.size() &&
+           config_.delay_steps[next_step_].at <= now) {
+      ++next_step_;
+    }
+    if (next_step_ > 0) extra = config_.delay_steps[next_step_ - 1].extra_one_way;
+  }
+
+  if (config_.rate_bps > 0.0) {
+    const std::size_t backlog = backlog_bytes(now);
+    if (backlog > config_.queue_bytes) {
+      ++stats_.tail_drops;
+      return std::nullopt;
+    }
+    stats_.queued_bytes_max =
+        std::max<std::uint64_t>(stats_.queued_bytes_max, backlog);
+    const SimTime tx = transmit_time(wire_bytes);
+    const SimTime start = std::max(now, busy_until_);
+    busy_until_ = start + tx;
+    stats_.busy_us += static_cast<std::uint64_t>(tx);
+    extra += (busy_until_ - now);  // queueing wait + own serialization
+  }
+
+  return extra;
+}
+
+}  // namespace doxlab::net

@@ -1,0 +1,123 @@
+// Link-level path modeling behind net::Network.
+//
+// The default fabric is a geo-latency + iid-loss model with infinite-rate
+// paths — every packet departs instantly and loss draws are independent.
+// That is the right model for the paper's wired EC2 vantage points, but it
+// cannot say anything about *bad* paths: lossy mobile links, bufferbloat,
+// or two flows competing for a bottleneck. A `Link` adds exactly those
+// mechanisms, one directed traffic aggregate at a time:
+//
+//   * finite rate + FIFO queue with tail-drop: each packet occupies the
+//     transmitter for bytes/rate; packets arriving while the queue holds
+//     `queue_bytes` are dropped. A deep queue IS bufferbloat — the queueing
+//     delay grows to queue_bytes/rate before drops begin.
+//   * Gilbert-Elliott two-state burst loss: a good/bad Markov chain drawn
+//     per packet, giving correlated loss runs (mean burst 1/p_bad_to_good)
+//     instead of iid coin flips.
+//   * scripted extra-delay steps: handover events — the one-way delay gains
+//     `extra_one_way` of the latest step at or before the send time.
+//
+// Links are created on the Network (`add_link`) and bound to directed host
+// pairs or to a host's ingress/egress aggregate. A link bound to a host's
+// ingress is ONE shared queue: flows from different sources competing for
+// it see each other's queueing — the shared-bottleneck fairness setup.
+// With no links configured, Network::send is bit-identical to the
+// pre-link-model fabric (no extra RNG draws, no timing changes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace doxlab::net {
+
+/// Gilbert-Elliott burst-loss parameters. The chain sits in Good or Bad;
+/// each packet first advances the state, then draws loss at the state's
+/// rate. Stationary loss = pi_bad * loss_bad + pi_good * loss_good with
+/// pi_bad = p_good_to_bad / (p_good_to_bad + p_bad_to_good); the mean bad
+/// sojourn (burst length scale) is 1 / p_bad_to_good packets.
+struct GilbertElliott {
+  double p_good_to_bad = 0.02;
+  double p_bad_to_good = 0.25;
+  double loss_good = 0.0;
+  double loss_bad = 0.5;
+
+  double stationary_loss() const {
+    const double denom = p_good_to_bad + p_bad_to_good;
+    if (denom <= 0.0) return loss_good;
+    const double pi_bad = p_good_to_bad / denom;
+    return pi_bad * loss_bad + (1.0 - pi_bad) * loss_good;
+  }
+};
+
+/// One scripted delay step: from `at` on, the link adds `extra_one_way`.
+struct DelayStep {
+  SimTime at = 0;
+  SimTime extra_one_way = 0;
+};
+
+struct LinkConfig {
+  /// Link rate in bits per second; 0 = infinite (no serialization delay,
+  /// no queue — the seed fabric's behaviour).
+  double rate_bps = 0.0;
+  /// Tail-drop queue capacity in bytes (backlog excluding the packet in
+  /// transmission). Sized deep relative to rate*RTT, this is bufferbloat.
+  std::size_t queue_bytes = 64 * 1024;
+  /// Burst-loss chain; nullopt = no link-level loss.
+  std::optional<GilbertElliott> burst_loss;
+  /// Scripted handover-style delay steps, sorted by `at` (enforced on
+  /// add_link). Empty = no extra delay.
+  std::vector<DelayStep> delay_steps;
+};
+
+/// Counters for one link, exposed through Network::link_stats and summed
+/// into NetworkCounters/EngineStats for the shard CSV.
+struct LinkStats {
+  std::uint64_t packets = 0;        ///< packets offered to the link
+  std::uint64_t tail_drops = 0;     ///< dropped on a full queue
+  std::uint64_t burst_losses = 0;   ///< lost to the Gilbert-Elliott chain
+  std::uint64_t queued_bytes_max = 0;  ///< high-water backlog (pressure)
+  std::uint64_t busy_us = 0;        ///< transmitter busy time accumulated
+};
+
+/// One directed traffic aggregate: transmitter + FIFO queue + loss chain.
+/// Owned by the Network; driven from Network::send on the simulated clock
+/// (the queue is modeled analytically via the departure horizon — no events
+/// are scheduled for the queue itself).
+class Link {
+ public:
+  Link(LinkConfig config, std::uint64_t seed);
+
+  /// Offers a packet of `wire_bytes` at time `now`. Returns the extra
+  /// one-way delay the link imposes (queueing + serialization + scripted
+  /// step), or nullopt when the packet dies here (tail drop / burst loss).
+  std::optional<SimTime> admit(std::size_t wire_bytes, SimTime now);
+
+  /// Current backlog in bytes at `now` (what a new arrival queues behind).
+  std::size_t backlog_bytes(SimTime now) const;
+
+  const LinkConfig& config() const { return config_; }
+  const LinkStats& stats() const { return stats_; }
+  bool in_bad_state() const { return bad_state_; }
+
+ private:
+  SimTime transmit_time(std::size_t wire_bytes) const;
+  /// Advances the GE chain one packet; returns true when the packet is lost.
+  bool draw_burst_loss();
+
+  LinkConfig config_;
+  Rng rng_;
+  bool bad_state_ = false;
+  /// When the transmitter frees up; arrivals before this queue behind it.
+  /// The backlog is derived from this horizon (the queue drains at exactly
+  /// the link rate), so no per-packet queue state is kept.
+  SimTime busy_until_ = 0;
+  /// Index of the next unreached delay step (steps are sorted by `at`).
+  std::size_t next_step_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace doxlab::net

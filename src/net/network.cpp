@@ -113,6 +113,96 @@ void Network::set_loss_override(IpAddress a, IpAddress b, double loss) {
   loss_overrides_[pair_key(a, b)] = loss;
 }
 
+int Network::add_link(LinkConfig config) {
+  const int id = static_cast<int>(links_.size());
+  // Each link gets an independent deterministic stream: the fabric RNG is
+  // never drawn for link decisions, so configuring links on one path leaves
+  // every other path's jitter/loss sequence untouched.
+  links_.push_back(std::make_unique<Link>(
+      std::move(config),
+      splitmix64(0x11A6'0DE1ull, static_cast<std::uint64_t>(id))));
+  any_links_ = true;
+  return id;
+}
+
+void Network::bind_link(IpAddress src, IpAddress dst, int link_id) {
+  if (link_id < 0 || static_cast<std::size_t>(link_id) >= links_.size()) {
+    throw std::invalid_argument("bind_link: unknown link id");
+  }
+  pair_links_[directed_key(src, dst)] = link_id;
+}
+
+void Network::set_host_egress_link(IpAddress host, int link_id) {
+  if (link_id < 0 || static_cast<std::size_t>(link_id) >= links_.size()) {
+    throw std::invalid_argument("set_host_egress_link: unknown link id");
+  }
+  egress_links_[host] = link_id;
+}
+
+void Network::set_host_ingress_link(IpAddress host, int link_id) {
+  if (link_id < 0 || static_cast<std::size_t>(link_id) >= links_.size()) {
+    throw std::invalid_argument("set_host_ingress_link: unknown link id");
+  }
+  ingress_links_[host] = link_id;
+}
+
+void Network::set_default_link(LinkConfig config) {
+  default_link_ = std::move(config);
+  any_links_ = true;
+}
+
+LinkStats Network::link_totals() const {
+  LinkStats total;
+  for (const auto& link : links_) {
+    const LinkStats& s = link->stats();
+    total.packets += s.packets;
+    total.tail_drops += s.tail_drops;
+    total.burst_losses += s.burst_losses;
+    total.queued_bytes_max =
+        std::max(total.queued_bytes_max, s.queued_bytes_max);
+    total.busy_us += s.busy_us;
+  }
+  return total;
+}
+
+std::optional<SimTime> Network::traverse_links(const Host& src,
+                                               const Host& dst,
+                                               std::size_t wire_bytes) {
+  // Path order: the sender's access link, then the (possibly defaulted)
+  // path link, then the receiver's access link. Each stage may queue, drop,
+  // or burst-lose the packet independently.
+  int chain[3];
+  int stages = 0;
+  if (auto it = egress_links_.find(src.address()); it != egress_links_.end()) {
+    chain[stages++] = it->second;
+  }
+  const std::uint64_t key = directed_key(src.address(), dst.address());
+  auto pit = pair_links_.find(key);
+  if (pit == pair_links_.end() && default_link_) {
+    // Lazily materialize this directed pair's own instance of the default
+    // link (independent queue + loss chain per direction).
+    const int id = add_link(*default_link_);
+    pit = pair_links_.emplace(key, id).first;
+  }
+  if (pit != pair_links_.end()) chain[stages++] = pit->second;
+  if (auto it = ingress_links_.find(dst.address());
+      it != ingress_links_.end()) {
+    chain[stages++] = it->second;
+  }
+
+  SimTime extra = 0;
+  for (int i = 0; i < stages; ++i) {
+    auto hop = links_[static_cast<std::size_t>(chain[i])]->admit(
+        wire_bytes, simulator_.now());
+    if (!hop) {
+      ++counters_.packets_link_dropped;
+      return std::nullopt;
+    }
+    extra += *hop;
+  }
+  return extra;
+}
+
 SimTime Network::base_one_way(const Host& a, const Host& b) const {
   if (a.address() == b.address()) return kLoopbackOneWay;
   return keyed_one_way(pair_key(a.address(), b.address()), a, b);
@@ -160,6 +250,15 @@ void Network::send(Packet packet) {
 
   SimTime delay = loopback ? kLoopbackOneWay : keyed_one_way(key, *src, *dst);
   if (!loopback) delay += latency_.jitter(rng_);
+
+  // Link models (finite-rate queues, burst loss, handover steps) sit after
+  // the iid loss/jitter draws so that configs without links replay the
+  // exact pre-link event stream. Loopback never crosses a link.
+  if (any_links_ && !loopback) {
+    auto extra = traverse_links(*src, *dst, packet.ip_payload_bytes());
+    if (!extra) return;  // counted in traverse_links
+    delay += *extra;
+  }
 
   if (batch_window_ > 0 && packet.protocol == kProtoUdp) {
     // Round delivery UP to the aggregation grid; every packet landing on

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "net/address.h"
 #include "net/geo.h"
 #include "net/latency.h"
+#include "net/link.h"
 #include "sim/simulator.h"
 #include "util/buffer.h"
 #include "util/rng.h"
@@ -115,6 +117,9 @@ struct NetworkCounters {
   std::uint64_t packets_lost = 0;
   std::uint64_t packets_unroutable = 0;
   std::uint64_t ip_payload_bytes = 0;
+  /// Packets that died on a link: full queue (tail drop) or the
+  /// Gilbert-Elliott chain. Disjoint from `packets_lost` (the iid draw).
+  std::uint64_t packets_link_dropped = 0;
 };
 
 /// The fabric. Owns all hosts.
@@ -171,6 +176,43 @@ class Network {
   /// Per-pair loss override in [0,1] (both directions).
   void set_loss_override(IpAddress a, IpAddress b, double loss);
 
+  // --- link-level path modeling (see net/link.h) ---
+  //
+  // With no links configured, send() is bit-identical to the flat
+  // delay+loss fabric: no extra RNG draws, no timing changes. Each link has
+  // its own RNG stream (seeded from the link seed and its id), so binding a
+  // link on one path never perturbs jitter/loss draws on another.
+
+  /// Creates a link; returns its id. Links are never destroyed.
+  int add_link(LinkConfig config);
+
+  /// Routes all traffic from `src` to `dst` (one direction!) through the
+  /// link. The addresses are resolved through the routing table at send
+  /// time, so a prefix-fronted client aggregate shares its host's link.
+  void bind_link(IpAddress src, IpAddress dst, int link_id);
+
+  /// All traffic leaving / reaching `host` traverses the link — ONE shared
+  /// queue, so flows from different peers compete for it (the
+  /// shared-bottleneck fairness setup). Pair bindings compose with these:
+  /// a packet traverses egress(src), then the pair link, then ingress(dst).
+  void set_host_egress_link(IpAddress host, int link_id);
+  void set_host_ingress_link(IpAddress host, int link_id);
+
+  /// Every directed host pair (after routing; loopback excluded) lazily
+  /// gets its own link instance built from `config` — the "all paths are
+  /// LTE-like" adverse study switch. Per-pair instances keep queues and
+  /// loss chains independent, seeded from (link seed, directed pair key).
+  void set_default_link(LinkConfig config);
+
+  const Link& link(int link_id) const { return *links_.at(link_id); }
+  std::size_t link_count() const { return links_.size(); }
+  const LinkStats& link_stats(int link_id) const {
+    return links_.at(link_id)->stats();
+  }
+  /// Elementwise sum over all links (queue-pressure observability; the
+  /// sharded engine folds this into its shard CSV).
+  LinkStats link_totals() const;
+
   /// Network-wide random loss rate (default 0.2%).
   void set_loss_rate(double rate) { loss_rate_ = rate; }
   double loss_rate() const { return loss_rate_; }
@@ -215,6 +257,18 @@ class Network {
   void stage_batch(Host& target, SimTime bucket, Packet packet);
   void flush_batch(IpAddress via, SimTime bucket);
 
+  /// Directed (src, dst) key — unlike pair_key, order matters (each
+  /// direction of a path has its own queue and loss chain).
+  static std::uint64_t directed_key(IpAddress src, IpAddress dst) {
+    return (std::uint64_t(src.value()) << 32) | dst.value();
+  }
+
+  /// Runs `packet`-sized bytes through every link bound on src->dst.
+  /// Returns the summed extra delay, or nullopt when a link dropped it
+  /// (counted). Called only when any link/default is configured.
+  std::optional<SimTime> traverse_links(const Host& src, const Host& dst,
+                                        std::size_t wire_bytes);
+
   sim::Simulator& simulator_;
   Rng rng_;
   LatencyModel latency_;
@@ -230,6 +284,17 @@ class Network {
   std::vector<PrefixRoute> prefix_routes_;
   std::unordered_map<std::uint64_t, SimTime> path_overrides_;
   std::unordered_map<std::uint64_t, double> loss_overrides_;
+
+  // Link layer. `links_` owns every Link; the maps bind them to directed
+  // pairs and host aggregates. `default_link_` is the lazy per-pair
+  // template; `pair_links_` caches both explicit bindings and lazily
+  // created defaults, keyed by directed routed addresses.
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<std::uint64_t, int> pair_links_;
+  std::unordered_map<IpAddress, int> egress_links_;
+  std::unordered_map<IpAddress, int> ingress_links_;
+  std::optional<LinkConfig> default_link_;
+  bool any_links_ = false;
   Tap tap_;
   NetworkCounters counters_;
   SimTime batch_window_ = 0;

@@ -13,6 +13,9 @@ namespace {
 constexpr std::size_t kPacketOverhead = 80;
 /// Per-frame overhead bound (type + varints).
 constexpr std::size_t kFrameOverhead = 24;
+/// RFC 9002 §6.1.1 packet reordering threshold: a packet is declared lost
+/// when one sent at least this many packet numbers later is acknowledged.
+constexpr std::uint64_t kPacketThreshold = 3;
 }  // namespace
 
 std::shared_ptr<QuicConnection> QuicConnection::make_client(
@@ -41,6 +44,11 @@ QuicConnection::QuicConnection(sim::Simulator& sim, QuicConfig config,
       version_(config_.version),
       local_cid_(config_.is_server ? 0x5EC0DE5EC0DE5EC0ull
                                    : 0xC11E27C11E27C11Eull) {
+  cc::CcConfig cc_config;
+  cc_config.algorithm = config_.congestion_algorithm;
+  cc_config.mss = config_.max_datagram_size;
+  cc_config.trace = config_.cc_trace;
+  cc_ = cc::CongestionController(cc_config);
   touch_idle_timer();
 }
 
@@ -253,6 +261,17 @@ void QuicConnection::flush_output() {
     return PacketType::kOneRtt;
   };
 
+  // RFC 9002 §7: with congestion control enforced, ack-eliciting frames may
+  // only fill the window headroom; the excess stays pending and flushes when
+  // acknowledgements free window (on_datagram always re-flushes). Pure ACKs
+  // and CONNECTION_CLOSE are never blocked.
+  std::size_t window_room = static_cast<std::size_t>(-1);
+  if (config_.enable_cc) {
+    window_room = cc_.cwnd() > bytes_in_flight_
+                      ? cc_.cwnd() - bytes_in_flight_
+                      : 0;
+  }
+
   for (int s = 0; s < kNumPnSpaces; ++s) {
     auto space = static_cast<PnSpace>(s);
     auto& pending = pending_[s];
@@ -262,9 +281,46 @@ void QuicConnection::flush_output() {
       if (!ranges.empty()) frames.push_back(Frame::ack(std::move(ranges)));
       need_ack_[s] = false;
     }
-    for (auto& f : pending.frames) frames.push_back(std::move(f));
-    pending.frames.clear();
-    pending.ack_only = true;
+    std::vector<Frame> deferred;
+    for (auto& f : pending.frames) {
+      if (!f.ack_eliciting()) {
+        frames.push_back(std::move(f));
+        continue;
+      }
+      if (!deferred.empty()) {
+        // Later data must stay behind the first deferral (stream order).
+        deferred.push_back(std::move(f));
+        continue;
+      }
+      const std::size_t cost = f.data.size() + f.token.size() +
+                               f.reason.size() + kFrameOverhead;
+      if (cost <= window_room) {
+        window_room -= cost;
+        frames.push_back(std::move(f));
+        continue;
+      }
+      // Partially fill the remaining window from a splittable frame.
+      const bool splittable =
+          f.type == FrameType::kCrypto || f.type == FrameType::kStream;
+      if (splittable && window_room > kFrameOverhead + 256) {
+        const std::size_t take = window_room - kFrameOverhead;
+        std::vector<std::uint8_t> head(
+            f.data.begin(), f.data.begin() + static_cast<long>(take));
+        Frame piece =
+            f.type == FrameType::kCrypto
+                ? Frame::crypto(f.offset, std::move(head))
+                : Frame::stream(f.stream_id, f.offset, std::move(head),
+                                /*fin=*/false);
+        f.data.erase(f.data.begin(),
+                     f.data.begin() + static_cast<long>(take));
+        f.offset += take;
+        frames.push_back(std::move(piece));
+        window_room = 0;
+      }
+      deferred.push_back(std::move(f));
+    }
+    pending.frames = std::move(deferred);
+    pending.ack_only = pending.frames.empty();
     if (frames.empty()) continue;
 
     std::size_t fi = 0;
@@ -362,6 +418,7 @@ void QuicConnection::send_datagrams(
       sp.pn = p.packet_number;
       sp.sent_at = sim_.now();
       sp.ack_eliciting = p.ack_eliciting();
+      sp.size = encoded_packet_size(p);
       for (const Frame& f : p.frames) {
         if (f.type == FrameType::kCrypto || f.type == FrameType::kStream ||
             f.type == FrameType::kNewToken ||
@@ -370,7 +427,10 @@ void QuicConnection::send_datagrams(
           sp.retransmittable.push_back(f);
         }
       }
-      if (sp.ack_eliciting) sent_[s].push_back(std::move(sp));
+      if (sp.ack_eliciting) {
+        bytes_in_flight_ += sp.size;
+        sent_[s].push_back(std::move(sp));
+      }
     }
 
     bytes_sent_ += wire_size;
@@ -610,6 +670,7 @@ void QuicConnection::handle_tls_message(PnSpace space,
         // the 0-RTT packets — forget them and resend post-handshake.
         auto& appdata = sent_[static_cast<int>(PnSpace::kAppData)];
         for (auto& sp : appdata) {
+          bytes_in_flight_ -= std::min(bytes_in_flight_, sp.size);
           for (auto& f : sp.retransmittable) {
             if (f.type == FrameType::kStream) {
               queue_frame(PnSpace::kAppData, f);
@@ -789,6 +850,7 @@ void QuicConnection::handle_version_negotiation(const QuicPacket& packet) {
     need_ack_[s] = false;
     received_pns_[s].clear();
   }
+  bytes_in_flight_ = 0;
   for (auto& [id, stream] : streams_) stream = Stream{};
   sent_early_data_ = false;
   send_client_initial();
@@ -807,6 +869,7 @@ void QuicConnection::handle_retry(const QuicPacket& packet) {
     need_ack_[s] = false;
     received_pns_[s].clear();
   }
+  bytes_in_flight_ = 0;
   for (auto& [id, stream] : streams_) stream = Stream{};
   sent_early_data_ = false;  // send_client_initial re-evaluates 0-RTT
   send_client_initial();
@@ -819,9 +882,18 @@ void QuicConnection::handle_ack(PnSpace space, const Frame& ack) {
   const std::uint64_t largest = ack.ack_ranges.front().last;
   auto& sent = sent_[static_cast<int>(space)];
   bool newly_acked = false;
+  std::size_t acked_bytes = 0;
+  std::uint64_t newest_pn = 0;
+  SimTime newest_sent_at = sim_.now();
   for (auto it = sent.begin(); it != sent.end();) {
     if (ack.acks(it->pn)) {
       if (it->pn == largest) update_rtt(sim_.now() - it->sent_at);
+      if (!newly_acked || it->pn >= newest_pn) {
+        newest_pn = it->pn;
+        newest_sent_at = it->sent_at;
+      }
+      acked_bytes += it->size;
+      bytes_in_flight_ -= std::min(bytes_in_flight_, it->size);
       it = sent.erase(it);
       newly_acked = true;
     } else {
@@ -830,7 +902,34 @@ void QuicConnection::handle_ack(PnSpace space, const Frame& ack) {
   }
   if (newly_acked) {
     pto_backoff_ = 0;
+    if (config_.enable_cc) {
+      cc_.on_ack(acked_bytes, newest_sent_at, sim_.now());
+      detect_losses(space, largest);
+    }
     arm_pto();
+  }
+}
+
+void QuicConnection::detect_losses(PnSpace space, std::uint64_t largest_acked) {
+  // RFC 9002 §6.1.1 packet-threshold detection: everything still unacked
+  // with pn <= largest_acked - kPacketThreshold is declared lost — its
+  // frames requeue for the next flush, and the controller takes one window
+  // reduction per recovery episode (keyed on send time).
+  if (largest_acked < kPacketThreshold) return;
+  const std::uint64_t lost_up_to = largest_acked - kPacketThreshold;
+  auto& sent = sent_[static_cast<int>(space)];
+  for (auto it = sent.begin(); it != sent.end();) {
+    if (it->pn <= lost_up_to) {
+      ++packets_lost_;
+      bytes_in_flight_ -= std::min(bytes_in_flight_, it->size);
+      cc_.on_loss(it->sent_at, sim_.now());
+      for (auto& f : it->retransmittable) {
+        queue_frame(space, std::move(f));
+      }
+      it = sent.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -890,6 +989,16 @@ void QuicConnection::on_pto() {
     fail(util::Error::timeout("QUIC handshake/transfer timed out"));
     return;
   }
+  if (config_.enable_cc) {
+    // A timeout collapses the window and restarts slow start; a second
+    // consecutive PTO with no ack in between is the model's persistent
+    // congestion signal (RFC 9002 §7.6).
+    if (pto_backoff_ >= 2) {
+      cc_.on_persistent_congestion(sim_.now());
+    } else {
+      cc_.on_rto(sim_.now());
+    }
+  }
   // Retransmit all unacknowledged retransmittable frames as fresh packets.
   bool queued_any = false;
   for (int s = 0; s < kNumPnSpaces; ++s) {
@@ -902,6 +1011,7 @@ void QuicConnection::on_pto() {
       }
     }
   }
+  bytes_in_flight_ = 0;
   if (!queued_any) {
     // Nothing retransmittable (e.g. only ACK-eliciting PINGs already gone):
     // probe with a PING in the highest active space.

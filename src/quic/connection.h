@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/cc.h"
 #include "net/udp.h"
 #include "quic/types.h"
 #include "quic/wire.h"
@@ -72,6 +73,14 @@ struct QuicConfig {
   /// filled in by QuicServer.
   std::uint32_t peer_ip = 0;
   tls::WireSizes tls_sizes = {};
+  /// RFC 9002 congestion control (shared src/cc module): cwnd-capped
+  /// sending, packet-threshold loss detection, recovery episodes,
+  /// persistent congestion. Off by default — the seed's PTO-only recovery
+  /// is the pinned baseline; adverse-path studies enable it.
+  bool enable_cc = false;
+  cc::CcAlgorithm congestion_algorithm = cc::CcAlgorithm::kNewReno;
+  /// Record the controller's (time, cwnd, phase) trace (benches/tests).
+  bool cc_trace = false;
 };
 
 /// Facts about a completed QUIC handshake.
@@ -172,6 +181,12 @@ class QuicConnection : public std::enable_shared_from_this<QuicConnection> {
   std::uint64_t datagrams_sent() const { return datagrams_sent_; }
   std::uint64_t pto_count_total() const { return total_ptos_; }
 
+  /// Congestion controller state (cwnd/phase/trace/loss episodes).
+  const cc::CongestionController& congestion() const { return cc_; }
+  std::size_t bytes_in_flight() const { return bytes_in_flight_; }
+  /// Packets declared lost by ack-based (packet threshold) detection.
+  std::uint64_t packets_declared_lost() const { return packets_lost_; }
+
  private:
   QuicConnection(sim::Simulator& sim, QuicConfig config, Callbacks callbacks);
 
@@ -192,6 +207,7 @@ class QuicConnection : public std::enable_shared_from_this<QuicConnection> {
   void process_crypto_stream(PnSpace space);
   void handle_tls_message(PnSpace space, const tls::HandshakeMessage& msg);
   void handle_ack(PnSpace space, const Frame& ack);
+  void detect_losses(PnSpace space, std::uint64_t largest_acked);
   std::vector<AckRange> build_ack_ranges(PnSpace space) const;
   void handle_stream_frame(const Frame& frame);
   void handle_version_negotiation(const QuicPacket& packet);
@@ -277,6 +293,7 @@ class QuicConnection : public std::enable_shared_from_this<QuicConnection> {
     std::vector<Frame> retransmittable;  // frames worth recovering
     SimTime sent_at;
     bool ack_eliciting;
+    std::size_t size = 0;  // encoded bytes, for in-flight accounting
   };
   std::deque<SentPacket> sent_[kNumPnSpaces];
   PendingSpace pending_[kNumPnSpaces];
@@ -294,6 +311,11 @@ class QuicConnection : public std::enable_shared_from_this<QuicConnection> {
   std::uint64_t unvalidated_sent_ = 0;
   std::vector<std::vector<QuicPacket>> blocked_datagrams_;
   bool was_amplification_blocked_ = false;
+
+  // Congestion control (RFC 9002, enforcement gated by config_.enable_cc).
+  cc::CongestionController cc_;
+  std::size_t bytes_in_flight_ = 0;
+  std::uint64_t packets_lost_ = 0;
 
   // RTT / PTO.
   std::optional<SimTime> srtt_;

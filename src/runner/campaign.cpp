@@ -31,6 +31,7 @@ std::vector<CellSpec> enumerate_cells(const CampaignConfig& campaign,
   proto_config.population_seed = campaign.seed;
   proto_config.population = campaign.population;
   proto_config.loss_rate = campaign.loss_rate;
+  // No access_link on the prototype: it only enumerates the matrix.
   measure::Testbed prototype(proto_config);
 
   const std::vector<std::size_t> resolvers = measure::sample_resolvers(
@@ -61,6 +62,7 @@ measure::TestbedConfig cell_testbed_config(const CampaignConfig& campaign,
   config.population_seed = campaign.seed;
   config.population = campaign.population;
   config.loss_rate = campaign.loss_rate;
+  config.access_link = campaign.access_link;
   return config;
 }
 

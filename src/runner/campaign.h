@@ -34,6 +34,9 @@ struct CampaignConfig {
   int jobs = 1;
   scan::PopulationConfig population = {.verified_only = true};
   double loss_rate = 0.002;
+  /// Optional adverse-path access link for every cell's vantage points
+  /// (see TestbedConfig::access_link). Unset keeps the pinned baseline.
+  std::optional<net::LinkConfig> access_link;
 };
 
 /// Runs the single-query study sharded across the pool. `study`'s

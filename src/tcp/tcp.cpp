@@ -126,7 +126,12 @@ TcpConnection::TcpConnection(TcpStack& stack, net::Endpoint local,
       options_(options),
       is_client_(is_client),
       state_(is_client ? TcpState::kSynSent : TcpState::kSynReceived) {
-  cwnd_bytes_ = options_.initial_cwnd_segments * options_.mss;
+  cc::CcConfig cc_config;
+  cc_config.algorithm = options_.congestion_algorithm;
+  cc_config.mss = options_.mss;
+  cc_config.initial_window_segments = options_.initial_cwnd_segments;
+  cc_config.trace = options_.cc_trace;
+  cc_ = cc::CongestionController(cc_config);
 }
 
 void TcpConnection::start_connect() {
@@ -187,8 +192,8 @@ void TcpConnection::send(util::Buffer data) {
   // buffer for the same input.
   if (may_pump && send_buffer_.empty() && !data.empty()) {
     const std::uint64_t in_flight = snd_nxt_ - snd_una_;
-    if (in_flight < cwnd_bytes_ && data.size() <= options_.mss &&
-        data.size() <= cwnd_bytes_ - in_flight) {
+    if (in_flight < cc_.cwnd() && data.size() <= options_.mss &&
+        data.size() <= cc_.cwnd() - in_flight) {
       Segment seg;
       seg.seq = snd_nxt_;
       seg.has_ack = true;
@@ -233,10 +238,10 @@ void TcpConnection::pump_send() {
   }
   // Bytes currently in flight.
   std::uint64_t in_flight = snd_nxt_ - snd_una_;
-  while (!send_buffer_.empty() && in_flight < cwnd_bytes_) {
+  while (!send_buffer_.empty() && in_flight < cc_.cwnd()) {
     const std::size_t chunk = std::min(
         {send_buffer_.size(), options_.mss,
-         static_cast<std::size_t>(cwnd_bytes_ - in_flight)});
+         static_cast<std::size_t>(cc_.cwnd() - in_flight)});
     Segment seg;
     seg.seq = snd_nxt_;
     seg.has_ack = true;
@@ -313,12 +318,16 @@ void TcpConnection::retransmit_front() {
   }
   ++retransmits_;
   ++backoff_;
-  // Loss response: collapse cwnd to one segment (simplified Tahoe-style).
-  cwnd_bytes_ = options_.mss;
+  // RTO loss response (RFC 5681 §3.1): ssthresh = cwnd/2, window collapses
+  // to the loss window, slow start restarts.
+  cc_.on_rto(stack_->simulator().now());
+  dup_acks_ = 0;
+  recover_ = snd_nxt_;
   Segment copy = front.segment;
   copy.has_ack = state_ != TcpState::kSynSent;
   copy.ack = rcv_nxt_;
   front.transmissions += 1;
+  front.retransmitted = true;
   const std::size_t header = copy.syn ? kSynHeaderBytes : kSegHeaderBytes;
   bytes_sent_ += header + copy.payload.size();
   stack_->send_segment(local_, remote_, copy);
@@ -340,28 +349,82 @@ void TcpConnection::update_rtt(SimTime sample) {
   }
 }
 
-void TcpConnection::handle_ack(std::uint64_t ack) {
-  if (ack <= snd_una_) return;
+void TcpConnection::fast_retransmit() {
+  if (state_ == TcpState::kClosed || outstanding_.empty()) return;
+  // One window reduction per recovery episode: a dup-ack burst for a packet
+  // sent before recovery started repairs the same episode.
+  cc_.on_loss(outstanding_.front().first_sent, stack_->simulator().now());
+  ++fast_retransmits_;
+  recover_ = snd_nxt_;
+  resend_front();
+  // The RTO timer keeps running: fast retransmit is not a timeout and must
+  // not add backoff, but an unanswered repair still escalates to the RTO.
+}
+
+/// Re-sends the oldest outstanding segment without touching the RTO timer,
+/// backoff, or the congestion controller (callers decide the loss response).
+void TcpConnection::resend_front() {
+  OutstandingSegment& front = outstanding_.front();
+  ++retransmits_;
+  front.retransmitted = true;
+  Segment copy = front.segment;
+  copy.has_ack = state_ != TcpState::kSynSent;
+  copy.ack = rcv_nxt_;
+  const std::size_t header = copy.syn ? kSynHeaderBytes : kSegHeaderBytes;
+  bytes_sent_ += header + copy.payload.size();
+  stack_->send_segment(local_, remote_, copy);
+}
+
+void TcpConnection::handle_ack(std::uint64_t ack, bool pure_ack) {
+  if (ack <= snd_una_) {
+    // RFC 5681 §3.2: three duplicate ACKs for the oldest unacked byte mean
+    // the segment after them very likely died — repair without waiting for
+    // the RTO. Only data-less segments count; a peer's data segments repeat
+    // the ack number without signalling loss.
+    if (cc_.fast_recovery_enabled() && pure_ack && ack == snd_una_ &&
+        !outstanding_.empty() && snd_nxt_ > snd_una_) {
+      if (++dup_acks_ == 3) fast_retransmit();
+    }
+    return;
+  }
   const std::uint64_t newly_acked = ack - snd_una_;
   snd_una_ = ack;
+  dup_acks_ = 0;
+  // Forward progress clears the exponential backoff (RFC 6298 §5.7); RTT
+  // *samples*, by contrast, only ever come from fresh segments below.
   backoff_ = 0;
 
+  SimTime newest_sent_at = stack_->simulator().now();
   while (!outstanding_.empty()) {
     OutstandingSegment& front = outstanding_.front();
     const std::uint64_t end = front.segment.seq + front.segment.seq_span();
     if (end > ack) break;
     front.rto_timer.cancel();
-    if (front.transmissions == 1) {
-      // Karn's algorithm: only sample RTT from unambiguous transmissions.
+    newest_sent_at = front.first_sent;
+    if (!front.retransmitted) {
+      // Karn's algorithm: only sample RTT from unambiguous (never
+      // retransmitted) segments — the ack for a retransmission cannot be
+      // matched to a send time, and a sample taken from it would poison
+      // SRTT/RTTVAR with either the doubled timeout or a stale send.
       update_rtt(stack_->simulator().now() - front.first_sent);
     }
     outstanding_.pop_front();
   }
+  // RFC 6582 partial ack: progress that stops short of the recovery point
+  // means the next outstanding segment died in the same flight. Retransmit
+  // it now — waiting a full RTO per lost segment starves small windows
+  // (on_loss is a no-op for losses inside the current episode).
+  if (cc_.fast_recovery_enabled() && snd_una_ < recover_ &&
+      !outstanding_.empty()) {
+    cc_.on_loss(outstanding_.front().first_sent, stack_->simulator().now());
+    resend_front();
+  }
   arm_rto();
 
-  // Slow start growth (we never leave it; transfers are short).
-  cwnd_bytes_ += static_cast<std::size_t>(
-      std::min<std::uint64_t>(newly_acked, options_.mss * 2));
+  // Window growth: slow start / congestion avoidance per the configured
+  // algorithm; acks for recovery-episode data do not grow the window.
+  cc_.on_ack(static_cast<std::size_t>(newly_acked), newest_sent_at,
+             stack_->simulator().now());
 
   if (state_ == TcpState::kSynReceived) enter_established();
   if ((state_ == TcpState::kFinWait || state_ == TcpState::kLastAck) &&
@@ -399,7 +462,7 @@ void TcpConnection::handle_segment(Segment segment) {
       snd_nxt_ = 1;
       used_tfo_ = false;
     }
-    handle_ack(segment.ack);
+    handle_ack(segment.ack, /*pure_ack=*/false);
     send_pure_ack();
     enter_established();
     // 0.5-RTT data from a TFO server can outrace the SYN-ACK; it was
@@ -414,7 +477,11 @@ void TcpConnection::handle_segment(Segment segment) {
     return;
   }
 
-  if (segment.has_ack) handle_ack(segment.ack);
+  if (segment.has_ack) {
+    const bool pure_ack =
+        segment.payload.empty() && !segment.syn && !segment.fin;
+    handle_ack(segment.ack, pure_ack);
+  }
   if (state_ == TcpState::kClosed) return;
 
   bool advanced = false;

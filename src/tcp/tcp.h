@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cc/cc.h"
 #include "net/network.h"
 #include "util/error.h"
 #include "util/types.h"
@@ -55,6 +56,13 @@ struct TcpOptions {
   /// Client side: attempt TCP Fast Open (requires a cached cookie and a
   /// server that accepts TFO).
   bool enable_tfo = false;
+  /// Congestion-control algorithm (shared src/cc module). The default is
+  /// the seed-faithful legacy mode — pure slow start, collapse to one
+  /// segment, no fast retransmit — so pinned artifacts stay byte-identical;
+  /// adverse-path scenarios opt into kNewReno or kCubic.
+  cc::CcAlgorithm congestion_algorithm = cc::CcAlgorithm::kLegacySlowStart;
+  /// Record the (time, cwnd, phase) trace on the controller (benches/tests).
+  bool cc_trace = false;
 };
 
 class TcpStack;
@@ -128,6 +136,15 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   /// Total retransmitted segments (diagnostics / tests).
   std::uint64_t retransmit_count() const { return retransmits_; }
 
+  /// Congestion controller state (cwnd/ssthresh/phase/trace).
+  const cc::CongestionController& congestion() const { return cc_; }
+  std::size_t cwnd_bytes() const { return cc_.cwnd(); }
+  /// Fast retransmits triggered by triple duplicate ACKs (vs RTO fires,
+  /// which `retransmit_count` also includes).
+  std::uint64_t fast_retransmit_count() const { return fast_retransmits_; }
+  /// Current RTO backoff shift (clears when an ack advances snd_una).
+  int rto_backoff() const { return backoff_; }
+
   /// True if this connection's first flight carried TFO data.
   bool used_tfo() const { return used_tfo_; }
 
@@ -152,7 +169,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   struct OutstandingSegment {
     Segment segment;
     SimTime first_sent = 0;
+    /// RTO-driven (re)transmissions only — feeds the exhaustion abort.
     int transmissions = 0;
+    /// Set by any retransmission (RTO or fast retransmit): the segment's
+    /// ack is ambiguous, so Karn forbids sampling RTT from it.
+    bool retransmitted = false;
     sim::Timer rto_timer;
   };
 
@@ -162,11 +183,13 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void start_connect();
   void accept_syn(const Segment& syn);
   void handle_segment(Segment segment);
-  void handle_ack(std::uint64_t ack);
+  void handle_ack(std::uint64_t ack, bool pure_ack);
   void deliver_in_order();
   void pump_send();
   void transmit(Segment segment, bool count_outstanding);
   void retransmit_front();
+  void fast_retransmit();
+  void resend_front();
   void arm_rto();
   void update_rtt(SimTime sample);
   SimTime current_rto() const;
@@ -187,7 +210,13 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::uint64_t snd_nxt_ = 0;              // next logical seq to send
   std::uint64_t snd_una_ = 0;              // oldest unacked seq
   std::deque<OutstandingSegment> outstanding_;
-  std::size_t cwnd_bytes_ = 0;
+  cc::CongestionController cc_;
+  /// Duplicate-ACK counter for fast retransmit (RFC 5681 §3.2).
+  int dup_acks_ = 0;
+  /// NewReno recovery point (RFC 6582): snd_nxt_ when the current loss
+  /// episode started. Acks below it are partial acks — the next segment
+  /// died in the same flight and is retransmitted immediately.
+  std::uint64_t recover_ = 0;
   bool fin_queued_ = false;
   bool fin_sent_ = false;
   bool syn_sent_ = false;
@@ -212,6 +241,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t fast_retransmits_ = 0;
   std::optional<SimTime> connected_at_;
   bool used_tfo_ = false;
 };

@@ -1,0 +1,221 @@
+// Unit tests for the shared congestion-control module: NewReno slow
+// start / avoidance / recovery-episode semantics, CUBIC growth and fast
+// convergence, RTO collapse, and the seed-faithful legacy mode the default
+// TCP path pins its byte-identical artifacts on.
+#include <gtest/gtest.h>
+
+#include "cc/cc.h"
+
+namespace doxlab::cc {
+namespace {
+
+constexpr std::size_t kMss = 1460;
+
+CcConfig newreno_config() {
+  CcConfig c;
+  c.algorithm = CcAlgorithm::kNewReno;
+  c.mss = kMss;
+  return c;
+}
+
+TEST(CongestionController, StartsAtInitialWindowInSlowStart) {
+  CongestionController cc(newreno_config());
+  EXPECT_EQ(cc.cwnd(), 10 * kMss);
+  EXPECT_TRUE(cc.in_slow_start());
+  EXPECT_EQ(cc.phase(), CcPhase::kSlowStart);
+}
+
+TEST(CongestionController, SlowStartGrowsOneMssPerMssAcked) {
+  CongestionController cc(newreno_config());
+  const std::size_t before = cc.cwnd();
+  cc.on_ack(kMss, /*sent_at=*/0, /*now=*/from_ms(20));
+  EXPECT_EQ(cc.cwnd(), before + kMss);
+  // A jumbo ack is capped at 2 MSS of growth (RFC 9002 appendix rationale).
+  cc.on_ack(10 * kMss, 0, from_ms(40));
+  EXPECT_EQ(cc.cwnd(), before + kMss + 2 * kMss);
+}
+
+TEST(CongestionController, LossHalvesWindowAndEntersRecovery) {
+  CongestionController cc(newreno_config());
+  const std::size_t before = cc.cwnd();
+  EXPECT_TRUE(cc.on_loss(/*sent_at=*/from_ms(5), /*now=*/from_ms(30)));
+  EXPECT_EQ(cc.cwnd(), before / 2);
+  EXPECT_EQ(cc.ssthresh(), before / 2);
+  EXPECT_EQ(cc.phase(), CcPhase::kRecovery);
+  EXPECT_EQ(cc.loss_episodes(), 1u);
+}
+
+TEST(CongestionController, OneReductionPerRecoveryEpisode) {
+  CongestionController cc(newreno_config());
+  ASSERT_TRUE(cc.on_loss(from_ms(5), from_ms(30)));
+  const std::size_t reduced = cc.cwnd();
+  // Losses of other packets from the same pre-recovery flight: no-ops.
+  EXPECT_FALSE(cc.on_loss(from_ms(10), from_ms(31)));
+  EXPECT_FALSE(cc.on_loss(from_ms(29), from_ms(35)));
+  EXPECT_EQ(cc.cwnd(), reduced);
+  EXPECT_EQ(cc.loss_episodes(), 1u);
+  // A loss of data sent AFTER recovery began starts a new episode.
+  EXPECT_TRUE(cc.on_loss(from_ms(40), from_ms(60)));
+  EXPECT_EQ(cc.loss_episodes(), 2u);
+}
+
+TEST(CongestionController, AckOfPostRecoveryDataExitsRecovery) {
+  CongestionController cc(newreno_config());
+  ASSERT_TRUE(cc.on_loss(from_ms(5), from_ms(30)));
+  // Acks for pre-recovery data repair the episode without growth.
+  const std::size_t during = cc.cwnd();
+  cc.on_ack(kMss, from_ms(10), from_ms(50));
+  EXPECT_EQ(cc.cwnd(), during);
+  EXPECT_EQ(cc.phase(), CcPhase::kRecovery);
+  // An ack of data sent after the reduction ends the episode.
+  cc.on_ack(kMss, from_ms(40), from_ms(70));
+  EXPECT_NE(cc.phase(), CcPhase::kRecovery);
+}
+
+TEST(CongestionController, AvoidanceGrowsOneMssPerWindow) {
+  CongestionController cc(newreno_config());
+  ASSERT_TRUE(cc.on_loss(from_ms(5), from_ms(30)));
+  cc.on_ack(kMss, from_ms(40), from_ms(50));  // exit recovery
+  ASSERT_EQ(cc.phase(), CcPhase::kCongestionAvoidance);
+  const std::size_t start = cc.cwnd();
+  // One full window of acked bytes grows the window by exactly one MSS.
+  std::size_t acked = 0;
+  SimTime now = from_ms(60);
+  while (acked < start) {
+    cc.on_ack(kMss, from_ms(41), now);
+    acked += kMss;
+    now += from_ms(1);
+  }
+  EXPECT_GE(cc.cwnd(), start + kMss);
+  EXPECT_LT(cc.cwnd(), start + 3 * kMss);
+}
+
+TEST(CongestionController, RtoCollapsesToMinWindowAndHalvesSsthresh) {
+  CongestionController cc(newreno_config());
+  const std::size_t before = cc.cwnd();
+  cc.on_rto(from_ms(100));
+  EXPECT_EQ(cc.cwnd(), 2 * kMss);  // min_window_segments = 2
+  EXPECT_EQ(cc.ssthresh(), before / 2);
+  EXPECT_EQ(cc.loss_episodes(), 1u);
+}
+
+TEST(CongestionController, PersistentCongestionMatchesRto) {
+  CongestionController a(newreno_config());
+  CongestionController b(newreno_config());
+  a.on_rto(from_ms(100));
+  b.on_persistent_congestion(from_ms(100));
+  EXPECT_EQ(a.cwnd(), b.cwnd());
+  EXPECT_EQ(a.ssthresh(), b.ssthresh());
+}
+
+TEST(CongestionController, WindowNeverDropsBelowFloor) {
+  CongestionController cc(newreno_config());
+  for (int i = 0; i < 20; ++i) {
+    cc.on_rto(from_ms(100 + i));
+    cc.on_loss(from_ms(100 + i), from_ms(101 + i));
+  }
+  EXPECT_GE(cc.cwnd(), 2 * kMss);
+}
+
+TEST(CongestionController, TraceRecordsPhaseTransitions) {
+  CcConfig config = newreno_config();
+  config.trace = true;
+  CongestionController cc(config);
+  cc.on_ack(kMss, 0, from_ms(20));
+  cc.on_loss(from_ms(5), from_ms(30));
+  cc.on_ack(kMss, from_ms(40), from_ms(50));
+  const auto& trace = cc.trace();
+  ASSERT_GE(trace.size(), 3u);
+  bool saw_slow_start = false;
+  bool saw_recovery = false;
+  for (const auto& point : trace) {
+    saw_slow_start |= point.phase == CcPhase::kSlowStart;
+    saw_recovery |= point.phase == CcPhase::kRecovery;
+  }
+  EXPECT_TRUE(saw_slow_start);
+  EXPECT_TRUE(saw_recovery);
+}
+
+// ------------------------------------------------------------------- CUBIC
+
+CcConfig cubic_config() {
+  CcConfig c;
+  c.algorithm = CcAlgorithm::kCubic;
+  c.mss = kMss;
+  return c;
+}
+
+TEST(CongestionController, CubicReducesByBetaOnLoss) {
+  CongestionController cc(cubic_config());
+  const std::size_t before = cc.cwnd();
+  ASSERT_TRUE(cc.on_loss(from_ms(5), from_ms(30)));
+  EXPECT_EQ(cc.cwnd(),
+            static_cast<std::size_t>(static_cast<double>(before) * 0.7));
+}
+
+TEST(CongestionController, CubicRegrowsTowardWmaxAfterLoss) {
+  CongestionController cc(cubic_config());
+  ASSERT_TRUE(cc.on_loss(from_ms(5), from_ms(30)));
+  cc.on_ack(kMss, from_ms(40), from_ms(50));  // exit recovery, start epoch
+  const std::size_t reduced = cc.cwnd();
+  // Feed acks over simulated seconds: the cubic function must regrow the
+  // window, capped at one MSS per ack.
+  SimTime now = from_ms(60);
+  std::size_t last = reduced;
+  for (int i = 0; i < 400; ++i) {
+    cc.on_ack(kMss, from_ms(41), now);
+    EXPECT_LE(cc.cwnd(), last + kMss);  // per-ack growth cap
+    last = cc.cwnd();
+    now += from_ms(10);
+  }
+  EXPECT_GT(cc.cwnd(), reduced + 2 * kMss);
+}
+
+// ----------------------------------------------------- legacy (seed) mode
+
+CcConfig legacy_config() {
+  CcConfig c;
+  c.algorithm = CcAlgorithm::kLegacySlowStart;
+  c.mss = kMss;
+  return c;
+}
+
+TEST(CongestionController, LegacyGrowsOnEveryAck) {
+  CongestionController cc(legacy_config());
+  const std::size_t before = cc.cwnd();
+  cc.on_ack(kMss, 0, from_ms(20));
+  EXPECT_EQ(cc.cwnd(), before + kMss);
+  // Still grows while nominally "in recovery" — the seed model had no
+  // episode bookkeeping at all.
+  cc.on_rto(from_ms(30));
+  cc.on_ack(kMss, from_ms(5), from_ms(40));
+  EXPECT_EQ(cc.cwnd(), kMss + kMss);
+}
+
+TEST(CongestionController, LegacyCollapsesToExactlyOneSegment) {
+  CongestionController cc(legacy_config());
+  cc.on_rto(from_ms(100));
+  EXPECT_EQ(cc.cwnd(), kMss);
+  // on_loss routes to the same collapse (the seed had no fast recovery).
+  CongestionController cc2(legacy_config());
+  EXPECT_TRUE(cc2.on_loss(from_ms(5), from_ms(30)));
+  EXPECT_EQ(cc2.cwnd(), kMss);
+}
+
+TEST(CongestionController, LegacyNeverSetsSsthresh) {
+  CongestionController cc(legacy_config());
+  const std::size_t unset = cc.ssthresh();
+  cc.on_rto(from_ms(100));
+  cc.on_ack(kMss, from_ms(5), from_ms(120));
+  EXPECT_EQ(cc.ssthresh(), unset);
+  EXPECT_EQ(cc.phase(), CcPhase::kSlowStart);
+}
+
+TEST(CongestionController, LegacyDisablesFastRecovery) {
+  EXPECT_FALSE(CongestionController(legacy_config()).fast_recovery_enabled());
+  EXPECT_TRUE(CongestionController(newreno_config()).fast_recovery_enabled());
+  EXPECT_TRUE(CongestionController(cubic_config()).fast_recovery_enabled());
+}
+
+}  // namespace
+}  // namespace doxlab::cc

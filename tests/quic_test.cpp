@@ -662,5 +662,102 @@ TEST_F(QuicFixture, ResumedHandshakeBytesMatchPaperShape) {
   EXPECT_LE(received_at_complete, 1500u);
 }
 
+// ------------------------------------------- RFC 9002 congestion control
+
+TEST_F(QuicFixture, CcDisabledByDefaultKeepsSeedBehaviour) {
+  start_server(server_config());
+  auto conn = make_client(client_config());
+  conn->connect();
+  sim_.run_until(3 * kSecond);
+  ASSERT_TRUE(client_info_.has_value());
+  EXPECT_FALSE(conn->congestion().config().trace);
+  EXPECT_TRUE(conn->congestion().trace().empty());
+}
+
+TEST_F(QuicFixture, PacketThresholdLossDetectionDeclaresLosses) {
+  // Moderate iid loss with CC on: ack-triggered kPacketThreshold reordering
+  // detection must declare losses well before a PTO would fire, and the
+  // transfer still completes.
+  network_.set_loss_override(client_host_.address(), server_host_.address(),
+                             0.1);
+  // Custom server that accumulates the whole stream and acks the byte count
+  // back once the fin lands (the fixture echo only reflects the last span).
+  server_ = std::make_unique<QuicServer>(sim_, server_udp_, 853,
+                                         server_config());
+  std::size_t server_received = 0;
+  server_->on_accept([&](const std::shared_ptr<QuicConnection>& conn,
+                         const Endpoint&) {
+    accepted_.push_back(conn);
+    conn->set_on_stream_data([&server_received, c = conn.get()](
+                                 std::uint64_t id,
+                                 std::span<const std::uint8_t> data,
+                                 bool fin) {
+      server_received += data.size();
+      if (fin) c->send_stream(id, {1}, true);
+    });
+  });
+  QuicConfig config = client_config();
+  config.enable_cc = true;
+  auto conn = make_client(config);
+  conn->connect();
+  sim_.run_until(kSecond);
+  const std::uint64_t id =
+      conn->open_stream(std::vector<std::uint8_t>(120000, 0x3C), true);
+  sim_.run_until(60 * kSecond);
+  ASSERT_TRUE(stream_fin_[id]);
+  EXPECT_EQ(server_received, 120000u);
+  EXPECT_GT(conn->packets_declared_lost(), 0u);
+  EXPECT_GT(conn->congestion().loss_episodes(), 0u);
+  EXPECT_EQ(conn->bytes_in_flight(), 0u);  // everything acked or declared
+}
+
+TEST_F(QuicFixture, CwndTraceShowsSlowStartThenRecovery) {
+  network_.set_loss_override(client_host_.address(), server_host_.address(),
+                             0.08);
+  start_server(server_config());
+  QuicConfig config = client_config();
+  config.enable_cc = true;
+  config.cc_trace = true;
+  auto conn = make_client(config);
+  conn->connect();
+  sim_.run_until(kSecond);
+  conn->open_stream(std::vector<std::uint8_t>(150000, 0x77), true);
+  sim_.run_until(30 * kSecond);
+  const auto& trace = conn->congestion().trace();
+  ASSERT_FALSE(trace.empty());
+  bool saw_slow_start = false;
+  bool recovery_after_slow_start = false;
+  for (const auto& point : trace) {
+    if (point.phase == cc::CcPhase::kSlowStart) saw_slow_start = true;
+    if (saw_slow_start && point.phase == cc::CcPhase::kRecovery) {
+      recovery_after_slow_start = true;
+    }
+  }
+  EXPECT_TRUE(saw_slow_start);
+  EXPECT_TRUE(recovery_after_slow_start);
+}
+
+TEST_F(QuicFixture, BlackholeCollapsesWindowViaPersistentCongestion) {
+  start_server(server_config());
+  QuicConfig config = client_config();
+  config.enable_cc = true;
+  auto conn = make_client(config);
+  conn->connect();
+  sim_.run_until(kSecond);
+  const std::size_t cwnd_before = conn->congestion().cwnd();
+  // Black-hole the path mid-transfer: consecutive PTOs with nothing acked
+  // in between must trip persistent congestion and floor the window.
+  conn->open_stream(std::vector<std::uint8_t>(50000, 0x2A), true);
+  sim_.at(sim_.now() + from_ms(5), [&] {
+    network_.set_loss_override(client_host_.address(),
+                               server_host_.address(), 1.0);
+  });
+  sim_.run_until(sim_.now() + 10 * kSecond);
+  EXPECT_LT(conn->congestion().cwnd(), cwnd_before);
+  EXPECT_EQ(conn->congestion().cwnd(),
+            conn->congestion().config().min_window_segments *
+                conn->congestion().config().mss);
+}
+
 }  // namespace
 }  // namespace doxlab::quic

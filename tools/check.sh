@@ -17,6 +17,9 @@ cmake --build "$root/build" -j "$jobs"
 ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
 echo "== sharded engine scaling smoke =="
 "$root/build/bench/engine_scale" --smoke
+echo "== adverse-path smoke (fairness + RFC 9002 recovery) =="
+"$root/build/bench/adverse_path" --smoke
+"$root/build/tools/doxperf" adverse --smoke >/dev/null
 
 echo "== sanitizer build (${root}/build-sanitize, ASan+UBSan) =="
 cmake -B "$root/build-sanitize" -S "$root" -DDOXLAB_SANITIZE=ON >/dev/null
@@ -35,5 +38,9 @@ cmake --build "$root/build-tsan" -j "$jobs" --target \
       --qps=3000 --seconds=2 >/dev/null
 "$root/build-tsan/tools/doxperf" engine --shards=4 --clients=5000 \
       --qps=3000 --seconds=2 --batch-us=200 --wire-cache=4096 >/dev/null
+# Finite-rate bottleneck on every shard host: exercises the link-layer
+# queue/loss path under the race detector.
+"$root/build-tsan/tools/doxperf" engine --shards=4 --clients=5000 \
+      --qps=3000 --seconds=2 --bottleneck-mbps=20 >/dev/null
 
 echo "== all checks passed =="

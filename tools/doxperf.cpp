@@ -82,7 +82,21 @@ shards, per-shard L1 caches over one shared L2 packet cache:
                      into one batch event, 0 = per-datagram (default 0)
   --wire-cache=N     raw-wire packet-cache entries fronting the L1, 0
                      disables (default 0; also honoured by single-engine)
+  --bottleneck-mbps=N     finite-rate ingress link on each shard host, 0
+                     disables (default 0)
+  --bottleneck-queue-kb=N tail-drop queue depth for that link (default 64)
   --shard-csv=FILE   per-shard stats rows (deterministic columns only)
+
+adverse subcommand — the adverse-path study (doxperf adverse ...): the
+single-query sweep repeated per link profile (baseline / burstloss /
+bufferbloat / handover / lte) with real congestion control (TCP NewReno,
+QUIC RFC 9002) on every transport. Bit-identical for any --jobs value:
+  --jobs=N           worker threads (default 1; 0 = all hardware threads)
+  --resolvers=N      verified resolvers (default 12)
+  --reps=N           repetitions per combination (default 3)
+  --profiles=LIST    comma list of the profiles above (default: all five)
+  --csv=FILE         raw per-record rows with a profile column
+  --smoke            tiny deterministic run (CI)
 
 abuse subcommand — engine load plus attack mixes shed by the policy chain
 (doxperf abuse ...): the engine flags above, and
@@ -148,13 +162,14 @@ std::string shard_csv(const engine::ShardedResult& result) {
   std::string out =
       "shard,arrivals,sent,answered,servfails,timeouts,shed,queries,"
       "cache_hits,stale_hits,misses,coalesced,wire_hits,wire_lookups,"
-      "l2_hits,l2_lookups,upstream_resolves,events,digest,outcomes\n";
+      "l2_hits,l2_lookups,upstream_resolves,link_packets,link_drops,"
+      "link_queue_peak,events,digest,outcomes\n";
   char line[512];
   for (const auto& shard : result.shards) {
     std::snprintf(
         line, sizeof(line),
         "%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-        "%llu,%llu,%llu,%llu,%llu,%016llx,%016llx\n",
+        "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%016llx,%016llx\n",
         shard.index, static_cast<unsigned long long>(shard.arrivals),
         static_cast<unsigned long long>(shard.load.sent),
         static_cast<unsigned long long>(shard.load.answered),
@@ -171,12 +186,16 @@ std::string shard_csv(const engine::ShardedResult& result) {
         static_cast<unsigned long long>(shard.engine.l2_hits),
         static_cast<unsigned long long>(shard.engine.l2_lookups),
         static_cast<unsigned long long>(shard.engine.upstream_resolves),
+        static_cast<unsigned long long>(shard.engine.link_packets),
+        static_cast<unsigned long long>(shard.engine.link_drops),
+        static_cast<unsigned long long>(shard.engine.link_queue_peak),
         static_cast<unsigned long long>(shard.events),
         static_cast<unsigned long long>(shard.stream_digest),
         static_cast<unsigned long long>(shard.outcome_digest));
     out += line;
   }
-  std::snprintf(line, sizeof(line), "merged,,,,,,,,,,,,,,,,,,%016llx,%016llx\n",
+  std::snprintf(line, sizeof(line),
+                "merged,,,,,,,,,,,,,,,,,,,,,%016llx,%016llx\n",
                 static_cast<unsigned long long>(result.merged_digest),
                 static_cast<unsigned long long>(result.outcome_digest));
   out += line;
@@ -206,6 +225,15 @@ int run_engine_sharded(int argc, char** argv, std::uint32_t shards) {
   config.engine.wire_cache_capacity = static_cast<std::size_t>(
       flag_int(argc, argv, "--wire-cache", 0));
   config.engine.max_ttl = 1;
+  const int bottleneck_mbps = flag_int(argc, argv, "--bottleneck-mbps", 0);
+  if (bottleneck_mbps > 0) {
+    net::LinkConfig link;
+    link.rate_bps = static_cast<double>(bottleneck_mbps) * 1e6;
+    link.queue_bytes = static_cast<std::size_t>(
+                           flag_int(argc, argv, "--bottleneck-queue-kb", 64)) *
+                       1024;
+    config.bottleneck = link;
+  }
 
   const auto result = engine::run_sharded(config);
   const auto& e = result.engine;
@@ -453,6 +481,153 @@ int run_abuse(int argc, char** argv) {
   return 0;
 }
 
+/// One adverse-path link profile: a name plus the access-link shape every
+/// vantage point gets (nullopt = the pinned geo-latency baseline).
+struct AdverseProfile {
+  const char* name;
+  std::optional<net::LinkConfig> link;
+};
+
+/// The profile family for `doxperf adverse` — LTE-flavoured impairments
+/// from the web-performance literature the paper draws on.
+std::vector<AdverseProfile> adverse_profiles() {
+  std::vector<AdverseProfile> out;
+  out.push_back({"baseline", std::nullopt});
+
+  // Gilbert-Elliott burst loss alone: ~7% stationary loss in ~4-packet
+  // bursts, the regime where one lost TCP segment stalls the whole stream
+  // but QUIC only delays the affected one.
+  net::LinkConfig burst;
+  burst.burst_loss = net::GilbertElliott{};
+  out.push_back({"burstloss", burst});
+
+  // Bufferbloat: a 10 Mbit/s bottleneck with a deep FIFO — no loss, but
+  // queueing delay inflates every RTT once the link saturates.
+  net::LinkConfig bloat;
+  bloat.rate_bps = 10e6;
+  bloat.queue_bytes = 256 * 1024;
+  out.push_back({"bufferbloat", bloat});
+
+  // Handover: scripted RTT steps, +80 ms one-way between t=1s and t=3s
+  // (a radio handover mid-measurement).
+  net::LinkConfig handover;
+  handover.delay_steps = {{0, 0}, {1 * kSecond, from_ms(80)},
+                          {3 * kSecond, 0}};
+  out.push_back({"handover", handover});
+
+  // LTE composite: constrained rate, moderate queue, burst loss and one
+  // handover step together.
+  net::LinkConfig lte;
+  lte.rate_bps = 8e6;
+  lte.queue_bytes = 96 * 1024;
+  lte.burst_loss = net::GilbertElliott{};
+  lte.delay_steps = {{0, 0}, {2 * kSecond, from_ms(60)}, {4 * kSecond, 0}};
+  out.push_back({"lte", lte});
+  return out;
+}
+
+/// `doxperf adverse` — the single-query sweep per link profile, with real
+/// congestion control on every transport. Runs on the campaign runner, so
+/// output is a pure function of the seed (never of --jobs).
+int run_adverse(int argc, char** argv) {
+  const bool smoke = flag_set(argc, argv, "--smoke");
+  runner::CampaignConfig campaign;
+  campaign.seed = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--seed", "42").c_str()));
+  campaign.jobs = flag_int(argc, argv, "--jobs", 1);
+  campaign.population.verified_only = true;
+  campaign.population.verified_dox =
+      flag_int(argc, argv, "--resolvers", smoke ? 4 : 12);
+
+  std::vector<dox::DnsProtocol> protocols{std::begin(dox::kAllProtocols),
+                                          std::end(dox::kAllProtocols)};
+  const std::string protocol_list = flag_value(argc, argv, "--protocols", "");
+  if (!protocol_list.empty()) protocols = parse_protocols(protocol_list);
+
+  SingleQueryConfig sq;
+  sq.protocols = protocols;
+  sq.qname = flag_value(argc, argv, "--qname", "google.com");
+  sq.repetitions = flag_int(argc, argv, "--reps", smoke ? 1 : 3);
+  sq.tcp_congestion = cc::CcAlgorithm::kNewReno;
+  sq.quic_enable_cc = true;
+
+  std::vector<AdverseProfile> profiles = adverse_profiles();
+  const std::string profile_list = flag_value(argc, argv, "--profiles", "");
+  if (!profile_list.empty()) {
+    std::vector<AdverseProfile> chosen;
+    for (const std::string& raw : split(profile_list, ',')) {
+      const std::string name = to_lower(raw);
+      bool found = false;
+      for (const AdverseProfile& p : profiles) {
+        if (name == p.name) {
+          chosen.push_back(p);
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown profile: %s\n", name.c_str());
+        return 2;
+      }
+    }
+    profiles = std::move(chosen);
+  }
+
+  std::string csv = "profile,protocol,vp,resolver,rep,success,"
+                    "handshake_ms,resolve_ms,total_ms\n";
+  std::printf("adverse-path study: %d resolvers, %d reps, seed %llu "
+              "(TCP NewReno, QUIC RFC 9002 CC)\n\n",
+              campaign.population.verified_dox, sq.repetitions,
+              static_cast<unsigned long long>(campaign.seed));
+  std::printf("%-12s %-6s %6s %6s %9s %9s %9s\n", "profile", "proto", "n",
+              "fail%", "p50 ms", "p95 ms", "hs p50");
+  for (const AdverseProfile& profile : profiles) {
+    campaign.access_link = profile.link;
+    const auto records = runner::run_single_query_campaign(campaign, sq);
+    for (dox::DnsProtocol protocol : protocols) {
+      std::vector<double> resolve_ms;
+      std::vector<double> handshake_ms;
+      std::size_t n = 0;
+      std::size_t failures = 0;
+      for (const auto& record : records) {
+        if (record.protocol != protocol) continue;
+        ++n;
+        if (!record.success) {
+          ++failures;
+          continue;
+        }
+        resolve_ms.push_back(to_ms(record.resolve_time));
+        handshake_ms.push_back(to_ms(record.handshake_time));
+      }
+      const auto p50 = stats::percentile(resolve_ms, 50.0);
+      const auto p95 = stats::percentile(resolve_ms, 95.0);
+      const auto hs50 = stats::percentile(handshake_ms, 50.0);
+      std::printf("%-12s %-6s %6zu %6.1f %9.2f %9.2f %9.2f\n", profile.name,
+                  std::string(dox::protocol_name(protocol)).c_str(), n,
+                  n ? 100.0 * static_cast<double>(failures) /
+                          static_cast<double>(n)
+                    : 0.0,
+                  p50.value_or(0.0), p95.value_or(0.0), hs50.value_or(0.0));
+    }
+    for (const auto& record : records) {
+      char line[256];
+      std::snprintf(line, sizeof(line), "%s,%s,%d,%d,%d,%d,%.3f,%.3f,%.3f\n",
+                    profile.name,
+                    std::string(dox::protocol_name(record.protocol)).c_str(),
+                    record.vp, record.resolver, record.rep,
+                    record.success ? 1 : 0, to_ms(record.handshake_time),
+                    to_ms(record.resolve_time), to_ms(record.total_time));
+      csv += line;
+    }
+    std::printf("\n");
+  }
+  const std::string csv_path = flag_value(argc, argv, "--csv", "");
+  if (!csv_path.empty()) {
+    write_file(csv_path, csv);
+    std::printf("raw records -> %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
 /// `doxperf campaign` — the measurement studies sharded across a
 /// work-stealing pool; reports the same tables plus wall-clock timing.
 int run_campaign(int argc, char** argv) {
@@ -558,6 +733,9 @@ int main(int argc, char** argv) {
     }
     if (argc > 1 && std::strcmp(argv[1], "campaign") == 0) {
       return run_campaign(argc, argv);
+    }
+    if (argc > 1 && std::strcmp(argv[1], "adverse") == 0) {
+      return run_adverse(argc, argv);
     }
     return run(argc, argv);
   } catch (const std::exception& e) {
