@@ -7,6 +7,18 @@ namespace doxlab::dns {
 namespace {
 /// Negative entries (no records) are cached for 60 simulated seconds.
 constexpr std::uint32_t kNegativeTtlSeconds = 60;
+
+/// Approximate wire footprint of a record set: uncompressed owner name +
+/// the 10 fixed RR header bytes + rdata, per record. Matches what
+/// SharedPacketCache::encode_rrset would produce, so L1 and L2 byte
+/// accounting are comparable.
+std::size_t records_wire_bytes(const std::vector<ResourceRecord>& records) {
+  std::size_t bytes = 0;
+  for (const ResourceRecord& rr : records) {
+    bytes += rr.name.wire_length() + 10 + rr.rdata.size();
+  }
+  return bytes;
+}
 }  // namespace
 
 void Cache::insert(const DnsName& name, RRType type,
@@ -20,10 +32,14 @@ void Cache::insert(const DnsName& name, RRType type,
     for (const auto& rr : records) min_ttl = std::min(min_ttl, rr.ttl);
     entry.original_ttl = min_ttl;
   }
+  entry.wire_bytes = records_wire_bytes(records);
   entry.records = std::move(records);
+  ++inserts_;
+  bytes_ += entry.wire_bytes;
 
   auto it = entries_.find(KeyView{name, type});
   if (it != entries_.end()) {
+    bytes_ -= it->second.entry.wire_bytes;
     it->second.entry = std::move(entry);
     touch(it->second);
     return;
@@ -34,8 +50,7 @@ void Cache::insert(const DnsName& name, RRType type,
 }
 
 bool Cache::expired(const CacheEntry& entry, SimTime now) const {
-  const SimTime age = now - entry.inserted_at;
-  return age >= static_cast<SimTime>(entry.original_ttl) * kSecond;
+  return !tier_fresh(entry.inserted_at, entry.original_ttl, now);
 }
 
 void Cache::touch(const Node& node) const {
@@ -45,7 +60,9 @@ void Cache::touch(const Node& node) const {
 void Cache::enforce_capacity() {
   if (capacity_ == 0) return;
   while (entries_.size() > capacity_) {
-    entries_.erase(lru_.back());
+    auto it = entries_.find(lru_.back());
+    bytes_ -= it->second.entry.wire_bytes;
+    entries_.erase(it);
     lru_.pop_back();
     ++evictions_;
   }
@@ -59,6 +76,7 @@ void Cache::set_capacity(std::size_t max_entries) {
 void Cache::clear() {
   entries_.clear();
   lru_.clear();
+  bytes_ = 0;
 }
 
 std::optional<EntryRef> Cache::lookup_ref(const DnsName& name, RRType type,
@@ -73,7 +91,7 @@ std::optional<EntryRef> Cache::lookup_ref(const DnsName& name, RRType type,
   const CacheEntry& entry = it->second.entry;
   EntryRef ref;
   ref.records = &entry.records;
-  ref.age_s = static_cast<std::uint32_t>((now - entry.inserted_at) / kSecond);
+  ref.age_s = tier_age_s(entry.inserted_at, now);
   return ref;
 }
 
@@ -91,17 +109,16 @@ std::optional<EntryRef> Cache::lookup_stale_ref(const DnsName& name,
     touch(it->second);
     EntryRef ref;
     ref.records = &entry.records;
-    ref.age_s =
-        static_cast<std::uint32_t>((now - entry.inserted_at) / kSecond);
+    ref.age_s = tier_age_s(entry.inserted_at, now);
     return ref;
   }
-  const SimTime expired_at =
-      entry.inserted_at + static_cast<SimTime>(entry.original_ttl) * kSecond;
-  if (now - expired_at >= max_stale) {
+  if (!tier_stale_within(entry.inserted_at, entry.original_ttl, now,
+                         max_stale)) {
     ++misses_;
     return std::nullopt;
   }
   ++hits_;
+  ++stale_hits_;
   touch(it->second);
   EntryRef ref;
   ref.records = &entry.records;
@@ -115,9 +132,7 @@ std::optional<std::vector<ResourceRecord>> Cache::lookup(const DnsName& name,
   auto ref = lookup_ref(name, type, now);
   if (!ref) return std::nullopt;
   std::vector<ResourceRecord> out = *ref->records;
-  for (auto& rr : out) {
-    rr.ttl = rr.ttl > ref->age_s ? rr.ttl - ref->age_s : 0;
-  }
+  for (auto& rr : out) rr.ttl = tier_decay_ttl(rr.ttl, ref->age_s);
   return out;
 }
 
@@ -134,7 +149,7 @@ std::optional<StaleLookup> Cache::lookup_stale(const DnsName& name,
     for (auto& rr : result.records) rr.ttl = stale_ttl;
   } else {
     for (auto& rr : result.records) {
-      rr.ttl = rr.ttl > ref->age_s ? rr.ttl - ref->age_s : 0;
+      rr.ttl = tier_decay_ttl(rr.ttl, ref->age_s);
     }
   }
   return result;
@@ -144,6 +159,7 @@ std::size_t Cache::evict_expired(SimTime now) {
   std::size_t evicted = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (expired(it->second.entry, now)) {
+      bytes_ -= it->second.entry.wire_bytes;
       lru_.erase(it->second.lru);
       it = entries_.erase(it);
       ++evicted;
@@ -151,7 +167,20 @@ std::size_t Cache::evict_expired(SimTime now) {
       ++it;
     }
   }
+  expired_evictions_ += evicted;
   return evicted;
+}
+
+TierStats Cache::tier_stats() const {
+  TierStats s;
+  s.lookups = hits_ + misses_;
+  s.hits = hits_;
+  s.stale_hits = stale_hits_;
+  s.inserts = inserts_;
+  s.evictions = evictions_ + expired_evictions_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  return s;
 }
 
 }  // namespace doxlab::dns

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dns/cache_tier.h"
 #include "dns/message.h"
 #include "util/types.h"
 
@@ -31,6 +32,9 @@ struct CacheEntry {
   std::vector<ResourceRecord> records;
   SimTime inserted_at = 0;
   std::uint32_t original_ttl = 0;
+  /// Approximate wire footprint of `records` (names + fixed RR headers +
+  /// rdata), computed once at insert for the tier byte accounting.
+  std::size_t wire_bytes = 0;
 };
 
 /// Result of a serve-stale lookup.
@@ -103,6 +107,10 @@ class Cache {
   /// Entries evicted by the capacity bound (not TTL expiry).
   std::uint64_t evictions() const { return evictions_; }
 
+  /// Uniform tier observability (see dns/cache_tier.h). `evictions` here
+  /// covers both capacity pressure and expiry reaping.
+  TierStats tier_stats() const;
+
  private:
   struct Key {
     DnsName name;
@@ -157,7 +165,13 @@ class Cache {
   std::size_t capacity_ = 0;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  mutable std::uint64_t stale_hits_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t expired_evictions_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t bytes_ = 0;
 };
+
+static_assert(CacheTier<Cache>);
 
 }  // namespace doxlab::dns

@@ -16,8 +16,8 @@ SharedPacketCache::SharedPacketCache(std::size_t capacity,
 }
 
 bool SharedPacketCache::lookup(std::uint32_t shard, const DnsName& name,
-                               RRType type, SimTime now,
-                               PacketCacheHit& out) {
+                               RRType type, SimTime now, PacketCacheHit& out,
+                               SimTime max_stale) {
   Lane& lane = lanes_[shard];
   // Shared lock: concurrent lookups from other shards never exclude this
   // one; only an exclusive holder (the barrier-time sweep) makes the
@@ -31,18 +31,27 @@ bool SharedPacketCache::lookup(std::uint32_t shard, const DnsName& name,
     return false;
   }
   const auto it = entries_.find(KeyView{name, type});
-  if (it == entries_.end() || expired(it->second, now)) {
+  if (it == entries_.end()) {
     ++lane.misses;
     return false;
   }
   const Entry& entry = it->second;
+  const bool fresh = !expired(entry, now);
+  if (!fresh && (max_stale <= 0 ||
+                 !tier_stale_within(entry.inserted_at, entry.ttl_s, now,
+                                    max_stale))) {
+    ++lane.misses;
+    return false;
+  }
   // Copying the buffer handle bumps the slab's atomic refcount (the encode
   // path share()d it); the bytes stay valid on this shard's thread even
   // after a later sweep erases the entry.
   out.wire = entry.wire;
   out.ttl_s = entry.ttl_s;
-  out.age_s = static_cast<std::uint32_t>((now - entry.inserted_at) / kSecond);
+  out.age_s = tier_age_s(entry.inserted_at, now);
+  out.stale = !fresh;
   ++lane.hits;
+  if (!fresh) ++lane.stale_hits;
   return true;
 }
 
@@ -73,6 +82,8 @@ void SharedPacketCache::sweep(SimTime now) {
       ++applied_inserts_;
       const auto it = entries_.find(pending.key);
       if (it != entries_.end()) {
+        bytes_ -= it->second.wire.size();
+        bytes_ += pending.entry.wire.size();
         it->second = std::move(pending.entry);
         ++replaced_;
         continue;
@@ -81,12 +92,22 @@ void SharedPacketCache::sweep(SimTime now) {
         ++rejected_capacity_;
         continue;
       }
+      bytes_ += pending.entry.wire.size();
       entries_.emplace(std::move(pending.key), std::move(pending.entry));
     }
     lane.pending.clear();
   }
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (expired(it->second, now)) {
+    const Entry& entry = it->second;
+    // With a stale-retention window, an expired entry stays sweepable for
+    // `retain_stale_` past its expiry so lookup() can serve it stale.
+    const bool reap =
+        expired(entry, now) &&
+        (retain_stale_ <= 0 ||
+         !tier_stale_within(entry.inserted_at, entry.ttl_s, now,
+                            retain_stale_));
+    if (reap) {
+      bytes_ -= entry.wire.size();
       it = entries_.erase(it);
       ++expired_evicted_;
     } else {
@@ -101,6 +122,7 @@ SharedPacketCache::Stats SharedPacketCache::stats() const {
   Stats s;
   for (const Lane& lane : lanes_) {
     s.hits += lane.hits;
+    s.stale_hits += lane.stale_hits;
     s.misses += lane.misses;
     s.lock_misses += lane.lock_misses;
     s.deferred_inserts += lane.deferred_inserts;
@@ -111,7 +133,21 @@ SharedPacketCache::Stats SharedPacketCache::stats() const {
   s.expired_evicted = expired_evicted_;
   s.sweeps = sweeps_;
   s.size = entries_.size();
+  s.bytes = bytes_;
   return s;
+}
+
+TierStats SharedPacketCache::tier_stats() const {
+  const Stats s = stats();
+  TierStats t;
+  t.lookups = s.hits + s.misses;
+  t.hits = s.hits;
+  t.stale_hits = s.stale_hits;
+  t.inserts = s.applied_inserts;
+  t.evictions = s.expired_evicted;
+  t.entries = s.size;
+  t.bytes = s.bytes;
+  return t;
 }
 
 util::Buffer SharedPacketCache::encode_rrset(

@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dns/cache_tier.h"
 #include "dns/message.h"
 #include "util/buffer.h"
 #include "util/types.h"
@@ -51,6 +52,9 @@ struct PacketCacheHit {
   util::Buffer wire;         ///< shared encoded RRset (see encode_rrset)
   std::uint32_t ttl_s = 0;   ///< minimum record TTL at insert time
   std::uint32_t age_s = 0;   ///< whole seconds since insertion
+  /// Past its TTL but inside the caller's stale window: the caller stamps
+  /// its stale TTL and owes the hierarchy exactly one background refresh.
+  bool stale = false;
 };
 
 /// Sharded-reader packet cache. Thread contract: lookup()/insert() may be
@@ -68,12 +72,16 @@ class SharedPacketCache {
   SharedPacketCache& operator=(const SharedPacketCache&) = delete;
 
   /// Hot-path read from shard `shard`. Returns true and fills `out` on a
-  /// fresh hit. Readers lock shared, so they only contend with the
-  /// exclusive sweep (impossible mid-epoch, see header), never with each
-  /// other; a contended or expired/absent entry reports false, and expired
-  /// entries are left for sweep() to reap.
+  /// fresh hit — or, when `max_stale > 0`, on an RFC 8767 stale hit
+  /// (`out.stale` set) for entries expired less than `max_stale` ago.
+  /// Readers lock shared, so they only contend with the exclusive sweep
+  /// (impossible mid-epoch, see header), never with each other; a contended
+  /// or expired/absent entry reports false, and expired entries are left
+  /// for sweep() to reap. Callers serving stale must also extend the sweep
+  /// window via set_stale_retention(), or the entry is reaped at the next
+  /// barrier and the stale window silently collapses to one epoch.
   bool lookup(std::uint32_t shard, const DnsName& name, RRType type,
-              SimTime now, PacketCacheHit& out);
+              SimTime now, PacketCacheHit& out, SimTime max_stale = 0);
 
   /// Encodes `records` into a shared buffer and parks it on shard `shard`'s
   /// lane; the table itself is untouched until the next sweep(). Empty
@@ -87,9 +95,16 @@ class SharedPacketCache {
   /// contract nobody else holds it here.
   void sweep(SimTime now);
 
+  /// Keeps expired entries sweepable-stale for `keep` past their expiry
+  /// instead of reaping them at the next barrier (0 = reap immediately, the
+  /// default). Set once before the run, at a barrier, when the engine
+  /// serves stale from the L2.
+  void set_stale_retention(SimTime keep) { retain_stale_ = keep; }
+
   /// Aggregated counters (lane counters summed in shard order).
   struct Stats {
     std::uint64_t hits = 0;
+    std::uint64_t stale_hits = 0;    ///< subset of hits past expiry
     std::uint64_t misses = 0;        ///< includes lock_misses and expired
     std::uint64_t lock_misses = 0;   ///< try_lock_shared-vs-exclusive fallbacks
     std::uint64_t deferred_inserts = 0;  ///< insert() calls parked on lanes
@@ -99,8 +114,13 @@ class SharedPacketCache {
     std::uint64_t expired_evicted = 0;   ///< entries reaped by sweeps
     std::uint64_t sweeps = 0;
     std::size_t size = 0;            ///< live entries right now
+    std::uint64_t bytes = 0;         ///< live encoded-RRset bytes
   };
   Stats stats() const;
+
+  /// Uniform tier observability (see dns/cache_tier.h). Same barrier
+  /// contract as stats().
+  TierStats tier_stats() const;
 
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -178,14 +198,14 @@ class SharedPacketCache {
   struct alignas(64) Lane {
     std::vector<Pending> pending;
     std::uint64_t hits = 0;
+    std::uint64_t stale_hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t lock_misses = 0;
     std::uint64_t deferred_inserts = 0;
   };
 
   static bool expired(const Entry& entry, SimTime now) {
-    return now - entry.inserted_at >=
-           static_cast<SimTime>(entry.ttl_s) * kSecond;
+    return !tier_fresh(entry.inserted_at, entry.ttl_s, now);
   }
 
   using Map = std::unordered_map<Key, Entry, KeyHash, KeyEq>;
@@ -195,12 +215,16 @@ class SharedPacketCache {
   mutable std::shared_mutex mu_;
   Map entries_;
   std::size_t capacity_;
+  SimTime retain_stale_ = 0;
   std::vector<Lane> lanes_;
   std::uint64_t applied_inserts_ = 0;
   std::uint64_t replaced_ = 0;
   std::uint64_t rejected_capacity_ = 0;
   std::uint64_t expired_evicted_ = 0;
   std::uint64_t sweeps_ = 0;
+  std::uint64_t bytes_ = 0;
 };
+
+static_assert(CacheTier<SharedPacketCache>);
 
 }  // namespace doxlab::dns

@@ -1,0 +1,334 @@
+#include "dns/snapshot_tier.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "dns/name.h"
+#include "dns/packet_cache.h"
+#include "util/bytes.h"
+
+namespace doxlab::dns {
+
+namespace {
+
+/// Log header: version-stamped magic. Bump the digit on format changes.
+constexpr char kMagic[8] = {'D', 'O', 'X', 'S', 'N', 'A', 'P', '1'};
+
+/// Anything claiming a larger payload than this is a torn length field, not
+/// a record (a full RRset wire image is a few hundred bytes).
+constexpr std::uint32_t kMaxPayload = 1u << 22;
+
+std::uint32_t fnv1a32(std::span<const std::uint8_t> data) {
+  std::uint32_t h = 2166136261u;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+SnapshotTier::SnapshotTier(SnapshotConfig config)
+    : config_(std::move(config)) {
+  replay();
+}
+
+SnapshotTier::~SnapshotTier() {
+  if (log_ != nullptr) {
+    std::fflush(log_);
+    std::fclose(log_);
+  }
+}
+
+std::vector<std::uint8_t> SnapshotTier::encode_payload(
+    const DnsName& name, RRType type, SimTime inserted_at,
+    std::uint32_t ttl_s, std::span<const std::uint8_t> rrset) {
+  ByteWriter writer(2 + 8 + 4 + name.wire_length() + rrset.size());
+  writer.u16(static_cast<std::uint16_t>(type));
+  writer.u64(static_cast<std::uint64_t>(inserted_at));
+  writer.u32(ttl_s);
+  writer.bytes(name.wire_labels());
+  writer.u8(0);
+  writer.bytes(rrset);
+  return writer.take();
+}
+
+bool SnapshotTier::decode_payload(std::span<const std::uint8_t> payload,
+                                  Key& key, Entry& entry) {
+  ByteReader reader(payload);
+  const auto type = reader.u16();
+  const auto inserted_at = reader.u64();
+  const auto ttl_s = reader.u32();
+  if (!type || !inserted_at || !ttl_s) return false;
+  if (!read_name_into(reader, key.name)) return false;
+  key.type = static_cast<RRType>(*type);
+  entry.inserted_at = static_cast<SimTime>(*inserted_at);
+  entry.ttl_s = *ttl_s;
+  const auto rrset = reader.bytes(reader.remaining());
+  if (!rrset || rrset->empty()) return false;
+  entry.rrset.assign(rrset->begin(), rrset->end());
+  return true;
+}
+
+void SnapshotTier::replay() {
+  if (config_.path.empty()) return;
+  {
+    // First use of a snapshot directory: make sure it exists so the append
+    // handle below can be opened.
+    std::error_code ec;
+    const std::filesystem::path parent =
+        std::filesystem::path(config_.path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  }
+  std::vector<std::uint8_t> file;
+  if (std::FILE* in = std::fopen(config_.path.c_str(), "rb")) {
+    std::fseek(in, 0, SEEK_END);
+    const long size = std::ftell(in);
+    std::fseek(in, 0, SEEK_SET);
+    if (size > 0) {
+      file.resize(static_cast<std::size_t>(size));
+      if (std::fread(file.data(), 1, file.size(), in) != file.size()) {
+        file.clear();
+      }
+    }
+    std::fclose(in);
+  }
+  replay_stats_.bytes_read = file.size();
+
+  std::size_t good_end = sizeof(kMagic);
+  if (file.size() < sizeof(kMagic) ||
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    // Missing or foreign file: start a fresh log (an unreadable header
+    // counts as one torn drop so the caller can tell).
+    if (!file.empty()) ++replay_stats_.torn_dropped;
+    if (std::FILE* fresh = std::fopen(config_.path.c_str(), "wb")) {
+      std::fwrite(kMagic, 1, sizeof(kMagic), fresh);
+      std::fclose(fresh);
+    }
+  } else {
+    ByteReader reader(file);
+    (void)reader.seek(sizeof(kMagic));
+    while (reader.remaining() > 0) {
+      const auto len = reader.u32();
+      const auto crc = reader.u32();
+      if (!len || !crc || *len == 0 || *len > kMaxPayload) {
+        ++replay_stats_.torn_dropped;
+        break;
+      }
+      const auto payload = reader.bytes(*len);
+      if (!payload) {
+        ++replay_stats_.torn_dropped;
+        break;
+      }
+      if (fnv1a32(*payload) != *crc) {
+        // A checksum mismatch means the tail is untrustworthy from here on
+        // (a torn write never leaves valid frames after it) — stop.
+        ++replay_stats_.torn_dropped;
+        break;
+      }
+      Key key;
+      Entry entry;
+      if (!decode_payload(*payload, key, entry)) {
+        ++replay_stats_.skipped_bad;
+        good_end = reader.position();
+        continue;
+      }
+      entry.frame_bytes = static_cast<std::uint32_t>(8 + *len);
+      if (entries_.find(key) != entries_.end()) ++replay_stats_.superseded;
+      apply(std::move(key), std::move(entry));
+      ++replay_stats_.frames_replayed;
+      good_end = reader.position();
+    }
+    if (good_end < file.size()) {
+      // Drop the torn tail so future appends land on a clean frame edge.
+      std::error_code ec;
+      std::filesystem::resize_file(config_.path, good_end, ec);
+    }
+  }
+  log_bytes_ = good_end;
+  log_ = std::fopen(config_.path.c_str(), "ab");
+}
+
+void SnapshotTier::apply(Key key, Entry entry) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    live_bytes_ -= it->second.frame_bytes;
+    payload_bytes_ -= it->second.rrset.size();
+    live_bytes_ += entry.frame_bytes;
+    payload_bytes_ += entry.rrset.size();
+    it->second = std::move(entry);
+    return;
+  }
+  live_bytes_ += entry.frame_bytes;
+  payload_bytes_ += entry.rrset.size();
+  entries_.emplace(std::move(key), std::move(entry));
+}
+
+bool SnapshotTier::append_frame(std::span<const std::uint8_t> payload) {
+  if (log_ == nullptr) return false;
+  std::uint8_t header[8];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = fnv1a32(payload);
+  header[0] = static_cast<std::uint8_t>(len >> 24);
+  header[1] = static_cast<std::uint8_t>(len >> 16);
+  header[2] = static_cast<std::uint8_t>(len >> 8);
+  header[3] = static_cast<std::uint8_t>(len);
+  header[4] = static_cast<std::uint8_t>(crc >> 24);
+  header[5] = static_cast<std::uint8_t>(crc >> 16);
+  header[6] = static_cast<std::uint8_t>(crc >> 8);
+  header[7] = static_cast<std::uint8_t>(crc);
+  if (std::fwrite(header, 1, sizeof(header), log_) != sizeof(header)) {
+    return false;
+  }
+  if (std::fwrite(payload.data(), 1, payload.size(), log_) !=
+      payload.size()) {
+    return false;
+  }
+  log_bytes_ += sizeof(header) + payload.size();
+  return true;
+}
+
+bool SnapshotTier::lookup(const DnsName& name, RRType type, SimTime now,
+                          SnapshotHit& out) {
+  ++lookups_;
+  auto it = entries_.find(KeyView{name, type});
+  if (it == entries_.end()) return false;
+  Entry& entry = it->second;
+  if (tier_fresh(entry.inserted_at, entry.ttl_s, now)) {
+    out.rrset = &entry.rrset;
+    out.ttl_s = entry.ttl_s;
+    out.age_s = tier_age_s(entry.inserted_at, now);
+    out.stale = false;
+    ++hits_;
+    return true;
+  }
+  if (tier_stale_within(entry.inserted_at, entry.ttl_s, now,
+                        config_.max_stale)) {
+    out.rrset = &entry.rrset;
+    out.ttl_s = entry.ttl_s;
+    out.age_s = tier_age_s(entry.inserted_at, now);
+    out.stale = true;
+    ++hits_;
+    ++stale_hits_;
+    return true;
+  }
+  // Past the stale window: dead weight in the index; the log's copy is
+  // reclaimed by the next compaction.
+  live_bytes_ -= entry.frame_bytes;
+  payload_bytes_ -= entry.rrset.size();
+  entries_.erase(it);
+  ++evictions_;
+  return false;
+}
+
+void SnapshotTier::insert(const DnsName& name, RRType type,
+                          std::span<const ResourceRecord> records,
+                          SimTime now) {
+  if (records.empty()) return;
+  std::uint32_t min_ttl = records.front().ttl;
+  for (const ResourceRecord& rr : records) {
+    min_ttl = std::min(min_ttl, rr.ttl);
+  }
+  if (min_ttl == 0) return;
+  const util::Buffer wire = SharedPacketCache::encode_rrset(records);
+  Entry entry;
+  entry.rrset.assign(wire.data(), wire.data() + wire.size());
+  entry.inserted_at = now;
+  entry.ttl_s = min_ttl;
+  const std::vector<std::uint8_t> payload =
+      encode_payload(name, type, now, min_ttl, entry.rrset);
+  if (!append_frame(payload)) return;
+  entry.frame_bytes = static_cast<std::uint32_t>(8 + payload.size());
+  apply(Key{name, type}, std::move(entry));
+  ++inserts_;
+  maybe_compact();
+}
+
+void SnapshotTier::flush() {
+  if (log_ != nullptr) std::fflush(log_);
+}
+
+void SnapshotTier::maybe_compact() {
+  if (log_bytes_ < config_.compact_min_bytes) return;
+  if (log_bytes_ <= 2 * (live_bytes_ + sizeof(kMagic))) return;
+  compact();
+}
+
+void SnapshotTier::compact() {
+  if (config_.path.empty()) return;
+  const std::string tmp = config_.path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) return;
+  std::fwrite(kMagic, 1, sizeof(kMagic), out);
+  bool ok = true;
+  std::uint64_t written = sizeof(kMagic);
+  for (const auto& [key, entry] : entries_) {
+    const std::vector<std::uint8_t> payload = encode_payload(
+        key.name, key.type, entry.inserted_at, entry.ttl_s, entry.rrset);
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    const std::uint32_t crc = fnv1a32(payload);
+    const std::uint8_t header[8] = {
+        static_cast<std::uint8_t>(len >> 24),
+        static_cast<std::uint8_t>(len >> 16),
+        static_cast<std::uint8_t>(len >> 8),
+        static_cast<std::uint8_t>(len),
+        static_cast<std::uint8_t>(crc >> 24),
+        static_cast<std::uint8_t>(crc >> 16),
+        static_cast<std::uint8_t>(crc >> 8),
+        static_cast<std::uint8_t>(crc)};
+    if (std::fwrite(header, 1, sizeof(header), out) != sizeof(header) ||
+        std::fwrite(payload.data(), 1, payload.size(), out) !=
+            payload.size()) {
+      ok = false;
+      break;
+    }
+    written += sizeof(header) + payload.size();
+  }
+  std::fflush(out);
+  std::fclose(out);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  // Write-new-then-rename: readers of the old log (there are none while we
+  // run, but a crashed rename leaves one valid file either way) never see a
+  // half-written state.
+  if (log_ != nullptr) {
+    std::fflush(log_);
+    std::fclose(log_);
+    log_ = nullptr;
+  }
+  if (std::rename(tmp.c_str(), config_.path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    log_ = std::fopen(config_.path.c_str(), "ab");
+    return;
+  }
+  log_bytes_ = written;
+  live_bytes_ = written - sizeof(kMagic);
+  ++compactions_;
+  log_ = std::fopen(config_.path.c_str(), "ab");
+}
+
+void SnapshotTier::for_each(const EntryVisitor& visit) const {
+  for (const auto& [key, entry] : entries_) {
+    visit(key.name, key.type, entry.inserted_at, entry.ttl_s, entry.rrset);
+  }
+}
+
+TierStats SnapshotTier::tier_stats() const {
+  TierStats t;
+  t.lookups = lookups_;
+  t.hits = hits_;
+  t.stale_hits = stale_hits_;
+  t.inserts = inserts_;
+  t.evictions = evictions_;
+  t.entries = entries_.size();
+  t.bytes = payload_bytes_;
+  return t;
+}
+
+}  // namespace doxlab::dns

@@ -1,0 +1,196 @@
+// Persistent snapshot tier: the disk level of the cache hierarchy.
+//
+// The per-shard L1 and shared L2 die with the process; this tier is what a
+// restarted forwarder warm-starts from. The design is the append-log +
+// compacting-snapshot shape of dnsdist's KVS lookup stores (and LMDB
+// underneath them), reduced to what a DNS RRset store actually needs:
+//
+//   * One flat file per engine shard. Writes are appends — an insert
+//     serializes the RRset wire image (SharedPacketCache::encode_rrset
+//     format, so L2 promotion costs no re-encode) with its *absolute*
+//     insertion stamp and minimum TTL, and appends one framed record:
+//     `[u32 payload_len][u32 fnv1a32(payload)][payload]` after the 8-byte
+//     `DOXSNAP1` magic. Later records for a key supersede earlier ones.
+//   * Replay (construction) walks the frames and stops cleanly at the first
+//     torn or corrupt one: a truncated tail — the crash case — costs at
+//     most the records after the tear, never the file. A frame whose
+//     checksum matches but whose payload fails to parse is skipped, not
+//     fatal.
+//   * Expiry is judged against the absolute stamps at *lookup* time with
+//     the shared tier rules (dns/cache_tier.h): a fresh entry decays by its
+//     age, an entry inside `max_stale` serves stale, anything older is
+//     dropped from the index (and reclaimed by the next compaction).
+//   * Compaction: when the log grows past `compact_min_bytes` AND to more
+//     than twice the live payload, the live entries are rewritten to
+//     `<path>.tmp` and renamed over the log — the same
+//     write-new-then-rename discipline as an LMDB copy-compact.
+//
+// Single-threaded by design, like the WireCache: each engine owns its own
+// snapshot file (`shard-<index>.snap`), so no locking anywhere.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/cache_tier.h"
+#include "dns/message.h"
+#include "util/types.h"
+
+namespace doxlab::dns {
+
+struct SnapshotConfig {
+  /// Log file path. The file is created if absent, replayed if present.
+  std::string path;
+  /// RFC 8767 window honored by lookup(); 0 = expired entries are misses.
+  SimTime max_stale = 0;
+  /// Compaction trigger floor: never compact a log smaller than this.
+  std::size_t compact_min_bytes = 1 << 20;
+};
+
+/// A snapshot hit. `rrset` points into the tier's index and stays valid
+/// until the next insert()/lookup()/compact(); decode it with
+/// SharedPacketCache::decode_rrset and decay TTLs by `age_s` (fresh) or
+/// stamp the caller's stale TTL (`stale` set).
+struct SnapshotHit {
+  const std::vector<std::uint8_t>* rrset = nullptr;
+  std::uint32_t ttl_s = 0;
+  std::uint32_t age_s = 0;
+  bool stale = false;
+};
+
+class SnapshotTier {
+ public:
+  /// Opens (replaying) or creates the log. A path that cannot be opened
+  /// leaves the tier alive but inert: lookups miss, inserts drop.
+  explicit SnapshotTier(SnapshotConfig config);
+  ~SnapshotTier();
+
+  SnapshotTier(const SnapshotTier&) = delete;
+  SnapshotTier& operator=(const SnapshotTier&) = delete;
+
+  /// Serves a fresh or stale entry per the shared tier rules. Entries past
+  /// the stale window are evicted from the index here (the log reclaims
+  /// the bytes at compaction).
+  bool lookup(const DnsName& name, RRType type, SimTime now,
+              SnapshotHit& out);
+
+  /// Appends (superseding any previous record for the key). Empty record
+  /// sets and zero minimum TTLs are not persisted, mirroring the L2.
+  void insert(const DnsName& name, RRType type,
+              std::span<const ResourceRecord> records, SimTime now);
+
+  /// Flushes buffered appends to the OS. Called by the destructor; exposed
+  /// so a campaign can checkpoint mid-run.
+  void flush();
+
+  /// Rewrites the log to exactly the live index (write-new-then-rename).
+  /// Automatic when the compaction trigger fires inside insert().
+  void compact();
+
+  /// Visits every live index entry — the warm-start protocol: the engine
+  /// promotes fresh entries into L1/L2 at construction.
+  using EntryVisitor = std::function<void(
+      const DnsName& name, RRType type, SimTime inserted_at,
+      std::uint32_t ttl_s, const std::vector<std::uint8_t>& rrset)>;
+  void for_each(const EntryVisitor& visit) const;
+
+  /// What construction found on disk.
+  struct ReplayStats {
+    std::uint64_t frames_replayed = 0;  ///< well-formed frames applied
+    std::uint64_t superseded = 0;       ///< frames overwritten by later ones
+    std::uint64_t torn_dropped = 0;     ///< truncated/corrupt tail frames
+    std::uint64_t skipped_bad = 0;      ///< checksum-ok but unparseable
+    std::uint64_t bytes_read = 0;
+  };
+  const ReplayStats& replay_stats() const { return replay_stats_; }
+
+  TierStats tier_stats() const;
+  std::size_t size() const { return entries_.size(); }
+  /// Current on-disk log size (header + appended frames).
+  std::uint64_t log_bytes() const { return log_bytes_; }
+  std::uint64_t compactions() const { return compactions_; }
+  const std::string& path() const { return config_.path; }
+
+ private:
+  struct Key {
+    DnsName name;
+    RRType type = RRType::kA;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyView {
+    const DnsName& name;
+    RRType type;
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    static std::size_t mix(const DnsName& name, RRType type) noexcept {
+      return std::hash<DnsName>()(name) ^
+             (static_cast<std::size_t>(type) * 0x9E3779B97F4A7C15ull);
+    }
+    std::size_t operator()(const Key& k) const noexcept {
+      return mix(k.name, k.type);
+    }
+    std::size_t operator()(const KeyView& k) const noexcept {
+      return mix(k.name, k.type);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+    bool operator()(const KeyView& a, const Key& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+    bool operator()(const Key& a, const KeyView& b) const noexcept {
+      return a.type == b.type && a.name == b.name;
+    }
+  };
+
+  struct Entry {
+    std::vector<std::uint8_t> rrset;  ///< encode_rrset wire image
+    SimTime inserted_at = 0;
+    std::uint32_t ttl_s = 0;
+    std::uint32_t frame_bytes = 0;    ///< on-disk frame size incl. header
+  };
+  using Map = std::unordered_map<Key, Entry, KeyHash, KeyEq>;
+
+  /// Serializes one record payload (no frame header).
+  static std::vector<std::uint8_t> encode_payload(const DnsName& name,
+                                                  RRType type,
+                                                  SimTime inserted_at,
+                                                  std::uint32_t ttl_s,
+                                                  std::span<const std::uint8_t>
+                                                      rrset);
+  /// Parses a payload back; returns false on malformed bytes.
+  static bool decode_payload(std::span<const std::uint8_t> payload, Key& key,
+                             Entry& entry);
+
+  void replay();
+  bool append_frame(std::span<const std::uint8_t> payload);
+  void apply(Key key, Entry entry);
+  void maybe_compact();
+
+  SnapshotConfig config_;
+  Map entries_;
+  std::FILE* log_ = nullptr;
+  std::uint64_t log_bytes_ = 0;
+  std::uint64_t live_bytes_ = 0;  ///< frame bytes of live index entries
+  std::uint64_t payload_bytes_ = 0;  ///< rrset bytes of live index entries
+  std::uint64_t compactions_ = 0;
+  ReplayStats replay_stats_;
+  mutable std::uint64_t lookups_ = 0;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t stale_hits_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+static_assert(CacheTier<SnapshotTier>);
+
+}  // namespace doxlab::dns

@@ -199,19 +199,20 @@ bool WireCache::probe(std::span<const std::uint8_t> query, SimTime now,
     ++stats_.collisions;
     return false;
   }
-  const SimTime age = now - it->second.inserted_at;
-  if (age < static_cast<SimTime>(it->second.min_ttl_s) * kSecond) {
-    hit = Hit{key, /*stale=*/false,
-              static_cast<std::uint32_t>(age / kSecond)};
+  const Entry& entry = it->second;
+  if (tier_fresh(entry.inserted_at, entry.min_ttl_s, now)) {
+    hit = Hit{key, /*stale=*/false, tier_age_s(entry.inserted_at, now)};
     ++stats_.hits;
     return true;
   }
-  if (config_.serve_stale && now - deadline(it->second) < config_.max_stale) {
-    hit = Hit{key, /*stale=*/true,
-              static_cast<std::uint32_t>(age / kSecond)};
+  if (config_.serve_stale &&
+      tier_stale_within(entry.inserted_at, entry.min_ttl_s, now,
+                        config_.max_stale)) {
+    hit = Hit{key, /*stale=*/true, tier_age_s(entry.inserted_at, now)};
     ++stats_.stale_hits;
     return true;
   }
+  bytes_ -= entry_bytes(entry);
   entries_.erase(it);
   ++stats_.expired_evictions;
   return false;
@@ -233,12 +234,13 @@ util::Buffer WireCache::materialize(const Hit& hit,
     }
     // A stale image is served at most once; the caller's background
     // refresh re-fills the slot with fresh bytes.
+    bytes_ -= entry_bytes(entry);
     entries_.erase(it);
     ++stats_.expired_evictions;
   } else if (hit.age_s > 0) {
     for (const std::uint16_t offset : entry.ttl_offsets) {
       const std::uint32_t ttl = read_be32(bytes + offset);
-      write_be32(bytes + offset, ttl > hit.age_s ? ttl - hit.age_s : 0);
+      write_be32(bytes + offset, tier_decay_ttl(ttl, hit.age_s));
     }
   }
   return out;
@@ -271,6 +273,7 @@ bool WireCache::insert(std::span<const std::uint8_t> query,
     const SimTime grace = config_.serve_stale ? config_.max_stale : 0;
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (now - deadline(it->second) >= grace) {
+        bytes_ -= entry_bytes(it->second);
         it = entries_.erase(it);
         ++stats_.expired_evictions;
       } else {
@@ -283,13 +286,27 @@ bool WireCache::insert(std::span<const std::uint8_t> query,
     }
   }
   Entry& entry = entries_[key];
+  bytes_ -= entry_bytes(entry);  // replacement: retire the old image's bytes
   normalize(query, regions, entry.query);
   entry.response = util::Buffer::copy_of(response);
   entry.ttl_offsets = std::move(offsets);
   entry.min_ttl_s = min_ttl;
   entry.inserted_at = now;
+  bytes_ += entry_bytes(entry);
   ++stats_.inserts;
   return true;
+}
+
+TierStats WireCache::tier_stats() const {
+  TierStats t;
+  t.lookups = stats_.probes;
+  t.hits = stats_.hits + stats_.stale_hits;
+  t.stale_hits = stats_.stale_hits;
+  t.inserts = stats_.inserts;
+  t.evictions = stats_.expired_evictions;
+  t.entries = entries_.size();
+  t.bytes = bytes_;
+  return t;
 }
 
 }  // namespace doxlab::dns

@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dns/cache_tier.h"
 #include "dns/message.h"
 #include "util/buffer.h"
 #include "util/types.h"
@@ -110,6 +111,9 @@ class WireCache {
   const Stats& stats() const { return stats_; }
   std::size_t size() const { return entries_.size(); }
 
+  /// Uniform tier observability (see dns/cache_tier.h).
+  TierStats tier_stats() const;
+
   /// Parses the first question straight out of a query image into `out`,
   /// reusing its storage — the lazily-materialized view the policy chain
   /// (and the stale-refresh path) sees on wire hits, without a full
@@ -157,13 +161,18 @@ class WireCache {
                                std::span<const std::uint8_t> stored);
 
   SimTime deadline(const Entry& entry) const {
-    return entry.inserted_at +
-           static_cast<SimTime>(entry.min_ttl_s) * kSecond;
+    return tier_expiry(entry.inserted_at, entry.min_ttl_s);
+  }
+  static std::size_t entry_bytes(const Entry& entry) {
+    return entry.query.size() + entry.response.size();
   }
 
   WireCacheConfig config_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   Stats stats_;
+  std::uint64_t bytes_ = 0;
 };
+
+static_assert(CacheTier<WireCache>);
 
 }  // namespace doxlab::dns

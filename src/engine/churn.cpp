@@ -1,0 +1,262 @@
+#include "engine/churn.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "net/network.h"
+#include "resolver/resolver.h"
+#include "stats/stats.h"
+#include "tcp/tcp.h"
+
+namespace doxlab::engine {
+
+std::string_view churn_action_name(ChurnAction action) {
+  switch (action) {
+    case ChurnAction::kOutage:
+      return "outage";
+    case ChurnAction::kRecover:
+      return "recover";
+    case ChurnAction::kWithdraw:
+      return "withdraw";
+    case ChurnAction::kAnnounce:
+      return "announce";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Per-bucket accumulator; percentiles are summarised once at the end.
+struct BucketAcc {
+  std::uint64_t answered = 0;
+  std::uint64_t servfails = 0;
+  std::uint64_t timeouts = 0;
+  std::vector<double> latency_ms;
+};
+
+using BucketMap = std::map<std::int64_t, BucketAcc>;
+
+/// A stats snapshot request: copy the engine's counters at `at`.
+struct StatProbe {
+  SimTime at = 0;
+  EngineStats* out = nullptr;
+};
+
+void merge_load(LoadReport& into, const LoadReport& from) {
+  into.sent += from.sent;
+  into.answered += from.answered;
+  into.servfails += from.servfails;
+  into.timeouts += from.timeouts;
+  into.shed += from.shed;
+  into.latency_ms.insert(into.latency_ms.end(), from.latency_ms.begin(),
+                         from.latency_ms.end());
+}
+
+/// Builds one world (the run_scenario topology: engine host + pinned-RTT
+/// upstream resolvers), applies/schedules the segment's churn events, runs
+/// the arrival window plus settle slack, and folds the outcome into the
+/// campaign totals. `clock_start` > 0 fast-forwards the fresh simulator
+/// before anything is constructed, so a restarted engine's warm start and
+/// TTL arithmetic see the true wall-clock instant — not time zero.
+void run_segment(const ChurnConfig& config, SimTime clock_start,
+                 SimTime arrival_duration,
+                 const std::vector<ChurnEvent>& events,
+                 const std::vector<StatProbe>& probes, BucketMap& buckets,
+                 ChurnResult& result) {
+  sim::Simulator sim;
+  if (clock_start > 0) sim.run_until(clock_start);
+
+  net::Network network(sim, Rng(config.seed));
+  network.set_loss_rate(0.0);
+  net::Host& client_host = network.add_host(
+      "engine-host", net::IpAddress::from_octets(10, 1, 0, 1),
+      {50.11, 8.68}, net::Continent::kEurope);
+  net::UdpStack udp(client_host);
+  tcp::TcpStack tcp(client_host);
+  tls::TicketStore tickets;
+  dox::DoqSessionCache doq_cache;
+
+  std::vector<std::unique_ptr<resolver::DoxResolver>> resolvers;
+  std::vector<UpstreamConfig> upstreams;
+  for (std::size_t i = 0; i < config.upstream_one_way.size(); ++i) {
+    resolver::ResolverProfile profile;
+    profile.name = "upstream-" + std::to_string(i);
+    profile.address = net::IpAddress::from_octets(
+        10, 9, 0, static_cast<std::uint8_t>(i + 1));
+    profile.location = {48.86, 2.35};
+    profile.secret = 0xE0 + i;
+    profile.drop_probability = 0.0;
+    resolvers.push_back(std::make_unique<resolver::DoxResolver>(
+        network, profile, Rng(config.seed + 100 + i)));
+    network.set_path_override(client_host.address(), profile.address,
+                              config.upstream_one_way[i]);
+
+    UpstreamConfig upstream;
+    upstream.name = profile.name;
+    upstream.address = profile.address;
+    upstream.protocols = config.protocols;
+    upstreams.push_back(std::move(upstream));
+  }
+
+  dox::TransportDeps deps;
+  deps.sim = &sim;
+  deps.udp = &udp;
+  deps.tcp = &tcp;
+  deps.tickets = &tickets;
+  deps.doq_cache = &doq_cache;
+
+  LoadConfig load = config.load;
+  load.duration = arrival_duration;
+  load.target = net::Endpoint{client_host.address(),
+                              config.engine.listen_port};
+  const SimTime bucket = std::max<SimTime>(1, config.bucket);
+  load.sample_hook = [&buckets, bucket](SimTime sent_at,
+                                        QueryOutcome outcome,
+                                        double latency_ms) {
+    BucketAcc& acc = buckets[sent_at / bucket];
+    switch (outcome) {
+      case QueryOutcome::kAnswered:
+        ++acc.answered;
+        acc.latency_ms.push_back(latency_ms);
+        break;
+      case QueryOutcome::kServfail:
+        ++acc.servfails;
+        break;
+      case QueryOutcome::kTimeout:
+        ++acc.timeouts;
+        break;
+    }
+  };
+
+  ForwarderEngine engine(sim, udp, deps, std::move(upstreams),
+                         config.engine);
+
+  for (const ChurnEvent& event : events) {
+    if (event.upstream >= resolvers.size()) continue;
+    auto apply = [&resolvers, &engine, &result, event] {
+      ++result.events_executed;
+      switch (event.action) {
+        case ChurnAction::kOutage:
+          resolvers[event.upstream]->host().set_up(false);
+          break;
+        case ChurnAction::kRecover:
+          resolvers[event.upstream]->host().set_up(true);
+          break;
+        case ChurnAction::kWithdraw:
+          engine.pool(0).set_enabled(event.upstream, false);
+          break;
+        case ChurnAction::kAnnounce:
+          engine.pool(0).set_enabled(event.upstream, true);
+          break;
+      }
+    };
+    if (event.at <= sim.now()) {
+      apply();
+    } else {
+      sim.at(event.at, apply);
+    }
+  }
+
+  for (const StatProbe& probe : probes) {
+    if (probe.out == nullptr) continue;
+    if (probe.at <= sim.now()) {
+      *probe.out = engine.stats();
+    } else {
+      sim.at(probe.at, [&engine, out = probe.out] { *out = engine.stats(); });
+    }
+  }
+
+  LoadGenerator generator(sim, udp, load);
+
+  // Arrival window plus the settle slack run_scenario allows: a restart is
+  // modelled as a drain — arrivals stop, in-flight queries finish against
+  // the old engine, and only then is the world torn down.
+  sim.run_until(sim.now() + arrival_duration + load.client_timeout +
+                15 * kSecond);
+
+  result.engine.add(engine.stats());
+  merge_load(result.load, generator.report());
+  result.warm_loaded += engine.snapshot_warm_loaded();
+}
+
+}  // namespace
+
+ChurnResult run_churn(const ChurnConfig& config) {
+  ChurnResult result;
+  result.events = config.events;
+  BucketMap buckets;
+
+  const SimTime total = config.load.duration;
+  const SimTime restart =
+      (config.restart_at > 0 && config.restart_at < total)
+          ? config.restart_at
+          : 0;
+
+  if (restart == 0) {
+    run_segment(config, 0, total, config.events, {}, buckets, result);
+  } else {
+    std::vector<ChurnEvent> before, after;
+    for (const ChurnEvent& event : config.events) {
+      (event.at < restart ? before : after).push_back(event);
+    }
+    const SimTime window = std::max<SimTime>(1, config.epoch_window);
+    std::vector<StatProbe> pre_probes = {
+        {std::max<SimTime>(0, restart - window), &result.pre_window_start},
+        {restart, &result.pre_restart}};
+    run_segment(config, 0, restart, before, pre_probes, buckets, result);
+    std::vector<StatProbe> post_probes = {
+        {restart + window, &result.post_first_epoch}};
+    run_segment(config, restart, total - restart, after, post_probes,
+                buckets, result);
+  }
+
+  // Summarise the buckets in time order; empty buckets inside the horizon
+  // appear explicitly (an outage that answers nothing should read as a
+  // zero-rate bucket, not a gap).
+  const SimTime bucket = std::max<SimTime>(1, config.bucket);
+  const std::int64_t last = buckets.empty() ? -1 : buckets.rbegin()->first;
+  for (std::int64_t index = 0; index <= last; ++index) {
+    ChurnBucket out;
+    out.start = index * bucket;
+    auto it = buckets.find(index);
+    if (it != buckets.end()) {
+      BucketAcc& acc = it->second;
+      out.answered = acc.answered;
+      out.servfails = acc.servfails;
+      out.timeouts = acc.timeouts;
+      out.sent = acc.answered + acc.servfails + acc.timeouts;
+      if (!acc.latency_ms.empty()) {
+        const stats::Summary summary =
+            stats::Summary::of(std::move(acc.latency_ms));
+        out.p50_ms = summary.median;
+        out.p99_ms = summary.p99;
+      }
+    }
+    result.series.push_back(out);
+  }
+  return result;
+}
+
+std::string churn_csv(const ChurnResult& result) {
+  std::string csv =
+      "bucket_s,sent,answered,servfails,timeouts,answer_rate,p50_ms,"
+      "p99_ms\n";
+  char line[160];
+  for (const ChurnBucket& bucket : result.series) {
+    std::snprintf(line, sizeof(line),
+                  "%.3f,%llu,%llu,%llu,%llu,%.6f,%.3f,%.3f\n",
+                  static_cast<double>(bucket.start) / kSecond,
+                  static_cast<unsigned long long>(bucket.sent),
+                  static_cast<unsigned long long>(bucket.answered),
+                  static_cast<unsigned long long>(bucket.servfails),
+                  static_cast<unsigned long long>(bucket.timeouts),
+                  bucket.answer_rate(), bucket.p50_ms, bucket.p99_ms);
+    csv += line;
+  }
+  return csv;
+}
+
+}  // namespace doxlab::engine

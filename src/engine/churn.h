@@ -1,0 +1,122 @@
+// Resolver-churn availability campaigns: scripted upstream outages,
+// recoveries, and anycast-style route flaps driven through a live
+// `ForwarderEngine`, with the client-visible answerable rate and tail
+// latency bucketed into a time series through every transition.
+//
+// Two event families map onto two real failure modes:
+//   * kOutage / kRecover  — the upstream *host* goes dark and later comes
+//     back (packets to it are dropped at routing). The pool discovers the
+//     outage the hard way: attempt timeouts, consecutive-failure health,
+//     quarantine. This is the "resolver died" case.
+//   * kWithdraw / kAnnounce — the upstream is administratively removed from
+//     (re-added to) the candidate plan, the analogue of an anycast catchment
+//     shifting away: the next query simply never tries it. No timeout is
+//     paid. This is the "route moved" case.
+//
+// A campaign can additionally restart the forwarder mid-run
+// (`restart_at`): the first world runs up to the restart, drains, and is
+// torn down; a second world fast-forwards its clock to the restart instant,
+// builds a fresh engine — which warm-starts from the snapshot tier when
+// `engine.snapshot_dir` is set — and carries the remaining load. The
+// bucketed series spans both worlds seamlessly, which is exactly the view
+// needed to compare cold-start and warm-start recovery (bench/cache_tiers).
+//
+// Deterministic: both worlds derive everything from `seed`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/load_gen.h"
+
+namespace doxlab::engine {
+
+enum class ChurnAction : std::uint8_t {
+  kOutage,    ///< upstream host down (set_up(false)): timeouts + quarantine
+  kRecover,   ///< upstream host back up
+  kWithdraw,  ///< administratively removed from the pool's candidate plan
+  kAnnounce,  ///< re-announced (health state cleared)
+};
+
+std::string_view churn_action_name(ChurnAction action);
+
+struct ChurnEvent {
+  SimTime at = 0;
+  std::size_t upstream = 0;  ///< index into `upstream_one_way`
+  ChurnAction action = ChurnAction::kOutage;
+};
+
+struct ChurnConfig {
+  std::uint64_t seed = 42;
+  /// Upstream resolvers at pinned one-way delays (same world shape as
+  /// run_scenario: the first is the primary).
+  std::vector<SimTime> upstream_one_way = {from_ms(25), from_ms(40),
+                                           from_ms(60)};
+  std::vector<dox::DnsProtocol> protocols = {dox::DnsProtocol::kDoQ,
+                                             dox::DnsProtocol::kDoT,
+                                             dox::DnsProtocol::kDoUdp};
+  EngineConfig engine;
+  LoadConfig load;
+  /// The transition schedule, in absolute sim time.
+  std::vector<ChurnEvent> events;
+  /// Time-series bucket width.
+  SimTime bucket = kSecond;
+  /// Restart the forwarder at this instant (0 = never). Arrivals pause at
+  /// the restart while the first world drains, then resume in the second
+  /// world; with `engine.snapshot_dir` set the second engine warm-starts.
+  SimTime restart_at = 0;
+  /// Width of the windows compared around the restart (steady-state window
+  /// just before it, first-epoch window just after it).
+  SimTime epoch_window = 2 * kSecond;
+};
+
+/// One bucket of the campaign's client-visible series. `sent` counts the
+/// queries issued in the bucket that reached a terminal outcome; latency
+/// percentiles cover the answered ones.
+struct ChurnBucket {
+  SimTime start = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t servfails = 0;
+  std::uint64_t timeouts = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+
+  double answer_rate() const {
+    return sent == 0 ? 0.0
+                     : static_cast<double>(answered) /
+                           static_cast<double>(sent);
+  }
+};
+
+struct ChurnResult {
+  std::vector<ChurnBucket> series;
+  /// Engine counters summed across worlds (two when `restart_at` fired).
+  EngineStats engine;
+  /// Client counters summed across worlds.
+  LoadReport load;
+  std::uint64_t events_executed = 0;
+  /// The schedule that ran (echo of config.events).
+  std::vector<ChurnEvent> events;
+
+  // Restart bookkeeping (all zero-initialised when restart_at == 0).
+  /// First world's stats at `restart_at - epoch_window` and at
+  /// `restart_at`: their difference is the steady-state window.
+  EngineStats pre_window_start;
+  EngineStats pre_restart;
+  /// Second world's stats at `restart_at + epoch_window` — counters start
+  /// from zero there, so this IS the first-epoch window.
+  EngineStats post_first_epoch;
+  /// Entries the second world's engine promoted from the snapshot log.
+  std::uint64_t warm_loaded = 0;
+};
+
+/// Runs the campaign to completion (both worlds when restarting).
+ChurnResult run_churn(const ChurnConfig& config);
+
+/// The bucket series as CSV:
+/// `bucket_s,sent,answered,servfails,timeouts,answer_rate,p50_ms,p99_ms`.
+std::string churn_csv(const ChurnResult& result);
+
+}  // namespace doxlab::engine

@@ -58,6 +58,14 @@ ForwarderEngine::ForwarderEngine(sim::Simulator& sim,
     wire_config.stale_ttl = config_.stale_ttl;
     wire_cache_ = std::make_unique<dns::WireCache>(wire_config);
   }
+  if (!config_.snapshot_dir.empty()) {
+    dns::SnapshotConfig snap_config;
+    snap_config.path = config_.snapshot_dir + "/shard-" +
+                       std::to_string(config_.shard_index) + ".snap";
+    snap_config.max_stale = config_.serve_stale ? config_.max_stale : 0;
+    snapshot_ = std::make_unique<dns::SnapshotTier>(std::move(snap_config));
+    warm_start_from_snapshot();
+  }
   listener_ = stub_udp.bind(config_.listen_port);
   listener_->on_datagram([this](const net::Endpoint& from,
                                 util::Buffer payload) {
@@ -124,7 +132,7 @@ void ForwarderEngine::answer_cached(const Waiter& waiter,
     for (auto& rr : answers) rr.ttl = config_.stale_ttl;
   } else if (found.age_s > 0) {
     for (auto& rr : answers) {
-      rr.ttl = rr.ttl > found.age_s ? rr.ttl - found.age_s : 0;
+      rr.ttl = dns::tier_decay_ttl(rr.ttl, found.age_s);
     }
   }
   send_response(waiter, question, dns::RCode::kNoError);
@@ -137,12 +145,33 @@ void ForwarderEngine::answer_servfail(const Waiter& waiter,
   send_response(waiter, question, dns::RCode::kServFail);
 }
 
+void ForwarderEngine::answer_stale_with_refresh(const Waiter& waiter,
+                                                const dns::Question& question,
+                                                std::uint32_t pool_index) {
+  ++stale_hits_;
+  send_response(waiter, question, dns::RCode::kNoError);
+  // Exactly one background refresh per key: a refresh (or a coalesced
+  // resolve) already in flight absorbs this hit, so a burst of stale-served
+  // queries never turns into a resolve-per-query storm.
+  const KeyView key_view{question.name, question.type};
+  if (inflight_.find(key_view) == inflight_.end()) {
+    ++stale_refreshes_;
+    auto [it, inserted] =
+        inflight_.try_emplace(Key{question.name, question.type});
+    start_resolve(it->first, question, pool_index);
+  }
+}
+
 bool ForwarderEngine::try_answer_l2(const Waiter& waiter,
-                                    const dns::Question& question) {
+                                    const dns::Question& question,
+                                    std::span<const std::uint8_t> query,
+                                    std::uint32_t pool_index) {
   ++l2_lookups_;
   dns::PacketCacheHit hit;
+  const SimTime max_stale =
+      config_.l2_serve_stale && config_.serve_stale ? config_.max_stale : 0;
   if (!config_.l2->lookup(config_.shard_index, question.name, question.type,
-                          sim_.now(), hit)) {
+                          sim_.now(), hit, max_stale)) {
     return false;
   }
   // Decode the shared bytes into the retained scratch answers, then decay
@@ -150,10 +179,15 @@ bool ForwarderEngine::try_answer_l2(const Waiter& waiter,
   std::vector<dns::ResourceRecord>& answers = scratch_response_.answers;
   if (!dns::SharedPacketCache::decode_rrset(hit.wire, answers)) return false;
   ++l2_hits_;
+  if (hit.stale) {
+    // Stale bytes are never promoted — the single refresh this triggers
+    // re-promotes the fresh answer into L1 (and the L2/snapshot) instead.
+    for (auto& rr : answers) rr.ttl = config_.stale_ttl;
+    answer_stale_with_refresh(waiter, question, pool_index);
+    return true;
+  }
   if (hit.age_s > 0) {
-    for (auto& rr : answers) {
-      rr.ttl = rr.ttl > hit.age_s ? rr.ttl - hit.age_s : 0;
-    }
+    for (auto& rr : answers) rr.ttl = dns::tier_decay_ttl(rr.ttl, hit.age_s);
   }
   // Promote into the local L1 (already-decayed TTLs keep expiry honest), so
   // this shard's next query for the key stays on the zero-copy L1 path.
@@ -161,7 +195,73 @@ bool ForwarderEngine::try_answer_l2(const Waiter& waiter,
     cache_.insert(question.name, question.type, answers, sim_.now());
   }
   send_response(waiter, question, dns::RCode::kNoError);
+  if (wire_cache_ != nullptr) wire_fill(query, question);
   return true;
+}
+
+bool ForwarderEngine::try_answer_snapshot(const Waiter& waiter,
+                                          const dns::Question& question,
+                                          std::span<const std::uint8_t> query,
+                                          std::uint32_t pool_index) {
+  ++snapshot_lookups_;
+  dns::SnapshotHit hit;
+  if (!snapshot_->lookup(question.name, question.type, sim_.now(), hit)) {
+    return false;
+  }
+  std::vector<dns::ResourceRecord>& answers = scratch_response_.answers;
+  if (!dns::SharedPacketCache::decode_rrset(*hit.rrset, answers)) {
+    return false;
+  }
+  ++snapshot_hits_;
+  if (hit.stale) {
+    for (auto& rr : answers) rr.ttl = config_.stale_ttl;
+    answer_stale_with_refresh(waiter, question, pool_index);
+    return true;
+  }
+  if (hit.age_s > 0) {
+    for (auto& rr : answers) rr.ttl = dns::tier_decay_ttl(rr.ttl, hit.age_s);
+  }
+  // Promote up the hierarchy: into this shard's L1 and (deferred) the
+  // shared L2, so siblings skip their own disk consultation for the key.
+  if (config_.cache_enabled) {
+    cache_.insert(question.name, question.type, answers, sim_.now());
+  }
+  if (config_.l2 != nullptr) {
+    config_.l2->insert(config_.shard_index, question.name, question.type,
+                       answers, sim_.now());
+  }
+  send_response(waiter, question, dns::RCode::kNoError);
+  if (wire_cache_ != nullptr) wire_fill(query, question);
+  return true;
+}
+
+void ForwarderEngine::warm_start_from_snapshot() {
+  // Replayed entries carry absolute stamps from the previous process; a
+  // fresh-or-stale subset of them is promoted so the first epoch after a
+  // restart behaves like the steady state before it. TTLs are decayed to
+  // their remaining lifetime at insert, keeping every tier's expiry instant
+  // identical to the original one.
+  std::vector<dns::ResourceRecord> records;
+  snapshot_->for_each([&](const dns::DnsName& name, dns::RRType type,
+                          SimTime inserted_at, std::uint32_t /*ttl_s*/,
+                          const std::vector<std::uint8_t>& rrset) {
+    if (!dns::SharedPacketCache::decode_rrset(rrset, records)) return;
+    const std::uint32_t age_s = dns::tier_age_s(inserted_at, sim_.now());
+    std::uint32_t min_remaining = UINT32_MAX;
+    for (auto& rr : records) {
+      rr.ttl = dns::tier_decay_ttl(rr.ttl, age_s);
+      min_remaining = std::min(min_remaining, rr.ttl);
+    }
+    if (min_remaining == 0) return;  // expired: lookup() may still serve stale
+    if (config_.cache_enabled) {
+      cache_.insert(name, type, records, sim_.now());
+    }
+    if (config_.l2 != nullptr) {
+      config_.l2->insert(config_.shard_index, name, type, records,
+                         sim_.now());
+    }
+    ++warm_loaded_;
+  });
 }
 
 bool ForwarderEngine::apply_policy_verdict(const policy::Verdict& verdict,
@@ -342,10 +442,15 @@ void ForwarderEngine::on_stub_query(const net::Endpoint& from,
     }
   }
 
-  // L1 had neither a fresh nor a stale entry: try the shared L2 before
-  // paying (or joining) an upstream resolve.
-  if (config_.l2 != nullptr && try_answer_l2(waiter, question)) {
-    if (wire_cache_ != nullptr) wire_fill(payload, question);
+  // L1 had neither a fresh nor a stale entry: walk down the hierarchy —
+  // shared L2, then the persistent snapshot — before paying (or joining)
+  // an upstream resolve.
+  if (config_.l2 != nullptr &&
+      try_answer_l2(waiter, question, payload, pool_index)) {
+    return;
+  }
+  if (snapshot_ != nullptr &&
+      try_answer_snapshot(waiter, question, payload, pool_index)) {
     return;
   }
 
@@ -429,6 +534,11 @@ void ForwarderEngine::deliver(std::vector<Waiter> waiters,
     config_.l2->insert(config_.shard_index, question.name, question.type,
                        records, sim_.now());
   }
+  if (snapshot_ != nullptr) {
+    // Persist with the absolute stamp: a restarted engine replays this and
+    // serves the remaining lifetime, not a reset TTL.
+    snapshot_->insert(question.name, question.type, records, sim_.now());
+  }
   for (const Waiter& waiter : waiters) {
     answer(waiter, question, records);
   }
@@ -449,6 +559,26 @@ EngineStats ForwarderEngine::stats() const {
   s.stale_refreshes = stale_refreshes_;
   s.servfails_sent = servfails_sent_;
   s.cache_evictions = cache_.evictions();
+  const dns::TierStats l1 = cache_.tier_stats();
+  s.l1_lookups = l1.lookups;
+  s.l1_evictions = l1.evictions;
+  s.l1_entries = l1.entries;
+  s.l1_bytes = l1.bytes;
+  if (wire_cache_ != nullptr) {
+    const dns::TierStats wire = wire_cache_->tier_stats();
+    s.wire_evictions = wire.evictions;
+    s.wire_entries = wire.entries;
+    s.wire_bytes = wire.bytes;
+  }
+  if (snapshot_ != nullptr) {
+    const dns::TierStats snap = snapshot_->tier_stats();
+    s.snapshot_hits = snapshot_hits_;
+    s.snapshot_lookups = snapshot_lookups_;
+    s.snapshot_evictions = snap.evictions;
+    s.snapshot_entries = snap.entries;
+    s.snapshot_bytes = snap.bytes;
+    s.snapshot_warm_loaded = warm_loaded_;
+  }
   for (const auto& pool : pools_) {
     s.upstream_attempts += pool->attempts_issued();
     s.failovers += pool->failovers();
@@ -484,6 +614,22 @@ void EngineStats::add(const EngineStats& other) {
   stale_refreshes += other.stale_refreshes;
   servfails_sent += other.servfails_sent;
   cache_evictions += other.cache_evictions;
+  l1_lookups += other.l1_lookups;
+  l1_evictions += other.l1_evictions;
+  l1_entries += other.l1_entries;
+  l1_bytes += other.l1_bytes;
+  l2_evictions += other.l2_evictions;
+  l2_entries += other.l2_entries;
+  l2_bytes += other.l2_bytes;
+  wire_evictions += other.wire_evictions;
+  wire_entries += other.wire_entries;
+  wire_bytes += other.wire_bytes;
+  snapshot_hits += other.snapshot_hits;
+  snapshot_lookups += other.snapshot_lookups;
+  snapshot_evictions += other.snapshot_evictions;
+  snapshot_entries += other.snapshot_entries;
+  snapshot_bytes += other.snapshot_bytes;
+  snapshot_warm_loaded += other.snapshot_warm_loaded;
   upstream_errors.add(other.upstream_errors);
   upstreams.insert(upstreams.end(), other.upstreams.begin(),
                    other.upstreams.end());

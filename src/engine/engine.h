@@ -30,6 +30,7 @@
 
 #include "dns/cache.h"
 #include "dns/packet_cache.h"
+#include "dns/snapshot_tier.h"
 #include "dns/wire_cache.h"
 #include "engine/upstream_pool.h"
 #include "net/udp.h"
@@ -73,9 +74,22 @@ struct EngineConfig {
   /// Consulted only after the local L1 has neither a fresh nor a stale
   /// entry; successful resolves are offered to it as deferred inserts.
   dns::SharedPacketCache* l2 = nullptr;
+  /// Serve RFC 8767 stale answers straight from the shared L2 (default off
+  /// so every pinned engine digest stays byte-identical): a stale L2 hit is
+  /// answered with `stale_ttl` stamped and owes exactly one background
+  /// refresh, which re-promotes the fresh answer into the L1. The sharded
+  /// runner must also extend the L2's sweep retention to `max_stale`.
+  bool l2_serve_stale = false;
   /// This engine's shard index — selects its L2 insert lane and labels its
   /// rows in per-shard reports.
   std::uint32_t shard_index = 0;
+  /// Persistent snapshot tier directory (empty = disabled, the default —
+  /// pinned artifacts untouched). Each engine owns
+  /// `<snapshot_dir>/shard-<shard_index>.snap`: construction replays the
+  /// log and warm-starts the L1 (and offers fresh entries to the L2), every
+  /// successful resolve is appended, and lookups fall back to it after an
+  /// L2 miss — so a restarted engine never pays a cold-miss storm.
+  std::string snapshot_dir;
 };
 
 /// Counters + health snapshot (cheap to copy; taken at any time).
@@ -95,6 +109,30 @@ struct EngineStats {
   std::uint64_t stale_refreshes = 0; ///< background refreshes triggered
   std::uint64_t servfails_sent = 0;  ///< mirrors proxy::DnsProxy's counter
   std::uint64_t cache_evictions = 0; ///< LRU evictions in the shared cache
+
+  // Per-tier occupancy/traffic surface (dns/cache_tier.h): l1_* mirrors the
+  // engine's own dns::Cache, wire_* its WireCache, snapshot_* its
+  // SnapshotTier. The shared L2's occupancy (l2_entries/l2_bytes/
+  // l2_evictions) is stamped once by the sharded runner on the *merged*
+  // stats — per-shard rows carry only the shard's own l2_hits/l2_lookups,
+  // so add() can sum every field without multi-counting the shared tier.
+  std::uint64_t l1_lookups = 0;
+  std::uint64_t l1_evictions = 0;   ///< capacity + expiry (cache_evictions
+                                    ///< stays capacity-only for compat)
+  std::uint64_t l1_entries = 0;
+  std::uint64_t l1_bytes = 0;
+  std::uint64_t l2_evictions = 0;
+  std::uint64_t l2_entries = 0;
+  std::uint64_t l2_bytes = 0;
+  std::uint64_t wire_evictions = 0;
+  std::uint64_t wire_entries = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t snapshot_hits = 0;      ///< answered from the snapshot tier
+  std::uint64_t snapshot_lookups = 0;   ///< L2-missing queries that probed it
+  std::uint64_t snapshot_evictions = 0;
+  std::uint64_t snapshot_entries = 0;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t snapshot_warm_loaded = 0;  ///< entries promoted at startup
   /// Failed upstream attempts, tallied per util::ErrorClass (timeouts,
   /// resets, REFUSED answers, ...), aggregated across named pools.
   util::ErrorCounters upstream_errors;
@@ -176,6 +214,10 @@ class ForwarderEngine {
   EngineStats stats() const;
   /// The raw-wire cache, or null when wire_cache_capacity is 0 (tests).
   const dns::WireCache* wire_cache() const { return wire_cache_.get(); }
+  /// The persistent snapshot tier, or null when snapshot_dir is empty.
+  const dns::SnapshotTier* snapshot() const { return snapshot_.get(); }
+  /// Entries promoted from the snapshot into L1/L2 at construction.
+  std::uint64_t snapshot_warm_loaded() const { return warm_loaded_; }
   /// Client-visible latency samples in ms (arrival -> answer), for
   /// percentile reporting. Cache hits contribute 0.
   const std::vector<double>& latency_samples_ms() const {
@@ -262,10 +304,31 @@ class ForwarderEngine {
   /// queries) with TTLs decayed/clamped in place.
   void answer_cached(const Waiter& waiter, const dns::Question& question,
                      const dns::EntryRef& found);
-  /// Probes the shared L2 after an L1 miss. On a hit, decodes the shared
-  /// buffer into the scratch response, decays TTLs, promotes the records
-  /// into the local L1, answers, and returns true.
-  bool try_answer_l2(const Waiter& waiter, const dns::Question& question);
+  /// Probes the shared L2 after an L1 miss. On a fresh hit, decodes the
+  /// shared buffer into the scratch response, decays TTLs, promotes the
+  /// records into the local L1, fills the wire cache, answers, and returns
+  /// true. With l2_serve_stale, a stale hit answers with the stale TTL
+  /// stamped and triggers exactly one background refresh (no promotion —
+  /// the refresh re-promotes fresh data).
+  bool try_answer_l2(const Waiter& waiter, const dns::Question& question,
+                     std::span<const std::uint8_t> query,
+                     std::uint32_t pool_index);
+  /// Probes the persistent snapshot tier after an L2 miss; same promotion
+  /// and stale-refresh contract as try_answer_l2.
+  bool try_answer_snapshot(const Waiter& waiter,
+                           const dns::Question& question,
+                           std::span<const std::uint8_t> query,
+                           std::uint32_t pool_index);
+  /// Answers a stale tier hit (records already in the scratch response,
+  /// stale TTL stamped) and starts the hierarchy's single background
+  /// refresh unless one is already in flight.
+  void answer_stale_with_refresh(const Waiter& waiter,
+                                 const dns::Question& question,
+                                 std::uint32_t pool_index);
+  /// Warm-start protocol: promotes every still-fresh snapshot entry into
+  /// the L1 (TTLs decayed to their remaining lifetime) and offers it to the
+  /// shared L2. Runs once, at construction, when snapshot_dir is set.
+  void warm_start_from_snapshot();
   void answer_servfail(const Waiter& waiter, const dns::Question& question);
   /// Stamps header flags on the scratch response and ships it as one pooled
   /// buffer. `tc` sets the truncation bit (policy kTruncate).
@@ -296,6 +359,8 @@ class ForwarderEngine {
   dns::Cache cache_;
   /// Raw-wire cache ahead of the decode step; null when disabled.
   std::unique_ptr<dns::WireCache> wire_cache_;
+  /// Persistent snapshot tier; null when snapshot_dir is empty.
+  std::unique_ptr<dns::SnapshotTier> snapshot_;
   std::unordered_map<Key, InFlight, KeyHash, KeyEq> inflight_;
   /// Reusable decode/encode scratch: the cached-answer hot path re-decodes
   /// into and re-encodes from these, so their string/vector storage reaches
@@ -319,6 +384,9 @@ class ForwarderEngine {
   std::uint64_t coalesced_ = 0;
   std::uint64_t l2_hits_ = 0;
   std::uint64_t l2_lookups_ = 0;
+  std::uint64_t snapshot_hits_ = 0;
+  std::uint64_t snapshot_lookups_ = 0;
+  std::uint64_t warm_loaded_ = 0;
   std::uint64_t upstream_resolves_ = 0;
   std::uint64_t stale_refreshes_ = 0;
   std::uint64_t servfails_sent_ = 0;

@@ -42,9 +42,18 @@ LoadGenerator::LoadGenerator(sim::Simulator& sim, net::UdpStack& udp,
       it->second.timeout.cancel();
       if (response->rcode == dns::RCode::kServFail) {
         ++report_.servfails;
+        if (config_.sample_hook) {
+          config_.sample_hook(it->second.sent_at, QueryOutcome::kServfail,
+                              0.0);
+        }
       } else {
         ++report_.answered;
-        report_.latency_ms.push_back(to_ms(sim_.now() - it->second.sent_at));
+        const double latency = to_ms(sim_.now() - it->second.sent_at);
+        report_.latency_ms.push_back(latency);
+        if (config_.sample_hook) {
+          config_.sample_hook(it->second.sent_at, QueryOutcome::kAnswered,
+                              latency);
+        }
       }
       c.pending.erase(it);
     });
@@ -190,10 +199,15 @@ void LoadGenerator::send_query(std::size_t client_index) {
 
   PendingQuery pending;
   pending.sent_at = sim_.now();
-  pending.timeout =
-      sim_.schedule(config_.client_timeout, [this, client_index, id] {
+  pending.timeout = sim_.schedule(
+      config_.client_timeout, [this, client_index, id, at = sim_.now()] {
         Client& c = *clients_[client_index];
-        if (c.pending.erase(id) > 0) ++report_.timeouts;
+        if (c.pending.erase(id) > 0) {
+          ++report_.timeouts;
+          if (config_.sample_hook) {
+            config_.sample_hook(at, QueryOutcome::kTimeout, 0.0);
+          }
+        }
       });
   client.pending[id] = std::move(pending);
 

@@ -21,6 +21,7 @@
 // pre-scheduled on the simulator.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -80,6 +81,9 @@ struct AttackReport {
   std::uint64_t truncated = 0;  ///< TC=1 (policy slow-pathed the abuser)
 };
 
+/// Terminal fate of one legitimate query (churn time-series hook).
+enum class QueryOutcome : std::uint8_t { kAnswered, kServfail, kTimeout };
+
 struct LoadConfig {
   /// Simulated stub clients (each gets its own ephemeral socket).
   std::size_t clients = 1000;
@@ -106,6 +110,13 @@ struct LoadConfig {
   std::uint32_t client_span = 0;
   /// Abuse mixes layered on top of the legitimate load.
   std::vector<AttackConfig> attacks;
+  /// Called once per legitimate query at its terminal outcome, keyed by the
+  /// *send* time so bucketed series line up with the event that was live
+  /// when the query went out. `latency_ms` is meaningful for kAnswered
+  /// only. Null (the default) changes nothing.
+  std::function<void(SimTime sent_at, QueryOutcome outcome,
+                     double latency_ms)>
+      sample_hook;
 };
 
 struct LoadReport {

@@ -93,6 +93,11 @@ ShardedResult run_sharded(const ShardedConfig& config) {
 
   dns::SharedPacketCache l2(config.l2_capacity, n);
   dns::SharedPacketCache* l2_ptr = config.l2_capacity > 0 ? &l2 : nullptr;
+  if (config.engine.l2_serve_stale && config.engine.serve_stale) {
+    // Stale serving needs expired entries to survive the barrier sweeps for
+    // the whole stale window.
+    l2.set_stale_retention(config.engine.max_stale);
+  }
 
   std::vector<std::unique_ptr<EngineShard>> shards;
   shards.reserve(n);
@@ -174,6 +179,12 @@ ShardedResult run_sharded(const ShardedConfig& config) {
     result.shards.push_back(std::move(outcome));
   }
   result.l2 = l2.stats();
+  // The shared tier's occupancy is stamped once onto the merged stats (the
+  // per-shard rows carry only each shard's own hit/lookup counters), so the
+  // merge never multi-counts one table.
+  result.engine.l2_evictions = result.l2.expired_evicted;
+  result.engine.l2_entries = result.l2.size;
+  result.engine.l2_bytes = result.l2.bytes;
   result.total_arrivals = schedule.size();
   result.wall_ms = ms_since(wall_start);
   return result;

@@ -64,6 +64,7 @@ std::vector<UpstreamPool::Candidate> UpstreamPool::plan(SimTime now) const {
                    });
   std::vector<Candidate> candidates;
   for (std::size_t upstream : order) {
+    if (!upstreams_[upstream].admin_enabled) continue;
     const auto& chain = upstreams_[upstream].config.protocols;
     for (std::size_t protocol = 0; protocol < chain.size(); ++protocol) {
       candidates.push_back(Candidate{upstream, protocol});
@@ -222,6 +223,19 @@ void UpstreamPool::record_failure(Upstream& upstream) {
   }
 }
 
+void UpstreamPool::set_enabled(std::size_t index, bool enabled) {
+  if (index >= upstreams_.size()) return;
+  Upstream& upstream = upstreams_[index];
+  if (upstream.admin_enabled == enabled) return;
+  upstream.admin_enabled = enabled;
+  if (enabled) {
+    // A re-announced catchment is a fresh path: stale failure counts from
+    // before the withdrawal say nothing about it.
+    upstream.consecutive_failures = 0;
+    upstream.quarantined_until = 0;
+  }
+}
+
 void UpstreamPool::reset_sessions() {
   for (auto& upstream : upstreams_) {
     for (auto& transport : upstream.transports) {
@@ -243,6 +257,7 @@ std::vector<UpstreamHealth> UpstreamPool::health() const {
     h.attempts = upstream.attempts;
     h.failures = upstream.failures;
     h.healthy = upstream.consecutive_failures < config_.unhealthy_after;
+    h.admin_enabled = upstream.admin_enabled;
     out.push_back(std::move(h));
   }
   return out;

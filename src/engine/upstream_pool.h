@@ -53,6 +53,8 @@ struct UpstreamHealth {
   std::uint64_t attempts = 0;
   std::uint64_t failures = 0;
   bool healthy = true;
+  /// Administratively withdrawn (churn campaigns); candidate plans skip it.
+  bool admin_enabled = true;
 };
 
 struct PoolConfig {
@@ -90,6 +92,14 @@ class UpstreamPool {
   /// quarantine state.
   void reset_sessions();
 
+  /// Administratively withdraws (false) or re-announces (true) one upstream
+  /// — the anycast-catchment analogue of a route flap. A withdrawn upstream
+  /// never appears in a candidate plan, unlike a quarantined one which is
+  /// still appended last as a re-probe target. Re-announcing clears health
+  /// state so the first query after the flap is not biased by stale
+  /// failures. Out-of-range indices are ignored.
+  void set_enabled(std::size_t index, bool enabled);
+
   std::vector<UpstreamHealth> health() const;
   std::size_t size() const { return upstreams_.size(); }
 
@@ -115,6 +125,7 @@ class UpstreamPool {
     std::uint64_t attempts = 0;
     std::uint64_t failures = 0;
     SimTime quarantined_until = 0;
+    bool admin_enabled = true;
   };
 
   /// A candidate attempt: upstream index + position in its protocol chain.

@@ -1,0 +1,232 @@
+// Cross-tier semantics tests for the unified cache hierarchy
+// (dns/cache_tier.h): every tier — L1 Cache, shared L2 packet cache,
+// raw-wire cache, persistent snapshot tier — must age an entry against the
+// same absolute clock, so the same RRset inserted everywhere at t0 reports
+// the same remaining TTL from any tier at any later instant. Plus the
+// shared helper edge cases (expiry boundary, stale window) and the TierStats
+// surface each tier exposes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dns/cache.h"
+#include "dns/cache_tier.h"
+#include "dns/message.h"
+#include "dns/packet_cache.h"
+#include "dns/snapshot_tier.h"
+#include "dns/wire_cache.h"
+
+namespace doxlab::dns {
+namespace {
+
+std::vector<ResourceRecord> a_records(const DnsName& name,
+                                      std::uint32_t ttl) {
+  return {make_a(name, ttl, 0x0A000001)};
+}
+
+std::string temp_path(const std::string& file) {
+  return ::testing::TempDir() + file;
+}
+
+// The concept is the refactor's contract: every tier satisfies it.
+static_assert(CacheTier<Cache>);
+static_assert(CacheTier<SharedPacketCache>);
+static_assert(CacheTier<WireCache>);
+static_assert(CacheTier<SnapshotTier>);
+
+TEST(CacheTierHelpers, ExpiryBoundary) {
+  const SimTime t0 = 5 * kSecond;
+  const std::uint32_t ttl = 30;
+  const SimTime expiry = tier_expiry(t0, ttl);
+  EXPECT_EQ(expiry, t0 + 30 * kSecond);
+  EXPECT_TRUE(tier_fresh(t0, ttl, expiry - 1));
+  EXPECT_FALSE(tier_fresh(t0, ttl, expiry));  // expiry instant is expired
+  // Stale window: [expiry, expiry + max_stale).
+  EXPECT_FALSE(tier_stale_within(t0, ttl, expiry - 1, kSecond));  // fresh
+  EXPECT_TRUE(tier_stale_within(t0, ttl, expiry, kSecond));
+  EXPECT_TRUE(tier_stale_within(t0, ttl, expiry + kSecond - 1, kSecond));
+  EXPECT_FALSE(tier_stale_within(t0, ttl, expiry + kSecond, kSecond));
+}
+
+TEST(CacheTierHelpers, AgeAndDecayClamp) {
+  const SimTime t0 = 10 * kSecond;
+  EXPECT_EQ(tier_age_s(t0, t0), 0u);
+  EXPECT_EQ(tier_age_s(t0, t0 - kSecond), 0u);  // clock before insert: 0
+  EXPECT_EQ(tier_age_s(t0, t0 + 2 * kSecond + kSecond / 2), 2u);
+  EXPECT_EQ(tier_decay_ttl(120, 45), 75u);
+  EXPECT_EQ(tier_decay_ttl(120, 120), 0u);
+  EXPECT_EQ(tier_decay_ttl(120, 500), 0u);  // clamped, never wraps
+}
+
+/// The tentpole invariant: one RRset (TTL 120) inserted into all four
+/// tiers at t0 must report exactly 75 seconds remaining at t0 + 45 s from
+/// every tier.
+TEST(CacheTierCross, SameRemainingTtlFromEveryTier) {
+  const DnsName name = DnsName::parse("xtier.example.com");
+  const std::uint32_t ttl = 120;
+  const SimTime t0 = kSecond;
+  const SimTime later = t0 + 45 * kSecond;
+  const std::uint32_t remaining = 75;
+  const auto records = a_records(name, ttl);
+
+  // L1.
+  Cache l1;
+  l1.insert(name, RRType::kA, records, t0);
+  const auto l1_hit = l1.lookup(name, RRType::kA, later);
+  ASSERT_TRUE(l1_hit.has_value());
+  ASSERT_EQ(l1_hit->size(), 1u);
+  EXPECT_EQ((*l1_hit)[0].ttl, remaining);
+
+  // Shared L2 (insert is deferred; merge at a barrier sweep).
+  SharedPacketCache l2(64, 1);
+  l2.insert(0, name, RRType::kA, records, t0);
+  l2.sweep(t0);
+  PacketCacheHit l2_hit;
+  ASSERT_TRUE(l2.lookup(0, name, RRType::kA, later, l2_hit));
+  EXPECT_FALSE(l2_hit.stale);
+  EXPECT_EQ(l2_hit.ttl_s - l2_hit.age_s, remaining);
+
+  // Raw-wire cache: materialized answers carry the decayed TTL in-band.
+  WireCache wire({});
+  const Message query = make_query(0x42, name, RRType::kA);
+  Message response = make_response(query);
+  response.answers = records;
+  ASSERT_TRUE(wire.insert(query.encode(), response.encode(), t0));
+  WireCache::Hit wire_hit;
+  const Message probe_query = make_query(0x43, name, RRType::kA);
+  const auto probe_wire = probe_query.encode();
+  ASSERT_TRUE(wire.probe(probe_wire, later, wire_hit));
+  EXPECT_FALSE(wire_hit.stale);
+  const util::Buffer patched = wire.materialize(wire_hit, probe_wire);
+  const auto materialized = Message::decode(patched);
+  ASSERT_TRUE(materialized.has_value());
+  ASSERT_EQ(materialized->answers.size(), 1u);
+  EXPECT_EQ(materialized->answers[0].ttl, remaining);
+
+  // Snapshot tier (persisted absolute stamps).
+  SnapshotConfig snap_config;
+  snap_config.path = temp_path("xtier.snap");
+  std::remove(snap_config.path.c_str());
+  SnapshotTier snapshot(snap_config);
+  snapshot.insert(name, RRType::kA, records, t0);
+  SnapshotHit snap_hit;
+  ASSERT_TRUE(snapshot.lookup(name, RRType::kA, later, snap_hit));
+  EXPECT_FALSE(snap_hit.stale);
+  EXPECT_EQ(snap_hit.ttl_s - snap_hit.age_s, remaining);
+
+  // And the persisted copy survives a restart with the same arithmetic.
+  snapshot.flush();
+  SnapshotTier reopened(snap_config);
+  SnapshotHit reopened_hit;
+  ASSERT_TRUE(reopened.lookup(name, RRType::kA, later, reopened_hit));
+  EXPECT_EQ(reopened_hit.ttl_s - reopened_hit.age_s, remaining);
+}
+
+/// All tiers agree the entry is dead at the same instant too.
+TEST(CacheTierCross, SameExpiryInstantEverywhere) {
+  const DnsName name = DnsName::parse("expire.example.com");
+  const std::uint32_t ttl = 10;
+  const SimTime t0 = 2 * kSecond;
+  const SimTime expiry = tier_expiry(t0, ttl);
+  const auto records = a_records(name, ttl);
+
+  Cache l1;
+  l1.insert(name, RRType::kA, records, t0);
+  SharedPacketCache l2(64, 1);
+  l2.insert(0, name, RRType::kA, records, t0);
+  l2.sweep(t0);
+  SnapshotConfig snap_config;
+  snap_config.path = temp_path("expiry.snap");
+  std::remove(snap_config.path.c_str());
+  SnapshotTier snapshot(snap_config);
+  snapshot.insert(name, RRType::kA, records, t0);
+
+  EXPECT_TRUE(l1.lookup(name, RRType::kA, expiry - 1).has_value());
+  EXPECT_FALSE(l1.lookup(name, RRType::kA, expiry).has_value());
+  PacketCacheHit l2_hit;
+  EXPECT_TRUE(l2.lookup(0, name, RRType::kA, expiry - 1, l2_hit));
+  EXPECT_FALSE(l2.lookup(0, name, RRType::kA, expiry, l2_hit));
+  SnapshotHit snap_hit;
+  EXPECT_TRUE(snapshot.lookup(name, RRType::kA, expiry - 1, snap_hit));
+  EXPECT_FALSE(snapshot.lookup(name, RRType::kA, expiry, snap_hit));
+}
+
+TEST(CacheTierL2, StaleLookupAndRetention) {
+  const DnsName name = DnsName::parse("stale.example.com");
+  const SimTime t0 = kSecond;
+  SharedPacketCache l2(64, 1);
+  l2.insert(0, name, RRType::kA, a_records(name, 1), t0);
+  l2.sweep(t0);
+
+  const SimTime expired_at = tier_expiry(t0, 1);
+  PacketCacheHit hit;
+  // Default lookup: expired is a miss.
+  EXPECT_FALSE(l2.lookup(0, name, RRType::kA, expired_at + kSecond, hit));
+  // Stale-window lookup serves it and marks it stale.
+  ASSERT_TRUE(l2.lookup(0, name, RRType::kA, expired_at + kSecond, hit,
+                        /*max_stale=*/10 * kSecond));
+  EXPECT_TRUE(hit.stale);
+  EXPECT_EQ(hit.ttl_s, 1u);
+  EXPECT_GE(l2.stats().stale_hits, 1u);
+
+  // Without retention a barrier sweep reaps the expired entry...
+  SharedPacketCache reaping(64, 1);
+  reaping.insert(0, name, RRType::kA, a_records(name, 1), t0);
+  reaping.sweep(t0);
+  reaping.sweep(expired_at + kSecond);
+  EXPECT_EQ(reaping.size(), 0u);
+  // ...with retention it survives sweeps for the whole stale window.
+  SharedPacketCache retaining(64, 1);
+  retaining.set_stale_retention(10 * kSecond);
+  retaining.insert(0, name, RRType::kA, a_records(name, 1), t0);
+  retaining.sweep(t0);
+  retaining.sweep(expired_at + kSecond);
+  EXPECT_EQ(retaining.size(), 1u);
+  retaining.sweep(expired_at + 11 * kSecond);
+  EXPECT_EQ(retaining.size(), 0u);
+}
+
+TEST(CacheTierStats, CountersAreCoherent) {
+  const DnsName name = DnsName::parse("stats.example.com");
+  const SimTime t0 = kSecond;
+
+  Cache l1;
+  l1.insert(name, RRType::kA, a_records(name, 60), t0);
+  (void)l1.lookup(name, RRType::kA, t0 + kSecond);                  // hit
+  (void)l1.lookup(DnsName::parse("absent.example"), RRType::kA, t0);  // miss
+  const TierStats l1_stats = l1.tier_stats();
+  EXPECT_EQ(l1_stats.inserts, 1u);
+  EXPECT_EQ(l1_stats.hits, 1u);
+  EXPECT_EQ(l1_stats.lookups, 2u);
+  EXPECT_EQ(l1_stats.entries, 1u);
+  EXPECT_GT(l1_stats.bytes, 0u);
+
+  SharedPacketCache l2(64, 1);
+  l2.insert(0, name, RRType::kA, a_records(name, 60), t0);
+  l2.sweep(t0);
+  PacketCacheHit hit;
+  (void)l2.lookup(0, name, RRType::kA, t0 + kSecond, hit);
+  const TierStats l2_stats = l2.tier_stats();
+  EXPECT_EQ(l2_stats.inserts, 1u);
+  EXPECT_EQ(l2_stats.hits, 1u);
+  EXPECT_EQ(l2_stats.entries, 1u);
+  EXPECT_GT(l2_stats.bytes, 0u);
+
+  SnapshotConfig snap_config;
+  snap_config.path = temp_path("stats.snap");
+  std::remove(snap_config.path.c_str());
+  SnapshotTier snapshot(snap_config);
+  snapshot.insert(name, RRType::kA, a_records(name, 60), t0);
+  SnapshotHit snap_hit;
+  (void)snapshot.lookup(name, RRType::kA, t0 + kSecond, snap_hit);
+  const TierStats snap_stats = snapshot.tier_stats();
+  EXPECT_EQ(snap_stats.inserts, 1u);
+  EXPECT_EQ(snap_stats.hits, 1u);
+  EXPECT_EQ(snap_stats.lookups, 1u);
+  EXPECT_EQ(snap_stats.entries, 1u);
+  EXPECT_GT(snap_stats.bytes, 0u);
+}
+
+}  // namespace
+}  // namespace doxlab::dns

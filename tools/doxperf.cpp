@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/churn.h"
 #include "engine/scenario.h"
 #include "engine/sharded.h"
 #include "measure/csv.h"
@@ -70,6 +71,11 @@ engine subcommand — forwarder-engine load run (doxperf engine ...):
   --no-coalesce      resolve each concurrent identical query upstream
   --no-stale         disable RFC 8767 serve-stale
   --kill-primary     take the primary upstream down mid-run
+  --snapshot-dir=DIR persistent snapshot tier: replay DIR/shard-N.snap into
+                     the caches at startup (warm start) and append every
+                     successful resolve (default: disabled)
+  --l2-stale         serve RFC 8767 stale answers straight from the shared
+                     L2 (sharded runs; one background refresh per stale hit)
 
 sharded engine (doxperf engine --shards=N ...): one scenario partitioned
 across N shard worlds driven by the thread pool, clients source-hashed onto
@@ -106,6 +112,22 @@ abuse subcommand — engine load plus attack mixes shed by the policy chain
   --rate-limit=N     per-/24 client-subnet budget, qps (default 100)
   --policy-csv=FILE  write the per-rule hit-counter report
   --smoke            small deterministic run (sanitizer CI)
+
+churn subcommand — resolver-churn availability campaign (doxperf churn
+...): scripted upstream outages/recoveries and anycast-style route flaps
+under live load, with the answerable rate and tail latency bucketed into a
+time series through every transition:
+  --clients/--qps/--seconds/--names/--seed   as for engine (defaults
+                     500 / 1000 / 60 / 200 / 42)
+  --bucket-ms=N      time-series bucket width (default 1000)
+  --restart-at=N     restart the forwarder at second N (0 = never); with
+                     --snapshot-dir the new engine warm-starts from disk
+  --snapshot-dir=DIR persistent snapshot tier directory
+  --churn-csv=FILE   write the bucket series as CSV
+  --smoke            tiny deterministic run (CI)
+Without explicit events the default schedule runs: primary outage at 20%
+of the horizon, recovery at 50%, secondary withdraw at 60%, re-announce
+at 80%.
 )";
 
 std::string flag_value(int argc, char** argv, const char* name,
@@ -163,13 +185,17 @@ std::string shard_csv(const engine::ShardedResult& result) {
       "shard,arrivals,sent,answered,servfails,timeouts,shed,queries,"
       "cache_hits,stale_hits,misses,coalesced,wire_hits,wire_lookups,"
       "l2_hits,l2_lookups,upstream_resolves,link_packets,link_drops,"
-      "link_queue_peak,events,digest,outcomes\n";
-  char line[512];
+      "link_queue_peak,l1_lookups,l1_evictions,l1_entries,l1_bytes,"
+      "wire_evictions,wire_entries,wire_bytes,snapshot_hits,"
+      "snapshot_lookups,snapshot_entries,snapshot_bytes,events,digest,"
+      "outcomes\n";
+  char line[1024];
   for (const auto& shard : result.shards) {
     std::snprintf(
         line, sizeof(line),
         "%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-        "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%016llx,%016llx\n",
+        "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%llu,%llu,%llu,%llu,%llu,%llu,%016llx,%016llx\n",
         shard.index, static_cast<unsigned long long>(shard.arrivals),
         static_cast<unsigned long long>(shard.load.sent),
         static_cast<unsigned long long>(shard.load.answered),
@@ -189,13 +215,24 @@ std::string shard_csv(const engine::ShardedResult& result) {
         static_cast<unsigned long long>(shard.engine.link_packets),
         static_cast<unsigned long long>(shard.engine.link_drops),
         static_cast<unsigned long long>(shard.engine.link_queue_peak),
+        static_cast<unsigned long long>(shard.engine.l1_lookups),
+        static_cast<unsigned long long>(shard.engine.l1_evictions),
+        static_cast<unsigned long long>(shard.engine.l1_entries),
+        static_cast<unsigned long long>(shard.engine.l1_bytes),
+        static_cast<unsigned long long>(shard.engine.wire_evictions),
+        static_cast<unsigned long long>(shard.engine.wire_entries),
+        static_cast<unsigned long long>(shard.engine.wire_bytes),
+        static_cast<unsigned long long>(shard.engine.snapshot_hits),
+        static_cast<unsigned long long>(shard.engine.snapshot_lookups),
+        static_cast<unsigned long long>(shard.engine.snapshot_entries),
+        static_cast<unsigned long long>(shard.engine.snapshot_bytes),
         static_cast<unsigned long long>(shard.events),
         static_cast<unsigned long long>(shard.stream_digest),
         static_cast<unsigned long long>(shard.outcome_digest));
     out += line;
   }
   std::snprintf(line, sizeof(line),
-                "merged,,,,,,,,,,,,,,,,,,,,,%016llx,%016llx\n",
+                "merged,,,,,,,,,,,,,,,,,,,,,,,,,,,,,,,,%016llx,%016llx\n",
                 static_cast<unsigned long long>(result.merged_digest),
                 static_cast<unsigned long long>(result.outcome_digest));
   out += line;
@@ -224,6 +261,8 @@ int run_engine_sharded(int argc, char** argv, std::uint32_t shards) {
   config.engine.serve_stale = !flag_set(argc, argv, "--no-stale");
   config.engine.wire_cache_capacity = static_cast<std::size_t>(
       flag_int(argc, argv, "--wire-cache", 0));
+  config.engine.snapshot_dir = flag_value(argc, argv, "--snapshot-dir", "");
+  config.engine.l2_serve_stale = flag_set(argc, argv, "--l2-stale");
   config.engine.max_ttl = 1;
   const int bottleneck_mbps = flag_int(argc, argv, "--bottleneck-mbps", 0);
   if (bottleneck_mbps > 0) {
@@ -290,6 +329,15 @@ int run_engine_sharded(int argc, char** argv, std::uint32_t shards) {
               static_cast<unsigned long long>(result.l2.applied_inserts),
               static_cast<unsigned long long>(result.l2.lock_misses),
               result.l2.size);
+  if (!config.engine.snapshot_dir.empty()) {
+    std::printf("snapshot tier  hit %llu / %llu lookups  warm-loaded %llu  "
+                "entries %llu (%llu bytes)\n",
+                static_cast<unsigned long long>(e.snapshot_hits),
+                static_cast<unsigned long long>(e.snapshot_lookups),
+                static_cast<unsigned long long>(e.snapshot_warm_loaded),
+                static_cast<unsigned long long>(e.snapshot_entries),
+                static_cast<unsigned long long>(e.snapshot_bytes));
+  }
   std::printf("coalescing     joined %llu in-flight resolves\n",
               static_cast<unsigned long long>(e.coalesced));
   std::printf("upstream       resolves %llu  attempts %llu  servfails "
@@ -339,6 +387,7 @@ int run_engine(int argc, char** argv) {
   config.engine.serve_stale = !flag_set(argc, argv, "--no-stale");
   config.engine.wire_cache_capacity = static_cast<std::size_t>(
       flag_int(argc, argv, "--wire-cache", 0));
+  config.engine.snapshot_dir = flag_value(argc, argv, "--snapshot-dir", "");
   // Short TTLs keep refresh traffic flowing past the initial warmup.
   config.engine.max_ttl = 1;
   if (flag_set(argc, argv, "--kill-primary")) {
@@ -378,6 +427,15 @@ int run_engine(int argc, char** argv) {
     std::printf("wire cache     hit %llu / %llu lookups\n",
                 static_cast<unsigned long long>(e.wire_hits),
                 static_cast<unsigned long long>(e.wire_lookups));
+  }
+  if (!config.engine.snapshot_dir.empty()) {
+    std::printf("snapshot tier  hit %llu / %llu lookups  warm-loaded %llu  "
+                "entries %llu (%llu bytes)\n",
+                static_cast<unsigned long long>(e.snapshot_hits),
+                static_cast<unsigned long long>(e.snapshot_lookups),
+                static_cast<unsigned long long>(e.snapshot_warm_loaded),
+                static_cast<unsigned long long>(e.snapshot_entries),
+                static_cast<unsigned long long>(e.snapshot_bytes));
   }
   std::printf("coalescing     joined %llu in-flight resolves (%.0f%% of "
               "misses)\n",
@@ -477,6 +535,101 @@ int run_abuse(int argc, char** argv) {
   if (!policy_csv_path.empty()) {
     write_file(policy_csv_path, policy::policy_csv(e.policy_rules));
     std::printf("policy report -> %s\n", policy_csv_path.c_str());
+  }
+  return 0;
+}
+
+/// `doxperf churn` — the resolver-churn availability campaign: scripted
+/// outages/recoveries and route flaps, answerable-rate + tail-latency time
+/// series through every transition, optional mid-run forwarder restart
+/// with snapshot warm start.
+int run_churn_cmd(int argc, char** argv) {
+  const bool smoke = flag_set(argc, argv, "--smoke");
+  engine::ChurnConfig config;
+  config.seed = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--seed", "42").c_str()));
+  config.load.clients = static_cast<std::size_t>(
+      flag_int(argc, argv, "--clients", smoke ? 100 : 500));
+  config.load.qps = flag_int(argc, argv, "--qps", smoke ? 300 : 1000);
+  const int seconds = flag_int(argc, argv, "--seconds", smoke ? 8 : 60);
+  config.load.duration = seconds * kSecond;
+  config.load.names =
+      static_cast<std::size_t>(flag_int(argc, argv, "--names", 200));
+  config.bucket = flag_int(argc, argv, "--bucket-ms", 1000) * kMillisecond;
+  config.engine.snapshot_dir =
+      flag_value(argc, argv, "--snapshot-dir", "");
+  config.restart_at = flag_int(argc, argv, "--restart-at", 0) * kSecond;
+  // Short TTLs keep refresh traffic flowing, so an outage is visible as
+  // latency/timeouts instead of being absorbed by a warmed cache.
+  config.engine.max_ttl = 1;
+
+  // Default transition schedule, scaled to the horizon: the primary dies
+  // and recovers (timeout-discovered), the second upstream is withdrawn
+  // and re-announced (plan-level, no timeout paid).
+  const SimTime horizon = config.load.duration;
+  config.events = {
+      {horizon / 5, 0, engine::ChurnAction::kOutage},
+      {horizon / 2, 0, engine::ChurnAction::kRecover},
+      {horizon * 3 / 5, 1, engine::ChurnAction::kWithdraw},
+      {horizon * 4 / 5, 1, engine::ChurnAction::kAnnounce},
+  };
+
+  const auto result = engine::run_churn(config);
+  const auto& e = result.engine;
+  std::printf("churn campaign: %zu clients, %.0f qps offered for %d s "
+              "(seed %llu)\n",
+              config.load.clients, config.load.qps, seconds,
+              static_cast<unsigned long long>(config.seed));
+  for (const auto& event : result.events) {
+    std::printf("  t=%5.1fs upstream-%zu %s\n",
+                static_cast<double>(event.at) / kSecond, event.upstream,
+                std::string(engine::churn_action_name(event.action))
+                    .c_str());
+  }
+  if (config.restart_at > 0) {
+    std::printf("  t=%5.1fs forwarder restart (%s; warm-loaded %llu)\n",
+                static_cast<double>(config.restart_at) / kSecond,
+                config.engine.snapshot_dir.empty() ? "cold"
+                                                   : "snapshot warm start",
+                static_cast<unsigned long long>(result.warm_loaded));
+  }
+  std::printf("\n%8s %8s %8s %9s %9s %12s %9s %9s\n", "bucket_s", "sent",
+              "answered", "servfails", "timeouts", "answer_rate", "p50_ms",
+              "p99_ms");
+  for (const auto& bucket : result.series) {
+    std::printf("%8.1f %8llu %8llu %9llu %9llu %12.4f %9.2f %9.2f\n",
+                static_cast<double>(bucket.start) / kSecond,
+                static_cast<unsigned long long>(bucket.sent),
+                static_cast<unsigned long long>(bucket.answered),
+                static_cast<unsigned long long>(bucket.servfails),
+                static_cast<unsigned long long>(bucket.timeouts),
+                bucket.answer_rate(), bucket.p50_ms, bucket.p99_ms);
+  }
+  const auto latency = result.load.latency_summary();
+  std::printf("\nclient side    answered %llu  servfail %llu  timeout "
+              "%llu\n",
+              static_cast<unsigned long long>(result.load.answered),
+              static_cast<unsigned long long>(result.load.servfails),
+              static_cast<unsigned long long>(result.load.timeouts));
+  std::printf("latency        p50 %.2f  p95 %.2f  p99 %.2f ms\n",
+              latency.median, latency.p95, latency.p99);
+  std::printf("upstream       resolves %llu  attempts %llu  failovers "
+              "%llu\n",
+              static_cast<unsigned long long>(e.upstream_resolves),
+              static_cast<unsigned long long>(e.upstream_attempts),
+              static_cast<unsigned long long>(e.failovers));
+  if (!config.engine.snapshot_dir.empty()) {
+    std::printf("snapshot tier  hit %llu / %llu lookups  warm-loaded "
+                "%llu\n",
+                static_cast<unsigned long long>(e.snapshot_hits),
+                static_cast<unsigned long long>(e.snapshot_lookups),
+                static_cast<unsigned long long>(e.snapshot_warm_loaded));
+  }
+
+  const std::string csv_path = flag_value(argc, argv, "--churn-csv", "");
+  if (!csv_path.empty()) {
+    write_file(csv_path, engine::churn_csv(result));
+    std::printf("churn series -> %s\n", csv_path.c_str());
   }
   return 0;
 }
@@ -730,6 +883,9 @@ int main(int argc, char** argv) {
     }
     if (argc > 1 && std::strcmp(argv[1], "abuse") == 0) {
       return run_abuse(argc, argv);
+    }
+    if (argc > 1 && std::strcmp(argv[1], "churn") == 0) {
+      return run_churn_cmd(argc, argv);
     }
     if (argc > 1 && std::strcmp(argv[1], "campaign") == 0) {
       return run_campaign(argc, argv);
